@@ -1,0 +1,29 @@
+//! E-AB2 — quantifies the monitor bias of §V-B: a saturated VM's
+//! observed usage underestimates its true demand, which is why plain
+//! Best-Fit over-consolidates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pamdc_core::experiments::ablations;
+use pamdc_core::training::collect_training_data;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let collector = collect_training_data(4, &[0.8, 1.6], 4, 22);
+    let bias = ablations::monitor_bias(&collector);
+    println!(
+        "\nMonitor bias: obs/demand CPU = {:.3} unsaturated vs {:.3} saturated \
+         ({} / {} samples)",
+        bias.unsaturated_ratio, bias.saturated_ratio, bias.counts.0, bias.counts.1
+    );
+    assert!(
+        bias.saturated_ratio < bias.unsaturated_ratio,
+        "saturated observations must under-report demand"
+    );
+
+    c.bench_function("ablation_bias/compute", |b| {
+        b.iter(|| black_box(ablations::monitor_bias(&collector).saturated_ratio))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

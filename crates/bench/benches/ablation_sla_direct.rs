@@ -1,0 +1,35 @@
+//! E-AB1 — the paper's §IV-B design note: predicting SLA directly (k-NN)
+//! beats predicting RT and converting through the SLA formula.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pamdc_core::experiments::ablations;
+use pamdc_core::training::{build_stage1_datasets, collect_training_data};
+use pamdc_ml::predictors::{PredictionTarget, TrainedPredictor};
+use pamdc_simcore::rng::RngStream;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let collector = collect_training_data(4, &[0.6, 1.2], 4, 21);
+    let stage1 = build_stage1_datasets(&collector);
+    let (_, cpu_data) = &stage1[0];
+    let mut rng = RngStream::root(21).derive("cpu");
+    let cpu_model = TrainedPredictor::train(PredictionTarget::VmCpu, cpu_data, &mut rng);
+
+    let path = ablations::sla_direct_vs_via_rt(&collector, &cpu_model, 21);
+    let bias = ablations::monitor_bias(&collector);
+    println!("\n{}", ablations::render(&path, &bias));
+
+    let mut g = c.benchmark_group("ablation_sla");
+    g.sample_size(10);
+    g.bench_function("both_paths", |b| {
+        b.iter(|| {
+            black_box(
+                ablations::sla_direct_vs_via_rt(&collector, &cpu_model, 21).direct.correlation,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E-DL — regenerates the §V-C de-location comparison and times both
+//! arms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pamdc_core::experiments::deloc;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = deloc::DelocConfig::default();
+    let result = deloc::run(&cfg);
+    println!("\n{}", deloc::render(&result, cfg.vms));
+
+    let mut g = c.benchmark_group("deloc");
+    g.sample_size(10);
+    g.bench_function("both_arms_quick", |b| {
+        b.iter(|| black_box(deloc::run(&deloc::DelocConfig::quick(6)).sla_gain()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

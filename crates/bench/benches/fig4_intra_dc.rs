@@ -1,0 +1,38 @@
+//! E-F4 — regenerates Figure 4 (BF vs BF-OB vs BF-ML, intra-DC) and
+//! times a simulated hour under each oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pamdc_core::experiments::{fig4, table1};
+use pamdc_core::policy::BestFitPolicy;
+use pamdc_core::scenario::ScenarioBuilder;
+use pamdc_core::simulation::SimulationRunner;
+use pamdc_sched::oracle::{MlOracle, MonitorOracle};
+use pamdc_simcore::time::SimDuration;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let training = table1::run(&table1::Table1Config::quick(2013));
+    let result = fig4::run(&fig4::Fig4Config::quick(4), &training);
+    println!("\n{}", fig4::render(&result));
+
+    let mut g = c.benchmark_group("fig4_sim_hour");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("policy", "BF"), |b| {
+        b.iter(|| {
+            let s = ScenarioBuilder::paper_intra_dc().vms(4).seed(1).build();
+            let p = Box::new(BestFitPolicy::new(MonitorOracle::plain()));
+            black_box(SimulationRunner::new(s, p).run(SimDuration::from_hours(1)).0.mean_sla)
+        })
+    });
+    g.bench_function(BenchmarkId::new("policy", "BF-ML"), |b| {
+        b.iter(|| {
+            let s = ScenarioBuilder::paper_intra_dc().vms(4).seed(1).build();
+            let p = Box::new(BestFitPolicy::new(MlOracle::new(training.suite.clone())));
+            black_box(SimulationRunner::new(s, p).run(SimDuration::from_hours(1)).0.mean_sla)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E-F5 — regenerates Figure 5 (the VM chasing its load) and times the
+//! follow-the-load run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pamdc_core::experiments::fig5;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = fig5::run(&fig5::Fig5Config::default());
+    println!("\n{}", fig5::render(&result));
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("follow_load_12h", |b| {
+        b.iter(|| black_box(fig5::run(&fig5::Fig5Config { hours: 12, seed: 5 }).dcs_visited))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

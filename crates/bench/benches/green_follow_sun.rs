@@ -1,0 +1,21 @@
+//! E-GR — regenerates the follow-the-sun extension table (future work 3)
+//! and times one paired comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pamdc_core::experiments::green;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = green::run(&green::GreenConfig::default());
+    println!("\n{}", green::render(&result));
+
+    let mut g = c.benchmark_group("green_follow_sun");
+    g.sample_size(10);
+    g.bench_function("both_arms_quick", |b| {
+        b.iter(|| black_box(green::run(&green::GreenConfig::quick(3)).green_fraction_gain()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E-HET — regenerates the §V-C price-heterogeneity sweep ("the benefit
+//! of inter-DC optimization priming energy consumption should be more
+//! obvious" as prices diverge) and times one paired cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pamdc_core::experiments::heterogeneity;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cells = heterogeneity::run(&heterogeneity::HeterogeneityConfig::default());
+    println!("\n{}", heterogeneity::render(&cells));
+
+    let mut g = c.benchmark_group("heterogeneity");
+    g.sample_size(10);
+    g.bench_function("one_cell_quick", |b| {
+        b.iter(|| {
+            let cells = heterogeneity::run(&heterogeneity::HeterogeneityConfig::quick(5));
+            black_box(cells[1].energy_cost_saving_frac())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E-OL — regenerates the on-line learning drift table (future work 4)
+//! and times the full prequential pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pamdc_core::experiments::online_drift;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = online_drift::run(&online_drift::OnlineDriftConfig::default());
+    println!("\n{}", online_drift::render(&result));
+
+    let mut g = c.benchmark_group("online_drift");
+    g.sample_size(10);
+    g.bench_function("stream_and_three_models", |b| {
+        b.iter(|| {
+            let r = online_drift::run(&online_drift::OnlineDriftConfig::quick(5));
+            black_box(r.drift_aware.recovered)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E-PA — regenerates the §V-B price-adaptation result (a tariff spike
+//! the adaptive scheduler flees and the posted-price scheduler eats) and
+//! times one paired comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pamdc_core::experiments::price_adaptation;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = price_adaptation::run(&price_adaptation::PriceAdaptationConfig::default());
+    println!("\n{}", price_adaptation::render(&result));
+
+    let mut g = c.benchmark_group("price_adaptation");
+    g.sample_size(10);
+    g.bench_function("both_arms_quick", |b| {
+        b.iter(|| {
+            let r = price_adaptation::run(&price_adaptation::PriceAdaptationConfig::quick(7));
+            black_box(r.adaptive.boston_share_post)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

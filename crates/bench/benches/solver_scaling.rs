@@ -1,0 +1,37 @@
+//! E-SC — regenerates the §IV-C solver-scaling observation (exact B&B
+//! explodes; Best-Fit stays flat) and times both on growing instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pamdc_core::experiments::solver_scaling;
+use pamdc_sched::bestfit::best_fit;
+use pamdc_sched::exact::branch_and_bound;
+use pamdc_sched::oracle::TrueOracle;
+use pamdc_sched::problem::synthetic;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let points = solver_scaling::run(&solver_scaling::ScalingConfig::default());
+    println!("\n{}", solver_scaling::render(&points));
+
+    let oracle = TrueOracle::new();
+    let mut g = c.benchmark_group("solver");
+    for (vms, hosts) in [(2usize, 4usize), (4, 8), (6, 12), (10, 40)] {
+        let p = synthetic::problem(vms, hosts, 250.0);
+        g.bench_with_input(
+            BenchmarkId::new("bestfit", format!("{vms}x{hosts}")),
+            &p,
+            |b, p| b.iter(|| black_box(best_fit(p, &oracle).schedule.assignment.len())),
+        );
+        if vms <= 6 {
+            g.bench_with_input(
+                BenchmarkId::new("exact_bnb", format!("{vms}x{hosts}")),
+                &p,
+                |b, p| b.iter(|| black_box(branch_and_bound(p, &oracle).nodes_expanded)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

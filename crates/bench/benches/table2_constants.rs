@@ -1,0 +1,28 @@
+//! E-T2 — echoes the paper's Table II and times the constant lookups the
+//! profit function leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pamdc_core::experiments::table2;
+use pamdc_infra::network::{City, NetworkModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    table2::verify();
+    println!("\n{}", table2::render());
+
+    let net = NetworkModel::paper();
+    c.bench_function("table2/transport_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for a in City::ALL {
+                for z in City::ALL {
+                    acc += net.transport_secs(black_box(a.location()), black_box(z.location()));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! # pamdc-bench — the benchmark harness
+//!
+//! One Criterion bench per table/figure of the paper (each prints the
+//! regenerated rows once, then times the computation that produces
+//! them), plus micro-benchmarks for the learners, the simulation engine,
+//! and a sequential-vs-parallel sweep ablation.

@@ -1,0 +1,133 @@
+//! E-F4 — the paper's **Figure 4**: intra-DC scheduling comparatives.
+//!
+//! One Barcelona DC, 4 Atom PMs, 5 web-service VMs, a 24-hour scaled
+//! Li-BCN-style day, a scheduling round every 10 minutes. Three arms,
+//! exactly the paper's §V-B:
+//!
+//! * **BF** — Best-Fit sizing VMs by the last-10-minute monitoring
+//!   window, optimizing "just power and latency";
+//! * **BF-OB** — the same with 2× resource overbooking;
+//! * **BF-ML** — Best-Fit driven by the Table-I predictors.
+//!
+//! Expected shape: BF-ML (de)consolidates with the load and keeps SLA
+//! high at peaks; plain BF uses fewer PMs but bleeds SLA under load;
+//! BF-OB protects SLA at systematically higher power. A fourth
+//! ground-truth arm (**BF-True**) bounds what any predictor could do.
+
+use crate::policy::BestFitPolicy;
+use crate::report::TextTable;
+use crate::scenario::ScenarioBuilder;
+use crate::simulation::{RunOutcome, SimulationRunner};
+use crate::training::TrainingOutcome;
+use pamdc_sched::oracle::{MlOracle, MonitorOracle, TrueOracle};
+use pamdc_simcore::time::SimDuration;
+use std::sync::Arc;
+
+/// Configuration of the Figure-4 reproduction.
+#[derive(Clone, Debug)]
+pub struct Fig4Config {
+    /// Simulated hours (paper: 24).
+    pub hours: u64,
+    /// VM count (paper: 5).
+    pub vms: usize,
+    /// Load multiplier.
+    pub load_scale: f64,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Include the BF-True upper-bound arm.
+    pub include_true_arm: bool,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config { hours: 24, vms: 5, load_scale: 1.0, seed: 4, include_true_arm: true }
+    }
+}
+
+impl Fig4Config {
+    /// Short run for tests.
+    pub fn quick(seed: u64) -> Self {
+        Fig4Config { hours: 14, vms: 5, load_scale: 1.0, seed, include_true_arm: false }
+    }
+}
+
+/// All arms' outcomes.
+pub struct Fig4Result {
+    /// One outcome per arm, in `[BF, BF-OB, BF-ML, (BF-True)]` order.
+    pub outcomes: Vec<RunOutcome>,
+}
+
+/// Runs every arm (in parallel — the runs are independent).
+pub fn run(cfg: &Fig4Config, training: &TrainingOutcome) -> Fig4Result {
+    let suite = training.suite.clone();
+    let duration = SimDuration::from_hours(cfg.hours);
+    let scenario = || {
+        ScenarioBuilder::paper_intra_dc()
+            .vms(cfg.vms)
+            .load_scale(cfg.load_scale)
+            .seed(cfg.seed)
+            .build()
+    };
+
+    enum Arm {
+        Bf,
+        BfOb,
+        BfMl(Arc<pamdc_ml::predictors::PredictorSuite>),
+        BfTrue,
+    }
+    let mut arms = vec![Arm::Bf, Arm::BfOb, Arm::BfMl(suite)];
+    if cfg.include_true_arm {
+        arms.push(Arm::BfTrue);
+    }
+
+    let outcomes: Vec<RunOutcome> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = arms
+            .into_iter()
+            .map(|arm| {
+                let scenario = scenario();
+                scope.spawn(move |_| {
+                    let policy: Box<dyn crate::policy::PlacementPolicy> = match arm {
+                        Arm::Bf => Box::new(BestFitPolicy::new(MonitorOracle::plain())),
+                        Arm::BfOb => {
+                            Box::new(BestFitPolicy::new(MonitorOracle::overbooked()))
+                        }
+                        Arm::BfMl(suite) => {
+                            Box::new(BestFitPolicy::new(MlOracle::new(suite)))
+                        }
+                        Arm::BfTrue => Box::new(BestFitPolicy::new(TrueOracle::new())),
+                    };
+                    SimulationRunner::new(scenario, policy).run(duration).0
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("arm thread")).collect()
+    })
+    .expect("crossbeam scope");
+
+    Fig4Result { outcomes }
+}
+
+/// Summary table matching the figure's aggregate panels.
+pub fn render(result: &Fig4Result) -> String {
+    let mut t = TextTable::new(&[
+        "policy",
+        "mean SLA",
+        "avg W",
+        "avg PMs on",
+        "migrations",
+        "dropped req",
+        "€/h",
+    ]);
+    for o in &result.outcomes {
+        t.row(vec![
+            o.policy_name.clone(),
+            format!("{:.4}", o.mean_sla),
+            format!("{:.1}", o.avg_watts),
+            format!("{:.2}", o.avg_active_pms),
+            o.migrations.to_string(),
+            format!("{:.0}", o.dropped_requests),
+            format!("{:.4}", o.eur_per_hour()),
+        ]);
+    }
+    format!("Figure 4 — intra-DC scheduling comparatives\n{}", t.render())
+}

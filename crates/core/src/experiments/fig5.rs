@@ -1,0 +1,79 @@
+//! E-F5 — the paper's **Figure 5**: a VM following its load around the
+//! planet.
+//!
+//! Sanity check: with the profit function reduced to client proximity
+//! (no energy, no SLA beyond latency), a single VM with equal region
+//! weights and noon-peaked regional profiles should migrate through the
+//! DCs tracking the globally dominant load source — BRS → BNG → BCN →
+//! BST over a simulated day.
+
+use crate::policy::FollowLoadPolicy;
+use crate::report::TextTable;
+use crate::scenario::ScenarioBuilder;
+use crate::simulation::{RunOutcome, SimulationRunner};
+use pamdc_sched::oracle::TrueOracle;
+use pamdc_simcore::time::{SimDuration, SimTime};
+
+/// Configuration of the Figure-5 reproduction.
+#[derive(Clone, Debug)]
+pub struct Fig5Config {
+    /// Simulated hours (≥ 24 to see a full rotation).
+    pub hours: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Fig5Config { hours: 48, seed: 5 }
+    }
+}
+
+/// The run outcome plus the extracted placement trace.
+pub struct Fig5Result {
+    /// Full run metrics/series.
+    pub outcome: RunOutcome,
+    /// `(time, dc_index)` change points of the VM's home DC.
+    pub placement_changes: Vec<(SimTime, usize)>,
+    /// Distinct DCs visited.
+    pub dcs_visited: usize,
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Fig5Config) -> Fig5Result {
+    let scenario = ScenarioBuilder::follow_the_sun().seed(cfg.seed).build();
+    let policy = Box::new(FollowLoadPolicy(TrueOracle::new()));
+    let (outcome, _) =
+        SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(cfg.hours));
+
+    let mut placement_changes = Vec::new();
+    if let Some(trace) = outcome.series.get("vm0_dc") {
+        let mut last: Option<usize> = None;
+        for (t, v) in trace.iter() {
+            let dc = v as usize;
+            if last != Some(dc) {
+                placement_changes.push((t, dc));
+                last = Some(dc);
+            }
+        }
+    }
+    let mut visited: Vec<usize> = placement_changes.iter().map(|&(_, d)| d).collect();
+    visited.sort_unstable();
+    visited.dedup();
+    Fig5Result { outcome, dcs_visited: visited.len(), placement_changes }
+}
+
+/// Renders the movement log.
+pub fn render(result: &Fig5Result) -> String {
+    let mut t = TextTable::new(&["sim time", "moved to DC"]);
+    let dc_names = ["BRS", "BNG", "BCN", "BST"];
+    for &(time, dc) in &result.placement_changes {
+        t.row(vec![format!("{time}"), dc_names.get(dc).unwrap_or(&"?").to_string()]);
+    }
+    format!(
+        "Figure 5 — VM placement following the load ({} DCs visited, {} migrations)\n{}",
+        result.dcs_visited,
+        result.outcome.migrations,
+        t.render()
+    )
+}

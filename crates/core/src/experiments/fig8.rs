@@ -1,0 +1,139 @@
+//! E-F8 — the paper's **Figure 8**: the SLA vs energy vs load
+//! characteristic surface.
+//!
+//! "Given the amount of load, as we want to improve the SLA fulfillment
+//! we are forced to consume more energy." The surface is traced by
+//! sweeping the global load scale and, per load level, varying how much
+//! energy the system may spend (here: how many hosts per DC it may
+//! power), then measuring the achieved SLA. Sweep points run in
+//! parallel — one crossbeam worker per point, each with its own derived
+//! seed, so the sweep is deterministic regardless of thread interleaving.
+
+use crate::policy::HierarchicalPolicy;
+use crate::report::TextTable;
+use crate::scenario::ScenarioBuilder;
+use crate::simulation::SimulationRunner;
+use pamdc_sched::oracle::TrueOracle;
+use pamdc_simcore::time::SimDuration;
+
+/// Configuration of the Figure-8 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig8Config {
+    /// Load multipliers to sweep.
+    pub load_scales: Vec<f64>,
+    /// Hosts-per-DC levels to sweep (the energy budget axis).
+    pub pms_per_dc: Vec<usize>,
+    /// Hours per point.
+    pub hours: u64,
+    /// VMs.
+    pub vms: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig8Config {
+    fn default() -> Self {
+        Fig8Config {
+            load_scales: vec![0.5, 1.0, 1.5, 2.0],
+            pms_per_dc: vec![1, 2, 3],
+            hours: 6,
+            vms: 5,
+            seed: 9,
+        }
+    }
+}
+
+impl Fig8Config {
+    /// Tiny sweep for tests.
+    pub fn quick(seed: u64) -> Self {
+        Fig8Config {
+            load_scales: vec![0.6, 1.8],
+            pms_per_dc: vec![1, 2],
+            hours: 2,
+            vms: 4,
+            seed,
+        }
+    }
+}
+
+/// One point of the surface.
+#[derive(Clone, Copy, Debug)]
+pub struct SurfacePoint {
+    /// Load multiplier.
+    pub load_scale: f64,
+    /// Hosts per DC allowed.
+    pub pms_per_dc: usize,
+    /// Measured mean request rate, req/s.
+    pub mean_rps: f64,
+    /// Measured mean facility draw, W.
+    pub avg_watts: f64,
+    /// Measured mean SLA.
+    pub mean_sla: f64,
+}
+
+/// The full surface.
+pub struct Fig8Result {
+    /// All sweep points, load-major order.
+    pub points: Vec<SurfacePoint>,
+}
+
+/// Runs the sweep in parallel.
+pub fn run(cfg: &Fig8Config) -> Fig8Result {
+    let mut combos: Vec<(f64, usize)> = Vec::new();
+    for &ls in &cfg.load_scales {
+        for &pms in &cfg.pms_per_dc {
+            combos.push((ls, pms));
+        }
+    }
+    let hours = cfg.hours;
+    let vms = cfg.vms;
+    let seed = cfg.seed;
+
+    let points: Vec<SurfacePoint> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = combos
+            .iter()
+            .map(|&(load_scale, pms_per_dc)| {
+                scope.spawn(move |_| {
+                    let scenario = ScenarioBuilder::paper_multi_dc()
+                        .vms(vms)
+                        .pms_per_dc(pms_per_dc)
+                        .load_scale(load_scale)
+                        .seed(seed)
+                        .build();
+                    let policy = Box::new(HierarchicalPolicy::new(TrueOracle::new()));
+                    let (o, _) = SimulationRunner::new(scenario, policy)
+                        .run(SimDuration::from_hours(hours));
+                    let mean_rps =
+                        o.series.get("rps").map(|s| s.mean()).unwrap_or(0.0);
+                    SurfacePoint {
+                        load_scale,
+                        pms_per_dc,
+                        mean_rps,
+                        avg_watts: o.avg_watts,
+                        mean_sla: o.mean_sla,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep point")).collect()
+    })
+    .expect("crossbeam scope");
+
+    Fig8Result { points }
+}
+
+/// Renders the surface as rows (plot-ready CSV via
+/// [`crate::report::TextTable::to_csv`]).
+pub fn render(result: &Fig8Result) -> String {
+    let mut t = TextTable::new(&["load scale", "PMs/DC", "mean rps", "avg W", "mean SLA"]);
+    for p in &result.points {
+        t.row(vec![
+            format!("{:.2}", p.load_scale),
+            p.pms_per_dc.to_string(),
+            format!("{:.1}", p.mean_rps),
+            format!("{:.1}", p.avg_watts),
+            format!("{:.4}", p.mean_sla),
+        ]);
+    }
+    format!("Figure 8 — SLA vs energy vs load surface\n{}", t.render())
+}

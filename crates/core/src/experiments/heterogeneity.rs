@@ -1,0 +1,220 @@
+//! E-HET — **price-heterogeneity sweep**, quantifying the paper's §V-C
+//! prediction: *"As energy costs rise and markets become more
+//! heterogeneous and competitive, one should anticipate larger
+//! variations of energy prices across the world, and the benefit of
+//! inter-DC optimization priming energy consumption should be more
+//! obvious."*
+//!
+//! The sweep scales each DC's deviation from the mean Table II tariff by
+//! a factor `k` (k = 1 is the paper's world; k = 8 a fiercely
+//! heterogeneous market; prices are floored at 0.01 €/kWh) and runs the
+//! static-global vs dynamic comparison of Figure 7 / Table III at every
+//! k with a latency-neutral workload. The reported benefit is the energy
+//! spend the dynamic scheduler avoids — expected to grow monotonically
+//! (modulo plateauing once the fleet is fully consolidated in the
+//! cheapest DC).
+
+use crate::energy::EnergyEnvironment;
+use crate::policy::{HierarchicalPolicy, PlacementPolicy, StaticPolicy};
+use crate::report::TextTable;
+use crate::scenario::ScenarioBuilder;
+use crate::simulation::{RunConfig, RunOutcome, SimulationRunner};
+use pamdc_econ::prices::paper_prices;
+use pamdc_green::tariff::Tariff;
+use pamdc_sched::oracle::TrueOracle;
+use pamdc_simcore::time::SimDuration;
+
+/// Configuration of the heterogeneity sweep.
+#[derive(Clone, Debug)]
+pub struct HeterogeneityConfig {
+    /// Spread multipliers to test.
+    pub spreads: Vec<f64>,
+    /// Simulated hours per cell.
+    pub hours: u64,
+    /// VMs.
+    pub vms: usize,
+    /// Hosts per DC.
+    pub pms_per_dc: usize,
+    /// Load multiplier.
+    pub load_scale: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for HeterogeneityConfig {
+    fn default() -> Self {
+        HeterogeneityConfig {
+            spreads: vec![1.0, 2.0, 4.0, 8.0],
+            hours: 12,
+            vms: 4,
+            pms_per_dc: 2,
+            load_scale: 0.7,
+            seed: 29,
+        }
+    }
+}
+
+impl HeterogeneityConfig {
+    /// Two-cell sweep for tests.
+    pub fn quick(seed: u64) -> Self {
+        HeterogeneityConfig {
+            spreads: vec![1.0, 6.0],
+            hours: 8,
+            vms: 3,
+            ..HeterogeneityConfig { seed, ..Default::default() }
+        }
+    }
+}
+
+/// One sweep cell: both arms at one spread factor.
+pub struct HeterogeneityCell {
+    /// The spread multiplier.
+    pub spread: f64,
+    /// Static-global arm.
+    pub static_global: RunOutcome,
+    /// Dynamic arm.
+    pub dynamic: RunOutcome,
+}
+
+impl HeterogeneityCell {
+    /// Energy euros the dynamic arm avoids, as a fraction of static.
+    pub fn energy_cost_saving_frac(&self) -> f64 {
+        let s = self.static_global.profit.energy_eur;
+        if s <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.dynamic.profit.energy_eur / s
+        }
+    }
+
+    /// Net profit gain of dynamic over static, €/h.
+    pub fn profit_gain_eur_h(&self) -> f64 {
+        self.dynamic.eur_per_hour() - self.static_global.eur_per_hour()
+    }
+}
+
+/// Stretches the Table II tariffs around their mean by `spread`.
+fn stretched_prices(spread: f64) -> [f64; 4] {
+    let base = paper_prices();
+    let mean = base.iter().map(|p| p.eur_per_kwh).sum::<f64>() / 4.0;
+    let mut out = [0.0; 4];
+    for (i, p) in base.iter().enumerate() {
+        out[i] = (mean + (p.eur_per_kwh - mean) * spread).max(0.01);
+    }
+    out
+}
+
+/// Runs the sweep (cells in parallel, arms in parallel within a cell).
+pub fn run(cfg: &HeterogeneityConfig) -> Vec<HeterogeneityCell> {
+    let duration = SimDuration::from_hours(cfg.hours);
+    let run_cell = |spread: f64| {
+        let build = || {
+            let mut scenario = ScenarioBuilder::paper_multi_dc()
+                .vms(cfg.vms)
+                .pms_per_dc(cfg.pms_per_dc)
+                .load_scale(cfg.load_scale)
+                .seed(cfg.seed)
+                .name(format!("heterogeneity-x{spread}"))
+                .build();
+            scenario.workload = pamdc_workload::libcn::uniform_multi_dc(
+                cfg.vms,
+                170.0 * cfg.load_scale,
+                cfg.seed,
+            );
+            let prices = stretched_prices(spread);
+            let mut env = EnergyEnvironment::paper_default(&scenario.cluster);
+            for (dc, &price) in prices.iter().enumerate() {
+                env = env.with_tariff(dc, Tariff::Flat(price));
+            }
+            scenario.energy = env;
+            scenario
+        };
+        let run_cfg =
+            RunConfig { plan_horizon_ticks: Some(60), ..RunConfig::default() };
+        let arm = |policy: Box<dyn PlacementPolicy>| {
+            SimulationRunner::new(build(), policy).config(run_cfg.clone()).run(duration).0
+        };
+        let (static_global, dynamic) = crossbeam::thread::scope(|scope| {
+            let s = scope.spawn(|_| arm(Box::new(StaticPolicy(TrueOracle::new()))));
+            let d = scope.spawn(|_| arm(Box::new(HierarchicalPolicy::new(TrueOracle::new()))));
+            (s.join().expect("static arm"), d.join().expect("dynamic arm"))
+        })
+        .expect("crossbeam scope");
+        HeterogeneityCell { spread, static_global, dynamic }
+    };
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> =
+            cfg.spreads.iter().map(|&k| scope.spawn(move |_| run_cell(k))).collect();
+        handles.into_iter().map(|h| h.join().expect("cell")).collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// Renders the sweep table.
+pub fn render(cells: &[HeterogeneityCell]) -> String {
+    let mut t = TextTable::new(&[
+        "spread",
+        "static energy €",
+        "dynamic energy €",
+        "saving %",
+        "profit gain €/h",
+        "dyn SLA",
+        "stat SLA",
+    ]);
+    for c in cells {
+        t.row(vec![
+            format!("x{:.0}", c.spread),
+            format!("{:.4}", c.static_global.profit.energy_eur),
+            format!("{:.4}", c.dynamic.profit.energy_eur),
+            format!("{:.1}", 100.0 * c.energy_cost_saving_frac()),
+            format!("{:+.4}", c.profit_gain_eur_h()),
+            format!("{:.4}", c.dynamic.mean_sla),
+            format!("{:.4}", c.static_global.mean_sla),
+        ]);
+    }
+    format!(
+        "Price-heterogeneity sweep (§V-C prediction: dynamic benefit grows with spread)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stretch_preserves_mean_and_floors() {
+        let k1 = stretched_prices(1.0);
+        let base = paper_prices();
+        for (i, p) in base.iter().enumerate() {
+            assert!((k1[i] - p.eur_per_kwh).abs() < 1e-12, "k=1 is the paper");
+        }
+        let k8 = stretched_prices(8.0);
+        let mean1: f64 = k1.iter().sum::<f64>() / 4.0;
+        // Boston (cheapest) spreads downward, Barcelona upward.
+        assert!(k8[3] < k1[3] && k8[2] > k1[2]);
+        // Floor holds even at extreme spreads.
+        assert!(stretched_prices(100.0).iter().all(|&p| p >= 0.01));
+        let _ = mean1;
+    }
+
+    #[test]
+    fn benefit_grows_with_heterogeneity() {
+        let cells = run(&HeterogeneityConfig::quick(5));
+        assert_eq!(cells.len(), 2);
+        let low = &cells[0];
+        let high = &cells[1];
+        assert!(
+            high.energy_cost_saving_frac() > low.energy_cost_saving_frac(),
+            "saving at x{} ({:.3}) must exceed saving at x{} ({:.3})",
+            high.spread,
+            high.energy_cost_saving_frac(),
+            low.spread,
+            low.energy_cost_saving_frac()
+        );
+        // SLA must not be sacrificed for it.
+        assert!(high.dynamic.mean_sla > high.static_global.mean_sla - 0.05);
+        let rendered = render(&cells);
+        assert!(rendered.contains("spread"));
+    }
+}

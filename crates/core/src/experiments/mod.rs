@@ -1,0 +1,19 @@
+//! Experiment drivers: one module per table/figure of the paper's
+//! evaluation — plus one per future-work extension — each returning a
+//! structured result that the benches and examples render.
+
+pub mod ablations;
+pub mod deloc;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7_table3;
+pub mod fig8;
+pub mod green;
+pub mod heterogeneity;
+pub mod online_drift;
+pub mod price_adaptation;
+pub mod scaling;
+pub mod solver_scaling;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,117 @@
+//! E-SC — §IV-C's motivation for the heuristic: exact solving blows up.
+//!
+//! The paper reports GUROBI needing "several minutes to schedule 10 jobs
+//! among 40 candidate hosts" while Best-Fit answers instantly. This
+//! driver measures both solvers over growing instances — wall time and,
+//! for the exact solver, search nodes — reproducing the scaling gap that
+//! justifies Algorithm 1.
+
+use crate::report::TextTable;
+use pamdc_sched::bestfit::best_fit;
+use pamdc_sched::exact::branch_and_bound;
+use pamdc_sched::oracle::TrueOracle;
+use pamdc_sched::problem::synthetic;
+use std::time::Instant;
+
+/// One measured instance size.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// VMs in the instance.
+    pub vms: usize,
+    /// Candidate hosts.
+    pub hosts: usize,
+    /// Best-Fit wall time, microseconds.
+    pub bestfit_us: f64,
+    /// Exact solver wall time, microseconds (`None` when skipped).
+    pub exact_us: Option<f64>,
+    /// Exact solver nodes expanded.
+    pub exact_nodes: Option<u64>,
+    /// Profit gap: `(exact - heuristic) / |exact|`, when both ran.
+    pub profit_gap: Option<f64>,
+}
+
+/// Configuration of the scaling study.
+#[derive(Clone, Debug)]
+pub struct ScalingConfig {
+    /// `(vms, hosts)` instance sizes, ascending.
+    pub sizes: Vec<(usize, usize)>,
+    /// Skip the exact solver above this VM count (it explodes —
+    /// that is the point, but benches must terminate).
+    pub exact_vm_cap: usize,
+    /// Per-VM request rate of the synthetic instances.
+    pub rps: f64,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            sizes: vec![(2, 4), (4, 8), (6, 12), (8, 24), (10, 40)],
+            exact_vm_cap: 8,
+            rps: 250.0,
+        }
+    }
+}
+
+impl ScalingConfig {
+    /// Tiny study for tests.
+    pub fn quick() -> Self {
+        ScalingConfig { sizes: vec![(2, 4), (5, 6)], exact_vm_cap: 5, rps: 250.0 }
+    }
+}
+
+/// Runs the study.
+pub fn run(cfg: &ScalingConfig) -> Vec<ScalingPoint> {
+    let oracle = TrueOracle::new();
+    cfg.sizes
+        .iter()
+        .map(|&(vms, hosts)| {
+            let problem = synthetic::problem(vms, hosts, cfg.rps);
+
+            let t0 = Instant::now();
+            let heur = best_fit(&problem, &oracle);
+            let bestfit_us = t0.elapsed().as_secs_f64() * 1e6;
+            let heur_profit =
+                pamdc_sched::profit::evaluate_schedule(&problem, &oracle, &heur.schedule)
+                    .profit_eur;
+
+            let (exact_us, exact_nodes, profit_gap) = if vms <= cfg.exact_vm_cap {
+                let t0 = Instant::now();
+                let exact = branch_and_bound(&problem, &oracle);
+                let us = t0.elapsed().as_secs_f64() * 1e6;
+                let gap = if exact.eval.profit_eur.abs() > 1e-12 {
+                    (exact.eval.profit_eur - heur_profit) / exact.eval.profit_eur.abs()
+                } else {
+                    0.0
+                };
+                (Some(us), Some(exact.nodes_expanded), Some(gap))
+            } else {
+                (None, None, None)
+            };
+
+            ScalingPoint { vms, hosts, bestfit_us, exact_us, exact_nodes, profit_gap }
+        })
+        .collect()
+}
+
+/// Renders the study.
+pub fn render(points: &[ScalingPoint]) -> String {
+    let mut t = TextTable::new(&[
+        "VMs",
+        "hosts",
+        "best-fit µs",
+        "exact µs",
+        "exact nodes",
+        "profit gap",
+    ]);
+    for p in points {
+        t.row(vec![
+            p.vms.to_string(),
+            p.hosts.to_string(),
+            format!("{:.0}", p.bestfit_us),
+            p.exact_us.map(|v| format!("{v:.0}")).unwrap_or_else(|| "(skipped)".into()),
+            p.exact_nodes.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            p.profit_gap.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    format!("Solver scaling — exact B&B vs Descending Best-Fit\n{}", t.render())
+}

@@ -1,0 +1,397 @@
+//! Scenario construction: the experimental setups of the paper, built
+//! from the infra + workload substrates.
+//!
+//! * `paper_intra_dc` — §V-B: one DC (Barcelona), 4 Atom PMs, N VMs,
+//!   locally-sourced Li-BCN-style load (Figure 4).
+//! * `paper_multi_dc` — §V-C: four DCs (Brisbane/Bangalore/Barcelona/
+//!   Boston) with Table-II prices and latencies, one PM each by default
+//!   ("we set one PM to represent a DC"), worldwide load with timezone
+//!   phase shifts (Figures 6, 7, Table III).
+//! * `follow_the_sun` — the Figure 5 sanity check: one VM, equal region
+//!   weights, noon-peaked profiles.
+
+use crate::energy::EnergyEnvironment;
+use pamdc_econ::billing::BillingPolicy;
+use pamdc_econ::prices::paper_energy_price;
+use pamdc_infra::cluster::Cluster;
+use pamdc_infra::ids::{PmId, VmId};
+use pamdc_infra::monitor::MonitorConfig;
+use pamdc_infra::network::{City, NetworkModel};
+use pamdc_infra::pm::MachineSpec;
+use pamdc_infra::vm::VmSpec;
+use pamdc_perf::demand::VmPerfProfile;
+use pamdc_perf::rt::RtModelConfig;
+use pamdc_simcore::time::{SimDuration, SimTime};
+use pamdc_workload::generator::Workload;
+use pamdc_workload::libcn;
+use pamdc_workload::service::ServiceClass;
+
+/// A fully built experimental world, ready for a
+/// [`crate::simulation::SimulationRunner`].
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable label.
+    pub name: String,
+    /// The infrastructure (DCs, PMs, VMs, network), with VMs deployed.
+    pub cluster: Cluster,
+    /// The demand generator (service index i drives VM i).
+    pub workload: Workload,
+    /// Per-VM performance constants (indexing matches VM ids).
+    pub perf_profiles: Vec<VmPerfProfile>,
+    /// Monitor distortion.
+    pub monitor: MonitorConfig,
+    /// Ground-truth RT model tunables.
+    pub rt_cfg: RtModelConfig,
+    /// Pricing.
+    pub billing: BillingPolicy,
+    /// Per-DC energy supply (tariffs, renewables, carbon). Defaults to
+    /// the paper's flat Table II regime; experiments overwrite it after
+    /// `build()` (it needs the built cluster's shape).
+    pub energy: EnergyEnvironment,
+    /// Scheduled host crashes (failure injection); empty by default.
+    pub faults: Vec<pamdc_infra::pm::FaultEvent>,
+    /// Scheduled performance-profile swaps ("software updates"): at the
+    /// given instant the VM's ground-truth perf constants change, so
+    /// models trained before the change go stale — the paper's on-line
+    /// learning future-work case. Empty by default.
+    pub profile_changes: Vec<ProfileChange>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// One scheduled ground-truth performance change.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfileChange {
+    /// When the update lands.
+    pub at: SimTime,
+    /// Which VM it affects.
+    pub vm: usize,
+    /// The new performance constants.
+    pub profile: VmPerfProfile,
+}
+
+/// Which of the paper's topologies to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Topology {
+    /// One DC (Barcelona) with `pms` hosts.
+    IntraDc,
+    /// Four DCs with `pms` hosts each.
+    MultiDc,
+}
+
+/// Which workload preset to attach.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum WorkloadKind {
+    IntraDc,
+    MultiDc,
+    FollowTheSun,
+}
+
+/// Fluent scenario builder.
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    name: String,
+    topology: Topology,
+    workload_kind: WorkloadKind,
+    vms: usize,
+    pms_per_dc: usize,
+    peak_rps: f64,
+    load_scale: f64,
+    flash_crowd_multiplier: Option<f64>,
+    monitor: MonitorConfig,
+    rt_cfg: RtModelConfig,
+    billing: BillingPolicy,
+    faults: Vec<pamdc_infra::pm::FaultEvent>,
+    profile_changes: Vec<ProfileChange>,
+    seed: u64,
+    deploy_all_in: Option<usize>,
+}
+
+impl ScenarioBuilder {
+    /// §V-B setup: 1 DC, 4 PMs, local clients (Figure 4 / Table I).
+    pub fn paper_intra_dc() -> Self {
+        ScenarioBuilder {
+            name: "intra-dc".into(),
+            topology: Topology::IntraDc,
+            workload_kind: WorkloadKind::IntraDc,
+            vms: 5,
+            pms_per_dc: 4,
+            peak_rps: 240.0,
+            load_scale: 1.0,
+            flash_crowd_multiplier: None,
+            monitor: MonitorConfig::default(),
+            rt_cfg: RtModelConfig::default(),
+            billing: BillingPolicy::default(),
+            faults: Vec::new(),
+            profile_changes: Vec::new(),
+            seed: 1,
+            deploy_all_in: None,
+        }
+    }
+
+    /// §V-C setup: 4 DCs × 1 PM, worldwide clients (Figures 6/7,
+    /// Table III).
+    pub fn paper_multi_dc() -> Self {
+        ScenarioBuilder {
+            name: "multi-dc".into(),
+            topology: Topology::MultiDc,
+            workload_kind: WorkloadKind::MultiDc,
+            vms: 5,
+            pms_per_dc: 1,
+            peak_rps: 170.0,
+            load_scale: 1.0,
+            flash_crowd_multiplier: None,
+            monitor: MonitorConfig::default(),
+            rt_cfg: RtModelConfig::default(),
+            billing: BillingPolicy::default(),
+            faults: Vec::new(),
+            profile_changes: Vec::new(),
+            seed: 1,
+            deploy_all_in: None,
+        }
+    }
+
+    /// The Figure 5 sanity check: one VM chasing the sun.
+    pub fn follow_the_sun() -> Self {
+        ScenarioBuilder {
+            vms: 1,
+            workload_kind: WorkloadKind::FollowTheSun,
+            name: "follow-the-sun".into(),
+            ..Self::paper_multi_dc()
+        }
+    }
+
+    /// Number of VMs (= hosted web-services).
+    pub fn vms(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.vms = n;
+        self
+    }
+
+    /// Hosts per datacenter.
+    pub fn pms_per_dc(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.pms_per_dc = n;
+        self
+    }
+
+    /// Nominal peak request rate per service.
+    pub fn peak_rps(mut self, rps: f64) -> Self {
+        self.peak_rps = rps;
+        self
+    }
+
+    /// Global load multiplier (the Figure 8 sweep axis).
+    pub fn load_scale(mut self, k: f64) -> Self {
+        self.load_scale = k.max(0.0);
+        self
+    }
+
+    /// Adds the paper's minute-70–90 flash crowd.
+    pub fn flash_crowd(mut self, multiplier: f64) -> Self {
+        self.flash_crowd_multiplier = Some(multiplier);
+        self
+    }
+
+    /// Overrides monitor distortion.
+    pub fn monitor(mut self, cfg: MonitorConfig) -> Self {
+        self.monitor = cfg;
+        self
+    }
+
+    /// Overrides the ground-truth RT model config.
+    pub fn rt_config(mut self, cfg: RtModelConfig) -> Self {
+        self.rt_cfg = cfg;
+        self
+    }
+
+    /// Overrides billing.
+    pub fn billing(mut self, billing: BillingPolicy) -> Self {
+        self.billing = billing;
+        self
+    }
+
+    /// Initially deploys every VM into the given DC index (the
+    /// de-location experiment starts with one overloaded home DC).
+    pub fn deploy_all_in(mut self, dc_idx: usize) -> Self {
+        self.deploy_all_in = Some(dc_idx);
+        self
+    }
+
+    /// Schedules a host crash: PM index `pm_idx` fails at `at` and is
+    /// repaired after `repair_after` (then reboots automatically).
+    pub fn fault(mut self, pm_idx: usize, at: SimTime, repair_after: SimDuration) -> Self {
+        self.faults.push(pamdc_infra::pm::FaultEvent {
+            pm: PmId::from_index(pm_idx),
+            at,
+            repair_after,
+        });
+        self
+    }
+
+    /// Schedules a ground-truth performance change ("software update")
+    /// for VM `vm` at `at`.
+    pub fn profile_change(mut self, vm: usize, at: SimTime, profile: VmPerfProfile) -> Self {
+        self.profile_changes.push(ProfileChange { at, vm, profile });
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Renames the scenario.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builds the world: cluster constructed, VMs deployed to their home
+    /// DCs, workload attached.
+    pub fn build(self) -> Scenario {
+        let mut cluster = Cluster::new(NetworkModel::paper());
+        let cities: &[City] = match self.topology {
+            Topology::IntraDc => &[City::Barcelona],
+            Topology::MultiDc => &City::ALL,
+        };
+        for city in cities {
+            let dc = cluster.add_datacenter(city.code(), city.location(), paper_energy_price(*city));
+            for _ in 0..self.pms_per_dc {
+                cluster.add_pm(dc, MachineSpec::atom());
+            }
+        }
+
+        // VMs: home region rotates (i % regions); deploy onto the home
+        // DC's least-loaded PM (round-robin within the DC).
+        let n_dcs = cluster.dc_count();
+        for i in 0..self.vms {
+            let home_city = match self.topology {
+                Topology::IntraDc => City::Barcelona,
+                Topology::MultiDc => City::ALL[i % 4],
+            };
+            let vm = cluster.add_vm(VmSpec::web_service(), home_city.location());
+            let dc = &cluster.dcs()[i % n_dcs.min(cities.len())];
+            // In intra-DC there is one DC; in multi-DC home DC = i % 4.
+            let dc_idx = self.deploy_all_in.unwrap_or(match self.topology {
+                Topology::IntraDc => 0,
+                Topology::MultiDc => i % 4,
+            });
+            let _ = dc;
+            let pms = cluster.dcs()[dc_idx].pms().to_vec();
+            let pm: PmId = pms[(i / n_dcs.max(1)) % pms.len()];
+            cluster.deploy(vm, pm, SimTime::ZERO);
+        }
+        // Let boots complete before the run starts.
+        cluster.tick(SimTime::from_mins(3));
+
+        let scaled = self.peak_rps * self.load_scale;
+        let mut workload = match self.workload_kind {
+            WorkloadKind::IntraDc => libcn::intra_dc(self.vms, scaled, self.seed),
+            WorkloadKind::MultiDc => libcn::multi_dc(self.vms, scaled, self.seed),
+            WorkloadKind::FollowTheSun => libcn::follow_the_sun(scaled, self.seed),
+        };
+        if let Some(mult) = self.flash_crowd_multiplier {
+            workload =
+                workload.with_flash_crowd(pamdc_workload::flashcrowd::FlashCrowd::paper_fig6(mult));
+        }
+
+        let perf_profiles = (0..self.vms)
+            .map(|i| {
+                let class = workload
+                    .services
+                    .get(i)
+                    .map(|s| s.class)
+                    .unwrap_or(ServiceClass::Blog);
+                VmPerfProfile {
+                    base_mem_mb: cluster.vm(VmId::from_index(i)).spec.base_mem_mb,
+                    mem_mb_per_inflight: class.mem_mb_per_inflight(),
+                    io_wait_factor: 0.6,
+                    idle_cpu_pct: 2.0,
+                }
+            })
+            .collect();
+
+        let energy = EnergyEnvironment::paper_default(&cluster);
+        let mut faults = self.faults;
+        faults.sort_by_key(|f| f.at);
+        let mut profile_changes = self.profile_changes;
+        profile_changes.sort_by_key(|c| c.at);
+        for c in &profile_changes {
+            assert!(c.vm < self.vms, "profile change targets VM {} of {}", c.vm, self.vms);
+        }
+        Scenario {
+            name: self.name,
+            cluster,
+            workload,
+            perf_profiles,
+            monitor: self.monitor,
+            rt_cfg: self.rt_cfg,
+            billing: self.billing,
+            energy,
+            faults,
+            profile_changes,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_dc_shape() {
+        let s = ScenarioBuilder::paper_intra_dc().vms(5).seed(3).build();
+        assert_eq!(s.cluster.dc_count(), 1);
+        assert_eq!(s.cluster.pm_count(), 4);
+        assert_eq!(s.cluster.vm_count(), 5);
+        assert_eq!(s.workload.service_count(), 5);
+        assert_eq!(s.perf_profiles.len(), 5);
+        // All VMs are placed.
+        for i in 0..5 {
+            assert!(s.cluster.placement(VmId::from_index(i)).is_some());
+        }
+        s.cluster.check_invariants();
+    }
+
+    #[test]
+    fn multi_dc_spreads_homes() {
+        let s = ScenarioBuilder::paper_multi_dc().vms(5).build();
+        assert_eq!(s.cluster.dc_count(), 4);
+        assert_eq!(s.cluster.pm_count(), 4);
+        // VM i lives in DC i%4 initially.
+        for i in 0..5 {
+            let pm = s.cluster.placement(VmId::from_index(i)).unwrap();
+            assert_eq!(s.cluster.dc_of_pm(pm).index(), i % 4);
+        }
+    }
+
+    #[test]
+    fn follow_the_sun_is_single_vm() {
+        let s = ScenarioBuilder::follow_the_sun().build();
+        assert_eq!(s.cluster.vm_count(), 1);
+        assert_eq!(s.workload.service_count(), 1);
+    }
+
+    #[test]
+    fn builder_knobs_apply() {
+        let s = ScenarioBuilder::paper_multi_dc()
+            .vms(3)
+            .pms_per_dc(2)
+            .peak_rps(100.0)
+            .load_scale(2.0)
+            .flash_crowd(8.0)
+            .seed(99)
+            .name("custom")
+            .build();
+        assert_eq!(s.name, "custom");
+        assert_eq!(s.cluster.pm_count(), 8);
+        assert_eq!(s.workload.flash_crowds.len(), 1);
+        assert_eq!(s.seed, 99);
+        // Load scale doubles the nominal scale.
+        assert!((s.workload.services[0].scale_rps - 200.0 * 0.8).abs() < 1e-6
+            || s.workload.services[0].scale_rps > 100.0);
+    }
+}

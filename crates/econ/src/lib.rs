@@ -1,0 +1,15 @@
+//! # pamdc-econ — prices, revenue and billing
+//!
+//! The business side of the paper's model: customers rent VMs "similar to
+//! Amazon EC2" at 0.17 €/VM-hour scaled by SLA fulfillment; the provider
+//! pays location-dependent electricity (Table II) and absorbs migration
+//! penalties (a migrating VM earns nothing — its SLA is 0 while frozen).
+
+pub mod billing;
+pub mod prices;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::billing::{BillingPolicy, ProfitLedger, ProfitSnapshot};
+    pub use crate::prices::{paper_energy_price, paper_prices, EnergyPrice, PAPER_VM_EUR_PER_HOUR};
+}

@@ -1,0 +1,58 @@
+//! The paper's Table II prices and the EC2-style VM rate.
+
+use pamdc_infra::network::City;
+
+/// Customer price per VM-hour at full SLA (the paper: "0.17 euro per
+/// VMh", modelled on Amazon EC2 of the era).
+pub const PAPER_VM_EUR_PER_HOUR: f64 = 0.17;
+
+/// One location's electricity tariff.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyPrice {
+    /// The city this tariff applies to.
+    pub city: City,
+    /// €/kWh (the paper's Table II column, which prints "Euro/Wh" but is
+    /// dimensionally €/kWh — 0.13 €/Wh would be 130 €/kWh).
+    pub eur_per_kwh: f64,
+}
+
+/// The paper's Table II energy prices for the four DCs.
+pub fn paper_prices() -> [EnergyPrice; 4] {
+    [
+        EnergyPrice { city: City::Brisbane, eur_per_kwh: 0.1314 },
+        EnergyPrice { city: City::Bangalore, eur_per_kwh: 0.1218 },
+        EnergyPrice { city: City::Barcelona, eur_per_kwh: 0.1513 },
+        EnergyPrice { city: City::Boston, eur_per_kwh: 0.1120 },
+    ]
+}
+
+/// Tariff for one city.
+pub fn paper_energy_price(city: City) -> f64 {
+    paper_prices()
+        .iter()
+        .find(|p| p.city == city)
+        .map(|p| p.eur_per_kwh)
+        .expect("all four cities are priced")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        assert_eq!(paper_energy_price(City::Brisbane), 0.1314);
+        assert_eq!(paper_energy_price(City::Bangalore), 0.1218);
+        assert_eq!(paper_energy_price(City::Barcelona), 0.1513);
+        assert_eq!(paper_energy_price(City::Boston), 0.1120);
+    }
+
+    #[test]
+    fn boston_is_cheapest_barcelona_dearest() {
+        let prices = paper_prices();
+        let min = prices.iter().min_by(|a, b| a.eur_per_kwh.total_cmp(&b.eur_per_kwh)).unwrap();
+        let max = prices.iter().max_by(|a, b| a.eur_per_kwh.total_cmp(&b.eur_per_kwh)).unwrap();
+        assert_eq!(min.city, City::Boston);
+        assert_eq!(max.city, City::Barcelona);
+    }
+}

@@ -1,0 +1,123 @@
+//! Carbon accounting: grid intensities per location and the run-level
+//! green/brown/CO₂ ledger.
+//!
+//! The paper motivates green energy "not only to reduce energy costs but
+//! also environmental impact of computation". Impact here is grams of
+//! CO₂-equivalent per kWh: grid (brown) energy carries the local grid's
+//! intensity, on-site renewable (green) energy carries a small lifecycle
+//! intensity (panel/turbine manufacturing amortized over output).
+
+use pamdc_infra::network::City;
+
+/// Lifecycle carbon intensity of on-site renewables, gCO₂e/kWh
+/// (IPCC-style median across PV and wind).
+pub const GREEN_LIFECYCLE_G_PER_KWH: f64 = 30.0;
+
+/// Approximate 2013-era grid carbon intensity for each paper city,
+/// gCO₂e/kWh. Queensland's grid was coal-heavy, India's similarly so,
+/// Spain had substantial hydro/wind/nuclear, and New England sat between.
+pub fn grid_carbon_g_per_kwh(city: City) -> f64 {
+    match city {
+        City::Brisbane => 850.0,
+        City::Bangalore => 720.0,
+        City::Barcelona => 270.0,
+        City::Boston => 390.0,
+    }
+}
+
+/// Run-level energy split and emissions.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Energy served by on-site renewables, watt-hours.
+    pub green_wh: f64,
+    /// Energy drawn from the grid, watt-hours.
+    pub brown_wh: f64,
+    /// Total emissions, grams CO₂e.
+    pub co2_g: f64,
+}
+
+impl EnergyBreakdown {
+    /// A zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Books one parcel of energy.
+    pub fn book(&mut self, green_wh: f64, brown_wh: f64, co2_g: f64) {
+        debug_assert!(green_wh >= 0.0 && brown_wh >= 0.0 && co2_g >= 0.0);
+        self.green_wh += green_wh;
+        self.brown_wh += brown_wh;
+        self.co2_g += co2_g;
+    }
+
+    /// Total energy, watt-hours.
+    pub fn total_wh(&self) -> f64 {
+        self.green_wh + self.brown_wh
+    }
+
+    /// Fraction of energy served green, in `[0, 1]` (zero for an empty
+    /// ledger).
+    pub fn green_fraction(&self) -> f64 {
+        let total = self.total_wh();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.green_wh / total
+        }
+    }
+
+    /// Emissions intensity of the run, gCO₂e/kWh (zero for an empty
+    /// ledger).
+    pub fn intensity_g_per_kwh(&self) -> f64 {
+        let total_kwh = self.total_wh() / 1000.0;
+        if total_kwh <= 0.0 {
+            0.0
+        } else {
+            self.co2_g / total_kwh
+        }
+    }
+
+    /// Merges another breakdown (parallel sub-runs).
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.green_wh += other.green_wh;
+        self.brown_wh += other.brown_wh;
+        self.co2_g += other.co2_g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensities_are_plausible() {
+        // Coal-heavy grids dirtier than renewable-heavy ones.
+        assert!(grid_carbon_g_per_kwh(City::Brisbane) > grid_carbon_g_per_kwh(City::Boston));
+        assert!(grid_carbon_g_per_kwh(City::Boston) > grid_carbon_g_per_kwh(City::Barcelona));
+        for c in City::ALL {
+            assert!(grid_carbon_g_per_kwh(c) > GREEN_LIFECYCLE_G_PER_KWH * 5.0);
+        }
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut b = EnergyBreakdown::new();
+        assert_eq!(b.green_fraction(), 0.0);
+        assert_eq!(b.intensity_g_per_kwh(), 0.0);
+        b.book(300.0, 700.0, 700.0 / 1000.0 * 400.0);
+        assert!((b.total_wh() - 1000.0).abs() < 1e-12);
+        assert!((b.green_fraction() - 0.3).abs() < 1e-12);
+        assert!((b.intensity_g_per_kwh() - 280.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = EnergyBreakdown::new();
+        a.book(100.0, 0.0, 3.0);
+        let mut b = EnergyBreakdown::new();
+        b.book(0.0, 100.0, 40.0);
+        a.merge(&b);
+        assert!((a.green_fraction() - 0.5).abs() < 1e-12);
+        assert!((a.co2_g - 43.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,239 @@
+//! Electricity tariffs as functions of simulated time.
+//!
+//! The paper prices energy with one fixed €/kWh per location (Table II)
+//! but anticipates that *"as energy costs rise and markets become more
+//! heterogeneous and competitive, one should anticipate larger variations
+//! of energy prices across the world"* (§V-C). [`Tariff`] models that
+//! spectrum: flat, time-of-use bands, step changes at known instants, and
+//! a seeded mean-reverting spot market on an hourly lattice.
+
+use pamdc_simcore::rng::RngStream;
+use pamdc_simcore::time::SimTime;
+
+/// A €/kWh price as a function of simulated time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tariff {
+    /// One fixed price forever — the paper's Table II regime.
+    Flat(f64),
+    /// Two-band time-of-use schedule in **local** time: `peak_eur` during
+    /// `[peak_start_h, peak_end_h)`, `offpeak_eur` otherwise.
+    TimeOfUse {
+        /// Price inside the peak band, €/kWh.
+        peak_eur: f64,
+        /// Price outside the peak band, €/kWh.
+        offpeak_eur: f64,
+        /// Local hour the peak band opens (0–24).
+        peak_start_h: f64,
+        /// Local hour the peak band closes (0–24, may be < start to wrap).
+        peak_end_h: f64,
+        /// UTC offset of the site, hours.
+        utc_offset_h: f64,
+    },
+    /// Piecewise-constant price with step changes at the given instants.
+    /// `steps` must be sorted by time; the price before the first step is
+    /// `initial_eur`. This is the §V-B "prices change while the system
+    /// runs" regime.
+    Step {
+        /// Price before the first step, €/kWh.
+        initial_eur: f64,
+        /// `(instant, new price)` change points, ascending by instant.
+        steps: Vec<(SimTime, f64)>,
+    },
+    /// Mean-reverting hourly spot market: an Ornstein–Uhlenbeck walk
+    /// around `mean_eur`, precomputed on an hourly lattice from a seed
+    /// (deterministic, repeats cyclically past the horizon).
+    Spot {
+        /// Long-run mean price, €/kWh.
+        mean_eur: f64,
+        /// Hourly lattice of prices, length ≥ 1.
+        lattice: Vec<f64>,
+    },
+}
+
+impl Tariff {
+    /// A seeded spot tariff: `days` of hourly prices mean-reverting to
+    /// `mean_eur` with per-hour volatility `sigma` (as a fraction of the
+    /// mean) and reversion rate `theta` per hour. Prices are floored at
+    /// 10% of the mean — spot markets spike but rarely go negative at
+    /// the scale a DC contract sees.
+    pub fn spot(mean_eur: f64, sigma: f64, theta: f64, days: u64, seed: u64) -> Self {
+        assert!(mean_eur > 0.0 && sigma >= 0.0 && (0.0..=1.0).contains(&theta));
+        assert!(days >= 1);
+        let mut rng = RngStream::root(seed).derive("spot-tariff");
+        let hours = (days * 24) as usize;
+        let mut lattice = Vec::with_capacity(hours);
+        let mut p = mean_eur;
+        for _ in 0..hours {
+            lattice.push(p);
+            let shock = rng.normal(0.0, sigma * mean_eur);
+            p += theta * (mean_eur - p) + shock;
+            p = p.max(0.1 * mean_eur);
+        }
+        Tariff::Spot { mean_eur, lattice }
+    }
+
+    /// The €/kWh in force at `at`.
+    pub fn price_eur_kwh(&self, at: SimTime) -> f64 {
+        match self {
+            Tariff::Flat(p) => *p,
+            Tariff::TimeOfUse { peak_eur, offpeak_eur, peak_start_h, peak_end_h, utc_offset_h } => {
+                let local = (at.hour_of_day() + utc_offset_h).rem_euclid(24.0);
+                let in_peak = if peak_start_h <= peak_end_h {
+                    (*peak_start_h..*peak_end_h).contains(&local)
+                } else {
+                    // Band wraps midnight.
+                    local >= *peak_start_h || local < *peak_end_h
+                };
+                if in_peak {
+                    *peak_eur
+                } else {
+                    *offpeak_eur
+                }
+            }
+            Tariff::Step { initial_eur, steps } => {
+                debug_assert!(steps.windows(2).all(|w| w[0].0 <= w[1].0), "steps must be sorted");
+                steps
+                    .iter()
+                    .rev()
+                    .find(|(t, _)| at >= *t)
+                    .map(|(_, p)| *p)
+                    .unwrap_or(*initial_eur)
+            }
+            Tariff::Spot { lattice, .. } => {
+                let hour = at.as_hours() as usize % lattice.len();
+                lattice[hour]
+            }
+        }
+    }
+
+    /// Time-average price over the lattice/schedule (flat price for
+    /// non-varying tariffs) — useful as the "posted price" a price-blind
+    /// scheduler would assume.
+    pub fn nominal_eur_kwh(&self) -> f64 {
+        match self {
+            Tariff::Flat(p) => *p,
+            Tariff::TimeOfUse { peak_eur, offpeak_eur, peak_start_h, peak_end_h, .. } => {
+                let span = if peak_start_h <= peak_end_h {
+                    peak_end_h - peak_start_h
+                } else {
+                    24.0 - peak_start_h + peak_end_h
+                };
+                (peak_eur * span + offpeak_eur * (24.0 - span)) / 24.0
+            }
+            Tariff::Step { initial_eur, .. } => *initial_eur,
+            Tariff::Spot { mean_eur, .. } => *mean_eur,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pamdc_simcore::time::SimDuration;
+
+    #[test]
+    fn flat_is_flat() {
+        let t = Tariff::Flat(0.1513);
+        assert_eq!(t.price_eur_kwh(SimTime::ZERO), 0.1513);
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(1000)), 0.1513);
+        assert_eq!(t.nominal_eur_kwh(), 0.1513);
+    }
+
+    #[test]
+    fn time_of_use_bands() {
+        let t = Tariff::TimeOfUse {
+            peak_eur: 0.30,
+            offpeak_eur: 0.10,
+            peak_start_h: 8.0,
+            peak_end_h: 20.0,
+            utc_offset_h: 0.0,
+        };
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(3)), 0.10);
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(12)), 0.30);
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(20)), 0.10, "end is exclusive");
+        // Average: 12 h peak, 12 h off-peak.
+        assert!((t.nominal_eur_kwh() - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_of_use_respects_utc_offset() {
+        let t = Tariff::TimeOfUse {
+            peak_eur: 0.30,
+            offpeak_eur: 0.10,
+            peak_start_h: 8.0,
+            peak_end_h: 20.0,
+            utc_offset_h: 10.0, // Brisbane
+        };
+        // 0:00 UTC = 10:00 local -> peak.
+        assert_eq!(t.price_eur_kwh(SimTime::ZERO), 0.30);
+        // 12:00 UTC = 22:00 local -> off-peak.
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(12)), 0.10);
+    }
+
+    #[test]
+    fn time_of_use_wrapping_band() {
+        let t = Tariff::TimeOfUse {
+            peak_eur: 0.30,
+            offpeak_eur: 0.10,
+            peak_start_h: 22.0,
+            peak_end_h: 6.0,
+            utc_offset_h: 0.0,
+        };
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(23)), 0.30);
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(2)), 0.30);
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(12)), 0.10);
+        let span = 24.0 - 22.0 + 6.0;
+        assert!((t.nominal_eur_kwh() - (0.30 * span + 0.10 * (24.0 - span)) / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_changes_apply_in_order() {
+        let t = Tariff::Step {
+            initial_eur: 0.112,
+            steps: vec![
+                (SimTime::from_hours(12), 0.448),
+                (SimTime::from_hours(24), 0.112),
+            ],
+        };
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(11)), 0.112);
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(12)), 0.448, "step instant inclusive");
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(18)), 0.448);
+        assert_eq!(t.price_eur_kwh(SimTime::from_hours(30)), 0.112);
+    }
+
+    #[test]
+    fn spot_is_deterministic_and_positive() {
+        let a = Tariff::spot(0.13, 0.08, 0.2, 7, 42);
+        let b = Tariff::spot(0.13, 0.08, 0.2, 7, 42);
+        assert_eq!(a, b, "same seed, same lattice");
+        let Tariff::Spot { lattice, .. } = &a else { unreachable!() };
+        assert_eq!(lattice.len(), 7 * 24);
+        assert!(lattice.iter().all(|&p| p >= 0.013), "floored at 10% of mean");
+        // Mean reversion keeps the average near the mean.
+        let avg: f64 = lattice.iter().sum::<f64>() / lattice.len() as f64;
+        assert!((avg - 0.13).abs() < 0.04, "avg {avg}");
+    }
+
+    #[test]
+    fn spot_varies_and_wraps() {
+        let t = Tariff::spot(0.13, 0.08, 0.2, 2, 7);
+        let p0 = t.price_eur_kwh(SimTime::ZERO);
+        let mut saw_different = false;
+        for h in 1..48 {
+            if (t.price_eur_kwh(SimTime::from_hours(h)) - p0).abs() > 1e-9 {
+                saw_different = true;
+            }
+        }
+        assert!(saw_different, "a spot market must move");
+        // Past the horizon the lattice repeats cyclically.
+        assert_eq!(
+            t.price_eur_kwh(SimTime::from_hours(5)),
+            t.price_eur_kwh(SimTime::from_hours(5 + 48)),
+        );
+        // Sub-hour queries hold the hourly price.
+        assert_eq!(
+            t.price_eur_kwh(SimTime::from_hours(5)),
+            t.price_eur_kwh(SimTime::from_hours(5) + SimDuration::from_mins(59)),
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! On-site wind production traces.
+//!
+//! Wind speed follows a seeded Ornstein–Uhlenbeck walk on an hourly
+//! lattice (mean-reverting, temporally correlated — calm and windy spells
+//! last hours, not minutes), converted to electrical power through the
+//! standard cut-in / rated / cut-out turbine curve. Unlike solar, wind
+//! has no diurnal phase, which is why a "follow the wind" policy chases a
+//! different signal than "follow the sun" — and why both reduce to the
+//! same mechanism here: a time-varying green-watts term in the site's
+//! energy cost.
+
+use pamdc_simcore::rng::RngStream;
+use pamdc_simcore::time::SimTime;
+
+/// A wind installation at one site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindFarm {
+    /// Nameplate capacity at rated wind speed, watts.
+    pub capacity_w: f64,
+    /// Cut-in speed, m/s — below this the turbine is parked.
+    pub cut_in_ms: f64,
+    /// Rated speed, m/s — at and above this (below cut-out) output is
+    /// nameplate.
+    pub rated_ms: f64,
+    /// Cut-out speed, m/s — above this the turbine feathers to zero.
+    pub cut_out_ms: f64,
+    /// Hourly wind-speed lattice, m/s.
+    speed_by_hour: Vec<f64>,
+}
+
+impl WindFarm {
+    /// A farm with standard turbine constants (cut-in 3 m/s, rated
+    /// 12 m/s, cut-out 25 m/s) and `days` of seeded hourly wind around
+    /// `mean_speed_ms`.
+    pub fn new(capacity_w: f64, mean_speed_ms: f64, days: u64, seed: u64) -> Self {
+        assert!(capacity_w >= 0.0 && mean_speed_ms >= 0.0);
+        assert!(days >= 1);
+        let mut rng = RngStream::root(seed).derive("wind-speed");
+        let hours = (days * 24) as usize;
+        let mut lattice = Vec::with_capacity(hours);
+        let mut v = mean_speed_ms;
+        // OU: theta=0.15/h keeps multi-hour correlation; sigma scales with
+        // the mean so calm sites stay calm.
+        let theta = 0.15;
+        let sigma = 0.25 * mean_speed_ms;
+        for _ in 0..hours {
+            lattice.push(v.max(0.0));
+            v += theta * (mean_speed_ms - v) + rng.normal(0.0, sigma);
+            v = v.clamp(0.0, 40.0);
+        }
+        WindFarm {
+            capacity_w,
+            cut_in_ms: 3.0,
+            rated_ms: 12.0,
+            cut_out_ms: 25.0,
+            speed_by_hour: lattice,
+        }
+    }
+
+    /// Wind speed at `at`, m/s (hourly lattice, cyclic past the horizon).
+    pub fn speed_ms(&self, at: SimTime) -> f64 {
+        let hour = at.as_hours() as usize % self.speed_by_hour.len();
+        self.speed_by_hour[hour]
+    }
+
+    /// The turbine power curve: 0 below cut-in and above cut-out, cubic
+    /// ramp between cut-in and rated, flat at nameplate between rated and
+    /// cut-out.
+    pub fn power_fraction(&self, speed_ms: f64) -> f64 {
+        if speed_ms < self.cut_in_ms || speed_ms >= self.cut_out_ms {
+            0.0
+        } else if speed_ms >= self.rated_ms {
+            1.0
+        } else {
+            let x = (speed_ms - self.cut_in_ms) / (self.rated_ms - self.cut_in_ms);
+            x * x * x
+        }
+    }
+
+    /// Production at `at`, watts.
+    pub fn watts(&self, at: SimTime) -> f64 {
+        self.capacity_w * self.power_fraction(self.speed_ms(at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_curve_shape() {
+        let f = WindFarm::new(1000.0, 8.0, 1, 3);
+        assert_eq!(f.power_fraction(0.0), 0.0);
+        assert_eq!(f.power_fraction(2.9), 0.0, "below cut-in");
+        assert_eq!(f.power_fraction(12.0), 1.0, "rated");
+        assert_eq!(f.power_fraction(20.0), 1.0, "between rated and cut-out");
+        assert_eq!(f.power_fraction(25.0), 0.0, "cut-out feathers");
+        // Cubic ramp is monotone.
+        let lo = f.power_fraction(5.0);
+        let hi = f.power_fraction(9.0);
+        assert!(0.0 < lo && lo < hi && hi < 1.0);
+    }
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let a = WindFarm::new(2000.0, 7.5, 5, 21);
+        let b = WindFarm::new(2000.0, 7.5, 5, 21);
+        for h in 0..(5 * 24) {
+            let t = SimTime::from_hours(h);
+            assert_eq!(a.watts(t), b.watts(t));
+            assert!(a.watts(t) >= 0.0 && a.watts(t) <= 2000.0);
+        }
+    }
+
+    #[test]
+    fn wind_has_spells_not_noise() {
+        // Adjacent hours should correlate: the mean absolute hourly change
+        // must be well below the overall spread.
+        let f = WindFarm::new(1000.0, 8.0, 14, 5);
+        let speeds: Vec<f64> =
+            (0..(14 * 24)).map(|h| f.speed_ms(SimTime::from_hours(h))).collect();
+        let mean = speeds.iter().sum::<f64>() / speeds.len() as f64;
+        let spread =
+            (speeds.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / speeds.len() as f64).sqrt();
+        let step: f64 = speeds.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
+            / (speeds.len() - 1) as f64;
+        assert!(step < spread * 1.2, "hourly step {step} vs spread {spread}");
+        assert!(spread > 0.5, "wind must actually vary: spread {spread}");
+    }
+
+    #[test]
+    fn calm_site_produces_less() {
+        let calm = WindFarm::new(1000.0, 3.0, 7, 9);
+        let windy = WindFarm::new(1000.0, 11.0, 7, 9);
+        let total = |f: &WindFarm| -> f64 {
+            (0..(7 * 24)).map(|h| f.watts(SimTime::from_hours(h))).sum()
+        };
+        assert!(total(&windy) > total(&calm) * 2.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Datacenters: a named pool of hosts at one location with one energy
+//! price.
+//!
+//! Each DC also owns the client access point (ISP) for its region — all
+//! requests originating near a DC enter the provider network through it.
+
+use crate::ids::{DcId, LocationId, PmId};
+
+/// A datacenter.
+#[derive(Clone, Debug)]
+pub struct DataCenter {
+    /// This DC's identifier.
+    pub id: DcId,
+    /// Human-readable name ("BCN", ...).
+    pub name: String,
+    /// Geographic location (= the client population it fronts).
+    pub location: LocationId,
+    /// Electricity price, €/kWh (the paper's Table II column).
+    pub energy_price_eur_kwh: f64,
+    pms: Vec<PmId>,
+}
+
+impl DataCenter {
+    /// A new, empty datacenter.
+    pub fn new(
+        id: DcId,
+        name: impl Into<String>,
+        location: LocationId,
+        energy_price_eur_kwh: f64,
+    ) -> Self {
+        assert!(energy_price_eur_kwh >= 0.0, "energy price must be non-negative");
+        DataCenter { id, name: name.into(), location, energy_price_eur_kwh, pms: Vec::new() }
+    }
+
+    /// Registers a host as belonging to this DC.
+    pub fn add_pm(&mut self, pm: PmId) {
+        debug_assert!(!self.pms.contains(&pm), "{pm} already in {}", self.name);
+        self.pms.push(pm);
+    }
+
+    /// Hosts in this DC.
+    pub fn pms(&self) -> &[PmId] {
+        &self.pms
+    }
+
+    /// Number of hosts.
+    pub fn pm_count(&self) -> usize {
+        self.pms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration() {
+        let mut dc = DataCenter::new(DcId(0), "BCN", LocationId(2), 0.1513);
+        assert_eq!(dc.pm_count(), 0);
+        dc.add_pm(PmId(4));
+        dc.add_pm(PmId(9));
+        assert_eq!(dc.pms(), &[PmId(4), PmId(9)]);
+        assert_eq!(dc.name, "BCN");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_price_rejected() {
+        DataCenter::new(DcId(0), "X", LocationId(0), -0.1);
+    }
+}

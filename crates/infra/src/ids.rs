@@ -1,0 +1,84 @@
+//! Typed identifiers for the infrastructure entities.
+//!
+//! Plain `u32` indices wrapped in newtypes so the compiler keeps VM, PM,
+//! datacenter and location handles from being mixed up. All IDs are dense
+//! indices into the owning [`crate::cluster::Cluster`] vectors, which keeps
+//! lookups O(1) without hashing.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense index this ID wraps.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an ID from a dense index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect(concat!($tag, " index overflow")))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A virtual machine (one hosted web-service).
+    VmId,
+    "vm"
+);
+id_type!(
+    /// A physical machine (host).
+    PmId,
+    "pm"
+);
+id_type!(
+    /// A datacenter.
+    DcId,
+    "dc"
+);
+id_type!(
+    /// A geographic location / client population (the paper's "load
+    /// source"); each datacenter sits at one location and each location
+    /// generates client requests.
+    LocationId,
+    "loc"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let vm = VmId::from_index(7);
+        assert_eq!(vm.index(), 7);
+        assert_eq!(format!("{vm}"), "vm7");
+        assert_eq!(format!("{vm:?}"), "vm7");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(PmId(1) < PmId(2));
+        assert_eq!(DcId(3), DcId(3));
+    }
+}

@@ -1,0 +1,85 @@
+//! Migration bookkeeping.
+//!
+//! A migration freezes the VM, ships its image, and restores it at the
+//! destination. Following the paper's pessimistic assumption, the VM
+//! serves nothing while in flight — its SLA for the affected interval is
+//! zero, which is exactly the migration penalty term `fpenalty` of the
+//! objective function.
+
+use crate::ids::{PmId, VmId};
+use pamdc_simcore::time::{SimDuration, SimTime};
+
+/// One in-flight or completed migration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Migration {
+    /// The VM being moved.
+    pub vm: VmId,
+    /// Source host.
+    pub from: PmId,
+    /// Destination host.
+    pub to: PmId,
+    /// Freeze instant.
+    pub started: SimTime,
+    /// Restore-complete instant.
+    pub completes: SimTime,
+    /// True when source and destination sit in different datacenters.
+    pub cross_dc: bool,
+}
+
+impl Migration {
+    /// Total blackout duration (freeze → restore).
+    pub fn duration(&self) -> SimDuration {
+        self.completes - self.started
+    }
+
+    /// Fraction of the window `[win_start, win_end)` during which this
+    /// migration blacks the VM out, in `[0, 1]`. Used to pro-rate SLA to
+    /// zero over the affected part of a tick.
+    pub fn blackout_fraction(&self, win_start: SimTime, win_end: SimTime) -> f64 {
+        if win_end <= win_start {
+            return 0.0;
+        }
+        let ov_start = self.started.max(win_start);
+        let ov_end = self.completes.min(win_end);
+        if ov_end <= ov_start {
+            return 0.0;
+        }
+        (ov_end - ov_start).as_secs_f64() / (win_end - win_start).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mig(start_s: u64, end_s: u64) -> Migration {
+        Migration {
+            vm: VmId(0),
+            from: PmId(0),
+            to: PmId(1),
+            started: SimTime::from_secs(start_s),
+            completes: SimTime::from_secs(end_s),
+            cross_dc: true,
+        }
+    }
+
+    #[test]
+    fn duration_is_blackout() {
+        assert_eq!(mig(10, 25).duration(), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn blackout_fraction_cases() {
+        let m = mig(60, 120); // migrating during [60s, 120s)
+        let t = SimTime::from_secs;
+        // Window fully covered.
+        assert!((m.blackout_fraction(t(70), t(110)) - 1.0).abs() < 1e-12);
+        // Window fully outside.
+        assert_eq!(m.blackout_fraction(t(0), t(60)), 0.0);
+        assert_eq!(m.blackout_fraction(t(120), t(180)), 0.0);
+        // Half overlap.
+        assert!((m.blackout_fraction(t(0), t(120)) - 0.5).abs() < 1e-12);
+        // Degenerate window.
+        assert_eq!(m.blackout_fraction(t(80), t(80)), 0.0);
+    }
+}

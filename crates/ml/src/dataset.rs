@@ -1,0 +1,262 @@
+//! Datasets: named feature matrices with targets, splits and scaling.
+//!
+//! Mirrors the slice of WEKA the paper relies on: tabular numeric data, a
+//! shuffled 66/34 train/test split (the paper's Table I protocol), and
+//! feature standardization for distance-based learners (k-NN).
+
+use pamdc_simcore::rng::RngStream;
+use pamdc_simcore::stats::OnlineStats;
+
+/// A tabular dataset: rows of features plus one numeric target each.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// An empty dataset over the given feature names.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Dataset { feature_names, rows: Vec::new(), targets: Vec::new() }
+    }
+
+    /// Convenience constructor from `&str` names.
+    pub fn with_features(names: &[&str]) -> Self {
+        Self::new(names.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Adds one example. Panics on arity mismatch.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) {
+        assert_eq!(features.len(), self.feature_names.len(), "feature arity mismatch");
+        debug_assert!(
+            features.iter().all(|v| v.is_finite()) && target.is_finite(),
+            "non-finite training value"
+        );
+        self.rows.push(features);
+        self.targets.push(target);
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no examples are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// One row.
+    pub fn row(&self, i: usize) -> (&[f64], f64) {
+        (&self.rows[i], self.targets[i])
+    }
+
+    /// `(min, max)` of the target column — the "Data Range" column of the
+    /// paper's Table I. Returns `(0, 0)` when empty.
+    pub fn target_range(&self) -> (f64, f64) {
+        let mut s = OnlineStats::new();
+        s.extend(&self.targets);
+        if s.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (s.min(), s.max())
+        }
+    }
+
+    /// Standard deviation of the target column.
+    pub fn target_std_dev(&self) -> f64 {
+        let mut s = OnlineStats::new();
+        s.extend(&self.targets);
+        s.std_dev()
+    }
+
+    /// Shuffled split into `(train, test)` with `train_frac` of the rows
+    /// in the first part. The paper uses 66%/34%.
+    pub fn split(&self, train_frac: f64, rng: &mut RngStream) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac), "train_frac in [0,1]");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let cut = (self.len() as f64 * train_frac).round() as usize;
+        let mut train = Dataset::new(self.feature_names.clone());
+        let mut test = Dataset::new(self.feature_names.clone());
+        for (k, &i) in idx.iter().enumerate() {
+            let part = if k < cut { &mut train } else { &mut test };
+            part.rows.push(self.rows[i].clone());
+            part.targets.push(self.targets[i]);
+        }
+        (train, test)
+    }
+
+    /// Sub-dataset of the given row indices (used by tree induction).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut d = Dataset::new(self.feature_names.clone());
+        for &i in indices {
+            d.rows.push(self.rows[i].clone());
+            d.targets.push(self.targets[i]);
+        }
+        d
+    }
+}
+
+/// Per-feature affine scaler to zero mean / unit variance.
+#[derive(Clone, Debug)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits on a dataset's features.
+    pub fn fit(data: &Dataset) -> Self {
+        let nf = data.n_features();
+        let mut stats = vec![OnlineStats::new(); nf];
+        for row in data.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                stats[j].push(v);
+            }
+        }
+        Standardizer {
+            means: stats.iter().map(|s| s.mean()).collect(),
+            stds: stats
+                .iter()
+                .map(|s| {
+                    let sd = s.std_dev();
+                    if sd > 1e-12 {
+                        sd
+                    } else {
+                        1.0 // constant feature: leave centred at 0
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Scales one row into a fresh vector.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "feature arity mismatch");
+        row.iter().zip(self.means.iter().zip(&self.stds)).map(|(&v, (&m, &s))| (v - m) / s).collect()
+    }
+
+    /// Scales one row in place into a preallocated buffer (hot path for
+    /// k-NN prediction).
+    pub fn transform_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(row.iter().zip(self.means.iter().zip(&self.stds)).map(|(&v, (&m, &s))| (v - m) / s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::with_features(&["a", "b"]);
+        for i in 0..100 {
+            let x = i as f64;
+            d.push(vec![x, 2.0 * x], 3.0 * x + 1.0);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.n_features(), 2);
+        let (row, y) = d.row(10);
+        assert_eq!(row, &[10.0, 20.0]);
+        assert_eq!(y, 31.0);
+        assert_eq!(d.target_range(), (1.0, 298.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut d = Dataset::with_features(&["a"]);
+        d.push(vec![1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy();
+        let mut rng = RngStream::root(1);
+        let (train, test) = d.split(0.66, &mut rng);
+        assert_eq!(train.len(), 66);
+        assert_eq!(test.len(), 34);
+        // Together they hold every target exactly once.
+        let mut all: Vec<f64> = train.targets().iter().chain(test.targets()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expect: Vec<f64> = d.targets().to_vec();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let d = toy();
+        let (t1, _) = d.split(0.5, &mut RngStream::root(42));
+        let (t2, _) = d.split(0.5, &mut RngStream::root(42));
+        assert_eq!(t1.targets(), t2.targets());
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy();
+        let s = d.subset(&[0, 5, 7]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.targets(), &[1.0, 16.0, 22.0]);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let d = toy();
+        let sc = Standardizer::fit(&d);
+        let transformed: Vec<Vec<f64>> = d.rows().iter().map(|r| sc.transform(r)).collect();
+        let mut s0 = OnlineStats::new();
+        for r in &transformed {
+            s0.push(r[0]);
+        }
+        assert!(s0.mean().abs() < 1e-9);
+        assert!((s0.std_dev() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standardizer_handles_constant_feature() {
+        let mut d = Dataset::with_features(&["c"]);
+        for _ in 0..10 {
+            d.push(vec![5.0], 1.0);
+        }
+        let sc = Standardizer::fit(&d);
+        assert_eq!(sc.transform(&[5.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn transform_into_matches_transform() {
+        let d = toy();
+        let sc = Standardizer::fit(&d);
+        let mut buf = Vec::new();
+        sc.transform_into(&[3.0, 6.0], &mut buf);
+        assert_eq!(buf, sc.transform(&[3.0, 6.0]));
+    }
+}

@@ -1,0 +1,52 @@
+//! # pamdc-ml — machine learning from scratch
+//!
+//! The paper trains its models in WEKA; no equivalent mature Rust stack
+//! exists, so this crate implements the three learners it uses from
+//! first principles:
+//!
+//! * [`m5p`] — **M5 model trees** (regression trees with linear models in
+//!   the leaves, SDR splitting, complexity-penalised pruning, M5
+//!   smoothing) — WEKA's "M5P", used for CPU, network and RT targets;
+//! * [`linreg`] — ordinary least squares with automatic ridge fallback —
+//!   used for the near-linear memory target;
+//! * [`knn`] — standardized k-nearest-neighbour regression — used to
+//!   predict the bounded SLA level directly.
+//!
+//! Around them: tabular [`dataset`]s with the paper's 66/34 split
+//! protocol, a tiny [`linalg`] solver, Table-I validation [`metrics`],
+//! the seven-target [`predictors`] suite, and an [`online`] retraining
+//! wrapper implementing the paper's future-work item on continuous
+//! learning.
+
+pub mod dataset;
+pub mod knn;
+pub mod linalg;
+pub mod linreg;
+pub mod m5p;
+pub mod metrics;
+pub mod online;
+pub mod predictors;
+
+/// A fitted regression model: feature vector in, scalar out.
+///
+/// `Send + Sync` is required so suites can be trained in parallel and
+/// shared read-only across scheduler threads.
+pub trait Regressor: Send + Sync {
+    /// Predicts the target for one feature vector.
+    fn predict(&self, features: &[f64]) -> f64;
+
+    /// Short display name ("M5P", "Linear Reg.", "K-NN").
+    fn name(&self) -> &'static str;
+}
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::dataset::{Dataset, Standardizer};
+    pub use crate::knn::KnnRegressor;
+    pub use crate::linreg::LinearRegression;
+    pub use crate::m5p::{M5Params, M5Tree};
+    pub use crate::metrics::{table_header, EvalReport};
+    pub use crate::online::{DriftAwareLearner, OnlineLearner, PageHinkley};
+    pub use crate::predictors::{PredictionTarget, PredictorSuite, TrainedPredictor};
+    pub use crate::Regressor;
+}

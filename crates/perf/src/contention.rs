@@ -1,0 +1,178 @@
+//! Resource sharing under contention — the paper's `fOccupation`
+//! (constraint 5.2): how a host splits its capacity among the VMs it
+//! hosts when their combined demand exceeds what it has.
+//!
+//! The hypervisor grants each VM its demand when everything fits;
+//! otherwise each over-subscribed component is scaled down proportionally
+//! (weighted fair sharing, the VirtualBox/Xen default behaviour for CPU
+//! shares without explicit caps).
+
+use pamdc_infra::resources::Resources;
+
+/// Splits `capacity` among demands. Returns one granted vector per
+/// demand, component-wise `granted_i = demand_i * min(1, cap_c / Σ demand_c)`.
+pub fn share_proportionally(demands: &[Resources], capacity: Resources) -> Vec<Resources> {
+    if demands.is_empty() {
+        return Vec::new();
+    }
+    let total: Resources = demands.iter().copied().sum();
+    let factor = |cap: f64, tot: f64| if tot > cap && tot > 0.0 { cap / tot } else { 1.0 };
+    let f_cpu = factor(capacity.cpu, total.cpu);
+    let f_mem = factor(capacity.mem_mb, total.mem_mb);
+    let f_in = factor(capacity.net_in_kbps, total.net_in_kbps);
+    let f_out = factor(capacity.net_out_kbps, total.net_out_kbps);
+    demands
+        .iter()
+        .map(|d| Resources {
+            cpu: d.cpu * f_cpu,
+            mem_mb: d.mem_mb * f_mem,
+            net_in_kbps: d.net_in_kbps * f_in,
+            net_out_kbps: d.net_out_kbps * f_out,
+        })
+        .collect()
+}
+
+/// Stress level of a host: the largest over-subscription ratio across
+/// components (1.0 = everything fits exactly; 2.0 = demand is double the
+/// capacity somewhere).
+pub fn oversubscription(demands: &[Resources], capacity: Resources) -> f64 {
+    let total: Resources = demands.iter().copied().sum();
+    let ratio = |tot: f64, cap: f64| {
+        if cap > 0.0 {
+            tot / cap
+        } else if tot > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    };
+    ratio(total.cpu, capacity.cpu)
+        .max(ratio(total.mem_mb, capacity.mem_mb))
+        .max(ratio(total.net_in_kbps, capacity.net_in_kbps))
+        .max(ratio(total.net_out_kbps, capacity.net_out_kbps))
+        .max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(cpu: f64, mem: f64) -> Resources {
+        Resources::new(cpu, mem, 10.0, 10.0)
+    }
+
+    #[test]
+    fn underloaded_host_grants_demand() {
+        let cap = Resources::new(400.0, 4096.0, 1000.0, 1000.0);
+        let demands = vec![r(100.0, 512.0), r(150.0, 1024.0)];
+        let granted = share_proportionally(&demands, cap);
+        assert_eq!(granted, demands);
+    }
+
+    #[test]
+    fn overloaded_component_scales_down_proportionally() {
+        let cap = Resources::new(400.0, 4096.0, 1000.0, 1000.0);
+        // CPU demand 600 vs capacity 400 -> factor 2/3; memory fits.
+        let demands = vec![r(400.0, 512.0), r(200.0, 512.0)];
+        let granted = share_proportionally(&demands, cap);
+        assert!((granted[0].cpu - 400.0 * 2.0 / 3.0).abs() < 1e-9);
+        assert!((granted[1].cpu - 200.0 * 2.0 / 3.0).abs() < 1e-9);
+        // Non-contended components untouched.
+        assert_eq!(granted[0].mem_mb, 512.0);
+        // Total grant equals capacity on the contended axis.
+        let total: Resources = granted.iter().copied().sum();
+        assert!((total.cpu - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grants_never_exceed_demand_or_capacity() {
+        let cap = Resources::new(400.0, 2048.0, 100.0, 100.0);
+        let demands = vec![r(300.0, 1500.0), r(300.0, 1500.0), r(300.0, 1500.0)];
+        let granted = share_proportionally(&demands, cap);
+        let total: Resources = granted.iter().copied().sum();
+        assert!(total.fits_within(&cap));
+        for (g, d) in granted.iter().zip(&demands) {
+            assert!(g.fits_within(d));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(share_proportionally(&[], Resources::ZERO).is_empty());
+    }
+
+    #[test]
+    fn oversubscription_ratio() {
+        let cap = Resources::new(400.0, 4096.0, 1000.0, 1000.0);
+        assert!((oversubscription(&[r(200.0, 1024.0)], cap) - 0.5).abs() < 1e-9);
+        assert!(
+            (oversubscription(&[r(400.0, 512.0), r(400.0, 512.0)], cap) - 2.0).abs() < 1e-9
+        );
+        assert_eq!(oversubscription(&[], cap), 0.0);
+    }
+}
+
+/// Work-conserving effective capacity: what each VM can actually consume
+/// on a host whose scheduler redistributes slack — `demand_i · cap / Σdemand`
+/// per component (≥ demand when the host is underloaded, the contended
+/// share when overloaded). CPU and network behave this way; memory does
+/// not (it is space-shared, use [`share_proportionally`] for it).
+pub fn share_work_conserving(demands: &[Resources], capacity: Resources) -> Vec<Resources> {
+    if demands.is_empty() {
+        return Vec::new();
+    }
+    let total: Resources = demands.iter().copied().sum();
+    let factor = |cap: f64, tot: f64| if tot > 0.0 { cap / tot } else { f64::INFINITY };
+    let f_cpu = factor(capacity.cpu, total.cpu);
+    let f_in = factor(capacity.net_in_kbps, total.net_in_kbps);
+    let f_out = factor(capacity.net_out_kbps, total.net_out_kbps);
+    let scale = |d: f64, f: f64| {
+        if d <= 0.0 {
+            // A VM demanding nothing can still burst into idle capacity;
+            // report it as unconstrained.
+            f64::INFINITY
+        } else {
+            d * f
+        }
+    };
+    demands
+        .iter()
+        .map(|d| Resources {
+            cpu: scale(d.cpu, f_cpu),
+            mem_mb: d.mem_mb, // memory is not work-conserving
+            net_in_kbps: scale(d.net_in_kbps, f_in),
+            net_out_kbps: scale(d.net_out_kbps, f_out),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod wc_tests {
+    use super::*;
+
+    #[test]
+    fn underloaded_host_lets_vms_burst() {
+        let cap = Resources::new(400.0, 4096.0, 1000.0, 1000.0);
+        let demands = vec![Resources::new(50.0, 512.0, 10.0, 10.0)];
+        let burst = share_work_conserving(&demands, cap);
+        assert!((burst[0].cpu - 400.0).abs() < 1e-9, "single VM can use the whole host");
+    }
+
+    #[test]
+    fn contended_host_gives_proportional_share() {
+        let cap = Resources::new(400.0, 4096.0, 1000.0, 1000.0);
+        let demands =
+            vec![Resources::new(300.0, 0.0, 0.0, 0.0), Resources::new(100.0, 0.0, 0.0, 0.0)];
+        let burst = share_work_conserving(&demands, cap);
+        assert!((burst[0].cpu - 300.0).abs() < 1e-9);
+        assert!((burst[1].cpu - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_is_unconstrained() {
+        let cap = Resources::new(400.0, 4096.0, 1000.0, 1000.0);
+        let demands = vec![Resources::ZERO, Resources::new(100.0, 0.0, 0.0, 0.0)];
+        let burst = share_work_conserving(&demands, cap);
+        assert_eq!(burst[0].cpu, f64::INFINITY);
+    }
+}

@@ -1,0 +1,159 @@
+//! Required resources as a function of offered load — the ground truth
+//! behind the paper's `fRequiredResources` (constraint 5.1 of its model)
+//! and behind the VM CPU / MEM / IN / OUT predictors of Table I.
+
+use pamdc_infra::resources::Resources;
+
+/// One VM's offered load during a tick, aggregated over regions.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OfferedLoad {
+    /// Fresh arrival rate, requests/second.
+    pub rps: f64,
+    /// Mean inbound KB per request.
+    pub kb_in_per_req: f64,
+    /// Mean outbound KB per request.
+    pub kb_out_per_req: f64,
+    /// Mean no-contention CPU per request, milliseconds.
+    pub cpu_ms_per_req: f64,
+    /// Requests pending in the gateway queue from previous ticks.
+    pub backlog: f64,
+}
+
+impl OfferedLoad {
+    /// Total demand rate including the backlog drained over `drain_secs`
+    /// (the tick length): pending requests are additional immediate load.
+    pub fn total_rps(&self, drain_secs: f64) -> f64 {
+        if drain_secs <= 0.0 {
+            self.rps
+        } else {
+            self.rps + self.backlog / drain_secs
+        }
+    }
+}
+
+/// Per-VM performance constants (derived from its service class).
+#[derive(Clone, Copy, Debug)]
+pub struct VmPerfProfile {
+    /// Guest OS + idle stack memory floor, MB.
+    pub base_mem_mb: f64,
+    /// Memory held per in-flight request, MB.
+    pub mem_mb_per_inflight: f64,
+    /// Non-CPU fraction of service time (I/O waits): service time =
+    /// `cpu_ms * (1 + io_wait_factor)`.
+    pub io_wait_factor: f64,
+    /// Idle CPU of the stack (timers, healthchecks), percent-of-core.
+    pub idle_cpu_pct: f64,
+}
+
+impl Default for VmPerfProfile {
+    fn default() -> Self {
+        VmPerfProfile {
+            base_mem_mb: 256.0,
+            mem_mb_per_inflight: 2.0,
+            io_wait_factor: 0.6,
+            idle_cpu_pct: 2.0,
+        }
+    }
+}
+
+/// CPU demand (percent-of-core) to process `rps` requests costing
+/// `cpu_ms` each: `rps · cpu_ms / 10` (1000 CPU-ms per second = 100%),
+/// with a mild super-linear scheduling-overhead term that bends the curve
+/// at high concurrency — the effect that keeps the CPU predictor from
+/// being exactly linear.
+pub fn cpu_demand_pct(rps: f64, cpu_ms: f64, idle_cpu_pct: f64) -> f64 {
+    let linear = rps * cpu_ms / 10.0;
+    let overhead = 0.012 * (linear / 100.0).powi(2) * 100.0;
+    idle_cpu_pct + linear + overhead
+}
+
+/// Full required-resource vector for a load and profile. `drain_secs` is
+/// the horizon over which the backlog should be drained (the tick length).
+pub fn required_resources(
+    load: &OfferedLoad,
+    profile: &VmPerfProfile,
+    drain_secs: f64,
+) -> Resources {
+    let rps = load.total_rps(drain_secs);
+    let cpu = cpu_demand_pct(rps, load.cpu_ms_per_req, profile.idle_cpu_pct);
+    // Little's law: in-flight requests at nominal service time.
+    let service_secs = load.cpu_ms_per_req / 1000.0 * (1.0 + profile.io_wait_factor);
+    let inflight = rps * service_secs + load.backlog;
+    let mem = profile.base_mem_mb + profile.mem_mb_per_inflight * inflight;
+    Resources {
+        cpu,
+        mem_mb: mem,
+        net_in_kbps: rps * load.kb_in_per_req,
+        net_out_kbps: rps * load.kb_out_per_req,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(rps: f64) -> OfferedLoad {
+        OfferedLoad {
+            rps,
+            kb_in_per_req: 0.5,
+            kb_out_per_req: 4.0,
+            cpu_ms_per_req: 8.0,
+            backlog: 0.0,
+        }
+    }
+
+    #[test]
+    fn cpu_scales_with_rate() {
+        // 100 rps * 8 ms = 800 ms/s = 80% + idle + small overhead.
+        let cpu = cpu_demand_pct(100.0, 8.0, 2.0);
+        assert!(cpu > 82.0 - 1e-9 && cpu < 84.0, "cpu {cpu}");
+        // Superlinearity: doubling rate more than doubles the non-idle part.
+        let hi = cpu_demand_pct(200.0, 8.0, 0.0);
+        assert!(hi > 2.0 * (cpu - 2.0));
+    }
+
+    #[test]
+    fn zero_load_costs_idle_only() {
+        let r = required_resources(&load(0.0), &VmPerfProfile::default(), 60.0);
+        assert!((r.cpu - 2.0).abs() < 1e-9);
+        assert!((r.mem_mb - 256.0).abs() < 1e-9);
+        assert_eq!(r.net_in_kbps, 0.0);
+        assert_eq!(r.net_out_kbps, 0.0);
+    }
+
+    #[test]
+    fn network_demand_is_rate_times_size() {
+        let r = required_resources(&load(50.0), &VmPerfProfile::default(), 60.0);
+        assert!((r.net_in_kbps - 25.0).abs() < 1e-9);
+        assert!((r.net_out_kbps - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backlog_adds_demand() {
+        let mut l = load(50.0);
+        let without = required_resources(&l, &VmPerfProfile::default(), 60.0);
+        l.backlog = 600.0; // 10 extra rps over a 60 s tick
+        let with = required_resources(&l, &VmPerfProfile::default(), 60.0);
+        assert!(with.cpu > without.cpu);
+        assert!(with.mem_mb > without.mem_mb);
+        assert!((l.total_rps(60.0) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_grows_with_concurrency() {
+        let lo = required_resources(&load(10.0), &VmPerfProfile::default(), 60.0);
+        let hi = required_resources(&load(200.0), &VmPerfProfile::default(), 60.0);
+        assert!(hi.mem_mb > lo.mem_mb + 2.0);
+    }
+
+    #[test]
+    fn demand_is_monotone_in_rate() {
+        let p = VmPerfProfile::default();
+        let mut last = Resources::ZERO;
+        for i in 0..50 {
+            let r = required_resources(&load(i as f64 * 10.0), &p, 60.0);
+            assert!(r.cpu >= last.cpu && r.mem_mb >= last.mem_mb);
+            last = r;
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the performance ground truth.
+
+use pamdc_infra::resources::Resources;
+use pamdc_perf::prelude::*;
+use proptest::prelude::*;
+
+const ATOM: Resources = Resources::new(400.0, 4096.0, 64_000.0, 64_000.0);
+
+fn arb_load() -> impl Strategy<Value = OfferedLoad> {
+    (0.0f64..800.0, 0.1f64..2.0, 0.5f64..30.0, 1.0f64..15.0, 0.0f64..3000.0).prop_map(
+        |(rps, kb_in, kb_out, cpu_ms, backlog)| OfferedLoad {
+            rps,
+            kb_in_per_req: kb_in,
+            kb_out_per_req: kb_out,
+            cpu_ms_per_req: cpu_ms,
+            backlog,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SLA fulfillment is a proper piecewise-linear function: bounded,
+    /// non-increasing, exact at the knees.
+    #[test]
+    fn sla_function_well_formed(rt0 in 0.01f64..2.0, alpha in 1.01f64..20.0, rt in 0.0f64..50.0) {
+        let f = SlaFunction::new(rt0, alpha);
+        let v = f.fulfillment(rt);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert_eq!(f.fulfillment(rt0), 1.0);
+        prop_assert_eq!(f.fulfillment(alpha * rt0 + 1e-9), 0.0);
+        // Monotonicity.
+        prop_assert!(f.fulfillment(rt + 0.1) <= v + 1e-12);
+    }
+
+    /// The RT model's outputs are always physical: finite RT within
+    /// [0, max], served ≤ offered, usage within burst caps.
+    #[test]
+    fn rt_model_outputs_physical(load in arb_load()) {
+        let profile = VmPerfProfile::default();
+        let req = required_resources(&load, &profile, 60.0);
+        let cfg = RtModelConfig::deterministic();
+        let o = evaluate(&load, &profile, &req, &req, &ATOM, &cfg, 60.0, None);
+        prop_assert!(o.rt_process_secs.is_finite());
+        prop_assert!((0.0..=cfg.max_rt_secs + 1e-9).contains(&o.rt_process_secs));
+        prop_assert!(o.served_rps >= 0.0);
+        prop_assert!(o.served_rps <= load.total_rps(60.0) + 1e-9);
+        prop_assert!(o.used.is_valid());
+        prop_assert!(o.used.cpu <= ATOM.cpu + 1e-9);
+        prop_assert!(o.used.net_out_kbps <= ATOM.net_out_kbps + 1e-9);
+    }
+
+    /// RT is monotone in offered load (all else equal).
+    #[test]
+    fn rt_monotone_in_rps(base in arb_load(), extra in 1.0f64..200.0) {
+        let profile = VmPerfProfile::default();
+        let cfg = RtModelConfig::deterministic();
+        let mut heavier = base;
+        heavier.rps += extra;
+        let req_a = required_resources(&base, &profile, 60.0);
+        let req_b = required_resources(&heavier, &profile, 60.0);
+        let a = evaluate(&base, &profile, &req_a, &req_a, &ATOM, &cfg, 60.0, None);
+        let b = evaluate(&heavier, &profile, &req_b, &req_b, &ATOM, &cfg, 60.0, None);
+        prop_assert!(
+            b.rt_process_secs >= a.rt_process_secs - 1e-9,
+            "more load cannot speed things up: {} vs {}",
+            a.rt_process_secs,
+            b.rt_process_secs
+        );
+    }
+
+    /// Proportional sharing conserves: total grants never exceed
+    /// capacity, each grant never exceeds its demand.
+    #[test]
+    fn sharing_conserves(
+        demands in proptest::collection::vec(
+            (0.0f64..400.0, 0.0f64..4096.0).prop_map(|(c, m)| Resources::new(c, m, 10.0, 10.0)),
+            1..8,
+        )
+    ) {
+        let granted = share_proportionally(&demands, ATOM);
+        let total: Resources = granted.iter().copied().sum();
+        prop_assert!(total.cpu <= ATOM.cpu + 1e-6);
+        prop_assert!(total.mem_mb <= ATOM.mem_mb + 1e-6);
+        for (g, d) in granted.iter().zip(&demands) {
+            prop_assert!(g.fits_within(d));
+        }
+    }
+
+    /// Work-conserving shares are at least the proportional grants.
+    #[test]
+    fn burst_at_least_grant(
+        demands in proptest::collection::vec(
+            (1.0f64..400.0, 1.0f64..4096.0).prop_map(|(c, m)| Resources::new(c, m, 10.0, 10.0)),
+            1..8,
+        )
+    ) {
+        let granted = share_proportionally(&demands, ATOM);
+        let burst = share_work_conserving(&demands, ATOM);
+        for (g, b) in granted.iter().zip(&burst) {
+            prop_assert!(b.cpu >= g.cpu - 1e-9, "burst {} < grant {}", b.cpu, g.cpu);
+        }
+    }
+
+    /// Demand is monotone in every load dimension.
+    #[test]
+    fn demand_monotone(load in arb_load()) {
+        let p = VmPerfProfile::default();
+        let base = required_resources(&load, &p, 60.0);
+        let mut more = load;
+        more.rps += 10.0;
+        more.kb_out_per_req += 1.0;
+        more.backlog += 100.0;
+        let bigger = required_resources(&more, &p, 60.0);
+        prop_assert!(bigger.cpu >= base.cpu);
+        prop_assert!(bigger.mem_mb >= base.mem_mb);
+        prop_assert!(bigger.net_out_kbps >= base.net_out_kbps);
+    }
+}

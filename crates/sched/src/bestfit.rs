@@ -1,0 +1,230 @@
+//! Descending Best-Fit — the paper's Algorithm 1.
+//!
+//! VMs are ordered by decreasing believed demand, then each is placed on
+//! the host with the highest marginal profit. The profit function carries
+//! all the trade-offs (SLA revenue, migration penalty, energy, latency),
+//! so the same algorithm expresses plain BF, BF-OB and BF-ML purely by
+//! swapping the [`QosOracle`].
+//!
+//! Following the paper's optimisations, hosts where the VM cannot fit
+//! (under the oracle's believed demand) are preferred against; only when
+//! no host fits is the least-bad overflow placement chosen — constraint 1
+//! (every VM placed) outranks constraint 2 when the system is simply out
+//! of capacity, which is exactly what happens during the Figure 6 flash
+//! crowd.
+
+use crate::oracle::QosOracle;
+use crate::problem::{Problem, Schedule};
+use crate::profit::{marginal_profit, PlacementScore, PlacementState};
+use pamdc_infra::resources::Resources;
+
+/// Outcome of one Best-Fit run.
+#[derive(Clone, Debug)]
+pub struct BestFitResult {
+    /// The chosen schedule.
+    pub schedule: Schedule,
+    /// Per-VM scores at decision time (problem-VM indexing).
+    pub scores: Vec<PlacementScore>,
+    /// VMs that did not fit anywhere under believed demand and were
+    /// overflow-placed.
+    pub overflow_count: usize,
+}
+
+/// Runs descending Best-Fit over the problem under the oracle's beliefs.
+pub fn best_fit(problem: &Problem, oracle: &dyn QosOracle) -> BestFitResult {
+    assert!(!problem.hosts.is_empty(), "best-fit needs at least one candidate host");
+
+    // Order VMs by decreasing believed demand (Algorithm 1's
+    // `order_by_demand(..., desc)`), normalized against the largest host
+    // so the components are commensurable.
+    let reference = problem
+        .hosts
+        .iter()
+        .map(|h| h.capacity)
+        .fold(Resources::ZERO, |acc, c| acc.max(&c));
+    let mut order: Vec<usize> = (0..problem.vms.len()).collect();
+    let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
+    order.sort_by(|&a, &b| {
+        let da = demands[a].normalized_magnitude(&reference);
+        let db = demands[b].normalized_magnitude(&reference);
+        db.partial_cmp(&da).expect("finite demands").then(a.cmp(&b))
+    });
+
+    let mut state = PlacementState::new(problem);
+    let mut assignment = vec![problem.hosts[0].id; problem.vms.len()];
+    let mut scores = vec![
+        PlacementScore {
+            sla: 0.0,
+            revenue_eur: 0.0,
+            migration_eur: 0.0,
+            energy_eur: 0.0,
+            network_eur: 0.0,
+        };
+        problem.vms.len()
+    ];
+    let mut overflow_count = 0;
+
+    let current_host_idx: Vec<Option<usize>> = problem
+        .vms
+        .iter()
+        .map(|vm| vm.current_pm.and_then(|pm| problem.host_index(pm)))
+        .collect();
+
+    for &vm_idx in &order {
+        let mut best_fit_choice: Option<(usize, PlacementScore)> = None;
+        let mut best_any: Option<(usize, PlacementScore)> = None;
+        let mut stay_choice: Option<(usize, PlacementScore)> = None;
+        for host_idx in 0..problem.hosts.len() {
+            let score = marginal_profit(problem, oracle, &state, vm_idx, host_idx);
+            let fits = state.fits(problem, host_idx, &demands[vm_idx]);
+            if fits && current_host_idx[vm_idx] == Some(host_idx) {
+                stay_choice = Some((host_idx, score));
+            }
+            if fits
+                && best_fit_choice
+                    .as_ref()
+                    .is_none_or(|(_, b)| score.profit() > b.profit())
+            {
+                best_fit_choice = Some((host_idx, score));
+            }
+            if best_any.as_ref().is_none_or(|(_, b)| score.profit() > b.profit()) {
+                best_any = Some((host_idx, score));
+            }
+        }
+        // Hysteresis: staying put wins unless the challenger clears the
+        // stickiness margin. Without it, per-tick load noise flips
+        // near-tied profit comparisons and the fleet churns (migrations
+        // are far more expensive in reality than in expectation).
+        if let (Some((stay_hi, stay_score)), Some((best_hi, best_score))) =
+            (&stay_choice, &best_fit_choice)
+        {
+            if best_hi != stay_hi
+                && best_score.profit() - stay_score.profit() <= problem.stickiness_eur
+            {
+                best_fit_choice = stay_choice;
+            }
+        }
+        let (host_idx, score) = match best_fit_choice {
+            Some(choice) => choice,
+            None => {
+                overflow_count += 1;
+                best_any.expect("at least one host")
+            }
+        };
+        state.assign(host_idx, demands[vm_idx]);
+        assignment[vm_idx] = problem.hosts[host_idx].id;
+        scores[vm_idx] = score;
+    }
+
+    let schedule = Schedule { assignment };
+    schedule.validate(problem);
+    BestFitResult { schedule, scores, overflow_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{MonitorOracle, TrueOracle};
+    use crate::problem::synthetic::problem;
+    use crate::profit::evaluate_schedule;
+    use pamdc_infra::ids::PmId;
+
+    #[test]
+    fn light_load_consolidates_onto_current_host() {
+        // 3 light VMs already on host 0 with *local* clients; migrating
+        // or powering more hosts would only cost.
+        let mut p = problem(3, 4, 20.0);
+        let home = p.hosts[0].location;
+        for vm in &mut p.vms {
+            for f in &mut vm.flows {
+                f.source = home;
+            }
+        }
+        let r = best_fit(&p, &TrueOracle::new());
+        assert_eq!(r.schedule.assignment, vec![PmId(0); 3]);
+        assert_eq!(r.schedule.migration_count(&p), 0);
+        assert_eq!(r.overflow_count, 0);
+    }
+
+    #[test]
+    fn heavy_load_deconsolidates() {
+        // 4 heavy VMs cannot share one Atom; the true oracle spreads them.
+        let p = problem(4, 4, 500.0);
+        let r = best_fit(&p, &TrueOracle::new());
+        let distinct: std::collections::BTreeSet<_> = r.schedule.assignment.iter().collect();
+        assert!(distinct.len() >= 3, "heavy VMs must spread: {:?}", r.schedule.assignment);
+    }
+
+    #[test]
+    fn respects_capacity_when_possible() {
+        let p = problem(6, 6, 300.0);
+        let o = TrueOracle::new();
+        let r = best_fit(&p, &o);
+        assert_eq!(r.overflow_count, 0);
+        // Believed demand per host fits capacity.
+        let per_host = r.schedule.demand_per_host(&p, |vm| o.demand(vm));
+        for (d, h) in per_host.iter().zip(&p.hosts) {
+            assert!(d.fits_within(&h.capacity), "{d:?} on {:?}", h.capacity);
+        }
+    }
+
+    #[test]
+    fn overflow_still_places_everyone() {
+        // 10 giant VMs, 1 host: everything overflows but is placed.
+        let p = problem(10, 1, 700.0);
+        let r = best_fit(&p, &TrueOracle::new());
+        assert_eq!(r.schedule.assignment.len(), 10);
+        assert!(r.overflow_count > 0);
+    }
+
+    #[test]
+    fn beats_or_matches_naive_spread_on_profit() {
+        let p = problem(4, 4, 120.0);
+        let o = TrueOracle::new();
+        let bf = best_fit(&p, &o);
+        let spread = Schedule {
+            assignment: (0..4).map(PmId::from_index).collect(),
+        };
+        let bf_eval = evaluate_schedule(&p, &o, &bf.schedule);
+        let spread_eval = evaluate_schedule(&p, &o, &spread);
+        assert!(
+            bf_eval.profit_eur >= spread_eval.profit_eur - 1e-9,
+            "best-fit {} vs naive {}",
+            bf_eval.profit_eur,
+            spread_eval.profit_eur
+        );
+    }
+
+    #[test]
+    fn plain_bf_overconsolidates_versus_true_oracle() {
+        // The paper's §V-B story. Under contention, monitors under-report:
+        // halve the observed usage relative to truth.
+        let mut p = problem(4, 4, 450.0);
+        for vm in &mut p.vms {
+            vm.observed_usage = vm.observed_usage * 0.4;
+        }
+        let plain = best_fit(&p, &MonitorOracle::plain());
+        let truth = best_fit(&p, &TrueOracle::new());
+        let hosts_plain: std::collections::BTreeSet<_> =
+            plain.schedule.assignment.iter().collect();
+        let hosts_truth: std::collections::BTreeSet<_> =
+            truth.schedule.assignment.iter().collect();
+        assert!(
+            hosts_plain.len() <= hosts_truth.len(),
+            "plain BF must use no more hosts than the informed scheduler"
+        );
+        // And the informed schedule achieves better (estimated-true) SLA.
+        let o = TrueOracle::new();
+        let e_plain = evaluate_schedule(&p, &o, &plain.schedule);
+        let e_truth = evaluate_schedule(&p, &o, &truth.schedule);
+        assert!(e_truth.mean_sla() >= e_plain.mean_sla());
+    }
+
+    #[test]
+    fn deterministic_given_same_input() {
+        let p = problem(5, 4, 200.0);
+        let a = best_fit(&p, &TrueOracle::new());
+        let b = best_fit(&p, &TrueOracle::new());
+        assert_eq!(a.schedule, b.schedule);
+    }
+}

@@ -1,0 +1,271 @@
+//! Candidate filtering — the paper's §IV-C scalability optimisations:
+//!
+//! * "we do not include in the scheduling process VMs and PMs that are
+//!   already performing well in a consolidated way";
+//! * "the method only considers for scheduling across DC's those virtual
+//!   machines that could improve its QoS if moved";
+//! * "considering only once identical empty host machines and not
+//!   considering almost full hosts that cannot accommodate additional
+//!   VM's".
+
+use crate::oracle::QosOracle;
+use crate::problem::{HostInfo, Problem, VmInfo};
+use pamdc_infra::gateway::weighted_transport_secs;
+use pamdc_infra::resources::Resources;
+
+/// Filter thresholds.
+#[derive(Clone, Debug)]
+pub struct FilterConfig {
+    /// VMs whose estimated SLA on their current host is at least this
+    /// are "performing well" and left alone by the global round.
+    pub sla_keep_threshold: f64,
+    /// A flagged VM escalates only when some other host is believed to
+    /// improve its SLA by at least this much — the paper's "could
+    /// improve its QoS if moved" condition. Prevents latency-limited VMs
+    /// (whose SLA is capped by client geography everywhere) from being
+    /// reshuffled forever.
+    pub min_improvement: f64,
+    /// Hosts whose believed free capacity (dominant-share headroom)
+    /// falls below this fraction are "almost full" and not offered.
+    pub min_headroom_frac: f64,
+    /// Deduplicate empty hosts per (DC, capacity signature).
+    pub dedupe_empty: bool,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            sla_keep_threshold: 0.95,
+            min_improvement: 0.02,
+            min_headroom_frac: 0.10,
+            dedupe_empty: true,
+        }
+    }
+}
+
+/// VM indices whose estimated SLA *in place* is below the keep
+/// threshold — the candidates a DC offers to the global scheduler —
+/// plus every VM that has no current host.
+pub fn vms_needing_attention(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    cfg: &FilterConfig,
+) -> Vec<usize> {
+    // Believed totals per host under the *current* placement.
+    let mut totals: Vec<Resources> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
+    let mut counts: Vec<usize> = vec![0; problem.hosts.len()];
+    for vm in &problem.vms {
+        if let Some(hi) = vm.current_pm.and_then(|pm| problem.host_index(pm)) {
+            totals[hi] += oracle.demand(vm);
+            counts[hi] += 1;
+        }
+    }
+    for (hi, host) in problem.hosts.iter().enumerate() {
+        totals[hi].cpu += host.virt_overhead_cpu_per_vm * counts[hi] as f64;
+    }
+
+    (0..problem.vms.len())
+        .filter(|&vi| {
+            let vm = &problem.vms[vi];
+            match vm.current_pm.and_then(|pm| problem.host_index(pm)) {
+                None => true, // unplaced or hosted off-round: must be handled
+                Some(hi) => {
+                    let host = &problem.hosts[hi];
+                    let transport =
+                        weighted_transport_secs(&vm.flows, host.location, &problem.net);
+                    let current = oracle.sla(vm, host, &totals[hi], transport);
+                    if current >= cfg.sla_keep_threshold {
+                        return false;
+                    }
+                    // "Could improve its QoS if moved": check the best
+                    // believed alternative before escalating.
+                    let demand = oracle.demand(vm);
+                    let best_alt = (0..problem.hosts.len())
+                        .filter(|&hj| hj != hi)
+                        .map(|hj| {
+                            let alt = &problem.hosts[hj];
+                            let mut total = totals[hj];
+                            total += demand;
+                            total.cpu += alt.virt_overhead_cpu_per_vm;
+                            let tr = weighted_transport_secs(
+                                &vm.flows,
+                                alt.location,
+                                &problem.net,
+                            );
+                            oracle.sla(vm, alt, &total, tr)
+                        })
+                        .fold(0.0f64, f64::max);
+                    best_alt >= current + cfg.min_improvement
+                }
+            }
+        })
+        .collect()
+}
+
+/// Host indices worth offering: enough believed headroom, with identical
+/// empty hosts deduplicated (one representative per DC + capacity
+/// signature).
+pub fn hosts_worth_offering(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    cfg: &FilterConfig,
+) -> Vec<usize> {
+    // Believed totals per host under current placement.
+    let mut totals: Vec<Resources> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
+    let mut counts: Vec<usize> = vec![0; problem.hosts.len()];
+    for vm in &problem.vms {
+        if let Some(hi) = vm.current_pm.and_then(|pm| problem.host_index(pm)) {
+            totals[hi] += oracle.demand(vm);
+            counts[hi] += 1;
+        }
+    }
+
+    let mut seen_empty: Vec<(u32, u64)> = Vec::new(); // (dc, capacity hash)
+    let mut out = Vec::new();
+    for (hi, host) in problem.hosts.iter().enumerate() {
+        let free = host.capacity.saturating_sub(&totals[hi]);
+        let headroom = 1.0 - totals[hi].dominant_share(&host.capacity);
+        if headroom < cfg.min_headroom_frac {
+            continue; // almost full
+        }
+        let empty = counts[hi] == 0 && host.fixed_vm_count == 0;
+        if empty && cfg.dedupe_empty {
+            let sig = capacity_signature(host);
+            if seen_empty.contains(&(host.dc.0, sig)) {
+                continue; // identical empty twin already offered
+            }
+            seen_empty.push((host.dc.0, sig));
+        }
+        let _ = free;
+        out.push(hi);
+    }
+    out
+}
+
+fn capacity_signature(host: &HostInfo) -> u64 {
+    // Quantized capacity fingerprint; identical machine models collide
+    // (that is the point).
+    let q = |x: f64| (x * 100.0).round() as u64;
+    q(host.capacity.cpu)
+        .wrapping_mul(1_000_003)
+        .wrapping_add(q(host.capacity.mem_mb))
+        .wrapping_mul(1_000_033)
+        .wrapping_add(q(host.capacity.net_in_kbps))
+        .wrapping_mul(1_000_037)
+        .wrapping_add(q(host.capacity.net_out_kbps))
+}
+
+/// Builds the reduced sub-problem over selected VMs and hosts. VMs *not*
+/// selected but currently residing on a selected host become part of that
+/// host's fixed demand.
+pub fn reduced_problem(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    vm_indices: &[usize],
+    host_indices: &[usize],
+) -> (Problem, Vec<usize>) {
+    let selected_vms: std::collections::BTreeSet<usize> = vm_indices.iter().copied().collect();
+    let mut hosts: Vec<HostInfo> = host_indices.iter().map(|&hi| problem.hosts[hi].clone()).collect();
+
+    // Fold unselected residents into fixed demand.
+    for (vi, vm) in problem.vms.iter().enumerate() {
+        if selected_vms.contains(&vi) {
+            continue;
+        }
+        if let Some(cur) = vm.current_pm {
+            if let Some(pos) = hosts.iter().position(|h| h.id == cur) {
+                let mut d = oracle.demand(vm);
+                d.cpu += hosts[pos].virt_overhead_cpu_per_vm;
+                hosts[pos].fixed_demand += d;
+                hosts[pos].fixed_vm_count += 1;
+            }
+        }
+    }
+
+    let vms: Vec<VmInfo> = vm_indices.iter().map(|&vi| problem.vms[vi].clone()).collect();
+    (
+        Problem {
+            vms,
+            hosts,
+            net: problem.net.clone(),
+            billing: problem.billing.clone(),
+            horizon: problem.horizon,
+            stickiness_eur: problem.stickiness_eur,
+        },
+        vm_indices.to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TrueOracle;
+    use crate::problem::synthetic::problem;
+    use pamdc_infra::ids::PmId;
+
+    #[test]
+    fn happy_vms_are_kept_out() {
+        // Light load on host 0 with local clients: everything is fine,
+        // nothing needs moving.
+        let mut p = problem(2, 4, 20.0);
+        let home = p.hosts[0].location;
+        for vm in &mut p.vms {
+            for f in &mut vm.flows {
+                f.source = home;
+            }
+        }
+        let need = vms_needing_attention(&p, &TrueOracle::new(), &FilterConfig::default());
+        assert!(need.is_empty(), "light VMs should be left alone: {need:?}");
+    }
+
+    #[test]
+    fn crushed_vms_raise_their_hands() {
+        // 5 heavy VMs piled on host 0: SLA collapses, all become
+        // candidates.
+        let p = problem(5, 4, 400.0);
+        let need = vms_needing_attention(&p, &TrueOracle::new(), &FilterConfig::default());
+        assert_eq!(need.len(), 5);
+    }
+
+    #[test]
+    fn unplaced_vms_always_need_attention() {
+        let mut p = problem(2, 4, 20.0);
+        p.vms[1].current_pm = None;
+        let need = vms_needing_attention(&p, &TrueOracle::new(), &FilterConfig::default());
+        assert_eq!(need, vec![1]);
+    }
+
+    #[test]
+    fn full_hosts_not_offered_and_empty_twins_deduped() {
+        // 8 hosts: 0..4 in DCs 0..4, 4..8 duplicates. Host 0 holds all
+        // VMs (nearly full); hosts 4..8 are empty twins of 0..4.
+        let mut p = problem(4, 8, 350.0);
+        for vm in &mut p.vms {
+            vm.current_pm = Some(PmId(0));
+        }
+        let offered = hosts_worth_offering(&p, &TrueOracle::new(), &FilterConfig::default());
+        assert!(!offered.contains(&0), "crushed host must not be offered");
+        // Empty twins: host 4 shares DC0 with host 0; hosts 1..4 (powered
+        // off, empty) each get one representative; their twins 5,6,7 are
+        // deduped away.
+        assert!(offered.contains(&1) && offered.contains(&2) && offered.contains(&3));
+        assert!(offered.contains(&4), "dc0 still has an empty representative");
+        for twin in [5usize, 6, 7] {
+            assert!(!offered.contains(&twin), "twin {twin} should be deduped: {offered:?}");
+        }
+    }
+
+    #[test]
+    fn reduced_problem_folds_residents() {
+        let p = problem(3, 2, 100.0);
+        let o = TrueOracle::new();
+        // Keep only VM 1 in the round; hosts both. VMs 0 and 2 stay as
+        // fixed demand on host 0.
+        let (sub, mapping) = reduced_problem(&p, &o, &[1], &[0, 1]);
+        assert_eq!(sub.vms.len(), 1);
+        assert_eq!(mapping, vec![1]);
+        assert_eq!(sub.hosts[0].fixed_vm_count, 2);
+        assert!(sub.hosts[0].fixed_demand.cpu > 0.0);
+        assert_eq!(sub.hosts[1].fixed_vm_count, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! The two-layer hierarchical scheduler — the paper's main contribution
+//! (§III-B, §IV-C).
+//!
+//! Multi-DC systems decentralize: "each DC deals with its VMs and
+//! resources, bringing to the global scheduler information about the
+//! offered or tentative host where each VM may be placed". Concretely,
+//! each round:
+//!
+//! 1. **Intra-DC pass** — every datacenter runs Descending Best-Fit over
+//!    its own VMs and hosts (consolidating or deconsolidating locally).
+//! 2. **Narrow interface** — each DC publishes (a) the VMs whose
+//!    estimated QoS stays poor even after the local pass (they "could
+//!    improve if moved across DCs") and (b) its hosts with headroom,
+//!    identical empty machines deduplicated.
+//! 3. **Global pass** — one Best-Fit over the published candidates and
+//!    offers, whose profit function sees inter-DC latency, energy-price
+//!    differences and migration blackouts.
+//!
+//! The global pass overrides the intra-DC choice only for the VMs it was
+//! given — everything else never leaves its DC, which is what keeps the
+//! round cheap ("this approach largely reduces solving cost").
+
+use crate::bestfit::best_fit;
+use crate::filter::{hosts_worth_offering, reduced_problem, vms_needing_attention, FilterConfig};
+use crate::localsearch::{improve_schedule, LocalSearchConfig};
+use crate::oracle::QosOracle;
+use crate::problem::{Problem, Schedule};
+use pamdc_infra::ids::DcId;
+use std::collections::BTreeMap;
+
+/// Hierarchical scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct HierarchicalConfig {
+    /// Candidate/offer filtering thresholds.
+    pub filter: FilterConfig,
+    /// Whole-schedule consolidation pass (None disables it). This is the
+    /// global manager's final word: single-VM relocations accepted only
+    /// when the full objective — including idle hosts emptied and
+    /// migration blackouts — strictly improves.
+    pub local_search: Option<LocalSearchConfig>,
+}
+
+impl Default for HierarchicalConfig {
+    fn default() -> Self {
+        HierarchicalConfig {
+            filter: FilterConfig::default(),
+            local_search: Some(LocalSearchConfig::default()),
+        }
+    }
+}
+
+/// Statistics of one hierarchical round (for the paper's scalability
+/// discussion).
+#[derive(Clone, Debug, Default)]
+pub struct RoundStats {
+    /// VMs handled purely intra-DC.
+    pub intra_vms: usize,
+    /// VMs escalated to the global pass.
+    pub global_vms: usize,
+    /// Hosts offered to the global pass.
+    pub offered_hosts: usize,
+    /// Moves applied by the consolidation pass.
+    pub consolidation_moves: usize,
+}
+
+/// Runs one full hierarchical round.
+pub fn hierarchical_round(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    cfg: &HierarchicalConfig,
+) -> (Schedule, RoundStats) {
+    // ------------------------------------------------------------------
+    // 1. Intra-DC pass: group VMs by the DC of their current host.
+    // ------------------------------------------------------------------
+    let mut assignment: Vec<Option<_>> = vec![None; problem.vms.len()];
+    let mut by_dc: BTreeMap<DcId, Vec<usize>> = BTreeMap::new();
+    let mut homeless: Vec<usize> = Vec::new();
+    for (vi, vm) in problem.vms.iter().enumerate() {
+        match vm.current_pm.and_then(|pm| problem.host_index(pm)) {
+            Some(hi) => by_dc.entry(problem.hosts[hi].dc).or_default().push(vi),
+            None => homeless.push(vi),
+        }
+    }
+
+    for (&dc, vm_indices) in &by_dc {
+        let host_indices: Vec<usize> = (0..problem.hosts.len())
+            .filter(|&hi| problem.hosts[hi].dc == dc)
+            .collect();
+        let (sub, mapping) = reduced_problem(problem, oracle, vm_indices, &host_indices);
+        let result = best_fit(&sub, oracle);
+        for (sub_vi, &orig_vi) in mapping.iter().enumerate() {
+            assignment[orig_vi] = Some(result.schedule.assignment[sub_vi]);
+        }
+    }
+
+    // Build the intermediate problem state: current placement replaced by
+    // the intra-DC outcome (so the global filter judges the *post-local*
+    // situation, as the paper specifies).
+    let mut post_local = problem.clone();
+    for (vi, slot) in assignment.iter().enumerate() {
+        if let Some(pm) = slot {
+            post_local.vms[vi].current_pm = Some(*pm);
+            if let Some(hi) = post_local.host_index(*pm) {
+                post_local.vms[vi].current_location = Some(post_local.hosts[hi].location);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Narrow interface: candidates + offers.
+    // ------------------------------------------------------------------
+    let mut candidates = vms_needing_attention(&post_local, oracle, &cfg.filter);
+    for vi in homeless {
+        if !candidates.contains(&vi) {
+            candidates.push(vi);
+        }
+    }
+    candidates.sort_unstable();
+    let offers = hosts_worth_offering(&post_local, oracle, &cfg.filter);
+
+    let stats = RoundStats {
+        intra_vms: problem.vms.len() - candidates.len(),
+        global_vms: candidates.len(),
+        offered_hosts: offers.len(),
+        consolidation_moves: 0,
+    };
+
+    // ------------------------------------------------------------------
+    // 3. Global pass (skipped when nobody needs it).
+    // ------------------------------------------------------------------
+    if !candidates.is_empty() && !offers.is_empty() {
+        let (sub, mapping) = reduced_problem(&post_local, oracle, &candidates, &offers);
+        let result = best_fit(&sub, oracle);
+        for (sub_vi, &orig_vi) in mapping.iter().enumerate() {
+            assignment[orig_vi] = Some(result.schedule.assignment[sub_vi]);
+        }
+    }
+
+    // Any VM still unassigned (e.g. homeless with no offers) falls back
+    // to a plain global Best-Fit over everything.
+    if assignment.iter().any(Option::is_none) {
+        let fallback = best_fit(problem, oracle);
+        for (vi, slot) in assignment.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(fallback.schedule.assignment[vi]);
+            }
+        }
+    }
+
+    let mut schedule =
+        Schedule { assignment: assignment.into_iter().map(|s| s.expect("all placed")).collect() };
+    schedule.validate(problem);
+
+    // ------------------------------------------------------------------
+    // 4. Consolidation pass: the global manager's energy sweep.
+    // ------------------------------------------------------------------
+    let mut stats = stats;
+    if let Some(ls) = &cfg.local_search {
+        let (improved, moves) = improve_schedule(problem, oracle, schedule, ls);
+        schedule = improved;
+        stats.consolidation_moves = moves;
+    }
+    (schedule, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TrueOracle;
+    use crate::problem::synthetic::problem;
+    use crate::profit::evaluate_schedule;
+    use pamdc_infra::ids::PmId;
+
+    /// 8 hosts = 2 per DC (fixture assigns round-robin i%4), 4 VMs all
+    /// currently crushed onto host 0.
+    fn crushed() -> Problem {
+        let mut p = problem(4, 8, 420.0);
+        for vm in &mut p.vms {
+            vm.current_pm = Some(PmId(0));
+        }
+        p
+    }
+
+    #[test]
+    fn light_load_never_escalates() {
+        let mut p = problem(3, 8, 20.0);
+        let home = p.hosts[0].location;
+        for vm in &mut p.vms {
+            for f in &mut vm.flows {
+                f.source = home;
+            }
+        }
+        let (schedule, stats) = hierarchical_round(&p, &TrueOracle::new(), &Default::default());
+        assert_eq!(stats.global_vms, 0, "healthy VMs must stay intra-DC");
+        assert_eq!(schedule.migration_count(&p), 0);
+    }
+
+    #[test]
+    fn overload_escalates_and_improves() {
+        let p = crushed();
+        let o = TrueOracle::new();
+        let (schedule, stats) = hierarchical_round(&p, &o, &Default::default());
+        let stay = crate::baselines::static_schedule(&p, &o);
+        let e_dyn = evaluate_schedule(&p, &o, &schedule);
+        let e_stat = evaluate_schedule(&p, &o, &stay);
+        assert!(stats.global_vms > 0, "crushed VMs must escalate");
+        assert!(
+            e_dyn.mean_sla() > e_stat.mean_sla(),
+            "hierarchical {} must beat static {}",
+            e_dyn.mean_sla(),
+            e_stat.mean_sla()
+        );
+    }
+
+    #[test]
+    fn local_headroom_is_used_before_going_global() {
+        // 2 heavy VMs on host 0; host 4 is the empty twin in the SAME dc.
+        // The intra-DC pass alone can fix this — the global round should
+        // see no candidates.
+        let mut p = problem(2, 8, 380.0);
+        let home = p.hosts[0].location;
+        for vm in &mut p.vms {
+            vm.current_pm = Some(PmId(0));
+            for f in &mut vm.flows {
+                f.source = home;
+            }
+        }
+        let (schedule, stats) = hierarchical_round(&p, &TrueOracle::new(), &Default::default());
+        assert_eq!(stats.global_vms, 0, "local deconsolidation suffices");
+        let used: std::collections::BTreeSet<_> = schedule.assignment.iter().collect();
+        // Both hosts used are in DC 0 (indices 0 and 4 -> i%4 == 0).
+        for pm in used {
+            assert_eq!(p.hosts[p.host_index(*pm).unwrap()].dc, p.hosts[0].dc);
+        }
+    }
+
+    #[test]
+    fn homeless_vms_get_placed() {
+        let mut p = problem(3, 8, 100.0);
+        for vm in &mut p.vms {
+            vm.current_pm = None;
+            vm.current_location = None;
+        }
+        let (schedule, stats) = hierarchical_round(&p, &TrueOracle::new(), &Default::default());
+        assert_eq!(schedule.assignment.len(), 3);
+        assert_eq!(stats.global_vms, 3);
+    }
+
+    #[test]
+    fn round_is_deterministic() {
+        let p = crushed();
+        let o = TrueOracle::new();
+        let (a, _) = hierarchical_round(&p, &o, &Default::default());
+        let (b, _) = hierarchical_round(&p, &o, &Default::default());
+        assert_eq!(a, b);
+    }
+}

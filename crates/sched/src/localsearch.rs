@@ -1,0 +1,176 @@
+//! Profit-improving local search — the consolidation pass.
+//!
+//! Descending Best-Fit places VMs one at a time with marginal profit, so
+//! it cannot see gains that only materialize when a host *empties* (its
+//! idle draw disappears). The paper's observed behaviour — "when a
+//! potential VM move does not bring any improvement in SLA or energy
+//! use, the VM either stays in its DC or is consolidated"; "energy
+//! consumption pushes for consolidation into the DC with cheapest
+//! energy (see the low load moments)" — needs exactly that whole-schedule
+//! view.
+//!
+//! [`improve_schedule`] runs steepest-ascent single-VM relocation over
+//! the full objective ([`evaluate_schedule`], which prices emptied hosts
+//! correctly and charges migration blackouts), accepting only strictly
+//! improving moves. Because every accepted move must beat its own
+//! migration penalty, the pass is self-damping — no churn.
+
+use crate::oracle::QosOracle;
+use crate::problem::{Problem, Schedule};
+use crate::profit::evaluate_schedule;
+
+/// Local-search knobs.
+#[derive(Clone, Debug)]
+pub struct LocalSearchConfig {
+    /// Upper bound on accepted moves per round (safety valve; the search
+    /// almost always converges earlier).
+    pub max_moves: usize,
+    /// Minimum € gain for a move to be accepted (keeps estimate noise
+    /// from triggering an exchange).
+    pub min_gain_eur: f64,
+    /// Consolidation headroom: reject moves that push the destination
+    /// host's believed utilisation (dominant share) above this. The
+    /// schedule holds for a whole round while load drifts and jitters;
+    /// packing to 100% of the *current* estimate trades real SLA for
+    /// estimated energy.
+    pub max_util_after_move: f64,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        LocalSearchConfig { max_moves: 16, min_gain_eur: 1e-6, max_util_after_move: 0.45 }
+    }
+}
+
+/// Steepest-ascent single-VM relocation until no move clears the gain
+/// threshold. Returns the improved schedule and the number of moves
+/// applied.
+pub fn improve_schedule(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    schedule: Schedule,
+    cfg: &LocalSearchConfig,
+) -> (Schedule, usize) {
+    let mut current = schedule;
+    let mut current_profit = evaluate_schedule(problem, oracle, &current).profit_eur;
+    let mut moves = 0;
+
+    let demands: Vec<_> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
+    while moves < cfg.max_moves {
+        // Believed demand per host under the current assignment.
+        let mut host_demand: Vec<_> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
+        for (vi, &pm) in current.assignment.iter().enumerate() {
+            let hi = problem.host_index(pm).expect("validated schedule");
+            host_demand[hi] += demands[vi];
+            host_demand[hi].cpu += problem.hosts[hi].virt_overhead_cpu_per_vm;
+        }
+
+        let mut best: Option<(usize, usize, f64)> = None; // (vm, host, profit)
+        for vi in 0..problem.vms.len() {
+            for (hi, host) in problem.hosts.iter().enumerate() {
+                if current.assignment[vi] == host.id {
+                    continue;
+                }
+                // Headroom guard on the destination.
+                let mut after = host_demand[hi];
+                after += demands[vi];
+                after.cpu += host.virt_overhead_cpu_per_vm;
+                if after.dominant_share(&host.capacity) > cfg.max_util_after_move {
+                    continue;
+                }
+                let mut candidate = current.clone();
+                candidate.assignment[vi] = host.id;
+                let p = evaluate_schedule(problem, oracle, &candidate).profit_eur;
+                if p > current_profit + cfg.min_gain_eur
+                    && best.as_ref().is_none_or(|&(_, _, bp)| p > bp)
+                {
+                    best = Some((vi, hi, p));
+                }
+            }
+        }
+        match best {
+            Some((vi, hi, p)) => {
+                current.assignment[vi] = problem.hosts[hi].id;
+                current_profit = p;
+                moves += 1;
+            }
+            None => break,
+        }
+    }
+    (current, moves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TrueOracle;
+    use crate::problem::synthetic::problem;
+    use pamdc_infra::ids::PmId;
+
+    #[test]
+    fn consolidates_idle_spread_for_energy() {
+        // Two feather-light VMs spread over two same-DC hosts with local
+        // clients: merging them empties a host and saves its idle draw.
+        let mut p = problem(2, 8, 10.0);
+        let home = p.hosts[0].location;
+        for vm in &mut p.vms {
+            for f in &mut vm.flows {
+                f.source = home;
+            }
+        }
+        // VM1 starts on host 4 (host 0's same-DC twin), both powered.
+        p.vms[1].current_pm = Some(PmId(4));
+        p.hosts[4].powered_on = true;
+        p.hosts[4].boot_penalty = pamdc_simcore::time::SimDuration::ZERO;
+        let o = TrueOracle::new();
+        let spread = Schedule {
+            assignment: vec![PmId(0), PmId(4)],
+        };
+        let before = evaluate_schedule(&p, &o, &spread);
+        let (improved, moves) = improve_schedule(&p, &o, spread, &LocalSearchConfig::default());
+        let after = evaluate_schedule(&p, &o, &improved);
+        assert!(moves >= 1, "light VMs must consolidate");
+        assert!(after.profit_eur > before.profit_eur);
+        assert_eq!(after.active_hosts, 1);
+    }
+
+    #[test]
+    fn never_decreases_profit() {
+        for rps in [20.0, 200.0, 500.0] {
+            let p = problem(4, 8, rps);
+            let o = TrueOracle::new();
+            let start = crate::bestfit::best_fit(&p, &o).schedule;
+            let before = evaluate_schedule(&p, &o, &start).profit_eur;
+            let (improved, _) =
+                improve_schedule(&p, &o, start, &LocalSearchConfig::default());
+            let after = evaluate_schedule(&p, &o, &improved).profit_eur;
+            assert!(after >= before - 1e-12, "{after} < {before} at rps {rps}");
+        }
+    }
+
+    #[test]
+    fn leaves_overloaded_spread_alone() {
+        // Heavy VMs on distinct hosts: merging would crush SLA, so no
+        // move should be accepted.
+        let mut p = problem(2, 2, 500.0);
+        p.vms[1].current_pm = Some(PmId(1));
+        p.hosts[1].powered_on = true;
+        p.hosts[1].boot_penalty = pamdc_simcore::time::SimDuration::ZERO;
+        let o = TrueOracle::new();
+        let spread = Schedule { assignment: vec![PmId(0), PmId(1)] };
+        let (improved, moves) =
+            improve_schedule(&p, &o, spread.clone(), &LocalSearchConfig::default());
+        assert_eq!(moves, 0);
+        assert_eq!(improved, spread);
+    }
+
+    #[test]
+    fn respects_move_cap() {
+        let p = problem(6, 8, 15.0);
+        let o = TrueOracle::new();
+        let start = crate::baselines::round_robin(&p);
+        let cfg = LocalSearchConfig { max_moves: 1, ..Default::default() };
+        let (_, moves) = improve_schedule(&p, &o, start, &cfg);
+        assert!(moves <= 1);
+    }
+}

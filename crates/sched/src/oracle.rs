@@ -1,0 +1,302 @@
+//! QoS oracles: where the scheduler's beliefs come from.
+//!
+//! The paper's central comparison is *what information drives Best-Fit*:
+//!
+//! * [`MonitorOracle`] — plain BF: sizes VMs by the last monitoring
+//!   window and guesses SLA from fit + client latency only. Under
+//!   contention the window under-reports true demand (a starved VM shows
+//!   the usage it got), so this oracle over-consolidates.
+//! * [`OverbookOracle`] — BF-OB: the same, but books `factor ×` the
+//!   observation (the paper uses 2×) to absorb surprises — safe but
+//!   wasteful.
+//! * [`MlOracle`] — BF-ML: predicts demand and SLA with the Table-I
+//!   models from load characteristics, which *do* reflect true demand.
+//! * [`TrueOracle`] — an upper-bound ablation with ground-truth access
+//!   (not available to a real system; used to measure the ML gap).
+
+use crate::problem::{HostInfo, VmInfo};
+use pamdc_infra::resources::Resources;
+use std::sync::Arc;
+use pamdc_ml::predictors::{PredictionTarget, PredictorSuite};
+use pamdc_perf::contention::{share_proportionally, share_work_conserving};
+use pamdc_perf::demand::required_resources;
+use pamdc_perf::rt::{evaluate, RtModelConfig};
+
+/// A scheduler's belief system: demand estimates and SLA forecasts.
+pub trait QosOracle: Send + Sync {
+    /// Estimated resource demand of `vm` over the coming period.
+    fn demand(&self, vm: &VmInfo) -> Resources;
+
+    /// Estimated SLA fulfillment of `vm` if placed on `host` where the
+    /// total demand (everyone incl. `vm` and fixed residents) is
+    /// `host_total_demand`, and clients reach it with `transport_secs`
+    /// mean latency.
+    fn sla(
+        &self,
+        vm: &VmInfo,
+        host: &HostInfo,
+        host_total_demand: &Resources,
+        transport_secs: f64,
+    ) -> f64;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain Best-Fit beliefs: last monitoring window + latency.
+#[derive(Clone, Debug, Default)]
+pub struct MonitorOracle {
+    /// Optional multiplier on the observation (1.0 = plain BF).
+    pub booking_factor: f64,
+}
+
+impl MonitorOracle {
+    /// Plain BF (factor 1).
+    pub fn plain() -> Self {
+        MonitorOracle { booking_factor: 1.0 }
+    }
+
+    /// BF-OB: the paper's 2× overbooking variant.
+    pub fn overbooked() -> Self {
+        MonitorOracle { booking_factor: 2.0 }
+    }
+}
+
+impl QosOracle for MonitorOracle {
+    fn demand(&self, vm: &VmInfo) -> Resources {
+        vm.observed_usage * self.booking_factor
+    }
+
+    fn sla(
+        &self,
+        vm: &VmInfo,
+        host: &HostInfo,
+        host_total_demand: &Resources,
+        transport_secs: f64,
+    ) -> f64 {
+        // Reactive estimate: if (believed) demand fits, assume processing
+        // stays at the no-stress baseline and only client latency moves
+        // the needle; if it does not fit, degrade by the overflow ratio.
+        // This deliberately reproduces the blind spot of the non-ML
+        // scheduler.
+        let base_rt = 0.05 + transport_secs;
+        let fit = host_total_demand.dominant_share(&host.capacity);
+        let est_rt = if fit <= 1.0 { base_rt } else { base_rt * fit * fit };
+        vm.sla.fulfillment(est_rt)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.booking_factor > 1.0 {
+            "BF-OB"
+        } else {
+            "BF"
+        }
+    }
+}
+
+/// BF-OB: the overbooking variant (type alias of convenience).
+pub type OverbookOracle = MonitorOracle;
+
+/// ML-driven beliefs: the Table-I predictor suite.
+#[derive(Clone)]
+pub struct MlOracle {
+    suite: Arc<PredictorSuite>,
+}
+
+impl MlOracle {
+    /// Wraps a trained suite (shared: cloning the oracle shares the
+    /// models, which is what parallel experiment arms want).
+    pub fn new(suite: Arc<PredictorSuite>) -> Self {
+        MlOracle { suite }
+    }
+
+    /// Wraps an owned suite.
+    pub fn from_suite(suite: PredictorSuite) -> Self {
+        MlOracle { suite: Arc::new(suite) }
+    }
+
+    /// Borrow the underlying suite (e.g. to print Table I).
+    pub fn suite(&self) -> &PredictorSuite {
+        &self.suite
+    }
+
+    fn load_features(vm: &VmInfo) -> [f64; 5] {
+        [
+            vm.load.rps,
+            vm.load.kb_in_per_req,
+            vm.load.kb_out_per_req,
+            vm.load.cpu_ms_per_req,
+            vm.load.backlog,
+        ]
+    }
+}
+
+impl QosOracle for MlOracle {
+    fn demand(&self, vm: &VmInfo) -> Resources {
+        let f = Self::load_features(vm);
+        Resources {
+            cpu: self.suite.predict(PredictionTarget::VmCpu, &f),
+            mem_mb: self.suite.predict(PredictionTarget::VmMem, &f),
+            net_in_kbps: self.suite.predict(PredictionTarget::VmIn, &f),
+            net_out_kbps: self.suite.predict(PredictionTarget::VmOut, &f),
+        }
+    }
+
+    fn sla(
+        &self,
+        vm: &VmInfo,
+        host: &HostInfo,
+        host_total_demand: &Resources,
+        transport_secs: f64,
+    ) -> f64 {
+        let demand = self.demand(vm);
+        // Predicted grant: proportional share of the host under the
+        // tentative total demand.
+        let cpu_factor = if host_total_demand.cpu > host.capacity.cpu && host_total_demand.cpu > 0.0
+        {
+            host.capacity.cpu / host_total_demand.cpu
+        } else {
+            1.0
+        };
+        let mem_factor =
+            if host_total_demand.mem_mb > host.capacity.mem_mb && host_total_demand.mem_mb > 0.0 {
+                host.capacity.mem_mb / host_total_demand.mem_mb
+            } else {
+                1.0
+            };
+        let granted_cpu = demand.cpu * cpu_factor;
+        let features = [
+            vm.load.rps,
+            vm.load.cpu_ms_per_req,
+            demand.cpu,
+            granted_cpu,
+            mem_factor,
+            vm.load.backlog,
+            transport_secs,
+        ];
+        self.suite.predict(PredictionTarget::VmSla, &features)
+    }
+
+    fn name(&self) -> &'static str {
+        "BF-ML"
+    }
+}
+
+/// Ground-truth beliefs (ablation upper bound).
+#[derive(Clone, Debug, Default)]
+pub struct TrueOracle {
+    /// RT model configuration (deterministic recommended).
+    pub rt_cfg: RtModelConfig,
+    /// Horizon seconds used for backlog drain in demand computation.
+    pub drain_secs: f64,
+}
+
+impl TrueOracle {
+    /// A deterministic true oracle with a 10-minute horizon.
+    pub fn new() -> Self {
+        TrueOracle { rt_cfg: RtModelConfig::deterministic(), drain_secs: 600.0 }
+    }
+}
+
+impl QosOracle for TrueOracle {
+    fn demand(&self, vm: &VmInfo) -> Resources {
+        required_resources(&vm.load, &vm.perf, self.drain_secs)
+    }
+
+    fn sla(
+        &self,
+        vm: &VmInfo,
+        host: &HostInfo,
+        host_total_demand: &Resources,
+        transport_secs: f64,
+    ) -> f64 {
+        let required = self.demand(vm);
+        let rest = host_total_demand.saturating_sub(&required);
+        let demands = [required, rest];
+        let granted = share_proportionally(&demands, host.capacity);
+        let burst = share_work_conserving(&demands, host.capacity);
+        let outcome = evaluate(
+            &vm.load,
+            &vm.perf,
+            &required,
+            &granted[0],
+            &burst[0],
+            &self.rt_cfg,
+            self.drain_secs,
+            None,
+        );
+        vm.sla.fulfillment(outcome.rt_process_secs + transport_secs)
+    }
+
+    fn name(&self) -> &'static str {
+        "BF-True"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::synthetic::problem;
+
+    #[test]
+    fn monitor_oracle_books_observation() {
+        let p = problem(2, 2, 50.0);
+        let plain = MonitorOracle::plain();
+        let ob = MonitorOracle::overbooked();
+        let d1 = plain.demand(&p.vms[0]);
+        let d2 = ob.demand(&p.vms[0]);
+        assert!((d2.cpu - 2.0 * d1.cpu).abs() < 1e-9);
+        assert_eq!(plain.name(), "BF");
+        assert_eq!(ob.name(), "BF-OB");
+    }
+
+    #[test]
+    fn monitor_oracle_blind_below_capacity() {
+        let p = problem(1, 1, 50.0);
+        let o = MonitorOracle::plain();
+        let host = &p.hosts[0];
+        // Anything that "fits" looks perfect apart from latency.
+        let light = Resources::new(100.0, 1024.0, 10.0, 10.0);
+        let sla = o.sla(&p.vms[0], host, &light, 0.01);
+        assert_eq!(sla, 1.0);
+        // Overflow degrades.
+        let heavy = Resources::new(800.0, 1024.0, 10.0, 10.0);
+        assert!(o.sla(&p.vms[0], host, &heavy, 0.01) < 1.0);
+    }
+
+    #[test]
+    fn monitor_oracle_sees_latency() {
+        let p = problem(1, 1, 50.0);
+        let o = MonitorOracle::plain();
+        let host = &p.hosts[0];
+        let d = Resources::new(100.0, 1024.0, 10.0, 10.0);
+        let near = o.sla(&p.vms[0], host, &d, 0.01);
+        let far = o.sla(&p.vms[0], host, &d, 0.40);
+        assert!(near > far, "remote clients must hurt estimated SLA");
+    }
+
+    #[test]
+    fn true_oracle_matches_ground_truth_shape() {
+        let p = problem(1, 1, 50.0);
+        let o = TrueOracle::new();
+        let host = &p.hosts[0];
+        let d = o.demand(&p.vms[0]);
+        // Lightly loaded host: excellent SLA.
+        let good = o.sla(&p.vms[0], host, &d, 0.01);
+        assert!(good > 0.95, "sla {good}");
+        // Crushed host: terrible SLA.
+        let crushed = Resources::new(1600.0, 8192.0, 100.0, 400.0);
+        let bad = o.sla(&p.vms[0], host, &crushed, 0.01);
+        assert!(bad < good, "contention must reduce SLA: {bad} vs {good}");
+    }
+
+    #[test]
+    fn true_oracle_demand_reflects_load() {
+        let mut p = problem(1, 1, 50.0);
+        let o = TrueOracle::new();
+        let lo = o.demand(&p.vms[0]);
+        p.vms[0].load.rps = 400.0;
+        let hi = o.demand(&p.vms[0]);
+        assert!(hi.cpu > 4.0 * lo.cpu);
+    }
+}

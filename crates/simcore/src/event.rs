@@ -1,0 +1,175 @@
+//! A deterministic future-event queue.
+//!
+//! The multi-DC simulation is mostly time-stepped (one tick per simulated
+//! minute), but discrete happenings — migration completions, PM boot
+//! finishing, scheduled flash crowds, scheduling rounds — live on this
+//! queue and are drained at the top of each tick. Ties are broken by
+//! insertion sequence so replays are exact.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in the queue: `(due, seq, payload)` ordered earliest-first.
+struct Entry<E> {
+    due: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (and, on ties,
+        // the first-inserted) entry surfaces first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-ordered future event queue with FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` to fire at `due`.
+    pub fn schedule(&mut self, due: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { due, seq, event });
+    }
+
+    /// The timestamp of the next event, if any.
+    pub fn peek_due(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Pops the next event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_due().is_some_and(|d| d <= now) {
+            self.heap.pop().map(|e| (e.due, e.event))
+        } else {
+            None
+        }
+    }
+
+    /// Drains every event due at or before `now` into a vector, in firing
+    /// order.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
+        let mut out = Vec::new();
+        while let Some(pair) = self.pop_due(now) {
+            out.push(pair);
+        }
+        out
+    }
+
+    /// Pops the next event unconditionally (advancing virtual time in a
+    /// pure discrete-event run).
+    pub fn pop_next(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.due, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), "c");
+        q.schedule(t(1), "a");
+        q.schedule(t(3), "b");
+        assert_eq!(q.pop_next().unwrap(), (t(1), "a"));
+        assert_eq!(q.pop_next().unwrap(), (t(3), "b"));
+        assert_eq!(q.pop_next().unwrap(), (t(5), "c"));
+        assert!(q.pop_next().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2), 1);
+        q.schedule(t(2), 2);
+        q.schedule(t(2), 3);
+        assert_eq!(q.pop_next().unwrap().1, 1);
+        assert_eq!(q.pop_next().unwrap().1, 2);
+        assert_eq!(q.pop_next().unwrap().1, 3);
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), "later");
+        q.schedule(t(1), "now");
+        assert_eq!(q.pop_due(t(5)).unwrap(), (t(1), "now"));
+        assert!(q.pop_due(t(5)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_due(), Some(t(10)));
+    }
+
+    #[test]
+    fn drain_due_collects_everything_due() {
+        let mut q = EventQueue::new();
+        for s in [4u64, 2, 8, 6, 1] {
+            q.schedule(t(s), s);
+        }
+        let fired = q.drain_due(t(5));
+        assert_eq!(fired.iter().map(|(_, e)| *e).collect::<Vec<_>>(), vec![1, 2, 4]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO + SimDuration::from_secs(1), ());
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

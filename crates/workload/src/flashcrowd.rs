@@ -1,0 +1,117 @@
+//! Flash crowds: sudden demand bursts.
+//!
+//! The paper's Figure 6 run deliberately keeps a flash-crowd effect "in
+//! minutes 70-90, for about 15 minutes, which clearly exceeds the capacity
+//! of the system". A [`FlashCrowd`] multiplies one service's (or every
+//! service's) arrival rate over a window, with a short linear ramp at each
+//! edge so the burst is steep but not a discontinuity.
+
+use pamdc_simcore::time::{SimDuration, SimTime};
+
+/// One demand burst.
+#[derive(Clone, Copy, Debug)]
+pub struct FlashCrowd {
+    /// Burst start.
+    pub start: SimTime,
+    /// Burst length (plateau plus ramps).
+    pub duration: SimDuration,
+    /// Peak arrival-rate multiplier (`>= 1`).
+    pub multiplier: f64,
+    /// Affected service index; `None` hits every service.
+    pub service: Option<usize>,
+    /// Affected client region; `None` hits every region.
+    pub region: Option<usize>,
+}
+
+impl FlashCrowd {
+    /// The paper's Figure 6 burst: minutes 70–90, system-wide.
+    pub fn paper_fig6(multiplier: f64) -> Self {
+        FlashCrowd {
+            start: SimTime::from_mins(70),
+            duration: SimDuration::from_mins(20),
+            multiplier,
+            service: None,
+            region: None,
+        }
+    }
+
+    /// Multiplier contributed by this burst for `(service, region)` at
+    /// time `t` (1.0 outside the window or off-target).
+    pub fn factor(&self, service: usize, region: usize, t: SimTime) -> f64 {
+        if self.service.is_some_and(|s| s != service)
+            || self.region.is_some_and(|r| r != region)
+        {
+            return 1.0;
+        }
+        let end = self.start + self.duration;
+        if t < self.start || t >= end {
+            return 1.0;
+        }
+        // 10% ramp up, 80% plateau, 10% ramp down.
+        let total = self.duration.as_secs_f64();
+        let x = (t - self.start).as_secs_f64() / total;
+        let shape = if x < 0.1 {
+            x / 0.1
+        } else if x > 0.9 {
+            (1.0 - x) / 0.1
+        } else {
+            1.0
+        };
+        1.0 + (self.multiplier - 1.0) * shape
+    }
+}
+
+/// Combined multiplier of several bursts (product).
+pub fn combined_factor(crowds: &[FlashCrowd], service: usize, region: usize, t: SimTime) -> f64 {
+    crowds.iter().map(|c| c.factor(service, region, t)).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outside_window_is_unity() {
+        let c = FlashCrowd::paper_fig6(8.0);
+        assert_eq!(c.factor(0, 0, SimTime::from_mins(69)), 1.0);
+        assert_eq!(c.factor(0, 0, SimTime::from_mins(90)), 1.0);
+    }
+
+    #[test]
+    fn plateau_hits_multiplier() {
+        let c = FlashCrowd::paper_fig6(8.0);
+        let f = c.factor(2, 3, SimTime::from_mins(80));
+        assert!((f - 8.0).abs() < 1e-9, "plateau factor {f}");
+    }
+
+    #[test]
+    fn ramps_are_intermediate() {
+        let c = FlashCrowd::paper_fig6(8.0);
+        let early = c.factor(0, 0, SimTime::from_mins(71));
+        assert!(early > 1.0 && early < 8.0, "ramp factor {early}");
+    }
+
+    #[test]
+    fn targeting_filters() {
+        let c = FlashCrowd {
+            start: SimTime::ZERO,
+            duration: SimDuration::from_mins(10),
+            multiplier: 5.0,
+            service: Some(1),
+            region: Some(2),
+        };
+        let mid = SimTime::from_mins(5);
+        assert_eq!(c.factor(0, 2, mid), 1.0);
+        assert_eq!(c.factor(1, 0, mid), 1.0);
+        assert!((c.factor(1, 2, mid) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combination_multiplies() {
+        let a = FlashCrowd::paper_fig6(2.0);
+        let b = FlashCrowd::paper_fig6(3.0);
+        let f = combined_factor(&[a, b], 0, 0, SimTime::from_mins(80));
+        assert!((f - 6.0).abs() < 1e-9);
+        assert_eq!(combined_factor(&[], 0, 0, SimTime::from_mins(80)), 1.0);
+    }
+}

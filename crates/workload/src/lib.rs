@@ -1,0 +1,27 @@
+//! # pamdc-workload — synthetic Li-BCN-like web workload generation
+//!
+//! The paper drives its experiments with the Li-BCN 2010 trace collection;
+//! that data is not redistributable, so this crate rebuilds its *shape*
+//! parametrically: diurnal + weekly load curves ([`profile`]), per-class
+//! request cost distributions with heavy-tailed response sizes
+//! ([`service`]), per-region timezone phase shifts and affinity weights
+//! ([`generator`]), and injected flash crowds ([`flashcrowd`]). Preset
+//! scenarios matching each of the paper's experiments live in [`libcn`].
+//!
+//! Sampling is a pure function of `(seed, service, tick)`, so traces are
+//! reproducible and safe to generate from parallel workers.
+
+pub mod flashcrowd;
+pub mod generator;
+pub mod libcn;
+pub mod profile;
+pub mod service;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::flashcrowd::{combined_factor, FlashCrowd};
+    pub use crate::generator::{FlowSample, Region, ServiceWorkload, Workload};
+    pub use crate::libcn;
+    pub use crate::profile::{DayPeak, DiurnalProfile};
+    pub use crate::service::ServiceClass;
+}

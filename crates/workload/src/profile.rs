@@ -1,0 +1,160 @@
+//! Diurnal and weekly load-shape profiles.
+//!
+//! Web traffic follows the day: the Li-BCN traces the paper uses are
+//! classic diurnal curves with a morning ramp, midday/evening peaks, a
+//! deep night trough, and weekend attenuation. [`DiurnalProfile`] is a
+//! parametric reconstruction — a base rate modulated by Gaussian bumps in
+//! local-time hours — that the generator phase-shifts per region to
+//! simulate the paper's four time zones.
+
+/// One Gaussian bump on the daily curve.
+#[derive(Clone, Copy, Debug)]
+pub struct DayPeak {
+    /// Center, local hour in `[0, 24)`.
+    pub hour: f64,
+    /// Width (standard deviation), hours.
+    pub width: f64,
+    /// Amplitude as a multiple of the base rate.
+    pub amplitude: f64,
+}
+
+/// A 24-hour load shape with weekly modulation.
+#[derive(Clone, Debug)]
+pub struct DiurnalProfile {
+    /// Night-floor fraction of the nominal rate, `> 0`.
+    pub base: f64,
+    /// Additive Gaussian bumps.
+    pub peaks: Vec<DayPeak>,
+    /// Multiplier applied on days 5 and 6 of each week (weekends).
+    pub weekend_factor: f64,
+}
+
+impl DiurnalProfile {
+    /// Office-hours shape: strong 11:00 and 16:00 peaks, quiet nights —
+    /// typical of business/file-hosting services.
+    pub fn office_hours() -> Self {
+        DiurnalProfile {
+            base: 0.25,
+            peaks: vec![
+                DayPeak { hour: 11.0, width: 2.2, amplitude: 1.0 },
+                DayPeak { hour: 16.0, width: 2.5, amplitude: 0.85 },
+            ],
+            weekend_factor: 0.5,
+        }
+    }
+
+    /// Evening-leisure shape: one broad 20:30 peak — image galleries,
+    /// media browsing.
+    pub fn evening() -> Self {
+        DiurnalProfile {
+            base: 0.3,
+            peaks: vec![
+                DayPeak { hour: 20.5, width: 3.0, amplitude: 1.2 },
+                DayPeak { hour: 13.0, width: 2.0, amplitude: 0.4 },
+            ],
+            weekend_factor: 1.25,
+        }
+    }
+
+    /// Flat shape (constant load) for control experiments.
+    pub fn flat() -> Self {
+        DiurnalProfile { base: 1.0, peaks: Vec::new(), weekend_factor: 1.0 }
+    }
+
+    /// Midday-centred single peak used by the follow-the-sun scenario:
+    /// load is maximal at local noon, so the globally dominant source
+    /// rotates cleanly with the time zones.
+    pub fn noon_peak() -> Self {
+        DiurnalProfile {
+            base: 0.12,
+            peaks: vec![DayPeak { hour: 13.0, width: 3.2, amplitude: 1.6 }],
+            weekend_factor: 1.0,
+        }
+    }
+
+    /// Relative intensity at a **local** hour-of-day and day index;
+    /// always `> 0`, around `1.0` at a typical peak.
+    pub fn intensity(&self, local_hour: f64, day_index: u64) -> f64 {
+        let h = local_hour.rem_euclid(24.0);
+        let mut v = self.base;
+        for p in &self.peaks {
+            // Circular distance on the 24h clock so late-night peaks wrap.
+            let mut d = (h - p.hour).abs();
+            if d > 12.0 {
+                d = 24.0 - d;
+            }
+            v += p.amplitude * (-0.5 * (d / p.width).powi(2)).exp();
+        }
+        let weekday = day_index % 7;
+        if weekday >= 5 {
+            v *= self.weekend_factor;
+        }
+        v.max(1e-6)
+    }
+
+    /// Intensity at an absolute simulation hour for a region with the
+    /// given UTC offset (simulation time is UTC).
+    pub fn intensity_at(&self, sim_hours: f64, utc_offset_hours: f64) -> f64 {
+        let local = sim_hours + utc_offset_hours;
+        let day = (local / 24.0).floor().max(0.0) as u64;
+        self.intensity(local.rem_euclid(24.0), day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_dominate_troughs() {
+        let p = DiurnalProfile::office_hours();
+        let peak = p.intensity(11.0, 0);
+        let night = p.intensity(3.5, 0);
+        assert!(peak > 3.0 * night, "peak {peak} vs night {night}");
+    }
+
+    #[test]
+    fn always_positive() {
+        let p = DiurnalProfile::evening();
+        for i in 0..240 {
+            assert!(p.intensity(i as f64 * 0.1, 0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn weekend_attenuation() {
+        let p = DiurnalProfile::office_hours();
+        let weekday = p.intensity(11.0, 2);
+        let weekend = p.intensity(11.0, 5);
+        assert!((weekend / weekday - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_profile_is_constant() {
+        let p = DiurnalProfile::flat();
+        assert_eq!(p.intensity(0.0, 0), p.intensity(12.0, 3));
+    }
+
+    #[test]
+    fn timezone_shift_moves_peak() {
+        let p = DiurnalProfile::noon_peak();
+        // At simulation hour 3 UTC, a +10 region is at 13:00 local (peak);
+        // a -5 region is at 22:00 local (trough).
+        let east = p.intensity_at(3.0, 10.0);
+        let west = p.intensity_at(3.0, -5.0);
+        assert!(east > 2.0 * west, "east {east} west {west}");
+    }
+
+    #[test]
+    fn circular_peak_wraps_midnight() {
+        let p = DiurnalProfile {
+            base: 0.1,
+            peaks: vec![DayPeak { hour: 23.5, width: 1.0, amplitude: 1.0 }],
+            weekend_factor: 1.0,
+        };
+        // 00:30 is one hour from 23:30 across midnight.
+        let just_after = p.intensity(0.5, 0);
+        let far = p.intensity(12.0, 0);
+        assert!(just_after > 3.0 * far);
+    }
+}

@@ -1,0 +1,64 @@
+//! The paper's Figure 8 (SLA vs energy vs load) plus the §IV-C solver
+//! scaling study, both exercising the parallel sweep harness.
+//!
+//! ```sh
+//! cargo run --release --example tradeoff_surface            # quick
+//! cargo run --release --example tradeoff_surface -- --full  # denser sweep
+//! ```
+
+use pamdc::manager::experiments::{fig8, solver_scaling};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+
+    // ---- Figure 8 surface (parallel sweep) ----
+    let f8_cfg = if full {
+        fig8::Fig8Config {
+            load_scales: vec![0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5],
+            pms_per_dc: vec![1, 2, 3],
+            hours: 8,
+            vms: 5,
+            seed: 9,
+        }
+    } else {
+        fig8::Fig8Config::default()
+    };
+    let n_points = f8_cfg.load_scales.len() * f8_cfg.pms_per_dc.len();
+    println!(
+        "Sweeping {} (load x energy-budget) points in parallel, {} h each...",
+        n_points, f8_cfg.hours
+    );
+    let surface = fig8::run(&f8_cfg);
+    println!("\n{}", fig8::render(&surface));
+
+    // For a fixed load, more energy (hosts) must buy equal-or-better SLA.
+    for &ls in &f8_cfg.load_scales {
+        let mut row: Vec<_> =
+            surface.points.iter().filter(|p| p.load_scale == ls).collect();
+        row.sort_by_key(|p| p.pms_per_dc);
+        if row.len() >= 2 {
+            println!(
+                "load x{:.2}: SLA {:.3} @ {:.0} W  ->  SLA {:.3} @ {:.0} W",
+                ls,
+                row.first().unwrap().mean_sla,
+                row.first().unwrap().avg_watts,
+                row.last().unwrap().mean_sla,
+                row.last().unwrap().avg_watts,
+            );
+        }
+    }
+
+    // ---- Solver scaling ----
+    let sc_cfg = if full {
+        solver_scaling::ScalingConfig::default()
+    } else {
+        solver_scaling::ScalingConfig {
+            sizes: vec![(2, 4), (4, 8), (6, 12)],
+            exact_vm_cap: 6,
+            rps: 250.0,
+        }
+    };
+    println!("\nSolver scaling study (the paper's 'MILP needs minutes' observation)...");
+    let points = solver_scaling::run(&sc_cfg);
+    println!("\n{}", solver_scaling::render(&points));
+}

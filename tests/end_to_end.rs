@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: the paper's headline claims, asserted
+//! against live (shortened) experiment runs.
+
+use pamdc::manager::experiments::{deloc, fig5, fig6, fig7_table3, solver_scaling, table1, table2};
+use pamdc::prelude::*;
+use pamdc_sched::oracle::TrueOracle;
+
+#[test]
+fn quickstart_shape() {
+    let scenario = ScenarioBuilder::paper_multi_dc().vms(5).seed(7).build();
+    let outcome = SimulationRunner::new(
+        scenario,
+        Box::new(HierarchicalPolicy::new(TrueOracle::new())),
+    )
+    .run(SimDuration::from_hours(2))
+    .0;
+    assert!(outcome.mean_sla > 0.5 && outcome.mean_sla <= 1.0, "sla {}", outcome.mean_sla);
+    assert!(outcome.avg_watts > 0.0);
+    assert!(outcome.profit.revenue_eur > 0.0);
+    assert!(outcome.series.get("sla").is_some());
+}
+
+#[test]
+fn table2_constants_hold() {
+    table2::verify();
+    let rendered = table2::render();
+    assert!(rendered.contains("0.1314") && rendered.contains("265"));
+}
+
+/// E-T1: the learning pipeline reaches paper-band quality on every
+/// target, and the method assignments match the paper's choices.
+#[test]
+fn table1_learning_quality() {
+    let outcome = table1::run(&table1::Table1Config::quick(2013));
+    assert_eq!(outcome.reports.len(), 7);
+    for (name, rep) in &outcome.reports {
+        assert!(
+            rep.correlation > 0.7,
+            "{name}: correlation {} below the paper band",
+            rep.correlation
+        );
+        assert!(rep.n_train > 100, "{name}: too few training examples");
+    }
+    let sla = &outcome.reports.iter().find(|(n, _)| n == "Predict VM SLA").unwrap().1;
+    assert_eq!(sla.method, "K-NN");
+    assert!(sla.correlation > 0.9, "SLA k-NN corr {}", sla.correlation);
+}
+
+/// E-F5: the follow-the-load VM visits at least 3 of the 4 DCs over two
+/// simulated days.
+#[test]
+fn fig5_vm_follows_the_sun() {
+    let result = fig5::run(&fig5::Fig5Config { hours: 48, seed: 5 });
+    assert!(
+        result.dcs_visited >= 3,
+        "VM should chase the load around the planet, visited {}",
+        result.dcs_visited
+    );
+    assert!(result.outcome.migrations >= 3);
+}
+
+/// E-DL: allowing de-location from an overloaded home DC raises SLA.
+#[test]
+fn deloc_improves_sla() {
+    let cfg = deloc::DelocConfig::quick(6);
+    let result = deloc::run(&cfg);
+    assert!(
+        result.sla_gain() > 0.02,
+        "de-location must buy SLA: fixed {} vs deloc {}",
+        result.fixed.mean_sla,
+        result.delocating.mean_sla
+    );
+    assert!(result.benefit_eur_per_vm_day(cfg.vms) > 0.0);
+}
+
+/// E-F6: the flash crowd dents SLA and the system recovers afterwards.
+#[test]
+fn fig6_flash_crowd_dents_and_recovers() {
+    let result = fig6::run(&fig6::Fig6Config::quick(7), None);
+    assert!(
+        result.sla_during_crowd < result.sla_before_crowd - 0.1,
+        "crowd must dent SLA: before {} during {}",
+        result.sla_before_crowd,
+        result.sla_during_crowd
+    );
+    assert!(
+        result.sla_after_crowd > result.sla_during_crowd,
+        "system must recover: during {} after {}",
+        result.sla_during_crowd,
+        result.sla_after_crowd
+    );
+}
+
+/// E-F7/T3: dynamic multi-DC management saves substantial energy at
+/// comparable SLA.
+#[test]
+fn table3_dynamic_saves_energy() {
+    let result = fig7_table3::run(&fig7_table3::Table3Config::quick(8), None);
+    assert!(
+        result.energy_saving_frac() > 0.10,
+        "dynamic must save energy: static {} W vs dynamic {} W",
+        result.static_global.avg_watts,
+        result.dynamic.avg_watts
+    );
+    assert!(
+        result.dynamic.mean_sla > result.static_global.mean_sla - 0.05,
+        "SLA must stay comparable: static {} dynamic {}",
+        result.static_global.mean_sla,
+        result.dynamic.mean_sla
+    );
+    assert_eq!(result.static_global.migrations, 0);
+}
+
+/// E-SC: the exact solver's work explodes with instance size while
+/// Best-Fit stays fast, and the heuristic's profit gap stays small.
+#[test]
+fn solver_scaling_shape() {
+    let points = solver_scaling::run(&solver_scaling::ScalingConfig {
+        sizes: vec![(2, 4), (4, 8), (6, 8)],
+        exact_vm_cap: 6,
+        rps: 250.0,
+    });
+    let nodes: Vec<u64> = points.iter().filter_map(|p| p.exact_nodes).collect();
+    assert!(nodes.windows(2).all(|w| w[1] >= w[0]), "nodes must grow: {nodes:?}");
+    assert!(
+        nodes.last().unwrap() > &(nodes[0] * 4),
+        "exact search must blow up super-linearly: {nodes:?}"
+    );
+    for p in &points {
+        if let Some(gap) = p.profit_gap {
+            assert!(gap >= -1e-9, "exact must be at least as good");
+            assert!(gap < 0.35, "heuristic must stay competitive, gap {gap}");
+        }
+    }
+}
