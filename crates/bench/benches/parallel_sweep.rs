@@ -1,12 +1,14 @@
-//! HPC ablation: the crossbeam-parallel experiment sweep vs the same
-//! sweep run sequentially — the speedup that makes the Figure-8 surface
-//! and the training pipeline affordable.
+//! HPC ablation: the deterministic parallel experiment sweep
+//! ([`pamdc_simcore::par::parallel_map`]) vs the same sweep run
+//! sequentially — the speedup that makes the Figure-8 surface and the
+//! training pipeline affordable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pamdc_core::policy::HierarchicalPolicy;
 use pamdc_core::scenario::ScenarioBuilder;
 use pamdc_core::simulation::{RunConfig, SimulationRunner};
 use pamdc_sched::oracle::TrueOracle;
+use pamdc_simcore::par::parallel_map;
 use pamdc_simcore::time::SimDuration;
 use std::hint::black_box;
 
@@ -31,14 +33,9 @@ fn bench(c: &mut Criterion) {
             black_box(v)
         })
     });
-    g.bench_function("crossbeam_parallel", |b| {
+    g.bench_function("parallel_map", |b| {
         b.iter(|| {
-            let v: Vec<f64> = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> =
-                    SCALES.iter().map(|&s| scope.spawn(move |_| run_point(s))).collect();
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
-            })
-            .expect("scope");
+            let v: Vec<f64> = parallel_map(SCALES.to_vec(), run_point);
             black_box(v)
         })
     });
@@ -47,11 +44,7 @@ fn bench(c: &mut Criterion) {
     // Parallel and sequential sweeps must agree exactly (deterministic
     // derived RNG streams).
     let seq: Vec<f64> = SCALES.iter().map(|&s| run_point(s)).collect();
-    let par: Vec<f64> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = SCALES.iter().map(|&s| scope.spawn(move |_| run_point(s))).collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
+    let par: Vec<f64> = parallel_map(SCALES.to_vec(), run_point);
     assert_eq!(seq, par, "parallel sweep must be bit-identical to sequential");
     println!("parallel sweep verified bit-identical to sequential over {} points", SCALES.len());
 }

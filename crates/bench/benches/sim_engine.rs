@@ -2,7 +2,7 @@
 //! full MAPE loop, the event queue, and the RT ground-truth model.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pamdc_core::policy::StaticPolicy;
+use pamdc_core::policy::{HierarchicalPolicy, StaticPolicy};
 use pamdc_core::scenario::ScenarioBuilder;
 use pamdc_core::simulation::{RunConfig, SimulationRunner};
 use pamdc_perf::prelude::*;
@@ -17,6 +17,19 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let s = ScenarioBuilder::paper_multi_dc().vms(5).seed(3).build();
             let p = Box::new(StaticPolicy(TrueOracle::new()));
+            let runner = SimulationRunner::new(s, p)
+                .config(RunConfig { keep_series: false, ..Default::default() });
+            black_box(runner.run(SimDuration::from_hours(6)).0.total_wh)
+        })
+    });
+    // The full engine: every round runs the two-layer scheduler plus
+    // the consolidation pass, so this case sees both the tick-loop
+    // scratch reuse and the incremental schedule evaluation.
+    g.bench_function("mape_loop_6h_8vms_hierarchical", |b| {
+        b.iter(|| {
+            let s =
+                ScenarioBuilder::paper_multi_dc().vms(8).pms_per_dc(3).seed(3).build();
+            let p = Box::new(HierarchicalPolicy::new(TrueOracle::new()));
             let runner = SimulationRunner::new(s, p)
                 .config(RunConfig { keep_series: false, ..Default::default() });
             black_box(runner.run(SimDuration::from_hours(6)).0.total_wh)

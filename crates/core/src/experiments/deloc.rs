@@ -84,20 +84,18 @@ pub fn run(cfg: &DelocConfig) -> DelocResult {
             .seed(cfg.seed)
             .build()
     };
-    let (fixed, delocating) = crossbeam::thread::scope(|scope| {
-        let fixed = scope.spawn(|_| {
+    let (fixed, delocating) = pamdc_simcore::par::join(
+        || {
             SimulationRunner::new(build(), Box::new(StaticPolicy(TrueOracle::new())))
                 .run(duration)
                 .0
-        });
-        let deloc = scope.spawn(|_| {
+        },
+        || {
             SimulationRunner::new(build(), Box::new(HierarchicalPolicy::new(TrueOracle::new())))
                 .run(duration)
                 .0
-        });
-        (fixed.join().expect("fixed arm"), deloc.join().expect("deloc arm"))
-    })
-    .expect("crossbeam scope");
+        },
+    );
     DelocResult { fixed, delocating }
 }
 

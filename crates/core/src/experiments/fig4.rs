@@ -80,29 +80,17 @@ pub fn run(cfg: &Fig4Config, training: &TrainingOutcome) -> Fig4Result {
         arms.push(Arm::BfTrue);
     }
 
-    let outcomes: Vec<RunOutcome> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = arms
-            .into_iter()
-            .map(|arm| {
-                let scenario = scenario();
-                scope.spawn(move |_| {
-                    let policy: Box<dyn crate::policy::PlacementPolicy> = match arm {
-                        Arm::Bf => Box::new(BestFitPolicy::new(MonitorOracle::plain())),
-                        Arm::BfOb => {
-                            Box::new(BestFitPolicy::new(MonitorOracle::overbooked()))
-                        }
-                        Arm::BfMl(suite) => {
-                            Box::new(BestFitPolicy::new(MlOracle::new(suite)))
-                        }
-                        Arm::BfTrue => Box::new(BestFitPolicy::new(TrueOracle::new())),
-                    };
-                    SimulationRunner::new(scenario, policy).run(duration).0
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("arm thread")).collect()
-    })
-    .expect("crossbeam scope");
+    let jobs: Vec<(Arm, _)> = arms.into_iter().map(|arm| (arm, scenario())).collect();
+    let outcomes: Vec<RunOutcome> =
+        pamdc_simcore::par::parallel_map(jobs, |(arm, scenario)| {
+            let policy: Box<dyn crate::policy::PlacementPolicy> = match arm {
+                Arm::Bf => Box::new(BestFitPolicy::new(MonitorOracle::plain())),
+                Arm::BfOb => Box::new(BestFitPolicy::new(MonitorOracle::overbooked())),
+                Arm::BfMl(suite) => Box::new(BestFitPolicy::new(MlOracle::new(suite))),
+                Arm::BfTrue => Box::new(BestFitPolicy::new(TrueOracle::new())),
+            };
+            SimulationRunner::new(scenario, policy).run(duration).0
+        });
 
     Fig4Result { outcomes }
 }

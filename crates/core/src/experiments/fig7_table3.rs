@@ -73,22 +73,20 @@ pub fn run(cfg: &Table3Config, training: Option<&TrainingOutcome>) -> Table3Resu
             .build()
     };
     let suite = training.map(|t| t.suite.clone());
-    let (static_global, dynamic) = crossbeam::thread::scope(|scope| {
-        let s = scope.spawn(|_| {
+    let (static_global, dynamic) = pamdc_simcore::par::join(
+        || {
             SimulationRunner::new(build(), Box::new(StaticPolicy(TrueOracle::new())))
                 .run(duration)
                 .0
-        });
-        let d = scope.spawn(move |_| {
+        },
+        move || {
             let policy: Box<dyn PlacementPolicy> = match suite {
                 Some(suite) => Box::new(HierarchicalPolicy::new(MlOracle::new(suite))),
                 None => Box::new(HierarchicalPolicy::new(TrueOracle::new())),
             };
             SimulationRunner::new(build(), policy).run(duration).0
-        });
-        (s.join().expect("static arm"), d.join().expect("dynamic arm"))
-    })
-    .expect("crossbeam scope");
+        },
+    );
     Table3Result { static_global, dynamic }
 }
 

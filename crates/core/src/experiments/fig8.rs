@@ -6,8 +6,9 @@
 //! sweeping the global load scale and, per load level, varying how much
 //! energy the system may spend (here: how many hosts per DC it may
 //! power), then measuring the achieved SLA. Sweep points run in
-//! parallel — one crossbeam worker per point, each with its own derived
-//! seed, so the sweep is deterministic regardless of thread interleaving.
+//! parallel — one sweep point per [`pamdc_simcore::par::parallel_map`]
+//! item, each with its own derived seed, so the sweep is deterministic
+//! regardless of thread interleaving.
 
 use crate::policy::HierarchicalPolicy;
 use crate::report::TextTable;
@@ -89,35 +90,26 @@ pub fn run(cfg: &Fig8Config) -> Fig8Result {
     let vms = cfg.vms;
     let seed = cfg.seed;
 
-    let points: Vec<SurfacePoint> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = combos
-            .iter()
-            .map(|&(load_scale, pms_per_dc)| {
-                scope.spawn(move |_| {
-                    let scenario = ScenarioBuilder::paper_multi_dc()
-                        .vms(vms)
-                        .pms_per_dc(pms_per_dc)
-                        .load_scale(load_scale)
-                        .seed(seed)
-                        .build();
-                    let policy = Box::new(HierarchicalPolicy::new(TrueOracle::new()));
-                    let (o, _) = SimulationRunner::new(scenario, policy)
-                        .run(SimDuration::from_hours(hours));
-                    let mean_rps =
-                        o.series.get("rps").map(|s| s.mean()).unwrap_or(0.0);
-                    SurfacePoint {
-                        load_scale,
-                        pms_per_dc,
-                        mean_rps,
-                        avg_watts: o.avg_watts,
-                        mean_sla: o.mean_sla,
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep point")).collect()
-    })
-    .expect("crossbeam scope");
+    let points: Vec<SurfacePoint> =
+        pamdc_simcore::par::parallel_map(combos, |(load_scale, pms_per_dc)| {
+            let scenario = ScenarioBuilder::paper_multi_dc()
+                .vms(vms)
+                .pms_per_dc(pms_per_dc)
+                .load_scale(load_scale)
+                .seed(seed)
+                .build();
+            let policy = Box::new(HierarchicalPolicy::new(TrueOracle::new()));
+            let (o, _) =
+                SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(hours));
+            let mean_rps = o.series.get("rps").map(|s| s.mean()).unwrap_or(0.0);
+            SurfacePoint {
+                load_scale,
+                pms_per_dc,
+                mean_rps,
+                avg_watts: o.avg_watts,
+                mean_sla: o.mean_sla,
+            }
+        });
 
     Fig8Result { points }
 }

@@ -131,14 +131,14 @@ pub fn run(cfg: &GreenConfig) -> GreenResult {
     };
     let run_cfg =
         RunConfig { plan_horizon_ticks: Some(PLAN_HORIZON_TICKS), ..RunConfig::default() };
-    let (sun_aware, price_blind) = crossbeam::thread::scope(|scope| {
-        let a = scope.spawn(|_| {
+    let (sun_aware, price_blind) = pamdc_simcore::par::join(
+        || {
             SimulationRunner::new(build(true), Box::new(HierarchicalPolicy::new(TrueOracle::new())))
                 .config(run_cfg.clone())
                 .run(duration)
                 .0
-        });
-        let b = scope.spawn(|_| {
+        },
+        || {
             SimulationRunner::new(
                 build(false),
                 Box::new(HierarchicalPolicy::new(TrueOracle::new())),
@@ -146,10 +146,8 @@ pub fn run(cfg: &GreenConfig) -> GreenResult {
             .config(run_cfg.clone())
             .run(duration)
             .0
-        });
-        (a.join().expect("sun-aware arm"), b.join().expect("price-blind arm"))
-    })
-    .expect("crossbeam scope");
+        },
+    );
     GreenResult { sun_aware, price_blind }
 }
 

@@ -134,20 +134,13 @@ pub fn run(cfg: &HeterogeneityConfig) -> Vec<HeterogeneityCell> {
         let arm = |policy: Box<dyn PlacementPolicy>| {
             SimulationRunner::new(build(), policy).config(run_cfg.clone()).run(duration).0
         };
-        let (static_global, dynamic) = crossbeam::thread::scope(|scope| {
-            let s = scope.spawn(|_| arm(Box::new(StaticPolicy(TrueOracle::new()))));
-            let d = scope.spawn(|_| arm(Box::new(HierarchicalPolicy::new(TrueOracle::new()))));
-            (s.join().expect("static arm"), d.join().expect("dynamic arm"))
-        })
-        .expect("crossbeam scope");
+        let (static_global, dynamic) = pamdc_simcore::par::join(
+            || arm(Box::new(StaticPolicy(TrueOracle::new()))),
+            || arm(Box::new(HierarchicalPolicy::new(TrueOracle::new()))),
+        );
         HeterogeneityCell { spread, static_global, dynamic }
     };
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> =
-            cfg.spreads.iter().map(|&k| scope.spawn(move |_| run_cell(k))).collect();
-        handles.into_iter().map(|h| h.join().expect("cell")).collect()
-    })
-    .expect("crossbeam scope")
+    pamdc_simcore::par::parallel_map(cfg.spreads.clone(), run_cell)
 }
 
 /// Renders the sweep table.

@@ -167,12 +167,7 @@ pub fn run(cfg: &PriceAdaptationConfig) -> PriceAdaptationResult {
             outcome,
         }
     };
-    let (adaptive, posted) = crossbeam::thread::scope(|scope| {
-        let a = scope.spawn(|_| arm(true));
-        let p = scope.spawn(|_| arm(false));
-        (a.join().expect("adaptive arm"), p.join().expect("posted arm"))
-    })
-    .expect("crossbeam scope");
+    let (adaptive, posted) = pamdc_simcore::par::join(|| arm(true), || arm(false));
     PriceAdaptationResult { adaptive, posted, spike_at }
 }
 

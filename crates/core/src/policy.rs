@@ -12,7 +12,7 @@ use pamdc_sched::localsearch::{improve_schedule, LocalSearchConfig};
 use pamdc_sched::oracle::QosOracle;
 use pamdc_sched::problem::{Problem, Schedule};
 use pamdc_simcore::rng::RngStream;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// The Plan stage: problem in, schedule out.
 pub trait PlacementPolicy: Send + Sync {
@@ -136,7 +136,7 @@ impl RandomPolicy {
 
 impl PlacementPolicy for RandomPolicy {
     fn decide(&self, problem: &Problem) -> Schedule {
-        let mut rng = self.rng.lock();
+        let mut rng = self.rng.lock().expect("random-policy rng lock");
         let assignment = problem
             .vms
             .iter()

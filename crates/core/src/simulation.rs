@@ -17,12 +17,13 @@ use pamdc_infra::gateway::{weighted_transport_secs, FlowDemand, Gateway};
 use pamdc_infra::ids::{PmId, VmId};
 use pamdc_infra::monitor::{observe, SlidingWindow};
 use pamdc_infra::resources::Resources;
-use pamdc_perf::contention::{share_proportionally, share_work_conserving};
+use pamdc_perf::contention::{share_proportionally_into, share_work_conserving_into};
 use pamdc_perf::demand::{required_resources, OfferedLoad};
 use pamdc_perf::rt::evaluate;
 use pamdc_perf::sla::SlaFunction;
 use pamdc_sched::problem::{HostInfo, Problem, VmInfo};
 use pamdc_simcore::prelude::*;
+use std::sync::Arc;
 
 /// Simulation-run knobs.
 #[derive(Clone, Debug)]
@@ -106,6 +107,23 @@ impl RunOutcome {
     }
 }
 
+/// Reusable per-tick buffers for the per-host contention loop. One
+/// instance lives across the whole run, so steady-state ticks allocate
+/// nothing: every `Vec` is cleared and refilled in place.
+#[derive(Default)]
+struct TickScratch {
+    /// VMs hosted on the PM being processed.
+    hosted: Vec<VmId>,
+    /// The subset of `hosted` actually serving this tick.
+    serving: Vec<VmId>,
+    /// Believed demand per serving VM (slot-indexed like `serving`).
+    demands: Vec<Resources>,
+    /// Proportional-share grants per serving VM.
+    granted: Vec<Resources>,
+    /// Work-conserving burst capacity per serving VM.
+    burst: Vec<Resources>,
+}
+
 /// Drives one scenario under one policy.
 pub struct SimulationRunner {
     scenario: Scenario,
@@ -169,12 +187,20 @@ impl SimulationRunner {
         let mut flows: Vec<Vec<FlowDemand>> = vec![Vec::new(); n_vms];
         let mut loads: Vec<OfferedLoad> = vec![OfferedLoad::default(); n_vms];
         let mut required: Vec<Resources> = vec![Resources::ZERO; n_vms];
+        let mut scratch = TickScratch::default();
         let slas: Vec<SlaFunction> = (0..n_vms)
             .map(|i| {
                 let spec = &scenario.cluster.vm(VmId::from_index(i)).spec;
                 SlaFunction::new(spec.rt0_secs, spec.alpha)
             })
             .collect();
+        // Placement-trace series keys, formatted once instead of per
+        // VM per tick.
+        let vm_dc_keys: Vec<String> = (0..n_vms).map(|vm| format!("vm{vm}_dc")).collect();
+        // Round-problem constants: shared by refcount, never cloned per
+        // round (the network's latency matrix is the big one).
+        let round_net = Arc::new(scenario.cluster.net.clone());
+        let round_billing = Arc::new(scenario.billing.clone());
 
         let ticks = duration.ticks(cfg.tick);
         let mut next_fault = 0usize;
@@ -265,7 +291,8 @@ impl SimulationRunner {
             dc_tick_watts.fill(0.0);
             for pm_idx in 0..scenario.cluster.pm_count() {
                 let pm_id = PmId::from_index(pm_idx);
-                let hosted: Vec<VmId> = scenario.cluster.pm(pm_id).hosted().to_vec();
+                scratch.hosted.clear();
+                scratch.hosted.extend_from_slice(scenario.cluster.pm(pm_id).hosted());
                 let host_on = scenario.cluster.pm(pm_id).is_on();
                 let location = scenario.cluster.location_of_pm(pm_id);
 
@@ -285,16 +312,19 @@ impl SimulationRunner {
                         .unwrap_or(0.0)
                 };
                 // Serving VMs: host on and not dark for the whole tick.
-                let serving: Vec<VmId> =
-                    hosted.iter().copied().filter(|&v| blackout(v) < 1.0).collect();
+                scratch.serving.clear();
+                scratch.serving.extend(scratch.hosted.iter().copied().filter(|&v| blackout(v) < 1.0));
+                let serving = &scratch.serving;
 
-                let demands: Vec<Resources> =
-                    serving.iter().map(|v| required[v.index()]).collect();
+                scratch.demands.clear();
+                scratch.demands.extend(serving.iter().map(|v| required[v.index()]));
                 let overhead = scenario.cluster.pm(pm_id).virt_overhead_cpu();
                 let mut cap = scenario.cluster.pm(pm_id).spec.capacity;
                 cap.cpu = (cap.cpu - overhead).max(1.0);
-                let granted = share_proportionally(&demands, cap);
-                let burst = share_work_conserving(&demands, cap);
+                share_proportionally_into(&scratch.demands, cap, &mut scratch.granted);
+                share_work_conserving_into(&scratch.demands, cap, &mut scratch.burst);
+                let granted = &scratch.granted;
+                let burst = &scratch.burst;
 
                 let mut pm_cpu_used = overhead.min(scenario.cluster.pm(pm_id).spec.capacity.cpu);
                 let mut pm_sum_vm_cpu_obs = 0.0;
@@ -316,7 +346,8 @@ impl SimulationRunner {
                         tick_secs,
                         Some(&mut jitter),
                     );
-                    let transport = weighted_transport_secs(&flows[vm], location, &scenario.net());
+                    let transport =
+                        weighted_transport_secs(&flows[vm], location, &scenario.cluster.net);
                     let rt_total = outcome.rt_process_secs + transport;
                     // Pro-rate for any partial-tick migration blackout.
                     let avail = 1.0 - blackout(vm_id);
@@ -372,7 +403,7 @@ impl SimulationRunner {
                 // Fully blacked-out VMs (in-flight all tick, or host
                 // down/booting): they earn nothing and their arrivals
                 // pile into the gateway queue.
-                for &vm_id in &hosted {
+                for &vm_id in &scratch.hosted {
                     if serving.contains(&vm_id) {
                         continue;
                     }
@@ -426,13 +457,9 @@ impl SimulationRunner {
                 series.record("active_pms", now, active as f64);
                 series.record("rps", now, rps_total);
                 series.record("migrations", now, migrations as f64);
-                for vm in 0..n_vms {
+                for (vm, key) in vm_dc_keys.iter().enumerate() {
                     if let Some(pm) = scenario.cluster.placement(VmId::from_index(vm)) {
-                        series.record(
-                            &format!("vm{vm}_dc"),
-                            now,
-                            scenario.cluster.dc_of_pm(pm).index() as f64,
-                        );
+                        series.record(key, now, scenario.cluster.dc_of_pm(pm).index() as f64);
                     }
                 }
             }
@@ -442,7 +469,16 @@ impl SimulationRunner {
                 && tick_idx % cfg.round_every_ticks == cfg.round_every_ticks - 1
             {
                 let problem = build_problem(
-                    scenario, tick_end, &loads, &flows, &windows, &gateway, &dc_draw_w, cfg,
+                    scenario,
+                    tick_end,
+                    &loads,
+                    &flows,
+                    &windows,
+                    &gateway,
+                    &dc_draw_w,
+                    cfg,
+                    &round_net,
+                    &round_billing,
                 );
                 let schedule = self.policy.decide(&problem);
                 schedule.validate(&problem);
@@ -503,13 +539,9 @@ impl SimulationRunner {
     }
 }
 
-impl Scenario {
-    fn net(&self) -> pamdc_infra::network::NetworkModel {
-        self.cluster.net.clone()
-    }
-}
-
-/// Snapshot the world into a scheduling [`Problem`].
+/// Snapshot the world into a scheduling [`Problem`]. `net` and
+/// `billing` are the run-constant shared handles — every round's problem
+/// bumps their refcount instead of cloning them.
 #[allow(clippy::too_many_arguments)]
 fn build_problem(
     scenario: &Scenario,
@@ -520,6 +552,8 @@ fn build_problem(
     gateway: &Gateway,
     dc_draw_w: &[f64],
     cfg: &RunConfig,
+    net: &Arc<pamdc_infra::network::NetworkModel>,
+    billing: &Arc<pamdc_econ::billing::BillingPolicy>,
 ) -> Problem {
     let cluster = &scenario.cluster;
     let hosts: Vec<HostInfo> = cluster
@@ -589,8 +623,8 @@ fn build_problem(
     Problem {
         vms,
         hosts,
-        net: cluster.net.clone(),
-        billing: scenario.billing.clone(),
+        net: Arc::clone(net),
+        billing: Arc::clone(billing),
         horizon,
         // 5% of one round's revenue: big enough to damp noise-driven
         // churn, small enough to let real gains through.

@@ -116,8 +116,8 @@ impl TrainingCollector {
 }
 
 /// Collects training data by running the intra-DC scenario under the
-/// random exploration policy at several load scales (in parallel, one
-/// thread per scale).
+/// random exploration policy at several load scales (a deterministic
+/// parallel sweep, one item per scale).
 pub fn collect_training_data(
     vms: usize,
     scales: &[f64],
@@ -125,29 +125,21 @@ pub fn collect_training_data(
     seed: u64,
 ) -> TrainingCollector {
     let mut merged = TrainingCollector::new();
-    let results: Vec<TrainingCollector> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = scales
-            .iter()
-            .enumerate()
-            .map(|(i, &scale)| {
-                scope.spawn(move |_| {
-                    let scenario = ScenarioBuilder::paper_intra_dc()
-                        .vms(vms)
-                        .load_scale(scale)
-                        .seed(seed.wrapping_add(i as u64 * 7919))
-                        .build();
-                    let policy = Box::new(RandomPolicy::new(seed ^ (i as u64)));
-                    let runner = SimulationRunner::new(scenario, policy)
-                        .config(RunConfig { keep_series: false, ..Default::default() })
-                        .collect_into(TrainingCollector::new());
-                    let (_, collector) = runner.run(SimDuration::from_hours(hours_per_scale));
-                    collector.expect("collector attached")
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("collection thread")).collect()
-    })
-    .expect("crossbeam scope");
+    let jobs: Vec<(usize, f64)> = scales.iter().copied().enumerate().collect();
+    let results: Vec<TrainingCollector> =
+        pamdc_simcore::par::parallel_map(jobs, |(i, scale)| {
+            let scenario = ScenarioBuilder::paper_intra_dc()
+                .vms(vms)
+                .load_scale(scale)
+                .seed(seed.wrapping_add(i as u64 * 7919))
+                .build();
+            let policy = Box::new(RandomPolicy::new(seed ^ (i as u64)));
+            let runner = SimulationRunner::new(scenario, policy)
+                .config(RunConfig { keep_series: false, ..Default::default() })
+                .collect_into(TrainingCollector::new());
+            let (_, collector) = runner.run(SimDuration::from_hours(hours_per_scale));
+            collector.expect("collector attached")
+        });
     for c in results {
         merged.merge(c);
     }
@@ -229,40 +221,24 @@ pub struct TrainingOutcome {
 /// after.
 pub fn train_suite(collector: &TrainingCollector, seed: u64) -> TrainingOutcome {
     let stage1 = build_stage1_datasets(collector);
-    let mut predictors: Vec<TrainedPredictor> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = stage1
-            .iter()
-            .map(|(target, data)| {
-                let (target, data) = (*target, data);
-                scope.spawn(move |_| {
-                    let mut rng = RngStream::root(seed).derive(target.paper_name());
-                    TrainedPredictor::train(target, data, &mut rng)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("training thread")).collect()
-    })
-    .expect("crossbeam scope");
+    let stage1_jobs: Vec<_> = stage1.iter().map(|(target, data)| (*target, data)).collect();
+    let mut predictors: Vec<TrainedPredictor> =
+        pamdc_simcore::par::parallel_map(stage1_jobs, |(target, data)| {
+            let mut rng = RngStream::root(seed).derive(target.paper_name());
+            TrainedPredictor::train(target, data, &mut rng)
+        });
 
     let cpu_model = predictors
         .iter()
         .find(|p| p.target == PredictionTarget::VmCpu)
         .expect("stage 1 trains the CPU model");
     let stage2 = build_stage2_datasets(collector, cpu_model);
-    let stage2_models: Vec<TrainedPredictor> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = stage2
-            .iter()
-            .map(|(target, data)| {
-                let (target, data) = (*target, data);
-                scope.spawn(move |_| {
-                    let mut rng = RngStream::root(seed).derive(target.paper_name());
-                    TrainedPredictor::train(target, data, &mut rng)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("training thread")).collect()
-    })
-    .expect("crossbeam scope");
+    let stage2_jobs: Vec<_> = stage2.iter().map(|(target, data)| (*target, data)).collect();
+    let stage2_models: Vec<TrainedPredictor> =
+        pamdc_simcore::par::parallel_map(stage2_jobs, |(target, data)| {
+            let mut rng = RngStream::root(seed).derive(target.paper_name());
+            TrainedPredictor::train(target, data, &mut rng)
+        });
     predictors.extend(stage2_models);
 
     let sample_counts = (collector.vm_ticks.len(), collector.pm_ticks.len());

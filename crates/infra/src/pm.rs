@@ -8,6 +8,7 @@
 
 use crate::ids::{DcId, PmId, VmId};
 use crate::power::PowerModel;
+use std::sync::Arc;
 use crate::resources::Resources;
 use pamdc_simcore::time::{SimDuration, SimTime};
 
@@ -16,8 +17,9 @@ use pamdc_simcore::time::{SimDuration, SimTime};
 pub struct MachineSpec {
     /// Total schedulable capacity.
     pub capacity: Resources,
-    /// Power curve.
-    pub power: PowerModel,
+    /// Power curve (shared across every host of the same model and
+    /// every scheduling round's snapshot of it).
+    pub power: Arc<PowerModel>,
     /// Time from power-on command to servicing VMs.
     pub boot_time: SimDuration,
     /// Time from shutdown command to zero draw.
@@ -35,7 +37,7 @@ impl MachineSpec {
     pub fn atom() -> Self {
         MachineSpec {
             capacity: Resources::new(400.0, 4096.0, 64_000.0, 64_000.0),
-            power: PowerModel::atom_4core(),
+            power: Arc::new(PowerModel::atom_4core()),
             boot_time: SimDuration::from_secs(120),
             shutdown_time: SimDuration::from_secs(30),
             virt_overhead_cpu_per_vm: 6.0,

@@ -4,6 +4,10 @@
 //! Gaussian elimination with partial pivoting is both adequate and easy
 //! to audit. No external linear-algebra crate is used.
 
+// Index loops mirror the textbook elimination formulas; iterator
+// rewrites obscure the row/column structure.
+#![allow(clippy::needless_range_loop)]
+
 /// Solves `A x = b` for square `A` (row-major), in place, with partial
 /// pivoting. Returns `None` when the matrix is (numerically) singular.
 pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {

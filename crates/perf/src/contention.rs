@@ -12,8 +12,22 @@ use pamdc_infra::resources::Resources;
 /// Splits `capacity` among demands. Returns one granted vector per
 /// demand, component-wise `granted_i = demand_i * min(1, cap_c / Σ demand_c)`.
 pub fn share_proportionally(demands: &[Resources], capacity: Resources) -> Vec<Resources> {
+    let mut out = Vec::new();
+    share_proportionally_into(demands, capacity, &mut out);
+    out
+}
+
+/// [`share_proportionally`] writing into a reusable buffer (cleared
+/// first) — the simulation tick loop calls this once per host per tick
+/// and must not allocate.
+pub fn share_proportionally_into(
+    demands: &[Resources],
+    capacity: Resources,
+    out: &mut Vec<Resources>,
+) {
+    out.clear();
     if demands.is_empty() {
-        return Vec::new();
+        return;
     }
     let total: Resources = demands.iter().copied().sum();
     let factor = |cap: f64, tot: f64| if tot > cap && tot > 0.0 { cap / tot } else { 1.0 };
@@ -21,15 +35,12 @@ pub fn share_proportionally(demands: &[Resources], capacity: Resources) -> Vec<R
     let f_mem = factor(capacity.mem_mb, total.mem_mb);
     let f_in = factor(capacity.net_in_kbps, total.net_in_kbps);
     let f_out = factor(capacity.net_out_kbps, total.net_out_kbps);
-    demands
-        .iter()
-        .map(|d| Resources {
-            cpu: d.cpu * f_cpu,
-            mem_mb: d.mem_mb * f_mem,
-            net_in_kbps: d.net_in_kbps * f_in,
-            net_out_kbps: d.net_out_kbps * f_out,
-        })
-        .collect()
+    out.extend(demands.iter().map(|d| Resources {
+        cpu: d.cpu * f_cpu,
+        mem_mb: d.mem_mb * f_mem,
+        net_in_kbps: d.net_in_kbps * f_in,
+        net_out_kbps: d.net_out_kbps * f_out,
+    }));
 }
 
 /// Stress level of a host: the largest over-subscription ratio across
@@ -118,8 +129,21 @@ mod tests {
 /// share when overloaded). CPU and network behave this way; memory does
 /// not (it is space-shared, use [`share_proportionally`] for it).
 pub fn share_work_conserving(demands: &[Resources], capacity: Resources) -> Vec<Resources> {
+    let mut out = Vec::new();
+    share_work_conserving_into(demands, capacity, &mut out);
+    out
+}
+
+/// [`share_work_conserving`] writing into a reusable buffer (cleared
+/// first) — allocation-free companion for the tick loop.
+pub fn share_work_conserving_into(
+    demands: &[Resources],
+    capacity: Resources,
+    out: &mut Vec<Resources>,
+) {
+    out.clear();
     if demands.is_empty() {
-        return Vec::new();
+        return;
     }
     let total: Resources = demands.iter().copied().sum();
     let factor = |cap: f64, tot: f64| if tot > 0.0 { cap / tot } else { f64::INFINITY };
@@ -135,15 +159,12 @@ pub fn share_work_conserving(demands: &[Resources], capacity: Resources) -> Vec<
             d * f
         }
     };
-    demands
-        .iter()
-        .map(|d| Resources {
-            cpu: scale(d.cpu, f_cpu),
-            mem_mb: d.mem_mb, // memory is not work-conserving
-            net_in_kbps: scale(d.net_in_kbps, f_in),
-            net_out_kbps: scale(d.net_out_kbps, f_out),
-        })
-        .collect()
+    out.extend(demands.iter().map(|d| Resources {
+        cpu: scale(d.cpu, f_cpu),
+        mem_mb: d.mem_mb, // memory is not work-conserving
+        net_in_kbps: scale(d.net_in_kbps, f_in),
+        net_out_kbps: scale(d.net_out_kbps, f_out),
+    }));
 }
 
 #[cfg(test)]

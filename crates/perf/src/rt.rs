@@ -77,6 +77,7 @@ pub struct PerfOutcome {
 /// * `drain_secs` — tick length, over which backlog drains;
 /// * `rng` — jitter source; `None` forces determinism regardless of
 ///   config.
+#[allow(clippy::too_many_arguments)] // the model's natural arity
 pub fn evaluate(
     load: &OfferedLoad,
     profile: &VmPerfProfile,

@@ -32,7 +32,21 @@ pub struct BestFitResult {
 
 /// Runs descending Best-Fit over the problem under the oracle's beliefs.
 pub fn best_fit(problem: &Problem, oracle: &dyn QosOracle) -> BestFitResult {
+    let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
+    best_fit_with_demands(problem, oracle, &demands)
+}
+
+/// [`best_fit`] over shared precomputed believed demands — callers that
+/// already queried the oracle once per VM this round (the hierarchical
+/// scheduler, the consolidation pass) pass them through instead of
+/// paying the oracle again.
+pub fn best_fit_with_demands(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    demands: &[Resources],
+) -> BestFitResult {
     assert!(!problem.hosts.is_empty(), "best-fit needs at least one candidate host");
+    assert_eq!(demands.len(), problem.vms.len(), "one believed demand per VM");
 
     // Order VMs by decreasing believed demand (Algorithm 1's
     // `order_by_demand(..., desc)`), normalized against the largest host
@@ -43,7 +57,6 @@ pub fn best_fit(problem: &Problem, oracle: &dyn QosOracle) -> BestFitResult {
         .map(|h| h.capacity)
         .fold(Resources::ZERO, |acc, c| acc.max(&c));
     let mut order: Vec<usize> = (0..problem.vms.len()).collect();
-    let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
     order.sort_by(|&a, &b| {
         let da = demands[a].normalized_magnitude(&reference);
         let db = demands[b].normalized_magnitude(&reference);

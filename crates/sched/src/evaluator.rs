@@ -1,0 +1,450 @@
+//! Incremental schedule evaluation — the consolidation pass's hot path.
+//!
+//! [`crate::profit::evaluate_schedule`] prices a complete assignment in
+//! O(V·H): it rebuilds every host's believed demand, re-estimates every
+//! VM's SLA and re-prices every host's energy. The local search used to
+//! call it once per *candidate move*, making one consolidation round
+//! O(V²·H²) oracle evaluations — exactly the cost §IV-C's filtering is
+//! supposed to avoid.
+//!
+//! [`ScheduleEvaluator`] caches the full decomposition of the current
+//! schedule — per-host believed demand, per-VM SLA/revenue/migration/
+//! network contributions, per-host energy — and exploits the profit
+//! function's locality: relocating one VM only changes
+//!
+//! * the source and destination hosts' believed totals (and therefore
+//!   the SLA and revenue of the VMs *on those two hosts*),
+//! * the moved VM's migration and network charges, and
+//! * the two hosts' energy terms.
+//!
+//! So a candidate move is scored by visiting the two affected hosts'
+//! residents — O(occupancy) instead of O(V·H) — and scoring allocates
+//! nothing. Committing a move updates the cached state in place the same
+//! way. The invariant, enforced by `debug_assert!` and by the
+//! `evaluator_equivalence` proptest suite: the tracked decomposition
+//! always matches what a fresh [`crate::profit::evaluate_schedule`] of
+//! the same assignment would produce, to within float-accumulation noise
+//! (≪ 1e-9 relative).
+
+use crate::oracle::QosOracle;
+use crate::problem::{Problem, Schedule};
+use pamdc_infra::gateway::weighted_transport_secs;
+use pamdc_infra::resources::Resources;
+use pamdc_simcore::time::SimDuration;
+
+/// Cached decomposition of one schedule's profit, supporting O(hosts
+/// touched) rescoring of single-VM relocations.
+pub struct ScheduleEvaluator<'a> {
+    problem: &'a Problem,
+    oracle: &'a dyn QosOracle,
+    /// Believed demand per VM (oracle queried once).
+    demands: Vec<Resources>,
+    /// Current host index per VM.
+    host_of: Vec<usize>,
+    /// VM indices resident on each host (order irrelevant).
+    vms_on: Vec<Vec<usize>>,
+    /// Believed demand per host **excluding** hypervisor overhead
+    /// (fixed residents + assigned VM demands), maintained in place.
+    raw_demand: Vec<Resources>,
+    /// Round-VMs assigned per host.
+    counts: Vec<usize>,
+    /// Transport latency per (vm, host) pair, vm-major.
+    transport: Vec<f64>,
+    /// Revenue-earning span per host (horizon minus boot blackout).
+    available: Vec<SimDuration>,
+    /// Cached per-VM terms under the current assignment.
+    sla: Vec<f64>,
+    revenue: Vec<f64>,
+    migration: Vec<f64>,
+    network: Vec<f64>,
+    /// Cached per-host energy cost under the current assignment.
+    energy: Vec<f64>,
+    /// Running totals of the cached terms.
+    revenue_total: f64,
+    migration_total: f64,
+    network_total: f64,
+    energy_total: f64,
+}
+
+impl<'a> ScheduleEvaluator<'a> {
+    /// Builds the cache for `schedule` (one full O(V·H) evaluation —
+    /// the last one the round needs).
+    pub fn new(problem: &'a Problem, oracle: &'a dyn QosOracle, schedule: &Schedule) -> Self {
+        schedule.validate(problem);
+        let n_vms = problem.vms.len();
+        let n_hosts = problem.hosts.len();
+
+        // Dense PmId -> host-index map (Problem::host_index is a linear
+        // scan; the evaluator must not pay it per VM).
+        let max_id = problem.hosts.iter().map(|h| h.id.index()).max().unwrap_or(0);
+        let mut id_to_idx = vec![usize::MAX; max_id + 1];
+        for (hi, h) in problem.hosts.iter().enumerate() {
+            id_to_idx[h.id.index()] = hi;
+        }
+
+        let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
+        let mut host_of = Vec::with_capacity(n_vms);
+        let mut vms_on: Vec<Vec<usize>> = vec![Vec::new(); n_hosts];
+        let mut raw_demand: Vec<Resources> =
+            problem.hosts.iter().map(|h| h.fixed_demand).collect();
+        let mut counts = vec![0usize; n_hosts];
+        for (vi, &pm) in schedule.assignment.iter().enumerate() {
+            let hi = id_to_idx[pm.index()];
+            host_of.push(hi);
+            vms_on[hi].push(vi);
+            raw_demand[hi] += demands[vi];
+            counts[hi] += 1;
+        }
+
+        let transport: Vec<f64> = problem
+            .vms
+            .iter()
+            .flat_map(|vm| {
+                problem.hosts.iter().map(|host| {
+                    weighted_transport_secs(&vm.flows, host.location, &problem.net)
+                })
+            })
+            .collect();
+        let available: Vec<SimDuration> = problem
+            .hosts
+            .iter()
+            .map(|h| problem.horizon - h.boot_penalty.min(problem.horizon))
+            .collect();
+
+        let mut this = ScheduleEvaluator {
+            problem,
+            oracle,
+            demands,
+            host_of,
+            vms_on,
+            raw_demand,
+            counts,
+            transport,
+            available,
+            sla: vec![0.0; n_vms],
+            revenue: vec![0.0; n_vms],
+            migration: vec![0.0; n_vms],
+            network: vec![0.0; n_vms],
+            energy: vec![0.0; n_hosts],
+            revenue_total: 0.0,
+            migration_total: 0.0,
+            network_total: 0.0,
+            energy_total: 0.0,
+        };
+
+        for vi in 0..n_vms {
+            let hi = this.host_of[vi];
+            let total = this.host_total(hi);
+            this.sla[vi] = this.vm_sla(vi, hi, &total);
+            this.revenue[vi] = this.vm_revenue(this.sla[vi], hi);
+            let (mig, net) = this.vm_move_costs(vi, hi);
+            this.migration[vi] = mig;
+            this.network[vi] = net;
+        }
+        for hi in 0..n_hosts {
+            this.energy[hi] = this.host_energy(hi, &this.host_total(hi), this.counts[hi]);
+        }
+        this.revenue_total = this.revenue.iter().sum();
+        this.migration_total = this.migration.iter().sum();
+        this.network_total = this.network.iter().sum();
+        this.energy_total = this.energy.iter().sum();
+        this
+    }
+
+    /// Net profit of the current assignment, €.
+    #[inline]
+    pub fn profit_eur(&self) -> f64 {
+        self.revenue_total - self.energy_total - self.migration_total - self.network_total
+    }
+
+    /// `(revenue, energy, migration, network)` totals, €.
+    pub fn components(&self) -> (f64, f64, f64, f64) {
+        (self.revenue_total, self.energy_total, self.migration_total, self.network_total)
+    }
+
+    /// Current host index of a VM.
+    #[inline]
+    pub fn host_of(&self, vi: usize) -> usize {
+        self.host_of[vi]
+    }
+
+    /// Cached believed demand of a VM.
+    #[inline]
+    pub fn demand(&self, vi: usize) -> &Resources {
+        &self.demands[vi]
+    }
+
+    /// Believed total on a host (fixed + assigned + hypervisor
+    /// overhead), matching `PlacementState::host_demand`.
+    #[inline]
+    pub fn host_total(&self, hi: usize) -> Resources {
+        let mut d = self.raw_demand[hi];
+        d.cpu += self.problem.hosts[hi].virt_overhead_cpu_per_vm * self.counts[hi] as f64;
+        d
+    }
+
+    /// The current assignment as a [`Schedule`].
+    pub fn schedule(&self) -> Schedule {
+        Schedule {
+            assignment: self.host_of.iter().map(|&hi| self.problem.hosts[hi].id).collect(),
+        }
+    }
+
+    /// Profit change if `vi` were relocated to `to` (no state change,
+    /// no allocation). `to` must differ from the VM's current host.
+    pub fn move_gain(&self, vi: usize, to: usize) -> f64 {
+        let from = self.host_of[vi];
+        debug_assert_ne!(from, to, "move_gain requires an actual relocation");
+
+        let (from_total, from_count) = self.host_totals_after(from, vi, Removed);
+        let (to_total, to_count) = self.host_totals_after(to, vi, Added);
+
+        // Revenue deltas for every VM whose host total changed.
+        let mut delta = 0.0;
+        for &w in &self.vms_on[from] {
+            if w == vi {
+                continue;
+            }
+            let sla = self.vm_sla(w, from, &from_total);
+            delta += self.vm_revenue(sla, from) - self.revenue[w];
+        }
+        for &w in &self.vms_on[to] {
+            let sla = self.vm_sla(w, to, &to_total);
+            delta += self.vm_revenue(sla, to) - self.revenue[w];
+        }
+        let moved_sla = self.vm_sla(vi, to, &to_total);
+        delta += self.vm_revenue(moved_sla, to) - self.revenue[vi];
+
+        // The moved VM's migration + network charges follow its host.
+        let (mig, net) = self.vm_move_costs(vi, to);
+        delta -= (mig - self.migration[vi]) + (net - self.network[vi]);
+
+        // Source and destination energy.
+        delta -= self.host_energy(from, &from_total, from_count) - self.energy[from];
+        delta -= self.host_energy(to, &to_total, to_count) - self.energy[to];
+        delta
+    }
+
+    /// Commits the relocation of `vi` to `to`, updating every cached
+    /// term the move touches (the two hosts' demand is adjusted in
+    /// place — no O(V·H) rebuild).
+    pub fn apply_move(&mut self, vi: usize, to: usize) {
+        let from = self.host_of[vi];
+        debug_assert_ne!(from, to, "apply_move requires an actual relocation");
+
+        // Re-home the VM.
+        let pos = self.vms_on[from].iter().position(|&w| w == vi).expect("resident list");
+        self.vms_on[from].swap_remove(pos);
+        self.vms_on[to].push(vi);
+        self.host_of[vi] = to;
+        let d = self.demands[vi];
+        self.raw_demand[from] -= d;
+        self.raw_demand[to] += d;
+        self.counts[from] -= 1;
+        self.counts[to] += 1;
+
+        // Refresh both hosts' dependent terms.
+        let from_total = self.host_total(from);
+        let to_total = self.host_total(to);
+        for hi in [from, to] {
+            let total = if hi == from { from_total } else { to_total };
+            for idx in 0..self.vms_on[hi].len() {
+                let w = self.vms_on[hi][idx];
+                let sla = self.vm_sla(w, hi, &total);
+                let rev = self.vm_revenue(sla, hi);
+                self.revenue_total += rev - self.revenue[w];
+                self.sla[w] = sla;
+                self.revenue[w] = rev;
+            }
+            let e = self.host_energy(hi, &total, self.counts[hi]);
+            self.energy_total += e - self.energy[hi];
+            self.energy[hi] = e;
+        }
+
+        let (mig, net) = self.vm_move_costs(vi, to);
+        self.migration_total += mig - self.migration[vi];
+        self.network_total += net - self.network[vi];
+        self.migration[vi] = mig;
+        self.network[vi] = net;
+    }
+
+    // ------------------------------------------------------------------
+    // Term computation (each mirrors one clause of `evaluate_schedule`).
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn vm_sla(&self, vi: usize, hi: usize, host_total: &Resources) -> f64 {
+        self.oracle.sla(
+            &self.problem.vms[vi],
+            &self.problem.hosts[hi],
+            host_total,
+            self.transport[vi * self.problem.hosts.len() + hi],
+        )
+    }
+
+    #[inline]
+    fn vm_revenue(&self, sla: f64, hi: usize) -> f64 {
+        self.problem.billing.revenue(sla, self.available[hi])
+    }
+
+    /// Migration penalty and network charges of hosting `vi` on `hi` —
+    /// independent of co-location, so a pure (vm, host) function.
+    fn vm_move_costs(&self, vi: usize, hi: usize) -> (f64, f64) {
+        let problem = self.problem;
+        let vm = &problem.vms[vi];
+        let host = &problem.hosts[hi];
+        let mut network =
+            crate::profit::client_traffic_eur(vm, host.location, &problem.net, problem.horizon);
+        let mut migration = 0.0;
+        if let (Some(cur), Some(cur_loc)) = (vm.current_pm, vm.current_location) {
+            if cur != host.id {
+                let blackout =
+                    problem.net.migration_duration(vm.image_size_mb, cur_loc, host.location);
+                let lost = problem.billing.revenue(1.0, blackout.min(problem.horizon));
+                let queue_debt = if vm.load.rps > 0.0 {
+                    (vm.load.backlog / (vm.load.rps * blackout.as_secs_f64().max(1.0))).min(3.0)
+                } else {
+                    0.0
+                };
+                migration = lost * (1.0 + queue_debt) + problem.billing.migration_fee_eur;
+                network += crate::profit::image_transfer_eur(
+                    vm.image_size_mb,
+                    cur_loc,
+                    host.location,
+                    &problem.net,
+                );
+            }
+        }
+        (migration, network)
+    }
+
+    /// Energy cost of `hi` at the given believed total and resident
+    /// count (0 € when the host ends the round empty and unpowered).
+    fn host_energy(&self, hi: usize, host_total: &Resources, count: usize) -> f64 {
+        let host = &self.problem.hosts[hi];
+        if host.fixed_vm_count == 0 && count == 0 {
+            return 0.0;
+        }
+        host.power.facility_watts(host_total.cpu) * self.problem.horizon.as_hours_f64() / 1000.0
+            * host.energy_eur_kwh
+    }
+
+    /// Host `hi`'s believed total and count after removing/adding `vi`.
+    fn host_totals_after(&self, hi: usize, vi: usize, dir: MoveDir) -> (Resources, usize) {
+        let host = &self.problem.hosts[hi];
+        let mut raw = self.raw_demand[hi];
+        let count = match dir {
+            Removed => {
+                raw -= self.demands[vi];
+                self.counts[hi] - 1
+            }
+            Added => {
+                raw += self.demands[vi];
+                self.counts[hi] + 1
+            }
+        };
+        raw.cpu += host.virt_overhead_cpu_per_vm * count as f64;
+        (raw, count)
+    }
+}
+
+/// Direction of a tentative single-VM adjustment on one host.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MoveDir {
+    Removed,
+    Added,
+}
+use MoveDir::{Added, Removed};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::TrueOracle;
+    use crate::problem::synthetic::problem;
+    use crate::profit::evaluate_schedule;
+    use pamdc_infra::ids::PmId;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn matches_full_evaluation_at_construction() {
+        for (vms, hosts, rps) in [(1usize, 1usize, 30.0), (4, 4, 120.0), (6, 8, 400.0)] {
+            let p = problem(vms, hosts, rps);
+            let o = TrueOracle::new();
+            let s = crate::bestfit::best_fit(&p, &o).schedule;
+            let full = evaluate_schedule(&p, &o, &s);
+            let inc = ScheduleEvaluator::new(&p, &o, &s);
+            assert!(
+                close(inc.profit_eur(), full.profit_eur),
+                "{} vs {}",
+                inc.profit_eur(),
+                full.profit_eur
+            );
+            let (rev, energy, mig, net) = inc.components();
+            assert!(close(rev, full.revenue_eur));
+            assert!(close(energy, full.energy_eur));
+            assert!(close(mig, full.migration_eur));
+            assert!(close(net, full.network_eur));
+        }
+    }
+
+    #[test]
+    fn move_gain_matches_full_reevaluation() {
+        let p = problem(4, 6, 150.0);
+        let o = TrueOracle::new();
+        let s = Schedule { assignment: vec![PmId(0), PmId(0), PmId(1), PmId(2)] };
+        let inc = ScheduleEvaluator::new(&p, &o, &s);
+        let base = evaluate_schedule(&p, &o, &s).profit_eur;
+        for vi in 0..4 {
+            for hi in 0..6 {
+                if inc.host_of(vi) == hi {
+                    continue;
+                }
+                let mut moved = s.clone();
+                moved.assignment[vi] = p.hosts[hi].id;
+                let full_gain = evaluate_schedule(&p, &o, &moved).profit_eur - base;
+                let inc_gain = inc.move_gain(vi, hi);
+                assert!(
+                    close(inc_gain, full_gain),
+                    "vm {vi} -> host {hi}: incremental {inc_gain} vs full {full_gain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_move_keeps_cache_consistent() {
+        let p = problem(5, 8, 200.0);
+        let o = TrueOracle::new();
+        let s = crate::baselines::round_robin(&p);
+        let mut inc = ScheduleEvaluator::new(&p, &o, &s);
+        // Walk a few arbitrary (valid) moves and re-check against the
+        // full evaluation each time.
+        let moves = [(0usize, 5usize), (2, 5), (0, 3), (4, 0)];
+        for &(vi, hi) in &moves {
+            if inc.host_of(vi) == hi {
+                continue;
+            }
+            let predicted = inc.profit_eur() + inc.move_gain(vi, hi);
+            inc.apply_move(vi, hi);
+            assert!(close(inc.profit_eur(), predicted));
+            let full = evaluate_schedule(&p, &o, &inc.schedule()).profit_eur;
+            assert!(
+                close(inc.profit_eur(), full),
+                "after move {vi}->{hi}: cached {} vs full {full}",
+                inc.profit_eur()
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_roundtrips() {
+        let p = problem(3, 4, 100.0);
+        let o = TrueOracle::new();
+        let s = crate::baselines::round_robin(&p);
+        let inc = ScheduleEvaluator::new(&p, &o, &s);
+        assert_eq!(inc.schedule(), s);
+    }
+}

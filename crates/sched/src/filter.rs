@@ -10,6 +10,7 @@
 
 use crate::oracle::QosOracle;
 use crate::problem::{HostInfo, Problem, VmInfo};
+use crate::profit::BelievedTotals;
 use pamdc_infra::gateway::weighted_transport_secs;
 use pamdc_infra::resources::Resources;
 
@@ -51,18 +52,22 @@ pub fn vms_needing_attention(
     oracle: &dyn QosOracle,
     cfg: &FilterConfig,
 ) -> Vec<usize> {
+    let believed = BelievedTotals::from_current_placement(problem, oracle);
+    vms_needing_attention_with(problem, oracle, cfg, &believed)
+}
+
+/// [`vms_needing_attention`] over shared precomputed believed totals
+/// (the hierarchical round computes them once for both filters).
+pub fn vms_needing_attention_with(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    cfg: &FilterConfig,
+    believed: &BelievedTotals,
+) -> Vec<usize> {
     // Believed totals per host under the *current* placement.
-    let mut totals: Vec<Resources> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
-    let mut counts: Vec<usize> = vec![0; problem.hosts.len()];
-    for vm in &problem.vms {
-        if let Some(hi) = vm.current_pm.and_then(|pm| problem.host_index(pm)) {
-            totals[hi] += oracle.demand(vm);
-            counts[hi] += 1;
-        }
-    }
-    for (hi, host) in problem.hosts.iter().enumerate() {
-        totals[hi].cpu += host.virt_overhead_cpu_per_vm * counts[hi] as f64;
-    }
+    let totals: Vec<Resources> = (0..problem.hosts.len())
+        .map(|hi| believed.with_overhead(problem, hi))
+        .collect();
 
     (0..problem.vms.len())
         .filter(|&vi| {
@@ -79,7 +84,7 @@ pub fn vms_needing_attention(
                     }
                     // "Could improve its QoS if moved": check the best
                     // believed alternative before escalating.
-                    let demand = oracle.demand(vm);
+                    let demand = believed.demands[vi];
                     let best_alt = (0..problem.hosts.len())
                         .filter(|&hj| hj != hi)
                         .map(|hj| {
@@ -110,15 +115,20 @@ pub fn hosts_worth_offering(
     oracle: &dyn QosOracle,
     cfg: &FilterConfig,
 ) -> Vec<usize> {
-    // Believed totals per host under current placement.
-    let mut totals: Vec<Resources> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
-    let mut counts: Vec<usize> = vec![0; problem.hosts.len()];
-    for vm in &problem.vms {
-        if let Some(hi) = vm.current_pm.and_then(|pm| problem.host_index(pm)) {
-            totals[hi] += oracle.demand(vm);
-            counts[hi] += 1;
-        }
-    }
+    let believed = BelievedTotals::from_current_placement(problem, oracle);
+    hosts_worth_offering_with(problem, cfg, &believed)
+}
+
+/// [`hosts_worth_offering`] over shared precomputed believed totals.
+pub fn hosts_worth_offering_with(
+    problem: &Problem,
+    cfg: &FilterConfig,
+    believed: &BelievedTotals,
+) -> Vec<usize> {
+    // Headroom is judged on raw believed totals (no hypervisor
+    // overhead), matching the original filter's accounting.
+    let totals = &believed.raw;
+    let counts = &believed.counts;
 
     let mut seen_empty: Vec<(u32, u64)> = Vec::new(); // (dc, capacity hash)
     let mut out = Vec::new();
@@ -164,6 +174,18 @@ pub fn reduced_problem(
     vm_indices: &[usize],
     host_indices: &[usize],
 ) -> (Problem, Vec<usize>) {
+    let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
+    reduced_problem_with_demands(problem, &demands, vm_indices, host_indices)
+}
+
+/// [`reduced_problem`] over shared precomputed believed demands (one
+/// oracle query per VM per round instead of per caller).
+pub fn reduced_problem_with_demands(
+    problem: &Problem,
+    demands: &[Resources],
+    vm_indices: &[usize],
+    host_indices: &[usize],
+) -> (Problem, Vec<usize>) {
     let selected_vms: std::collections::BTreeSet<usize> = vm_indices.iter().copied().collect();
     let mut hosts: Vec<HostInfo> = host_indices.iter().map(|&hi| problem.hosts[hi].clone()).collect();
 
@@ -174,7 +196,7 @@ pub fn reduced_problem(
         }
         if let Some(cur) = vm.current_pm {
             if let Some(pos) = hosts.iter().position(|h| h.id == cur) {
-                let mut d = oracle.demand(vm);
+                let mut d = demands[vi];
                 d.cpu += hosts[pos].virt_overhead_cpu_per_vm;
                 hosts[pos].fixed_demand += d;
                 hosts[pos].fixed_vm_count += 1;

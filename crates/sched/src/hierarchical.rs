@@ -20,12 +20,17 @@
 //! given — everything else never leaves its DC, which is what keeps the
 //! round cheap ("this approach largely reduces solving cost").
 
-use crate::bestfit::best_fit;
-use crate::filter::{hosts_worth_offering, reduced_problem, vms_needing_attention, FilterConfig};
+use crate::bestfit::best_fit_with_demands;
+use crate::filter::{
+    hosts_worth_offering_with, reduced_problem_with_demands, vms_needing_attention_with,
+    FilterConfig,
+};
 use crate::localsearch::{improve_schedule, LocalSearchConfig};
 use crate::oracle::QosOracle;
 use crate::problem::{Problem, Schedule};
+use crate::profit::BelievedTotals;
 use pamdc_infra::ids::DcId;
+use pamdc_infra::resources::Resources;
 use std::collections::BTreeMap;
 
 /// Hierarchical scheduler configuration.
@@ -69,6 +74,12 @@ pub fn hierarchical_round(
     oracle: &dyn QosOracle,
     cfg: &HierarchicalConfig,
 ) -> (Schedule, RoundStats) {
+    // Believed demand per VM: queried once here, shared by the intra-DC
+    // passes, both filters, the global pass and the fallback. (A VM's
+    // believed demand does not depend on its placement, so the vector
+    // stays valid all round.)
+    let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
+
     // ------------------------------------------------------------------
     // 1. Intra-DC pass: group VMs by the DC of their current host.
     // ------------------------------------------------------------------
@@ -86,8 +97,10 @@ pub fn hierarchical_round(
         let host_indices: Vec<usize> = (0..problem.hosts.len())
             .filter(|&hi| problem.hosts[hi].dc == dc)
             .collect();
-        let (sub, mapping) = reduced_problem(problem, oracle, vm_indices, &host_indices);
-        let result = best_fit(&sub, oracle);
+        let (sub, mapping) =
+            reduced_problem_with_demands(problem, &demands, vm_indices, &host_indices);
+        let sub_demands: Vec<Resources> = mapping.iter().map(|&vi| demands[vi]).collect();
+        let result = best_fit_with_demands(&sub, oracle, &sub_demands);
         for (sub_vi, &orig_vi) in mapping.iter().enumerate() {
             assignment[orig_vi] = Some(result.schedule.assignment[sub_vi]);
         }
@@ -107,16 +120,19 @@ pub fn hierarchical_round(
     }
 
     // ------------------------------------------------------------------
-    // 2. Narrow interface: candidates + offers.
+    // 2. Narrow interface: candidates + offers. Both filters judge the
+    //    post-local placement over one shared believed-totals snapshot.
     // ------------------------------------------------------------------
-    let mut candidates = vms_needing_attention(&post_local, oracle, &cfg.filter);
+    let believed = BelievedTotals::from_current_placement_with(&post_local, demands.clone());
+    let mut candidates =
+        vms_needing_attention_with(&post_local, oracle, &cfg.filter, &believed);
     for vi in homeless {
         if !candidates.contains(&vi) {
             candidates.push(vi);
         }
     }
     candidates.sort_unstable();
-    let offers = hosts_worth_offering(&post_local, oracle, &cfg.filter);
+    let offers = hosts_worth_offering_with(&post_local, &cfg.filter, &believed);
 
     let stats = RoundStats {
         intra_vms: problem.vms.len() - candidates.len(),
@@ -129,8 +145,10 @@ pub fn hierarchical_round(
     // 3. Global pass (skipped when nobody needs it).
     // ------------------------------------------------------------------
     if !candidates.is_empty() && !offers.is_empty() {
-        let (sub, mapping) = reduced_problem(&post_local, oracle, &candidates, &offers);
-        let result = best_fit(&sub, oracle);
+        let (sub, mapping) =
+            reduced_problem_with_demands(&post_local, &demands, &candidates, &offers);
+        let sub_demands: Vec<Resources> = mapping.iter().map(|&vi| demands[vi]).collect();
+        let result = best_fit_with_demands(&sub, oracle, &sub_demands);
         for (sub_vi, &orig_vi) in mapping.iter().enumerate() {
             assignment[orig_vi] = Some(result.schedule.assignment[sub_vi]);
         }
@@ -139,7 +157,7 @@ pub fn hierarchical_round(
     // Any VM still unassigned (e.g. homeless with no offers) falls back
     // to a plain global Best-Fit over everything.
     if assignment.iter().any(Option::is_none) {
-        let fallback = best_fit(problem, oracle);
+        let fallback = best_fit_with_demands(problem, oracle, &demands);
         for (vi, slot) in assignment.iter_mut().enumerate() {
             if slot.is_none() {
                 *slot = Some(fallback.schedule.assignment[vi]);

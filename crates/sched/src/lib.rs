@@ -6,11 +6,14 @@
 //! BF / BF-OB / BF-ML ([`oracle`]), an exact branch-and-bound reference
 //! solver reproducing the "MILP is too slow" observation ([`exact`]),
 //! the comparison baselines ([`baselines`]), the §IV-C candidate filters
-//! ([`filter`]) and the two-layer hierarchical multi-DC scheduler that is
-//! the paper's headline contribution ([`hierarchical`]).
+//! ([`filter`]), the incremental schedule evaluator that makes the
+//! consolidation pass cheap ([`evaluator`]) and the two-layer
+//! hierarchical multi-DC scheduler that is the paper's headline
+//! contribution ([`hierarchical`]).
 
 pub mod baselines;
 pub mod bestfit;
+pub mod evaluator;
 pub mod exact;
 pub mod filter;
 pub mod hierarchical;
@@ -24,16 +27,20 @@ pub mod prelude {
     pub use crate::baselines::{
         cheapest_energy, first_fit, follow_the_load, round_robin, static_schedule,
     };
-    pub use crate::bestfit::{best_fit, BestFitResult};
+    pub use crate::bestfit::{best_fit, best_fit_with_demands, BestFitResult};
+    pub use crate::evaluator::ScheduleEvaluator;
     pub use crate::exact::{branch_and_bound, ExactResult};
     pub use crate::filter::{
-        hosts_worth_offering, reduced_problem, vms_needing_attention, FilterConfig,
+        hosts_worth_offering, hosts_worth_offering_with, reduced_problem,
+        reduced_problem_with_demands, vms_needing_attention, vms_needing_attention_with,
+        FilterConfig,
     };
     pub use crate::hierarchical::{hierarchical_round, HierarchicalConfig, RoundStats};
     pub use crate::localsearch::{improve_schedule, LocalSearchConfig};
     pub use crate::oracle::{MlOracle, MonitorOracle, QosOracle, TrueOracle};
     pub use crate::problem::{HostInfo, Problem, Schedule, VmInfo};
     pub use crate::profit::{
-        evaluate_schedule, marginal_profit, PlacementScore, PlacementState, ScheduleEval,
+        evaluate_schedule, marginal_profit, BelievedTotals, PlacementScore, PlacementState,
+        ScheduleEval,
     };
 }

@@ -10,14 +10,21 @@
 //! view.
 //!
 //! [`improve_schedule`] runs steepest-ascent single-VM relocation over
-//! the full objective ([`evaluate_schedule`], which prices emptied hosts
-//! correctly and charges migration blackouts), accepting only strictly
-//! improving moves. Because every accepted move must beat its own
-//! migration penalty, the pass is self-damping — no churn.
+//! the full objective (which prices emptied hosts correctly and charges
+//! migration blackouts), accepting only strictly improving moves.
+//! Because every accepted move must beat its own migration penalty, the
+//! pass is self-damping — no churn.
+//!
+//! The objective is maintained incrementally by a
+//! [`crate::evaluator::ScheduleEvaluator`]: scoring a candidate move
+//! touches only the source and destination hosts (no schedule clone, no
+//! full [`crate::profit::evaluate_schedule`] in the inner loop), and the
+//! accepted move updates the cached per-host demand in place instead of
+//! rebuilding it each iteration.
 
+use crate::evaluator::ScheduleEvaluator;
 use crate::oracle::QosOracle;
 use crate::problem::{Problem, Schedule};
-use crate::profit::evaluate_schedule;
 
 /// Local-search knobs.
 #[derive(Clone, Debug)]
@@ -51,53 +58,41 @@ pub fn improve_schedule(
     schedule: Schedule,
     cfg: &LocalSearchConfig,
 ) -> (Schedule, usize) {
-    let mut current = schedule;
-    let mut current_profit = evaluate_schedule(problem, oracle, &current).profit_eur;
+    let mut eval = ScheduleEvaluator::new(problem, oracle, &schedule);
     let mut moves = 0;
 
-    let demands: Vec<_> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
     while moves < cfg.max_moves {
-        // Believed demand per host under the current assignment.
-        let mut host_demand: Vec<_> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
-        for (vi, &pm) in current.assignment.iter().enumerate() {
-            let hi = problem.host_index(pm).expect("validated schedule");
-            host_demand[hi] += demands[vi];
-            host_demand[hi].cpu += problem.hosts[hi].virt_overhead_cpu_per_vm;
-        }
-
-        let mut best: Option<(usize, usize, f64)> = None; // (vm, host, profit)
+        let mut best: Option<(usize, usize, f64)> = None; // (vm, host, gain)
         for vi in 0..problem.vms.len() {
+            let from = eval.host_of(vi);
             for (hi, host) in problem.hosts.iter().enumerate() {
-                if current.assignment[vi] == host.id {
+                if hi == from {
                     continue;
                 }
                 // Headroom guard on the destination.
-                let mut after = host_demand[hi];
-                after += demands[vi];
+                let mut after = eval.host_total(hi);
+                after += *eval.demand(vi);
                 after.cpu += host.virt_overhead_cpu_per_vm;
                 if after.dominant_share(&host.capacity) > cfg.max_util_after_move {
                     continue;
                 }
-                let mut candidate = current.clone();
-                candidate.assignment[vi] = host.id;
-                let p = evaluate_schedule(problem, oracle, &candidate).profit_eur;
-                if p > current_profit + cfg.min_gain_eur
-                    && best.as_ref().is_none_or(|&(_, _, bp)| p > bp)
+                let gain = eval.move_gain(vi, hi);
+                if gain > cfg.min_gain_eur
+                    && best.as_ref().is_none_or(|&(_, _, bg)| gain > bg)
                 {
-                    best = Some((vi, hi, p));
+                    best = Some((vi, hi, gain));
                 }
             }
         }
         match best {
-            Some((vi, hi, p)) => {
-                current.assignment[vi] = problem.hosts[hi].id;
-                current_profit = p;
+            Some((vi, hi, _)) => {
+                eval.apply_move(vi, hi);
                 moves += 1;
             }
             None => break,
         }
     }
-    (current, moves)
+    (eval.schedule(), moves)
 }
 
 #[cfg(test)]
@@ -105,6 +100,7 @@ mod tests {
     use super::*;
     use crate::oracle::TrueOracle;
     use crate::problem::synthetic::problem;
+    use crate::profit::evaluate_schedule;
     use pamdc_infra::ids::PmId;
 
     #[test]

@@ -16,6 +16,7 @@ use pamdc_infra::resources::Resources;
 use pamdc_perf::demand::{OfferedLoad, VmPerfProfile};
 use pamdc_perf::sla::SlaFunction;
 use pamdc_simcore::time::SimDuration;
+use std::sync::Arc;
 
 
 /// One VM in the round.
@@ -56,8 +57,9 @@ pub struct HostInfo {
     pub location: LocationId,
     /// Schedulable capacity.
     pub capacity: Resources,
-    /// Power curve (for marginal-energy pricing).
-    pub power: PowerModel,
+    /// Power curve (for marginal-energy pricing; shared, not cloned,
+    /// across rounds).
+    pub power: Arc<PowerModel>,
     /// Electricity tariff, €/kWh.
     pub energy_eur_kwh: f64,
     /// Hypervisor CPU overhead per hosted VM.
@@ -91,10 +93,12 @@ pub struct Problem {
     pub vms: Vec<VmInfo>,
     /// Candidate hosts.
     pub hosts: Vec<HostInfo>,
-    /// The provider network (latencies, migration durations).
-    pub net: NetworkModel,
-    /// Pricing policy.
-    pub billing: BillingPolicy,
+    /// The provider network (latencies, migration durations). Shared:
+    /// building a round's problem bumps a refcount instead of cloning
+    /// the latency matrix.
+    pub net: Arc<NetworkModel>,
+    /// Pricing policy (shared like [`Problem::net`]).
+    pub billing: Arc<BillingPolicy>,
     /// The period the schedule will hold for (the paper reschedules
     /// every 10 minutes).
     pub horizon: SimDuration,
@@ -235,8 +239,8 @@ pub mod synthetic {
         Problem {
             vms,
             hosts,
-            net: NetworkModel::paper(),
-            billing: BillingPolicy::default(),
+            net: Arc::new(NetworkModel::paper()),
+            billing: Arc::new(BillingPolicy::default()),
             horizon: SimDuration::from_mins(10),
             stickiness_eur: 0.0,
         }

@@ -103,6 +103,54 @@ impl PlacementState {
     }
 }
 
+/// Believed per-VM demands and per-host totals under the *current*
+/// placement, computed once per scheduling round and shared by every
+/// consumer (candidate filter, offer filter, hierarchical round) instead
+/// of each rebuilding them from O(V) oracle queries.
+#[derive(Clone, Debug)]
+pub struct BelievedTotals {
+    /// Oracle demand per problem-VM.
+    pub demands: Vec<Resources>,
+    /// Per-host believed demand excluding hypervisor overhead
+    /// (fixed residents + currently-placed VMs).
+    pub raw: Vec<Resources>,
+    /// Currently-placed VMs per host.
+    pub counts: Vec<usize>,
+}
+
+impl BelievedTotals {
+    /// Totals under each VM's `current_pm` placement.
+    pub fn from_current_placement(problem: &Problem, oracle: &dyn QosOracle) -> Self {
+        let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
+        Self::from_current_placement_with(problem, demands)
+    }
+
+    /// [`BelievedTotals::from_current_placement`] over an already-known
+    /// demand vector — callers holding the round's demands must not pay
+    /// a second O(V) oracle pass (demand is placement-independent, so a
+    /// vector computed before re-homing stays valid).
+    pub fn from_current_placement_with(problem: &Problem, demands: Vec<Resources>) -> Self {
+        debug_assert_eq!(demands.len(), problem.vms.len(), "one believed demand per VM");
+        let mut raw: Vec<Resources> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
+        let mut counts: Vec<usize> = vec![0; problem.hosts.len()];
+        for (vm, demand) in problem.vms.iter().zip(&demands) {
+            if let Some(hi) = vm.current_pm.and_then(|pm| problem.host_index(pm)) {
+                raw[hi] += *demand;
+                counts[hi] += 1;
+            }
+        }
+        BelievedTotals { demands, raw, counts }
+    }
+
+    /// Believed total on a host including hypervisor overhead for its
+    /// currently-placed VMs.
+    pub fn with_overhead(&self, problem: &Problem, hi: usize) -> Resources {
+        let mut d = self.raw[hi];
+        d.cpu += problem.hosts[hi].virt_overhead_cpu_per_vm * self.counts[hi] as f64;
+        d
+    }
+}
+
 /// Components of one tentative placement's score.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PlacementScore {
@@ -431,7 +479,7 @@ mod tests {
         // charges, hosting VM 0 (Brisbane clients) in Barcelona costs
         // network euros that hosting at home does not.
         let mut p = problem(1, 4, 120.0);
-        p.net = pamdc_infra::network::NetworkModel::paper_priced(0.05);
+        p.net = std::sync::Arc::new(pamdc_infra::network::NetworkModel::paper_priced(0.05));
         let o = TrueOracle::new();
         let state = PlacementState::new(&p);
         let home = marginal_profit(&p, &o, &state, 0, 0);
@@ -440,7 +488,7 @@ mod tests {
         assert!(remote.network_eur > 0.0, "remote hosting pays transit + image");
         // Free network: both are zero.
         let mut free = problem(1, 4, 120.0);
-        free.net = pamdc_infra::network::NetworkModel::paper();
+        free.net = std::sync::Arc::new(pamdc_infra::network::NetworkModel::paper());
         let r = marginal_profit(&free, &o, &PlacementState::new(&free), 0, 2);
         assert_eq!(r.network_eur, 0.0);
     }
@@ -448,7 +496,7 @@ mod tests {
     #[test]
     fn schedule_eval_includes_network_costs() {
         let mut p = problem(2, 4, 80.0);
-        p.net = pamdc_infra::network::NetworkModel::paper_priced(0.05);
+        p.net = std::sync::Arc::new(pamdc_infra::network::NetworkModel::paper_priced(0.05));
         let o = TrueOracle::new();
         // Everyone stays on host 0 (Brisbane): VM 1's Bangalore clients
         // pay transit.

@@ -1,0 +1,374 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest the workspace's property suites
+//! use: the [`proptest!`] macro (with optional `#![proptest_config]`
+//! header), range/tuple/`prop_map`/`collection::vec`/string-pattern
+//! strategies, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic cases** — inputs derive from a hash of the test's
+//!   module path and name, so a failure reproduces bit-identically on
+//!   every run and machine (no persistence files needed).
+//! * **No shrinking** — a failing case reports its inputs via the
+//!   panic message of the assertion that tripped; with deterministic
+//!   generation that is enough to debug.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Test-runner configuration (the `cases` knob is the one that matters).
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases per property (default 256, like proptest).
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+}
+
+/// The RNG handed to strategies. Wraps the rand shim's xoshiro256++.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic stream for a given test identity and case index.
+    pub fn for_case(test_ident: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_ident.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { rng: SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`; `n == 0` returns 0.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.rng.random_range(0..n)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for producing random values of `Self::Value`.
+    pub trait Strategy {
+        /// The produced type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 strategy range");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer strategy range");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    // span == 0 encodes the full 2^64 width (e.g. 0..u64::MAX
+                    // wraps only when start == end, excluded above).
+                    self.start.wrapping_add(rng.below_or_full(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty integer strategy range");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    lo.wrapping_add(rng.below_or_full(span.wrapping_add(1)) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl TestRng {
+        /// `below`, but `0` means the full 64-bit span.
+        #[inline]
+        fn below_or_full(&mut self, span: u64) -> u64 {
+            if span == 0 {
+                // Full-width draw.
+                (self.below(u64::MAX) << 1) | self.below(2)
+            } else {
+                self.below(span)
+            }
+        }
+    }
+
+    impl_int_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// String-pattern strategy: supports the `[class]{m,n}` shape (e.g.
+    /// `"[a-z]{1,12}"`); any other pattern generates itself literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let bytes = pattern.as_bytes();
+        if bytes.first() != Some(&b'[') {
+            return pattern.to_string();
+        }
+        let Some(close) = pattern.find(']') else {
+            return pattern.to_string();
+        };
+        // Expand the character class.
+        let mut alphabet: Vec<char> = Vec::new();
+        let class: Vec<char> = pattern[1..close].chars().collect();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                for c in lo..=hi {
+                    if let Some(c) = char::from_u32(c) {
+                        alphabet.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return String::new();
+        }
+        // Parse the repetition suffix `{m,n}` (default: exactly one).
+        let rest = &pattern[close + 1..];
+        let (lo, hi) = if rest.starts_with('{') && rest.ends_with('}') {
+            let body = &rest[1..rest.len() - 1];
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<u64>().unwrap_or(1),
+                    b.trim().parse::<u64>().unwrap_or(1),
+                ),
+                None => {
+                    let n = body.trim().parse::<u64>().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len_exclusive: usize,
+    }
+
+    /// `proptest::collection::vec(element, 1..50)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec-length range");
+        VecStrategy { element, min_len: len.start, max_len_exclusive: len.end }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.max_len_exclusive - self.min_len) as u64;
+            let len = self.min_len + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property assertion (plain `assert!` under the hood — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest! { ... }` block: runs each contained property over
+/// `cases` deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let ident = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..u64::from(config.cases) {
+                let mut __rng = $crate::TestRng::for_case(ident, __case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (f64, f64)> {
+        (0.0f64..10.0, 1.0f64..2.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.0f64..5.0, n in 1usize..10, b in 0u64..u64::MAX) {
+            prop_assert!((0.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            let _ = b;
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in arb_pair(), v in collection::vec(0u32..100, 1..20)) {
+            prop_assert!(a >= 0.0 && b >= 1.0);
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-z]{1,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("x", 1);
+        let mut b = TestRng::for_case("x", 1);
+        assert_eq!(a.unit_f64(), b.unit_f64());
+        let mut c = TestRng::for_case("x", 2);
+        assert_ne!(a.unit_f64(), c.unit_f64());
+    }
+}

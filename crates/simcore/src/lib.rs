@@ -13,6 +13,7 @@
 //! bit-for-bit across runs and across parallel/sequential execution.
 
 pub mod event;
+pub mod par;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -21,6 +22,7 @@ pub mod time;
 /// Common imports.
 pub mod prelude {
     pub use crate::event::EventQueue;
+    pub use crate::par::{join, parallel_map};
     pub use crate::rng::RngStream;
     pub use crate::series::{SeriesSet, TimeSeries};
     pub use crate::stats::{

@@ -296,11 +296,11 @@ impl fmt::Debug for SimDuration {
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % MILLIS_PER_HOUR == 0 && self.0 > 0 {
+        if self.0.is_multiple_of(MILLIS_PER_HOUR) && self.0 > 0 {
             write!(f, "{}h", self.0 / MILLIS_PER_HOUR)
-        } else if self.0 % MILLIS_PER_MIN == 0 && self.0 > 0 {
+        } else if self.0.is_multiple_of(MILLIS_PER_MIN) && self.0 > 0 {
             write!(f, "{}min", self.0 / MILLIS_PER_MIN)
-        } else if self.0 % MILLIS_PER_SEC == 0 {
+        } else if self.0.is_multiple_of(MILLIS_PER_SEC) {
             write!(f, "{}s", self.0 / MILLIS_PER_SEC)
         } else {
             write!(f, "{}ms", self.0)

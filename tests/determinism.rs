@@ -34,15 +34,11 @@ fn different_seeds_different_worlds() {
 
 #[test]
 fn parallel_arms_match_sequential_arms() {
-    // The crossbeam fan-out used by experiment drivers must not perturb
-    // results: run the same pair sequentially and in parallel.
+    // The parallel-sweep helper used by experiment drivers must not
+    // perturb results: run the same pair sequentially and in parallel.
     let seq: Vec<f64> = [11u64, 13].iter().map(|&s| run_once(s).mean_sla).collect();
-    let par: Vec<f64> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> =
-            [11u64, 13].iter().map(|&s| scope.spawn(move |_| run_once(s).mean_sla)).collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
+    let par: Vec<f64> =
+        pamdc_simcore::par::parallel_map(vec![11u64, 13], |s| run_once(s).mean_sla);
     assert_eq!(seq, par);
 }
 
