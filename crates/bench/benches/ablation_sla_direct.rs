@@ -24,7 +24,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("both_paths", |b| {
         b.iter(|| {
             black_box(
-                ablations::sla_direct_vs_via_rt(&collector, &cpu_model, 21).direct.correlation,
+                ablations::sla_direct_vs_via_rt(&collector, &cpu_model, 21)
+                    .direct
+                    .correlation,
             )
         })
     });

@@ -21,14 +21,24 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let s = ScenarioBuilder::paper_intra_dc().vms(4).seed(1).build();
             let p = Box::new(BestFitPolicy::new(MonitorOracle::plain()));
-            black_box(SimulationRunner::new(s, p).run(SimDuration::from_hours(1)).0.mean_sla)
+            black_box(
+                SimulationRunner::new(s, p)
+                    .run(SimDuration::from_hours(1))
+                    .0
+                    .mean_sla,
+            )
         })
     });
     g.bench_function(BenchmarkId::new("policy", "BF-ML"), |b| {
         b.iter(|| {
             let s = ScenarioBuilder::paper_intra_dc().vms(4).seed(1).build();
             let p = Box::new(BestFitPolicy::new(MlOracle::new(training.suite.clone())));
-            black_box(SimulationRunner::new(s, p).run(SimDuration::from_hours(1)).0.mean_sla)
+            black_box(
+                SimulationRunner::new(s, p)
+                    .run(SimDuration::from_hours(1))
+                    .0
+                    .mean_sla,
+            )
         })
     });
     g.finish();

@@ -14,8 +14,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("both_arms_quick", |b| {
         b.iter(|| {
             black_box(
-                fig7_table3::run(&fig7_table3::Table3Config::quick(8), None)
-                    .energy_saving_frac(),
+                fig7_table3::run(&fig7_table3::Table3Config::quick(8), None).energy_saving_frac(),
             )
         })
     });

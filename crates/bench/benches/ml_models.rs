@@ -11,8 +11,11 @@ fn make_dataset(n: usize, seed: u64) -> Dataset {
     let mut d = Dataset::with_features(&["a", "b", "c", "d", "e"]);
     for _ in 0..n {
         let row: Vec<f64> = (0..5).map(|_| rng.uniform_range(0.0, 10.0)).collect();
-        let y = if row[0] < 5.0 { 2.0 * row[0] + row[1] } else { 30.0 - row[2] }
-            + rng.normal(0.0, 0.3);
+        let y = if row[0] < 5.0 {
+            2.0 * row[0] + row[1]
+        } else {
+            30.0 - row[2]
+        } + rng.normal(0.0, 0.3);
         d.push(row, y);
     }
     d
@@ -41,8 +44,12 @@ fn bench(c: &mut Criterion) {
     let q = vec![3.0, 4.0, 5.0, 6.0, 7.0];
     let mut pred = c.benchmark_group("ml_predict");
     pred.bench_function("m5p", |b| b.iter(|| black_box(tree.predict(black_box(&q)))));
-    pred.bench_function("knn_2000pts", |b| b.iter(|| black_box(knn.predict(black_box(&q)))));
-    pred.bench_function("linreg", |b| b.iter(|| black_box(lin.predict(black_box(&q)))));
+    pred.bench_function("knn_2000pts", |b| {
+        b.iter(|| black_box(knn.predict(black_box(&q))))
+    });
+    pred.bench_function("linreg", |b| {
+        b.iter(|| black_box(lin.predict(black_box(&q))))
+    });
     pred.finish();
 }
 

@@ -13,10 +13,17 @@ use pamdc_simcore::time::SimDuration;
 use std::hint::black_box;
 
 fn run_point(load_scale: f64) -> f64 {
-    let s = ScenarioBuilder::paper_multi_dc().vms(4).load_scale(load_scale).seed(11).build();
+    let s = ScenarioBuilder::paper_multi_dc()
+        .vms(4)
+        .load_scale(load_scale)
+        .seed(11)
+        .build();
     let p = Box::new(HierarchicalPolicy::new(TrueOracle::new()));
     SimulationRunner::new(s, p)
-        .config(RunConfig { keep_series: false, ..Default::default() })
+        .config(RunConfig {
+            keep_series: false,
+            ..Default::default()
+        })
         .run(SimDuration::from_hours(2))
         .0
         .mean_sla
@@ -45,8 +52,14 @@ fn bench(c: &mut Criterion) {
     // derived RNG streams).
     let seq: Vec<f64> = SCALES.iter().map(|&s| run_point(s)).collect();
     let par: Vec<f64> = parallel_map(SCALES.to_vec(), run_point);
-    assert_eq!(seq, par, "parallel sweep must be bit-identical to sequential");
-    println!("parallel sweep verified bit-identical to sequential over {} points", SCALES.len());
+    assert_eq!(
+        seq, par,
+        "parallel sweep must be bit-identical to sequential"
+    );
+    println!(
+        "parallel sweep verified bit-identical to sequential over {} points",
+        SCALES.len()
+    );
 }
 
 criterion_group!(benches, bench);

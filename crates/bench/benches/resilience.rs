@@ -17,11 +17,17 @@ fn migration_storm_table() {
     let bcn = City::Barcelona.location();
     let bst = City::Boston.location();
     println!("\nMigration duration under link sharing (2 GB image, BCN->BST)");
-    println!("{:>12} {:>14} {:>14}", "concurrent", "client Gbps", "duration s");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "concurrent", "client Gbps", "duration s"
+    );
     for concurrent in [1usize, 2, 4, 8] {
         for client_gbps in [0.0, 5.0, 9.0] {
             let d = net.migration_duration_shared(2048.0, bcn, bst, concurrent, client_gbps);
-            println!("{concurrent:>12} {client_gbps:>14.1} {:>14.2}", d.as_secs_f64());
+            println!(
+                "{concurrent:>12} {client_gbps:>14.1} {:>14.2}",
+                d.as_secs_f64()
+            );
         }
     }
 }
@@ -33,7 +39,9 @@ fn failure_recovery_table() {
             .seed(5)
             .fault(0, SimTime::from_mins(30), SimDuration::from_hours(4))
             .build();
-        SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(3)).0
+        SimulationRunner::new(scenario, policy)
+            .run(SimDuration::from_hours(3))
+            .0
     };
     let dynamic = run(Box::new(BestFitPolicy::new(TrueOracle::new())));
     let frozen = run(Box::new(StaticPolicy(TrueOracle::new())));

@@ -17,8 +17,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let s = ScenarioBuilder::paper_multi_dc().vms(5).seed(3).build();
             let p = Box::new(StaticPolicy(TrueOracle::new()));
-            let runner = SimulationRunner::new(s, p)
-                .config(RunConfig { keep_series: false, ..Default::default() });
+            let runner = SimulationRunner::new(s, p).config(RunConfig {
+                keep_series: false,
+                ..Default::default()
+            });
             black_box(runner.run(SimDuration::from_hours(6)).0.total_wh)
         })
     });
@@ -27,11 +29,16 @@ fn bench(c: &mut Criterion) {
     // scratch reuse and the incremental schedule evaluation.
     g.bench_function("mape_loop_6h_8vms_hierarchical", |b| {
         b.iter(|| {
-            let s =
-                ScenarioBuilder::paper_multi_dc().vms(8).pms_per_dc(3).seed(3).build();
+            let s = ScenarioBuilder::paper_multi_dc()
+                .vms(8)
+                .pms_per_dc(3)
+                .seed(3)
+                .build();
             let p = Box::new(HierarchicalPolicy::new(TrueOracle::new()));
-            let runner = SimulationRunner::new(s, p)
-                .config(RunConfig { keep_series: false, ..Default::default() });
+            let runner = SimulationRunner::new(s, p).config(RunConfig {
+                keep_series: false,
+                ..Default::default()
+            });
             black_box(runner.run(SimDuration::from_hours(6)).0.total_wh)
         })
     });

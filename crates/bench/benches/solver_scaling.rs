@@ -114,19 +114,22 @@ fn bench(c: &mut Criterion) {
         let p = synthetic::problem(vms, hosts, 120.0);
         let start = pamdc_sched::baselines::round_robin(&p);
         // Both searches must agree on the result before we time them.
-        let (a, moves_a) =
-            improve_schedule_full_reference(&p, &oracle, start.clone(), &cfg);
+        let (a, moves_a) = improve_schedule_full_reference(&p, &oracle, start.clone(), &cfg);
         let (b, moves_b) = improve_schedule(&p, &oracle, start.clone(), &cfg);
-        assert_eq!(moves_a, moves_b, "reference and incremental must accept the same moves");
-        assert_eq!(a, b, "reference and incremental must produce the same schedule");
+        assert_eq!(
+            moves_a, moves_b,
+            "reference and incremental must accept the same moves"
+        );
+        assert_eq!(
+            a, b,
+            "reference and incremental must produce the same schedule"
+        );
         g.bench_with_input(
             BenchmarkId::new("full_reference", format!("{vms}x{hosts}")),
             &(&p, &start),
             |bench, (p, start)| {
                 bench.iter(|| {
-                    black_box(
-                        improve_schedule_full_reference(p, &oracle, (*start).clone(), &cfg).1,
-                    )
+                    black_box(improve_schedule_full_reference(p, &oracle, (*start).clone(), &cfg).1)
                 })
             },
         );

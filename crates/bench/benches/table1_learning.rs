@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("collect_2x2h", |b| {
         b.iter(|| black_box(collect_training_data(3, &[0.6, 1.2], 2, 99)))
     });
-    g.bench_function("train_suite", |b| b.iter(|| black_box(train_suite(&collector, 7))));
+    g.bench_function("train_suite", |b| {
+        b.iter(|| black_box(train_suite(&collector, 7)))
+    });
     g.finish();
 }
 

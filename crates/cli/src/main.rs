@@ -1,0 +1,542 @@
+//! `pamdc` — the scenario-engine command line.
+//!
+//! ```text
+//! pamdc list
+//! pamdc show fig4
+//! pamdc run  <spec.toml | builtin> [--quick] [--csv out.csv] [--json out.json]
+//! pamdc sweep <spec.toml | builtin> --param key=v1,v2,... [--quick] [--csv ...] [--json ...]
+//! pamdc record <spec.toml | builtin> --out trace.csv [--hours N]
+//! pamdc replay <trace.csv> [--spec <spec|builtin>] [--hours N] [--rate-scale K]
+//!              [--stretch F] [--remap 3,2,1,0] [--quick] [--csv ...] [--json ...]
+//! ```
+//!
+//! Specs resolve as a file path first, then as a built-in registry name.
+//! Everything is deterministic: sweeps fan out via `simcore::par` and
+//! every run derives its randomness from the spec's seed.
+
+use pamdc_scenario::output::{reports_csv, reports_json};
+use pamdc_scenario::registry;
+use pamdc_scenario::runner::{run_spec, SpecReport};
+use pamdc_scenario::spec::ScenarioSpec;
+use pamdc_simcore::time::SimDuration;
+use pamdc_workload::trace::{DemandTrace, TraceSource};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pamdc — power-aware multi-DC scenario engine (Berral, Gavaldà & Torres, ICPP 2013)
+
+USAGE:
+  pamdc list                         list built-in paper scenarios
+  pamdc show <builtin>               print a built-in spec as TOML
+  pamdc run <spec> [opts]            run a spec (file path or built-in name)
+  pamdc sweep <spec> --param k=a,b,c [opts]
+                                     run one variant per value, in parallel
+  pamdc record <spec> --out <trace.csv> [--hours N]
+                                     dump the spec's synthetic demand to a trace
+  pamdc replay <trace.csv> [--spec <spec>] [--rate-scale K] [--stretch F]
+               [--remap 3,2,1,0] [opts]
+                                     drive a simulation from a recorded trace
+
+OPTIONS:
+  --quick          use each experiment's quick preset (CI smoke)
+  --csv <path>     write run metrics as CSV
+  --json <path>    write run metrics as JSON
+  --hours <n>      override the simulated horizon
+  --out <path>     output path (record)
+";
+
+/// A parsed invocation.
+#[derive(Clone, Debug, PartialEq)]
+enum Cmd {
+    List,
+    Show {
+        name: String,
+    },
+    Run {
+        spec: String,
+        opts: Opts,
+    },
+    Sweep {
+        spec: String,
+        param: String,
+        values: Vec<String>,
+        opts: Opts,
+    },
+    Record {
+        spec: String,
+        out: PathBuf,
+        hours: Option<u64>,
+    },
+    Replay {
+        trace: PathBuf,
+        spec: Option<String>,
+        rate_scale: f64,
+        stretch: f64,
+        remap: Vec<usize>,
+        opts: Opts,
+    },
+}
+
+/// Options shared by run/sweep/replay.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct Opts {
+    quick: bool,
+    csv: Option<PathBuf>,
+    json: Option<PathBuf>,
+    hours: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cmd, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| "missing command".to_string())?;
+    let rest: Vec<&String> = it.collect();
+
+    // Pull `--flag [value]` pairs out; positionals remain.
+    let mut positional: Vec<String> = Vec::new();
+    let mut opts = Opts::default();
+    let mut param: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut spec_flag: Option<String> = None;
+    let mut rate_scale = 1.0f64;
+    let mut stretch = 1.0f64;
+    let mut remap: Vec<usize> = Vec::new();
+
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            rest.get(i)
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg {
+            "--quick" => opts.quick = true,
+            "--csv" => opts.csv = Some(PathBuf::from(value("--csv")?)),
+            "--json" => opts.json = Some(PathBuf::from(value("--json")?)),
+            "--hours" => {
+                opts.hours = Some(
+                    value("--hours")?
+                        .parse()
+                        .map_err(|_| "--hours needs an integer".to_string())?,
+                )
+            }
+            "--param" => param = Some(value("--param")?),
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--spec" => spec_flag = Some(value("--spec")?),
+            "--rate-scale" => {
+                rate_scale = value("--rate-scale")?
+                    .parse()
+                    .map_err(|_| "--rate-scale needs a number".to_string())?
+            }
+            "--stretch" => {
+                stretch = value("--stretch")?
+                    .parse()
+                    .map_err(|_| "--stretch needs a number".to_string())?
+            }
+            "--remap" => {
+                remap = value("--remap")?
+                    .split(',')
+                    .map(|p| p.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| "--remap needs comma-separated region indices".to_string())?
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    let one_positional = |what: &str| -> Result<String, String> {
+        match positional.as_slice() {
+            [one] => Ok(one.clone()),
+            [] => Err(format!("missing {what}")),
+            more => Err(format!("unexpected extra arguments {more:?}")),
+        }
+    };
+
+    match cmd.as_str() {
+        "list" => Ok(Cmd::List),
+        "show" => Ok(Cmd::Show {
+            name: one_positional("built-in name")?,
+        }),
+        "run" => Ok(Cmd::Run {
+            spec: one_positional("spec path or built-in name")?,
+            opts,
+        }),
+        "sweep" => {
+            let spec = one_positional("spec path or built-in name")?;
+            let param = param.ok_or("sweep needs --param key=v1,v2,...")?;
+            let (key, values) = param
+                .split_once('=')
+                .ok_or("--param must look like key=v1,v2,...")?;
+            let values: Vec<String> = values
+                .split(',')
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+                .collect();
+            if values.is_empty() {
+                return Err("--param needs at least one value".into());
+            }
+            Ok(Cmd::Sweep {
+                spec,
+                param: key.trim().to_string(),
+                values,
+                opts,
+            })
+        }
+        "record" => Ok(Cmd::Record {
+            spec: one_positional("spec path or built-in name")?,
+            out: out.ok_or("record needs --out <trace.csv>")?,
+            hours: opts.hours,
+        }),
+        "replay" => Ok(Cmd::Replay {
+            trace: PathBuf::from(one_positional("trace path")?),
+            spec: spec_flag,
+            rate_scale,
+            stretch,
+            remap,
+            opts,
+        }),
+        "help" | "--help" | "-h" => Err(String::new()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Resolves a spec argument: file path first, then built-in name.
+/// Returns the spec and the directory trace paths resolve against.
+fn load_spec(arg: &str) -> Result<(ScenarioSpec, PathBuf), String> {
+    let path = Path::new(arg);
+    if path.is_file() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let spec = ScenarioSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let base = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+        return Ok((spec, base));
+    }
+    if let Some(builtin) = registry::find(arg) {
+        return Ok((builtin.spec, PathBuf::from(".")));
+    }
+    Err(format!(
+        "{arg:?} is neither a spec file nor a built-in (try `pamdc list`)"
+    ))
+}
+
+fn write_outputs(reports: &[SpecReport], opts: &Opts) -> Result<(), String> {
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, reports_csv(reports))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, reports_json(reports))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_list() {
+    println!("built-in scenarios ({}):\n", registry::builtins().len());
+    let width = registry::builtins()
+        .iter()
+        .map(|b| b.name.len())
+        .max()
+        .unwrap_or(0);
+    for b in registry::builtins() {
+        println!("  {:width$}  {}", b.name, b.title);
+    }
+    println!("\nrun one with `pamdc run <name>`; inspect with `pamdc show <name>`.");
+}
+
+fn cmd_run(spec_arg: &str, opts: &Opts) -> Result<(), String> {
+    let (mut spec, base) = load_spec(spec_arg)?;
+    if let Some(hours) = opts.hours {
+        spec.run.hours = hours;
+    }
+    let report = run_spec(&spec, &base, opts.quick).map_err(|e| e.to_string())?;
+    println!("{}", report.text);
+    write_outputs(std::slice::from_ref(&report), opts)
+}
+
+fn cmd_sweep(spec_arg: &str, param: &str, values: &[String], opts: &Opts) -> Result<(), String> {
+    let (mut base_spec, base) = load_spec(spec_arg)?;
+    if let Some(hours) = opts.hours {
+        base_spec.run.hours = hours;
+    }
+    // Build every variant up front so a bad value fails before any work.
+    let mut variants: Vec<(String, ScenarioSpec)> = Vec::with_capacity(values.len());
+    for value in values {
+        let mut v = base_spec.with_param(param, value).map_err(|e| {
+            let hints: Vec<&str> = pamdc_scenario::spec::sweepable_params()
+                .keys()
+                .copied()
+                .collect();
+            format!("{e}\nsweepable keys include: {}", hints.join(", "))
+        })?;
+        v.name = format!("{}[{param}={value}]", base_spec.name);
+        variants.push((value.clone(), v));
+    }
+    eprintln!("sweeping {param} over {} values...", variants.len());
+    let quick = opts.quick;
+    let base_dir = base.clone();
+    let reports: Vec<Result<SpecReport, String>> =
+        pamdc_simcore::par::parallel_map(variants, move |(value, spec)| {
+            run_spec(&spec, &base_dir, quick)
+                .map_err(|e| format!("{param}={value}: {e}", param = param_owned(&spec)))
+        });
+    // `parallel_map` preserves input order, so rows line up with values.
+    let mut ok = Vec::with_capacity(reports.len());
+    for r in reports {
+        ok.push(r?);
+    }
+    println!("{}", reports_csv(&ok));
+    write_outputs(&ok, opts)
+}
+
+/// The swept parameter name is baked into each variant's spec name
+/// (`base[key=value]`); recover it for error messages.
+fn param_owned(spec: &ScenarioSpec) -> String {
+    spec.name
+        .rsplit_once('[')
+        .and_then(|(_, tail)| tail.split_once('=').map(|(k, _)| k.to_string()))
+        .unwrap_or_else(|| "param".into())
+}
+
+fn cmd_record(spec_arg: &str, out: &Path, hours: Option<u64>) -> Result<(), String> {
+    let (spec, base) = load_spec(spec_arg)?;
+    let scenario =
+        pamdc_scenario::build::build_scenario(&spec, &base).map_err(|e| e.to_string())?;
+    let horizon = SimDuration::from_hours(hours.unwrap_or(spec.run.hours));
+    let tick = SimDuration::from_secs(spec.run.tick_secs);
+    let trace = DemandTrace::record(&scenario.workload, horizon, tick);
+    std::fs::write(out, trace.to_csv())
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "recorded {} ticks x {} services ({} regions) -> {}",
+        trace.tick_count(),
+        trace.service_count(),
+        trace.regions,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_replay(
+    trace_path: &Path,
+    spec_arg: Option<&str>,
+    rate_scale: f64,
+    stretch: f64,
+    remap: &[usize],
+    opts: &Opts,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {}: {e}", trace_path.display()))?;
+    let trace =
+        DemandTrace::parse_csv(&text).map_err(|e| format!("{}: {e}", trace_path.display()))?;
+    let services = trace.service_count();
+    // Validate transforms up front: bad flags get an error message, not
+    // a panic backtrace from the replayer's asserts.
+    if !(rate_scale.is_finite() && rate_scale >= 0.0) {
+        return Err(format!(
+            "--rate-scale must be finite and >= 0, got {rate_scale}"
+        ));
+    }
+    if !(stretch.is_finite() && stretch > 0.0) {
+        return Err(format!("--stretch must be finite and > 0, got {stretch}"));
+    }
+    if !remap.is_empty() {
+        if remap.len() != trace.regions {
+            return Err(format!(
+                "--remap lists {} regions but the trace records {} (need one target per \
+                 recorded region)",
+                remap.len(),
+                trace.regions
+            ));
+        }
+        if let Some(&bad) = remap.iter().find(|&&r| r >= trace.regions) {
+            return Err(format!(
+                "--remap target {bad} is out of range ({} regions)",
+                trace.regions
+            ));
+        }
+    }
+
+    let (mut spec, base) = match spec_arg {
+        Some(arg) => load_spec(arg)?,
+        None => (ScenarioSpec::default(), PathBuf::from(".")),
+    };
+    spec.workload.vms = services;
+    spec.workload.trace = None; // the world is built around the parsed source below
+    if let Some(hours) = opts.hours {
+        spec.run.hours = hours;
+    }
+    let _ = base; // the trace path is as-given (cwd-relative), not spec-relative
+    let mut source = TraceSource::new(trace)
+        .with_rate_scale(rate_scale)
+        .with_time_stretch(stretch);
+    if !remap.is_empty() {
+        source = source.with_region_map(remap.to_vec());
+    }
+    let scenario = pamdc_scenario::build::build_scenario_with_demand(&spec, source.into())
+        .map_err(|e| e.to_string())?;
+    let suite = if pamdc_scenario::build::needs_training(&spec) {
+        Some(pamdc_scenario::build::train_for_spec(&spec.training).suite)
+    } else {
+        None
+    };
+    let policy = pamdc_scenario::build::build_policy(&spec, suite).map_err(|e| e.to_string())?;
+    let (outcome, _) = pamdc_core::simulation::SimulationRunner::new(scenario, policy)
+        .config(pamdc_scenario::build::run_config(&spec))
+        .run(SimDuration::from_hours(if opts.quick {
+            spec.run.hours.min(3)
+        } else {
+            spec.run.hours
+        }));
+    let report = SpecReport {
+        name: format!("replay[{}]", trace_path.display()),
+        text: pamdc_scenario::runner::render_outcome(&outcome),
+        metrics: pamdc_scenario::runner::outcome_metrics("", &outcome),
+    };
+    println!("{}", report.text);
+    write_outputs(std::slice::from_ref(&report), opts)
+}
+
+fn cmd_show(name: &str) -> Result<(), String> {
+    let builtin = registry::find(name)
+        .ok_or_else(|| format!("no built-in named {name:?} (try `pamdc list`)"))?;
+    print!("{}", builtin.spec.emit());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match &cmd {
+        Cmd::List => {
+            cmd_list();
+            Ok(())
+        }
+        Cmd::Show { name } => cmd_show(name),
+        Cmd::Run { spec, opts } => cmd_run(spec, opts),
+        Cmd::Sweep {
+            spec,
+            param,
+            values,
+            opts,
+        } => cmd_sweep(spec, param, values, opts),
+        Cmd::Record { spec, out, hours } => cmd_record(spec, out, *hours),
+        Cmd::Replay {
+            trace,
+            spec,
+            rate_scale,
+            stretch,
+            remap,
+            opts,
+        } => cmd_replay(trace, spec.as_deref(), *rate_scale, *stretch, remap, opts),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cmd, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let cmd = parse(&["run", "fig4", "--quick", "--json", "out.json"]).unwrap();
+        match cmd {
+            Cmd::Run { spec, opts } => {
+                assert_eq!(spec, "fig4");
+                assert!(opts.quick);
+                assert_eq!(opts.json, Some(PathBuf::from("out.json")));
+                assert_eq!(opts.csv, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sweep_params() {
+        let cmd = parse(&[
+            "sweep",
+            "fig6",
+            "--param",
+            "workload.load_scale=0.5,1.0,1.5",
+        ])
+        .unwrap();
+        match cmd {
+            Cmd::Sweep { param, values, .. } => {
+                assert_eq!(param, "workload.load_scale");
+                assert_eq!(values, vec!["0.5", "1.0", "1.5"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["sweep", "fig6"]).is_err());
+        assert!(parse(&["sweep", "fig6", "--param", "novalues"]).is_err());
+    }
+
+    #[test]
+    fn parses_replay_transforms() {
+        let cmd = parse(&[
+            "replay",
+            "t.csv",
+            "--stretch",
+            "2.0",
+            "--rate-scale",
+            "1.5",
+            "--remap",
+            "3,2,1,0",
+        ])
+        .unwrap();
+        match cmd {
+            Cmd::Replay {
+                trace,
+                stretch,
+                rate_scale,
+                remap,
+                ..
+            } => {
+                assert_eq!(trace, PathBuf::from("t.csv"));
+                assert_eq!(stretch, 2.0);
+                assert_eq!(rate_scale, 1.5);
+                assert_eq!(remap, vec![3, 2, 1, 0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_commands_and_options() {
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["run", "fig4", "--frob"]).is_err());
+        assert!(parse(&["record", "fig4"]).is_err(), "record requires --out");
+    }
+
+    #[test]
+    fn builtins_resolve_as_specs() {
+        let (spec, _) = load_spec("fig6").expect("builtin");
+        assert_eq!(spec.name, "fig6");
+        assert!(load_spec("not-a-thing").is_err());
+    }
+}

@@ -47,7 +47,10 @@ impl EnergyEnvironment {
                 SiteEnergy::flat(dc.energy_price_eur_kwh, carbon)
             })
             .collect();
-        EnergyEnvironment { sites, scheduler_sees_dynamic_prices: true }
+        EnergyEnvironment {
+            sites,
+            scheduler_sees_dynamic_prices: true,
+        }
     }
 
     /// Installs solar at every DC, sized as `capacity_per_pm_w` ×
@@ -90,8 +93,13 @@ impl EnergyEnvironment {
             .find(|c| c.location() == dc.location)
             .map(|c| c.utc_offset_hours())
             .unwrap_or(0.0);
-        let farm =
-            SolarFarm::new(capacity_w, offset, days, min_sky, seed ^ ((dc_idx as u64) << 8));
+        let farm = SolarFarm::new(
+            capacity_w,
+            offset,
+            days,
+            min_sky,
+            seed ^ ((dc_idx as u64) << 8),
+        );
         self.sites[dc_idx] = self.sites[dc_idx].clone().with_solar(farm);
         self
     }
@@ -186,7 +194,10 @@ mod tests {
         let brs = env.quoted_price_eur_kwh(0, t, 0.0, 50.0);
         let bcn = env.quoted_price_eur_kwh(2, t, 0.0, 50.0);
         assert!(brs < 0.02, "Brisbane noon is green: {brs}");
-        assert!((bcn - 0.1513).abs() < 1e-9, "Barcelona night is brown: {bcn}");
+        assert!(
+            (bcn - 0.1513).abs() < 1e-9,
+            "Barcelona night is brown: {bcn}"
+        );
     }
 
     #[test]
@@ -197,7 +208,10 @@ mod tests {
             .price_blind();
         let t = SimTime::from_hours(2);
         let brs = env.quoted_price_eur_kwh(0, t, 0.0, 50.0);
-        assert!((brs - 0.1314).abs() < 1e-9, "blind scheduler sees posted price: {brs}");
+        assert!(
+            (brs - 0.1314).abs() < 1e-9,
+            "blind scheduler sees posted price: {brs}"
+        );
     }
 
     #[test]

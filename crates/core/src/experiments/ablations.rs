@@ -115,7 +115,11 @@ pub fn render(path: &SlaPathResult, bias: &MonitorBiasResult) -> String {
         "correlation".into(),
         format!("{:.4}", path.direct.correlation),
     ]);
-    t.row(vec!["SLA direct (k-NN)".into(), "MAE".into(), format!("{:.4}", path.direct.mae)]);
+    t.row(vec![
+        "SLA direct (k-NN)".into(),
+        "MAE".into(),
+        format!("{:.4}", path.direct.mae),
+    ]);
     t.row(vec![
         "SLA via RT (M5P+formula)".into(),
         "correlation".into(),
@@ -136,5 +140,8 @@ pub fn render(path: &SlaPathResult, bias: &MonitorBiasResult) -> String {
         "obs/demand CPU (saturated)".into(),
         format!("{:.3}", bias.saturated_ratio),
     ]);
-    format!("Ablations — SLA prediction path & monitor bias\n{}", t.render())
+    format!(
+        "Ablations — SLA prediction path & monitor bias\n{}",
+        t.render()
+    )
 }

@@ -35,14 +35,28 @@ pub struct DelocConfig {
 
 impl Default for DelocConfig {
     fn default() -> Self {
-        DelocConfig { hours: 24, vms: 5, home_dc: 2, pms_per_dc: 2, load_scale: 0.9, seed: 6 }
+        DelocConfig {
+            hours: 24,
+            vms: 5,
+            home_dc: 2,
+            pms_per_dc: 2,
+            load_scale: 0.9,
+            seed: 6,
+        }
     }
 }
 
 impl DelocConfig {
     /// Short run for tests.
     pub fn quick(seed: u64) -> Self {
-        DelocConfig { hours: 5, vms: 4, home_dc: 2, pms_per_dc: 2, load_scale: 0.9, seed }
+        DelocConfig {
+            hours: 5,
+            vms: 4,
+            home_dc: 2,
+            pms_per_dc: 2,
+            load_scale: 0.9,
+            seed,
+        }
     }
 }
 
@@ -67,8 +81,7 @@ impl DelocResult {
         if days <= 0.0 || vms == 0 {
             return 0.0;
         }
-        (self.delocating.profit.profit_eur() - self.fixed.profit.profit_eur())
-            / (vms as f64 * days)
+        (self.delocating.profit.profit_eur() - self.fixed.profit.profit_eur()) / (vms as f64 * days)
     }
 }
 
@@ -91,9 +104,12 @@ pub fn run(cfg: &DelocConfig) -> DelocResult {
                 .0
         },
         || {
-            SimulationRunner::new(build(), Box::new(HierarchicalPolicy::new(TrueOracle::new())))
-                .run(duration)
-                .0
+            SimulationRunner::new(
+                build(),
+                Box::new(HierarchicalPolicy::new(TrueOracle::new())),
+            )
+            .run(duration)
+            .0
         },
     );
     DelocResult { fixed, delocating }
@@ -102,7 +118,10 @@ pub fn run(cfg: &DelocConfig) -> DelocResult {
 /// Renders the comparison.
 pub fn render(result: &DelocResult, vms: usize) -> String {
     let mut t = TextTable::new(&["scenario", "mean SLA", "€/h", "avg W", "migrations"]);
-    for (label, o) in [("fixed-home-DC", &result.fixed), ("de-locating", &result.delocating)] {
+    for (label, o) in [
+        ("fixed-home-DC", &result.fixed),
+        ("de-locating", &result.delocating),
+    ] {
         t.row(vec![
             label.to_string(),
             format!("{:.4}", o.mean_sla),

@@ -40,14 +40,26 @@ pub struct Fig4Config {
 
 impl Default for Fig4Config {
     fn default() -> Self {
-        Fig4Config { hours: 24, vms: 5, load_scale: 1.0, seed: 4, include_true_arm: true }
+        Fig4Config {
+            hours: 24,
+            vms: 5,
+            load_scale: 1.0,
+            seed: 4,
+            include_true_arm: true,
+        }
     }
 }
 
 impl Fig4Config {
     /// Short run for tests.
     pub fn quick(seed: u64) -> Self {
-        Fig4Config { hours: 14, vms: 5, load_scale: 1.0, seed, include_true_arm: false }
+        Fig4Config {
+            hours: 14,
+            vms: 5,
+            load_scale: 1.0,
+            seed,
+            include_true_arm: false,
+        }
     }
 }
 
@@ -81,16 +93,15 @@ pub fn run(cfg: &Fig4Config, training: &TrainingOutcome) -> Fig4Result {
     }
 
     let jobs: Vec<(Arm, _)> = arms.into_iter().map(|arm| (arm, scenario())).collect();
-    let outcomes: Vec<RunOutcome> =
-        pamdc_simcore::par::parallel_map(jobs, |(arm, scenario)| {
-            let policy: Box<dyn crate::policy::PlacementPolicy> = match arm {
-                Arm::Bf => Box::new(BestFitPolicy::new(MonitorOracle::plain())),
-                Arm::BfOb => Box::new(BestFitPolicy::new(MonitorOracle::overbooked())),
-                Arm::BfMl(suite) => Box::new(BestFitPolicy::new(MlOracle::new(suite))),
-                Arm::BfTrue => Box::new(BestFitPolicy::new(TrueOracle::new())),
-            };
-            SimulationRunner::new(scenario, policy).run(duration).0
-        });
+    let outcomes: Vec<RunOutcome> = pamdc_simcore::par::parallel_map(jobs, |(arm, scenario)| {
+        let policy: Box<dyn crate::policy::PlacementPolicy> = match arm {
+            Arm::Bf => Box::new(BestFitPolicy::new(MonitorOracle::plain())),
+            Arm::BfOb => Box::new(BestFitPolicy::new(MonitorOracle::overbooked())),
+            Arm::BfMl(suite) => Box::new(BestFitPolicy::new(MlOracle::new(suite))),
+            Arm::BfTrue => Box::new(BestFitPolicy::new(TrueOracle::new())),
+        };
+        SimulationRunner::new(scenario, policy).run(duration).0
+    });
 
     Fig4Result { outcomes }
 }
@@ -117,5 +128,8 @@ pub fn render(result: &Fig4Result) -> String {
             format!("{:.4}", o.eur_per_hour()),
         ]);
     }
-    format!("Figure 4 — intra-DC scheduling comparatives\n{}", t.render())
+    format!(
+        "Figure 4 — intra-DC scheduling comparatives\n{}",
+        t.render()
+    )
 }

@@ -60,7 +60,11 @@ pub fn run(cfg: &Fig5Config) -> Fig5Result {
     let mut visited: Vec<usize> = placement_changes.iter().map(|&(_, d)| d).collect();
     visited.sort_unstable();
     visited.dedup();
-    Fig5Result { outcome, dcs_visited: visited.len(), placement_changes }
+    Fig5Result {
+        outcome,
+        dcs_visited: visited.len(),
+        placement_changes,
+    }
 }
 
 /// Renders the movement log.
@@ -68,7 +72,10 @@ pub fn render(result: &Fig5Result) -> String {
     let mut t = TextTable::new(&["sim time", "moved to DC"]);
     let dc_names = ["BRS", "BNG", "BCN", "BST"];
     for &(time, dc) in &result.placement_changes {
-        t.row(vec![format!("{time}"), dc_names.get(dc).unwrap_or(&"?").to_string()]);
+        t.row(vec![
+            format!("{time}"),
+            dc_names.get(dc).unwrap_or(&"?").to_string(),
+        ]);
     }
     format!(
         "Figure 5 — VM placement following the load ({} DCs visited, {} migrations)\n{}",

@@ -31,14 +31,24 @@ pub struct Fig6Config {
 
 impl Default for Fig6Config {
     fn default() -> Self {
-        Fig6Config { hours: 24, vms: 5, flash_multiplier: 8.0, seed: 7 }
+        Fig6Config {
+            hours: 24,
+            vms: 5,
+            flash_multiplier: 8.0,
+            seed: 7,
+        }
     }
 }
 
 impl Fig6Config {
     /// Short run for tests (still covers the crowd window).
     pub fn quick(seed: u64) -> Self {
-        Fig6Config { hours: 3, vms: 4, flash_multiplier: 8.0, seed }
+        Fig6Config {
+            hours: 3,
+            vms: 4,
+            flash_multiplier: 8.0,
+            seed,
+        }
     }
 }
 
@@ -82,9 +92,18 @@ pub fn run(cfg: &Fig6Config, training: Option<&TrainingOutcome>) -> Fig6Result {
 /// Renders the window summary.
 pub fn render(result: &Fig6Result) -> String {
     let mut t = TextTable::new(&["window", "mean SLA"]);
-    t.row(vec!["before crowd (0-70 min)".into(), format!("{:.4}", result.sla_before_crowd)]);
-    t.row(vec!["flash crowd (70-90 min)".into(), format!("{:.4}", result.sla_during_crowd)]);
-    t.row(vec!["after crowd (90-150 min)".into(), format!("{:.4}", result.sla_after_crowd)]);
+    t.row(vec![
+        "before crowd (0-70 min)".into(),
+        format!("{:.4}", result.sla_before_crowd),
+    ]);
+    t.row(vec![
+        "flash crowd (70-90 min)".into(),
+        format!("{:.4}", result.sla_during_crowd),
+    ]);
+    t.row(vec![
+        "after crowd (90-150 min)".into(),
+        format!("{:.4}", result.sla_after_crowd),
+    ]);
     format!(
         "Figure 6 — inter-DC scheduling with flash crowd ({} migrations, {:.1} W avg)\n{}",
         result.outcome.migrations,

@@ -33,14 +33,24 @@ pub struct Table3Config {
 
 impl Default for Table3Config {
     fn default() -> Self {
-        Table3Config { hours: 24, vms: 5, load_scale: 1.15, seed: 8 }
+        Table3Config {
+            hours: 24,
+            vms: 5,
+            load_scale: 1.15,
+            seed: 8,
+        }
     }
 }
 
 impl Table3Config {
     /// Short run for tests.
     pub fn quick(seed: u64) -> Self {
-        Table3Config { hours: 4, vms: 5, load_scale: 1.0, seed }
+        Table3Config {
+            hours: 4,
+            vms: 5,
+            load_scale: 1.0,
+            seed,
+        }
     }
 }
 
@@ -87,7 +97,10 @@ pub fn run(cfg: &Table3Config, training: Option<&TrainingOutcome>) -> Table3Resu
             SimulationRunner::new(build(), policy).run(duration).0
         },
     );
-    Table3Result { static_global, dynamic }
+    Table3Result {
+        static_global,
+        dynamic,
+    }
 }
 
 /// Renders Table III with the paper's published values alongside.

@@ -21,7 +21,6 @@
 //! its energy green, emits less CO₂ and pays less for electricity, at
 //! equal-or-better SLA — with the migrations to show for it.
 
-use crate::energy::EnergyEnvironment;
 use crate::policy::HierarchicalPolicy;
 use crate::report::TextTable;
 use crate::scenario::ScenarioBuilder;
@@ -75,7 +74,14 @@ impl Default for GreenConfig {
 impl GreenConfig {
     /// Short run for tests and benches.
     pub fn quick(seed: u64) -> Self {
-        GreenConfig { hours: 24, vms: 3, ..GreenConfig { seed, ..Default::default() } }
+        GreenConfig {
+            hours: 24,
+            vms: 3,
+            ..GreenConfig {
+                seed,
+                ..Default::default()
+            }
+        }
     }
 }
 
@@ -95,8 +101,7 @@ impl GreenResult {
 
     /// CO₂ intensity reduction, g/kWh.
     pub fn carbon_reduction_g_per_kwh(&self) -> f64 {
-        self.price_blind.energy.intensity_g_per_kwh()
-            - self.sun_aware.energy.intensity_g_per_kwh()
+        self.price_blind.energy.intensity_g_per_kwh() - self.sun_aware.energy.intensity_g_per_kwh()
     }
 }
 
@@ -104,39 +109,55 @@ impl GreenResult {
 pub fn run(cfg: &GreenConfig) -> GreenResult {
     let duration = SimDuration::from_hours(cfg.hours);
     let build = |aware: bool| {
-        let mut scenario = ScenarioBuilder::paper_multi_dc()
+        let days = cfg.hours / 24 + 1;
+        let (solar_dcs, solar_per_pm_w, min_sky, seed) = (
+            cfg.solar_dcs.clone(),
+            cfg.solar_per_pm_w,
+            cfg.min_sky,
+            cfg.seed,
+        );
+        ScenarioBuilder::paper_multi_dc()
             .vms(cfg.vms)
             .pms_per_dc(cfg.pms_per_dc)
             .load_scale(cfg.load_scale)
             .seed(cfg.seed)
-            .name(if aware { "follow-the-sun" } else { "price-blind" })
-            .build();
-        // Latency-neutral clients: the energy term alone decides.
-        scenario.workload = pamdc_workload::libcn::uniform_multi_dc(
-            cfg.vms,
-            170.0 * cfg.load_scale,
-            cfg.seed,
-        );
-        let days = cfg.hours / 24 + 1;
-        let mut env = EnergyEnvironment::paper_default(&scenario.cluster);
-        for &dc in &cfg.solar_dcs {
-            let capacity = cfg.solar_per_pm_w * scenario.cluster.dcs()[dc].pms().len() as f64;
-            env = env.with_solar_at(&scenario.cluster, dc, capacity, cfg.min_sky, days, cfg.seed);
-        }
-        if !aware {
-            env = env.price_blind();
-        }
-        scenario.energy = env;
-        scenario
+            .name(if aware {
+                "follow-the-sun"
+            } else {
+                "price-blind"
+            })
+            // Latency-neutral clients: the energy term alone decides.
+            .workload(pamdc_workload::libcn::uniform_multi_dc(
+                cfg.vms,
+                170.0 * cfg.load_scale,
+                cfg.seed,
+            ))
+            .energy(move |cluster, mut env| {
+                for &dc in &solar_dcs {
+                    let capacity = solar_per_pm_w * cluster.dcs()[dc].pms().len() as f64;
+                    env = env.with_solar_at(cluster, dc, capacity, min_sky, days, seed);
+                }
+                if aware {
+                    env
+                } else {
+                    env.price_blind()
+                }
+            })
+            .build()
     };
-    let run_cfg =
-        RunConfig { plan_horizon_ticks: Some(PLAN_HORIZON_TICKS), ..RunConfig::default() };
+    let run_cfg = RunConfig {
+        plan_horizon_ticks: Some(PLAN_HORIZON_TICKS),
+        ..RunConfig::default()
+    };
     let (sun_aware, price_blind) = pamdc_simcore::par::join(
         || {
-            SimulationRunner::new(build(true), Box::new(HierarchicalPolicy::new(TrueOracle::new())))
-                .config(run_cfg.clone())
-                .run(duration)
-                .0
+            SimulationRunner::new(
+                build(true),
+                Box::new(HierarchicalPolicy::new(TrueOracle::new())),
+            )
+            .config(run_cfg.clone())
+            .run(duration)
+            .0
         },
         || {
             SimulationRunner::new(
@@ -148,7 +169,10 @@ pub fn run(cfg: &GreenConfig) -> GreenResult {
             .0
         },
     );
-    GreenResult { sun_aware, price_blind }
+    GreenResult {
+        sun_aware,
+        price_blind,
+    }
 }
 
 /// Renders the comparison table.
@@ -162,9 +186,10 @@ pub fn render(result: &GreenResult) -> String {
         "Avg SLA",
         "migrations",
     ]);
-    for (label, o) in
-        [("Sun-aware", &result.sun_aware), ("Price-blind", &result.price_blind)]
-    {
+    for (label, o) in [
+        ("Sun-aware", &result.sun_aware),
+        ("Price-blind", &result.price_blind),
+    ] {
         t.row(vec![
             label.to_string(),
             format!("{:.1}", 100.0 * o.energy.green_fraction()),

@@ -14,7 +14,6 @@
 //! (modulo plateauing once the fleet is fully consolidated in the
 //! cheapest DC).
 
-use crate::energy::EnergyEnvironment;
 use crate::policy::{HierarchicalPolicy, PlacementPolicy, StaticPolicy};
 use crate::report::TextTable;
 use crate::scenario::ScenarioBuilder;
@@ -61,7 +60,10 @@ impl HeterogeneityConfig {
             spreads: vec![1.0, 6.0],
             hours: 8,
             vms: 3,
-            ..HeterogeneityConfig { seed, ..Default::default() }
+            ..HeterogeneityConfig {
+                seed,
+                ..Default::default()
+            }
         }
     }
 }
@@ -109,36 +111,44 @@ pub fn run(cfg: &HeterogeneityConfig) -> Vec<HeterogeneityCell> {
     let duration = SimDuration::from_hours(cfg.hours);
     let run_cell = |spread: f64| {
         let build = || {
-            let mut scenario = ScenarioBuilder::paper_multi_dc()
+            ScenarioBuilder::paper_multi_dc()
                 .vms(cfg.vms)
                 .pms_per_dc(cfg.pms_per_dc)
                 .load_scale(cfg.load_scale)
                 .seed(cfg.seed)
                 .name(format!("heterogeneity-x{spread}"))
-                .build();
-            scenario.workload = pamdc_workload::libcn::uniform_multi_dc(
-                cfg.vms,
-                170.0 * cfg.load_scale,
-                cfg.seed,
-            );
-            let prices = stretched_prices(spread);
-            let mut env = EnergyEnvironment::paper_default(&scenario.cluster);
-            for (dc, &price) in prices.iter().enumerate() {
-                env = env.with_tariff(dc, Tariff::Flat(price));
-            }
-            scenario.energy = env;
-            scenario
+                .workload(pamdc_workload::libcn::uniform_multi_dc(
+                    cfg.vms,
+                    170.0 * cfg.load_scale,
+                    cfg.seed,
+                ))
+                .energy(move |_, mut env| {
+                    for (dc, &price) in stretched_prices(spread).iter().enumerate() {
+                        env = env.with_tariff(dc, Tariff::Flat(price));
+                    }
+                    env
+                })
+                .build()
         };
-        let run_cfg =
-            RunConfig { plan_horizon_ticks: Some(60), ..RunConfig::default() };
+        let run_cfg = RunConfig {
+            plan_horizon_ticks: Some(60),
+            ..RunConfig::default()
+        };
         let arm = |policy: Box<dyn PlacementPolicy>| {
-            SimulationRunner::new(build(), policy).config(run_cfg.clone()).run(duration).0
+            SimulationRunner::new(build(), policy)
+                .config(run_cfg.clone())
+                .run(duration)
+                .0
         };
         let (static_global, dynamic) = pamdc_simcore::par::join(
             || arm(Box::new(StaticPolicy(TrueOracle::new()))),
             || arm(Box::new(HierarchicalPolicy::new(TrueOracle::new()))),
         );
-        HeterogeneityCell { spread, static_global, dynamic }
+        HeterogeneityCell {
+            spread,
+            static_global,
+            dynamic,
+        }
     };
     pamdc_simcore::par::parallel_map(cfg.spreads.clone(), run_cell)
 }

@@ -72,7 +72,14 @@ impl Default for OnlineDriftConfig {
 impl OnlineDriftConfig {
     /// Short run for tests and benches.
     pub fn quick(seed: u64) -> Self {
-        OnlineDriftConfig { hours: 8, vms: 4, ..OnlineDriftConfig { seed, ..Default::default() } }
+        OnlineDriftConfig {
+            hours: 8,
+            vms: 4,
+            ..OnlineDriftConfig {
+                seed,
+                ..Default::default()
+            }
+        }
     }
 
     /// The update instant.
@@ -137,9 +144,15 @@ pub fn run(cfg: &OnlineDriftConfig) -> OnlineDriftResult {
 
     // Static placement, no migrations: every tick records exactly one
     // sample per VM, so the stream boundary is exact.
-    let policy = Box::new(crate::policy::StaticPolicy(pamdc_sched::oracle::TrueOracle::new()));
+    let policy = Box::new(crate::policy::StaticPolicy(
+        pamdc_sched::oracle::TrueOracle::new(),
+    ));
     let (_, collector) = SimulationRunner::new(scenario, policy)
-        .config(RunConfig { keep_series: false, round_every_ticks: 0, ..Default::default() })
+        .config(RunConfig {
+            keep_series: false,
+            round_every_ticks: 0,
+            ..Default::default()
+        })
         .collect_into(TrainingCollector::new())
         .run(SimDuration::from_hours(cfg.hours));
     let collector = collector.expect("collector attached");

@@ -18,7 +18,6 @@
 //! adaptive arm's Boston occupancy drops after the spike and its energy
 //! bill undercuts the posted-price arm's.
 
-use crate::energy::EnergyEnvironment;
 use crate::policy::HierarchicalPolicy;
 use crate::report::TextTable;
 use crate::scenario::ScenarioBuilder;
@@ -63,7 +62,14 @@ impl Default for PriceAdaptationConfig {
 impl PriceAdaptationConfig {
     /// Short run for tests and benches.
     pub fn quick(seed: u64) -> Self {
-        PriceAdaptationConfig { hours: 12, vms: 3, ..PriceAdaptationConfig { seed, ..Default::default() } }
+        PriceAdaptationConfig {
+            hours: 12,
+            vms: 3,
+            ..PriceAdaptationConfig {
+                seed,
+                ..Default::default()
+            }
+        }
     }
 
     /// The spike instant.
@@ -96,7 +102,9 @@ fn boston_share(outcome: &RunOutcome, vms: usize, spike_at: SimTime, post: bool)
     let mut in_boston = 0usize;
     let mut total = 0usize;
     for vm in 0..vms {
-        let Some(series) = outcome.series.get(&format!("vm{vm}_dc")) else { continue };
+        let Some(series) = outcome.series.get(&format!("vm{vm}_dc")) else {
+            continue;
+        };
         for (t, dc) in series.iter() {
             if (t >= spike_at) == post {
                 total += 1;
@@ -124,32 +132,39 @@ pub fn run(cfg: &PriceAdaptationConfig) -> PriceAdaptationResult {
         // the energy term alone decides where the fleet lives — exactly
         // the regime the paper predicts for "larger variations of energy
         // prices across the world".
-        let mut scenario = ScenarioBuilder::paper_multi_dc()
+        let spike_factor = cfg.spike_factor;
+        ScenarioBuilder::paper_multi_dc()
             .vms(cfg.vms)
             .pms_per_dc(cfg.pms_per_dc)
             .load_scale(cfg.load_scale)
             .deploy_all_in(BOSTON)
             .seed(cfg.seed)
-            .name(if adaptive { "adaptive-pricing" } else { "posted-pricing" })
-            .build();
-        scenario.workload = pamdc_workload::libcn::uniform_multi_dc(
-            cfg.vms,
-            170.0 * cfg.load_scale,
-            cfg.seed,
-        );
-        let base = pamdc_econ::prices::paper_prices()[BOSTON].eur_per_kwh;
-        let mut env = EnergyEnvironment::paper_default(&scenario.cluster).with_tariff(
-            BOSTON,
-            Tariff::Step {
-                initial_eur: base,
-                steps: vec![(spike_at, base * cfg.spike_factor)],
-            },
-        );
-        if !adaptive {
-            env = env.price_blind();
-        }
-        scenario.energy = env;
-        scenario
+            .name(if adaptive {
+                "adaptive-pricing"
+            } else {
+                "posted-pricing"
+            })
+            .workload(pamdc_workload::libcn::uniform_multi_dc(
+                cfg.vms,
+                170.0 * cfg.load_scale,
+                cfg.seed,
+            ))
+            .energy(move |_, env| {
+                let base = pamdc_econ::prices::paper_prices()[BOSTON].eur_per_kwh;
+                let env = env.with_tariff(
+                    BOSTON,
+                    Tariff::Step {
+                        initial_eur: base,
+                        steps: vec![(spike_at, base * spike_factor)],
+                    },
+                );
+                if adaptive {
+                    env
+                } else {
+                    env.price_blind()
+                }
+            })
+            .build()
     };
     let arm = |adaptive: bool| {
         let outcome = SimulationRunner::new(
@@ -158,7 +173,10 @@ pub fn run(cfg: &PriceAdaptationConfig) -> PriceAdaptationResult {
         )
         // A one-hour planning horizon: fleeing a 4x tariff must pay for
         // the migration out of more than ten minutes of savings.
-        .config(RunConfig { plan_horizon_ticks: Some(60), ..RunConfig::default() })
+        .config(RunConfig {
+            plan_horizon_ticks: Some(60),
+            ..RunConfig::default()
+        })
         .run(duration)
         .0;
         ArmResult {
@@ -168,7 +186,11 @@ pub fn run(cfg: &PriceAdaptationConfig) -> PriceAdaptationResult {
         }
     };
     let (adaptive, posted) = pamdc_simcore::par::join(|| arm(true), || arm(false));
-    PriceAdaptationResult { adaptive, posted, spike_at }
+    PriceAdaptationResult {
+        adaptive,
+        posted,
+        spike_at,
+    }
 }
 
 /// Renders the comparison.
@@ -182,7 +204,10 @@ pub fn render(result: &PriceAdaptationResult) -> String {
         "Avg SLA",
         "migrations",
     ]);
-    for (label, arm) in [("Adaptive", &result.adaptive), ("Posted-price", &result.posted)] {
+    for (label, arm) in [
+        ("Adaptive", &result.adaptive),
+        ("Posted-price", &result.posted),
+    ] {
         t.row(vec![
             label.to_string(),
             format!("{:.2}", arm.boston_share_pre),

@@ -56,7 +56,14 @@ pub struct ScalingConfig {
 impl Default for ScalingConfig {
     fn default() -> Self {
         ScalingConfig {
-            sizes: vec![(10, 8), (20, 16), (40, 32), (80, 64), (160, 128), (320, 256)],
+            sizes: vec![
+                (10, 8),
+                (20, 16),
+                (40, 32),
+                (80, 64),
+                (160, 128),
+                (320, 256),
+            ],
             rps: 60.0,
             reps: 5,
         }
@@ -66,7 +73,11 @@ impl Default for ScalingConfig {
 impl ScalingConfig {
     /// Small sweep for tests.
     pub fn quick() -> Self {
-        ScalingConfig { sizes: vec![(10, 8), (40, 32)], rps: 60.0, reps: 2 }
+        ScalingConfig {
+            sizes: vec![(10, 8), (40, 32)],
+            rps: 60.0,
+            reps: 2,
+        }
     }
 }
 
@@ -141,7 +152,10 @@ pub fn render(cells: &[ScalingCell]) -> String {
             c.offered_hosts.to_string(),
         ]);
     }
-    format!("Scheduling-round scalability (future work 1)\n{}", t.render())
+    format!(
+        "Scheduling-round scalability (future work 1)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -55,7 +55,11 @@ impl Default for ScalingConfig {
 impl ScalingConfig {
     /// Tiny study for tests.
     pub fn quick() -> Self {
-        ScalingConfig { sizes: vec![(2, 4), (5, 6)], exact_vm_cap: 5, rps: 250.0 }
+        ScalingConfig {
+            sizes: vec![(2, 4), (5, 6)],
+            exact_vm_cap: 5,
+            rps: 250.0,
+        }
     }
 }
 
@@ -88,7 +92,14 @@ pub fn run(cfg: &ScalingConfig) -> Vec<ScalingPoint> {
                 (None, None, None)
             };
 
-            ScalingPoint { vms, hosts, bestfit_us, exact_us, exact_nodes, profit_gap }
+            ScalingPoint {
+                vms,
+                hosts,
+                bestfit_us,
+                exact_us,
+                exact_nodes,
+                profit_gap,
+            }
         })
         .collect()
 }
@@ -108,10 +119,19 @@ pub fn render(points: &[ScalingPoint]) -> String {
             p.vms.to_string(),
             p.hosts.to_string(),
             format!("{:.0}", p.bestfit_us),
-            p.exact_us.map(|v| format!("{v:.0}")).unwrap_or_else(|| "(skipped)".into()),
-            p.exact_nodes.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
-            p.profit_gap.map(|v| format!("{v:.4}")).unwrap_or_else(|| "-".into()),
+            p.exact_us
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "(skipped)".into()),
+            p.exact_nodes
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            p.profit_gap
+                .map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
-    format!("Solver scaling — exact B&B vs Descending Best-Fit\n{}", t.render())
+    format!(
+        "Solver scaling — exact B&B vs Descending Best-Fit\n{}",
+        t.render()
+    )
 }

@@ -26,7 +26,12 @@ pub struct Table1Config {
 
 impl Default for Table1Config {
     fn default() -> Self {
-        Table1Config { vms: 5, scales: vec![0.4, 0.8, 1.2, 1.6], hours_per_scale: 8, seed: 2013 }
+        Table1Config {
+            vms: 5,
+            scales: vec![0.4, 0.8, 1.2, 1.6],
+            hours_per_scale: 8,
+            seed: 2013,
+        }
     }
 }
 
@@ -34,7 +39,12 @@ impl Default for Table1Config {
 impl Table1Config {
     /// Reduced collection effort (seconds, not minutes, of wall time).
     pub fn quick(seed: u64) -> Self {
-        Table1Config { vms: 4, scales: vec![0.5, 1.0, 1.5], hours_per_scale: 4, seed }
+        Table1Config {
+            vms: 4,
+            scales: vec![0.5, 1.0, 1.5],
+            hours_per_scale: 4,
+            seed,
+        }
     }
 }
 
@@ -92,8 +102,7 @@ mod tests {
         let out = run(&Table1Config::quick(11));
         assert_eq!(out.reports.len(), 7);
         // Methods match the paper's choices.
-        let methods: Vec<&str> =
-            out.reports.iter().map(|(_, r)| r.method.as_str()).collect();
+        let methods: Vec<&str> = out.reports.iter().map(|(_, r)| r.method.as_str()).collect();
         assert_eq!(
             methods,
             vec!["M5P", "Linear Reg.", "M5P", "M5P", "M5P", "M5P", "K-NN"]

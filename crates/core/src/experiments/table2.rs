@@ -25,7 +25,10 @@ pub fn render() -> String {
         }
         t.row(row);
     }
-    format!("Table II — prices and latencies (ms, 10 Gbps links)\n{}", t.render())
+    format!(
+        "Table II — prices and latencies (ms, 10 Gbps links)\n{}",
+        t.render()
+    )
 }
 
 fn city_name(c: City) -> &'static str {
@@ -42,7 +45,11 @@ fn city_name(c: City) -> &'static str {
 pub fn verify() {
     let m = LatencyMatrix::paper_table2();
     for a in City::ALL {
-        assert_eq!(m.get(a.location(), a.location()), 0.0, "diagonal must be zero");
+        assert_eq!(
+            m.get(a.location(), a.location()),
+            0.0,
+            "diagonal must be zero"
+        );
         for b in City::ALL {
             assert_eq!(
                 m.get(a.location(), b.location()),

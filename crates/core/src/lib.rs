@@ -18,8 +18,8 @@ pub mod training;
 pub mod prelude {
     pub use crate::energy::EnergyEnvironment;
     pub use crate::policy::{
-        BestFitPolicy, CheapestEnergyPolicy, FollowLoadPolicy, HierarchicalPolicy,
-        PlacementPolicy, RandomPolicy, StaticPolicy,
+        BestFitPolicy, CheapestEnergyPolicy, FollowLoadPolicy, HierarchicalPolicy, PlacementPolicy,
+        RandomPolicy, StaticPolicy,
     };
     pub use crate::report::TextTable;
     pub use crate::scenario::{ProfileChange, Scenario, ScenarioBuilder};

@@ -62,12 +62,18 @@ pub struct BestFitPolicy<O: QosOracle> {
 impl<O: QosOracle> BestFitPolicy<O> {
     /// Best-Fit with the default consolidation pass.
     pub fn new(oracle: O) -> Self {
-        BestFitPolicy { oracle, refine: Some(LocalSearchConfig::default()) }
+        BestFitPolicy {
+            oracle,
+            refine: Some(LocalSearchConfig::default()),
+        }
     }
 
     /// Raw Algorithm 1, no consolidation pass.
     pub fn raw(oracle: O) -> Self {
-        BestFitPolicy { oracle, refine: None }
+        BestFitPolicy {
+            oracle,
+            refine: None,
+        }
     }
 }
 
@@ -95,7 +101,10 @@ pub struct HierarchicalPolicy<O: QosOracle> {
 impl<O: QosOracle> HierarchicalPolicy<O> {
     /// Default-config hierarchical policy.
     pub fn new(oracle: O) -> Self {
-        HierarchicalPolicy { oracle, config: HierarchicalConfig::default() }
+        HierarchicalPolicy {
+            oracle,
+            config: HierarchicalConfig::default(),
+        }
     }
 }
 
@@ -130,7 +139,9 @@ pub struct RandomPolicy {
 impl RandomPolicy {
     /// Seeded exploration policy.
     pub fn new(seed: u64) -> Self {
-        RandomPolicy { rng: Mutex::new(RngStream::root(seed).derive("random-policy")) }
+        RandomPolicy {
+            rng: Mutex::new(RngStream::root(seed).derive("random-policy")),
+        }
     }
 }
 

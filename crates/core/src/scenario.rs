@@ -24,7 +24,8 @@ use pamdc_perf::rt::RtModelConfig;
 use pamdc_simcore::time::{SimDuration, SimTime};
 use pamdc_workload::generator::Workload;
 use pamdc_workload::libcn;
-use pamdc_workload::service::ServiceClass;
+use pamdc_workload::source::Demand;
+use std::sync::Arc;
 
 /// A fully built experimental world, ready for a
 /// [`crate::simulation::SimulationRunner`].
@@ -34,8 +35,9 @@ pub struct Scenario {
     pub name: String,
     /// The infrastructure (DCs, PMs, VMs, network), with VMs deployed.
     pub cluster: Cluster,
-    /// The demand generator (service index i drives VM i).
-    pub workload: Workload,
+    /// The demand source (service index i drives VM i): the synthetic
+    /// generator, or a recorded trace being replayed.
+    pub workload: Demand,
     /// Per-VM performance constants (indexing matches VM ids).
     pub perf_profiles: Vec<VmPerfProfile>,
     /// Monitor distortion.
@@ -45,8 +47,9 @@ pub struct Scenario {
     /// Pricing.
     pub billing: BillingPolicy,
     /// Per-DC energy supply (tariffs, renewables, carbon). Defaults to
-    /// the paper's flat Table II regime; experiments overwrite it after
-    /// `build()` (it needs the built cluster's shape).
+    /// the paper's flat Table II regime; richer environments are
+    /// installed at build time via [`ScenarioBuilder::energy`], which
+    /// hands the hook the built cluster's shape.
     pub energy: EnergyEnvironment,
     /// Scheduled host crashes (failure injection); empty by default.
     pub faults: Vec<pamdc_infra::pm::FaultEvent>,
@@ -87,6 +90,23 @@ enum WorkloadKind {
     FollowTheSun,
 }
 
+/// A build-time energy-environment hook: receives the built cluster and
+/// the paper-default environment, returns the environment the scenario
+/// should run under. This is how experiments install solar farms, tariff
+/// shocks or price blindness *before* `build()` returns — no post-build
+/// mutation needed even though sizing solar requires the cluster shape.
+#[derive(Clone)]
+pub struct EnergyHook(Arc<EnergyHookFn>);
+
+/// The hook's function type.
+type EnergyHookFn = dyn Fn(&Cluster, EnergyEnvironment) -> EnergyEnvironment + Send + Sync;
+
+impl std::fmt::Debug for EnergyHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EnergyHook(..)")
+    }
+}
+
 /// Fluent scenario builder.
 #[derive(Clone, Debug)]
 pub struct ScenarioBuilder {
@@ -105,6 +125,8 @@ pub struct ScenarioBuilder {
     profile_changes: Vec<ProfileChange>,
     seed: u64,
     deploy_all_in: Option<usize>,
+    demand_override: Option<Demand>,
+    energy_hook: Option<EnergyHook>,
 }
 
 impl ScenarioBuilder {
@@ -126,6 +148,8 @@ impl ScenarioBuilder {
             profile_changes: Vec::new(),
             seed: 1,
             deploy_all_in: None,
+            demand_override: None,
+            energy_hook: None,
         }
     }
 
@@ -148,6 +172,8 @@ impl ScenarioBuilder {
             profile_changes: Vec::new(),
             seed: 1,
             deploy_all_in: None,
+            demand_override: None,
+            energy_hook: None,
         }
     }
 
@@ -218,6 +244,37 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Replaces the preset synthetic workload with an explicit one.
+    /// The workload is used as-is (no `peak_rps`/`load_scale` rescaling;
+    /// a configured flash crowd is still attached); its service count
+    /// must match [`ScenarioBuilder::vms`].
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.demand_override = Some(Demand::Synthetic(workload));
+        self
+    }
+
+    /// Replaces the demand source entirely — e.g. a recorded
+    /// [`pamdc_workload::trace::TraceSource`] replayed instead of the
+    /// synthetic generator. The source's service count must match
+    /// [`ScenarioBuilder::vms`].
+    pub fn demand(mut self, demand: impl Into<Demand>) -> Self {
+        self.demand_override = Some(demand.into());
+        self
+    }
+
+    /// Installs an energy-environment hook, run at the end of `build()`
+    /// with the built cluster and the paper-default environment. This is
+    /// the supported way to attach solar farms, tariff schedules or
+    /// price blindness — environments need the cluster's shape, which
+    /// only exists at build time.
+    pub fn energy(
+        mut self,
+        hook: impl Fn(&Cluster, EnergyEnvironment) -> EnergyEnvironment + Send + Sync + 'static,
+    ) -> Self {
+        self.energy_hook = Some(EnergyHook(Arc::new(hook)));
+        self
+    }
+
     /// Schedules a host crash: PM index `pm_idx` fails at `at` and is
     /// repaired after `repair_after` (then reboots automatically).
     pub fn fault(mut self, pm_idx: usize, at: SimTime, repair_after: SimDuration) -> Self {
@@ -257,7 +314,8 @@ impl ScenarioBuilder {
             Topology::MultiDc => &City::ALL,
         };
         for city in cities {
-            let dc = cluster.add_datacenter(city.code(), city.location(), paper_energy_price(*city));
+            let dc =
+                cluster.add_datacenter(city.code(), city.location(), paper_energy_price(*city));
             for _ in 0..self.pms_per_dc {
                 cluster.add_pm(dc, MachineSpec::atom());
             }
@@ -287,23 +345,41 @@ impl ScenarioBuilder {
         cluster.tick(SimTime::from_mins(3));
 
         let scaled = self.peak_rps * self.load_scale;
-        let mut workload = match self.workload_kind {
-            WorkloadKind::IntraDc => libcn::intra_dc(self.vms, scaled, self.seed),
-            WorkloadKind::MultiDc => libcn::multi_dc(self.vms, scaled, self.seed),
-            WorkloadKind::FollowTheSun => libcn::follow_the_sun(scaled, self.seed),
+        let demand = match self.demand_override {
+            Some(demand) => {
+                assert_eq!(
+                    demand.service_count(),
+                    self.vms,
+                    "demand source must carry one service per VM"
+                );
+                match (demand, self.flash_crowd_multiplier) {
+                    (Demand::Synthetic(w), Some(mult)) => Demand::Synthetic(w.with_flash_crowd(
+                        pamdc_workload::flashcrowd::FlashCrowd::paper_fig6(mult),
+                    )),
+                    (Demand::Trace(_), Some(_)) => panic!(
+                        "a flash crowd cannot be applied to a trace demand — the trace \
+                         already carries its demand; bake the crowd into the recording"
+                    ),
+                    (demand, None) => demand,
+                }
+            }
+            None => {
+                let mut workload = match self.workload_kind {
+                    WorkloadKind::IntraDc => libcn::intra_dc(self.vms, scaled, self.seed),
+                    WorkloadKind::MultiDc => libcn::multi_dc(self.vms, scaled, self.seed),
+                    WorkloadKind::FollowTheSun => libcn::follow_the_sun(scaled, self.seed),
+                };
+                if let Some(mult) = self.flash_crowd_multiplier {
+                    workload = workload
+                        .with_flash_crowd(pamdc_workload::flashcrowd::FlashCrowd::paper_fig6(mult));
+                }
+                Demand::Synthetic(workload)
+            }
         };
-        if let Some(mult) = self.flash_crowd_multiplier {
-            workload =
-                workload.with_flash_crowd(pamdc_workload::flashcrowd::FlashCrowd::paper_fig6(mult));
-        }
 
         let perf_profiles = (0..self.vms)
             .map(|i| {
-                let class = workload
-                    .services
-                    .get(i)
-                    .map(|s| s.class)
-                    .unwrap_or(ServiceClass::Blog);
+                let class = demand.service_class(i);
                 VmPerfProfile {
                     base_mem_mb: cluster.vm(VmId::from_index(i)).spec.base_mem_mb,
                     mem_mb_per_inflight: class.mem_mb_per_inflight(),
@@ -313,18 +389,29 @@ impl ScenarioBuilder {
             })
             .collect();
 
-        let energy = EnergyEnvironment::paper_default(&cluster);
+        let energy = {
+            let default = EnergyEnvironment::paper_default(&cluster);
+            match &self.energy_hook {
+                Some(EnergyHook(hook)) => hook(&cluster, default),
+                None => default,
+            }
+        };
         let mut faults = self.faults;
         faults.sort_by_key(|f| f.at);
         let mut profile_changes = self.profile_changes;
         profile_changes.sort_by_key(|c| c.at);
         for c in &profile_changes {
-            assert!(c.vm < self.vms, "profile change targets VM {} of {}", c.vm, self.vms);
+            assert!(
+                c.vm < self.vms,
+                "profile change targets VM {} of {}",
+                c.vm,
+                self.vms
+            );
         }
         Scenario {
             name: self.name,
             cluster,
-            workload,
+            workload: demand,
             perf_profiles,
             monitor: self.monitor,
             rt_cfg: self.rt_cfg,
@@ -388,10 +475,74 @@ mod tests {
             .build();
         assert_eq!(s.name, "custom");
         assert_eq!(s.cluster.pm_count(), 8);
-        assert_eq!(s.workload.flash_crowds.len(), 1);
+        let workload = s
+            .workload
+            .synthetic()
+            .expect("preset workloads are synthetic");
+        assert_eq!(workload.flash_crowds.len(), 1);
         assert_eq!(s.seed, 99);
         // Load scale doubles the nominal scale.
-        assert!((s.workload.services[0].scale_rps - 200.0 * 0.8).abs() < 1e-6
-            || s.workload.services[0].scale_rps > 100.0);
+        assert!(
+            (workload.services[0].scale_rps - 200.0 * 0.8).abs() < 1e-6
+                || workload.services[0].scale_rps > 100.0
+        );
+    }
+
+    #[test]
+    fn energy_hook_runs_at_build_time() {
+        let s = ScenarioBuilder::paper_multi_dc()
+            .vms(4)
+            .energy(|cluster, env| {
+                assert_eq!(cluster.dc_count(), 4, "hook sees the built cluster");
+                env.price_blind()
+            })
+            .build();
+        assert!(!s.energy.scheduler_sees_dynamic_prices);
+        // Without a hook the paper default applies.
+        let d = ScenarioBuilder::paper_multi_dc().vms(4).build();
+        assert!(d.energy.scheduler_sees_dynamic_prices);
+    }
+
+    #[test]
+    fn workload_override_replaces_preset() {
+        let s = ScenarioBuilder::paper_multi_dc()
+            .vms(3)
+            .workload(libcn::uniform_multi_dc(3, 150.0, 9))
+            .build();
+        let w = s.workload.synthetic().unwrap();
+        assert_eq!(w.service_count(), 3);
+        assert!(
+            (w.services[0].scale_rps - 150.0).abs() < 1e-12,
+            "override used as-is"
+        );
+    }
+
+    #[test]
+    fn trace_demand_builds_profiles_from_trace_classes() {
+        use pamdc_workload::source::DemandSource;
+        use pamdc_workload::trace::{DemandTrace, TraceSource};
+
+        let w = libcn::multi_dc(3, 120.0, 4);
+        let trace = DemandTrace::record(&w, SimDuration::from_hours(1), SimDuration::from_mins(1));
+        let s = ScenarioBuilder::paper_multi_dc()
+            .vms(3)
+            .demand(TraceSource::new(trace))
+            .build();
+        assert!(s.workload.trace().is_some());
+        for i in 0..3 {
+            assert_eq!(
+                s.workload.service_class(i),
+                DemandSource::service_class(&w, i)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one service per VM")]
+    fn mismatched_demand_override_panics() {
+        let _ = ScenarioBuilder::paper_multi_dc()
+            .vms(4)
+            .workload(libcn::uniform_multi_dc(2, 100.0, 1))
+            .build();
     }
 }

@@ -135,7 +135,12 @@ pub struct SimulationRunner {
 impl SimulationRunner {
     /// A runner over a scenario; attach a policy before running.
     pub fn new(scenario: Scenario, policy: Box<dyn PlacementPolicy>) -> Self {
-        SimulationRunner { scenario, policy, config: RunConfig::default(), collector: None }
+        SimulationRunner {
+            scenario,
+            policy,
+            config: RunConfig::default(),
+            collector: None,
+        }
     }
 
     /// Overrides run configuration.
@@ -164,8 +169,9 @@ impl SimulationRunner {
         let rt_rng = root.derive("rt-jitter");
 
         let mut gateway = Gateway::new(n_vms, cfg.max_backlog);
-        let mut windows: Vec<SlidingWindow> =
-            (0..n_vms).map(|_| SlidingWindow::new(scenario.monitor.window_len)).collect();
+        let mut windows: Vec<SlidingWindow> = (0..n_vms)
+            .map(|_| SlidingWindow::new(scenario.monitor.window_len))
+            .collect();
 
         let mut ledger = ProfitLedger::new();
         let mut series = SeriesSet::new();
@@ -274,7 +280,10 @@ impl SimulationRunner {
                         continue;
                     }
                     let kb_per_sec = f.req_per_sec * (f.kb_per_req + loads[vm].kb_in_per_req);
-                    scenario.cluster.link_load.add_client_gbps(f.source, loc, kb_per_sec * 8e-6);
+                    scenario
+                        .cluster
+                        .link_load
+                        .add_client_gbps(f.source, loc, kb_per_sec * 8e-6);
                     client_transfer_eur += scenario.cluster.net.transfer_cost_eur(
                         kb_per_sec * tick_secs * 1e-6,
                         f.source,
@@ -292,7 +301,9 @@ impl SimulationRunner {
             for pm_idx in 0..scenario.cluster.pm_count() {
                 let pm_id = PmId::from_index(pm_idx);
                 scratch.hosted.clear();
-                scratch.hosted.extend_from_slice(scenario.cluster.pm(pm_id).hosted());
+                scratch
+                    .hosted
+                    .extend_from_slice(scenario.cluster.pm(pm_id).hosted());
                 let host_on = scenario.cluster.pm(pm_id).is_on();
                 let location = scenario.cluster.location_of_pm(pm_id);
 
@@ -313,11 +324,19 @@ impl SimulationRunner {
                 };
                 // Serving VMs: host on and not dark for the whole tick.
                 scratch.serving.clear();
-                scratch.serving.extend(scratch.hosted.iter().copied().filter(|&v| blackout(v) < 1.0));
+                scratch.serving.extend(
+                    scratch
+                        .hosted
+                        .iter()
+                        .copied()
+                        .filter(|&v| blackout(v) < 1.0),
+                );
                 let serving = &scratch.serving;
 
                 scratch.demands.clear();
-                scratch.demands.extend(serving.iter().map(|v| required[v.index()]));
+                scratch
+                    .demands
+                    .extend(serving.iter().map(|v| required[v.index()]));
                 let overhead = scenario.cluster.pm(pm_id).virt_overhead_cpu();
                 let mut cap = scenario.cluster.pm(pm_id).spec.capacity;
                 cap.cpu = (cap.cpu - overhead).max(1.0);
@@ -332,10 +351,7 @@ impl SimulationRunner {
 
                 for (slot, &vm_id) in serving.iter().enumerate() {
                     let vm = vm_id.index();
-                    let mut jitter = rt_rng.derive_indexed(
-                        "vm-tick",
-                        (vm as u64) << 40 | tick_idx,
-                    );
+                    let mut jitter = rt_rng.derive_indexed("vm-tick", (vm as u64) << 40 | tick_idx);
                     let outcome = evaluate(
                         &loads[vm],
                         &scenario.perf_profiles[vm],
@@ -380,8 +396,8 @@ impl SimulationRunner {
 
                     // Training capture.
                     if let Some(col) = self.collector.as_mut() {
-                        let saturated = outcome.served_rps
-                            < loads[vm].total_rps(tick_secs) * 0.98 - 1e-9;
+                        let saturated =
+                            outcome.served_rps < loads[vm].total_rps(tick_secs) * 0.98 - 1e-9;
                         let mem_ratio = if required[vm].mem_mb > 0.0 {
                             (granted[slot].mem_mb / required[vm].mem_mb).min(1.0)
                         } else {
@@ -430,7 +446,12 @@ impl SimulationRunner {
                             &mut monitor_rng,
                         )
                         .cpu;
-                        col.record_pm_tick(serving.len(), pm_sum_vm_cpu_obs, pm_sum_rps, pm_cpu_obs);
+                        col.record_pm_tick(
+                            serving.len(),
+                            pm_sum_vm_cpu_obs,
+                            pm_sum_rps,
+                            pm_cpu_obs,
+                        );
                     }
                 }
             }
@@ -449,8 +470,11 @@ impl SimulationRunner {
             active_stats.push(active as f64);
             watts_stats.push(tick_watts);
             if cfg.keep_series {
-                let mean_sla_tick =
-                    if tick_sla_n > 0 { tick_sla_sum / tick_sla_n as f64 } else { 1.0 };
+                let mean_sla_tick = if tick_sla_n > 0 {
+                    tick_sla_sum / tick_sla_n as f64
+                } else {
+                    1.0
+                };
                 series.record("sla", now, mean_sla_tick);
                 series.record("watts", now, tick_watts);
                 series.record("green_watts", now, tick_green_w);
@@ -518,8 +542,9 @@ impl SimulationRunner {
             }
         }
 
-        let dropped: f64 =
-            (0..n_vms).map(|vm| gateway.dropped_total(VmId::from_index(vm))).sum();
+        let dropped: f64 = (0..n_vms)
+            .map(|vm| gateway.dropped_total(VmId::from_index(vm)))
+            .sum();
         let outcome = RunOutcome {
             policy_name: self.policy.name(),
             scenario_name: scenario.name.clone(),
@@ -641,8 +666,7 @@ mod tests {
 
     fn short_run(policy: Box<dyn PlacementPolicy>) -> RunOutcome {
         let scenario = ScenarioBuilder::paper_intra_dc().vms(3).seed(5).build();
-        let (outcome, _) =
-            SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(2));
+        let (outcome, _) = SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(2));
         outcome
     }
 
@@ -701,22 +725,25 @@ mod tests {
 
     #[test]
     fn solar_environment_books_green_and_discounts() {
-        use crate::energy::EnergyEnvironment;
-
         let run = |solar: bool| {
-            let mut scenario = ScenarioBuilder::paper_intra_dc().vms(3).seed(5).build();
+            let mut builder = ScenarioBuilder::paper_intra_dc().vms(3).seed(5);
             if solar {
-                let env = EnergyEnvironment::paper_default(&scenario.cluster)
-                    .with_solar_everywhere(&scenario.cluster, 100.0, 1.0, 2, 9);
-                scenario.energy = env;
+                builder = builder
+                    .energy(|cluster, env| env.with_solar_everywhere(cluster, 100.0, 1.0, 2, 9));
             }
+            let scenario = builder.build();
             let policy = Box::new(StaticPolicy(TrueOracle::new()));
             // Run across local midday (Barcelona +1: 11:00 UTC = noon).
-            SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(24)).0
+            SimulationRunner::new(scenario, policy)
+                .run(SimDuration::from_hours(24))
+                .0
         };
         let brown = run(false);
         let green = run(true);
-        assert!(green.energy.green_wh > 0.0, "solar must cover daytime watts");
+        assert!(
+            green.energy.green_wh > 0.0,
+            "solar must cover daytime watts"
+        );
         assert!(
             green.profit.energy_eur < brown.profit.energy_eur,
             "green energy is cheaper: {} vs {}",
@@ -741,7 +768,9 @@ mod tests {
                 .seed(5)
                 .fault(0, SimTime::from_mins(30), SimDuration::from_hours(4))
                 .build();
-            SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(3)).0
+            SimulationRunner::new(scenario, policy)
+                .run(SimDuration::from_hours(3))
+                .0
         };
         let dynamic = run(Box::new(BestFitPolicy::new(TrueOracle::new())));
         let frozen = run(Box::new(StaticPolicy(TrueOracle::new())));
@@ -761,20 +790,16 @@ mod tests {
         let a = short_run(Box::new(BestFitPolicy::new(TrueOracle::new())));
         let mut scenario = ScenarioBuilder::paper_intra_dc().vms(3).seed(5).build();
         scenario.monitor.dropout_prob = 0.0;
-        let (b, _) = SimulationRunner::new(
-            scenario,
-            Box::new(BestFitPolicy::new(TrueOracle::new())),
-        )
-        .run(SimDuration::from_hours(2));
+        let (b, _) =
+            SimulationRunner::new(scenario, Box::new(BestFitPolicy::new(TrueOracle::new())))
+                .run(SimDuration::from_hours(2));
         assert_eq!(a.mean_sla.to_bits(), b.mean_sla.to_bits());
         // With heavy dropout the run still completes sanely.
         let mut scenario = ScenarioBuilder::paper_intra_dc().vms(3).seed(5).build();
         scenario.monitor.dropout_prob = 0.5;
-        let (c, _) = SimulationRunner::new(
-            scenario,
-            Box::new(BestFitPolicy::new(TrueOracle::new())),
-        )
-        .run(SimDuration::from_hours(2));
+        let (c, _) =
+            SimulationRunner::new(scenario, Box::new(BestFitPolicy::new(TrueOracle::new())))
+                .run(SimDuration::from_hours(2));
         assert!(c.mean_sla > 0.0 && c.mean_sla <= 1.0);
     }
 
@@ -784,7 +809,9 @@ mod tests {
             let mut scenario = ScenarioBuilder::paper_multi_dc().vms(5).seed(5).build();
             scenario.cluster.net.eur_per_gb_interdc = eur_per_gb;
             let policy = Box::new(StaticPolicy(TrueOracle::new()));
-            SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(2)).0
+            SimulationRunner::new(scenario, policy)
+                .run(SimDuration::from_hours(2))
+                .0
         };
         let free = run(0.0);
         let priced = run(0.05);

@@ -105,7 +105,12 @@ impl TrainingCollector {
 
     /// Called by the simulation loop once per hosting PM-tick.
     pub fn record_pm_tick(&mut self, n_vms: usize, sum_vm_cpu: f64, sum_rps: f64, pm_cpu: f64) {
-        self.pm_ticks.push(PmTickSample { n_vms, sum_vm_cpu, sum_rps, pm_cpu });
+        self.pm_ticks.push(PmTickSample {
+            n_vms,
+            sum_vm_cpu,
+            sum_rps,
+            pm_cpu,
+        });
     }
 
     /// Merges another collector (parallel collection runs).
@@ -126,20 +131,22 @@ pub fn collect_training_data(
 ) -> TrainingCollector {
     let mut merged = TrainingCollector::new();
     let jobs: Vec<(usize, f64)> = scales.iter().copied().enumerate().collect();
-    let results: Vec<TrainingCollector> =
-        pamdc_simcore::par::parallel_map(jobs, |(i, scale)| {
-            let scenario = ScenarioBuilder::paper_intra_dc()
-                .vms(vms)
-                .load_scale(scale)
-                .seed(seed.wrapping_add(i as u64 * 7919))
-                .build();
-            let policy = Box::new(RandomPolicy::new(seed ^ (i as u64)));
-            let runner = SimulationRunner::new(scenario, policy)
-                .config(RunConfig { keep_series: false, ..Default::default() })
-                .collect_into(TrainingCollector::new());
-            let (_, collector) = runner.run(SimDuration::from_hours(hours_per_scale));
-            collector.expect("collector attached")
-        });
+    let results: Vec<TrainingCollector> = pamdc_simcore::par::parallel_map(jobs, |(i, scale)| {
+        let scenario = ScenarioBuilder::paper_intra_dc()
+            .vms(vms)
+            .load_scale(scale)
+            .seed(seed.wrapping_add(i as u64 * 7919))
+            .build();
+        let policy = Box::new(RandomPolicy::new(seed ^ (i as u64)));
+        let runner = SimulationRunner::new(scenario, policy)
+            .config(RunConfig {
+                keep_series: false,
+                ..Default::default()
+            })
+            .collect_into(TrainingCollector::new());
+        let (_, collector) = runner.run(SimDuration::from_hours(hours_per_scale));
+        collector.expect("collector attached")
+    });
     for c in results {
         merged.merge(c);
     }
@@ -147,7 +154,13 @@ pub fn collect_training_data(
 }
 
 /// The load-feature names shared by the four demand targets.
-const LOAD_FEATURES: [&str; 5] = ["rps", "kb_in_per_req", "kb_out_per_req", "cpu_ms_per_req", "backlog"];
+const LOAD_FEATURES: [&str; 5] = [
+    "rps",
+    "kb_in_per_req",
+    "kb_out_per_req",
+    "cpu_ms_per_req",
+    "backlog",
+];
 
 /// Builds the four demand datasets (from unsaturated ticks only) and the
 /// PM CPU dataset.
@@ -221,7 +234,10 @@ pub struct TrainingOutcome {
 /// after.
 pub fn train_suite(collector: &TrainingCollector, seed: u64) -> TrainingOutcome {
     let stage1 = build_stage1_datasets(collector);
-    let stage1_jobs: Vec<_> = stage1.iter().map(|(target, data)| (*target, data)).collect();
+    let stage1_jobs: Vec<_> = stage1
+        .iter()
+        .map(|(target, data)| (*target, data))
+        .collect();
     let mut predictors: Vec<TrainedPredictor> =
         pamdc_simcore::par::parallel_map(stage1_jobs, |(target, data)| {
             let mut rng = RngStream::root(seed).derive(target.paper_name());
@@ -233,7 +249,10 @@ pub fn train_suite(collector: &TrainingCollector, seed: u64) -> TrainingOutcome 
         .find(|p| p.target == PredictionTarget::VmCpu)
         .expect("stage 1 trains the CPU model");
     let stage2 = build_stage2_datasets(collector, cpu_model);
-    let stage2_jobs: Vec<_> = stage2.iter().map(|(target, data)| (*target, data)).collect();
+    let stage2_jobs: Vec<_> = stage2
+        .iter()
+        .map(|(target, data)| (*target, data))
+        .collect();
     let stage2_models: Vec<TrainedPredictor> =
         pamdc_simcore::par::parallel_map(stage2_jobs, |(target, data)| {
             let mut rng = RngStream::root(seed).derive(target.paper_name());
@@ -247,7 +266,11 @@ pub fn train_suite(collector: &TrainingCollector, seed: u64) -> TrainingOutcome 
         .reports()
         .map(|(name, rep)| (name.to_string(), rep.clone()))
         .collect();
-    TrainingOutcome { suite, reports, sample_counts }
+    TrainingOutcome {
+        suite,
+        reports,
+        sample_counts,
+    }
 }
 
 /// End-to-end convenience: collect + train with the paper-scale setup.
@@ -302,7 +325,11 @@ mod tests {
             );
         }
         // Memory is the easiest target (near-linear): expect high corr.
-        let mem = out.reports.iter().find(|(n, _)| n == "Predict VM MEM").unwrap();
+        let mem = out
+            .reports
+            .iter()
+            .find(|(n, _)| n == "Predict VM MEM")
+            .unwrap();
         assert!(mem.1.correlation > 0.9, "mem corr {}", mem.1.correlation);
     }
 

@@ -117,19 +117,27 @@ fn zero_capacity_solar_is_identity() {
     let run = |with_farm: bool| {
         let mut scenario = ScenarioBuilder::paper_intra_dc().vms(2).seed(3).build();
         if with_farm {
-            let env = EnergyEnvironment::paper_default(&scenario.cluster)
-                .with_site(0, scenario.energy.sites[0].clone().with_solar(
-                    SolarFarm::new(0.0, 1.0, 2, 0.5, 7),
-                ));
+            let env = EnergyEnvironment::paper_default(&scenario.cluster).with_site(
+                0,
+                scenario.energy.sites[0]
+                    .clone()
+                    .with_solar(SolarFarm::new(0.0, 1.0, 2, 0.5, 7)),
+            );
             scenario.energy = env;
         }
         SimulationRunner::new(scenario, Box::new(BestFitPolicy::new(TrueOracle::new())))
-            .config(RunConfig { keep_series: false, ..RunConfig::default() })
+            .config(RunConfig {
+                keep_series: false,
+                ..RunConfig::default()
+            })
             .run(SimDuration::from_hours(2))
             .0
     };
     let bare = run(false);
     let farmed = run(true);
-    assert_eq!(bare.profit.energy_eur.to_bits(), farmed.profit.energy_eur.to_bits());
+    assert_eq!(
+        bare.profit.energy_eur.to_bits(),
+        farmed.profit.energy_eur.to_bits()
+    );
     assert_eq!(farmed.energy.green_wh, 0.0);
 }

@@ -167,14 +167,20 @@ mod tests {
 
     #[test]
     fn gamma_bends_the_curve() {
-        let p = BillingPolicy { sla_gamma: 2.0, ..Default::default() };
+        let p = BillingPolicy {
+            sla_gamma: 2.0,
+            ..Default::default()
+        };
         let hour = SimDuration::from_hours(1);
         assert!((p.revenue(0.5, hour) - 0.17 * 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn ledger_accumulates_and_snapshots() {
-        let policy = BillingPolicy { migration_fee_eur: 0.01, ..Default::default() };
+        let policy = BillingPolicy {
+            migration_fee_eur: 0.01,
+            ..Default::default()
+        };
         let mut l = ProfitLedger::new();
         l.book_revenue(&policy, 1.0, SimDuration::from_hours(2));
         l.book_energy(0.05);

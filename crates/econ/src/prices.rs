@@ -19,10 +19,22 @@ pub struct EnergyPrice {
 /// The paper's Table II energy prices for the four DCs.
 pub fn paper_prices() -> [EnergyPrice; 4] {
     [
-        EnergyPrice { city: City::Brisbane, eur_per_kwh: 0.1314 },
-        EnergyPrice { city: City::Bangalore, eur_per_kwh: 0.1218 },
-        EnergyPrice { city: City::Barcelona, eur_per_kwh: 0.1513 },
-        EnergyPrice { city: City::Boston, eur_per_kwh: 0.1120 },
+        EnergyPrice {
+            city: City::Brisbane,
+            eur_per_kwh: 0.1314,
+        },
+        EnergyPrice {
+            city: City::Bangalore,
+            eur_per_kwh: 0.1218,
+        },
+        EnergyPrice {
+            city: City::Barcelona,
+            eur_per_kwh: 0.1513,
+        },
+        EnergyPrice {
+            city: City::Boston,
+            eur_per_kwh: 0.1120,
+        },
     ]
 }
 
@@ -50,8 +62,14 @@ mod tests {
     #[test]
     fn boston_is_cheapest_barcelona_dearest() {
         let prices = paper_prices();
-        let min = prices.iter().min_by(|a, b| a.eur_per_kwh.total_cmp(&b.eur_per_kwh)).unwrap();
-        let max = prices.iter().max_by(|a, b| a.eur_per_kwh.total_cmp(&b.eur_per_kwh)).unwrap();
+        let min = prices
+            .iter()
+            .min_by(|a, b| a.eur_per_kwh.total_cmp(&b.eur_per_kwh))
+            .unwrap();
+        let max = prices
+            .iter()
+            .max_by(|a, b| a.eur_per_kwh.total_cmp(&b.eur_per_kwh))
+            .unwrap();
         assert_eq!(min.city, City::Boston);
         assert_eq!(max.city, City::Barcelona);
     }

@@ -84,7 +84,10 @@ impl SiteEnergy {
     pub fn split(&self, at: SimTime, demand_w: f64) -> EnergySplit {
         debug_assert!(demand_w >= 0.0);
         let green = self.green_watts(at).min(demand_w);
-        EnergySplit { green_w: green, brown_w: demand_w - green }
+        EnergySplit {
+            green_w: green,
+            brown_w: demand_w - green,
+        }
     }
 
     /// The demand-weighted effective €/kWh at `at` for a site drawing
@@ -174,8 +177,15 @@ mod tests {
         let split = s.split(noon, 60.0);
         assert_eq!(split.green_w, 60.0, "production covers all demand");
         assert_eq!(split.brown_w, 0.0);
-        assert!(s.effective_price_eur_kwh(noon, 60.0) < 0.02, "green price at noon");
-        assert_eq!(s.effective_price_eur_kwh(midnight, 60.0), 0.15, "brown at night");
+        assert!(
+            s.effective_price_eur_kwh(noon, 60.0) < 0.02,
+            "green price at noon"
+        );
+        assert_eq!(
+            s.effective_price_eur_kwh(midnight, 60.0),
+            0.15,
+            "brown at night"
+        );
     }
 
     #[test]

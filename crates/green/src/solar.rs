@@ -68,8 +68,9 @@ impl SolarFarm {
         let local_h = (at.hour_of_day() + self.utc_offset_h).rem_euclid(24.0);
         // The *local* day index decides the weather; shifting by the UTC
         // offset keeps one weather draw per local day.
-        let local_day =
-            ((at.as_hours_f64() + self.utc_offset_h) / 24.0).floor().max(0.0) as u64;
+        let local_day = ((at.as_hours_f64() + self.utc_offset_h) / 24.0)
+            .floor()
+            .max(0.0) as u64;
         self.capacity_w * self.clear_sky_fraction(local_h) * self.cloud(local_day)
     }
 }

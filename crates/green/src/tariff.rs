@@ -76,7 +76,13 @@ impl Tariff {
     pub fn price_eur_kwh(&self, at: SimTime) -> f64 {
         match self {
             Tariff::Flat(p) => *p,
-            Tariff::TimeOfUse { peak_eur, offpeak_eur, peak_start_h, peak_end_h, utc_offset_h } => {
+            Tariff::TimeOfUse {
+                peak_eur,
+                offpeak_eur,
+                peak_start_h,
+                peak_end_h,
+                utc_offset_h,
+            } => {
                 let local = (at.hour_of_day() + utc_offset_h).rem_euclid(24.0);
                 let in_peak = if peak_start_h <= peak_end_h {
                     (*peak_start_h..*peak_end_h).contains(&local)
@@ -91,7 +97,10 @@ impl Tariff {
                 }
             }
             Tariff::Step { initial_eur, steps } => {
-                debug_assert!(steps.windows(2).all(|w| w[0].0 <= w[1].0), "steps must be sorted");
+                debug_assert!(
+                    steps.windows(2).all(|w| w[0].0 <= w[1].0),
+                    "steps must be sorted"
+                );
                 steps
                     .iter()
                     .rev()
@@ -112,7 +121,13 @@ impl Tariff {
     pub fn nominal_eur_kwh(&self) -> f64 {
         match self {
             Tariff::Flat(p) => *p,
-            Tariff::TimeOfUse { peak_eur, offpeak_eur, peak_start_h, peak_end_h, .. } => {
+            Tariff::TimeOfUse {
+                peak_eur,
+                offpeak_eur,
+                peak_start_h,
+                peak_end_h,
+                ..
+            } => {
                 let span = if peak_start_h <= peak_end_h {
                     peak_end_h - peak_start_h
                 } else {
@@ -150,7 +165,11 @@ mod tests {
         };
         assert_eq!(t.price_eur_kwh(SimTime::from_hours(3)), 0.10);
         assert_eq!(t.price_eur_kwh(SimTime::from_hours(12)), 0.30);
-        assert_eq!(t.price_eur_kwh(SimTime::from_hours(20)), 0.10, "end is exclusive");
+        assert_eq!(
+            t.price_eur_kwh(SimTime::from_hours(20)),
+            0.10,
+            "end is exclusive"
+        );
         // Average: 12 h peak, 12 h off-peak.
         assert!((t.nominal_eur_kwh() - 0.20).abs() < 1e-12);
     }
@@ -196,7 +215,11 @@ mod tests {
             ],
         };
         assert_eq!(t.price_eur_kwh(SimTime::from_hours(11)), 0.112);
-        assert_eq!(t.price_eur_kwh(SimTime::from_hours(12)), 0.448, "step instant inclusive");
+        assert_eq!(
+            t.price_eur_kwh(SimTime::from_hours(12)),
+            0.448,
+            "step instant inclusive"
+        );
         assert_eq!(t.price_eur_kwh(SimTime::from_hours(18)), 0.448);
         assert_eq!(t.price_eur_kwh(SimTime::from_hours(30)), 0.112);
     }
@@ -206,9 +229,14 @@ mod tests {
         let a = Tariff::spot(0.13, 0.08, 0.2, 7, 42);
         let b = Tariff::spot(0.13, 0.08, 0.2, 7, 42);
         assert_eq!(a, b, "same seed, same lattice");
-        let Tariff::Spot { lattice, .. } = &a else { unreachable!() };
+        let Tariff::Spot { lattice, .. } = &a else {
+            unreachable!()
+        };
         assert_eq!(lattice.len(), 7 * 24);
-        assert!(lattice.iter().all(|&p| p >= 0.013), "floored at 10% of mean");
+        assert!(
+            lattice.iter().all(|&p| p >= 0.013),
+            "floored at 10% of mean"
+        );
         // Mean reversion keeps the average near the mean.
         let avg: f64 = lattice.iter().sum::<f64>() / lattice.len() as f64;
         assert!((avg - 0.13).abs() < 0.04, "avg {avg}");

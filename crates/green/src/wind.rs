@@ -117,13 +117,14 @@ mod tests {
         // Adjacent hours should correlate: the mean absolute hourly change
         // must be well below the overall spread.
         let f = WindFarm::new(1000.0, 8.0, 14, 5);
-        let speeds: Vec<f64> =
-            (0..(14 * 24)).map(|h| f.speed_ms(SimTime::from_hours(h))).collect();
+        let speeds: Vec<f64> = (0..(14 * 24))
+            .map(|h| f.speed_ms(SimTime::from_hours(h)))
+            .collect();
         let mean = speeds.iter().sum::<f64>() / speeds.len() as f64;
         let spread =
             (speeds.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / speeds.len() as f64).sqrt();
-        let step: f64 = speeds.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
-            / (speeds.len() - 1) as f64;
+        let step: f64 =
+            speeds.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (speeds.len() - 1) as f64;
         assert!(step < spread * 1.2, "hourly step {step} vs spread {spread}");
         assert!(spread > 0.5, "wind must actually vary: spread {spread}");
     }
@@ -132,9 +133,8 @@ mod tests {
     fn calm_site_produces_less() {
         let calm = WindFarm::new(1000.0, 3.0, 7, 9);
         let windy = WindFarm::new(1000.0, 11.0, 7, 9);
-        let total = |f: &WindFarm| -> f64 {
-            (0..(7 * 24)).map(|h| f.watts(SimTime::from_hours(h))).sum()
-        };
+        let total =
+            |f: &WindFarm| -> f64 { (0..(7 * 24)).map(|h| f.watts(SimTime::from_hours(h))).sum() };
         assert!(total(&windy) > total(&calm) * 2.0);
     }
 }

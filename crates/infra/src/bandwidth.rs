@@ -23,7 +23,10 @@ pub struct LinkLoad {
 impl LinkLoad {
     /// A zeroed tracker over `n_locations` sites.
     pub fn new(n_locations: usize) -> Self {
-        LinkLoad { n: n_locations, gbps: vec![0.0; n_locations * n_locations] }
+        LinkLoad {
+            n: n_locations,
+            gbps: vec![0.0; n_locations * n_locations],
+        }
     }
 
     /// Number of tracked locations.

@@ -58,7 +58,8 @@ impl Cluster {
         energy_price_eur_kwh: f64,
     ) -> DcId {
         let id = DcId::from_index(self.dcs.len());
-        self.dcs.push(DataCenter::new(id, name, location, energy_price_eur_kwh));
+        self.dcs
+            .push(DataCenter::new(id, name, location, energy_price_eur_kwh));
         id
     }
 
@@ -82,7 +83,10 @@ impl Cluster {
     /// cost, host powered on if needed (boot completes instantly only if
     /// it was already on).
     pub fn deploy(&mut self, vm: VmId, pm: PmId, now: SimTime) {
-        assert!(self.placement[vm.index()].is_none(), "{vm} is already placed");
+        assert!(
+            self.placement[vm.index()].is_none(),
+            "{vm} is already placed"
+        );
         self.pms[pm.index()].power_on(now);
         self.pms[pm.index()].attach(vm);
         self.placement[vm.index()] = Some(pm);
@@ -183,14 +187,22 @@ impl Cluster {
         self.pms
             .iter()
             .filter(|p| {
-                !matches!(p.state(), crate::pm::PmState::Off | crate::pm::PmState::Failed { .. })
+                !matches!(
+                    p.state(),
+                    crate::pm::PmState::Off | crate::pm::PmState::Failed { .. }
+                )
             })
             .count()
     }
 
     /// Crashes a host (failure injection). Hosted VMs stay attached and
     /// are blacked out until migrated away or the repair completes.
-    pub fn fail_pm(&mut self, pm: PmId, now: SimTime, repair_after: pamdc_simcore::time::SimDuration) {
+    pub fn fail_pm(
+        &mut self,
+        pm: PmId,
+        now: SimTime,
+        repair_after: pamdc_simcore::time::SimDuration,
+    ) {
         self.pms[pm.index()].fail(now, repair_after);
     }
 
@@ -220,8 +232,11 @@ impl Cluster {
                 (a, b) == (from_loc, to_loc) || (b, a) == (from_loc, to_loc)
             })
             .count();
-        let client_gbps =
-            if from_loc == to_loc { 0.0 } else { self.link_load.client_gbps(from_loc, to_loc) };
+        let client_gbps = if from_loc == to_loc {
+            0.0
+        } else {
+            self.link_load.client_gbps(from_loc, to_loc)
+        };
         let dur = self.net.migration_duration_shared(
             self.vms[vm.index()].spec.image_size_mb,
             from_loc,
@@ -348,7 +363,11 @@ impl Cluster {
         // In-flight migrations reference migrating VMs placed at their
         // destination.
         for m in &self.in_flight {
-            assert!(self.vms[m.vm.index()].is_migrating(), "{} not migrating", m.vm);
+            assert!(
+                self.vms[m.vm.index()].is_migrating(),
+                "{} not migrating",
+                m.vm
+            );
             assert_eq!(self.placement[m.vm.index()], Some(m.to));
         }
     }
@@ -369,7 +388,10 @@ mod tests {
             c.add_pm(d1, MachineSpec::atom());
         }
         for _ in 0..3 {
-            c.add_vm(VmSpec::web_service(), crate::network::City::Barcelona.location());
+            c.add_vm(
+                VmSpec::web_service(),
+                crate::network::City::Barcelona.location(),
+            );
         }
         let now = SimTime::ZERO;
         c.deploy(VmId(0), PmId(0), now);
@@ -388,7 +410,10 @@ mod tests {
         assert_eq!(c.vm_count(), 3);
         assert_eq!(c.placement(VmId(0)), Some(PmId(0)));
         assert_eq!(c.dc_of_pm(PmId(1)), DcId(1));
-        assert_eq!(c.location_of_vm(VmId(2)), Some(crate::network::City::Barcelona.location()));
+        assert_eq!(
+            c.location_of_vm(VmId(2)),
+            Some(crate::network::City::Barcelona.location())
+        );
         assert!((c.energy_price_of_pm(PmId(1)) - 0.1120).abs() < 1e-12);
         c.check_invariants();
     }
@@ -415,7 +440,9 @@ mod tests {
     #[test]
     fn migrate_to_self_is_noop() {
         let mut c = fixture();
-        assert!(c.migrate(VmId(0), PmId(0), SimTime::from_mins(10)).is_none());
+        assert!(c
+            .migrate(VmId(0), PmId(0), SimTime::from_mins(10))
+            .is_none());
         assert!(!c.vm(VmId(0)).is_migrating());
     }
 
@@ -424,7 +451,10 @@ mod tests {
         let mut c = fixture();
         let now = SimTime::from_mins(10);
         assert!(c.migrate(VmId(0), PmId(1), now).is_some());
-        assert!(c.migrate(VmId(0), PmId(3), now).is_none(), "in-flight VM cannot re-migrate");
+        assert!(
+            c.migrate(VmId(0), PmId(3), now).is_none(),
+            "in-flight VM cannot re-migrate"
+        );
     }
 
     #[test]
@@ -485,7 +515,12 @@ mod tests {
         let now = SimTime::from_mins(10);
         let first = c.migrate(VmId(0), PmId(1), now).unwrap();
         let second = c.migrate(VmId(1), PmId(3), now).unwrap();
-        assert!(second.duration() > first.duration(), "{:?} vs {:?}", second, first);
+        assert!(
+            second.duration() > first.duration(),
+            "{:?} vs {:?}",
+            second,
+            first
+        );
     }
 
     #[test]

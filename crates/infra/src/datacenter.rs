@@ -28,8 +28,17 @@ impl DataCenter {
         location: LocationId,
         energy_price_eur_kwh: f64,
     ) -> Self {
-        assert!(energy_price_eur_kwh >= 0.0, "energy price must be non-negative");
-        DataCenter { id, name: name.into(), location, energy_price_eur_kwh, pms: Vec::new() }
+        assert!(
+            energy_price_eur_kwh >= 0.0,
+            "energy price must be non-negative"
+        );
+        DataCenter {
+            id,
+            name: name.into(),
+            location,
+            energy_price_eur_kwh,
+            pms: Vec::new(),
+        }
     }
 
     /// Registers a host as belonging to this DC.

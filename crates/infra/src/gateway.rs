@@ -96,7 +96,11 @@ impl Gateway {
         let dropped = pending - queued;
         self.backlog[i] = queued;
         self.dropped_total[i] += dropped;
-        QueueSettle { queued, dropped, served }
+        QueueSettle {
+            queued,
+            dropped,
+            served,
+        }
     }
 
     /// Clears one VM's queue (e.g. the customer restarted the service).
@@ -195,8 +199,18 @@ mod tests {
         let bcn = City::Barcelona.location();
         let bst = City::Boston.location();
         let flows = vec![
-            FlowDemand { source: bcn, req_per_sec: 30.0, kb_per_req: 10.0, cpu_ms_per_req: 5.0 },
-            FlowDemand { source: bst, req_per_sec: 10.0, kb_per_req: 10.0, cpu_ms_per_req: 5.0 },
+            FlowDemand {
+                source: bcn,
+                req_per_sec: 30.0,
+                kb_per_req: 10.0,
+                cpu_ms_per_req: 5.0,
+            },
+            FlowDemand {
+                source: bst,
+                req_per_sec: 10.0,
+                kb_per_req: 10.0,
+                cpu_ms_per_req: 5.0,
+            },
         ];
         // Hosted in BCN: 30/40 pay 10ms, 10/40 pay 100ms.
         let rt = weighted_transport_secs(&flows, bcn, &net);

@@ -92,7 +92,11 @@ impl SlidingWindow {
     /// A window holding up to `cap` samples.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "window length must be positive");
-        SlidingWindow { cap, buf: VecDeque::with_capacity(cap), sum: Resources::ZERO }
+        SlidingWindow {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+            sum: Resources::ZERO,
+        }
     }
 
     /// Pushes a sample, evicting the oldest when full.
@@ -161,24 +165,29 @@ mod tests {
     #[test]
     fn noisy_monitor_is_unbiased_on_average() {
         let mut rng = RngStream::root(2);
-        let cfg = MonitorConfig { noise_frac: 0.1, spike_prob: 0.0, ..Default::default() };
+        let cfg = MonitorConfig {
+            noise_frac: 0.1,
+            spike_prob: 0.0,
+            ..Default::default()
+        };
         let truth = r(200.0);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| observe(&truth, &cfg, &mut rng).cpu).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| observe(&truth, &cfg, &mut rng).cpu)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
     }
 
     #[test]
     fn spikes_inflate_cpu_only() {
         let mut rng = RngStream::root(3);
-        let cfg =
-            MonitorConfig {
-                noise_frac: 0.0,
-                spike_prob: 1.0,
-                spike_cpu_pct: 50.0,
-                ..MonitorConfig::perfect()
-            };
+        let cfg = MonitorConfig {
+            noise_frac: 0.0,
+            spike_prob: 1.0,
+            spike_cpu_pct: 50.0,
+            ..MonitorConfig::perfect()
+        };
         let truth = r(100.0);
         let obs = observe(&truth, &cfg, &mut rng);
         assert!(obs.cpu > 100.0);
@@ -188,7 +197,10 @@ mod tests {
     #[test]
     fn observations_never_negative() {
         let mut rng = RngStream::root(4);
-        let cfg = MonitorConfig { noise_frac: 2.0, ..Default::default() };
+        let cfg = MonitorConfig {
+            noise_frac: 2.0,
+            ..Default::default()
+        };
         for _ in 0..1000 {
             let obs = observe(&r(1.0), &cfg, &mut rng);
             assert!(obs.is_valid(), "{obs:?}");

@@ -32,7 +32,12 @@ pub enum City {
 
 impl City {
     /// All four, in the paper's table order.
-    pub const ALL: [City; 4] = [City::Brisbane, City::Bangalore, City::Barcelona, City::Boston];
+    pub const ALL: [City; 4] = [
+        City::Brisbane,
+        City::Bangalore,
+        City::Barcelona,
+        City::Boston,
+    ];
 
     /// The paper's three-letter code.
     pub fn code(self) -> &'static str {
@@ -76,7 +81,10 @@ pub struct LatencyMatrix {
 impl LatencyMatrix {
     /// A zeroed `n × n` matrix.
     pub fn zeroed(n: usize) -> Self {
-        LatencyMatrix { n, ms: vec![0.0; n * n] }
+        LatencyMatrix {
+            n,
+            ms: vec![0.0; n * n],
+        }
     }
 
     /// Number of locations.
@@ -166,7 +174,10 @@ impl NetworkModel {
     /// The networking-costs extension: the paper's network with a
     /// commercial transit price per GB.
     pub fn paper_priced(eur_per_gb: f64) -> Self {
-        NetworkModel { eur_per_gb_interdc: eur_per_gb, ..Self::paper() }
+        NetworkModel {
+            eur_per_gb_interdc: eur_per_gb,
+            ..Self::paper()
+        }
     }
 
     /// Transport latency (seconds) experienced by a request from clients
@@ -209,8 +220,11 @@ impl NetworkModel {
     ) -> SimDuration {
         debug_assert!(concurrent >= 1, "the migration itself counts");
         debug_assert!(client_gbps >= 0.0);
-        let raw =
-            if from == to { self.intradc_bandwidth_gbps } else { self.interdc_bandwidth_gbps };
+        let raw = if from == to {
+            self.intradc_bandwidth_gbps
+        } else {
+            self.interdc_bandwidth_gbps
+        };
         let after_clients = (raw - client_gbps).max(raw * self.migration_min_share);
         let gbps = after_clients / concurrent.max(1) as f64;
         // MB -> megabits, then / (Gbps -> Mbps).
@@ -255,7 +269,10 @@ mod tests {
         let m = LatencyMatrix::paper_table2();
         for a in City::ALL {
             for b in City::ALL {
-                assert_eq!(m.get(a.location(), b.location()), m.get(b.location(), a.location()));
+                assert_eq!(
+                    m.get(a.location(), b.location()),
+                    m.get(b.location(), a.location())
+                );
             }
         }
     }
@@ -324,7 +341,11 @@ mod tests {
         let bst = City::Boston.location();
         assert_eq!(free.transfer_cost_eur(5.0, bcn, bst), 0.0);
         assert!((priced.transfer_cost_eur(5.0, bcn, bst) - 0.10).abs() < 1e-12);
-        assert_eq!(priced.transfer_cost_eur(5.0, bcn, bcn), 0.0, "intra-DC is free");
+        assert_eq!(
+            priced.transfer_cost_eur(5.0, bcn, bcn),
+            0.0,
+            "intra-DC is free"
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@
 
 use crate::ids::{DcId, PmId, VmId};
 use crate::power::PowerModel;
-use std::sync::Arc;
 use crate::resources::Resources;
 use pamdc_simcore::time::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Static description of a host model.
 #[derive(Clone, Debug)]
@@ -100,7 +100,13 @@ pub struct PhysicalMachine {
 impl PhysicalMachine {
     /// A new host, initially powered off and empty.
     pub fn new(id: PmId, dc: DcId, spec: MachineSpec) -> Self {
-        PhysicalMachine { id, dc, spec, state: PmState::Off, hosted: Vec::new() }
+        PhysicalMachine {
+            id,
+            dc,
+            spec,
+            state: PmState::Off,
+            hosted: Vec::new(),
+        }
     }
 
     /// Current lifecycle state.
@@ -129,7 +135,9 @@ impl PhysicalMachine {
     /// discovered on the next boot attempt). Hosted VMs stay attached
     /// and are blacked out until migrated away or the host returns.
     pub fn fail(&mut self, now: SimTime, repair_after: SimDuration) {
-        self.state = PmState::Failed { until: now + repair_after };
+        self.state = PmState::Failed {
+            until: now + repair_after,
+        };
     }
 
     /// Issues a power-on. No-op unless the host is off or shutting down
@@ -138,7 +146,9 @@ impl PhysicalMachine {
     pub fn power_on(&mut self, now: SimTime) {
         match self.state {
             PmState::Off | PmState::ShuttingDown { .. } => {
-                self.state = PmState::Booting { until: now + self.spec.boot_time };
+                self.state = PmState::Booting {
+                    until: now + self.spec.boot_time,
+                };
             }
             PmState::On | PmState::Booting { .. } | PmState::Failed { .. } => {}
         }
@@ -149,7 +159,9 @@ impl PhysicalMachine {
     /// first).
     pub fn request_shutdown(&mut self, now: SimTime) {
         if matches!(self.state, PmState::On) && self.hosted.is_empty() {
-            self.state = PmState::ShuttingDown { until: now + self.spec.shutdown_time };
+            self.state = PmState::ShuttingDown {
+                until: now + self.spec.shutdown_time,
+            };
         }
     }
 
@@ -160,7 +172,9 @@ impl PhysicalMachine {
             PmState::Booting { until } if now >= until => self.state = PmState::On,
             PmState::ShuttingDown { until } if now >= until => self.state = PmState::Off,
             PmState::Failed { until } if now >= until => {
-                self.state = PmState::Booting { until: now + self.spec.boot_time };
+                self.state = PmState::Booting {
+                    until: now + self.spec.boot_time,
+                };
             }
             _ => {}
         }
@@ -179,7 +193,11 @@ impl PhysicalMachine {
     /// Assigns a VM to this host. Panics on double-assignment, which is
     /// always a scheduler bug.
     pub fn attach(&mut self, vm: VmId) {
-        assert!(!self.hosted.contains(&vm), "{vm} already hosted on {}", self.id);
+        assert!(
+            !self.hosted.contains(&vm),
+            "{vm} already hosted on {}",
+            self.id
+        );
         self.hosted.push(vm);
     }
 
@@ -307,7 +325,11 @@ mod tests {
         assert!(m.is_failed());
         assert!(!m.is_on() && !m.is_schedulable());
         assert_eq!(m.facility_watts(100.0), 0.0, "a dead host draws nothing");
-        assert_eq!(m.hosted(), &[VmId(0)], "VMs stay attached through the crash");
+        assert_eq!(
+            m.hosted(),
+            &[VmId(0)],
+            "VMs stay attached through the crash"
+        );
 
         // Power commands are ignored while failed.
         m.power_on(SimTime::from_mins(15));

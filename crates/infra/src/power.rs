@@ -68,7 +68,11 @@ impl PowerModel {
         if full >= n {
             return self.active_core_watts[n - 1];
         }
-        let below = if full == 0 { self.idle_watts } else { self.active_core_watts[full - 1] };
+        let below = if full == 0 {
+            self.idle_watts
+        } else {
+            self.active_core_watts[full - 1]
+        };
         let above = self.active_core_watts[full];
         below + (above - below) * frac
     }
@@ -81,7 +85,11 @@ impl PowerModel {
     /// Facility watts drawn while the host boots or shuts down — the full
     /// single-core draw (the machine is busy doing no useful work).
     pub fn transition_watts(&self) -> f64 {
-        self.active_core_watts.first().copied().unwrap_or(self.idle_watts) * self.cooling_factor
+        self.active_core_watts
+            .first()
+            .copied()
+            .unwrap_or(self.idle_watts)
+            * self.cooling_factor
     }
 }
 

@@ -28,12 +28,21 @@ pub struct Resources {
 
 impl Resources {
     /// The zero vector.
-    pub const ZERO: Resources =
-        Resources { cpu: 0.0, mem_mb: 0.0, net_in_kbps: 0.0, net_out_kbps: 0.0 };
+    pub const ZERO: Resources = Resources {
+        cpu: 0.0,
+        mem_mb: 0.0,
+        net_in_kbps: 0.0,
+        net_out_kbps: 0.0,
+    };
 
     /// Builds a resource vector.
     pub const fn new(cpu: f64, mem_mb: f64, net_in_kbps: f64, net_out_kbps: f64) -> Self {
-        Resources { cpu, mem_mb, net_in_kbps, net_out_kbps }
+        Resources {
+            cpu,
+            mem_mb,
+            net_in_kbps,
+            net_out_kbps,
+        }
     }
 
     /// All four components are finite and non-negative.

@@ -27,13 +27,23 @@ impl VmSpec {
     /// The paper's experimental web-service VM: 0.1 s RT0, α = 10, a few
     /// GB of image, 256 MB base footprint.
     pub fn web_service() -> Self {
-        VmSpec { image_size_mb: 2048.0, base_mem_mb: 256.0, rt0_secs: 0.1, alpha: 10.0 }
+        VmSpec {
+            image_size_mb: 2048.0,
+            base_mem_mb: 256.0,
+            rt0_secs: 0.1,
+            alpha: 10.0,
+        }
     }
 
     /// A heavier service variant (bigger image, more base memory) used in
     /// heterogeneous-fleet tests.
     pub fn heavy_service() -> Self {
-        VmSpec { image_size_mb: 8192.0, base_mem_mb: 512.0, rt0_secs: 0.1, alpha: 10.0 }
+        VmSpec {
+            image_size_mb: 8192.0,
+            base_mem_mb: 512.0,
+            rt0_secs: 0.1,
+            alpha: 10.0,
+        }
     }
 }
 
@@ -71,7 +81,13 @@ pub struct VirtualMachine {
 impl VirtualMachine {
     /// A new, running VM.
     pub fn new(id: VmId, spec: VmSpec, home: LocationId) -> Self {
-        VirtualMachine { id, spec, home, state: VmState::Running, migration_count: 0 }
+        VirtualMachine {
+            id,
+            spec,
+            home,
+            state: VmState::Running,
+            migration_count: 0,
+        }
     }
 
     /// Current runtime state.
@@ -125,7 +141,10 @@ mod tests {
 
         assert_eq!(vm.try_complete_migration(SimTime::from_secs(29)), None);
         assert!(vm.is_migrating());
-        assert_eq!(vm.try_complete_migration(SimTime::from_secs(30)), Some(PmId(1)));
+        assert_eq!(
+            vm.try_complete_migration(SimTime::from_secs(30)),
+            Some(PmId(1))
+        );
         assert_eq!(vm.state(), VmState::Running);
     }
 

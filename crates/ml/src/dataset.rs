@@ -18,7 +18,11 @@ pub struct Dataset {
 impl Dataset {
     /// An empty dataset over the given feature names.
     pub fn new(feature_names: Vec<String>) -> Self {
-        Dataset { feature_names, rows: Vec::new(), targets: Vec::new() }
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            targets: Vec::new(),
+        }
     }
 
     /// Convenience constructor from `&str` names.
@@ -28,7 +32,11 @@ impl Dataset {
 
     /// Adds one example. Panics on arity mismatch.
     pub fn push(&mut self, features: Vec<f64>, target: f64) {
-        assert_eq!(features.len(), self.feature_names.len(), "feature arity mismatch");
+        assert_eq!(
+            features.len(),
+            self.feature_names.len(),
+            "feature arity mismatch"
+        );
         debug_assert!(
             features.iter().all(|v| v.is_finite()) && target.is_finite(),
             "non-finite training value"
@@ -155,14 +163,21 @@ impl Standardizer {
     /// Scales one row into a fresh vector.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
         assert_eq!(row.len(), self.means.len(), "feature arity mismatch");
-        row.iter().zip(self.means.iter().zip(&self.stds)).map(|(&v, (&m, &s))| (v - m) / s).collect()
+        row.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
     }
 
     /// Scales one row in place into a preallocated buffer (hot path for
     /// k-NN prediction).
     pub fn transform_into(&self, row: &[f64], out: &mut Vec<f64>) {
         out.clear();
-        out.extend(row.iter().zip(self.means.iter().zip(&self.stds)).map(|(&v, (&m, &s))| (v - m) / s));
+        out.extend(
+            row.iter()
+                .zip(self.means.iter().zip(&self.stds))
+                .map(|(&v, (&m, &s))| (v - m) / s),
+        );
     }
 }
 
@@ -205,7 +220,12 @@ mod tests {
         assert_eq!(train.len(), 66);
         assert_eq!(test.len(), 34);
         // Together they hold every target exactly once.
-        let mut all: Vec<f64> = train.targets().iter().chain(test.targets()).copied().collect();
+        let mut all: Vec<f64> = train
+            .targets()
+            .iter()
+            .chain(test.targets())
+            .copied()
+            .collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut expect: Vec<f64> = d.targets().to_vec();
         expect.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -33,7 +33,13 @@ impl KnnRegressor {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         let scaler = Standardizer::fit(data);
         let points: Vec<Vec<f64>> = data.rows().iter().map(|r| scaler.transform(r)).collect();
-        KnnRegressor { k, distance_weighted, scaler, points, targets: data.targets().to_vec() }
+        KnnRegressor {
+            k,
+            distance_weighted,
+            scaler,
+            points,
+            targets: data.targets().to_vec(),
+        }
     }
 
     /// The configured K.
@@ -177,7 +183,10 @@ mod tests {
         let m = KnnRegressor::fit(&d, 4);
         for i in 0..50 {
             let p = m.predict(&[i as f64 * 0.02]);
-            assert!((0.0..=1.0).contains(&p), "k-NN cannot extrapolate out of range: {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "k-NN cannot extrapolate out of range: {p}"
+            );
         }
     }
 }

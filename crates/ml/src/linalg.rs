@@ -22,7 +22,12 @@ pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         // Partial pivot: the largest |value| in this column at/below the
         // diagonal.
         let pivot_row = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty range");
         if a[pivot_row][col].abs() < 1e-12 {
             return None;
@@ -143,7 +148,9 @@ mod tests {
 
     #[test]
     fn ridge_recovers_linear_function() {
-        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * i) as f64 % 7.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i) as f64 % 7.0])
+            .collect();
         let targets: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 0.5 * r[1] + 4.0).collect();
         let (w, b) = ridge_normal_equations(&rows, &targets, 1e-9).unwrap();
         assert!((w[0] - 2.0).abs() < 1e-6);

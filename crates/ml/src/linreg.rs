@@ -41,12 +41,18 @@ impl LinearRegression {
         } else {
             targets.iter().sum::<f64>() / targets.len() as f64
         };
-        LinearRegression { weights: vec![0.0; n_features], intercept: mean }
+        LinearRegression {
+            weights: vec![0.0; n_features],
+            intercept: mean,
+        }
     }
 
     /// A constant model (used as a base case by the tree learner).
     pub fn constant(value: f64, n_features: usize) -> Self {
-        LinearRegression { weights: vec![0.0; n_features], intercept: value }
+        LinearRegression {
+            weights: vec![0.0; n_features],
+            intercept: value,
+        }
     }
 
     /// Fitted weights.
@@ -70,7 +76,12 @@ impl Regressor for LinearRegression {
     fn predict(&self, features: &[f64]) -> f64 {
         debug_assert_eq!(features.len(), self.weights.len(), "feature arity mismatch");
         self.intercept
-            + self.weights.iter().zip(features).map(|(w, x)| w * x).sum::<f64>()
+            + self
+                .weights
+                .iter()
+                .zip(features)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
     }
 
     fn name(&self) -> &'static str {
@@ -135,6 +146,9 @@ mod tests {
             d.push(vec![x, 0.0], 2.0 * x); // feature b constant -> weight 0
         }
         let m = LinearRegression::fit(&d);
-        assert!(m.param_count() <= 2, "constant feature should not add a param");
+        assert!(
+            m.param_count() <= 2,
+            "constant feature should not add a param"
+        );
     }
 }

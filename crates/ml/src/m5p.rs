@@ -44,19 +44,31 @@ pub struct M5Params {
 
 impl Default for M5Params {
     fn default() -> Self {
-        M5Params { min_instances: 4, sd_fraction: 0.05, max_depth: 24, smoothing_k: 15.0, prune: true }
+        M5Params {
+            min_instances: 4,
+            sd_fraction: 0.05,
+            max_depth: 24,
+            smoothing_k: 15.0,
+            prune: true,
+        }
     }
 }
 
 impl M5Params {
     /// The paper's `M = 4` configuration (CPU, PM-CPU, RT targets).
     pub fn m4() -> Self {
-        M5Params { min_instances: 4, ..Default::default() }
+        M5Params {
+            min_instances: 4,
+            ..Default::default()
+        }
     }
 
     /// The paper's `M = 2` configuration (network I/O targets).
     pub fn m2() -> Self {
-        M5Params { min_instances: 2, ..Default::default() }
+        M5Params {
+            min_instances: 2,
+            ..Default::default()
+        }
     }
 }
 
@@ -140,8 +152,18 @@ impl Regressor for M5Tree {
             path.push(node);
             match node {
                 Node::Leaf { .. } => break,
-                Node::Split { feature, threshold, left, right, .. } => {
-                    node = if features[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -187,7 +209,11 @@ fn fit_node_model(data: &Dataset, indices: &[usize]) -> LinearRegression {
 
 /// The best `(feature, threshold, sdr)` split, or `None` when no split
 /// satisfies the minimum-instances constraint.
-fn best_split(data: &Dataset, indices: &[usize], min_instances: usize) -> Option<(usize, f64, f64)> {
+fn best_split(
+    data: &Dataset,
+    indices: &[usize],
+    min_instances: usize,
+) -> Option<(usize, f64, f64)> {
     let n = indices.len();
     if n < 2 * min_instances {
         return None;
@@ -202,7 +228,11 @@ fn best_split(data: &Dataset, indices: &[usize], min_instances: usize) -> Option
     let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(n);
     for feature in 0..data.n_features() {
         pairs.clear();
-        pairs.extend(indices.iter().map(|&i| (data.rows()[i][feature], data.targets()[i])));
+        pairs.extend(
+            indices
+                .iter()
+                .map(|&i| (data.rows()[i][feature], data.targets()[i])),
+        );
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
 
         // Running prefix sums make each candidate split O(1).
@@ -227,9 +257,8 @@ fn best_split(data: &Dataset, indices: &[usize], min_instances: usize) -> Option
             let r_sum = total_sum - prefix_sum;
             let r_sq = total_sq - prefix_sq;
             let r_var = (r_sq / right_n - (r_sum / right_n).powi(2)).max(0.0);
-            let sdr = parent_sd
-                - (left_n / total_n) * l_var.sqrt()
-                - (right_n / total_n) * r_var.sqrt();
+            let sdr =
+                parent_sd - (left_n / total_n) * l_var.sqrt() - (right_n / total_n) * r_var.sqrt();
             let threshold = {
                 let mid = (pairs[k - 1].0 + pairs[k].0) / 2.0;
                 // Adjacent floats can round the midpoint up onto the
@@ -268,7 +297,13 @@ mod adjacent_float_tests {
             d.push(vec![a], i as f64);
             d.push(vec![b], 100.0 + i as f64);
         }
-        let tree = M5Tree::fit(&d, M5Params { min_instances: 4, ..Default::default() });
+        let tree = M5Tree::fit(
+            &d,
+            M5Params {
+                min_instances: 4,
+                ..Default::default()
+            },
+        );
         // Predictions stay finite; the tree may or may not have split.
         assert!(tree.predict(&[a]).is_finite());
         assert!(tree.predict(&[b]).is_finite());
@@ -304,7 +339,14 @@ fn build(data: &Dataset, indices: &[usize], params: &M5Params, root_sd: f64, dep
             }
             let left = build(data, &li, params, root_sd, depth + 1);
             let right = build(data, &ri, params, root_sd, depth + 1);
-            Node::Split { feature, threshold, model, n, left: Box::new(left), right: Box::new(right) }
+            Node::Split {
+                feature,
+                threshold,
+                model,
+                n,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
         }
     }
 }
@@ -328,7 +370,13 @@ fn penalized_error(model: &LinearRegression, data: &Dataset, indices: &[usize]) 
 fn subtree_error(node: &Node, data: &Dataset, indices: &[usize]) -> f64 {
     match node {
         Node::Leaf { model, .. } => penalized_error(model, data, indices),
-        Node::Split { feature, threshold, left, right, .. } => {
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+            ..
+        } => {
             let (mut li, mut ri) = (Vec::new(), Vec::new());
             for &i in indices {
                 if data.rows()[i][*feature] <= *threshold {
@@ -338,8 +386,16 @@ fn subtree_error(node: &Node, data: &Dataset, indices: &[usize]) -> f64 {
                 }
             }
             let n = indices.len() as f64;
-            let le = if li.is_empty() { 0.0 } else { subtree_error(left, data, &li) };
-            let re = if ri.is_empty() { 0.0 } else { subtree_error(right, data, &ri) };
+            let le = if li.is_empty() {
+                0.0
+            } else {
+                subtree_error(left, data, &li)
+            };
+            let re = if ri.is_empty() {
+                0.0
+            } else {
+                subtree_error(right, data, &ri)
+            };
             (li.len() as f64 / n) * le + (ri.len() as f64 / n) * re
         }
     }
@@ -350,7 +406,14 @@ fn subtree_error(node: &Node, data: &Dataset, indices: &[usize]) -> f64 {
 fn prune(node: &mut Node, data: &Dataset, indices: &[usize]) {
     let replacement = match node {
         Node::Leaf { .. } => None,
-        Node::Split { feature, threshold, model, n, left, right } => {
+        Node::Split {
+            feature,
+            threshold,
+            model,
+            n,
+            left,
+            right,
+        } => {
             let (mut li, mut ri) = (Vec::new(), Vec::new());
             for &i in indices {
                 if data.rows()[i][*feature] <= *threshold {
@@ -363,11 +426,22 @@ fn prune(node: &mut Node, data: &Dataset, indices: &[usize]) {
             prune(right, data, &ri);
             let leaf_err = penalized_error(model, data, indices);
             let n_tot = indices.len() as f64;
-            let le = if li.is_empty() { 0.0 } else { subtree_error(left, data, &li) };
-            let re = if ri.is_empty() { 0.0 } else { subtree_error(right, data, &ri) };
+            let le = if li.is_empty() {
+                0.0
+            } else {
+                subtree_error(left, data, &li)
+            };
+            let re = if ri.is_empty() {
+                0.0
+            } else {
+                subtree_error(right, data, &ri)
+            };
             let tree_err = (li.len() as f64 / n_tot) * le + (ri.len() as f64 / n_tot) * re;
             if leaf_err <= tree_err {
-                Some(Node::Leaf { model: model.clone(), n: *n })
+                Some(Node::Leaf {
+                    model: model.clone(),
+                    n: *n,
+                })
             } else {
                 None
             }
@@ -400,9 +474,7 @@ mod tests {
     fn learns_piecewise_linear_exactly() {
         let d = piecewise_dataset(800, 0.0, 1);
         let t = M5Tree::fit(&d, M5Params::m4());
-        for &(x, want) in
-            &[(1.0, 3.0), (4.0, 9.0), (6.0, 14.0), (9.0, 11.0)]
-        {
+        for &(x, want) in &[(1.0, 3.0), (4.0, 9.0), (6.0, 14.0), (9.0, 11.0)] {
             let got = t.predict(&[x, 0.5]);
             assert!((got - want).abs() < 0.35, "f({x}) = {got}, want {want}");
         }
@@ -439,15 +511,33 @@ mod tests {
             d.push(vec![x], 3.0 * x - 2.0);
         }
         let t = M5Tree::fit(&d, M5Params::m4());
-        assert!(t.leaf_count() <= 3, "linear data should collapse, got {} leaves", t.leaf_count());
+        assert!(
+            t.leaf_count() <= 3,
+            "linear data should collapse, got {} leaves",
+            t.leaf_count()
+        );
         assert!((t.predict(&[5.0]) - 13.0).abs() < 0.1);
     }
 
     #[test]
     fn min_instances_bounds_leaf_count() {
         let d = piecewise_dataset(200, 0.5, 5);
-        let small = M5Tree::fit(&d, M5Params { min_instances: 50, prune: false, ..M5Params::default() });
-        let large = M5Tree::fit(&d, M5Params { min_instances: 2, prune: false, ..M5Params::default() });
+        let small = M5Tree::fit(
+            &d,
+            M5Params {
+                min_instances: 50,
+                prune: false,
+                ..M5Params::default()
+            },
+        );
+        let large = M5Tree::fit(
+            &d,
+            M5Params {
+                min_instances: 2,
+                prune: false,
+                ..M5Params::default()
+            },
+        );
         assert!(small.leaf_count() <= large.leaf_count());
         assert!(small.leaf_count() <= 200 / 50);
     }
@@ -475,8 +565,20 @@ mod tests {
     #[test]
     fn smoothing_reduces_boundary_jumps() {
         let d = piecewise_dataset(500, 0.3, 6);
-        let smooth = M5Tree::fit(&d, M5Params { smoothing_k: 15.0, ..M5Params::m4() });
-        let rough = M5Tree::fit(&d, M5Params { smoothing_k: 0.0, ..M5Params::m4() });
+        let smooth = M5Tree::fit(
+            &d,
+            M5Params {
+                smoothing_k: 15.0,
+                ..M5Params::m4()
+            },
+        );
+        let rough = M5Tree::fit(
+            &d,
+            M5Params {
+                smoothing_k: 0.0,
+                ..M5Params::m4()
+            },
+        );
         // Evaluate max jump across a fine grid near the split at x=5.
         let jump = |t: &M5Tree| {
             let mut m: f64 = 0.0;
@@ -496,7 +598,12 @@ mod tests {
         let d = piecewise_dataset(2000, 1.0, 7);
         let t = M5Tree::fit(
             &d,
-            M5Params { max_depth: 4, min_instances: 2, prune: false, ..M5Params::default() },
+            M5Params {
+                max_depth: 4,
+                min_instances: 2,
+                prune: false,
+                ..M5Params::default()
+            },
         );
         assert!(t.depth() <= 5, "depth {}", t.depth());
     }

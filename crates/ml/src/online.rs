@@ -36,7 +36,14 @@ impl PageHinkley {
     /// A detector with the given slack and threshold.
     pub fn new(delta: f64, lambda: f64) -> Self {
         assert!(delta >= 0.0 && lambda > 0.0);
-        PageHinkley { delta, lambda, n: 0, mean: 0.0, cumulative: 0.0, min_cumulative: 0.0 }
+        PageHinkley {
+            delta,
+            lambda,
+            n: 0,
+            mean: 0.0,
+            cumulative: 0.0,
+            min_cumulative: 0.0,
+        }
     }
 
     /// Feeds one error magnitude; returns `true` when drift is detected
@@ -114,7 +121,11 @@ where
 
     /// Feeds one observation; refits when due.
     pub fn observe(&mut self, features: Vec<f64>, target: f64) {
-        assert_eq!(features.len(), self.feature_names.len(), "feature arity mismatch");
+        assert_eq!(
+            features.len(),
+            self.feature_names.len(),
+            "feature arity mismatch"
+        );
         if self.buffer.len() == self.max_buffer {
             self.buffer.pop_front();
         }
@@ -143,8 +154,7 @@ where
     }
 
     fn refit(&mut self) {
-        let mut d =
-            Dataset::new(self.feature_names.clone());
+        let mut d = Dataset::new(self.feature_names.clone());
         for (x, y) in &self.buffer {
             d.push(x.clone(), *y);
         }
@@ -183,7 +193,11 @@ where
 {
     /// Wraps a learner with a detector.
     pub fn new(learner: OnlineLearner<F>, detector: PageHinkley) -> Self {
-        DriftAwareLearner { learner, detector, drift_count: 0 }
+        DriftAwareLearner {
+            learner,
+            detector,
+            drift_count: 0,
+        }
     }
 
     /// Feeds one observation; returns `true` when this sample triggered
@@ -255,7 +269,10 @@ mod tests {
             l.observe(vec![x], 100.0 - x);
         }
         let after = l.predict(&[10.0]).unwrap();
-        assert!((after - 90.0).abs() < 0.5, "model should track drift: {after}");
+        assert!(
+            (after - 90.0).abs() < 0.5,
+            "model should track drift: {after}"
+        );
     }
 
     #[test]

@@ -75,9 +75,13 @@ impl PredictionTarget {
             PredictionTarget::VmCpu
             | PredictionTarget::VmMem
             | PredictionTarget::VmIn
-            | PredictionTarget::VmOut => {
-                &["rps", "kb_in_per_req", "kb_out_per_req", "cpu_ms_per_req", "backlog"]
-            }
+            | PredictionTarget::VmOut => &[
+                "rps",
+                "kb_in_per_req",
+                "kb_out_per_req",
+                "cpu_ms_per_req",
+                "backlog",
+            ],
             // Host aggregation (hypervisor overhead learning).
             PredictionTarget::PmCpu => &["n_vms", "sum_vm_cpu", "sum_rps"],
             // Tentative placement → QoS.
@@ -130,7 +134,11 @@ impl TrainedPredictor {
         let (train, test) = data.split(0.66, rng);
         let model = target.fit(&train);
         let report = EvalReport::compute(model.as_ref(), &train, &test, data.target_range());
-        TrainedPredictor { target, model, report }
+        TrainedPredictor {
+            target,
+            model,
+            report,
+        }
     }
 
     /// Trains on an externally prepared split (ablations comparing two
@@ -143,7 +151,11 @@ impl TrainedPredictor {
     ) -> Self {
         let model = target.fit(train);
         let report = EvalReport::compute(model.as_ref(), train, test, full_range);
-        TrainedPredictor { target, model, report }
+        TrainedPredictor {
+            target,
+            model,
+            report,
+        }
     }
 
     /// Predicts from a feature vector (see
@@ -169,13 +181,20 @@ impl PredictorSuite {
     pub fn from_predictors(mut predictors: Vec<TrainedPredictor>) -> Self {
         predictors.sort_by_key(|p| p.target);
         let targets: Vec<PredictionTarget> = predictors.iter().map(|p| p.target).collect();
-        assert_eq!(targets, PredictionTarget::ALL.to_vec(), "suite must cover all 7 targets");
+        assert_eq!(
+            targets,
+            PredictionTarget::ALL.to_vec(),
+            "suite must cover all 7 targets"
+        );
         PredictorSuite { predictors }
     }
 
     /// Looks up one predictor.
     pub fn get(&self, target: PredictionTarget) -> &TrainedPredictor {
-        let idx = PredictionTarget::ALL.iter().position(|&t| t == target).expect("known target");
+        let idx = PredictionTarget::ALL
+            .iter()
+            .position(|&t| t == target)
+            .expect("known target");
         &self.predictors[idx]
     }
 
@@ -186,7 +205,9 @@ impl PredictorSuite {
 
     /// Iterates the Table-I rows in order.
     pub fn reports(&self) -> impl Iterator<Item = (&'static str, &EvalReport)> {
-        self.predictors.iter().map(|p| (p.target.paper_name(), &p.report))
+        self.predictors
+            .iter()
+            .map(|p| (p.target.paper_name(), &p.report))
     }
 }
 
@@ -199,7 +220,9 @@ mod tests {
         let names = target.feature_names();
         let mut d = Dataset::with_features(names);
         for _ in 0..n {
-            let row: Vec<f64> = (0..names.len()).map(|_| rng.uniform_range(0.0, 10.0)).collect();
+            let row: Vec<f64> = (0..names.len())
+                .map(|_| rng.uniform_range(0.0, 10.0))
+                .collect();
             // A piecewise target over the first feature, bounded for SLA.
             let y = match target {
                 PredictionTarget::VmSla => (row[0] / 10.0).clamp(0.0, 1.0),

@@ -30,7 +30,13 @@ pub fn share_proportionally_into(
         return;
     }
     let total: Resources = demands.iter().copied().sum();
-    let factor = |cap: f64, tot: f64| if tot > cap && tot > 0.0 { cap / tot } else { 1.0 };
+    let factor = |cap: f64, tot: f64| {
+        if tot > cap && tot > 0.0 {
+            cap / tot
+        } else {
+            1.0
+        }
+    };
     let f_cpu = factor(capacity.cpu, total.cpu);
     let f_mem = factor(capacity.mem_mb, total.mem_mb);
     let f_in = factor(capacity.net_in_kbps, total.net_in_kbps);
@@ -116,9 +122,7 @@ mod tests {
     fn oversubscription_ratio() {
         let cap = Resources::new(400.0, 4096.0, 1000.0, 1000.0);
         assert!((oversubscription(&[r(200.0, 1024.0)], cap) - 0.5).abs() < 1e-9);
-        assert!(
-            (oversubscription(&[r(400.0, 512.0), r(400.0, 512.0)], cap) - 2.0).abs() < 1e-9
-        );
+        assert!((oversubscription(&[r(400.0, 512.0), r(400.0, 512.0)], cap) - 2.0).abs() < 1e-9);
         assert_eq!(oversubscription(&[], cap), 0.0);
     }
 }
@@ -176,14 +180,19 @@ mod wc_tests {
         let cap = Resources::new(400.0, 4096.0, 1000.0, 1000.0);
         let demands = vec![Resources::new(50.0, 512.0, 10.0, 10.0)];
         let burst = share_work_conserving(&demands, cap);
-        assert!((burst[0].cpu - 400.0).abs() < 1e-9, "single VM can use the whole host");
+        assert!(
+            (burst[0].cpu - 400.0).abs() < 1e-9,
+            "single VM can use the whole host"
+        );
     }
 
     #[test]
     fn contended_host_gives_proportional_share() {
         let cap = Resources::new(400.0, 4096.0, 1000.0, 1000.0);
-        let demands =
-            vec![Resources::new(300.0, 0.0, 0.0, 0.0), Resources::new(100.0, 0.0, 0.0, 0.0)];
+        let demands = vec![
+            Resources::new(300.0, 0.0, 0.0, 0.0),
+            Resources::new(100.0, 0.0, 0.0, 0.0),
+        ];
         let burst = share_work_conserving(&demands, cap);
         assert!((burst[0].cpu - 300.0).abs() < 1e-9);
         assert!((burst[1].cpu - 100.0).abs() < 1e-9);

@@ -48,7 +48,10 @@ impl Default for RtModelConfig {
 impl RtModelConfig {
     /// A deterministic variant for tests and analytical experiments.
     pub fn deterministic() -> Self {
-        RtModelConfig { jitter_sigma: 0.0, ..Default::default() }
+        RtModelConfig {
+            jitter_sigma: 0.0,
+            ..Default::default()
+        }
     }
 }
 
@@ -91,8 +94,8 @@ pub fn evaluate(
     let offered = load.total_rps(drain_secs);
 
     // Base service time: CPU plus I/O waits plus dispatch.
-    let s0 = load.cpu_ms_per_req / 1000.0 * (1.0 + profile.io_wait_factor)
-        + cfg.dispatch_overhead_secs;
+    let s0 =
+        load.cpu_ms_per_req / 1000.0 * (1.0 + profile.io_wait_factor) + cfg.dispatch_overhead_secs;
 
     // Capacity in requests/second per resource axis.
     let mu_cpu = if load.cpu_ms_per_req > 0.0 {
@@ -137,18 +140,34 @@ pub fn evaluate(
     }
 
     // True usage: what the VM actually consumed serving `served` rps.
-    let cpu_used = cpu_demand_pct(served, load.cpu_ms_per_req, profile.idle_cpu_pct)
-        .min(if burst.cpu.is_finite() { burst.cpu } else { f64::MAX });
+    let cpu_used = cpu_demand_pct(served, load.cpu_ms_per_req, profile.idle_cpu_pct).min(
+        if burst.cpu.is_finite() {
+            burst.cpu
+        } else {
+            f64::MAX
+        },
+    );
     let used = Resources {
         cpu: cpu_used,
         mem_mb: required.mem_mb.min(granted.mem_mb),
-        net_in_kbps: (served * load.kb_in_per_req)
-            .min(if burst.net_in_kbps.is_finite() { burst.net_in_kbps } else { f64::MAX }),
-        net_out_kbps: (served * load.kb_out_per_req)
-            .min(if burst.net_out_kbps.is_finite() { burst.net_out_kbps } else { f64::MAX }),
+        net_in_kbps: (served * load.kb_in_per_req).min(if burst.net_in_kbps.is_finite() {
+            burst.net_in_kbps
+        } else {
+            f64::MAX
+        }),
+        net_out_kbps: (served * load.kb_out_per_req).min(if burst.net_out_kbps.is_finite() {
+            burst.net_out_kbps
+        } else {
+            f64::MAX
+        }),
     };
 
-    PerfOutcome { rt_process_secs: rt, served_rps: served, used, capacity_rps: mu }
+    PerfOutcome {
+        rt_process_secs: rt,
+        served_rps: served,
+        used,
+        capacity_rps: mu,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +192,16 @@ mod tests {
         let p = VmPerfProfile::default();
         let req = required_resources(load, &p, 60.0);
         // Alone on the host: granted = demand (fits), burst = whole host.
-        evaluate(load, &p, &req, &req, &ATOM, &RtModelConfig::deterministic(), 60.0, None)
+        evaluate(
+            load,
+            &p,
+            &req,
+            &req,
+            &ATOM,
+            &RtModelConfig::deterministic(),
+            60.0,
+            None,
+        )
     }
 
     #[test]
@@ -202,7 +230,10 @@ mod tests {
         // Atom: (400-2)*10/5 = 796 rps CPU capacity.
         let o = solo(&blog_load(2000.0));
         assert!(o.served_rps < 810.0, "served {}", o.served_rps);
-        assert!((o.rt_process_secs - 20.0).abs() < 1e-6, "rt saturates at max");
+        assert!(
+            (o.rt_process_secs - 20.0).abs() < 1e-6,
+            "rt saturates at max"
+        );
         assert!(o.capacity_rps < 810.0);
     }
 
@@ -232,7 +263,10 @@ mod tests {
             shared.rt_process_secs,
             alone.rt_process_secs
         );
-        assert!(shared.served_rps < 480.0, "contended VM cannot serve everything");
+        assert!(
+            shared.served_rps < 480.0,
+            "contended VM cannot serve everything"
+        );
     }
 
     #[test]
@@ -240,10 +274,21 @@ mod tests {
         let p = VmPerfProfile::default();
         let load = blog_load(100.0);
         let req = required_resources(&load, &p, 60.0);
-        let healthy =
-            evaluate(&load, &p, &req, &req, &ATOM, &RtModelConfig::deterministic(), 60.0, None);
+        let healthy = evaluate(
+            &load,
+            &p,
+            &req,
+            &req,
+            &ATOM,
+            &RtModelConfig::deterministic(),
+            60.0,
+            None,
+        );
         // Grant only 60% of the needed memory.
-        let starved_mem = Resources { mem_mb: req.mem_mb * 0.6, ..req };
+        let starved_mem = Resources {
+            mem_mb: req.mem_mb * 0.6,
+            ..req
+        };
         let starved = evaluate(
             &load,
             &p,
@@ -255,7 +300,10 @@ mod tests {
             None,
         );
         assert!(starved.rt_process_secs > 2.0 * healthy.rt_process_secs);
-        assert!(starved.capacity_rps < healthy.capacity_rps, "thrashing shrinks capacity");
+        assert!(
+            starved.capacity_rps < healthy.capacity_rps,
+            "thrashing shrinks capacity"
+        );
         assert!(starved.used.mem_mb <= starved_mem.mem_mb + 1e-9);
     }
 
@@ -271,7 +319,16 @@ mod tests {
             backlog: 0.0,
         };
         let req = required_resources(&load, &p, 60.0);
-        let o = evaluate(&load, &p, &req, &req, &ATOM, &RtModelConfig::deterministic(), 60.0, None);
+        let o = evaluate(
+            &load,
+            &p,
+            &req,
+            &req,
+            &ATOM,
+            &RtModelConfig::deterministic(),
+            60.0,
+            None,
+        );
         assert!(o.served_rps < 25.0, "served {}", o.served_rps);
         assert!(o.used.net_out_kbps <= 64_000.0 + 1e-6);
     }
@@ -295,7 +352,11 @@ mod tests {
             None,
         );
         assert!(req.cpu > 195.0, "true demand ~2 cores: {}", req.cpu);
-        assert!(o.used.cpu <= 100.0 + 1e-9, "observed usage capped at share: {}", o.used.cpu);
+        assert!(
+            o.used.cpu <= 100.0 + 1e-9,
+            "observed usage capped at share: {}",
+            o.used.cpu
+        );
     }
 
     #[test]
@@ -305,8 +366,16 @@ mod tests {
         let calm = solo(&load);
         load.backlog = 6000.0; // +100 rps over a minute
         let req = required_resources(&load, &p, 60.0);
-        let pressured =
-            evaluate(&load, &p, &req, &req, &ATOM, &RtModelConfig::deterministic(), 60.0, None);
+        let pressured = evaluate(
+            &load,
+            &p,
+            &req,
+            &req,
+            &ATOM,
+            &RtModelConfig::deterministic(),
+            60.0,
+            None,
+        );
         assert!(pressured.rt_process_secs > calm.rt_process_secs);
     }
 

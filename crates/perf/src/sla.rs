@@ -23,7 +23,10 @@ pub struct SlaFunction {
 impl SlaFunction {
     /// The paper's contract: RT0 = 0.1 s, α = 10.
     pub fn paper() -> Self {
-        SlaFunction { rt0_secs: 0.1, alpha: 10.0 }
+        SlaFunction {
+            rt0_secs: 0.1,
+            alpha: 10.0,
+        }
     }
 
     /// A new SLA function; `rt0 > 0`, `alpha > 1`.

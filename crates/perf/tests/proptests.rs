@@ -7,15 +7,20 @@ use proptest::prelude::*;
 const ATOM: Resources = Resources::new(400.0, 4096.0, 64_000.0, 64_000.0);
 
 fn arb_load() -> impl Strategy<Value = OfferedLoad> {
-    (0.0f64..800.0, 0.1f64..2.0, 0.5f64..30.0, 1.0f64..15.0, 0.0f64..3000.0).prop_map(
-        |(rps, kb_in, kb_out, cpu_ms, backlog)| OfferedLoad {
+    (
+        0.0f64..800.0,
+        0.1f64..2.0,
+        0.5f64..30.0,
+        1.0f64..15.0,
+        0.0f64..3000.0,
+    )
+        .prop_map(|(rps, kb_in, kb_out, cpu_ms, backlog)| OfferedLoad {
             rps,
             kb_in_per_req: kb_in,
             kb_out_per_req: kb_out,
             cpu_ms_per_req: cpu_ms,
             backlog,
-        },
-    )
+        })
 }
 
 proptest! {

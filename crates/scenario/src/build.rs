@@ -1,0 +1,298 @@
+//! Spec → world: build a [`Scenario`], a [`PlacementPolicy`] and a
+//! [`RunConfig`] from a [`ScenarioSpec`].
+//!
+//! The mapping is deliberately 1:1 with the `ScenarioBuilder` calls the
+//! hand-written experiment drivers make, so a spec-built world is
+//! **bit-identical** to the equivalent hand-built one (the integration
+//! tests assert this for the fig4 and fig6 setups).
+
+use crate::spec::{
+    OracleKind, PolicyKind, ScenarioSpec, SpecError, TopologyPreset, TrainingSpec, WorkloadPreset,
+};
+use pamdc_core::policy::{
+    BestFitPolicy, CheapestEnergyPolicy, FollowLoadPolicy, HierarchicalPolicy, PlacementPolicy,
+    RandomPolicy, StaticPolicy,
+};
+use pamdc_core::scenario::{Scenario, ScenarioBuilder};
+use pamdc_core::simulation::RunConfig;
+use pamdc_core::training::{collect_training_data, train_suite, TrainingOutcome};
+use pamdc_green::tariff::Tariff;
+use pamdc_ml::predictors::PredictorSuite;
+use pamdc_sched::oracle::{MlOracle, MonitorOracle, TrueOracle};
+use pamdc_simcore::time::{SimDuration, SimTime};
+use pamdc_workload::libcn;
+use pamdc_workload::trace::{DemandTrace, TraceSource};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Builds the scenario a spec describes. `base_dir` anchors relative
+/// trace paths (use the spec file's directory).
+pub fn build_scenario(spec: &ScenarioSpec, base_dir: &Path) -> Result<Scenario, SpecError> {
+    build_scenario_inner(spec, base_dir, None)
+}
+
+/// Builds the spec's world around an already-constructed demand source
+/// (e.g. a trace parsed from stdin or memory). The source's service
+/// count must match `workload.vms`.
+pub fn build_scenario_with_demand(
+    spec: &ScenarioSpec,
+    demand: pamdc_workload::source::Demand,
+) -> Result<Scenario, SpecError> {
+    build_scenario_inner(spec, Path::new("."), Some(demand))
+}
+
+fn build_scenario_inner(
+    spec: &ScenarioSpec,
+    base_dir: &Path,
+    demand_override: Option<pamdc_workload::source::Demand>,
+) -> Result<Scenario, SpecError> {
+    spec.validate()?;
+    let w = &spec.workload;
+    let mut builder = match (spec.topology.preset, w.preset) {
+        (TopologyPreset::MultiDc, WorkloadPreset::FollowTheSun) => {
+            ScenarioBuilder::follow_the_sun()
+        }
+        (TopologyPreset::IntraDc, WorkloadPreset::MultiDc) => {
+            return Err(SpecError(
+                "workload preset multi-dc requires the multi-dc topology".into(),
+            ))
+        }
+        (TopologyPreset::IntraDc, _) => ScenarioBuilder::paper_intra_dc(),
+        (TopologyPreset::MultiDc, _) => ScenarioBuilder::paper_multi_dc(),
+    };
+    builder = builder
+        .name(spec.name.clone())
+        .vms(w.vms)
+        .pms_per_dc(spec.topology.pms_per_dc)
+        .peak_rps(w.peak_rps)
+        .load_scale(w.load_scale)
+        .seed(spec.seed);
+    if let Some(dc) = spec.topology.deploy_all_in {
+        builder = builder.deploy_all_in(dc);
+    }
+    if let Some(mult) = w.flash_crowd {
+        builder = builder.flash_crowd(mult);
+    }
+    if let Some(demand) = demand_override {
+        if demand.service_count() != w.vms {
+            return Err(SpecError(format!(
+                "demand source carries {} services but the spec hosts {} VMs",
+                demand.service_count(),
+                w.vms
+            )));
+        }
+        builder = builder.demand(demand);
+    } else if let Some(replay) = &w.trace {
+        let path = base_dir.join(&replay.path);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| SpecError(format!("cannot read trace {}: {e}", path.display())))?;
+        let trace = DemandTrace::parse_csv(&text)
+            .map_err(|e| SpecError(format!("{}: {e}", path.display())))?;
+        if trace.service_count() != w.vms {
+            return Err(SpecError(format!(
+                "trace {} carries {} services but the spec hosts {} VMs",
+                path.display(),
+                trace.service_count(),
+                w.vms
+            )));
+        }
+        let mut source = TraceSource::new(trace)
+            .with_rate_scale(replay.rate_scale)
+            .with_time_stretch(replay.time_stretch);
+        if !replay.region_map.is_empty() {
+            source = source.with_region_map(replay.region_map.clone());
+        }
+        builder = builder.demand(source);
+    } else if w.preset == WorkloadPreset::Uniform {
+        // Latency-neutral control workload (same construction as the
+        // green / price-adaptation drivers).
+        builder = builder.workload(libcn::uniform_multi_dc(
+            w.vms,
+            w.peak_rps * w.load_scale,
+            spec.seed,
+        ));
+    }
+    for f in &spec.faults {
+        builder = builder.fault(
+            f.pm,
+            SimTime::from_mins(f.at_min),
+            SimDuration::from_mins(f.repair_after_min),
+        );
+    }
+    for c in &spec.profile_changes {
+        builder = builder.profile_change(
+            c.vm,
+            SimTime::from_mins(c.at_min),
+            pamdc_perf::demand::VmPerfProfile {
+                base_mem_mb: c.base_mem_mb,
+                mem_mb_per_inflight: c.mem_mb_per_inflight,
+                io_wait_factor: c.io_wait_factor,
+                idle_cpu_pct: c.idle_cpu_pct,
+            },
+        );
+    }
+    builder = builder.billing(pamdc_econ::billing::BillingPolicy {
+        vm_eur_per_hour: spec.billing.vm_eur_per_hour,
+        sla_gamma: spec.billing.sla_gamma,
+        migration_fee_eur: spec.billing.migration_fee_eur,
+    });
+    if !spec.energy.is_paper_default() {
+        let energy = spec.energy.clone();
+        let days = spec.run.hours / 24 + 1;
+        let seed = spec.seed;
+        builder = builder.energy(move |cluster, mut env| {
+            for &dc in &energy.solar_dcs {
+                let capacity = energy.solar_per_pm_w * cluster.dcs()[dc].pms().len() as f64;
+                env = env.with_solar_at(cluster, dc, capacity, energy.min_sky, days, seed);
+            }
+            for t in &energy.tariffs {
+                let tariff = match t.step_at_hour {
+                    Some(h) => Tariff::Step {
+                        initial_eur: t.eur_per_kwh,
+                        steps: vec![(SimTime::from_hours(h), t.step_eur_per_kwh)],
+                    },
+                    None => Tariff::Flat(t.eur_per_kwh),
+                };
+                env = env.with_tariff(t.dc, tariff);
+            }
+            if energy.price_blind {
+                env = env.price_blind();
+            }
+            env
+        });
+    }
+    Ok(builder.build())
+}
+
+/// Builds the policy a spec names. `suite` must be provided when the
+/// oracle is `ml` (see [`train_for_spec`]); `seed` feeds the random
+/// exploration policy.
+pub fn build_policy(
+    spec: &ScenarioSpec,
+    suite: Option<Arc<PredictorSuite>>,
+) -> Result<Box<dyn PlacementPolicy>, SpecError> {
+    let p = &spec.policy;
+    macro_rules! with_oracle {
+        ($ctor:expr) => {
+            match p.oracle {
+                OracleKind::Monitor => $ctor(MonitorOracle::plain()),
+                OracleKind::Overbooked => $ctor(MonitorOracle::overbooked()),
+                OracleKind::True => $ctor(TrueOracle::new()),
+                OracleKind::Ml => {
+                    let suite = suite.ok_or_else(|| {
+                        SpecError("policy.oracle = \"ml\" needs a trained suite".into())
+                    })?;
+                    $ctor(MlOracle::new(suite))
+                }
+            }
+        };
+    }
+    let policy: Box<dyn PlacementPolicy> = match p.kind {
+        PolicyKind::Static => with_oracle!(|o| Box::new(StaticPolicy(o))),
+        PolicyKind::BestFit => with_oracle!(|o| Box::new(BestFitPolicy::new(o))),
+        PolicyKind::BestFitRaw => with_oracle!(|o| Box::new(BestFitPolicy::raw(o))),
+        PolicyKind::Hierarchical => with_oracle!(|o| Box::new(HierarchicalPolicy::new(o))),
+        PolicyKind::FollowLoad => with_oracle!(|o| Box::new(FollowLoadPolicy(o))),
+        PolicyKind::CheapestEnergy => with_oracle!(|o| Box::new(CheapestEnergyPolicy(o))),
+        PolicyKind::Random => Box::new(RandomPolicy::new(spec.seed)),
+    };
+    Ok(policy)
+}
+
+/// The [`RunConfig`] a spec's `[run]`/`[policy]` sections describe.
+pub fn run_config(spec: &ScenarioSpec) -> RunConfig {
+    RunConfig {
+        tick: SimDuration::from_secs(spec.run.tick_secs),
+        round_every_ticks: spec.run.round_every_ticks,
+        keep_series: spec.run.keep_series,
+        migration_cooldown_ticks: spec.run.migration_cooldown_ticks,
+        plan_horizon_ticks: spec.policy.plan_horizon_ticks,
+        ..RunConfig::default()
+    }
+}
+
+/// Runs the Table-I pipeline a `[training]` section describes (the same
+/// call chain as `experiments::table1::run`).
+pub fn train_for_spec(training: &TrainingSpec) -> TrainingOutcome {
+    let collector = collect_training_data(
+        training.vms,
+        &training.scales,
+        training.hours_per_scale,
+        training.seed,
+    );
+    train_suite(&collector, training.seed)
+}
+
+/// True when running this spec's generic path requires training first.
+pub fn needs_training(spec: &ScenarioSpec) -> bool {
+    spec.policy.oracle == OracleKind::Ml && spec.policy.kind != PolicyKind::Random
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FaultSpec;
+
+    #[test]
+    fn default_spec_builds_the_paper_multi_dc_world() {
+        let spec = ScenarioSpec::default();
+        let s = build_scenario(&spec, Path::new(".")).expect("build");
+        assert_eq!(s.cluster.dc_count(), 4);
+        assert_eq!(s.cluster.pm_count(), 4);
+        assert_eq!(s.cluster.vm_count(), 5);
+        s.cluster.check_invariants();
+    }
+
+    #[test]
+    fn faults_and_tariffs_apply() {
+        let mut spec = ScenarioSpec::default();
+        spec.faults.push(FaultSpec {
+            pm: 0,
+            at_min: 30,
+            repair_after_min: 60,
+        });
+        spec.energy.tariffs.push(crate::spec::TariffSpec {
+            dc: 1,
+            eur_per_kwh: 0.5,
+            step_at_hour: None,
+            step_eur_per_kwh: 0.5,
+        });
+        let s = build_scenario(&spec, Path::new(".")).expect("build");
+        assert_eq!(s.faults.len(), 1);
+        let q = s
+            .energy
+            .quoted_price_eur_kwh(1, SimTime::from_hours(3), 0.0, 50.0);
+        assert!((q - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_policy_kind_constructs() {
+        for kind in [
+            PolicyKind::Static,
+            PolicyKind::BestFit,
+            PolicyKind::BestFitRaw,
+            PolicyKind::Hierarchical,
+            PolicyKind::FollowLoad,
+            PolicyKind::CheapestEnergy,
+            PolicyKind::Random,
+        ] {
+            let mut spec = ScenarioSpec::default();
+            spec.policy.kind = kind;
+            let policy = build_policy(&spec, None).expect("non-ml policies need no suite");
+            assert!(!policy.name().is_empty());
+        }
+        // ML without a suite is a hard error.
+        let mut spec = ScenarioSpec::default();
+        spec.policy.oracle = OracleKind::Ml;
+        assert!(build_policy(&spec, None).is_err());
+        assert!(needs_training(&spec));
+    }
+
+    #[test]
+    fn mixed_presets_rejected() {
+        let mut spec = ScenarioSpec::default();
+        spec.topology.preset = TopologyPreset::IntraDc;
+        spec.workload.preset = WorkloadPreset::MultiDc;
+        assert!(build_scenario(&spec, Path::new(".")).is_err());
+    }
+}

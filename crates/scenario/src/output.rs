@@ -1,0 +1,133 @@
+//! CSV/JSON emission of spec-run results (registry-free, like
+//! everything else in this crate).
+
+use crate::runner::SpecReport;
+use std::fmt::Write as _;
+
+/// Escapes a JSON string body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number (finite shortest-round-trip; non-finite become null,
+/// which JSON requires).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Emits reports as a JSON array of `{name, metrics: {k: v}}` objects.
+pub fn reports_json(reports: &[SpecReport]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "  {{\"name\": \"{}\", \"metrics\": {{",
+            json_escape(&r.name)
+        );
+        for (j, (k, v)) in r.metrics.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", json_escape(k), json_number(*v));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Emits reports as CSV: the union of metric keys as columns, one row
+/// per report. Missing cells stay empty.
+pub fn reports_csv(reports: &[SpecReport]) -> String {
+    let mut keys: Vec<&str> = Vec::new();
+    for r in reports {
+        for (k, _) in &r.metrics {
+            if !keys.contains(&k.as_str()) {
+                keys.push(k);
+            }
+        }
+    }
+    let esc = |s: &str| {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::from("name");
+    for k in &keys {
+        out.push(',');
+        out.push_str(&esc(k));
+    }
+    out.push('\n');
+    for r in reports {
+        out.push_str(&esc(&r.name));
+        for k in &keys {
+            out.push(',');
+            if let Some((_, v)) = r.metrics.iter().find(|(key, _)| key == k) {
+                let _ = write!(out, "{v}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<SpecReport> {
+        vec![
+            SpecReport {
+                name: "a".into(),
+                text: String::new(),
+                metrics: vec![("sla".into(), 0.5), ("watts".into(), 120.25)],
+            },
+            SpecReport {
+                name: "b,\"x\"".into(),
+                text: String::new(),
+                metrics: vec![("sla".into(), 1.0), ("extra".into(), f64::NAN)],
+            },
+        ]
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = reports_json(&sample());
+        assert!(j.contains("\"sla\": 0.5"));
+        assert!(j.contains("\"extra\": null"));
+        assert!(j.contains("b,\\\"x\\\""));
+        assert!(j.trim_start().starts_with('['));
+    }
+
+    #[test]
+    fn csv_unions_columns() {
+        let c = reports_csv(&sample());
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "name,sla,watts,extra");
+        assert_eq!(lines.next().unwrap(), "a,0.5,120.25,");
+        assert!(lines.next().unwrap().starts_with("\"b,\"\"x\"\"\",1,,"));
+    }
+}

@@ -56,15 +56,23 @@ fn nearest_feasible_host(
     vm: &crate::problem::VmInfo,
 ) -> usize {
     let demand = oracle.demand(vm);
-    let latency = |hi: usize| {
-        weighted_transport_secs(&vm.flows, problem.hosts[hi].location, &problem.net)
+    let latency =
+        |hi: usize| weighted_transport_secs(&vm.flows, problem.hosts[hi].location, &problem.net);
+    let feasible: Vec<usize> = (0..problem.hosts.len())
+        .filter(|&hi| state.fits(problem, hi, &demand))
+        .collect();
+    let pool: Vec<usize> = if feasible.is_empty() {
+        (0..problem.hosts.len()).collect()
+    } else {
+        feasible
     };
-    let feasible: Vec<usize> =
-        (0..problem.hosts.len()).filter(|&hi| state.fits(problem, hi, &demand)).collect();
-    let pool: Vec<usize> =
-        if feasible.is_empty() { (0..problem.hosts.len()).collect() } else { feasible };
     pool.into_iter()
-        .min_by(|&a, &b| latency(a).partial_cmp(&latency(b)).expect("finite").then(a.cmp(&b)))
+        .min_by(|&a, &b| {
+            latency(a)
+                .partial_cmp(&latency(b))
+                .expect("finite")
+                .then(a.cmp(&b))
+        })
         .expect("at least one host")
 }
 

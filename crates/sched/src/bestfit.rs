@@ -45,8 +45,15 @@ pub fn best_fit_with_demands(
     oracle: &dyn QosOracle,
     demands: &[Resources],
 ) -> BestFitResult {
-    assert!(!problem.hosts.is_empty(), "best-fit needs at least one candidate host");
-    assert_eq!(demands.len(), problem.vms.len(), "one believed demand per VM");
+    assert!(
+        !problem.hosts.is_empty(),
+        "best-fit needs at least one candidate host"
+    );
+    assert_eq!(
+        demands.len(),
+        problem.vms.len(),
+        "one believed demand per VM"
+    );
 
     // Order VMs by decreasing believed demand (Algorithm 1's
     // `order_by_demand(..., desc)`), normalized against the largest host
@@ -100,7 +107,10 @@ pub fn best_fit_with_demands(
             {
                 best_fit_choice = Some((host_idx, score));
             }
-            if best_any.as_ref().is_none_or(|(_, b)| score.profit() > b.profit()) {
+            if best_any
+                .as_ref()
+                .is_none_or(|(_, b)| score.profit() > b.profit())
+            {
                 best_any = Some((host_idx, score));
             }
         }
@@ -131,7 +141,11 @@ pub fn best_fit_with_demands(
 
     let schedule = Schedule { assignment };
     schedule.validate(problem);
-    BestFitResult { schedule, scores, overflow_count }
+    BestFitResult {
+        schedule,
+        scores,
+        overflow_count,
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +179,11 @@ mod tests {
         let p = problem(4, 4, 500.0);
         let r = best_fit(&p, &TrueOracle::new());
         let distinct: std::collections::BTreeSet<_> = r.schedule.assignment.iter().collect();
-        assert!(distinct.len() >= 3, "heavy VMs must spread: {:?}", r.schedule.assignment);
+        assert!(
+            distinct.len() >= 3,
+            "heavy VMs must spread: {:?}",
+            r.schedule.assignment
+        );
     }
 
     #[test]
@@ -218,10 +236,8 @@ mod tests {
         }
         let plain = best_fit(&p, &MonitorOracle::plain());
         let truth = best_fit(&p, &TrueOracle::new());
-        let hosts_plain: std::collections::BTreeSet<_> =
-            plain.schedule.assignment.iter().collect();
-        let hosts_truth: std::collections::BTreeSet<_> =
-            truth.schedule.assignment.iter().collect();
+        let hosts_plain: std::collections::BTreeSet<_> = plain.schedule.assignment.iter().collect();
+        let hosts_truth: std::collections::BTreeSet<_> = truth.schedule.assignment.iter().collect();
         assert!(
             hosts_plain.len() <= hosts_truth.len(),
             "plain BF must use no more hosts than the informed scheduler"

@@ -76,7 +76,12 @@ impl<'a> ScheduleEvaluator<'a> {
 
         // Dense PmId -> host-index map (Problem::host_index is a linear
         // scan; the evaluator must not pay it per VM).
-        let max_id = problem.hosts.iter().map(|h| h.id.index()).max().unwrap_or(0);
+        let max_id = problem
+            .hosts
+            .iter()
+            .map(|h| h.id.index())
+            .max()
+            .unwrap_or(0);
         let mut id_to_idx = vec![usize::MAX; max_id + 1];
         for (hi, h) in problem.hosts.iter().enumerate() {
             id_to_idx[h.id.index()] = hi;
@@ -85,8 +90,7 @@ impl<'a> ScheduleEvaluator<'a> {
         let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
         let mut host_of = Vec::with_capacity(n_vms);
         let mut vms_on: Vec<Vec<usize>> = vec![Vec::new(); n_hosts];
-        let mut raw_demand: Vec<Resources> =
-            problem.hosts.iter().map(|h| h.fixed_demand).collect();
+        let mut raw_demand: Vec<Resources> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
         let mut counts = vec![0usize; n_hosts];
         for (vi, &pm) in schedule.assignment.iter().enumerate() {
             let hi = id_to_idx[pm.index()];
@@ -100,9 +104,10 @@ impl<'a> ScheduleEvaluator<'a> {
             .vms
             .iter()
             .flat_map(|vm| {
-                problem.hosts.iter().map(|host| {
-                    weighted_transport_secs(&vm.flows, host.location, &problem.net)
-                })
+                problem
+                    .hosts
+                    .iter()
+                    .map(|host| weighted_transport_secs(&vm.flows, host.location, &problem.net))
             })
             .collect();
         let available: Vec<SimDuration> = problem
@@ -159,7 +164,12 @@ impl<'a> ScheduleEvaluator<'a> {
 
     /// `(revenue, energy, migration, network)` totals, €.
     pub fn components(&self) -> (f64, f64, f64, f64) {
-        (self.revenue_total, self.energy_total, self.migration_total, self.network_total)
+        (
+            self.revenue_total,
+            self.energy_total,
+            self.migration_total,
+            self.network_total,
+        )
     }
 
     /// Current host index of a VM.
@@ -186,7 +196,11 @@ impl<'a> ScheduleEvaluator<'a> {
     /// The current assignment as a [`Schedule`].
     pub fn schedule(&self) -> Schedule {
         Schedule {
-            assignment: self.host_of.iter().map(|&hi| self.problem.hosts[hi].id).collect(),
+            assignment: self
+                .host_of
+                .iter()
+                .map(|&hi| self.problem.hosts[hi].id)
+                .collect(),
         }
     }
 
@@ -233,7 +247,10 @@ impl<'a> ScheduleEvaluator<'a> {
         debug_assert_ne!(from, to, "apply_move requires an actual relocation");
 
         // Re-home the VM.
-        let pos = self.vms_on[from].iter().position(|&w| w == vi).expect("resident list");
+        let pos = self.vms_on[from]
+            .iter()
+            .position(|&w| w == vi)
+            .expect("resident list");
         self.vms_on[from].swap_remove(pos);
         self.vms_on[to].push(vi);
         self.host_of[vi] = to;
@@ -299,7 +316,9 @@ impl<'a> ScheduleEvaluator<'a> {
         if let (Some(cur), Some(cur_loc)) = (vm.current_pm, vm.current_location) {
             if cur != host.id {
                 let blackout =
-                    problem.net.migration_duration(vm.image_size_mb, cur_loc, host.location);
+                    problem
+                        .net
+                        .migration_duration(vm.image_size_mb, cur_loc, host.location);
                 let lost = problem.billing.revenue(1.0, blackout.min(problem.horizon));
                 let queue_debt = if vm.load.rps > 0.0 {
                     (vm.load.backlog / (vm.load.rps * blackout.as_secs_f64().max(1.0))).min(3.0)
@@ -394,7 +413,9 @@ mod tests {
     fn move_gain_matches_full_reevaluation() {
         let p = problem(4, 6, 150.0);
         let o = TrueOracle::new();
-        let s = Schedule { assignment: vec![PmId(0), PmId(0), PmId(1), PmId(2)] };
+        let s = Schedule {
+            assignment: vec![PmId(0), PmId(0), PmId(1), PmId(2)],
+        };
         let inc = ScheduleEvaluator::new(&p, &o, &s);
         let base = evaluate_schedule(&p, &o, &s).profit_eur;
         for vi in 0..4 {

@@ -86,11 +86,7 @@ pub fn branch_and_bound(problem: &Problem, oracle: &dyn QosOracle) -> ExactResul
                 for (d, &host_idx) in current.iter().enumerate() {
                     assignment[self.order[d]] = self.problem.hosts[host_idx].id;
                 }
-                let eval = evaluate_schedule(
-                    self.problem,
-                    self.oracle,
-                    &Schedule { assignment },
-                );
+                let eval = evaluate_schedule(self.problem, self.oracle, &Schedule { assignment });
                 if eval.profit_eur > self.best_profit {
                     self.best_profit = eval.profit_eur;
                     self.best_assignment = current.clone();
@@ -108,8 +104,7 @@ pub fn branch_and_bound(problem: &Problem, oracle: &dyn QosOracle) -> ExactResul
                 if !fits && !self.allow_overflow {
                     continue;
                 }
-                let score =
-                    marginal_profit(self.problem, self.oracle, state, vm_idx, host_idx);
+                let score = marginal_profit(self.problem, self.oracle, state, vm_idx, host_idx);
                 let mut next = state.clone();
                 next.assign(host_idx, self.demands[vm_idx]);
                 current.push(host_idx);
@@ -151,7 +146,11 @@ pub fn branch_and_bound(problem: &Problem, oracle: &dyn QosOracle) -> ExactResul
     let schedule = Schedule { assignment };
     schedule.validate(problem);
     let eval = evaluate_schedule(problem, oracle, &schedule);
-    ExactResult { schedule, eval, nodes_expanded: search.nodes }
+    ExactResult {
+        schedule,
+        eval,
+        nodes_expanded: search.nodes,
+    }
 }
 
 #[cfg(test)]

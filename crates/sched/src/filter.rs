@@ -76,8 +76,7 @@ pub fn vms_needing_attention_with(
                 None => true, // unplaced or hosted off-round: must be handled
                 Some(hi) => {
                     let host = &problem.hosts[hi];
-                    let transport =
-                        weighted_transport_secs(&vm.flows, host.location, &problem.net);
+                    let transport = weighted_transport_secs(&vm.flows, host.location, &problem.net);
                     let current = oracle.sla(vm, host, &totals[hi], transport);
                     if current >= cfg.sla_keep_threshold {
                         return false;
@@ -92,11 +91,7 @@ pub fn vms_needing_attention_with(
                             let mut total = totals[hj];
                             total += demand;
                             total.cpu += alt.virt_overhead_cpu_per_vm;
-                            let tr = weighted_transport_secs(
-                                &vm.flows,
-                                alt.location,
-                                &problem.net,
-                            );
+                            let tr = weighted_transport_secs(&vm.flows, alt.location, &problem.net);
                             oracle.sla(vm, alt, &total, tr)
                         })
                         .fold(0.0f64, f64::max);
@@ -187,7 +182,10 @@ pub fn reduced_problem_with_demands(
     host_indices: &[usize],
 ) -> (Problem, Vec<usize>) {
     let selected_vms: std::collections::BTreeSet<usize> = vm_indices.iter().copied().collect();
-    let mut hosts: Vec<HostInfo> = host_indices.iter().map(|&hi| problem.hosts[hi].clone()).collect();
+    let mut hosts: Vec<HostInfo> = host_indices
+        .iter()
+        .map(|&hi| problem.hosts[hi].clone())
+        .collect();
 
     // Fold unselected residents into fixed demand.
     for (vi, vm) in problem.vms.iter().enumerate() {
@@ -204,7 +202,10 @@ pub fn reduced_problem_with_demands(
         }
     }
 
-    let vms: Vec<VmInfo> = vm_indices.iter().map(|&vi| problem.vms[vi].clone()).collect();
+    let vms: Vec<VmInfo> = vm_indices
+        .iter()
+        .map(|&vi| problem.vms[vi].clone())
+        .collect();
     (
         Problem {
             vms,
@@ -271,9 +272,15 @@ mod tests {
         // off, empty) each get one representative; their twins 5,6,7 are
         // deduped away.
         assert!(offered.contains(&1) && offered.contains(&2) && offered.contains(&3));
-        assert!(offered.contains(&4), "dc0 still has an empty representative");
+        assert!(
+            offered.contains(&4),
+            "dc0 still has an empty representative"
+        );
         for twin in [5usize, 6, 7] {
-            assert!(!offered.contains(&twin), "twin {twin} should be deduped: {offered:?}");
+            assert!(
+                !offered.contains(&twin),
+                "twin {twin} should be deduped: {offered:?}"
+            );
         }
     }
 

@@ -124,8 +124,7 @@ pub fn hierarchical_round(
     //    post-local placement over one shared believed-totals snapshot.
     // ------------------------------------------------------------------
     let believed = BelievedTotals::from_current_placement_with(&post_local, demands.clone());
-    let mut candidates =
-        vms_needing_attention_with(&post_local, oracle, &cfg.filter, &believed);
+    let mut candidates = vms_needing_attention_with(&post_local, oracle, &cfg.filter, &believed);
     for vi in homeless {
         if !candidates.contains(&vi) {
             candidates.push(vi);
@@ -165,8 +164,12 @@ pub fn hierarchical_round(
         }
     }
 
-    let mut schedule =
-        Schedule { assignment: assignment.into_iter().map(|s| s.expect("all placed")).collect() };
+    let mut schedule = Schedule {
+        assignment: assignment
+            .into_iter()
+            .map(|s| s.expect("all placed"))
+            .collect(),
+    };
     schedule.validate(problem);
 
     // ------------------------------------------------------------------

@@ -45,7 +45,11 @@ pub struct LocalSearchConfig {
 
 impl Default for LocalSearchConfig {
     fn default() -> Self {
-        LocalSearchConfig { max_moves: 16, min_gain_eur: 1e-6, max_util_after_move: 0.45 }
+        LocalSearchConfig {
+            max_moves: 16,
+            min_gain_eur: 1e-6,
+            max_util_after_move: 0.45,
+        }
     }
 }
 
@@ -77,9 +81,7 @@ pub fn improve_schedule(
                     continue;
                 }
                 let gain = eval.move_gain(vi, hi);
-                if gain > cfg.min_gain_eur
-                    && best.as_ref().is_none_or(|&(_, _, bg)| gain > bg)
-                {
+                if gain > cfg.min_gain_eur && best.as_ref().is_none_or(|&(_, _, bg)| gain > bg) {
                     best = Some((vi, hi, gain));
                 }
             }
@@ -137,8 +139,7 @@ mod tests {
             let o = TrueOracle::new();
             let start = crate::bestfit::best_fit(&p, &o).schedule;
             let before = evaluate_schedule(&p, &o, &start).profit_eur;
-            let (improved, _) =
-                improve_schedule(&p, &o, start, &LocalSearchConfig::default());
+            let (improved, _) = improve_schedule(&p, &o, start, &LocalSearchConfig::default());
             let after = evaluate_schedule(&p, &o, &improved).profit_eur;
             assert!(after >= before - 1e-12, "{after} < {before} at rps {rps}");
         }
@@ -153,7 +154,9 @@ mod tests {
         p.hosts[1].powered_on = true;
         p.hosts[1].boot_penalty = pamdc_simcore::time::SimDuration::ZERO;
         let o = TrueOracle::new();
-        let spread = Schedule { assignment: vec![PmId(0), PmId(1)] };
+        let spread = Schedule {
+            assignment: vec![PmId(0), PmId(1)],
+        };
         let (improved, moves) =
             improve_schedule(&p, &o, spread.clone(), &LocalSearchConfig::default());
         assert_eq!(moves, 0);
@@ -165,7 +168,10 @@ mod tests {
         let p = problem(6, 8, 15.0);
         let o = TrueOracle::new();
         let start = crate::baselines::round_robin(&p);
-        let cfg = LocalSearchConfig { max_moves: 1, ..Default::default() };
+        let cfg = LocalSearchConfig {
+            max_moves: 1,
+            ..Default::default()
+        };
         let (_, moves) = improve_schedule(&p, &o, start, &cfg);
         assert!(moves <= 1);
     }

@@ -16,11 +16,11 @@
 
 use crate::problem::{HostInfo, VmInfo};
 use pamdc_infra::resources::Resources;
-use std::sync::Arc;
 use pamdc_ml::predictors::{PredictionTarget, PredictorSuite};
 use pamdc_perf::contention::{share_proportionally, share_work_conserving};
 use pamdc_perf::demand::required_resources;
 use pamdc_perf::rt::{evaluate, RtModelConfig};
+use std::sync::Arc;
 
 /// A scheduler's belief system: demand estimates and SLA forecasts.
 pub trait QosOracle: Send + Sync {
@@ -53,12 +53,16 @@ pub struct MonitorOracle {
 impl MonitorOracle {
     /// Plain BF (factor 1).
     pub fn plain() -> Self {
-        MonitorOracle { booking_factor: 1.0 }
+        MonitorOracle {
+            booking_factor: 1.0,
+        }
     }
 
     /// BF-OB: the paper's 2× overbooking variant.
     pub fn overbooked() -> Self {
-        MonitorOracle { booking_factor: 2.0 }
+        MonitorOracle {
+            booking_factor: 2.0,
+        }
     }
 }
 
@@ -81,7 +85,11 @@ impl QosOracle for MonitorOracle {
         // scheduler.
         let base_rt = 0.05 + transport_secs;
         let fit = host_total_demand.dominant_share(&host.capacity);
-        let est_rt = if fit <= 1.0 { base_rt } else { base_rt * fit * fit };
+        let est_rt = if fit <= 1.0 {
+            base_rt
+        } else {
+            base_rt * fit * fit
+        };
         vm.sla.fulfillment(est_rt)
     }
 
@@ -112,7 +120,9 @@ impl MlOracle {
 
     /// Wraps an owned suite.
     pub fn from_suite(suite: PredictorSuite) -> Self {
-        MlOracle { suite: Arc::new(suite) }
+        MlOracle {
+            suite: Arc::new(suite),
+        }
     }
 
     /// Borrow the underlying suite (e.g. to print Table I).
@@ -194,7 +204,10 @@ pub struct TrueOracle {
 impl TrueOracle {
     /// A deterministic true oracle with a 10-minute horizon.
     pub fn new() -> Self {
-        TrueOracle { rt_cfg: RtModelConfig::deterministic(), drain_secs: 600.0 }
+        TrueOracle {
+            rt_cfg: RtModelConfig::deterministic(),
+            drain_secs: 600.0,
+        }
     }
 }
 

@@ -18,7 +18,6 @@ use pamdc_perf::sla::SlaFunction;
 use pamdc_simcore::time::SimDuration;
 use std::sync::Arc;
 
-
 /// One VM in the round.
 #[derive(Clone, Debug)]
 pub struct VmInfo {
@@ -145,7 +144,10 @@ impl Schedule {
     pub fn validate(&self, problem: &Problem) {
         assert_eq!(self.assignment.len(), problem.vms.len(), "one host per VM");
         for &pm in &self.assignment {
-            assert!(problem.host_index(pm).is_some(), "{pm} not a candidate host");
+            assert!(
+                problem.host_index(pm).is_some(),
+                "{pm} not a candidate host"
+            );
         }
     }
 
@@ -155,8 +157,7 @@ impl Schedule {
         problem: &Problem,
         demand_of: impl Fn(&VmInfo) -> Resources,
     ) -> Vec<Resources> {
-        let mut per_host: Vec<Resources> =
-            problem.hosts.iter().map(|h| h.fixed_demand).collect();
+        let mut per_host: Vec<Resources> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
         let mut counts: Vec<usize> = vec![0; problem.hosts.len()];
         for (vm, &pm) in problem.vms.iter().zip(&self.assignment) {
             let hi = problem.host_index(pm).expect("validated schedule");
@@ -264,7 +265,9 @@ mod tests {
     fn migration_count_ignores_stay_and_new() {
         let mut p = problem(3, 4, 50.0);
         p.vms[2].current_pm = None; // entering VM
-        let s = Schedule { assignment: vec![PmId(0), PmId(1), PmId(2)] };
+        let s = Schedule {
+            assignment: vec![PmId(0), PmId(1), PmId(2)],
+        };
         // vm0 stays, vm1 moves, vm2 enters (not a migration).
         assert_eq!(s.migration_count(&p), 1);
     }
@@ -273,7 +276,9 @@ mod tests {
     fn demand_per_host_adds_overhead_and_fixed() {
         let mut p = problem(2, 2, 50.0);
         p.hosts[1].fixed_demand = Resources::new(30.0, 256.0, 0.0, 0.0);
-        let s = Schedule { assignment: vec![PmId(1), PmId(1)] };
+        let s = Schedule {
+            assignment: vec![PmId(1), PmId(1)],
+        };
         let d = s.demand_per_host(&p, |vm| vm.observed_usage);
         assert_eq!(d[0], Resources::ZERO);
         let expect_cpu =
@@ -285,7 +290,10 @@ mod tests {
     #[should_panic(expected = "not a candidate host")]
     fn validate_rejects_unknown_host() {
         let p = problem(1, 2, 50.0);
-        Schedule { assignment: vec![PmId(9)] }.validate(&p);
+        Schedule {
+            assignment: vec![PmId(9)],
+        }
+        .validate(&p);
     }
 
     #[test]

@@ -130,7 +130,11 @@ impl BelievedTotals {
     /// a second O(V) oracle pass (demand is placement-independent, so a
     /// vector computed before re-homing stays valid).
     pub fn from_current_placement_with(problem: &Problem, demands: Vec<Resources>) -> Self {
-        debug_assert_eq!(demands.len(), problem.vms.len(), "one believed demand per VM");
+        debug_assert_eq!(
+            demands.len(),
+            problem.vms.len(),
+            "one believed demand per VM"
+        );
         let mut raw: Vec<Resources> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
         let mut counts: Vec<usize> = vec![0; problem.hosts.len()];
         for (vm, demand) in problem.vms.iter().zip(&demands) {
@@ -139,7 +143,11 @@ impl BelievedTotals {
                 counts[hi] += 1;
             }
         }
-        BelievedTotals { demands, raw, counts }
+        BelievedTotals {
+            demands,
+            raw,
+            counts,
+        }
     }
 
     /// Believed total on a host including hypervisor overhead for its
@@ -205,7 +213,9 @@ pub fn marginal_profit(
     // the destination's unavailability is already priced above.
     let migration_eur = match (vm.current_pm, vm.current_location) {
         (Some(cur), Some(cur_loc)) if cur != host.id => {
-            let blackout = problem.net.migration_duration(vm.image_size_mb, cur_loc, host.location);
+            let blackout = problem
+                .net
+                .migration_duration(vm.image_size_mb, cur_loc, host.location);
             let lost = problem.billing.revenue(1.0, blackout.min(problem.horizon));
             // Every request arriving during the blackout queues and must
             // be drained later at degraded SLA; a VM already dragging a
@@ -225,7 +235,8 @@ pub fn marginal_profit(
     // powering it on is exactly what the marginal cost captures (the
     // consolidation incentive).
     let watts_before = if state.host_active(problem, host_idx) || host.powered_on {
-        host.power.facility_watts(state.host_demand(problem, host_idx).cpu)
+        host.power
+            .facility_watts(state.host_demand(problem, host_idx).cpu)
     } else {
         0.0
     };
@@ -238,11 +249,18 @@ pub fn marginal_profit(
     let mut network_eur = client_traffic_eur(vm, host.location, &problem.net, problem.horizon);
     if let (Some(cur), Some(cur_loc)) = (vm.current_pm, vm.current_location) {
         if cur != host.id {
-            network_eur += image_transfer_eur(vm.image_size_mb, cur_loc, host.location, &problem.net);
+            network_eur +=
+                image_transfer_eur(vm.image_size_mb, cur_loc, host.location, &problem.net);
         }
     }
 
-    PlacementScore { sla, revenue_eur, migration_eur, energy_eur, network_eur }
+    PlacementScore {
+        sla,
+        revenue_eur,
+        migration_eur,
+        energy_eur,
+        network_eur,
+    }
 }
 
 /// Full evaluation of a complete schedule under an oracle's beliefs.
@@ -313,7 +331,9 @@ pub fn evaluate_schedule(
         if let (Some(cur), Some(cur_loc)) = (vm.current_pm, vm.current_location) {
             if cur != host.id {
                 let blackout =
-                    problem.net.migration_duration(vm.image_size_mb, cur_loc, host.location);
+                    problem
+                        .net
+                        .migration_duration(vm.image_size_mb, cur_loc, host.location);
                 let lost = problem.billing.revenue(1.0, blackout.min(problem.horizon));
                 let queue_debt = if vm.load.rps > 0.0 {
                     (vm.load.backlog / (vm.load.rps * blackout.as_secs_f64().max(1.0))).min(3.0)
@@ -321,7 +341,8 @@ pub fn evaluate_schedule(
                     0.0
                 };
                 migration += lost * (1.0 + queue_debt) + problem.billing.migration_fee_eur;
-                network += image_transfer_eur(vm.image_size_mb, cur_loc, host.location, &problem.net);
+                network +=
+                    image_transfer_eur(vm.image_size_mb, cur_loc, host.location, &problem.net);
             }
         }
     }
@@ -331,7 +352,9 @@ pub fn evaluate_schedule(
     for hi in 0..problem.hosts.len() {
         if state.host_active(problem, hi) {
             active_hosts += 1;
-            let watts = problem.hosts[hi].power.facility_watts(state.host_demand(problem, hi).cpu);
+            let watts = problem.hosts[hi]
+                .power
+                .facility_watts(state.host_demand(problem, hi).cpu);
             energy +=
                 watts * problem.horizon.as_hours_f64() / 1000.0 * problem.hosts[hi].energy_eur_kwh;
         }
@@ -412,11 +435,20 @@ mod tests {
         p.vms[1].current_pm = Some(PmId(0));
         p.vms[1].current_location = Some(h0.location);
         let o = TrueOracle::new();
-        let consolidated = Schedule { assignment: vec![PmId(0), PmId(0)] };
-        let spread = Schedule { assignment: vec![PmId(0), PmId(1)] };
+        let consolidated = Schedule {
+            assignment: vec![PmId(0), PmId(0)],
+        };
+        let spread = Schedule {
+            assignment: vec![PmId(0), PmId(1)],
+        };
         let ec = evaluate_schedule(&p, &o, &consolidated);
         let es = evaluate_schedule(&p, &o, &spread);
-        assert!(ec.profit_eur > es.profit_eur, "{} vs {}", ec.profit_eur, es.profit_eur);
+        assert!(
+            ec.profit_eur > es.profit_eur,
+            "{} vs {}",
+            ec.profit_eur,
+            es.profit_eur
+        );
         assert_eq!(ec.active_hosts, 1);
         assert_eq!(es.active_hosts, 2);
     }
@@ -433,8 +465,12 @@ mod tests {
         p.vms[1].current_pm = Some(PmId(0));
         p.vms[1].current_location = Some(h0.location);
         let o = TrueOracle::new();
-        let consolidated = Schedule { assignment: vec![PmId(0), PmId(0)] };
-        let spread = Schedule { assignment: vec![PmId(0), PmId(1)] };
+        let consolidated = Schedule {
+            assignment: vec![PmId(0), PmId(0)],
+        };
+        let spread = Schedule {
+            assignment: vec![PmId(0), PmId(1)],
+        };
         let ec = evaluate_schedule(&p, &o, &consolidated);
         let es = evaluate_schedule(&p, &o, &spread);
         assert!(
@@ -485,7 +521,10 @@ mod tests {
         let home = marginal_profit(&p, &o, &state, 0, 0);
         let remote = marginal_profit(&p, &o, &state, 0, 2);
         assert_eq!(home.network_eur, 0.0, "local clients ride free");
-        assert!(remote.network_eur > 0.0, "remote hosting pays transit + image");
+        assert!(
+            remote.network_eur > 0.0,
+            "remote hosting pays transit + image"
+        );
         // Free network: both are zero.
         let mut free = problem(1, 4, 120.0);
         free.net = std::sync::Arc::new(pamdc_infra::network::NetworkModel::paper());
@@ -500,13 +539,17 @@ mod tests {
         let o = TrueOracle::new();
         // Everyone stays on host 0 (Brisbane): VM 1's Bangalore clients
         // pay transit.
-        let stay = Schedule { assignment: vec![PmId(0), PmId(0)] };
+        let stay = Schedule {
+            assignment: vec![PmId(0), PmId(0)],
+        };
         let eval = evaluate_schedule(&p, &o, &stay);
         assert!(eval.network_eur > 0.0);
-        assert!((eval.profit_eur
-            - (eval.revenue_eur - eval.energy_eur - eval.migration_eur - eval.network_eur))
-            .abs()
-            < 1e-12);
+        assert!(
+            (eval.profit_eur
+                - (eval.revenue_eur - eval.energy_eur - eval.migration_eur - eval.network_eur))
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

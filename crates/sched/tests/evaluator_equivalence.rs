@@ -37,7 +37,11 @@ fn check_move_sequence(
 ) {
     let full_start = evaluate_schedule(problem, oracle, start);
     let mut inc = ScheduleEvaluator::new(problem, oracle, start);
-    assert_close(inc.profit_eur(), full_start.profit_eur, "profit at construction");
+    assert_close(
+        inc.profit_eur(),
+        full_start.profit_eur,
+        "profit at construction",
+    );
 
     for &(vi_raw, hi_raw) in moves {
         let vi = vi_raw % problem.vms.len();

@@ -32,12 +32,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `BenchmarkId::new("bestfit", "10x40")` → `bestfit/10x40`.
     pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// Id from a bare parameter.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -93,9 +97,15 @@ impl Settings {
     fn from_env() -> Self {
         let quick = std::env::var("PAMDC_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
         Settings {
-            budget: if quick { Duration::from_millis(40) } else { Duration::from_millis(1500) },
+            budget: if quick {
+                Duration::from_millis(40)
+            } else {
+                Duration::from_millis(1500)
+            },
             samples: if quick { 3 } else { 10 },
-            json_path: std::env::var("PAMDC_BENCH_JSON").ok().filter(|p| !p.is_empty()),
+            json_path: std::env::var("PAMDC_BENCH_JSON")
+                .ok()
+                .filter(|p| !p.is_empty()),
         }
     }
 }
@@ -114,7 +124,10 @@ fn fmt_ns(ns: f64) -> String {
 
 fn run_benchmark(settings: &Settings, id: &str, mut routine: impl FnMut(&mut Bencher)) {
     // Calibration pass: one iteration, also serves as warm-up.
-    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     routine(&mut b);
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
 
@@ -123,8 +136,14 @@ fn run_benchmark(settings: &Settings, id: &str, mut routine: impl FnMut(&mut Ben
     // (and fewer samples once a single run exceeds the whole budget).
     let samples = settings.samples.max(2);
     let per_sample_budget = settings.budget / samples as u32;
-    let iters = (per_sample_budget.as_secs_f64() / per_iter.as_secs_f64()).floor().max(1.0) as u64;
-    let samples = if per_iter > settings.budget { 2 } else { samples };
+    let iters = (per_sample_budget.as_secs_f64() / per_iter.as_secs_f64())
+        .floor()
+        .max(1.0) as u64;
+    let samples = if per_iter > settings.budget {
+        2
+    } else {
+        samples
+    };
 
     let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
@@ -163,7 +182,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { settings: Settings::from_env() }
+        Criterion {
+            settings: Settings::from_env(),
+        }
     }
 }
 
@@ -180,7 +201,10 @@ impl Criterion {
 
     /// Opens a named group (`group/benchmark` ids).
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 }
 
@@ -258,7 +282,9 @@ mod tests {
     fn harness_measures_and_reports() {
         std::env::set_var("PAMDC_BENCH_QUICK", "1");
         let mut c = Criterion::default();
-        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
         let mut g = c.benchmark_group("grp");
         g.sample_size(10);
         g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));

@@ -31,13 +31,19 @@ pub mod test_runner {
     impl ProptestConfig {
         /// Config running `cases` cases.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases, ..Default::default() }
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 256, max_shrink_iters: 0 }
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
         }
     }
 }
@@ -56,7 +62,9 @@ impl TestRng {
             h ^= u64::from(*b);
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng { rng: SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        TestRng {
+            rng: SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
@@ -237,7 +245,9 @@ pub mod strategy {
             (1, 1)
         };
         let len = lo + rng.below(hi - lo + 1);
-        (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect()
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
     }
 }
 
@@ -257,7 +267,11 @@ pub mod collection {
     /// `proptest::collection::vec(element, 1..50)`.
     pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
         assert!(len.start < len.end, "empty vec-length range");
-        VecStrategy { element, min_len: len.start, max_len_exclusive: len.end }
+        VecStrategy {
+            element,
+            min_len: len.start,
+            max_len_exclusive: len.end,
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -54,7 +54,10 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `event` to fire at `due`.
@@ -160,7 +163,10 @@ mod tests {
             q.schedule(t(s), s);
         }
         let fired = q.drain_due(t(5));
-        assert_eq!(fired.iter().map(|(_, e)| *e).collect::<Vec<_>>(), vec![1, 2, 4]);
+        assert_eq!(
+            fired.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
         assert_eq!(q.len(), 2);
     }
 

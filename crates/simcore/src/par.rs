@@ -37,7 +37,10 @@ where
     if n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -47,8 +50,10 @@ where
     // still spreads its expensive tail across workers) and returns
     // `(index, result)` pairs; results are then placed by index, so
     // output order is input order regardless of scheduling.
-    let items: Vec<std::sync::Mutex<Option<T>>> =
-        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    let items: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
@@ -82,16 +87,16 @@ where
         }
     });
 
-    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
 }
 
 /// Runs two independent computations on two threads and returns both
 /// results — the two-arm experiment pattern (static vs dynamic,
 /// sun-aware vs price-blind, ...).
-pub fn join<RA, RB>(
-    a: impl FnOnce() -> RA + Send,
-    b: impl FnOnce() -> RB + Send,
-) -> (RA, RB)
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
 where
     RA: Send,
     RB: Send,

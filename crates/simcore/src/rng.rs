@@ -56,7 +56,10 @@ impl RngStream {
         // Warm the seed through splitmix so nearby master seeds do not
         // yield correlated SmallRng states.
         let seed = splitmix64(&mut s);
-        RngStream { rng: SmallRng::seed_from_u64(seed), seed }
+        RngStream {
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// Derives an independent child stream identified by `name`.
@@ -65,15 +68,22 @@ impl RngStream {
     pub fn derive(&self, name: &str) -> RngStream {
         let mut s = self.seed ^ fnv1a(name).rotate_left(17);
         let seed = splitmix64(&mut s);
-        RngStream { rng: SmallRng::seed_from_u64(seed), seed }
+        RngStream {
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// Derives an independent child stream identified by an index
     /// (e.g. one stream per VM or per sweep point).
     pub fn derive_indexed(&self, name: &str, index: u64) -> RngStream {
-        let mut s = self.seed ^ fnv1a(name).rotate_left(17) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut s =
+            self.seed ^ fnv1a(name).rotate_left(17) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let seed = splitmix64(&mut s);
-        RngStream { rng: SmallRng::seed_from_u64(seed), seed }
+        RngStream {
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// Uniform draw in `[0, 1)`.
@@ -154,7 +164,10 @@ impl RngStream {
     /// Pareto (power-law tail) with scale `xm > 0` and shape `alpha > 0`.
     /// Used for heavy-tailed bytes-per-request.
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "pareto: xm and alpha must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "pareto: xm and alpha must be positive"
+        );
         let u = (1.0 - self.uniform()).max(f64::MIN_POSITIVE);
         xm / u.powf(1.0 / alpha)
     }
@@ -213,7 +226,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = RngStream::root(1);
         let mut b = RngStream::root(2);
-        let same = (0..64).filter(|_| a.uniform().to_bits() == b.uniform().to_bits()).count();
+        let same = (0..64)
+            .filter(|_| a.uniform().to_bits() == b.uniform().to_bits())
+            .count();
         assert!(same < 4, "streams from different seeds should diverge");
     }
 
@@ -233,7 +248,9 @@ mod tests {
         let root = RngStream::root(7);
         let mut a = root.derive_indexed("vm", 0);
         let mut b = root.derive_indexed("vm", 1);
-        let same = (0..64).filter(|_| a.uniform().to_bits() == b.uniform().to_bits()).count();
+        let same = (0..64)
+            .filter(|_| a.uniform().to_bits() == b.uniform().to_bits())
+            .count();
         assert!(same < 4);
     }
 

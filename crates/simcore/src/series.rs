@@ -21,12 +21,20 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// A new, empty series.
     pub fn new(name: impl Into<String>) -> Self {
-        TimeSeries { name: name.into(), times: Vec::new(), values: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// A new, empty series with room for `cap` samples.
     pub fn with_capacity(name: impl Into<String>, cap: usize) -> Self {
-        TimeSeries { name: name.into(), times: Vec::with_capacity(cap), values: Vec::with_capacity(cap) }
+        TimeSeries {
+            name: name.into(),
+            times: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
     }
 
     /// The series name.
@@ -114,7 +122,11 @@ impl TimeSeries {
         let mut dur = 0.0;
         for i in 0..self.len() {
             let t0 = self.times[i];
-            let t1 = if i + 1 < self.len() { self.times[i + 1] } else { end.max(t0) };
+            let t1 = if i + 1 < self.len() {
+                self.times[i + 1]
+            } else {
+                end.max(t0)
+            };
             let dt = (t1 - t0).as_secs_f64();
             acc += self.values[i] * dt;
             dur += dt;

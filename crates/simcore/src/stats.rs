@@ -20,7 +20,13 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Consumes one observation.
@@ -233,7 +239,11 @@ pub fn mean_absolute_error(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Root mean squared error between predictions and truth.
@@ -242,14 +252,23 @@ pub fn root_mean_squared_error(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    (pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64)
+    (pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64)
         .sqrt()
 }
 
 /// Standard deviation of the signed error `pred - truth` — the "Err-StDev"
 /// column of the paper's Table I.
 pub fn error_std_dev(pred: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(pred.len(), truth.len(), "error_std_dev: paired slices must match");
+    assert_eq!(
+        pred.len(),
+        truth.len(),
+        "error_std_dev: paired slices must match"
+    );
     let mut s = OnlineStats::new();
     for (p, t) in pred.iter().zip(truth) {
         s.push(p - t);
@@ -259,7 +278,11 @@ pub fn error_std_dev(pred: &[f64], truth: &[f64]) -> f64 {
 
 /// Weighted arithmetic mean; returns 0 when total weight is 0.
 pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
-    assert_eq!(values.len(), weights.len(), "weighted_mean: paired slices must match");
+    assert_eq!(
+        values.len(),
+        weights.len(),
+        "weighted_mean: paired slices must match"
+    );
     let wsum: f64 = weights.iter().sum();
     if wsum <= 0.0 {
         return 0.0;
@@ -310,7 +333,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo, "histogram: hi must exceed lo");
         assert!(bins > 0, "histogram: need at least one bin");
-        Histogram { lo, hi, bins: vec![0; bins], total: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Adds a sample; values outside the range land in the edge bins.

@@ -322,7 +322,11 @@ impl TickIter {
     /// Ticks from `start` (inclusive) to `end` (exclusive) every `step`.
     pub fn new(start: SimTime, end: SimTime, step: SimDuration) -> Self {
         assert!(!step.is_zero(), "tick step must be positive");
-        TickIter { next: start, end, step }
+        TickIter {
+            next: start,
+            end,
+            step,
+        }
     }
 }
 
@@ -342,7 +346,8 @@ impl Iterator for TickIter {
         let n = if self.next >= self.end {
             0
         } else {
-            ((self.end.as_millis() - self.next.as_millis()).div_ceil(self.step.as_millis())) as usize
+            ((self.end.as_millis() - self.next.as_millis()).div_ceil(self.step.as_millis()))
+                as usize
         };
         (n, Some(n))
     }
@@ -402,9 +407,12 @@ mod tests {
 
     #[test]
     fn tick_iter_covers_interval() {
-        let ticks: Vec<_> =
-            TickIter::new(SimTime::ZERO, SimTime::from_mins(5), SimDuration::from_mins(1))
-                .collect();
+        let ticks: Vec<_> = TickIter::new(
+            SimTime::ZERO,
+            SimTime::from_mins(5),
+            SimDuration::from_mins(1),
+        )
+        .collect();
         assert_eq!(ticks.len(), 5);
         assert_eq!(ticks[0], SimTime::ZERO);
         assert_eq!(ticks[4], SimTime::from_mins(4));
@@ -432,7 +440,13 @@ mod tests {
 
     #[test]
     fn ticks_counts_steps() {
-        assert_eq!(SimDuration::from_hours(1).ticks(SimDuration::from_mins(10)), 6);
-        assert_eq!(SimDuration::from_mins(25).ticks(SimDuration::from_mins(10)), 2);
+        assert_eq!(
+            SimDuration::from_hours(1).ticks(SimDuration::from_mins(10)),
+            6
+        );
+        assert_eq!(
+            SimDuration::from_mins(25).ticks(SimDuration::from_mins(10)),
+            2
+        );
     }
 }

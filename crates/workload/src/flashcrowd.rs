@@ -38,9 +38,7 @@ impl FlashCrowd {
     /// Multiplier contributed by this burst for `(service, region)` at
     /// time `t` (1.0 outside the window or off-target).
     pub fn factor(&self, service: usize, region: usize, t: SimTime) -> f64 {
-        if self.service.is_some_and(|s| s != service)
-            || self.region.is_some_and(|r| r != region)
-        {
+        if self.service.is_some_and(|s| s != service) || self.region.is_some_and(|r| r != region) {
             return 1.0;
         }
         let end = self.start + self.duration;
@@ -63,7 +61,10 @@ impl FlashCrowd {
 
 /// Combined multiplier of several bursts (product).
 pub fn combined_factor(crowds: &[FlashCrowd], service: usize, region: usize, t: SimTime) -> f64 {
-    crowds.iter().map(|c| c.factor(service, region, t)).product()
+    crowds
+        .iter()
+        .map(|c| c.factor(service, region, t))
+        .product()
 }
 
 #[cfg(test)]

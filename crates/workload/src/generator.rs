@@ -74,7 +74,13 @@ impl Workload {
                 "region weights must cover every region"
             );
         }
-        Workload { regions, services, flash_crowds: Vec::new(), seed, rate_noise: 0.08 }
+        Workload {
+            regions,
+            services,
+            flash_crowds: Vec::new(),
+            seed,
+            rate_noise: 0.08,
+        }
     }
 
     /// Adds a flash crowd.
@@ -101,8 +107,10 @@ impl Workload {
 
     /// Deterministic per-(service, tick) RNG stream.
     fn stream(&self, service: usize, t: SimTime) -> RngStream {
-        RngStream::root(self.seed)
-            .derive_indexed("workload", ((service as u64) << 40) | (t.as_millis() / 1000))
+        RngStream::root(self.seed).derive_indexed(
+            "workload",
+            ((service as u64) << 40) | (t.as_millis() / 1000),
+        )
     }
 
     /// The *expected* (noise-free) request rate from one region to one
@@ -112,7 +120,11 @@ impl Workload {
         let s = &self.services[service];
         let r = &self.regions[region];
         let wsum: f64 = s.region_weights.iter().sum();
-        let w = if wsum > 0.0 { s.region_weights[region] / wsum } else { 0.0 };
+        let w = if wsum > 0.0 {
+            s.region_weights[region] / wsum
+        } else {
+            0.0
+        };
         let shape = s.profile.intensity_at(t.as_hours_f64(), r.utc_offset_hours);
         let flash = combined_factor(&self.flash_crowds, service, region, t);
         s.scale_rps * w * r.population * shape * flash
@@ -137,7 +149,11 @@ impl Workload {
             };
             // Poisson-ize small rates so low-traffic ticks are integers
             // in expectation; large rates use the (already noisy) mean.
-            let rps = if noisy < 5.0 { rng.poisson(noisy) as f64 } else { noisy };
+            let rps = if noisy < 5.0 {
+                rng.poisson(noisy) as f64
+            } else {
+                noisy
+            };
             out.push(FlowSample {
                 region,
                 rps,
@@ -151,7 +167,9 @@ impl Workload {
 
     /// Total expected rate over all regions for a service at `t`.
     pub fn expected_total_rps(&self, service: usize, t: SimTime) -> f64 {
-        (0..self.regions.len()).map(|r| self.expected_rps(service, r, t)).sum()
+        (0..self.regions.len())
+            .map(|r| self.expected_rps(service, r, t))
+            .sum()
     }
 
     /// The region contributing the most expected load to `service` at
@@ -175,7 +193,10 @@ mod tests {
         // Brisbane, Bangalore, Barcelona, Boston.
         [10.0, 5.5, 1.0, -5.0]
             .iter()
-            .map(|&tz| Region { utc_offset_hours: tz, population: 1.0 })
+            .map(|&tz| Region {
+                utc_offset_hours: tz,
+                population: 1.0,
+            })
             .collect()
     }
 

@@ -16,6 +16,8 @@ pub mod generator;
 pub mod libcn;
 pub mod profile;
 pub mod service;
+pub mod source;
+pub mod trace;
 
 /// Common imports.
 pub mod prelude {
@@ -24,4 +26,6 @@ pub mod prelude {
     pub use crate::libcn;
     pub use crate::profile::{DayPeak, DiurnalProfile};
     pub use crate::service::ServiceClass;
+    pub use crate::source::{Demand, DemandSource};
+    pub use crate::trace::{DemandTrace, TraceSource};
 }

@@ -17,7 +17,10 @@ use crate::service::ServiceClass;
 pub fn paper_regions() -> Vec<Region> {
     [10.0, 5.5, 1.0, -5.0]
         .iter()
-        .map(|&tz| Region { utc_offset_hours: tz, population: 1.0 })
+        .map(|&tz| Region {
+            utc_offset_hours: tz,
+            population: 1.0,
+        })
         .collect()
 }
 
@@ -116,7 +119,12 @@ pub fn uniform_multi_dc(vms: usize, peak_rps: f64, seed: u64) -> Workload {
 
 /// The Figure 6 workload: `multi_dc` plus the paper's minute-70–90 flash
 /// crowd exceeding system capacity.
-pub fn multi_dc_with_flash_crowd(vms: usize, peak_rps: f64, multiplier: f64, seed: u64) -> Workload {
+pub fn multi_dc_with_flash_crowd(
+    vms: usize,
+    peak_rps: f64,
+    multiplier: f64,
+    seed: u64,
+) -> Workload {
     multi_dc(vms, peak_rps, seed).with_flash_crowd(FlashCrowd::paper_fig6(multiplier))
 }
 

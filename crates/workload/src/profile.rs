@@ -36,8 +36,16 @@ impl DiurnalProfile {
         DiurnalProfile {
             base: 0.25,
             peaks: vec![
-                DayPeak { hour: 11.0, width: 2.2, amplitude: 1.0 },
-                DayPeak { hour: 16.0, width: 2.5, amplitude: 0.85 },
+                DayPeak {
+                    hour: 11.0,
+                    width: 2.2,
+                    amplitude: 1.0,
+                },
+                DayPeak {
+                    hour: 16.0,
+                    width: 2.5,
+                    amplitude: 0.85,
+                },
             ],
             weekend_factor: 0.5,
         }
@@ -49,8 +57,16 @@ impl DiurnalProfile {
         DiurnalProfile {
             base: 0.3,
             peaks: vec![
-                DayPeak { hour: 20.5, width: 3.0, amplitude: 1.2 },
-                DayPeak { hour: 13.0, width: 2.0, amplitude: 0.4 },
+                DayPeak {
+                    hour: 20.5,
+                    width: 3.0,
+                    amplitude: 1.2,
+                },
+                DayPeak {
+                    hour: 13.0,
+                    width: 2.0,
+                    amplitude: 0.4,
+                },
             ],
             weekend_factor: 1.25,
         }
@@ -58,7 +74,11 @@ impl DiurnalProfile {
 
     /// Flat shape (constant load) for control experiments.
     pub fn flat() -> Self {
-        DiurnalProfile { base: 1.0, peaks: Vec::new(), weekend_factor: 1.0 }
+        DiurnalProfile {
+            base: 1.0,
+            peaks: Vec::new(),
+            weekend_factor: 1.0,
+        }
     }
 
     /// Midday-centred single peak used by the follow-the-sun scenario:
@@ -67,7 +87,11 @@ impl DiurnalProfile {
     pub fn noon_peak() -> Self {
         DiurnalProfile {
             base: 0.12,
-            peaks: vec![DayPeak { hour: 13.0, width: 3.2, amplitude: 1.6 }],
+            peaks: vec![DayPeak {
+                hour: 13.0,
+                width: 3.2,
+                amplitude: 1.6,
+            }],
             weekend_factor: 1.0,
         }
     }
@@ -149,7 +173,11 @@ mod tests {
     fn circular_peak_wraps_midnight() {
         let p = DiurnalProfile {
             base: 0.1,
-            peaks: vec![DayPeak { hour: 23.5, width: 1.0, amplitude: 1.0 }],
+            peaks: vec![DayPeak {
+                hour: 23.5,
+                width: 1.0,
+                amplitude: 1.0,
+            }],
             weekend_factor: 1.0,
         };
         // 00:30 is one hour from 23:30 across midnight.

@@ -41,6 +41,11 @@ impl ServiceClass {
         }
     }
 
+    /// Inverse of [`ServiceClass::label`] (trace headers, scenario specs).
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.label() == label)
+    }
+
     /// Mean request KB inbound (upload/body + headers).
     pub fn kb_in_mean(self) -> f64 {
         match self {
@@ -108,7 +113,9 @@ impl ServiceClass {
         let n = 8;
         let mut acc = 0.0;
         for _ in 0..n {
-            acc += rng.pareto(self.kb_out_scale(), self.kb_out_shape()).min(120.0);
+            acc += rng
+                .pareto(self.kb_out_scale(), self.kb_out_shape())
+                .min(120.0);
         }
         acc / n as f64
     }
@@ -162,9 +169,6 @@ mod tests {
 
     #[test]
     fn ecommerce_is_cpu_heaviest() {
-        assert!(
-            ServiceClass::Ecommerce.cpu_ms_mean()
-                > ServiceClass::FileHosting.cpu_ms_mean()
-        );
+        assert!(ServiceClass::Ecommerce.cpu_ms_mean() > ServiceClass::FileHosting.cpu_ms_mean());
     }
 }

@@ -1,0 +1,217 @@
+//! Pluggable demand sources.
+//!
+//! The simulation loop does not care where demand comes from: the
+//! synthetic Li-BCN-style [`Workload`] generator and a recorded
+//! [`TraceSource`](crate::trace::TraceSource) replayer expose the same
+//! sampling surface through [`DemandSource`], and [`Demand`] is the
+//! concrete closed sum the rest of the workspace stores (scenarios must
+//! stay `Clone + Debug`, which a trait object would forfeit).
+
+use crate::generator::{FlowSample, Workload};
+use crate::service::ServiceClass;
+use crate::trace::TraceSource;
+use pamdc_simcore::time::SimTime;
+
+/// Anything that can drive a simulation's per-tick demand.
+///
+/// Implementations must be **pure functions of `(self, service, t)`** —
+/// no interior mutation — so parallel sweeps, replays and partial
+/// re-runs all see identical traces.
+pub trait DemandSource {
+    /// Number of hosted services (service index i drives VM i).
+    fn service_count(&self) -> usize;
+
+    /// Number of client regions flows may originate from.
+    fn region_count(&self) -> usize;
+
+    /// The request-shape class of one service (drives per-request memory
+    /// constants in the performance profiles).
+    fn service_class(&self, service: usize) -> ServiceClass;
+
+    /// Samples the realized demand for one service at one tick: one
+    /// [`FlowSample`] per region with nonzero load.
+    fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample>;
+
+    /// The expected (noise-free, for synthetic sources; recorded, for
+    /// traces) request rate from one region to one service at `t`.
+    fn expected_rps(&self, service: usize, region: usize, t: SimTime) -> f64;
+
+    /// Total expected rate over all regions for a service at `t`.
+    fn expected_total_rps(&self, service: usize, t: SimTime) -> f64 {
+        (0..self.region_count())
+            .map(|r| self.expected_rps(service, r, t))
+            .sum()
+    }
+
+    /// The region contributing the most expected load to `service` at
+    /// `t` — the "main source load" the paper's Figure 5 VM chases.
+    fn dominant_region(&self, service: usize, t: SimTime) -> usize {
+        (0..self.region_count())
+            .max_by(|&a, &b| {
+                self.expected_rps(service, a, t)
+                    .partial_cmp(&self.expected_rps(service, b, t))
+                    .expect("rates are finite")
+            })
+            .unwrap_or(0)
+    }
+}
+
+impl DemandSource for Workload {
+    fn service_count(&self) -> usize {
+        Workload::service_count(self)
+    }
+    fn region_count(&self) -> usize {
+        Workload::region_count(self)
+    }
+    fn service_class(&self, service: usize) -> ServiceClass {
+        self.services
+            .get(service)
+            .map(|s| s.class)
+            .unwrap_or(ServiceClass::Blog)
+    }
+    fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample> {
+        Workload::sample(self, service, t)
+    }
+    fn expected_rps(&self, service: usize, region: usize, t: SimTime) -> f64 {
+        Workload::expected_rps(self, service, region, t)
+    }
+}
+
+/// The closed sum of demand sources a [`Scenario`] can carry.
+///
+/// Mirrors the [`DemandSource`] surface as inherent methods so call
+/// sites don't need the trait in scope.
+///
+/// [`Scenario`]: https://docs.rs/pamdc-core
+#[derive(Clone, Debug)]
+pub enum Demand {
+    /// The parametric Li-BCN-style generator.
+    Synthetic(Workload),
+    /// A recorded trace replayed (optionally transformed).
+    Trace(TraceSource),
+}
+
+impl Demand {
+    /// The synthetic generator, when this is one.
+    pub fn synthetic(&self) -> Option<&Workload> {
+        match self {
+            Demand::Synthetic(w) => Some(w),
+            Demand::Trace(_) => None,
+        }
+    }
+
+    /// The trace replayer, when this is one.
+    pub fn trace(&self) -> Option<&TraceSource> {
+        match self {
+            Demand::Synthetic(_) => None,
+            Demand::Trace(t) => Some(t),
+        }
+    }
+
+    /// Number of hosted services.
+    pub fn service_count(&self) -> usize {
+        match self {
+            Demand::Synthetic(w) => w.service_count(),
+            Demand::Trace(t) => t.service_count(),
+        }
+    }
+
+    /// Number of client regions.
+    pub fn region_count(&self) -> usize {
+        match self {
+            Demand::Synthetic(w) => w.region_count(),
+            Demand::Trace(t) => t.region_count(),
+        }
+    }
+
+    /// The request-shape class of one service.
+    pub fn service_class(&self, service: usize) -> ServiceClass {
+        match self {
+            Demand::Synthetic(w) => DemandSource::service_class(w, service),
+            Demand::Trace(t) => DemandSource::service_class(t, service),
+        }
+    }
+
+    /// Samples the realized demand for one service at one tick.
+    pub fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample> {
+        match self {
+            Demand::Synthetic(w) => w.sample(service, t),
+            Demand::Trace(t_) => DemandSource::sample(t_, service, t),
+        }
+    }
+
+    /// Expected request rate from one region to one service at `t`.
+    pub fn expected_rps(&self, service: usize, region: usize, t: SimTime) -> f64 {
+        match self {
+            Demand::Synthetic(w) => w.expected_rps(service, region, t),
+            Demand::Trace(tr) => DemandSource::expected_rps(tr, service, region, t),
+        }
+    }
+
+    /// Total expected rate over all regions.
+    pub fn expected_total_rps(&self, service: usize, t: SimTime) -> f64 {
+        match self {
+            Demand::Synthetic(w) => w.expected_total_rps(service, t),
+            Demand::Trace(tr) => DemandSource::expected_total_rps(tr, service, t),
+        }
+    }
+
+    /// The region contributing the most expected load at `t`.
+    pub fn dominant_region(&self, service: usize, t: SimTime) -> usize {
+        match self {
+            Demand::Synthetic(w) => w.dominant_region(service, t),
+            Demand::Trace(tr) => DemandSource::dominant_region(tr, service, t),
+        }
+    }
+}
+
+impl DemandSource for Demand {
+    fn service_count(&self) -> usize {
+        Demand::service_count(self)
+    }
+    fn region_count(&self) -> usize {
+        Demand::region_count(self)
+    }
+    fn service_class(&self, service: usize) -> ServiceClass {
+        Demand::service_class(self, service)
+    }
+    fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample> {
+        Demand::sample(self, service, t)
+    }
+    fn expected_rps(&self, service: usize, region: usize, t: SimTime) -> f64 {
+        Demand::expected_rps(self, service, region, t)
+    }
+}
+
+impl From<Workload> for Demand {
+    fn from(w: Workload) -> Self {
+        Demand::Synthetic(w)
+    }
+}
+
+impl From<TraceSource> for Demand {
+    fn from(t: TraceSource) -> Self {
+        Demand::Trace(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libcn;
+
+    #[test]
+    fn demand_delegates_to_workload() {
+        let w = libcn::multi_dc(3, 100.0, 7);
+        let d = Demand::from(w.clone());
+        assert_eq!(d.service_count(), 3);
+        assert_eq!(d.region_count(), 4);
+        let t = SimTime::from_mins(123);
+        assert_eq!(d.sample(1, t), w.sample(1, t));
+        assert_eq!(d.expected_rps(0, 2, t), w.expected_rps(0, 2, t));
+        assert_eq!(d.dominant_region(0, t), w.dominant_region(0, t));
+        assert_eq!(d.service_class(0), w.services[0].class);
+        assert!(d.synthetic().is_some());
+        assert!(d.trace().is_none());
+    }
+}

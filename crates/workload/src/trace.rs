@@ -1,0 +1,527 @@
+//! Demand traces: record any run's demand to CSV, replay it later.
+//!
+//! A [`DemandTrace`] is the materialized per-tick output of a
+//! [`DemandSource`](crate::source::DemandSource): every `(tick, service,
+//! region)` flow, plus the header metadata needed to rebuild performance
+//! profiles (service classes) and validate transforms (region count).
+//! The CSV form is deliberately dumb — one row per flow, floats printed
+//! in shortest round-trip form — so `parse(emit(trace))` is
+//! **bit-identical** and a replayed run reproduces the recorded run's
+//! scheduler decisions exactly.
+//!
+//! A [`TraceSource`] replays a trace, optionally transformed:
+//!
+//! * **rate-scale** — multiply every arrival rate by `k`;
+//! * **time-stretch** — play the trace `f`× slower (a 24 h trace drives
+//!   a 48 h run at `f = 2`);
+//! * **region-remap** — relabel client regions (move a trace recorded
+//!   against Barcelona clients to Boston).
+//!
+//! Queries past the end of the trace wrap around, so one recorded day
+//! can drive arbitrarily long scenarios.
+
+use crate::generator::FlowSample;
+use crate::service::ServiceClass;
+use crate::source::DemandSource;
+use pamdc_simcore::time::{SimDuration, SimTime};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Trace format errors (line-numbered where possible).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError(pub String);
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A fully materialized demand trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DemandTrace {
+    /// Sampling cadence the trace was recorded at.
+    pub tick: SimDuration,
+    /// Client-region count of the recording world.
+    pub regions: usize,
+    /// Per-service request-shape class (len = service count).
+    pub classes: Vec<ServiceClass>,
+    /// `flows[tick_idx][service]` — the recorded flows of that tick.
+    pub flows: Vec<Vec<Vec<FlowSample>>>,
+}
+
+impl DemandTrace {
+    /// Records `horizon` of demand from any source at cadence `tick`.
+    pub fn record<S: DemandSource>(source: &S, horizon: SimDuration, tick: SimDuration) -> Self {
+        assert!(tick > SimDuration::ZERO, "tick must be positive");
+        let services = source.service_count();
+        let ticks = horizon.ticks(tick);
+        let mut flows = Vec::with_capacity(ticks as usize);
+        for tick_idx in 0..ticks {
+            let now = SimTime::ZERO + tick * tick_idx;
+            flows.push((0..services).map(|s| source.sample(s, now)).collect());
+        }
+        DemandTrace {
+            tick,
+            regions: source.region_count(),
+            classes: (0..services).map(|s| source.service_class(s)).collect(),
+            flows,
+        }
+    }
+
+    /// Number of services.
+    pub fn service_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of recorded ticks.
+    pub fn tick_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Emits the CSV form (header comments + one row per flow).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# pamdc-trace v1\n");
+        let _ = writeln!(out, "# tick_ms = {}", self.tick.as_millis());
+        // The explicit count keeps zero-demand ticks (which emit no data
+        // rows) through a round-trip — required for bit-exact replay.
+        let _ = writeln!(out, "# ticks = {}", self.flows.len());
+        let _ = writeln!(out, "# regions = {}", self.regions);
+        let labels: Vec<&str> = self.classes.iter().map(|c| c.label()).collect();
+        let _ = writeln!(out, "# classes = {}", labels.join(","));
+        out.push_str("tick,service,region,rps,kb_in_per_req,kb_out_per_req,cpu_ms_per_req\n");
+        for (tick_idx, services) in self.flows.iter().enumerate() {
+            for (service, flows) in services.iter().enumerate() {
+                for f in flows {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{},{},{}",
+                        tick_idx,
+                        service,
+                        f.region,
+                        f.rps,
+                        f.kb_in_per_req,
+                        f.kb_out_per_req,
+                        f.cpu_ms_per_req
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the CSV form back into a trace.
+    pub fn parse_csv(text: &str) -> Result<Self, TraceError> {
+        let mut tick_ms: Option<u64> = None;
+        let mut ticks: Option<usize> = None;
+        let mut regions: Option<usize> = None;
+        let mut classes: Vec<ServiceClass> = Vec::new();
+        let mut flows: Vec<Vec<Vec<FlowSample>>> = Vec::new();
+        let mut saw_header_row = false;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| TraceError(format!("line {}: {}", lineno + 1, msg));
+            if let Some(meta) = line.strip_prefix('#') {
+                let meta = meta.trim();
+                if let Some((key, value)) = meta.split_once('=') {
+                    let (key, value) = (key.trim(), value.trim());
+                    match key {
+                        "tick_ms" => {
+                            tick_ms = Some(
+                                value
+                                    .parse()
+                                    .map_err(|_| err(format!("bad tick_ms {value:?}")))?,
+                            )
+                        }
+                        "ticks" => {
+                            ticks = Some(
+                                value
+                                    .parse()
+                                    .map_err(|_| err(format!("bad ticks {value:?}")))?,
+                            )
+                        }
+                        "regions" => {
+                            regions = Some(
+                                value
+                                    .parse()
+                                    .map_err(|_| err(format!("bad regions {value:?}")))?,
+                            )
+                        }
+                        "classes" => {
+                            classes = value
+                                .split(',')
+                                .map(|label| {
+                                    ServiceClass::from_label(label.trim()).ok_or_else(|| {
+                                        err(format!("unknown service class {label:?}"))
+                                    })
+                                })
+                                .collect::<Result<_, _>>()?;
+                        }
+                        _ => {} // forward-compatible: ignore unknown metadata
+                    }
+                }
+                continue;
+            }
+            if line.starts_with("tick,") {
+                saw_header_row = true;
+                continue;
+            }
+            let cols: Vec<&str> = line.split(',').collect();
+            if cols.len() != 7 {
+                return Err(err(format!("expected 7 columns, got {}", cols.len())));
+            }
+            let tick_idx: usize = cols[0]
+                .parse()
+                .map_err(|_| err(format!("bad tick index {:?}", cols[0])))?;
+            let service: usize = cols[1]
+                .parse()
+                .map_err(|_| err(format!("bad service {:?}", cols[1])))?;
+            let region: usize = cols[2]
+                .parse()
+                .map_err(|_| err(format!("bad region {:?}", cols[2])))?;
+            let num = |i: usize| -> Result<f64, TraceError> {
+                cols[i]
+                    .parse()
+                    .map_err(|_| err(format!("bad number {:?}", cols[i])))
+            };
+            if service >= classes.len() {
+                return Err(err(format!(
+                    "service {service} out of range (classes header lists {})",
+                    classes.len()
+                )));
+            }
+            if flows.len() <= tick_idx {
+                flows.resize_with(tick_idx + 1, || vec![Vec::new(); classes.len()]);
+            }
+            flows[tick_idx][service].push(FlowSample {
+                region,
+                rps: num(3)?,
+                kb_in_per_req: num(4)?,
+                kb_out_per_req: num(5)?,
+                cpu_ms_per_req: num(6)?,
+            });
+        }
+
+        if !saw_header_row {
+            return Err(TraceError("missing column header row".into()));
+        }
+        let tick_ms = tick_ms.ok_or_else(|| TraceError("missing '# tick_ms = ...'".into()))?;
+        let regions = regions.ok_or_else(|| TraceError("missing '# regions = ...'".into()))?;
+        if classes.is_empty() {
+            return Err(TraceError("missing '# classes = ...'".into()));
+        }
+        // Honor the declared tick count so zero-demand ticks (no data
+        // rows) survive the round-trip; traces written before the
+        // header existed fall back to the max tick index seen.
+        if let Some(ticks) = ticks {
+            if flows.len() > ticks {
+                return Err(TraceError(format!(
+                    "data rows reach tick {} but the header declares ticks = {ticks}",
+                    flows.len() - 1
+                )));
+            }
+            flows.resize_with(ticks, || vec![Vec::new(); classes.len()]);
+        }
+        for services in &flows {
+            for flows in services {
+                for f in flows {
+                    if f.region >= regions {
+                        return Err(TraceError(format!(
+                            "flow region {} out of range ({} regions)",
+                            f.region, regions
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(DemandTrace {
+            tick: SimDuration::from_millis(tick_ms),
+            regions,
+            classes,
+            flows,
+        })
+    }
+}
+
+/// Replays a [`DemandTrace`], optionally transformed.
+#[derive(Clone, Debug)]
+pub struct TraceSource {
+    trace: Arc<DemandTrace>,
+    /// Arrival-rate multiplier (1.0 = verbatim).
+    rate_scale: f64,
+    /// Playback slowdown: simulated time `t` reads trace time
+    /// `t / time_stretch` (2.0 plays a 24 h trace over 48 h).
+    time_stretch: f64,
+    /// `region_map[recorded_region] = replayed_region`.
+    region_map: Option<Vec<usize>>,
+}
+
+impl TraceSource {
+    /// A verbatim replayer over a trace.
+    pub fn new(trace: DemandTrace) -> Self {
+        assert!(trace.tick_count() > 0, "cannot replay an empty trace");
+        TraceSource {
+            trace: Arc::new(trace),
+            rate_scale: 1.0,
+            time_stretch: 1.0,
+            region_map: None,
+        }
+    }
+
+    /// Multiplies every arrival rate by `k`.
+    pub fn with_rate_scale(mut self, k: f64) -> Self {
+        assert!(
+            k.is_finite() && k >= 0.0,
+            "rate scale must be finite and >= 0"
+        );
+        self.rate_scale = k;
+        self
+    }
+
+    /// Plays the trace `f`× slower (`f > 1` stretches, `f < 1`
+    /// compresses).
+    pub fn with_time_stretch(mut self, f: f64) -> Self {
+        assert!(
+            f.is_finite() && f > 0.0,
+            "time stretch must be finite and > 0"
+        );
+        self.time_stretch = f;
+        self
+    }
+
+    /// Relabels regions: recorded region `i` replays as `map[i]`.
+    pub fn with_region_map(mut self, map: Vec<usize>) -> Self {
+        assert_eq!(
+            map.len(),
+            self.trace.regions,
+            "region map must cover every recorded region"
+        );
+        for &to in &map {
+            assert!(
+                to < self.trace.regions,
+                "region map target {to} out of range"
+            );
+        }
+        self.region_map = Some(map);
+        self
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &DemandTrace {
+        &self.trace
+    }
+
+    /// The trace tick index simulated time `t` reads (wraps at the end
+    /// of the trace).
+    fn tick_index(&self, t: SimTime) -> usize {
+        let tick_ms = self.trace.tick.as_millis() as f64;
+        let virt_ms = t.as_millis() as f64 / self.time_stretch;
+        let idx = (virt_ms / tick_ms).floor() as usize;
+        idx % self.trace.tick_count()
+    }
+
+    fn mapped_region(&self, region: usize) -> usize {
+        match &self.region_map {
+            Some(map) => map[region],
+            None => region,
+        }
+    }
+}
+
+impl DemandSource for TraceSource {
+    fn service_count(&self) -> usize {
+        self.trace.service_count()
+    }
+
+    fn region_count(&self) -> usize {
+        self.trace.regions
+    }
+
+    fn service_class(&self, service: usize) -> ServiceClass {
+        self.trace
+            .classes
+            .get(service)
+            .copied()
+            .unwrap_or(ServiceClass::Blog)
+    }
+
+    fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample> {
+        let idx = self.tick_index(t);
+        self.trace.flows[idx][service]
+            .iter()
+            .map(|f| FlowSample {
+                region: self.mapped_region(f.region),
+                rps: f.rps * self.rate_scale,
+                ..*f
+            })
+            .collect()
+    }
+
+    fn expected_rps(&self, service: usize, region: usize, t: SimTime) -> f64 {
+        // A trace is its own expectation: the recorded (already noisy)
+        // rate is the best estimate available at replay time.
+        let idx = self.tick_index(t);
+        self.trace.flows[idx][service]
+            .iter()
+            .filter(|f| self.mapped_region(f.region) == region)
+            .map(|f| f.rps * self.rate_scale)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libcn;
+    use crate::source::Demand;
+
+    fn short_trace(seed: u64) -> DemandTrace {
+        let w = libcn::multi_dc(3, 120.0, seed);
+        DemandTrace::record(&w, SimDuration::from_hours(2), SimDuration::from_mins(1))
+    }
+
+    #[test]
+    fn record_has_expected_shape() {
+        let t = short_trace(5);
+        assert_eq!(t.tick_count(), 120);
+        assert_eq!(t.service_count(), 3);
+        assert_eq!(t.regions, 4);
+    }
+
+    #[test]
+    fn csv_round_trips_bit_identically() {
+        let t = short_trace(11);
+        let parsed = DemandTrace::parse_csv(&t.to_csv()).expect("parse");
+        assert_eq!(t, parsed);
+        // And emit is a fixed point.
+        assert_eq!(t.to_csv(), parsed.to_csv());
+    }
+
+    #[test]
+    fn verbatim_replay_matches_source() {
+        let w = libcn::multi_dc(2, 100.0, 3);
+        let trace = DemandTrace::record(&w, SimDuration::from_hours(1), SimDuration::from_mins(1));
+        let replay = TraceSource::new(trace);
+        for m in 0..60 {
+            let t = SimTime::from_mins(m);
+            for s in 0..2 {
+                assert_eq!(
+                    DemandSource::sample(&replay, s, t),
+                    w.sample(s, t),
+                    "minute {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_wraps_past_the_end() {
+        let replay = TraceSource::new(short_trace(5));
+        let a = DemandSource::sample(&replay, 0, SimTime::from_mins(10));
+        let b = DemandSource::sample(&replay, 0, SimTime::from_mins(130)); // 120-tick trace
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rate_scale_scales_rates_only() {
+        let replay = TraceSource::new(short_trace(5));
+        let scaled = replay.clone().with_rate_scale(2.5);
+        let t = SimTime::from_mins(33);
+        let base = DemandSource::sample(&replay, 1, t);
+        let boosted = DemandSource::sample(&scaled, 1, t);
+        assert_eq!(base.len(), boosted.len());
+        for (a, b) in base.iter().zip(&boosted) {
+            assert_eq!(b.rps, a.rps * 2.5);
+            assert_eq!(a.kb_out_per_req, b.kb_out_per_req);
+            assert_eq!(a.region, b.region);
+        }
+    }
+
+    #[test]
+    fn time_stretch_slows_playback() {
+        let replay = TraceSource::new(short_trace(5));
+        let slow = replay.clone().with_time_stretch(2.0);
+        // Minute 40 of the stretched replay reads minute 20 of the trace.
+        assert_eq!(
+            DemandSource::sample(&slow, 0, SimTime::from_mins(40)),
+            DemandSource::sample(&replay, 0, SimTime::from_mins(20)),
+        );
+    }
+
+    #[test]
+    fn region_map_relabels() {
+        let replay = TraceSource::new(short_trace(5)).with_region_map(vec![3, 2, 1, 0]);
+        let t = SimTime::from_mins(7);
+        for f in DemandSource::sample(&replay, 0, t) {
+            assert!(f.region < 4);
+        }
+        // Expected rate moved with the relabelling.
+        let orig = TraceSource::new(short_trace(5));
+        assert_eq!(
+            DemandSource::expected_rps(&replay, 0, 3, t),
+            DemandSource::expected_rps(&orig, 0, 0, t),
+        );
+    }
+
+    #[test]
+    fn demand_enum_replays_traces() {
+        let d = Demand::from(TraceSource::new(short_trace(9)));
+        assert_eq!(d.service_count(), 3);
+        assert!(d.trace().is_some());
+        assert!(!d.sample(0, SimTime::from_mins(50)).is_empty());
+    }
+
+    #[test]
+    fn zero_demand_ticks_survive_the_round_trip() {
+        // A trace whose ticks carry no flows (e.g. load scaled to zero)
+        // must keep its length through CSV — and replay, not panic.
+        let empty = DemandTrace {
+            tick: SimDuration::from_mins(1),
+            regions: 4,
+            classes: vec![ServiceClass::Blog],
+            flows: vec![vec![Vec::new()]; 60],
+        };
+        let parsed = DemandTrace::parse_csv(&empty.to_csv()).expect("parse");
+        assert_eq!(parsed, empty);
+        assert_eq!(parsed.tick_count(), 60);
+        let replay = TraceSource::new(parsed);
+        assert!(DemandSource::sample(&replay, 0, SimTime::from_mins(30)).is_empty());
+        // And a partially-quiet tail keeps its wrap-around period.
+        let mut tail_quiet = short_trace(5);
+        let n = tail_quiet.tick_count();
+        for services in tail_quiet.flows.iter_mut().skip(n - 10) {
+            services.iter_mut().for_each(Vec::clear);
+        }
+        let reparsed = DemandTrace::parse_csv(&tail_quiet.to_csv()).expect("parse");
+        assert_eq!(reparsed.tick_count(), n, "quiet tail ticks preserved");
+        assert_eq!(reparsed, tail_quiet);
+    }
+
+    #[test]
+    fn declared_ticks_bound_data_rows() {
+        let csv = "# tick_ms = 60000\n# ticks = 1\n# regions = 4\n# classes = blog\n\
+                   tick,service,region,rps,kb_in_per_req,kb_out_per_req,cpu_ms_per_req\n\
+                   5,0,1,1.0,1.0,1.0,1.0\n";
+        assert!(DemandTrace::parse_csv(csv).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(DemandTrace::parse_csv("").is_err());
+        assert!(DemandTrace::parse_csv("# tick_ms = 60000\n# regions = 4\n").is_err());
+        let bad_cols = "# tick_ms = 60000\n# regions = 4\n# classes = blog\n\
+                        tick,service,region,rps,kb_in_per_req,kb_out_per_req,cpu_ms_per_req\n0,0,1\n";
+        assert!(DemandTrace::parse_csv(bad_cols).is_err());
+        let bad_region = "# tick_ms = 60000\n# regions = 2\n# classes = blog\n\
+                          tick,service,region,rps,kb_in_per_req,kb_out_per_req,cpu_ms_per_req\n\
+                          0,0,5,1.0,1.0,1.0,1.0\n";
+        assert!(DemandTrace::parse_csv(bad_region).is_err());
+    }
+}

@@ -28,8 +28,14 @@ fn run(label: &str, policy: Box<dyn PlacementPolicy>) -> RunOutcome {
 
 fn main() {
     println!("Intra-DC fleet, 4 VMs on 4 Atom hosts. Host 0 crashes at minute 45.\n");
-    let reactive = run("reactive best-fit", Box::new(BestFitPolicy::new(TrueOracle::new())));
-    let frozen = run("static placement", Box::new(StaticPolicy(TrueOracle::new())));
+    let reactive = run(
+        "reactive best-fit",
+        Box::new(BestFitPolicy::new(TrueOracle::new())),
+    );
+    let frozen = run(
+        "static placement",
+        Box::new(StaticPolicy(TrueOracle::new())),
+    );
 
     // The SLA dip and recovery, minute by minute around the crash.
     println!("\nMean SLA around the crash (reactive arm):");

@@ -10,7 +10,10 @@ use pamdc::manager::experiments::fig5;
 
 fn main() {
     let cfg = fig5::Fig5Config { hours: 48, seed: 5 };
-    println!("Simulating {} h of follow-the-load scheduling...", cfg.hours);
+    println!(
+        "Simulating {} h of follow-the-load scheduling...",
+        cfg.hours
+    );
     let result = fig5::run(&cfg);
     println!("\n{}", fig5::render(&result));
 

@@ -14,10 +14,7 @@ fn main() {
     let cfg = GreenConfig::default();
     println!(
         "Two identical hierarchical schedulers over {} VMs, {} DCs x {} hosts, {} h.",
-        cfg.vms,
-        4,
-        cfg.pms_per_dc,
-        cfg.hours
+        cfg.vms, 4, cfg.pms_per_dc, cfg.hours
     );
     println!(
         "DCs {:?} have {:.0} W of solar per host (Brisbane and Barcelona by default —",

@@ -25,10 +25,7 @@ fn main() {
         t1_cfg.vms
     );
     let training = table1::run(&t1_cfg);
-    println!(
-        "\n{}",
-        table1::render(&training)
-    );
+    println!("\n{}", table1::render(&training));
     println!("{}", table1::render_comparison(&training));
     println!(
         "(collected {} VM-ticks, {} PM-ticks)\n",
@@ -36,7 +33,11 @@ fn main() {
     );
 
     // ---- Figure 4: the intra-DC comparatives ----
-    let f4_cfg = if full { fig4::Fig4Config::default() } else { fig4::Fig4Config::quick(4) };
+    let f4_cfg = if full {
+        fig4::Fig4Config::default()
+    } else {
+        fig4::Fig4Config::quick(4)
+    };
     println!(
         "Running Figure 4 arms ({} h x {} VMs, round every 10 min)...",
         f4_cfg.hours, f4_cfg.vms

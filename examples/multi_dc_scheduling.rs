@@ -16,8 +16,11 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
 
     // ---- De-location benefit ----
-    let dl_cfg =
-        if full { deloc::DelocConfig::default() } else { deloc::DelocConfig::quick(6) };
+    let dl_cfg = if full {
+        deloc::DelocConfig::default()
+    } else {
+        deloc::DelocConfig::quick(6)
+    };
     println!(
         "De-location experiment: {} VMs pinned to DC {} vs free to move ({} h)...",
         dl_cfg.vms, dl_cfg.home_dc, dl_cfg.hours
@@ -26,7 +29,11 @@ fn main() {
     println!("\n{}", deloc::render(&dl, dl_cfg.vms));
 
     // ---- Figure 6: flash crowd ----
-    let f6_cfg = if full { fig6::Fig6Config::default() } else { fig6::Fig6Config::quick(7) };
+    let f6_cfg = if full {
+        fig6::Fig6Config::default()
+    } else {
+        fig6::Fig6Config::quick(7)
+    };
     println!(
         "Figure 6: hierarchical scheduling with a {}x flash crowd at minutes 70-90 ({} h)...",
         f6_cfg.flash_multiplier, f6_cfg.hours
@@ -40,7 +47,10 @@ fn main() {
     } else {
         fig7_table3::Table3Config::quick(8)
     };
-    println!("Table III: Static-Global vs Dynamic for {} VMs ({} h)...", t3_cfg.vms, t3_cfg.hours);
+    println!(
+        "Table III: Static-Global vs Dynamic for {} VMs ({} h)...",
+        t3_cfg.vms, t3_cfg.hours
+    );
     let t3 = fig7_table3::run(&t3_cfg, None);
     println!("\n{}", fig7_table3::render(&t3));
 

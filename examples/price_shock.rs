@@ -26,8 +26,7 @@ fn main() {
     let result = run(&cfg);
     println!("{}", render(&result));
 
-    let saved = result.posted.outcome.profit.energy_eur
-        - result.adaptive.outcome.profit.energy_eur;
+    let saved = result.posted.outcome.profit.energy_eur - result.adaptive.outcome.profit.energy_eur;
     println!(
         "\nAdaptive arm saved {:.4} EUR of electricity ({:.1}% of the posted arm's bill)",
         saved,

@@ -25,23 +25,36 @@ fn main() {
     // (`TrueOracle` = ground-truth beliefs; see `intra_dc_ml` for the
     // ML-trained variant.)
     let policy = Box::new(HierarchicalPolicy::new(TrueOracle::new()));
-    let (outcome, _) =
-        SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(6));
+    let (outcome, _) = SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(6));
 
     println!("\nAfter {} simulated:", outcome.duration);
     println!("  mean SLA        : {:.4}", outcome.mean_sla);
-    println!("  avg power       : {:.1} W (facility, incl. cooling)", outcome.avg_watts);
+    println!(
+        "  avg power       : {:.1} W (facility, incl. cooling)",
+        outcome.avg_watts
+    );
     println!("  energy          : {:.1} Wh", outcome.total_wh);
     println!("  migrations      : {}", outcome.migrations);
     println!("  revenue         : {:.4} EUR", outcome.profit.revenue_eur);
     println!("  energy cost     : {:.4} EUR", outcome.profit.energy_eur);
-    println!("  net profit      : {:.4} EUR ({:.4} EUR/h)",
-        outcome.profit.profit_eur(), outcome.eur_per_hour());
+    println!(
+        "  net profit      : {:.4} EUR ({:.4} EUR/h)",
+        outcome.profit.profit_eur(),
+        outcome.eur_per_hour()
+    );
     println!("  avg hosts on    : {:.2} / 4", outcome.avg_active_pms);
 
     // Every run records plot-ready series.
     let sla = outcome.series.get("sla").expect("sla series");
     let (t_last, v_last) = sla.last().expect("non-empty run");
-    println!("\nRecorded {} SLA samples; last at {}: {:.3}", sla.len(), t_last, v_last);
-    println!("Series available: {}", outcome.series.names().collect::<Vec<_>>().join(", "));
+    println!(
+        "\nRecorded {} SLA samples; last at {}: {:.3}",
+        sla.len(),
+        t_last,
+        v_last
+    );
+    println!(
+        "Series available: {}",
+        outcome.series.names().collect::<Vec<_>>().join(", ")
+    );
 }

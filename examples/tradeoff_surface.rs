@@ -33,8 +33,11 @@ fn main() {
 
     // For a fixed load, more energy (hosts) must buy equal-or-better SLA.
     for &ls in &f8_cfg.load_scales {
-        let mut row: Vec<_> =
-            surface.points.iter().filter(|p| p.load_scale == ls).collect();
+        let mut row: Vec<_> = surface
+            .points
+            .iter()
+            .filter(|p| p.load_scale == ls)
+            .collect();
         row.sort_by_key(|p| p.pms_per_dc);
         if row.len() >= 2 {
             println!(

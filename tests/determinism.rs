@@ -6,9 +6,12 @@ use pamdc_sched::oracle::TrueOracle;
 
 fn run_once(seed: u64) -> RunOutcome {
     let scenario = ScenarioBuilder::paper_multi_dc().vms(4).seed(seed).build();
-    SimulationRunner::new(scenario, Box::new(HierarchicalPolicy::new(TrueOracle::new())))
-        .run(SimDuration::from_hours(3))
-        .0
+    SimulationRunner::new(
+        scenario,
+        Box::new(HierarchicalPolicy::new(TrueOracle::new())),
+    )
+    .run(SimDuration::from_hours(3))
+    .0
 }
 
 #[test]
@@ -18,7 +21,10 @@ fn same_seed_same_world() {
     assert_eq!(a.mean_sla.to_bits(), b.mean_sla.to_bits());
     assert_eq!(a.total_wh.to_bits(), b.total_wh.to_bits());
     assert_eq!(a.migrations, b.migrations);
-    assert_eq!(a.profit.revenue_eur.to_bits(), b.profit.revenue_eur.to_bits());
+    assert_eq!(
+        a.profit.revenue_eur.to_bits(),
+        b.profit.revenue_eur.to_bits()
+    );
 }
 
 #[test]
@@ -37,8 +43,7 @@ fn parallel_arms_match_sequential_arms() {
     // The parallel-sweep helper used by experiment drivers must not
     // perturb results: run the same pair sequentially and in parallel.
     let seq: Vec<f64> = [11u64, 13].iter().map(|&s| run_once(s).mean_sla).collect();
-    let par: Vec<f64> =
-        pamdc_simcore::par::parallel_map(vec![11u64, 13], |s| run_once(s).mean_sla);
+    let par: Vec<f64> = pamdc_simcore::par::parallel_map(vec![11u64, 13], |s| run_once(s).mean_sla);
     assert_eq!(seq, par);
 }
 

@@ -14,7 +14,11 @@ fn quickstart_shape() {
     )
     .run(SimDuration::from_hours(2))
     .0;
-    assert!(outcome.mean_sla > 0.5 && outcome.mean_sla <= 1.0, "sla {}", outcome.mean_sla);
+    assert!(
+        outcome.mean_sla > 0.5 && outcome.mean_sla <= 1.0,
+        "sla {}",
+        outcome.mean_sla
+    );
     assert!(outcome.avg_watts > 0.0);
     assert!(outcome.profit.revenue_eur > 0.0);
     assert!(outcome.series.get("sla").is_some());
@@ -41,7 +45,12 @@ fn table1_learning_quality() {
         );
         assert!(rep.n_train > 100, "{name}: too few training examples");
     }
-    let sla = &outcome.reports.iter().find(|(n, _)| n == "Predict VM SLA").unwrap().1;
+    let sla = &outcome
+        .reports
+        .iter()
+        .find(|(n, _)| n == "Predict VM SLA")
+        .unwrap()
+        .1;
     assert_eq!(sla.method, "K-NN");
     assert!(sla.correlation > 0.9, "SLA k-NN corr {}", sla.correlation);
 }
@@ -121,7 +130,10 @@ fn solver_scaling_shape() {
         rps: 250.0,
     });
     let nodes: Vec<u64> = points.iter().filter_map(|p| p.exact_nodes).collect();
-    assert!(nodes.windows(2).all(|w| w[1] >= w[0]), "nodes must grow: {nodes:?}");
+    assert!(
+        nodes.windows(2).all(|w| w[1] >= w[0]),
+        "nodes must grow: {nodes:?}"
+    );
     assert!(
         nodes.last().unwrap() > &(nodes[0] * 4),
         "exact search must blow up super-linearly: {nodes:?}"

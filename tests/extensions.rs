@@ -24,7 +24,9 @@ fn kitchen_sink(seed: u64) -> RunOutcome {
     scenario.monitor.dropout_prob = 0.05;
 
     let policy = Box::new(HierarchicalPolicy::new(TrueOracle::new()));
-    SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(8)).0
+    SimulationRunner::new(scenario, policy)
+        .run(SimDuration::from_hours(8))
+        .0
 }
 
 #[test]
@@ -62,7 +64,10 @@ fn kitchen_sink_is_deterministic() {
     assert_eq!(a.mean_sla.to_bits(), b.mean_sla.to_bits());
     assert_eq!(a.total_wh.to_bits(), b.total_wh.to_bits());
     assert_eq!(a.energy.co2_g.to_bits(), b.energy.co2_g.to_bits());
-    assert_eq!(a.profit.network_eur.to_bits(), b.profit.network_eur.to_bits());
+    assert_eq!(
+        a.profit.network_eur.to_bits(),
+        b.profit.network_eur.to_bits()
+    );
     assert_eq!(a.migrations, b.migrations);
 }
 
@@ -88,11 +93,17 @@ fn green_quote_steers_hierarchical_scheduler() {
             env = env.price_blind();
         }
         scenario.energy = env;
-        let cfg = RunConfig { plan_horizon_ticks: Some(60), ..RunConfig::default() };
-        SimulationRunner::new(scenario, Box::new(HierarchicalPolicy::new(TrueOracle::new())))
-            .config(cfg)
-            .run(SimDuration::from_hours(12))
-            .0
+        let cfg = RunConfig {
+            plan_horizon_ticks: Some(60),
+            ..RunConfig::default()
+        };
+        SimulationRunner::new(
+            scenario,
+            Box::new(HierarchicalPolicy::new(TrueOracle::new())),
+        )
+        .config(cfg)
+        .run(SimDuration::from_hours(12))
+        .0
     };
     let aware = run(true);
     let blind = run(false);
@@ -118,7 +129,10 @@ fn migration_storm_is_bandwidth_limited() {
     // the same destination DC at the same instant — the second transfer
     // must run at half bandwidth and complete strictly later.
     let now = SimTime::from_mins(30);
-    let mut s2 = ScenarioBuilder::paper_multi_dc().vms(8).pms_per_dc(2).build();
+    let mut s2 = ScenarioBuilder::paper_multi_dc()
+        .vms(8)
+        .pms_per_dc(2)
+        .build();
     s2.cluster.tick(now);
     // VMs 0 and 4 both home in DC 0 (i % 4 == 0).
     let first = s2

@@ -16,7 +16,9 @@ fn ml_suite_drives_the_multi_dc_scheduler() {
     let collector = collect_training_data(4, &[0.6, 1.2], 4, 31);
     let training = train_suite(&collector, 31);
     let scenario = ScenarioBuilder::paper_multi_dc().vms(5).seed(31).build();
-    let policy = Box::new(HierarchicalPolicy::new(MlOracle::new(training.suite.clone())));
+    let policy = Box::new(HierarchicalPolicy::new(MlOracle::new(
+        training.suite.clone(),
+    )));
     let (outcome, _) = SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(6));
     assert!(outcome.mean_sla > 0.6, "ML-driven SLA {}", outcome.mean_sla);
     assert!(
@@ -51,7 +53,11 @@ fn direct_sla_beats_or_matches_via_rt() {
 fn monitor_bias_is_real_and_directional() {
     let collector = collect_training_data(4, &[0.8, 1.6], 4, 35);
     let bias = ablations::monitor_bias(&collector);
-    assert!(bias.counts.0 > 50 && bias.counts.1 > 50, "need both regimes: {:?}", bias.counts);
+    assert!(
+        bias.counts.0 > 50 && bias.counts.1 > 50,
+        "need both regimes: {:?}",
+        bias.counts
+    );
     assert!(
         bias.saturated_ratio < bias.unsaturated_ratio - 0.1,
         "saturated obs/demand {} must sit well below unsaturated {}",
