@@ -2,8 +2,9 @@
 //! times a simulated hour under each oracle.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pamdc_bench::metric_id;
 use pamdc_core::experiments::{fig4, table1};
-use pamdc_core::policy::BestFitPolicy;
+use pamdc_core::policy::{BestFitPolicy, PlacementPolicy};
 use pamdc_core::scenario::ScenarioBuilder;
 use pamdc_core::simulation::SimulationRunner;
 use pamdc_sched::oracle::{MlOracle, MonitorOracle};
@@ -15,9 +16,14 @@ fn bench(c: &mut Criterion) {
     let result = fig4::run(&fig4::Fig4Config::quick(4), &training);
     println!("\n{}", fig4::render(&result));
 
+    // Bench ids derive from the policies' display names through the
+    // workspace-wide metric namer, same keys as the runner's reports.
+    let bf_id = metric_id(&BestFitPolicy::new(MonitorOracle::plain()).name());
+    let bf_ml_id = metric_id(&BestFitPolicy::new(MlOracle::new(training.suite.clone())).name());
+
     let mut g = c.benchmark_group("fig4_sim_hour");
     g.sample_size(10);
-    g.bench_function(BenchmarkId::new("policy", "BF"), |b| {
+    g.bench_function(BenchmarkId::new("policy", bf_id), |b| {
         b.iter(|| {
             let s = ScenarioBuilder::paper_intra_dc().vms(4).seed(1).build();
             let p = Box::new(BestFitPolicy::new(MonitorOracle::plain()));
@@ -29,7 +35,7 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
-    g.bench_function(BenchmarkId::new("policy", "BF-ML"), |b| {
+    g.bench_function(BenchmarkId::new("policy", bf_ml_id), |b| {
         b.iter(|| {
             let s = ScenarioBuilder::paper_intra_dc().vms(4).seed(1).build();
             let p = Box::new(BestFitPolicy::new(MlOracle::new(training.suite.clone())));

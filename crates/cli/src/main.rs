@@ -1,19 +1,23 @@
 //! `pamdc` — the scenario-engine command line.
 //!
 //! ```text
-//! pamdc list
+//! pamdc list [--names]
 //! pamdc show fig4
 //! pamdc run  <spec.toml | builtin> [--quick] [--csv out.csv] [--json out.json]
-//! pamdc sweep <spec.toml | builtin> --param key=v1,v2,... [--quick] [--csv ...] [--json ...]
+//! pamdc sweep <spec.toml | builtin> --param a=1,2 [--param b=x,y ...]
+//!             [--quick] [--csv ...] [--json ...]
+//! pamdc campaign <campaign.toml> [--quick] [--csv ...] [--json ...]
 //! pamdc record <spec.toml | builtin> --out trace.csv [--hours N]
 //! pamdc replay <trace.csv> [--spec <spec|builtin>] [--hours N] [--rate-scale K]
 //!              [--stretch F] [--remap 3,2,1,0] [--quick] [--csv ...] [--json ...]
 //! ```
 //!
 //! Specs resolve as a file path first, then as a built-in registry name.
-//! Everything is deterministic: sweeps fan out via `simcore::par` and
-//! every run derives its randomness from the spec's seed.
+//! Everything is deterministic: sweeps and campaigns fan out via
+//! `simcore::par` and every run derives its randomness from the spec's
+//! seed. Repeating `--param` sweeps the full cartesian product.
 
+use pamdc_scenario::campaign::{self, Campaign};
 use pamdc_scenario::output::{reports_csv, reports_json};
 use pamdc_scenario::registry;
 use pamdc_scenario::runner::{run_spec, SpecReport};
@@ -27,11 +31,13 @@ const USAGE: &str = "\
 pamdc — power-aware multi-DC scenario engine (Berral, Gavaldà & Torres, ICPP 2013)
 
 USAGE:
-  pamdc list                         list built-in paper scenarios
+  pamdc list [--names]               list built-in paper scenarios
   pamdc show <builtin>               print a built-in spec as TOML
   pamdc run <spec> [opts]            run a spec (file path or built-in name)
-  pamdc sweep <spec> --param k=a,b,c [opts]
-                                     run one variant per value, in parallel
+  pamdc sweep <spec> --param k=a,b,c [--param k2=x,y ...] [opts]
+                                     run the cartesian product, in parallel
+  pamdc campaign <file> [opts]       run every spec a campaign file lists,
+                                     merged into one CSV/JSON
   pamdc record <spec> --out <trace.csv> [--hours N]
                                      dump the spec's synthetic demand to a trace
   pamdc replay <trace.csv> [--spec <spec>] [--rate-scale K] [--stretch F]
@@ -44,12 +50,15 @@ OPTIONS:
   --json <path>    write run metrics as JSON
   --hours <n>      override the simulated horizon
   --out <path>     output path (record)
+  --names          machine-readable listing: names only (list)
 ";
 
 /// A parsed invocation.
 #[derive(Clone, Debug, PartialEq)]
 enum Cmd {
-    List,
+    List {
+        names_only: bool,
+    },
     Show {
         name: String,
     },
@@ -59,8 +68,13 @@ enum Cmd {
     },
     Sweep {
         spec: String,
-        param: String,
-        values: Vec<String>,
+        /// `(key, values)` per `--param`, in flag order; the sweep runs
+        /// the full cartesian product (later params vary fastest).
+        params: Vec<(String, Vec<String>)>,
+        opts: Opts,
+    },
+    Campaign {
+        file: PathBuf,
         opts: Opts,
     },
     Record {
@@ -95,9 +109,10 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
     // Pull `--flag [value]` pairs out; positionals remain.
     let mut positional: Vec<String> = Vec::new();
     let mut opts = Opts::default();
-    let mut param: Option<String> = None;
+    let mut params: Vec<String> = Vec::new();
     let mut out: Option<PathBuf> = None;
     let mut spec_flag: Option<String> = None;
+    let mut names_only = false;
     let mut rate_scale = 1.0f64;
     let mut stretch = 1.0f64;
     let mut remap: Vec<usize> = Vec::new();
@@ -122,7 +137,8 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
                         .map_err(|_| "--hours needs an integer".to_string())?,
                 )
             }
-            "--param" => param = Some(value("--param")?),
+            "--param" => params.push(value("--param")?),
+            "--names" => names_only = true,
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--spec" => spec_flag = Some(value("--spec")?),
             "--rate-scale" => {
@@ -157,7 +173,7 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
     };
 
     match cmd.as_str() {
-        "list" => Ok(Cmd::List),
+        "list" => Ok(Cmd::List { names_only }),
         "show" => Ok(Cmd::Show {
             name: one_positional("built-in name")?,
         }),
@@ -167,25 +183,38 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
         }),
         "sweep" => {
             let spec = one_positional("spec path or built-in name")?;
-            let param = param.ok_or("sweep needs --param key=v1,v2,...")?;
-            let (key, values) = param
-                .split_once('=')
-                .ok_or("--param must look like key=v1,v2,...")?;
-            let values: Vec<String> = values
-                .split(',')
-                .map(|v| v.trim().to_string())
-                .filter(|v| !v.is_empty())
-                .collect();
-            if values.is_empty() {
-                return Err("--param needs at least one value".into());
+            if params.is_empty() {
+                return Err("sweep needs --param key=v1,v2,... (repeatable)".into());
+            }
+            let mut parsed: Vec<(String, Vec<String>)> = Vec::with_capacity(params.len());
+            for param in &params {
+                let (key, values) = param
+                    .split_once('=')
+                    .ok_or("--param must look like key=v1,v2,...")?;
+                let values: Vec<String> = values
+                    .split(',')
+                    .map(|v| v.trim().to_string())
+                    .filter(|v| !v.is_empty())
+                    .collect();
+                if values.is_empty() {
+                    return Err(format!("--param {key} needs at least one value"));
+                }
+                let key = key.trim().to_string();
+                if parsed.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("--param {key} given twice"));
+                }
+                parsed.push((key, values));
             }
             Ok(Cmd::Sweep {
                 spec,
-                param: key.trim().to_string(),
-                values,
+                params: parsed,
                 opts,
             })
         }
+        "campaign" => Ok(Cmd::Campaign {
+            file: PathBuf::from(one_positional("campaign file")?),
+            opts,
+        }),
         "record" => Ok(Cmd::Record {
             spec: one_positional("spec path or built-in name")?,
             out: out.ok_or("record needs --out <trace.csv>")?,
@@ -207,7 +236,14 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
 /// Resolves a spec argument: file path first, then built-in name.
 /// Returns the spec and the directory trace paths resolve against.
 fn load_spec(arg: &str) -> Result<(ScenarioSpec, PathBuf), String> {
-    let path = Path::new(arg);
+    load_spec_in(arg, Path::new(""))
+}
+
+/// [`load_spec`] with relative paths anchored at `base_dir` (campaign
+/// entries resolve against the campaign file's directory).
+fn load_spec_in(arg: &str, base_dir: &Path) -> Result<(ScenarioSpec, PathBuf), String> {
+    let path = base_dir.join(arg);
+    let path = path.as_path();
     if path.is_file() {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -237,7 +273,13 @@ fn write_outputs(reports: &[SpecReport], opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_list() {
+fn cmd_list(names_only: bool) {
+    if names_only {
+        for b in registry::builtins() {
+            println!("{}", b.name);
+        }
+        return;
+    }
     println!("built-in scenarios ({}):\n", registry::builtins().len());
     let width = registry::builtins()
         .iter()
@@ -260,31 +302,62 @@ fn cmd_run(spec_arg: &str, opts: &Opts) -> Result<(), String> {
     write_outputs(std::slice::from_ref(&report), opts)
 }
 
-fn cmd_sweep(spec_arg: &str, param: &str, values: &[String], opts: &Opts) -> Result<(), String> {
+/// Expands the cartesian product of every `--param` axis. Each variant
+/// carries its override suffix (`k1=v1,k2=v2`); later params vary
+/// fastest, so rows group by the first axis.
+fn cartesian(
+    base_spec: &ScenarioSpec,
+    params: &[(String, Vec<String>)],
+) -> Result<Vec<(String, ScenarioSpec)>, String> {
+    let mut variants: Vec<(String, ScenarioSpec)> = vec![(String::new(), base_spec.clone())];
+    for (key, values) in params {
+        let mut next = Vec::with_capacity(variants.len() * values.len());
+        for (suffix, spec) in &variants {
+            for value in values {
+                let v = spec.with_param(key, value).map_err(|e| {
+                    let hints: Vec<&str> = pamdc_scenario::spec::sweepable_params()
+                        .keys()
+                        .copied()
+                        .collect();
+                    format!("{e}\nsweepable keys include: {}", hints.join(", "))
+                })?;
+                let suffix = if suffix.is_empty() {
+                    format!("{key}={value}")
+                } else {
+                    format!("{suffix},{key}={value}")
+                };
+                next.push((suffix, v));
+            }
+        }
+        variants = next;
+    }
+    Ok(variants)
+}
+
+fn cmd_sweep(spec_arg: &str, params: &[(String, Vec<String>)], opts: &Opts) -> Result<(), String> {
     let (mut base_spec, base) = load_spec(spec_arg)?;
     if let Some(hours) = opts.hours {
         base_spec.run.hours = hours;
     }
     // Build every variant up front so a bad value fails before any work.
-    let mut variants: Vec<(String, ScenarioSpec)> = Vec::with_capacity(values.len());
-    for value in values {
-        let mut v = base_spec.with_param(param, value).map_err(|e| {
-            let hints: Vec<&str> = pamdc_scenario::spec::sweepable_params()
-                .keys()
-                .copied()
-                .collect();
-            format!("{e}\nsweepable keys include: {}", hints.join(", "))
-        })?;
-        v.name = format!("{}[{param}={value}]", base_spec.name);
-        variants.push((value.clone(), v));
+    let mut variants = cartesian(&base_spec, params)?;
+    for (suffix, spec) in &mut variants {
+        spec.name = format!("{}[{suffix}]", base_spec.name);
     }
-    eprintln!("sweeping {param} over {} values...", variants.len());
+    let axes: Vec<String> = params
+        .iter()
+        .map(|(k, vs)| format!("{k} ({} values)", vs.len()))
+        .collect();
+    eprintln!(
+        "sweeping {} -> {} variants...",
+        axes.join(" x "),
+        variants.len()
+    );
     let quick = opts.quick;
     let base_dir = base.clone();
     let reports: Vec<Result<SpecReport, String>> =
-        pamdc_simcore::par::parallel_map(variants, move |(value, spec)| {
-            run_spec(&spec, &base_dir, quick)
-                .map_err(|e| format!("{param}={value}: {e}", param = param_owned(&spec)))
+        pamdc_simcore::par::parallel_map(variants, move |(suffix, spec)| {
+            run_spec(&spec, &base_dir, quick).map_err(|e| format!("{suffix}: {e}"))
         });
     // `parallel_map` preserves input order, so rows line up with values.
     let mut ok = Vec::with_capacity(reports.len());
@@ -295,13 +368,44 @@ fn cmd_sweep(spec_arg: &str, param: &str, values: &[String], opts: &Opts) -> Res
     write_outputs(&ok, opts)
 }
 
-/// The swept parameter name is baked into each variant's spec name
-/// (`base[key=value]`); recover it for error messages.
-fn param_owned(spec: &ScenarioSpec) -> String {
-    spec.name
-        .rsplit_once('[')
-        .and_then(|(_, tail)| tail.split_once('=').map(|(k, _)| k.to_string()))
-        .unwrap_or_else(|| "param".into())
+fn cmd_campaign(file: &Path, opts: &Opts) -> Result<(), String> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    let campaign = Campaign::parse(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+    let campaign_dir = file.parent().unwrap_or(Path::new("")).to_path_buf();
+
+    // Resolve and override every entry up front: a typo in run 7 fails
+    // before run 1 burns any compute.
+    let mut jobs: Vec<(ScenarioSpec, PathBuf)> = Vec::with_capacity(campaign.runs.len());
+    for run in &campaign.runs {
+        let (spec, base_dir) = load_spec_in(&run.spec, &campaign_dir)?;
+        let mut spec =
+            campaign::apply_overrides(&spec, run).map_err(|e| format!("{}: {e}", run.spec))?;
+        if let Some(hours) = opts.hours {
+            spec.run.hours = hours;
+        }
+        jobs.push((spec, base_dir));
+    }
+    eprintln!(
+        "campaign '{}': {} runs, in parallel...",
+        campaign.name,
+        jobs.len()
+    );
+    let quick = opts.quick;
+    let reports: Vec<Result<SpecReport, String>> =
+        pamdc_simcore::par::parallel_map(jobs, move |(spec, base_dir)| {
+            let name = spec.name.clone();
+            run_spec(&spec, &base_dir, quick).map_err(|e| format!("{name}: {e}"))
+        });
+    let mut ok = Vec::with_capacity(reports.len());
+    for r in reports {
+        ok.push(r?);
+    }
+    for report in &ok {
+        println!("# {}\n{}", report.name, report.text);
+    }
+    println!("{}", reports_csv(&ok));
+    write_outputs(&ok, opts)
 }
 
 fn cmd_record(spec_arg: &str, out: &Path, hours: Option<u64>) -> Result<(), String> {
@@ -423,18 +527,14 @@ fn main() -> ExitCode {
         }
     };
     let result = match &cmd {
-        Cmd::List => {
-            cmd_list();
+        Cmd::List { names_only } => {
+            cmd_list(*names_only);
             Ok(())
         }
         Cmd::Show { name } => cmd_show(name),
         Cmd::Run { spec, opts } => cmd_run(spec, opts),
-        Cmd::Sweep {
-            spec,
-            param,
-            values,
-            opts,
-        } => cmd_sweep(spec, param, values, opts),
+        Cmd::Sweep { spec, params, opts } => cmd_sweep(spec, params, opts),
+        Cmd::Campaign { file, opts } => cmd_campaign(file, opts),
         Cmd::Record { spec, out, hours } => cmd_record(spec, out, *hours),
         Cmd::Replay {
             trace,
@@ -486,14 +586,81 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Cmd::Sweep { param, values, .. } => {
-                assert_eq!(param, "workload.load_scale");
-                assert_eq!(values, vec!["0.5", "1.0", "1.5"]);
+            Cmd::Sweep { params, .. } => {
+                assert_eq!(params.len(), 1);
+                assert_eq!(params[0].0, "workload.load_scale");
+                assert_eq!(params[0].1, vec!["0.5", "1.0", "1.5"]);
             }
             other => panic!("{other:?}"),
         }
         assert!(parse(&["sweep", "fig6"]).is_err());
         assert!(parse(&["sweep", "fig6", "--param", "novalues"]).is_err());
+    }
+
+    #[test]
+    fn parses_cartesian_sweep_axes() {
+        let cmd = parse(&[
+            "sweep",
+            "fig6",
+            "--param",
+            "seed=1,2",
+            "--param",
+            "workload.vms=4,5",
+        ])
+        .unwrap();
+        match cmd {
+            Cmd::Sweep { params, .. } => {
+                assert_eq!(params.len(), 2);
+                assert_eq!(params[0].0, "seed");
+                assert_eq!(params[1].0, "workload.vms");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The same axis twice is a user error, not a silent override.
+        assert!(parse(&["sweep", "fig6", "--param", "seed=1", "--param", "seed=2"]).is_err());
+    }
+
+    #[test]
+    fn cartesian_expands_the_full_product_in_order() {
+        let base = registry::find("resilience").expect("builtin").spec;
+        let params = vec![
+            ("seed".to_string(), vec!["1".to_string(), "2".to_string()]),
+            (
+                "workload.vms".to_string(),
+                vec!["3".to_string(), "4".to_string()],
+            ),
+        ];
+        let variants = cartesian(&base, &params).expect("expand");
+        let suffixes: Vec<&str> = variants.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(
+            suffixes,
+            vec![
+                "seed=1,workload.vms=3",
+                "seed=1,workload.vms=4",
+                "seed=2,workload.vms=3",
+                "seed=2,workload.vms=4",
+            ]
+        );
+        assert_eq!(variants[3].1.seed, 2);
+        assert_eq!(variants[3].1.workload.vms, 4);
+        // Bad keys fail before any simulation runs, with hints.
+        let bad = vec![("workload.nonsense".to_string(), vec!["1".to_string()])];
+        let err = cartesian(&base, &bad).unwrap_err();
+        assert!(err.contains("sweepable keys include"), "{err}");
+    }
+
+    #[test]
+    fn parses_campaign_command() {
+        let cmd = parse(&["campaign", "c.toml", "--quick", "--csv", "out.csv"]).unwrap();
+        match cmd {
+            Cmd::Campaign { file, opts } => {
+                assert_eq!(file, PathBuf::from("c.toml"));
+                assert!(opts.quick);
+                assert_eq!(opts.csv, Some(PathBuf::from("out.csv")));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["campaign"]).is_err(), "campaign needs a file");
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! The experiment pipeline: one engine, many declaratively-described
+//! studies.
+//!
+//! Every evaluation in this workspace is the same MAPE loop measured
+//! under different worlds and policies. This module factors that shape
+//! into four shared stages so a driver module only declares what is
+//! actually specific to its experiment:
+//!
+//! 1. **Training** — [`Experiment::training`] names a Table-I
+//!    configuration when the experiment needs the trained predictor
+//!    suite; the pipeline runs it exactly once.
+//! 2. **Arm enumeration** — [`Experiment::arms`] returns the
+//!    policy/world variants to measure as plain [`Arm`] values.
+//! 3. **Execution** — [`execute`] funnels every arm through
+//!    [`SimulationRunner`] via `simcore::par` (deterministic: each
+//!    arm's randomness derives from its own scenario seed, so the
+//!    fan-out is bit-identical to a sequential loop).
+//! 4. **Emission** — [`Experiment::emit`] folds the labelled outcomes
+//!    into an [`ExperimentReport`]; [`outcome_metrics`] and
+//!    [`metric_key`] keep metric naming consistent across drivers, the
+//!    CLI's CSV/JSON emitters and the bench harness.
+//!
+//! Analysis-style experiments that measure something other than
+//! simulation arms (solver timing studies, prequential learning streams)
+//! return no arms and implement everything in `emit` — they still share
+//! the registry, training and emission paths.
+
+use crate::experiments::table1::{self, Table1Config};
+use crate::policy::PlacementPolicy;
+use crate::report::{metric_key, TextTable};
+use crate::scenario::Scenario;
+use crate::simulation::{RunConfig, RunOutcome, SimulationRunner};
+use crate::training::TrainingOutcome;
+use pamdc_simcore::time::SimDuration;
+
+/// One simulation arm: a world, a policy, and how long to run them.
+///
+/// The `label` prefixes the arm's metrics in reports (empty for
+/// single-arm experiments); it is sanitized through [`metric_key`] at
+/// construction so every downstream emitter sees the same key.
+pub struct Arm {
+    /// Metric prefix (already sanitized).
+    pub label: String,
+    /// The world to simulate.
+    pub scenario: Scenario,
+    /// The placement policy driving the MAPE loop.
+    pub policy: Box<dyn PlacementPolicy>,
+    /// Run knobs (cadence, horizon, series retention).
+    pub config: RunConfig,
+    /// Simulated hours.
+    pub hours: u64,
+}
+
+impl Arm {
+    /// An arm with the default [`RunConfig`].
+    pub fn new(
+        label: impl Into<String>,
+        scenario: Scenario,
+        policy: Box<dyn PlacementPolicy>,
+        hours: u64,
+    ) -> Self {
+        Arm {
+            label: metric_key(&label.into()),
+            scenario,
+            policy,
+            config: RunConfig::default(),
+            hours,
+        }
+    }
+
+    /// An arm labelled after its policy's display name.
+    pub fn named_after_policy(
+        scenario: Scenario,
+        policy: Box<dyn PlacementPolicy>,
+        hours: u64,
+    ) -> Self {
+        let label = policy.name();
+        Arm::new(label, scenario, policy, hours)
+    }
+
+    /// Overrides the run configuration.
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Everything the pipeline computed for [`Experiment::emit`].
+pub struct ExperimentRun {
+    /// The Table-I outcome, when [`Experiment::training`] asked for one.
+    pub training: Option<TrainingOutcome>,
+    /// `(label, outcome)` per arm, in [`Experiment::arms`] order.
+    pub outcomes: Vec<(String, RunOutcome)>,
+}
+
+impl ExperimentRun {
+    /// The training outcome (panics when the experiment declared none).
+    pub fn training(&self) -> &TrainingOutcome {
+        self.training
+            .as_ref()
+            .expect("experiment declared no training stage")
+    }
+
+    /// Flattens every arm's [`outcome_metrics`], label-prefixed, in arm
+    /// order — the shared emission path.
+    pub fn arm_metrics(&self) -> Vec<(String, f64)> {
+        let mut metrics = Vec::new();
+        for (label, outcome) in &self.outcomes {
+            metrics.extend(outcome_metrics(label, outcome));
+        }
+        metrics
+    }
+
+    /// Consumes the run, returning the outcomes in arm order.
+    pub fn into_outcomes(self) -> Vec<RunOutcome> {
+        self.outcomes.into_iter().map(|(_, o)| o).collect()
+    }
+}
+
+/// A finished experiment: rendered text plus flat metrics.
+#[derive(Clone, Debug)]
+pub struct ExperimentReport {
+    /// Human-readable report (the driver's table).
+    pub text: String,
+    /// Flat `(key, value)` metrics for CSV/JSON emission.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A declaratively-described study: the pipeline runs training, executes
+/// the arms, and hands both to `emit`.
+pub trait Experiment: Send {
+    /// The Table-I training stage this experiment needs, if any.
+    fn training(&self) -> Option<Table1Config> {
+        None
+    }
+
+    /// The simulation arms to execute (empty for analysis-style
+    /// experiments that compute everything in [`Experiment::emit`]).
+    fn arms(&mut self, training: Option<&TrainingOutcome>) -> Vec<Arm> {
+        let _ = training;
+        Vec::new()
+    }
+
+    /// Folds the executed arms (and training outcome) into a report.
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport;
+}
+
+/// Stage 3: runs every arm through [`SimulationRunner`] in parallel,
+/// returning `(label, outcome)` pairs in input order.
+pub fn execute(arms: Vec<Arm>) -> Vec<(String, RunOutcome)> {
+    pamdc_simcore::par::parallel_map(arms, |arm| {
+        let outcome = SimulationRunner::new(arm.scenario, arm.policy)
+            .config(arm.config)
+            .run(SimDuration::from_hours(arm.hours))
+            .0;
+        (arm.label, outcome)
+    })
+}
+
+/// Runs an experiment through all four stages.
+pub fn run_experiment(exp: &mut dyn Experiment) -> ExperimentReport {
+    let training = exp.training().map(|cfg| table1::run(&cfg));
+    let outcomes = execute(exp.arms(training.as_ref()));
+    exp.emit(ExperimentRun { training, outcomes })
+}
+
+/// Flattens a [`RunOutcome`] into report metrics. A non-empty `prefix`
+/// (sanitized via [`metric_key`]) labels multi-arm experiments.
+pub fn outcome_metrics(prefix: &str, o: &RunOutcome) -> Vec<(String, f64)> {
+    let prefix = metric_key(prefix);
+    let key = |k: &str| {
+        if prefix.is_empty() {
+            k.to_string()
+        } else {
+            format!("{prefix}_{k}")
+        }
+    };
+    vec![
+        (key("mean_sla"), o.mean_sla),
+        (key("avg_watts"), o.avg_watts),
+        (key("total_wh"), o.total_wh),
+        (key("avg_active_pms"), o.avg_active_pms),
+        (key("migrations"), o.migrations as f64),
+        (key("dropped_requests"), o.dropped_requests),
+        (key("served_requests"), o.served_requests),
+        (key("revenue_eur"), o.profit.revenue_eur),
+        (key("energy_eur"), o.profit.energy_eur),
+        (key("profit_eur"), o.profit.profit_eur()),
+        (key("eur_per_hour"), o.eur_per_hour()),
+        (key("green_wh"), o.energy.green_wh),
+        (key("co2_g_per_kwh"), o.energy.intensity_g_per_kwh()),
+    ]
+}
+
+/// Renders a generic run's summary table.
+pub fn render_outcome(o: &RunOutcome) -> String {
+    let mut t = TextTable::new(&["metric", "value"]);
+    for (k, v) in outcome_metrics("", o) {
+        t.row(vec![k, format!("{v:.6}")]);
+    }
+    format!(
+        "Scenario '{}' under {} for {}\n{}",
+        o.scenario_name,
+        o.policy_name,
+        o.duration,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StaticPolicy;
+    use crate::scenario::ScenarioBuilder;
+    use pamdc_sched::oracle::TrueOracle;
+
+    struct TwoArm;
+
+    impl Experiment for TwoArm {
+        fn arms(&mut self, _training: Option<&TrainingOutcome>) -> Vec<Arm> {
+            let build = || ScenarioBuilder::paper_multi_dc().vms(2).seed(3).build();
+            vec![
+                Arm::new(
+                    "a[0]",
+                    build(),
+                    Box::new(StaticPolicy(TrueOracle::new())),
+                    1,
+                ),
+                Arm::new("b", build(), Box::new(StaticPolicy(TrueOracle::new())), 1),
+            ]
+        }
+
+        fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+            ExperimentReport {
+                text: format!("{} arms", run.outcomes.len()),
+                metrics: run.arm_metrics(),
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_labels_and_orders_arm_metrics() {
+        let report = run_experiment(&mut TwoArm);
+        assert_eq!(report.text, "2 arms");
+        // Labels are sanitized at Arm construction and prefix in order.
+        assert_eq!(report.metrics[0].0, "a_0__mean_sla");
+        let b_at = report
+            .metrics
+            .iter()
+            .position(|(k, _)| k == "b_mean_sla")
+            .expect("second arm's metrics follow the first's");
+        assert_eq!(b_at, 13);
+    }
+
+    #[test]
+    fn identical_arms_produce_bit_identical_outcomes() {
+        let a = run_experiment(&mut TwoArm);
+        let b = run_experiment(&mut TwoArm);
+        for ((ka, va), (kb, vb)) in a.metrics.iter().zip(&b.metrics) {
+            assert_eq!(ka, kb);
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+}

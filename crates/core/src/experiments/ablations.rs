@@ -8,14 +8,118 @@
 //!   demands. We quantify the observed/demanded CPU ratio in saturated
 //!   vs unsaturated ticks.
 
+use crate::experiment::{Experiment, ExperimentReport, ExperimentRun};
 use crate::report::TextTable;
-use crate::training::{build_stage2_datasets, TrainingCollector};
+use crate::training::{
+    build_stage1_datasets, build_stage2_datasets, collect_training_data, TrainingCollector,
+};
 use pamdc_ml::metrics::EvalReport;
 use pamdc_ml::predictors::{PredictionTarget, TrainedPredictor};
 use pamdc_perf::demand::cpu_demand_pct;
 use pamdc_perf::sla::SlaFunction;
 use pamdc_simcore::rng::RngStream;
 use pamdc_simcore::stats::{mean_absolute_error, pearson, OnlineStats};
+
+/// Configuration of the combined ablation study: the collection runs
+/// mirror the Table-I exploration regime.
+#[derive(Clone, Debug)]
+pub struct AblationsConfig {
+    /// VMs in the collection scenario.
+    pub vms: usize,
+    /// Load scales visited by the exploration runs.
+    pub scales: Vec<f64>,
+    /// Simulated hours per scale.
+    pub hours_per_scale: u64,
+    /// Master seed (collection, splits, and model init).
+    pub seed: u64,
+}
+
+impl Default for AblationsConfig {
+    fn default() -> Self {
+        let t = crate::experiments::table1::Table1Config::default();
+        AblationsConfig {
+            vms: t.vms,
+            scales: t.scales,
+            hours_per_scale: t.hours_per_scale,
+            seed: t.seed,
+        }
+    }
+}
+
+impl AblationsConfig {
+    /// Reduced collection effort for tests and CI smoke.
+    pub fn quick(seed: u64) -> Self {
+        AblationsConfig {
+            vms: 4,
+            scales: vec![0.6, 1.2],
+            hours_per_scale: 4,
+            seed,
+        }
+    }
+}
+
+/// Both ablations' results.
+pub struct AblationsResult {
+    /// E-AB1: direct-SLA vs RT-then-formula.
+    pub path: SlaPathResult,
+    /// E-AB2: the monitor bias.
+    pub bias: MonitorBiasResult,
+}
+
+/// Runs both ablations from one shared collection pass: trains the
+/// stage-1 CPU model the way [`crate::training::train_suite`] does
+/// (same derived RNG stream), then evaluates both prediction paths and
+/// the monitor-bias ratios.
+pub fn run(cfg: &AblationsConfig) -> AblationsResult {
+    let collector = collect_training_data(cfg.vms, &cfg.scales, cfg.hours_per_scale, cfg.seed);
+    let stage1 = build_stage1_datasets(&collector);
+    let (target, cpu_data) = stage1
+        .iter()
+        .find(|(t, _)| *t == PredictionTarget::VmCpu)
+        .expect("stage 1 contains the CPU dataset");
+    let mut rng = RngStream::root(cfg.seed).derive(target.paper_name());
+    let cpu_model = TrainedPredictor::train(*target, cpu_data, &mut rng);
+    AblationsResult {
+        path: sla_direct_vs_via_rt(&collector, &cpu_model, cfg.seed),
+        bias: monitor_bias(&collector),
+    }
+}
+
+/// The registry-facing experiment: an ML analysis over collected
+/// samples, so it runs entirely in the emission stage.
+pub struct Ablations {
+    /// Collection configuration.
+    pub cfg: AblationsConfig,
+}
+
+impl Experiment for Ablations {
+    fn emit(&self, _run: ExperimentRun) -> ExperimentReport {
+        let result = run(&self.cfg);
+        ExperimentReport {
+            metrics: vec![
+                (
+                    "sla_direct_correlation".to_string(),
+                    result.path.direct.correlation,
+                ),
+                ("sla_direct_mae".to_string(), result.path.direct.mae),
+                (
+                    "sla_via_rt_correlation".to_string(),
+                    result.path.via_rt_correlation,
+                ),
+                ("sla_via_rt_mae".to_string(), result.path.via_rt_mae),
+                (
+                    "bias_unsaturated_ratio".to_string(),
+                    result.bias.unsaturated_ratio,
+                ),
+                (
+                    "bias_saturated_ratio".to_string(),
+                    result.bias.saturated_ratio,
+                ),
+            ],
+            text: render(&result.path, &result.bias),
+        }
+    }
+}
 
 /// E-AB1 result: both prediction paths on the same test split.
 pub struct SlaPathResult {

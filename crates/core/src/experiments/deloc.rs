@@ -8,12 +8,12 @@
 //! reproduce is "de-location buys several SLA points despite paying
 //! migration and latency".
 
-use crate::policy::{HierarchicalPolicy, StaticPolicy};
+use crate::experiment::{self, Arm, Experiment, ExperimentReport, ExperimentRun};
+use crate::policy::{HierarchicalPolicy, PlacementPolicy, StaticPolicy};
 use crate::report::TextTable;
 use crate::scenario::ScenarioBuilder;
-use crate::simulation::{RunOutcome, SimulationRunner};
+use crate::simulation::RunOutcome;
 use pamdc_sched::oracle::TrueOracle;
-use pamdc_simcore::time::SimDuration;
 
 /// Configuration of the de-location experiment.
 #[derive(Clone, Debug)]
@@ -85,9 +85,8 @@ impl DelocResult {
     }
 }
 
-/// Runs both arms in parallel.
-pub fn run(cfg: &DelocConfig) -> DelocResult {
-    let duration = SimDuration::from_hours(cfg.hours);
+/// Stage 2: the pinned and de-locating arms.
+fn arms(cfg: &DelocConfig) -> Vec<Arm> {
     let build = || {
         ScenarioBuilder::paper_multi_dc()
             .vms(cfg.vms)
@@ -97,22 +96,46 @@ pub fn run(cfg: &DelocConfig) -> DelocResult {
             .seed(cfg.seed)
             .build()
     };
-    let (fixed, delocating) = pamdc_simcore::par::join(
-        || {
-            SimulationRunner::new(build(), Box::new(StaticPolicy(TrueOracle::new())))
-                .run(duration)
-                .0
-        },
-        || {
-            SimulationRunner::new(
-                build(),
-                Box::new(HierarchicalPolicy::new(TrueOracle::new())),
-            )
-            .run(duration)
-            .0
-        },
-    );
-    DelocResult { fixed, delocating }
+    let fixed: Box<dyn PlacementPolicy> = Box::new(StaticPolicy(TrueOracle::new()));
+    let delocating: Box<dyn PlacementPolicy> = Box::new(HierarchicalPolicy::new(TrueOracle::new()));
+    vec![
+        Arm::new("fixed", build(), fixed, cfg.hours),
+        Arm::new("delocating", build(), delocating, cfg.hours),
+    ]
+}
+
+/// Runs both arms in parallel.
+pub fn run(cfg: &DelocConfig) -> DelocResult {
+    let mut outcomes = experiment::execute(arms(cfg)).into_iter();
+    DelocResult {
+        fixed: outcomes.next().expect("fixed arm").1,
+        delocating: outcomes.next().expect("de-locating arm").1,
+    }
+}
+
+/// The registry-facing experiment. The paper reports this one as a
+/// ΔSLA/benefit narrative, so the report stays table-only.
+pub struct Deloc {
+    /// Arm configuration.
+    pub cfg: DelocConfig,
+}
+
+impl Experiment for Deloc {
+    fn arms(&mut self, _training: Option<&crate::training::TrainingOutcome>) -> Vec<Arm> {
+        arms(&self.cfg)
+    }
+
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+        let mut outcomes = run.into_outcomes().into_iter();
+        let result = DelocResult {
+            fixed: outcomes.next().expect("fixed arm"),
+            delocating: outcomes.next().expect("de-locating arm"),
+        };
+        ExperimentReport {
+            text: render(&result, self.cfg.vms),
+            metrics: Vec::new(),
+        }
+    }
 }
 
 /// Renders the comparison.

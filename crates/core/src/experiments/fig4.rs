@@ -14,14 +14,14 @@
 //! BF-OB protects SLA at systematically higher power. A fourth
 //! ground-truth arm (**BF-True**) bounds what any predictor could do.
 
+use crate::experiment::{self, Arm, Experiment, ExperimentReport, ExperimentRun};
+use crate::experiments::table1::Table1Config;
 use crate::policy::BestFitPolicy;
 use crate::report::TextTable;
 use crate::scenario::ScenarioBuilder;
-use crate::simulation::{RunOutcome, SimulationRunner};
+use crate::simulation::RunOutcome;
 use crate::training::TrainingOutcome;
 use pamdc_sched::oracle::{MlOracle, MonitorOracle, TrueOracle};
-use pamdc_simcore::time::SimDuration;
-use std::sync::Arc;
 
 /// Configuration of the Figure-4 reproduction.
 #[derive(Clone, Debug)]
@@ -69,10 +69,8 @@ pub struct Fig4Result {
     pub outcomes: Vec<RunOutcome>,
 }
 
-/// Runs every arm (in parallel — the runs are independent).
-pub fn run(cfg: &Fig4Config, training: &TrainingOutcome) -> Fig4Result {
-    let suite = training.suite.clone();
-    let duration = SimDuration::from_hours(cfg.hours);
+/// Stage 2: the comparison arms, labelled after their policies.
+fn arms(cfg: &Fig4Config, training: &TrainingOutcome) -> Vec<Arm> {
     let scenario = || {
         ScenarioBuilder::paper_intra_dc()
             .vms(cfg.vms)
@@ -80,30 +78,58 @@ pub fn run(cfg: &Fig4Config, training: &TrainingOutcome) -> Fig4Result {
             .seed(cfg.seed)
             .build()
     };
-
-    enum Arm {
-        Bf,
-        BfOb,
-        BfMl(Arc<pamdc_ml::predictors::PredictorSuite>),
-        BfTrue,
-    }
-    let mut arms = vec![Arm::Bf, Arm::BfOb, Arm::BfMl(suite)];
+    let mut policies: Vec<Box<dyn crate::policy::PlacementPolicy>> = vec![
+        Box::new(BestFitPolicy::new(MonitorOracle::plain())),
+        Box::new(BestFitPolicy::new(MonitorOracle::overbooked())),
+        Box::new(BestFitPolicy::new(MlOracle::new(training.suite.clone()))),
+    ];
     if cfg.include_true_arm {
-        arms.push(Arm::BfTrue);
+        policies.push(Box::new(BestFitPolicy::new(TrueOracle::new())));
+    }
+    policies
+        .into_iter()
+        .map(|policy| Arm::named_after_policy(scenario(), policy, cfg.hours))
+        .collect()
+}
+
+/// Runs every arm (in parallel — the runs are independent).
+pub fn run(cfg: &Fig4Config, training: &TrainingOutcome) -> Fig4Result {
+    Fig4Result {
+        outcomes: experiment::execute(arms(cfg, training))
+            .into_iter()
+            .map(|(_, o)| o)
+            .collect(),
+    }
+}
+
+/// The registry-facing experiment: training is mandatory (the BF-ML arm
+/// needs the suite even when the spec's policy oracle is `true`).
+pub struct Fig4 {
+    /// Arm configuration.
+    pub cfg: Fig4Config,
+    /// Table-I training configuration.
+    pub training: Table1Config,
+}
+
+impl Experiment for Fig4 {
+    fn training(&self) -> Option<Table1Config> {
+        Some(self.training.clone())
     }
 
-    let jobs: Vec<(Arm, _)> = arms.into_iter().map(|arm| (arm, scenario())).collect();
-    let outcomes: Vec<RunOutcome> = pamdc_simcore::par::parallel_map(jobs, |(arm, scenario)| {
-        let policy: Box<dyn crate::policy::PlacementPolicy> = match arm {
-            Arm::Bf => Box::new(BestFitPolicy::new(MonitorOracle::plain())),
-            Arm::BfOb => Box::new(BestFitPolicy::new(MonitorOracle::overbooked())),
-            Arm::BfMl(suite) => Box::new(BestFitPolicy::new(MlOracle::new(suite))),
-            Arm::BfTrue => Box::new(BestFitPolicy::new(TrueOracle::new())),
-        };
-        SimulationRunner::new(scenario, policy).run(duration).0
-    });
+    fn arms(&mut self, training: Option<&TrainingOutcome>) -> Vec<Arm> {
+        arms(&self.cfg, training.expect("fig4 declares training"))
+    }
 
-    Fig4Result { outcomes }
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+        let metrics = run.arm_metrics();
+        let result = Fig4Result {
+            outcomes: run.into_outcomes(),
+        };
+        ExperimentReport {
+            text: render(&result),
+            metrics,
+        }
+    }
 }
 
 /// Summary table matching the figure's aggregate panels.

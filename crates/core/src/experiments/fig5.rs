@@ -7,12 +7,13 @@
 //! DCs tracking the globally dominant load source — BRS → BNG → BCN →
 //! BST over a simulated day.
 
+use crate::experiment::{self, Arm, Experiment, ExperimentReport, ExperimentRun};
 use crate::policy::FollowLoadPolicy;
 use crate::report::TextTable;
 use crate::scenario::ScenarioBuilder;
-use crate::simulation::{RunOutcome, SimulationRunner};
+use crate::simulation::RunOutcome;
 use pamdc_sched::oracle::TrueOracle;
-use pamdc_simcore::time::{SimDuration, SimTime};
+use pamdc_simcore::time::SimTime;
 
 /// Configuration of the Figure-5 reproduction.
 #[derive(Clone, Debug)]
@@ -39,13 +40,21 @@ pub struct Fig5Result {
     pub dcs_visited: usize,
 }
 
-/// Runs the experiment.
-pub fn run(cfg: &Fig5Config) -> Fig5Result {
+/// Stage 2: the single follow-the-load arm.
+fn arms(cfg: &Fig5Config) -> Vec<Arm> {
     let scenario = ScenarioBuilder::follow_the_sun().seed(cfg.seed).build();
     let policy = Box::new(FollowLoadPolicy(TrueOracle::new()));
-    let (outcome, _) =
-        SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(cfg.hours));
+    vec![Arm::new("", scenario, policy, cfg.hours)]
+}
 
+/// Runs the experiment.
+pub fn run(cfg: &Fig5Config) -> Fig5Result {
+    let outcome = experiment::execute(arms(cfg)).remove(0).1;
+    result_from(outcome)
+}
+
+/// Stage 4: extracts the placement trace from the run.
+fn result_from(outcome: RunOutcome) -> Fig5Result {
     let mut placement_changes = Vec::new();
     if let Some(trace) = outcome.series.get("vm0_dc") {
         let mut last: Option<usize> = None;
@@ -64,6 +73,30 @@ pub fn run(cfg: &Fig5Config) -> Fig5Result {
         outcome,
         dcs_visited: visited.len(),
         placement_changes,
+    }
+}
+
+/// The registry-facing experiment.
+pub struct Fig5 {
+    /// Run configuration.
+    pub cfg: Fig5Config,
+}
+
+impl Experiment for Fig5 {
+    fn arms(&mut self, _training: Option<&crate::training::TrainingOutcome>) -> Vec<Arm> {
+        arms(&self.cfg)
+    }
+
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+        let result = result_from(run.into_outcomes().remove(0));
+        ExperimentReport {
+            metrics: vec![
+                ("dcs_visited".to_string(), result.dcs_visited as f64),
+                ("migrations".to_string(), result.outcome.migrations as f64),
+                ("mean_sla".to_string(), result.outcome.mean_sla),
+            ],
+            text: render(&result),
+        }
     }
 }
 

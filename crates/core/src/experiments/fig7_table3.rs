@@ -10,13 +10,14 @@
 //! consolidates across DCs, the static fleet cannot) while holding or
 //! slightly improving SLA and net €/h.
 
+use crate::experiment::{self, Arm, Experiment, ExperimentReport, ExperimentRun};
+use crate::experiments::table1::Table1Config;
 use crate::policy::{HierarchicalPolicy, PlacementPolicy, StaticPolicy};
 use crate::report::TextTable;
 use crate::scenario::ScenarioBuilder;
-use crate::simulation::{RunOutcome, SimulationRunner};
+use crate::simulation::RunOutcome;
 use crate::training::TrainingOutcome;
 use pamdc_sched::oracle::{MlOracle, TrueOracle};
-use pamdc_simcore::time::SimDuration;
 
 /// Configuration of the Table-III reproduction.
 #[derive(Clone, Debug)]
@@ -72,9 +73,8 @@ impl Table3Result {
     }
 }
 
-/// Runs both arms in parallel; uses the ML oracle when supplied.
-pub fn run(cfg: &Table3Config, training: Option<&TrainingOutcome>) -> Table3Result {
-    let duration = SimDuration::from_hours(cfg.hours);
+/// Stage 2: the static and dynamic arms.
+fn arms(cfg: &Table3Config, training: Option<&TrainingOutcome>) -> Vec<Arm> {
     let build = || {
         ScenarioBuilder::paper_multi_dc()
             .vms(cfg.vms)
@@ -82,24 +82,62 @@ pub fn run(cfg: &Table3Config, training: Option<&TrainingOutcome>) -> Table3Resu
             .seed(cfg.seed)
             .build()
     };
-    let suite = training.map(|t| t.suite.clone());
-    let (static_global, dynamic) = pamdc_simcore::par::join(
-        || {
-            SimulationRunner::new(build(), Box::new(StaticPolicy(TrueOracle::new())))
-                .run(duration)
-                .0
-        },
-        move || {
-            let policy: Box<dyn PlacementPolicy> = match suite {
-                Some(suite) => Box::new(HierarchicalPolicy::new(MlOracle::new(suite))),
-                None => Box::new(HierarchicalPolicy::new(TrueOracle::new())),
-            };
-            SimulationRunner::new(build(), policy).run(duration).0
-        },
-    );
+    let dynamic: Box<dyn PlacementPolicy> = match training {
+        Some(t) => Box::new(HierarchicalPolicy::new(MlOracle::new(t.suite.clone()))),
+        None => Box::new(HierarchicalPolicy::new(TrueOracle::new())),
+    };
+    vec![
+        Arm::new(
+            "static",
+            build(),
+            Box::new(StaticPolicy(TrueOracle::new())),
+            cfg.hours,
+        ),
+        Arm::new("dynamic", build(), dynamic, cfg.hours),
+    ]
+}
+
+/// Runs both arms in parallel; uses the ML oracle when supplied.
+pub fn run(cfg: &Table3Config, training: Option<&TrainingOutcome>) -> Table3Result {
+    let mut outcomes = experiment::execute(arms(cfg, training)).into_iter();
     Table3Result {
-        static_global,
-        dynamic,
+        static_global: outcomes.next().expect("static arm").1,
+        dynamic: outcomes.next().expect("dynamic arm").1,
+    }
+}
+
+/// The registry-facing experiment.
+pub struct Fig7Table3 {
+    /// Arm configuration.
+    pub cfg: Table3Config,
+    /// Table-I training configuration (`None` = ground-truth oracle).
+    pub training: Option<Table1Config>,
+}
+
+impl Experiment for Fig7Table3 {
+    fn training(&self) -> Option<Table1Config> {
+        self.training.clone()
+    }
+
+    fn arms(&mut self, training: Option<&TrainingOutcome>) -> Vec<Arm> {
+        arms(&self.cfg, training)
+    }
+
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+        let mut metrics = run.arm_metrics();
+        let mut outcomes = run.into_outcomes().into_iter();
+        let result = Table3Result {
+            static_global: outcomes.next().expect("static arm"),
+            dynamic: outcomes.next().expect("dynamic arm"),
+        };
+        metrics.push((
+            "energy_saving_frac".to_string(),
+            result.energy_saving_frac(),
+        ));
+        ExperimentReport {
+            text: render(&result),
+            metrics,
+        }
     }
 }
 

@@ -10,12 +10,12 @@
 //! item, each with its own derived seed, so the sweep is deterministic
 //! regardless of thread interleaving.
 
+use crate::experiment::{self, Arm, Experiment, ExperimentReport, ExperimentRun};
 use crate::policy::HierarchicalPolicy;
 use crate::report::TextTable;
 use crate::scenario::ScenarioBuilder;
-use crate::simulation::SimulationRunner;
+use crate::simulation::RunOutcome;
 use pamdc_sched::oracle::TrueOracle;
-use pamdc_simcore::time::SimDuration;
 
 /// Configuration of the Figure-8 sweep.
 #[derive(Clone, Debug)]
@@ -78,29 +78,40 @@ pub struct Fig8Result {
     pub points: Vec<SurfacePoint>,
 }
 
-/// Runs the sweep in parallel.
-pub fn run(cfg: &Fig8Config) -> Fig8Result {
+/// The sweep grid, load-major.
+fn combos(cfg: &Fig8Config) -> Vec<(f64, usize)> {
     let mut combos: Vec<(f64, usize)> = Vec::new();
     for &ls in &cfg.load_scales {
         for &pms in &cfg.pms_per_dc {
             combos.push((ls, pms));
         }
     }
-    let hours = cfg.hours;
-    let vms = cfg.vms;
-    let seed = cfg.seed;
+    combos
+}
 
-    let points: Vec<SurfacePoint> =
-        pamdc_simcore::par::parallel_map(combos, |(load_scale, pms_per_dc)| {
+/// Stage 2: one arm per sweep point.
+fn arms(cfg: &Fig8Config) -> Vec<Arm> {
+    combos(cfg)
+        .into_iter()
+        .map(|(load_scale, pms_per_dc)| {
             let scenario = ScenarioBuilder::paper_multi_dc()
-                .vms(vms)
+                .vms(cfg.vms)
                 .pms_per_dc(pms_per_dc)
                 .load_scale(load_scale)
-                .seed(seed)
+                .seed(cfg.seed)
                 .build();
             let policy = Box::new(HierarchicalPolicy::new(TrueOracle::new()));
-            let (o, _) =
-                SimulationRunner::new(scenario, policy).run(SimDuration::from_hours(hours));
+            Arm::new("", scenario, policy, cfg.hours)
+        })
+        .collect()
+}
+
+/// Stage 4: pairs the outcomes back with their grid coordinates.
+fn points_from(cfg: &Fig8Config, outcomes: Vec<RunOutcome>) -> Vec<SurfacePoint> {
+    combos(cfg)
+        .into_iter()
+        .zip(outcomes)
+        .map(|((load_scale, pms_per_dc), o)| {
             let mean_rps = o.series.get("rps").map(|s| s.mean()).unwrap_or(0.0);
             SurfacePoint {
                 load_scale,
@@ -109,9 +120,42 @@ pub fn run(cfg: &Fig8Config) -> Fig8Result {
                 avg_watts: o.avg_watts,
                 mean_sla: o.mean_sla,
             }
-        });
+        })
+        .collect()
+}
 
-    Fig8Result { points }
+/// Runs the sweep in parallel.
+pub fn run(cfg: &Fig8Config) -> Fig8Result {
+    let outcomes = experiment::execute(arms(cfg))
+        .into_iter()
+        .map(|(_, o)| o)
+        .collect();
+    Fig8Result {
+        points: points_from(cfg, outcomes),
+    }
+}
+
+/// The registry-facing experiment. The surface is a plot, not a metric
+/// list: the report stays table-only (CSV-ready via the rendered rows).
+pub struct Fig8 {
+    /// Sweep configuration.
+    pub cfg: Fig8Config,
+}
+
+impl Experiment for Fig8 {
+    fn arms(&mut self, _training: Option<&crate::training::TrainingOutcome>) -> Vec<Arm> {
+        arms(&self.cfg)
+    }
+
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+        let result = Fig8Result {
+            points: points_from(&self.cfg, run.into_outcomes()),
+        };
+        ExperimentReport {
+            text: render(&result),
+            metrics: Vec::new(),
+        }
+    }
 }
 
 /// Renders the surface as rows (plot-ready CSV via

@@ -21,12 +21,12 @@
 //! its energy green, emits less CO₂ and pays less for electricity, at
 //! equal-or-better SLA — with the migrations to show for it.
 
+use crate::experiment::{self, Arm, Experiment, ExperimentReport, ExperimentRun};
 use crate::policy::HierarchicalPolicy;
 use crate::report::TextTable;
-use crate::scenario::ScenarioBuilder;
-use crate::simulation::{RunConfig, RunOutcome, SimulationRunner};
+use crate::scenario::{Scenario, ScenarioBuilder};
+use crate::simulation::{RunConfig, RunOutcome};
 use pamdc_sched::oracle::TrueOracle;
-use pamdc_simcore::time::SimDuration;
 
 /// Energy-chasing needs to amortize a migration over more than one
 /// 10-minute round: a ~10 s blackout buys hours of sun. One hour of
@@ -105,73 +105,100 @@ impl GreenResult {
     }
 }
 
-/// Runs both arms in parallel.
-pub fn run(cfg: &GreenConfig) -> GreenResult {
-    let duration = SimDuration::from_hours(cfg.hours);
-    let build = |aware: bool| {
-        let days = cfg.hours / 24 + 1;
-        let (solar_dcs, solar_per_pm_w, min_sky, seed) = (
-            cfg.solar_dcs.clone(),
-            cfg.solar_per_pm_w,
-            cfg.min_sky,
+/// Builds one arm's world.
+fn build(cfg: &GreenConfig, aware: bool) -> Scenario {
+    let days = cfg.hours / 24 + 1;
+    let (solar_dcs, solar_per_pm_w, min_sky, seed) = (
+        cfg.solar_dcs.clone(),
+        cfg.solar_per_pm_w,
+        cfg.min_sky,
+        cfg.seed,
+    );
+    ScenarioBuilder::paper_multi_dc()
+        .vms(cfg.vms)
+        .pms_per_dc(cfg.pms_per_dc)
+        .load_scale(cfg.load_scale)
+        .seed(cfg.seed)
+        .name(if aware {
+            "follow-the-sun"
+        } else {
+            "price-blind"
+        })
+        // Latency-neutral clients: the energy term alone decides.
+        .workload(pamdc_workload::libcn::uniform_multi_dc(
+            cfg.vms,
+            170.0 * cfg.load_scale,
             cfg.seed,
-        );
-        ScenarioBuilder::paper_multi_dc()
-            .vms(cfg.vms)
-            .pms_per_dc(cfg.pms_per_dc)
-            .load_scale(cfg.load_scale)
-            .seed(cfg.seed)
-            .name(if aware {
-                "follow-the-sun"
+        ))
+        .energy(move |cluster, mut env| {
+            for &dc in &solar_dcs {
+                let capacity = solar_per_pm_w * cluster.dcs()[dc].pms().len() as f64;
+                env = env.with_solar_at(cluster, dc, capacity, min_sky, days, seed);
+            }
+            if aware {
+                env
             } else {
-                "price-blind"
-            })
-            // Latency-neutral clients: the energy term alone decides.
-            .workload(pamdc_workload::libcn::uniform_multi_dc(
-                cfg.vms,
-                170.0 * cfg.load_scale,
-                cfg.seed,
-            ))
-            .energy(move |cluster, mut env| {
-                for &dc in &solar_dcs {
-                    let capacity = solar_per_pm_w * cluster.dcs()[dc].pms().len() as f64;
-                    env = env.with_solar_at(cluster, dc, capacity, min_sky, days, seed);
-                }
-                if aware {
-                    env
-                } else {
-                    env.price_blind()
-                }
-            })
-            .build()
-    };
+                env.price_blind()
+            }
+        })
+        .build()
+}
+
+/// Stage 2: the sun-aware and price-blind arms.
+fn arms(cfg: &GreenConfig) -> Vec<Arm> {
     let run_cfg = RunConfig {
         plan_horizon_ticks: Some(PLAN_HORIZON_TICKS),
         ..RunConfig::default()
     };
-    let (sun_aware, price_blind) = pamdc_simcore::par::join(
-        || {
-            SimulationRunner::new(
-                build(true),
+    [("sun_aware", true), ("price_blind", false)]
+        .into_iter()
+        .map(|(label, aware)| {
+            Arm::new(
+                label,
+                build(cfg, aware),
                 Box::new(HierarchicalPolicy::new(TrueOracle::new())),
+                cfg.hours,
             )
             .config(run_cfg.clone())
-            .run(duration)
-            .0
-        },
-        || {
-            SimulationRunner::new(
-                build(false),
-                Box::new(HierarchicalPolicy::new(TrueOracle::new())),
-            )
-            .config(run_cfg.clone())
-            .run(duration)
-            .0
-        },
-    );
+        })
+        .collect()
+}
+
+/// Runs both arms in parallel.
+pub fn run(cfg: &GreenConfig) -> GreenResult {
+    let mut outcomes = experiment::execute(arms(cfg)).into_iter();
     GreenResult {
-        sun_aware,
-        price_blind,
+        sun_aware: outcomes.next().expect("sun-aware arm").1,
+        price_blind: outcomes.next().expect("price-blind arm").1,
+    }
+}
+
+/// The registry-facing experiment.
+pub struct Green {
+    /// Arm configuration.
+    pub cfg: GreenConfig,
+}
+
+impl Experiment for Green {
+    fn arms(&mut self, _training: Option<&crate::training::TrainingOutcome>) -> Vec<Arm> {
+        arms(&self.cfg)
+    }
+
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+        let mut metrics = run.arm_metrics();
+        let mut outcomes = run.into_outcomes().into_iter();
+        let result = GreenResult {
+            sun_aware: outcomes.next().expect("sun-aware arm"),
+            price_blind: outcomes.next().expect("price-blind arm"),
+        };
+        metrics.push((
+            "green_fraction_gain".to_string(),
+            result.green_fraction_gain(),
+        ));
+        ExperimentReport {
+            text: render(&result),
+            metrics,
+        }
     }
 }
 

@@ -14,14 +14,14 @@
 //! (modulo plateauing once the fleet is fully consolidated in the
 //! cheapest DC).
 
+use crate::experiment::{self, Arm, Experiment, ExperimentReport, ExperimentRun};
 use crate::policy::{HierarchicalPolicy, PlacementPolicy, StaticPolicy};
 use crate::report::TextTable;
-use crate::scenario::ScenarioBuilder;
-use crate::simulation::{RunConfig, RunOutcome, SimulationRunner};
+use crate::scenario::{Scenario, ScenarioBuilder};
+use crate::simulation::{RunConfig, RunOutcome};
 use pamdc_econ::prices::paper_prices;
 use pamdc_green::tariff::Tariff;
 use pamdc_sched::oracle::TrueOracle;
-use pamdc_simcore::time::SimDuration;
 
 /// Configuration of the heterogeneity sweep.
 #[derive(Clone, Debug)]
@@ -106,51 +106,103 @@ fn stretched_prices(spread: f64) -> [f64; 4] {
     out
 }
 
-/// Runs the sweep (cells in parallel, arms in parallel within a cell).
-pub fn run(cfg: &HeterogeneityConfig) -> Vec<HeterogeneityCell> {
-    let duration = SimDuration::from_hours(cfg.hours);
-    let run_cell = |spread: f64| {
-        let build = || {
-            ScenarioBuilder::paper_multi_dc()
-                .vms(cfg.vms)
-                .pms_per_dc(cfg.pms_per_dc)
-                .load_scale(cfg.load_scale)
-                .seed(cfg.seed)
-                .name(format!("heterogeneity-x{spread}"))
-                .workload(pamdc_workload::libcn::uniform_multi_dc(
-                    cfg.vms,
-                    170.0 * cfg.load_scale,
-                    cfg.seed,
-                ))
-                .energy(move |_, mut env| {
-                    for (dc, &price) in stretched_prices(spread).iter().enumerate() {
-                        env = env.with_tariff(dc, Tariff::Flat(price));
-                    }
-                    env
-                })
-                .build()
-        };
-        let run_cfg = RunConfig {
-            plan_horizon_ticks: Some(60),
-            ..RunConfig::default()
-        };
-        let arm = |policy: Box<dyn PlacementPolicy>| {
-            SimulationRunner::new(build(), policy)
-                .config(run_cfg.clone())
-                .run(duration)
-                .0
-        };
-        let (static_global, dynamic) = pamdc_simcore::par::join(
-            || arm(Box::new(StaticPolicy(TrueOracle::new()))),
-            || arm(Box::new(HierarchicalPolicy::new(TrueOracle::new()))),
-        );
-        HeterogeneityCell {
-            spread,
-            static_global,
-            dynamic,
-        }
+/// Builds one cell's world at the given spread.
+fn build(cfg: &HeterogeneityConfig, spread: f64) -> Scenario {
+    ScenarioBuilder::paper_multi_dc()
+        .vms(cfg.vms)
+        .pms_per_dc(cfg.pms_per_dc)
+        .load_scale(cfg.load_scale)
+        .seed(cfg.seed)
+        .name(format!("heterogeneity-x{spread}"))
+        .workload(pamdc_workload::libcn::uniform_multi_dc(
+            cfg.vms,
+            170.0 * cfg.load_scale,
+            cfg.seed,
+        ))
+        .energy(move |_, mut env| {
+            for (dc, &price) in stretched_prices(spread).iter().enumerate() {
+                env = env.with_tariff(dc, Tariff::Flat(price));
+            }
+            env
+        })
+        .build()
+}
+
+/// Stage 2: two arms per spread, spread-major (`static` before
+/// `dynamic` within a cell).
+fn arms(cfg: &HeterogeneityConfig) -> Vec<Arm> {
+    let run_cfg = RunConfig {
+        plan_horizon_ticks: Some(60),
+        ..RunConfig::default()
     };
-    pamdc_simcore::par::parallel_map(cfg.spreads.clone(), run_cell)
+    let mut arms = Vec::with_capacity(cfg.spreads.len() * 2);
+    for &spread in &cfg.spreads {
+        let static_policy: Box<dyn PlacementPolicy> = Box::new(StaticPolicy(TrueOracle::new()));
+        let dynamic_policy: Box<dyn PlacementPolicy> =
+            Box::new(HierarchicalPolicy::new(TrueOracle::new()));
+        for (label, policy) in [
+            (format!("x{spread}_static"), static_policy),
+            (format!("x{spread}_dynamic"), dynamic_policy),
+        ] {
+            arms.push(
+                Arm::new(label, build(cfg, spread), policy, cfg.hours).config(run_cfg.clone()),
+            );
+        }
+    }
+    arms
+}
+
+/// Stage 4: regroups the flat arm outcomes into cells.
+fn cells_from(cfg: &HeterogeneityConfig, outcomes: Vec<RunOutcome>) -> Vec<HeterogeneityCell> {
+    let mut outcomes = outcomes.into_iter();
+    cfg.spreads
+        .iter()
+        .map(|&spread| HeterogeneityCell {
+            spread,
+            static_global: outcomes.next().expect("static arm"),
+            dynamic: outcomes.next().expect("dynamic arm"),
+        })
+        .collect()
+}
+
+/// Runs the sweep (all arms of all cells in parallel).
+pub fn run(cfg: &HeterogeneityConfig) -> Vec<HeterogeneityCell> {
+    let outcomes = experiment::execute(arms(cfg))
+        .into_iter()
+        .map(|(_, o)| o)
+        .collect();
+    cells_from(cfg, outcomes)
+}
+
+/// The registry-facing experiment.
+pub struct Heterogeneity {
+    /// Sweep configuration.
+    pub cfg: HeterogeneityConfig,
+}
+
+impl Experiment for Heterogeneity {
+    fn arms(&mut self, _training: Option<&crate::training::TrainingOutcome>) -> Vec<Arm> {
+        arms(&self.cfg)
+    }
+
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+        let mut metrics = run.arm_metrics();
+        let cells = cells_from(&self.cfg, run.into_outcomes());
+        for c in &cells {
+            metrics.push((
+                format!("x{}_energy_cost_saving_frac", c.spread),
+                c.energy_cost_saving_frac(),
+            ));
+            metrics.push((
+                format!("x{}_profit_gain_eur_h", c.spread),
+                c.profit_gain_eur_h(),
+            ));
+        }
+        ExperimentReport {
+            text: render(&cells),
+            metrics,
+        }
+    }
 }
 
 /// Renders the sweep table.

@@ -22,6 +22,7 @@
 //! error jumps and never recovers; the window model recovers after its
 //! buffer turns over; the drift-aware model recovers fastest.
 
+use crate::experiment::{Experiment, ExperimentReport, ExperimentRun};
 use crate::report::TextTable;
 use crate::scenario::ScenarioBuilder;
 use crate::simulation::{RunConfig, SimulationRunner};
@@ -229,6 +230,38 @@ pub fn run(cfg: &OnlineDriftConfig) -> OnlineDriftResult {
         drift_aware: mae(2),
         detected_after,
         segment_sizes: (counts[0][0], counts[0][1], counts[0][2]),
+    }
+}
+
+/// The registry-facing experiment: the prequential stream needs a
+/// collector-attached simulation, so everything runs in the emission
+/// stage rather than through shared arms.
+pub struct OnlineDrift {
+    /// Stream and learner configuration.
+    pub cfg: OnlineDriftConfig,
+}
+
+impl Experiment for OnlineDrift {
+    fn emit(&self, _run: ExperimentRun) -> ExperimentReport {
+        let result = run(&self.cfg);
+        let mut metrics = Vec::new();
+        for (label, m) in [
+            ("frozen", &result.frozen),
+            ("window", &result.window),
+            ("drift_aware", &result.drift_aware),
+        ] {
+            metrics.push((format!("{label}_mae_pre"), m.pre));
+            metrics.push((format!("{label}_mae_transition"), m.transition));
+            metrics.push((format!("{label}_mae_recovered"), m.recovered));
+        }
+        metrics.push((
+            "detected_after_samples".to_string(),
+            result.detected_after.map(|k| k as f64).unwrap_or(-1.0),
+        ));
+        ExperimentReport {
+            text: render(&result),
+            metrics,
+        }
     }
 }
 

@@ -18,13 +18,14 @@
 //! adaptive arm's Boston occupancy drops after the spike and its energy
 //! bill undercuts the posted-price arm's.
 
+use crate::experiment::{self, Arm, Experiment, ExperimentReport, ExperimentRun};
 use crate::policy::HierarchicalPolicy;
 use crate::report::TextTable;
-use crate::scenario::ScenarioBuilder;
-use crate::simulation::{RunConfig, RunOutcome, SimulationRunner};
+use crate::scenario::{Scenario, ScenarioBuilder};
+use crate::simulation::{RunConfig, RunOutcome};
 use pamdc_green::tariff::Tariff;
 use pamdc_sched::oracle::TrueOracle;
-use pamdc_simcore::time::{SimDuration, SimTime};
+use pamdc_simcore::time::SimTime;
 
 /// Boston's index among the paper DCs.
 const BOSTON: usize = 3;
@@ -121,75 +122,119 @@ fn boston_share(outcome: &RunOutcome, vms: usize, spike_at: SimTime, post: bool)
     }
 }
 
+/// Builds one arm's world.
+///
+/// The fleet starts consolidated in Boston — the rational placement
+/// under the posted prices (it is the cheapest DC). The workload is
+/// latency-neutral (equal load from all regions), so the energy term
+/// alone decides where the fleet lives — exactly the regime the paper
+/// predicts for "larger variations of energy prices across the world".
+fn build(cfg: &PriceAdaptationConfig, adaptive: bool) -> Scenario {
+    let spike_factor = cfg.spike_factor;
+    let spike_at = cfg.spike_at();
+    ScenarioBuilder::paper_multi_dc()
+        .vms(cfg.vms)
+        .pms_per_dc(cfg.pms_per_dc)
+        .load_scale(cfg.load_scale)
+        .deploy_all_in(BOSTON)
+        .seed(cfg.seed)
+        .name(if adaptive {
+            "adaptive-pricing"
+        } else {
+            "posted-pricing"
+        })
+        .workload(pamdc_workload::libcn::uniform_multi_dc(
+            cfg.vms,
+            170.0 * cfg.load_scale,
+            cfg.seed,
+        ))
+        .energy(move |_, env| {
+            let base = pamdc_econ::prices::paper_prices()[BOSTON].eur_per_kwh;
+            let env = env.with_tariff(
+                BOSTON,
+                Tariff::Step {
+                    initial_eur: base,
+                    steps: vec![(spike_at, base * spike_factor)],
+                },
+            );
+            if adaptive {
+                env
+            } else {
+                env.price_blind()
+            }
+        })
+        .build()
+}
+
+/// Stage 2: the adaptive and posted-price arms. A one-hour planning
+/// horizon: fleeing a 4x tariff must pay for the migration out of more
+/// than ten minutes of savings.
+fn arms(cfg: &PriceAdaptationConfig) -> Vec<Arm> {
+    let run_cfg = RunConfig {
+        plan_horizon_ticks: Some(60),
+        ..RunConfig::default()
+    };
+    [("adaptive", true), ("posted", false)]
+        .into_iter()
+        .map(|(label, adaptive)| {
+            Arm::new(
+                label,
+                build(cfg, adaptive),
+                Box::new(HierarchicalPolicy::new(TrueOracle::new())),
+                cfg.hours,
+            )
+            .config(run_cfg.clone())
+        })
+        .collect()
+}
+
+/// Stage 4: wraps an outcome with its Boston-occupancy statistics.
+fn arm_result(cfg: &PriceAdaptationConfig, outcome: RunOutcome) -> ArmResult {
+    let spike_at = cfg.spike_at();
+    ArmResult {
+        boston_share_pre: boston_share(&outcome, cfg.vms, spike_at, false),
+        boston_share_post: boston_share(&outcome, cfg.vms, spike_at, true),
+        outcome,
+    }
+}
+
 /// Runs both arms in parallel.
 pub fn run(cfg: &PriceAdaptationConfig) -> PriceAdaptationResult {
-    let duration = SimDuration::from_hours(cfg.hours);
-    let spike_at = cfg.spike_at();
-    let build = |adaptive: bool| {
-        // The fleet starts consolidated in Boston — the rational
-        // placement under the posted prices (it is the cheapest DC). The
-        // workload is latency-neutral (equal load from all regions), so
-        // the energy term alone decides where the fleet lives — exactly
-        // the regime the paper predicts for "larger variations of energy
-        // prices across the world".
-        let spike_factor = cfg.spike_factor;
-        ScenarioBuilder::paper_multi_dc()
-            .vms(cfg.vms)
-            .pms_per_dc(cfg.pms_per_dc)
-            .load_scale(cfg.load_scale)
-            .deploy_all_in(BOSTON)
-            .seed(cfg.seed)
-            .name(if adaptive {
-                "adaptive-pricing"
-            } else {
-                "posted-pricing"
-            })
-            .workload(pamdc_workload::libcn::uniform_multi_dc(
-                cfg.vms,
-                170.0 * cfg.load_scale,
-                cfg.seed,
-            ))
-            .energy(move |_, env| {
-                let base = pamdc_econ::prices::paper_prices()[BOSTON].eur_per_kwh;
-                let env = env.with_tariff(
-                    BOSTON,
-                    Tariff::Step {
-                        initial_eur: base,
-                        steps: vec![(spike_at, base * spike_factor)],
-                    },
-                );
-                if adaptive {
-                    env
-                } else {
-                    env.price_blind()
-                }
-            })
-            .build()
-    };
-    let arm = |adaptive: bool| {
-        let outcome = SimulationRunner::new(
-            build(adaptive),
-            Box::new(HierarchicalPolicy::new(TrueOracle::new())),
-        )
-        // A one-hour planning horizon: fleeing a 4x tariff must pay for
-        // the migration out of more than ten minutes of savings.
-        .config(RunConfig {
-            plan_horizon_ticks: Some(60),
-            ..RunConfig::default()
-        })
-        .run(duration)
-        .0;
-        ArmResult {
-            boston_share_pre: boston_share(&outcome, cfg.vms, spike_at, false),
-            boston_share_post: boston_share(&outcome, cfg.vms, spike_at, true),
-            outcome,
-        }
-    };
-    let (adaptive, posted) = pamdc_simcore::par::join(|| arm(true), || arm(false));
+    let mut outcomes = experiment::execute(arms(cfg)).into_iter();
     PriceAdaptationResult {
-        adaptive,
-        posted,
-        spike_at,
+        adaptive: arm_result(cfg, outcomes.next().expect("adaptive arm").1),
+        posted: arm_result(cfg, outcomes.next().expect("posted arm").1),
+        spike_at: cfg.spike_at(),
+    }
+}
+
+/// The registry-facing experiment.
+pub struct PriceAdaptation {
+    /// Arm configuration.
+    pub cfg: PriceAdaptationConfig,
+}
+
+impl Experiment for PriceAdaptation {
+    fn arms(&mut self, _training: Option<&crate::training::TrainingOutcome>) -> Vec<Arm> {
+        arms(&self.cfg)
+    }
+
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+        let mut metrics = run.arm_metrics();
+        let mut outcomes = run.into_outcomes().into_iter();
+        let result = PriceAdaptationResult {
+            adaptive: arm_result(&self.cfg, outcomes.next().expect("adaptive arm")),
+            posted: arm_result(&self.cfg, outcomes.next().expect("posted arm")),
+            spike_at: self.cfg.spike_at(),
+        };
+        for (label, arm) in [("adaptive", &result.adaptive), ("posted", &result.posted)] {
+            metrics.push((format!("{label}_boston_share_pre"), arm.boston_share_pre));
+            metrics.push((format!("{label}_boston_share_post"), arm.boston_share_post));
+        }
+        ExperimentReport {
+            text: render(&result),
+            metrics,
+        }
     }
 }
 

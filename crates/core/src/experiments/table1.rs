@@ -7,6 +7,7 @@
 //! and reports correlation, MAE, error σ, train/val sizes and target
 //! ranges — the exact columns of the paper's table.
 
+use crate::experiment::{Arm, Experiment, ExperimentReport, ExperimentRun};
 use crate::report::TextTable;
 use crate::training::{collect_training_data, train_suite, TrainingOutcome};
 use pamdc_ml::metrics::table_header;
@@ -52,6 +53,40 @@ impl Table1Config {
 pub fn run(cfg: &Table1Config) -> TrainingOutcome {
     let collector = collect_training_data(cfg.vms, &cfg.scales, cfg.hours_per_scale, cfg.seed);
     train_suite(&collector, cfg.seed)
+}
+
+/// The registry-facing experiment: Table I *is* the pipeline's training
+/// stage, so it declares training, no arms, and renders the outcome.
+pub struct Table1 {
+    /// Collection/training configuration.
+    pub cfg: Table1Config,
+}
+
+impl Experiment for Table1 {
+    fn training(&self) -> Option<Table1Config> {
+        Some(self.cfg.clone())
+    }
+
+    fn arms(&mut self, _training: Option<&TrainingOutcome>) -> Vec<Arm> {
+        Vec::new()
+    }
+
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+        let outcome = run.training();
+        ExperimentReport {
+            text: format!("{}\n{}", render(outcome), render_comparison(outcome)),
+            metrics: vec![
+                (
+                    "vm_tick_samples".to_string(),
+                    outcome.sample_counts.0 as f64,
+                ),
+                (
+                    "pm_tick_samples".to_string(),
+                    outcome.sample_counts.1 as f64,
+                ),
+            ],
+        }
+    }
 }
 
 /// Renders the paper-style table.

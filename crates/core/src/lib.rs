@@ -3,10 +3,13 @@
 //! The paper's pieces assembled into a running system: experimental
 //! [`scenario`]s, the MAPE [`simulation`] loop, pluggable placement
 //! [`policy`] implementations, the Table-I [`training`] pipeline, report
-//! rendering ([`report`]) and one driver per table/figure of the
-//! evaluation ([`experiments`]).
+//! rendering ([`report`]), the shared [`experiment`] pipeline
+//! (training → arm enumeration → execution → emission) and one driver
+//! per table/figure of the evaluation ([`experiments`]), each a thin
+//! [`experiment::Experiment`] over that pipeline.
 
 pub mod energy;
+pub mod experiment;
 pub mod experiments;
 pub mod policy;
 pub mod report;
@@ -17,6 +20,9 @@ pub mod training;
 /// Common imports.
 pub mod prelude {
     pub use crate::energy::EnergyEnvironment;
+    pub use crate::experiment::{
+        outcome_metrics, run_experiment, Arm, Experiment, ExperimentReport, ExperimentRun,
+    };
     pub use crate::policy::{
         BestFitPolicy, CheapestEnergyPolicy, FollowLoadPolicy, HierarchicalPolicy, PlacementPolicy,
         RandomPolicy, StaticPolicy,

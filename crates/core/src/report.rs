@@ -4,6 +4,24 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+/// The one metric-key sanitizer, shared by the experiment pipeline, the
+/// CLI's CSV/JSON emitters and the bench harness: keeps ASCII
+/// alphanumerics and `_ . - /` (so bench ids like `group/bench/10x40`
+/// survive unchanged) and maps every other character — brackets, spaces,
+/// unicode — to `_`, so keys stay shell-, CSV- and JSON-friendly no
+/// matter which display name they were derived from.
+pub fn metric_key(raw: &str) -> String {
+    raw.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-' | '/') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// A simple column-aligned text table.
 #[derive(Clone, Debug, Default)]
 pub struct TextTable {

@@ -1,0 +1,411 @@
+//! The experiment-kind registry: one entry per driver, mapping an
+//! `[experiment] kind = "..."` string to a constructor that builds the
+//! driver's [`Experiment`] from a spec.
+//!
+//! This table is the **only** place a new experiment kind is wired up:
+//! implement [`Experiment`] next to the driver in
+//! `pamdc_core::experiments`, add one [`KindEntry`] here, and `pamdc
+//! run/sweep/campaign`, spec validation and the golden tests all pick it
+//! up. `runner::run_spec` contains no per-experiment dispatch.
+//!
+//! Constructors receive the whole spec plus the quick flag and build the
+//! driver's config **from the spec's fields** (full mode) or from the
+//! driver's `quick()` preset (quick mode) — exactly the mapping the
+//! pre-registry `match` performed, so reports stay bit-identical.
+
+use crate::spec::{OracleKind, ScenarioSpec, SpecError, TrainingSpec};
+use pamdc_core::experiment::Experiment;
+use pamdc_core::experiments::{
+    ablations, deloc, fig4, fig5, fig6, fig7_table3, fig8, green, heterogeneity, online_drift,
+    price_adaptation, scaling, solver_scaling, table1, table2,
+};
+
+/// An experiment constructor: spec + quick flag → boxed [`Experiment`].
+pub type BuildFn = fn(&ScenarioSpec, bool) -> Result<Box<dyn Experiment>, SpecError>;
+
+/// One registered experiment kind.
+pub struct KindEntry {
+    /// The `[experiment] kind` string.
+    pub kind: &'static str,
+    /// False for wall-clock timing studies whose reports vary run to
+    /// run (excluded from golden snapshots; still CI-smoked).
+    pub deterministic: bool,
+    /// Builds the experiment from a spec (`quick` selects the driver's
+    /// test preset).
+    pub build: BuildFn,
+}
+
+/// The [`table1::Table1Config`] a spec's `[training]` section describes.
+fn training_config(t: &TrainingSpec) -> table1::Table1Config {
+    table1::Table1Config {
+        vms: t.vms,
+        scales: t.scales.clone(),
+        hours_per_scale: t.hours_per_scale,
+        seed: t.seed,
+    }
+}
+
+/// The training stage every experiment shares: the spec's `[training]`
+/// section in full mode, the Table-I quick preset (same seed) in quick
+/// mode.
+fn training(spec: &ScenarioSpec, quick: bool) -> table1::Table1Config {
+    if quick {
+        table1::Table1Config::quick(spec.training.seed)
+    } else {
+        training_config(&spec.training)
+    }
+}
+
+/// Training is only attached when the spec asks for ML beliefs;
+/// `true`-oracle specs reproduce the ground-truth arms.
+fn training_if_ml(spec: &ScenarioSpec, quick: bool) -> Option<table1::Table1Config> {
+    (spec.policy.oracle == OracleKind::Ml).then(|| training(spec, quick))
+}
+
+fn build_fig4(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let exp = spec.experiment.as_ref().expect("dispatched kind");
+    let cfg = if quick {
+        fig4::Fig4Config::quick(spec.seed)
+    } else {
+        fig4::Fig4Config {
+            hours: spec.run.hours,
+            vms: spec.workload.vms,
+            load_scale: spec.workload.load_scale,
+            seed: spec.seed,
+            include_true_arm: exp.true_arm,
+        }
+    };
+    Ok(Box::new(fig4::Fig4 {
+        cfg,
+        training: training(spec, quick),
+    }))
+}
+
+fn build_fig5(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let cfg = fig5::Fig5Config {
+        hours: if quick { 24 } else { spec.run.hours },
+        seed: spec.seed,
+    };
+    Ok(Box::new(fig5::Fig5 { cfg }))
+}
+
+fn build_fig6(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let cfg = if quick {
+        fig6::Fig6Config::quick(spec.seed)
+    } else {
+        fig6::Fig6Config {
+            hours: spec.run.hours,
+            vms: spec.workload.vms,
+            flash_multiplier: spec.workload.flash_crowd.unwrap_or(8.0),
+            seed: spec.seed,
+        }
+    };
+    Ok(Box::new(fig6::Fig6 {
+        cfg,
+        training: training_if_ml(spec, quick),
+    }))
+}
+
+fn build_fig7_table3(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let cfg = if quick {
+        fig7_table3::Table3Config::quick(spec.seed)
+    } else {
+        fig7_table3::Table3Config {
+            hours: spec.run.hours,
+            vms: spec.workload.vms,
+            load_scale: spec.workload.load_scale,
+            seed: spec.seed,
+        }
+    };
+    Ok(Box::new(fig7_table3::Fig7Table3 {
+        cfg,
+        training: training_if_ml(spec, quick),
+    }))
+}
+
+fn build_fig8(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let exp = spec.experiment.as_ref().expect("dispatched kind");
+    let cfg = if quick {
+        fig8::Fig8Config::quick(spec.seed)
+    } else {
+        let defaults = fig8::Fig8Config::default();
+        fig8::Fig8Config {
+            load_scales: if exp.load_scales.is_empty() {
+                defaults.load_scales
+            } else {
+                exp.load_scales.clone()
+            },
+            pms_per_dc: if exp.pms_levels.is_empty() {
+                defaults.pms_per_dc
+            } else {
+                exp.pms_levels.clone()
+            },
+            hours: spec.run.hours,
+            vms: spec.workload.vms,
+            seed: spec.seed,
+        }
+    };
+    Ok(Box::new(fig8::Fig8 { cfg }))
+}
+
+fn build_table1(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    Ok(Box::new(table1::Table1 {
+        cfg: training(spec, quick),
+    }))
+}
+
+fn build_table2(_spec: &ScenarioSpec, _quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    Ok(Box::new(table2::Table2))
+}
+
+fn build_green(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let cfg = if quick {
+        green::GreenConfig::quick(spec.seed)
+    } else {
+        green::GreenConfig {
+            hours: spec.run.hours,
+            vms: spec.workload.vms,
+            pms_per_dc: spec.topology.pms_per_dc,
+            solar_dcs: spec.energy.solar_dcs.clone(),
+            solar_per_pm_w: spec.energy.solar_per_pm_w,
+            min_sky: spec.energy.min_sky,
+            load_scale: spec.workload.load_scale,
+            seed: spec.seed,
+        }
+    };
+    Ok(Box::new(green::Green { cfg }))
+}
+
+fn build_deloc(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let cfg = if quick {
+        deloc::DelocConfig::quick(spec.seed)
+    } else {
+        deloc::DelocConfig {
+            hours: spec.run.hours,
+            vms: spec.workload.vms,
+            home_dc: spec.topology.deploy_all_in.unwrap_or(2),
+            pms_per_dc: spec.topology.pms_per_dc,
+            load_scale: spec.workload.load_scale,
+            seed: spec.seed,
+        }
+    };
+    Ok(Box::new(deloc::Deloc { cfg }))
+}
+
+/// The `[training]` section shapes the collection runs; the master
+/// `seed` drives them (so `--param seed=...` sweeps actually vary the
+/// ablation).
+fn build_ablations(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let cfg = if quick {
+        ablations::AblationsConfig::quick(spec.seed)
+    } else {
+        let t = &spec.training;
+        ablations::AblationsConfig {
+            vms: t.vms,
+            scales: t.scales.clone(),
+            hours_per_scale: t.hours_per_scale,
+            seed: spec.seed,
+        }
+    };
+    Ok(Box::new(ablations::Ablations { cfg }))
+}
+
+fn build_heterogeneity(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let exp = spec.experiment.as_ref().expect("dispatched kind");
+    let cfg = if quick {
+        heterogeneity::HeterogeneityConfig::quick(spec.seed)
+    } else {
+        let defaults = heterogeneity::HeterogeneityConfig::default();
+        heterogeneity::HeterogeneityConfig {
+            spreads: if exp.spreads.is_empty() {
+                defaults.spreads
+            } else {
+                exp.spreads.clone()
+            },
+            hours: spec.run.hours,
+            vms: spec.workload.vms,
+            pms_per_dc: spec.topology.pms_per_dc,
+            load_scale: spec.workload.load_scale,
+            seed: spec.seed,
+        }
+    };
+    Ok(Box::new(heterogeneity::Heterogeneity { cfg }))
+}
+
+fn build_online_drift(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let cfg = if quick {
+        online_drift::OnlineDriftConfig::quick(spec.seed)
+    } else {
+        online_drift::OnlineDriftConfig {
+            hours: spec.run.hours,
+            vms: spec.workload.vms,
+            load_scale: spec.workload.load_scale,
+            seed: spec.seed,
+            ..online_drift::OnlineDriftConfig::default()
+        }
+    };
+    Ok(Box::new(online_drift::OnlineDrift { cfg }))
+}
+
+fn build_price_adaptation(
+    spec: &ScenarioSpec,
+    quick: bool,
+) -> Result<Box<dyn Experiment>, SpecError> {
+    let exp = spec.experiment.as_ref().expect("dispatched kind");
+    let cfg = if quick {
+        price_adaptation::PriceAdaptationConfig::quick(spec.seed)
+    } else {
+        price_adaptation::PriceAdaptationConfig {
+            hours: spec.run.hours,
+            vms: spec.workload.vms,
+            pms_per_dc: spec.topology.pms_per_dc,
+            spike_factor: exp.spike_factor,
+            load_scale: spec.workload.load_scale,
+            seed: spec.seed,
+        }
+    };
+    Ok(Box::new(price_adaptation::PriceAdaptation { cfg }))
+}
+
+/// Timing studies over synthetic single rounds: no world is built, so
+/// most spec sections don't apply. `workload.peak_rps` sets the
+/// per-VM offered load; the instance-size ladder and repetition counts
+/// stay the driver's (the builtins pin `peak_rps` to the driver
+/// defaults).
+fn build_scaling(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
+    let mut cfg = if quick {
+        scaling::ScalingConfig::quick()
+    } else {
+        scaling::ScalingConfig::default()
+    };
+    cfg.rps = spec.workload.peak_rps;
+    Ok(Box::new(scaling::Scaling { cfg }))
+}
+
+/// See [`build_scaling`]: `workload.peak_rps` is the one live knob.
+fn build_solver_scaling(
+    spec: &ScenarioSpec,
+    quick: bool,
+) -> Result<Box<dyn Experiment>, SpecError> {
+    let mut cfg = if quick {
+        solver_scaling::ScalingConfig::quick()
+    } else {
+        solver_scaling::ScalingConfig::default()
+    };
+    cfg.rps = spec.workload.peak_rps;
+    Ok(Box::new(solver_scaling::SolverScaling { cfg }))
+}
+
+/// Every registered experiment kind, in paper order.
+pub const KINDS: &[KindEntry] = &[
+    KindEntry {
+        kind: "fig4",
+        deterministic: true,
+        build: build_fig4,
+    },
+    KindEntry {
+        kind: "fig5",
+        deterministic: true,
+        build: build_fig5,
+    },
+    KindEntry {
+        kind: "fig6",
+        deterministic: true,
+        build: build_fig6,
+    },
+    KindEntry {
+        kind: "fig7-table3",
+        deterministic: true,
+        build: build_fig7_table3,
+    },
+    KindEntry {
+        kind: "fig8",
+        deterministic: true,
+        build: build_fig8,
+    },
+    KindEntry {
+        kind: "table1",
+        deterministic: true,
+        build: build_table1,
+    },
+    KindEntry {
+        kind: "table2",
+        deterministic: true,
+        build: build_table2,
+    },
+    KindEntry {
+        kind: "green",
+        deterministic: true,
+        build: build_green,
+    },
+    KindEntry {
+        kind: "deloc",
+        deterministic: true,
+        build: build_deloc,
+    },
+    KindEntry {
+        kind: "ablations",
+        deterministic: true,
+        build: build_ablations,
+    },
+    KindEntry {
+        kind: "heterogeneity",
+        deterministic: true,
+        build: build_heterogeneity,
+    },
+    KindEntry {
+        kind: "online-drift",
+        deterministic: true,
+        build: build_online_drift,
+    },
+    KindEntry {
+        kind: "price-adaptation",
+        deterministic: true,
+        build: build_price_adaptation,
+    },
+    KindEntry {
+        kind: "scaling",
+        deterministic: false,
+        build: build_scaling,
+    },
+    KindEntry {
+        kind: "solver-scaling",
+        deterministic: false,
+        build: build_solver_scaling,
+    },
+];
+
+/// Looks a kind up by its `[experiment] kind` string.
+pub fn find(kind: &str) -> Option<&'static KindEntry> {
+    KINDS.iter().find(|k| k.kind == kind)
+}
+
+/// All registered kind strings (spec validation and error hints).
+pub fn kind_names() -> Vec<&'static str> {
+    KINDS.iter().map(|k| k.kind).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique() {
+        let mut names = kind_names();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KINDS.len());
+    }
+
+    #[test]
+    fn every_kind_constructs_from_a_bound_spec() {
+        for entry in KINDS {
+            let mut spec = ScenarioSpec::default();
+            spec.experiment = Some(crate::spec::ExperimentSpec {
+                kind: entry.kind.into(),
+                ..crate::spec::ExperimentSpec::default()
+            });
+            (entry.build)(&spec, true).unwrap_or_else(|e| panic!("{}: {e}", entry.kind));
+        }
+    }
+}

@@ -5,9 +5,12 @@
 //! replayed trace), energy environment, billing, faults, profile
 //! changes, scheduler policy and horizon; [`build`] turns a spec into a
 //! runnable world; [`registry`] names every paper experiment as a
-//! built-in spec; [`runner`] executes specs (dispatching to the
-//! original experiment drivers when a spec binds one, so reports stay
-//! bit-identical); [`output`] emits results as CSV/JSON.
+//! built-in spec; [`kinds`] registers each experiment driver's
+//! [`pamdc_core::experiment::Experiment`] constructor; [`runner`]
+//! executes specs through the shared experiment pipeline (bit-identical
+//! to the pre-pipeline drivers — `tests/golden_reports.rs` proves it);
+//! [`campaign`] batches many specs into one run; [`output`] emits
+//! results as CSV/JSON.
 //!
 //! The wire format is a hand-rolled TOML subset ([`toml`]) — same
 //! offline-shim philosophy as `crates/shims`: no registry dependency,
@@ -17,6 +20,8 @@
 //! `crates/cli` for the `pamdc` command-line front-end.
 
 pub mod build;
+pub mod campaign;
+pub mod kinds;
 pub mod output;
 pub mod registry;
 pub mod runner;
@@ -26,6 +31,8 @@ pub mod toml;
 /// Common imports.
 pub mod prelude {
     pub use crate::build::{build_policy, build_scenario, run_config};
+    pub use crate::campaign::{Campaign, CampaignRun};
+    pub use crate::kinds::{KindEntry, KINDS};
     pub use crate::output::{reports_csv, reports_json};
     pub use crate::registry::{builtins, find, BuiltinSpec};
     pub use crate::runner::{run_spec, SpecReport};

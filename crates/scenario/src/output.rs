@@ -1,7 +1,12 @@
-//! CSV/JSON emission of spec-run results (registry-free, like
-//! everything else in this crate).
+//! CSV/JSON emission of spec-run results.
+//!
+//! Metric keys pass through the workspace-wide
+//! [`pamdc_core::report::metric_key`] namer — a no-op for keys the
+//! experiment pipeline produced (they are sanitized at the source), a
+//! guarantee for any future producer.
 
 use crate::runner::SpecReport;
+use pamdc_core::report::metric_key;
 use std::fmt::Write as _;
 
 /// Escapes a JSON string body.
@@ -49,7 +54,12 @@ pub fn reports_json(reports: &[SpecReport]) -> String {
             if j > 0 {
                 out.push_str(", ");
             }
-            let _ = write!(out, "\"{}\": {}", json_escape(k), json_number(*v));
+            let _ = write!(
+                out,
+                "\"{}\": {}",
+                json_escape(&metric_key(k)),
+                json_number(*v)
+            );
         }
         out.push_str("}}");
     }
@@ -60,9 +70,15 @@ pub fn reports_json(reports: &[SpecReport]) -> String {
 /// Emits reports as CSV: the union of metric keys as columns, one row
 /// per report. Missing cells stay empty.
 pub fn reports_csv(reports: &[SpecReport]) -> String {
+    // Sanitize each report's keys once up front; the column union and
+    // the cell lookups below then compare plain strings.
+    let rows: Vec<Vec<(String, f64)>> = reports
+        .iter()
+        .map(|r| r.metrics.iter().map(|(k, v)| (metric_key(k), *v)).collect())
+        .collect();
     let mut keys: Vec<&str> = Vec::new();
-    for r in reports {
-        for (k, _) in &r.metrics {
+    for row in &rows {
+        for (k, _) in row {
             if !keys.contains(&k.as_str()) {
                 keys.push(k);
             }
@@ -81,11 +97,11 @@ pub fn reports_csv(reports: &[SpecReport]) -> String {
         out.push_str(&esc(k));
     }
     out.push('\n');
-    for r in reports {
+    for (r, row) in reports.iter().zip(&rows) {
         out.push_str(&esc(&r.name));
         for k in &keys {
             out.push(',');
-            if let Some((_, v)) = r.metrics.iter().find(|(key, _)| key == k) {
+            if let Some((_, v)) = row.iter().find(|(key, _)| key == k) {
                 let _ = write!(out, "{v}");
             }
         }

@@ -105,9 +105,9 @@ pub fn builtins() -> Vec<BuiltinSpec> {
     fig8.run.hours = 6;
     fig8.experiment = Some(ExperimentSpec {
         kind: "fig8".into(),
-        true_arm: true,
         load_scales: vec![0.5, 1.0, 1.5, 2.0],
         pms_levels: vec![1, 2, 3],
+        ..ExperimentSpec::default()
     });
     out.push(BuiltinSpec {
         name: "fig8",
@@ -177,6 +177,114 @@ pub fn builtins() -> Vec<BuiltinSpec> {
         name: "deloc",
         title: "pinned vs de-locatable VMs under home-DC overload",
         spec: deloc,
+    });
+
+    // Ablations — SLA prediction path + monitor bias (§IV-B / §V-B).
+    let mut ablations = ScenarioSpec::default();
+    ablations.name = "ablations".into();
+    ablations.description =
+        "Design ablations: direct-SLA vs via-RT prediction, and the monitor bias (§IV-B, §V-B)"
+            .into();
+    ablations.seed = 2013;
+    ablations.topology.preset = TopologyPreset::IntraDc;
+    ablations.topology.pms_per_dc = 4;
+    ablations.workload.preset = WorkloadPreset::IntraDc;
+    ablations.workload.peak_rps = 240.0;
+    ablations.policy.kind = PolicyKind::Random;
+    ablations.experiment = experiment("ablations");
+    out.push(BuiltinSpec {
+        name: "ablations",
+        title: "SLA-prediction-path & monitor-bias ablations over Table-I samples",
+        spec: ablations,
+    });
+
+    // Heterogeneity — the §V-C price-spread prediction.
+    let mut heterogeneity = ScenarioSpec::default();
+    heterogeneity.name = "heterogeneity".into();
+    heterogeneity.description =
+        "Price-heterogeneity sweep: dynamic benefit grows with tariff spread (§V-C)".into();
+    heterogeneity.seed = 29;
+    heterogeneity.topology.pms_per_dc = 2;
+    heterogeneity.workload.preset = WorkloadPreset::Uniform;
+    heterogeneity.workload.vms = 4;
+    heterogeneity.workload.peak_rps = 170.0;
+    heterogeneity.workload.load_scale = 0.7;
+    heterogeneity.policy.plan_horizon_ticks = Some(60);
+    heterogeneity.run.hours = 12;
+    heterogeneity.experiment = Some(ExperimentSpec {
+        kind: "heterogeneity".into(),
+        spreads: vec![1.0, 2.0, 4.0, 8.0],
+        ..ExperimentSpec::default()
+    });
+    out.push(BuiltinSpec {
+        name: "heterogeneity",
+        title: "static vs dynamic benefit as tariff spreads widen (x1..x8)",
+        spec: heterogeneity,
+    });
+
+    // On-line drift — future-work item 4 (concept drift).
+    let mut drift = ScenarioSpec::default();
+    drift.name = "online-drift".into();
+    drift.description =
+        "On-line learning through a fleet-wide software update (paper future-work 4)".into();
+    drift.seed = 23;
+    drift.topology.preset = TopologyPreset::IntraDc;
+    drift.topology.pms_per_dc = 4;
+    drift.workload.preset = WorkloadPreset::IntraDc;
+    drift.workload.peak_rps = 240.0;
+    drift.workload.load_scale = 0.8;
+    drift.policy.kind = PolicyKind::Static;
+    drift.run.hours = 16;
+    drift.experiment = experiment("online-drift");
+    out.push(BuiltinSpec {
+        name: "online-drift",
+        title: "frozen vs sliding-window vs drift-aware predictors under drift",
+        spec: drift,
+    });
+
+    // Price adaptation — the §V-B unreported result.
+    let mut price = ScenarioSpec::default();
+    price.name = "price-adaptation".into();
+    price.description =
+        "Scheduler adapts to a 4x Boston tariff spike without retuning (§V-B)".into();
+    price.seed = 17;
+    price.topology.pms_per_dc = 2;
+    price.topology.deploy_all_in = Some(3);
+    price.workload.preset = WorkloadPreset::Uniform;
+    price.workload.vms = 4;
+    price.workload.peak_rps = 170.0;
+    price.workload.load_scale = 0.7;
+    price.policy.plan_horizon_ticks = Some(60);
+    price.experiment = experiment("price-adaptation");
+    out.push(BuiltinSpec {
+        name: "price-adaptation",
+        title: "adaptive vs posted-price scheduling through a tariff spike",
+        spec: price,
+    });
+
+    // Scheduling-round scalability — future-work item 1.
+    let mut scaling = ScenarioSpec::default();
+    scaling.name = "scaling".into();
+    scaling.description =
+        "Flat vs hierarchical scheduling-round scalability (paper future-work 1)".into();
+    scaling.workload.peak_rps = 60.0; // the driver's per-VM offered load
+    scaling.experiment = experiment("scaling");
+    out.push(BuiltinSpec {
+        name: "scaling",
+        title: "how many VMs/PMs per round: flat vs hierarchical wall time",
+        spec: scaling,
+    });
+
+    // Solver scaling — §IV-C's motivation for the heuristic.
+    let mut solver = ScenarioSpec::default();
+    solver.name = "solver-scaling".into();
+    solver.description = "Exact branch-and-bound vs Best-Fit scaling gap (§IV-C)".into();
+    solver.workload.peak_rps = 250.0; // the driver's per-VM offered load
+    solver.experiment = experiment("solver-scaling");
+    out.push(BuiltinSpec {
+        name: "solver-scaling",
+        title: "exact solver blow-up vs instant Best-Fit (Algorithm 1's case)",
+        spec: solver,
     });
 
     // Resilience — failure injection under a reactive policy (generic

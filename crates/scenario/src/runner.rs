@@ -1,20 +1,27 @@
-//! The spec runner: one entry point that either dispatches to the bound
-//! experiment driver (`[experiment] kind = ...`) or runs the generic
-//! scenario → policy → simulation path.
+//! The spec runner: one entry point that funnels **every** spec —
+//! experiment-bound or generic — through the shared
+//! [`pamdc_core::experiment`] pipeline.
 //!
-//! Experiment dispatch constructs the driver's config **from the spec's
-//! fields** (full mode) or from the driver's `quick()` preset (quick
-//! mode), so `pamdc run fig4.toml` reproduces `experiments::fig4::run`'s
-//! report bit-for-bit at the same seed.
+//! Experiment-bound specs (`[experiment] kind = ...`) dispatch through
+//! the [`crate::kinds`] registry: no per-experiment `match` lives here,
+//! adding a kind means one [`crate::kinds::KindEntry`]. Generic specs
+//! run as a one-arm [`GenericExperiment`]. Either way the pipeline's
+//! four stages (training → arms → execution → emission) produce the
+//! report, bit-identical to the pre-registry drivers at the same seed
+//! (the golden tests assert this).
 
-use crate::build::{build_policy, build_scenario, needs_training, run_config, train_for_spec};
-use crate::spec::{OracleKind, ScenarioSpec, SpecError, TrainingSpec};
-use pamdc_core::experiments::{deloc, fig4, fig5, fig6, fig7_table3, fig8, green, table1, table2};
-use pamdc_core::report::TextTable;
-use pamdc_core::simulation::{RunOutcome, SimulationRunner};
+use crate::build::{build_policy, build_scenario, needs_training, run_config};
+use crate::kinds;
+use crate::spec::{ScenarioSpec, SpecError};
+use pamdc_core::experiment::{run_experiment, Arm, Experiment, ExperimentReport, ExperimentRun};
+use pamdc_core::experiments::table1::Table1Config;
+use pamdc_core::scenario::Scenario;
 use pamdc_core::training::TrainingOutcome;
-use pamdc_simcore::time::SimDuration;
 use std::path::Path;
+
+// The shared emission helpers live with the pipeline; re-exported here
+// for the CLI and tests that import them from the runner.
+pub use pamdc_core::experiment::{outcome_metrics, render_outcome};
 
 /// One finished spec run.
 #[derive(Clone, Debug)]
@@ -27,71 +34,86 @@ pub struct SpecReport {
     pub metrics: Vec<(String, f64)>,
 }
 
-/// Flattens a [`RunOutcome`] into report metrics.
-pub fn outcome_metrics(prefix: &str, o: &RunOutcome) -> Vec<(String, f64)> {
-    let key = |k: &str| {
-        if prefix.is_empty() {
-            k.to_string()
+/// The generic single-run path as a one-arm experiment: build the
+/// world, train if the oracle needs it, run the policy for `[run]`
+/// hours (quick mode caps at 3 h).
+struct GenericExperiment {
+    spec: ScenarioSpec,
+    /// Built eagerly so spec errors (bad presets, missing trace files)
+    /// surface before the pipeline starts; `arms` takes it.
+    scenario: Option<Scenario>,
+    quick: bool,
+}
+
+impl GenericExperiment {
+    fn new(spec: &ScenarioSpec, base_dir: &Path, quick: bool) -> Result<Self, SpecError> {
+        Ok(GenericExperiment {
+            scenario: Some(build_scenario(spec, base_dir)?),
+            spec: spec.clone(),
+            quick,
+        })
+    }
+}
+
+impl Experiment for GenericExperiment {
+    fn training(&self) -> Option<Table1Config> {
+        needs_training(&self.spec).then(|| {
+            if self.quick {
+                Table1Config::quick(self.spec.training.seed)
+            } else {
+                let t = &self.spec.training;
+                Table1Config {
+                    vms: t.vms,
+                    scales: t.scales.clone(),
+                    hours_per_scale: t.hours_per_scale,
+                    seed: t.seed,
+                }
+            }
+        })
+    }
+
+    fn arms(&mut self, training: Option<&TrainingOutcome>) -> Vec<Arm> {
+        let scenario = self.scenario.take().expect("arms enumerated once");
+        let suite = training.map(|t| t.suite.clone());
+        let policy = build_policy(&self.spec, suite)
+            .expect("training stage supplies the suite the policy needs");
+        let hours = if self.quick {
+            self.spec.run.hours.min(3)
         } else {
-            format!("{prefix}_{k}")
+            self.spec.run.hours
+        };
+        vec![Arm::new("", scenario, policy, hours).config(run_config(&self.spec))]
+    }
+
+    fn emit(&self, run: ExperimentRun) -> ExperimentReport {
+        let outcome = &run.outcomes[0].1;
+        ExperimentReport {
+            text: render_outcome(outcome),
+            metrics: outcome_metrics("", outcome),
         }
-    };
-    vec![
-        (key("mean_sla"), o.mean_sla),
-        (key("avg_watts"), o.avg_watts),
-        (key("total_wh"), o.total_wh),
-        (key("avg_active_pms"), o.avg_active_pms),
-        (key("migrations"), o.migrations as f64),
-        (key("dropped_requests"), o.dropped_requests),
-        (key("served_requests"), o.served_requests),
-        (key("revenue_eur"), o.profit.revenue_eur),
-        (key("energy_eur"), o.profit.energy_eur),
-        (key("profit_eur"), o.profit.profit_eur()),
-        (key("eur_per_hour"), o.eur_per_hour()),
-        (key("green_wh"), o.energy.green_wh),
-        (key("co2_g_per_kwh"), o.energy.intensity_g_per_kwh()),
-    ]
-}
-
-/// Renders a generic run's summary table.
-pub fn render_outcome(o: &RunOutcome) -> String {
-    let mut t = TextTable::new(&["metric", "value"]);
-    for (k, v) in outcome_metrics("", o) {
-        t.row(vec![k, format!("{v:.6}")]);
-    }
-    format!(
-        "Scenario '{}' under {} for {}\n{}",
-        o.scenario_name,
-        o.policy_name,
-        o.duration,
-        t.render()
-    )
-}
-
-/// The quick-mode training preset (`Table1Config::quick`).
-fn quick_training(seed: u64) -> TrainingSpec {
-    let cfg = table1::Table1Config::quick(seed);
-    TrainingSpec {
-        vms: cfg.vms,
-        scales: cfg.scales,
-        hours_per_scale: cfg.hours_per_scale,
-        seed: cfg.seed,
     }
 }
 
-fn train(spec: &ScenarioSpec, quick: bool) -> TrainingOutcome {
-    let training = if quick {
-        quick_training(spec.training.seed)
-    } else {
-        spec.training.clone()
-    };
-    train_for_spec(&training)
-}
-
-/// Training is only attached to an experiment when the spec asks for ML
-/// beliefs; `true`-oracle specs reproduce the ground-truth arms.
-fn maybe_train(spec: &ScenarioSpec, quick: bool) -> Option<TrainingOutcome> {
-    (spec.policy.oracle == OracleKind::Ml).then(|| train(spec, quick))
+/// Builds the experiment a spec describes (registry dispatch, or the
+/// generic one-arm experiment when no kind is bound).
+fn experiment_for(
+    spec: &ScenarioSpec,
+    base_dir: &Path,
+    quick: bool,
+) -> Result<Box<dyn Experiment>, SpecError> {
+    match &spec.experiment {
+        Some(exp) => {
+            let entry = kinds::find(&exp.kind).ok_or_else(|| {
+                SpecError(format!(
+                    "unknown experiment kind {:?} (expected one of {})",
+                    exp.kind,
+                    kinds::kind_names().join(" | ")
+                ))
+            })?;
+            (entry.build)(spec, quick)
+        }
+        None => Ok(Box::new(GenericExperiment::new(spec, base_dir, quick)?)),
+    }
 }
 
 /// Runs a spec. `base_dir` anchors relative trace paths; `quick`
@@ -102,249 +124,12 @@ pub fn run_spec(
     quick: bool,
 ) -> Result<SpecReport, SpecError> {
     spec.validate()?;
-    let Some(exp) = &spec.experiment else {
-        return run_generic(spec, base_dir, quick);
-    };
-    let report = match exp.kind.as_str() {
-        "fig4" => {
-            let cfg = if quick {
-                fig4::Fig4Config::quick(spec.seed)
-            } else {
-                fig4::Fig4Config {
-                    hours: spec.run.hours,
-                    vms: spec.workload.vms,
-                    load_scale: spec.workload.load_scale,
-                    seed: spec.seed,
-                    include_true_arm: exp.true_arm,
-                }
-            };
-            let training = train(spec, quick);
-            let result = fig4::run(&cfg, &training);
-            let mut metrics = Vec::new();
-            for o in &result.outcomes {
-                metrics.extend(outcome_metrics(&o.policy_name.replace(['[', ']'], "_"), o));
-            }
-            SpecReport {
-                name: spec.name.clone(),
-                text: fig4::render(&result),
-                metrics,
-            }
-        }
-        "fig5" => {
-            let cfg = fig5::Fig5Config {
-                hours: if quick { 24 } else { spec.run.hours },
-                seed: spec.seed,
-            };
-            let result = fig5::run(&cfg);
-            let metrics = vec![
-                ("dcs_visited".to_string(), result.dcs_visited as f64),
-                ("migrations".to_string(), result.outcome.migrations as f64),
-                ("mean_sla".to_string(), result.outcome.mean_sla),
-            ];
-            SpecReport {
-                name: spec.name.clone(),
-                text: fig5::render(&result),
-                metrics,
-            }
-        }
-        "fig6" => {
-            let cfg = if quick {
-                fig6::Fig6Config::quick(spec.seed)
-            } else {
-                fig6::Fig6Config {
-                    hours: spec.run.hours,
-                    vms: spec.workload.vms,
-                    flash_multiplier: spec.workload.flash_crowd.unwrap_or(8.0),
-                    seed: spec.seed,
-                }
-            };
-            let training = maybe_train(spec, quick);
-            let result = fig6::run(&cfg, training.as_ref());
-            let mut metrics = vec![
-                ("sla_before_crowd".to_string(), result.sla_before_crowd),
-                ("sla_during_crowd".to_string(), result.sla_during_crowd),
-                ("sla_after_crowd".to_string(), result.sla_after_crowd),
-            ];
-            metrics.extend(outcome_metrics("", &result.outcome));
-            SpecReport {
-                name: spec.name.clone(),
-                text: fig6::render(&result),
-                metrics,
-            }
-        }
-        "fig7-table3" => {
-            let cfg = if quick {
-                fig7_table3::Table3Config::quick(spec.seed)
-            } else {
-                fig7_table3::Table3Config {
-                    hours: spec.run.hours,
-                    vms: spec.workload.vms,
-                    load_scale: spec.workload.load_scale,
-                    seed: spec.seed,
-                }
-            };
-            let training = maybe_train(spec, quick);
-            let result = fig7_table3::run(&cfg, training.as_ref());
-            let mut metrics = outcome_metrics("static", &result.static_global);
-            metrics.extend(outcome_metrics("dynamic", &result.dynamic));
-            metrics.push((
-                "energy_saving_frac".to_string(),
-                result.energy_saving_frac(),
-            ));
-            SpecReport {
-                name: spec.name.clone(),
-                text: fig7_table3::render(&result),
-                metrics,
-            }
-        }
-        "fig8" => {
-            let cfg = if quick {
-                fig8::Fig8Config::quick(spec.seed)
-            } else {
-                let defaults = fig8::Fig8Config::default();
-                fig8::Fig8Config {
-                    load_scales: if exp.load_scales.is_empty() {
-                        defaults.load_scales
-                    } else {
-                        exp.load_scales.clone()
-                    },
-                    pms_per_dc: if exp.pms_levels.is_empty() {
-                        defaults.pms_per_dc
-                    } else {
-                        exp.pms_levels.clone()
-                    },
-                    hours: spec.run.hours,
-                    vms: spec.workload.vms,
-                    seed: spec.seed,
-                }
-            };
-            let result = fig8::run(&cfg);
-            SpecReport {
-                name: spec.name.clone(),
-                text: fig8::render(&result),
-                metrics: Vec::new(),
-            }
-        }
-        "table1" => {
-            let outcome = if quick {
-                table1::run(&table1::Table1Config::quick(spec.training.seed))
-            } else {
-                table1::run(&table1::Table1Config {
-                    vms: spec.training.vms,
-                    scales: spec.training.scales.clone(),
-                    hours_per_scale: spec.training.hours_per_scale,
-                    seed: spec.training.seed,
-                })
-            };
-            let metrics = vec![
-                (
-                    "vm_tick_samples".to_string(),
-                    outcome.sample_counts.0 as f64,
-                ),
-                (
-                    "pm_tick_samples".to_string(),
-                    outcome.sample_counts.1 as f64,
-                ),
-            ];
-            let text = format!(
-                "{}\n{}",
-                table1::render(&outcome),
-                table1::render_comparison(&outcome)
-            );
-            SpecReport {
-                name: spec.name.clone(),
-                text,
-                metrics,
-            }
-        }
-        "table2" => {
-            table2::verify();
-            SpecReport {
-                name: spec.name.clone(),
-                text: table2::render(),
-                metrics: Vec::new(),
-            }
-        }
-        "green" => {
-            let cfg = if quick {
-                green::GreenConfig::quick(spec.seed)
-            } else {
-                green::GreenConfig {
-                    hours: spec.run.hours,
-                    vms: spec.workload.vms,
-                    pms_per_dc: spec.topology.pms_per_dc,
-                    solar_dcs: spec.energy.solar_dcs.clone(),
-                    solar_per_pm_w: spec.energy.solar_per_pm_w,
-                    min_sky: spec.energy.min_sky,
-                    load_scale: spec.workload.load_scale,
-                    seed: spec.seed,
-                }
-            };
-            let result = green::run(&cfg);
-            let mut metrics = outcome_metrics("sun_aware", &result.sun_aware);
-            metrics.extend(outcome_metrics("price_blind", &result.price_blind));
-            metrics.push((
-                "green_fraction_gain".to_string(),
-                result.green_fraction_gain(),
-            ));
-            SpecReport {
-                name: spec.name.clone(),
-                text: green::render(&result),
-                metrics,
-            }
-        }
-        "deloc" => {
-            let cfg = if quick {
-                deloc::DelocConfig::quick(spec.seed)
-            } else {
-                deloc::DelocConfig {
-                    hours: spec.run.hours,
-                    vms: spec.workload.vms,
-                    home_dc: spec.topology.deploy_all_in.unwrap_or(2),
-                    pms_per_dc: spec.topology.pms_per_dc,
-                    load_scale: spec.workload.load_scale,
-                    seed: spec.seed,
-                }
-            };
-            let vms = cfg.vms;
-            let result = deloc::run(&cfg);
-            SpecReport {
-                name: spec.name.clone(),
-                text: deloc::render(&result, vms),
-                metrics: Vec::new(),
-            }
-        }
-        other => return Err(SpecError(format!("unknown experiment kind {other:?}"))),
-    };
-    Ok(report)
-}
-
-/// The generic path: build the world, train if the oracle needs it, run
-/// the policy for `[run] hours` (quick mode caps at 3 h).
-pub fn run_generic(
-    spec: &ScenarioSpec,
-    base_dir: &Path,
-    quick: bool,
-) -> Result<SpecReport, SpecError> {
-    let scenario = build_scenario(spec, base_dir)?;
-    let suite = if needs_training(spec) {
-        Some(train(spec, quick).suite)
-    } else {
-        None
-    };
-    let policy = build_policy(spec, suite)?;
-    let hours = if quick {
-        spec.run.hours.min(3)
-    } else {
-        spec.run.hours
-    };
-    let (outcome, _) = SimulationRunner::new(scenario, policy)
-        .config(run_config(spec))
-        .run(SimDuration::from_hours(hours));
+    let mut exp = experiment_for(spec, base_dir, quick)?;
+    let report = run_experiment(exp.as_mut());
     Ok(SpecReport {
         name: spec.name.clone(),
-        text: render_outcome(&outcome),
-        metrics: outcome_metrics("", &outcome),
+        text: report.text,
+        metrics: report.metrics,
     })
 }
 
@@ -401,5 +186,17 @@ mod tests {
             migrations > 0.0,
             "evacuating the crashed host requires migrations"
         );
+    }
+
+    #[test]
+    fn unknown_kind_reports_the_registry() {
+        let mut spec = ScenarioSpec::default();
+        spec.experiment = Some(crate::spec::ExperimentSpec {
+            kind: "fig99".into(),
+            ..crate::spec::ExperimentSpec::default()
+        });
+        let err = run_spec(&spec, Path::new("."), true).unwrap_err();
+        assert!(err.0.contains("fig99"), "{err}");
+        assert!(err.0.contains("fig7-table3"), "{err}");
     }
 }

@@ -404,13 +404,14 @@ impl Default for TrainingSpec {
     }
 }
 
-/// `[experiment]` — bind the spec to one of the paper's experiment
+/// `[experiment]` — bind the spec to one of the registered experiment
 /// drivers instead of the generic single-run path. `pamdc run` then
-/// reproduces the driver's report bit-for-bit for the same seed.
+/// reproduces the driver's report bit-for-bit for the same seed. Valid
+/// kinds come from the [`crate::kinds`] registry (`pamdc list` shows
+/// them all).
 #[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentSpec {
-    /// Driver kind: `fig4 | fig5 | fig6 | fig7-table3 | fig8 | table1 |
-    /// table2 | green | deloc`.
+    /// Registered driver kind (see [`crate::kinds::kind_names`]).
     pub kind: String,
     /// Include the BF-True upper-bound arm (fig4).
     pub true_arm: bool,
@@ -418,6 +419,11 @@ pub struct ExperimentSpec {
     pub load_scales: Vec<f64>,
     /// Hosts-per-DC sweep axis (fig8).
     pub pms_levels: Vec<usize>,
+    /// Tariff-spread multipliers (heterogeneity; empty = driver
+    /// default).
+    pub spreads: Vec<f64>,
+    /// Midpoint tariff-spike multiplier (price-adaptation).
+    pub spike_factor: f64,
 }
 
 impl Default for ExperimentSpec {
@@ -427,6 +433,8 @@ impl Default for ExperimentSpec {
             true_arm: true,
             load_scales: Vec::new(),
             pms_levels: Vec::new(),
+            spreads: Vec::new(),
+            spike_factor: 4.0,
         }
     }
 }
@@ -502,15 +510,16 @@ impl Default for ScenarioSpec {
 // Typed readers over the parsed TOML tree. Each consumes keys from a
 // mutable copy of its table; leftovers are unknown keys and error out,
 // so typos fail loudly instead of silently running the default.
+// (`pub(crate)`: the campaign parser reads its files the same way.)
 // ---------------------------------------------------------------------
 
-struct Reader {
+pub(crate) struct Reader {
     table: Table,
     context: &'static str,
 }
 
 impl Reader {
-    fn new(table: Table, context: &'static str) -> Self {
+    pub(crate) fn new(table: Table, context: &'static str) -> Self {
         Reader { table, context }
     }
 
@@ -518,7 +527,7 @@ impl Reader {
         self.table.remove(key)
     }
 
-    fn take_str(&mut self, key: &str) -> Result<Option<String>, SpecError> {
+    pub(crate) fn take_str(&mut self, key: &str) -> Result<Option<String>, SpecError> {
         match self.take(key) {
             None => Ok(None),
             Some(Value::Str(s)) => Ok(Some(s)),
@@ -529,7 +538,7 @@ impl Reader {
         }
     }
 
-    fn take_f64(&mut self, key: &str) -> Result<Option<f64>, SpecError> {
+    pub(crate) fn take_f64(&mut self, key: &str) -> Result<Option<f64>, SpecError> {
         match self.take(key) {
             None => Ok(None),
             Some(v) => v
@@ -539,7 +548,7 @@ impl Reader {
         }
     }
 
-    fn take_u64(&mut self, key: &str) -> Result<Option<u64>, SpecError> {
+    pub(crate) fn take_u64(&mut self, key: &str) -> Result<Option<u64>, SpecError> {
         match self.take(key) {
             None => Ok(None),
             Some(v) => match v.as_int() {
@@ -552,11 +561,11 @@ impl Reader {
         }
     }
 
-    fn take_usize(&mut self, key: &str) -> Result<Option<usize>, SpecError> {
+    pub(crate) fn take_usize(&mut self, key: &str) -> Result<Option<usize>, SpecError> {
         Ok(self.take_u64(key)?.map(|v| v as usize))
     }
 
-    fn take_bool(&mut self, key: &str) -> Result<Option<bool>, SpecError> {
+    pub(crate) fn take_bool(&mut self, key: &str) -> Result<Option<bool>, SpecError> {
         match self.take(key) {
             None => Ok(None),
             Some(v) => v
@@ -566,7 +575,22 @@ impl Reader {
         }
     }
 
-    fn take_f64_list(&mut self, key: &str) -> Result<Option<Vec<f64>>, SpecError> {
+    pub(crate) fn take_str_list(&mut self, key: &str) -> Result<Option<Vec<String>>, SpecError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(Value::Array(items)) => items
+                .into_iter()
+                .map(|v| match v {
+                    Value::Str(s) => Ok(s),
+                    _ => Err(bad(format!("{}.{key} must list strings", self.context))),
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
+            Some(_) => Err(bad(format!("{}.{key} must be an array", self.context))),
+        }
+    }
+
+    pub(crate) fn take_f64_list(&mut self, key: &str) -> Result<Option<Vec<f64>>, SpecError> {
         match self.take(key) {
             None => Ok(None),
             Some(Value::Array(items)) => items
@@ -581,7 +605,7 @@ impl Reader {
         }
     }
 
-    fn take_usize_list(&mut self, key: &str) -> Result<Option<Vec<usize>>, SpecError> {
+    pub(crate) fn take_usize_list(&mut self, key: &str) -> Result<Option<Vec<usize>>, SpecError> {
         match self.take(key) {
             None => Ok(None),
             Some(Value::Array(items)) => items
@@ -599,7 +623,7 @@ impl Reader {
         }
     }
 
-    fn take_table(
+    pub(crate) fn take_table(
         &mut self,
         key: &str,
         context: &'static str,
@@ -611,7 +635,7 @@ impl Reader {
         }
     }
 
-    fn take_table_array(
+    pub(crate) fn take_table_array(
         &mut self,
         key: &str,
         context: &'static str,
@@ -629,7 +653,7 @@ impl Reader {
         }
     }
 
-    fn finish(self) -> Result<(), SpecError> {
+    pub(crate) fn finish(self) -> Result<(), SpecError> {
         if let Some(key) = self.table.keys().next() {
             return Err(bad(format!("unknown key {:?} in [{}]", key, self.context)));
         }
@@ -864,6 +888,12 @@ impl ScenarioSpec {
             if let Some(v) = t.take_usize_list("pms_levels")? {
                 exp.pms_levels = v;
             }
+            if let Some(v) = t.take_f64_list("spreads")? {
+                exp.spreads = v;
+            }
+            if let Some(v) = t.take_f64("spike_factor")? {
+                exp.spike_factor = v;
+            }
             t.finish()?;
             spec.experiment = Some(exp);
         }
@@ -946,23 +976,17 @@ impl ScenarioSpec {
             }
         }
         if let Some(exp) = &self.experiment {
-            const KINDS: [&str; 9] = [
-                "fig4",
-                "fig5",
-                "fig6",
-                "fig7-table3",
-                "fig8",
-                "table1",
-                "table2",
-                "green",
-                "deloc",
-            ];
-            if !KINDS.contains(&exp.kind.as_str()) {
+            // The kind registry is the single source of truth: a kind
+            // registered there is automatically valid here.
+            if crate::kinds::find(&exp.kind).is_none() {
                 return Err(bad(format!(
                     "unknown experiment kind {:?} (expected one of {})",
                     exp.kind,
-                    KINDS.join(" | ")
+                    crate::kinds::kind_names().join(" | ")
                 )));
+            }
+            if !(exp.spike_factor.is_finite() && exp.spike_factor > 0.0) {
+                return Err(bad("experiment.spike_factor must be finite and > 0"));
             }
         }
         Ok(())
@@ -1175,6 +1199,15 @@ impl ScenarioSpec {
                     ),
                 );
             }
+            if !exp.spreads.is_empty() {
+                t.insert(
+                    "spreads".into(),
+                    Value::Array(exp.spreads.iter().map(|&s| Value::Float(s)).collect()),
+                );
+            }
+            if exp.spike_factor != ExperimentSpec::default().spike_factor {
+                t.insert("spike_factor".into(), Value::Float(exp.spike_factor));
+            }
             root.insert("experiment".into(), Value::Table(t));
         }
 
@@ -1299,6 +1332,8 @@ mod tests {
             true_arm: false,
             load_scales: vec![0.5, 1.5],
             pms_levels: vec![1, 2],
+            spreads: vec![1.0, 6.0],
+            spike_factor: 2.5,
         });
         let parsed = ScenarioSpec::parse(&spec.emit()).expect("parse");
         assert_eq!(spec, parsed);

@@ -24,7 +24,7 @@ const ORACLES: [OracleKind; 4] = [
     OracleKind::True,
 ];
 
-const EXPERIMENTS: [&str; 9] = [
+const EXPERIMENTS: [&str; 15] = [
     "fig4",
     "fig5",
     "fig6",
@@ -34,6 +34,12 @@ const EXPERIMENTS: [&str; 9] = [
     "table2",
     "green",
     "deloc",
+    "ablations",
+    "heterogeneity",
+    "online-drift",
+    "price-adaptation",
+    "scaling",
+    "solver-scaling",
 ];
 
 /// Builds a randomized—but always valid—spec from drawn primitives.
@@ -141,6 +147,16 @@ fn assemble(
                 vec![1, 1 + vms]
             } else {
                 Vec::new()
+            },
+            spreads: if seed % 7 == 0 {
+                vec![1.0, 1.0 + scalar * 8.0]
+            } else {
+                Vec::new()
+            },
+            spike_factor: if seed % 2 == 0 {
+                4.0
+            } else {
+                0.5 + scalar * 8.0
             },
         });
     }
