@@ -1,0 +1,65 @@
+//! `perf-gate` — CI perf-regression gate over `PAMDC_BENCH_JSON`
+//! emissions (see `docs/PERF.md`).
+//!
+//! ```text
+//! perf-gate <current.json> <baseline.json> [--tolerance 2.0]
+//! ```
+//!
+//! Exits 0 when every id shared by both files is within `tolerance`×
+//! of its baseline median, 1 when any id regressed beyond it, 2 on
+//! usage or I/O errors.
+
+use pamdc_bench::perf_gate::{compare, parse_medians};
+use std::process::ExitCode;
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&String> = Vec::new();
+    let mut tolerance = 2.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .ok_or("--tolerance needs a value")?
+                    .parse()
+                    .map_err(|_| "--tolerance needs a number".to_string())?;
+                if !(tolerance.is_finite() && tolerance > 0.0) {
+                    return Err("--tolerance must be finite and > 0".into());
+                }
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            _ => files.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [current_path, baseline_path] = files.as_slice() else {
+        return Err("usage: perf-gate <current.json> <baseline.json> [--tolerance 2.0]".into());
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let current = parse_medians(&read(current_path)?);
+    if current.is_empty() {
+        return Err(format!("{current_path}: no benchmark results found"));
+    }
+    let baseline = parse_medians(&read(baseline_path)?);
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: no benchmark results found"));
+    }
+    let report = compare(&current, &baseline);
+    print!("{}", report.render(tolerance));
+    Ok(report.regressions(tolerance).is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //! [`metric_id`] so they use the same key namer as the scenario
 //! runner's metrics and the CLI's CSV/JSON output.
 
+pub mod perf_gate;
+
 /// The workspace-wide metric/bench-id sanitizer
 /// ([`pamdc_core::report::metric_key`]): keeps `[A-Za-z0-9_./-]`, maps
 /// everything else to `_`. Existing ids like `solver_scaling/local_search/80`

@@ -1,0 +1,283 @@
+//! The CI perf-regression gate: compare a fresh `PAMDC_BENCH_JSON`
+//! emission against the checked-in baseline and fail on slowdowns
+//! beyond a tolerance factor.
+//!
+//! Both inputs are parsed with a deliberately tiny scanner that only
+//! needs the `"id"`/`"median_ns"` pairs — it accepts the shim emitter's
+//! JSON-lines form *and* the pretty-printed `BENCH_solver_scaling.json`
+//! baseline (whose `results` array carries the same pairs), so the gate
+//! needs no JSON dependency. Ids present on only one side are reported
+//! but never fail the gate (quick mode legitimately skips the largest
+//! exact-solver points; new benches have no baseline yet).
+//!
+//! The default tolerance is **2.0×** (see `docs/PERF.md`): CI quick
+//! mode takes few samples on shared runners, so the gate is a
+//! catch-order-of-magnitude-regressions net, not a statistical judge.
+
+/// One id compared across both files.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Comparison {
+    /// Benchmark id (`group/function/param`).
+    pub id: String,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: f64,
+    /// Current median, nanoseconds.
+    pub current_ns: f64,
+}
+
+impl Comparison {
+    /// Slowdown factor (>1 = slower than the baseline).
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_ns <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.current_ns / self.baseline_ns
+        }
+    }
+}
+
+/// The gate's verdict over every comparable id.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Ids present in both files, in baseline order.
+    pub compared: Vec<Comparison>,
+    /// Baseline ids the current run did not produce.
+    pub missing_current: Vec<String>,
+    /// Current ids the baseline does not know (new benches).
+    pub missing_baseline: Vec<String>,
+}
+
+impl GateReport {
+    /// The comparisons exceeding `tolerance` (the gate's failures).
+    pub fn regressions(&self, tolerance: f64) -> Vec<&Comparison> {
+        self.compared
+            .iter()
+            .filter(|c| c.ratio() > tolerance)
+            .collect()
+    }
+
+    /// Renders the comparison table plus verdict lines.
+    pub fn render(&self, tolerance: f64) -> String {
+        let mut out = String::new();
+        let width = self
+            .compared
+            .iter()
+            .map(|c| c.id.len())
+            .max()
+            .unwrap_or(2)
+            .max("id".len());
+        out.push_str(&format!(
+            "{:width$}  {:>12}  {:>12}  {:>7}\n",
+            "id", "baseline", "current", "ratio"
+        ));
+        for c in &self.compared {
+            let flag = if c.ratio() > tolerance {
+                "  << FAIL"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{:width$}  {:>10.1}ns  {:>10.1}ns  {:>6.2}x{flag}\n",
+                c.id,
+                c.baseline_ns,
+                c.current_ns,
+                c.ratio()
+            ));
+        }
+        for id in &self.missing_current {
+            out.push_str(&format!("{id}: in baseline only (skipped this run)\n"));
+        }
+        for id in &self.missing_baseline {
+            out.push_str(&format!("{id}: no baseline yet (not gated)\n"));
+        }
+        let failures = self.regressions(tolerance);
+        if failures.is_empty() {
+            out.push_str(&format!(
+                "perf gate OK: {} ids within {tolerance}x of the baseline\n",
+                self.compared.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "perf gate FAILED: {}/{} ids regressed beyond {tolerance}x \
+                 (see docs/PERF.md; update BENCH_solver_scaling.json only for \
+                 intentional changes)\n",
+                failures.len(),
+                self.compared.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Extracts every `("id", median_ns)` pair from a results file — the
+/// shim's JSON-lines emission or the pretty-printed baseline alike.
+/// Later duplicates of an id win (a re-run appends to JSON-lines).
+pub fn parse_medians(text: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"id\"") {
+        rest = &rest[pos + 4..];
+        let Some(id) = next_string(rest) else {
+            continue;
+        };
+        let Some(mpos) = rest.find("\"median_ns\"") else {
+            break;
+        };
+        // The median must belong to the same object: no new "id" first.
+        if rest[..mpos].contains("\"id\"") {
+            continue;
+        }
+        let after = &rest[mpos + "\"median_ns\"".len()..];
+        let Some(value) = next_number(after) else {
+            continue;
+        };
+        if let Some(slot) = out.iter_mut().find(|(k, _)| *k == id) {
+            slot.1 = value;
+        } else {
+            out.push((id, value));
+        }
+    }
+    out
+}
+
+/// The first JSON string after a `:` in `text`.
+fn next_string(text: &str) -> Option<String> {
+    let colon = text.find(':')?;
+    let rest = text[colon + 1..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// The first number after a `:` in `text` (terminated by `,`, `}` or
+/// whitespace).
+fn next_number(text: &str) -> Option<f64> {
+    let colon = text.find(':')?;
+    let rest = text[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Compares two parsed result sets.
+pub fn compare(current: &[(String, f64)], baseline: &[(String, f64)]) -> GateReport {
+    let mut report = GateReport::default();
+    for (id, baseline_ns) in baseline {
+        match current.iter().find(|(k, _)| k == id) {
+            Some((_, current_ns)) => report.compared.push(Comparison {
+                id: id.clone(),
+                baseline_ns: *baseline_ns,
+                current_ns: *current_ns,
+            }),
+            None => report.missing_current.push(id.clone()),
+        }
+    }
+    for (id, _) in current {
+        if !baseline.iter().any(|(k, _)| k == id) {
+            report.missing_baseline.push(id.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINES: &str = r#"{"id":"solver/bestfit/2x4","median_ns":1200.0,"mean_ns":1.0,"min_ns":1.0,"max_ns":2.0,"samples":3}
+{"id":"local_search/incremental/6x12","median_ns":56000.0,"mean_ns":1.0,"min_ns":1.0,"max_ns":2.0,"samples":3}
+"#;
+
+    const BASELINE: &str = r#"{
+  "bench": "solver_scaling",
+  "note": "text that mentions \"median_ns\" nowhere harmful",
+  "results": [
+    {
+      "id": "solver/bestfit/2x4",
+      "median_ns": 1198.4,
+      "mean_ns": 1201.9
+    },
+    {
+      "id": "solver/exact_bnb/2x4",
+      "median_ns": 3195.5
+    }
+  ]
+}"#;
+
+    #[test]
+    fn parses_both_shapes() {
+        let lines = parse_medians(LINES);
+        assert_eq!(
+            lines,
+            vec![
+                ("solver/bestfit/2x4".to_string(), 1200.0),
+                ("local_search/incremental/6x12".to_string(), 56000.0),
+            ]
+        );
+        let base = parse_medians(BASELINE);
+        assert_eq!(base.len(), 2);
+        assert_eq!(base[0].0, "solver/bestfit/2x4");
+        assert!((base[0].1 - 1198.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rerun_appends_and_last_value_wins() {
+        let twice = format!("{LINES}{}", LINES.replace("1200.0", "1300.0"));
+        let parsed = parse_medians(&twice);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].1, 1300.0);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let current = parse_medians(LINES);
+        let baseline = parse_medians(BASELINE);
+        let report = compare(&current, &baseline);
+        assert_eq!(report.compared.len(), 1);
+        assert_eq!(report.missing_current, vec!["solver/exact_bnb/2x4"]);
+        assert_eq!(
+            report.missing_baseline,
+            vec!["local_search/incremental/6x12"]
+        );
+        assert!(report.regressions(2.0).is_empty(), "1.00x is fine");
+        // A 3x regression trips the default gate.
+        let slow = vec![("solver/bestfit/2x4".to_string(), 3600.0)];
+        let report = compare(&slow, &baseline);
+        assert_eq!(report.regressions(2.0).len(), 1);
+        assert!((report.compared[0].ratio() - 3.0043).abs() < 1e-3);
+        assert!(report.render(2.0).contains("FAILED"));
+        // ...but a loosened tolerance lets it pass.
+        assert!(report.regressions(4.0).is_empty());
+        assert!(report.render(4.0).contains("perf gate OK"));
+    }
+
+    #[test]
+    fn the_checked_in_baseline_parses() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_solver_scaling.json"
+        );
+        let text = std::fs::read_to_string(path).expect("baseline file");
+        let parsed = parse_medians(&text);
+        assert!(
+            parsed.len() >= 10,
+            "baseline carries {} gateable ids",
+            parsed.len()
+        );
+        assert!(parsed
+            .iter()
+            .any(|(id, _)| id == "local_search/incremental/6x12"));
+        assert!(parsed.iter().all(|(_, ns)| *ns > 0.0));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert!(parse_medians("").is_empty());
+        assert!(parse_medians("{\"id\":").is_empty());
+        assert!(parse_medians("\"id\" nonsense \"median_ns\" more").is_empty());
+        let report = compare(&[], &[]);
+        assert!(report.regressions(2.0).is_empty());
+        assert!(report.render(2.0).contains("0 ids"));
+    }
+}

@@ -10,6 +10,9 @@
 //! pamdc record <spec.toml | builtin> --out trace.csv [--hours N]
 //! pamdc replay <trace.csv> [--spec <spec|builtin>] [--hours N] [--rate-scale K]
 //!              [--stretch F] [--remap 3,2,1,0] [--quick] [--csv ...] [--json ...]
+//! pamdc import <dataset.csv> --format azure|alibaba --out trace.csv
+//!              [--tick-secs N] [--regions N] [--rate-scale K] [--stretch F]
+//!              [--remap 3,2,1,0] [--max-services N] [--max-ticks N]
 //! ```
 //!
 //! Specs resolve as a file path first, then as a built-in registry name.
@@ -43,13 +46,19 @@ USAGE:
   pamdc replay <trace.csv> [--spec <spec>] [--rate-scale K] [--stretch F]
                [--remap 3,2,1,0] [opts]
                                      drive a simulation from a recorded trace
+  pamdc import <dataset.csv> --format azure|alibaba --out <trace.csv>
+               [--tick-secs N] [--regions N] [--rate-scale K] [--stretch F]
+               [--remap 3,2,1,0] [--max-services N] [--max-ticks N]
+                                     normalize a public dataset (Azure VM
+                                     trace / Alibaba cluster trace) into a
+                                     replayable pamdc trace (docs/TRACES.md)
 
 OPTIONS:
   --quick          use each experiment's quick preset (CI smoke)
   --csv <path>     write run metrics as CSV
   --json <path>    write run metrics as JSON
   --hours <n>      override the simulated horizon
-  --out <path>     output path (record)
+  --out <path>     output path (record, import)
   --names          machine-readable listing: names only (list)
 ";
 
@@ -90,6 +99,18 @@ enum Cmd {
         remap: Vec<usize>,
         opts: Opts,
     },
+    Import {
+        file: PathBuf,
+        format: String,
+        out: PathBuf,
+        tick_secs: Option<u64>,
+        regions: Option<usize>,
+        rate_scale: f64,
+        stretch: f64,
+        remap: Vec<usize>,
+        max_services: Option<usize>,
+        max_ticks: Option<usize>,
+    },
 }
 
 /// Options shared by run/sweep/replay.
@@ -116,6 +137,11 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
     let mut rate_scale = 1.0f64;
     let mut stretch = 1.0f64;
     let mut remap: Vec<usize> = Vec::new();
+    let mut format: Option<String> = None;
+    let mut tick_secs: Option<u64> = None;
+    let mut regions: Option<usize> = None;
+    let mut max_services: Option<usize> = None;
+    let mut max_ticks: Option<usize> = None;
 
     let mut i = 0;
     while i < rest.len() {
@@ -157,6 +183,35 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
                     .map(|p| p.trim().parse::<usize>())
                     .collect::<Result<_, _>>()
                     .map_err(|_| "--remap needs comma-separated region indices".to_string())?
+            }
+            "--format" => format = Some(value("--format")?),
+            "--tick-secs" => {
+                tick_secs = Some(
+                    value("--tick-secs")?
+                        .parse()
+                        .map_err(|_| "--tick-secs needs an integer".to_string())?,
+                )
+            }
+            "--regions" => {
+                regions = Some(
+                    value("--regions")?
+                        .parse()
+                        .map_err(|_| "--regions needs an integer".to_string())?,
+                )
+            }
+            "--max-services" => {
+                max_services = Some(
+                    value("--max-services")?
+                        .parse()
+                        .map_err(|_| "--max-services needs an integer".to_string())?,
+                )
+            }
+            "--max-ticks" => {
+                max_ticks = Some(
+                    value("--max-ticks")?
+                        .parse()
+                        .map_err(|_| "--max-ticks needs an integer".to_string())?,
+                )
             }
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
@@ -227,6 +282,18 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
             stretch,
             remap,
             opts,
+        }),
+        "import" => Ok(Cmd::Import {
+            file: PathBuf::from(one_positional("dataset path")?),
+            format: format.ok_or("import needs --format azure|alibaba")?,
+            out: out.ok_or("import needs --out <trace.csv>")?,
+            tick_secs,
+            regions,
+            rate_scale,
+            stretch,
+            remap,
+            max_services,
+            max_ticks,
         }),
         "help" | "--help" | "-h" => Err(String::new()),
         other => Err(format!("unknown command {other:?}")),
@@ -507,6 +574,50 @@ fn cmd_replay(
     write_outputs(std::slice::from_ref(&report), opts)
 }
 
+#[allow(clippy::too_many_arguments)] // one flag each, mirrored from Cmd::Import
+fn cmd_import(
+    file: &Path,
+    format: &str,
+    out: &Path,
+    tick_secs: Option<u64>,
+    regions: Option<usize>,
+    rate_scale: f64,
+    stretch: f64,
+    remap: &[usize],
+    max_services: Option<usize>,
+    max_ticks: Option<usize>,
+) -> Result<(), String> {
+    let format = pamdc_workload::import::TraceFormat::from_name(format)
+        .ok_or_else(|| format!("unknown --format {format:?} (azure | alibaba)"))?;
+    let mut opts = pamdc_workload::import::ImportOptions {
+        tick: tick_secs.map(SimDuration::from_secs),
+        rate_scale,
+        time_stretch: stretch,
+        region_map: remap.to_vec(),
+        max_services,
+        max_ticks,
+        ..pamdc_workload::import::ImportOptions::default()
+    };
+    if let Some(regions) = regions {
+        opts.regions = regions;
+    }
+    let trace = pamdc_workload::import::import_path(format, file, &opts)
+        .map_err(|e| format!("{}: {e}", file.display()))?;
+    std::fs::write(out, trace.to_csv())
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "imported {} ({}): {} ticks x {} services ({} regions, tick {}s) -> {}",
+        file.display(),
+        format.name(),
+        trace.tick_count(),
+        trace.service_count(),
+        trace.regions,
+        trace.tick.as_millis() / 1000,
+        out.display()
+    );
+    Ok(())
+}
+
 fn cmd_show(name: &str) -> Result<(), String> {
     let builtin = registry::find(name)
         .ok_or_else(|| format!("no built-in named {name:?} (try `pamdc list`)"))?;
@@ -544,6 +655,29 @@ fn main() -> ExitCode {
             remap,
             opts,
         } => cmd_replay(trace, spec.as_deref(), *rate_scale, *stretch, remap, opts),
+        Cmd::Import {
+            file,
+            format,
+            out,
+            tick_secs,
+            regions,
+            rate_scale,
+            stretch,
+            remap,
+            max_services,
+            max_ticks,
+        } => cmd_import(
+            file,
+            format,
+            out,
+            *tick_secs,
+            *regions,
+            *rate_scale,
+            *stretch,
+            remap,
+            *max_services,
+            *max_ticks,
+        ),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -691,6 +825,56 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_import_options() {
+        let cmd = parse(&[
+            "import",
+            "azure.csv",
+            "--format",
+            "azure",
+            "--out",
+            "t.csv",
+            "--tick-secs",
+            "600",
+            "--regions",
+            "4",
+            "--max-services",
+            "8",
+            "--remap",
+            "1,0,3,2",
+        ])
+        .unwrap();
+        match cmd {
+            Cmd::Import {
+                file,
+                format,
+                out,
+                tick_secs,
+                regions,
+                max_services,
+                remap,
+                ..
+            } => {
+                assert_eq!(file, PathBuf::from("azure.csv"));
+                assert_eq!(format, "azure");
+                assert_eq!(out, PathBuf::from("t.csv"));
+                assert_eq!(tick_secs, Some(600));
+                assert_eq!(regions, Some(4));
+                assert_eq!(max_services, Some(8));
+                assert_eq!(remap, vec![1, 0, 3, 2]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse(&["import", "a.csv", "--out", "t.csv"]).is_err(),
+            "--format is required"
+        );
+        assert!(
+            parse(&["import", "a.csv", "--format", "azure"]).is_err(),
+            "--out is required"
+        );
     }
 
     #[test]

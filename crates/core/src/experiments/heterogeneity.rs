@@ -21,6 +21,7 @@ use crate::scenario::{Scenario, ScenarioBuilder};
 use crate::simulation::{RunConfig, RunOutcome};
 use pamdc_econ::prices::paper_prices;
 use pamdc_green::tariff::Tariff;
+use pamdc_infra::pm::MachineSpec;
 use pamdc_sched::oracle::TrueOracle;
 
 /// Configuration of the heterogeneity sweep.
@@ -34,6 +35,11 @@ pub struct HeterogeneityConfig {
     pub vms: usize,
     /// Hosts per DC.
     pub pms_per_dc: usize,
+    /// Machine mix per DC (`count` hosts of each spec). Empty = the
+    /// paper's all-Atom fleet of `pms_per_dc` hosts; non-empty mixes
+    /// come straight from the scenario spec's `[[topology.classes]]`
+    /// table, so fleet heterogeneity composes with price heterogeneity.
+    pub host_classes: Vec<(MachineSpec, usize)>,
     /// Load multiplier.
     pub load_scale: f64,
     /// Seed.
@@ -47,6 +53,7 @@ impl Default for HeterogeneityConfig {
             hours: 12,
             vms: 4,
             pms_per_dc: 2,
+            host_classes: Vec::new(),
             load_scale: 0.7,
             seed: 29,
         }
@@ -111,6 +118,7 @@ fn build(cfg: &HeterogeneityConfig, spread: f64) -> Scenario {
     ScenarioBuilder::paper_multi_dc()
         .vms(cfg.vms)
         .pms_per_dc(cfg.pms_per_dc)
+        .host_classes(cfg.host_classes.clone())
         .load_scale(cfg.load_scale)
         .seed(cfg.seed)
         .name(format!("heterogeneity-x{spread}"))
@@ -251,6 +259,33 @@ mod tests {
         // Floor holds even at extreme spreads.
         assert!(stretched_prices(100.0).iter().all(|&p| p >= 0.01));
         let _ = mean1;
+    }
+
+    #[test]
+    fn mixed_fleet_cells_run_and_stay_deterministic() {
+        // Price heterogeneity on a machine-heterogeneous fleet: one
+        // Atom + one small custom host per DC. The sweep must run, keep
+        // its SLA sane, and reproduce bit-for-bit.
+        let cfg = HeterogeneityConfig {
+            spreads: vec![1.0, 6.0],
+            hours: 4,
+            vms: 3,
+            host_classes: vec![
+                (MachineSpec::atom(), 1),
+                (MachineSpec::custom(2, 2048.0, 15.0, 22.0), 1),
+            ],
+            ..HeterogeneityConfig::default()
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.dynamic.profit.energy_eur.to_bits(),
+                y.dynamic.profit.energy_eur.to_bits()
+            );
+            assert!(x.dynamic.mean_sla > 0.5, "sla {}", x.dynamic.mean_sla);
+        }
     }
 
     #[test]

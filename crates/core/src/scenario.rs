@@ -127,6 +127,9 @@ pub struct ScenarioBuilder {
     deploy_all_in: Option<usize>,
     demand_override: Option<Demand>,
     energy_hook: Option<EnergyHook>,
+    /// Per-DC host-class mix: each DC gets `count` hosts of each spec,
+    /// in list order. Empty = `pms_per_dc` Atom hosts (the paper fleet).
+    host_classes: Vec<(MachineSpec, usize)>,
 }
 
 impl ScenarioBuilder {
@@ -150,6 +153,7 @@ impl ScenarioBuilder {
             deploy_all_in: None,
             demand_override: None,
             energy_hook: None,
+            host_classes: Vec::new(),
         }
     }
 
@@ -174,6 +178,7 @@ impl ScenarioBuilder {
             deploy_all_in: None,
             demand_override: None,
             energy_hook: None,
+            host_classes: Vec::new(),
         }
     }
 
@@ -262,6 +267,19 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a heterogeneous host-class mix: every datacenter gets
+    /// `count` hosts of each [`MachineSpec`], in list order (so PM
+    /// indices within a DC group by class). An empty list keeps the
+    /// default fleet of [`ScenarioBuilder::pms_per_dc`] Atom hosts.
+    pub fn host_classes(mut self, classes: Vec<(MachineSpec, usize)>) -> Self {
+        assert!(
+            classes.iter().all(|(_, count)| *count >= 1),
+            "every host class needs at least one host per DC"
+        );
+        self.host_classes = classes;
+        self
+    }
+
     /// Installs an energy-environment hook, run at the end of `build()`
     /// with the built cluster and the paper-default environment. This is
     /// the supported way to attach solar farms, tariff schedules or
@@ -316,8 +334,16 @@ impl ScenarioBuilder {
         for city in cities {
             let dc =
                 cluster.add_datacenter(city.code(), city.location(), paper_energy_price(*city));
-            for _ in 0..self.pms_per_dc {
-                cluster.add_pm(dc, MachineSpec::atom());
+            if self.host_classes.is_empty() {
+                for _ in 0..self.pms_per_dc {
+                    cluster.add_pm(dc, MachineSpec::atom());
+                }
+            } else {
+                for (spec, count) in &self.host_classes {
+                    for _ in 0..*count {
+                        cluster.add_pm(dc, spec.clone());
+                    }
+                }
             }
         }
 
@@ -486,6 +512,36 @@ mod tests {
             (workload.services[0].scale_rps - 200.0 * 0.8).abs() < 1e-6
                 || workload.services[0].scale_rps > 100.0
         );
+    }
+
+    #[test]
+    fn host_classes_build_a_mixed_fleet() {
+        let s = ScenarioBuilder::paper_multi_dc()
+            .vms(4)
+            .host_classes(vec![
+                (MachineSpec::atom(), 2),
+                (MachineSpec::xeon(), 1),
+                (MachineSpec::custom(2, 2048.0, 15.0, 22.0), 1),
+            ])
+            .build();
+        // 4 DCs × (2 + 1 + 1) hosts, grouped by class within each DC.
+        assert_eq!(s.cluster.pm_count(), 16);
+        for dc in s.cluster.dcs() {
+            let cores: Vec<usize> = dc
+                .pms()
+                .iter()
+                .map(|&pm| s.cluster.pm(pm).spec.cores())
+                .collect();
+            assert_eq!(cores, vec![4, 4, 8, 2], "class order preserved per DC");
+        }
+        // All VMs deployed and invariants hold on the mixed fleet.
+        for i in 0..4 {
+            assert!(s.cluster.placement(VmId::from_index(i)).is_some());
+        }
+        s.cluster.check_invariants();
+        // Empty classes keep the paper fleet bit-identical.
+        let d = ScenarioBuilder::paper_multi_dc().vms(4).build();
+        assert_eq!(d.cluster.pm_count(), 4);
     }
 
     #[test]

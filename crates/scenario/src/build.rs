@@ -7,7 +7,8 @@
 //! tests assert this for the fig4 and fig6 setups).
 
 use crate::spec::{
-    OracleKind, PolicyKind, ScenarioSpec, SpecError, TopologyPreset, TrainingSpec, WorkloadPreset,
+    ImportSpec, MachineClass, OracleKind, PolicyKind, ScenarioSpec, SpecError, TopologyPreset,
+    TrainingSpec, WorkloadPreset,
 };
 use pamdc_core::policy::{
     BestFitPolicy, CheapestEnergyPolicy, FollowLoadPolicy, HierarchicalPolicy, PlacementPolicy,
@@ -17,13 +18,67 @@ use pamdc_core::scenario::{Scenario, ScenarioBuilder};
 use pamdc_core::simulation::RunConfig;
 use pamdc_core::training::{collect_training_data, train_suite, TrainingOutcome};
 use pamdc_green::tariff::Tariff;
+use pamdc_infra::pm::MachineSpec;
 use pamdc_ml::predictors::PredictorSuite;
 use pamdc_sched::oracle::{MlOracle, MonitorOracle, TrueOracle};
 use pamdc_simcore::time::{SimDuration, SimTime};
+use pamdc_workload::import::{self, ImportOptions, TraceFormat};
 use pamdc_workload::libcn;
 use pamdc_workload::trace::{DemandTrace, TraceSource};
 use std::path::Path;
 use std::sync::Arc;
+
+/// The [`MachineSpec`] a `[[topology.classes]]` machine model names.
+pub fn machine_spec(class: &MachineClass) -> MachineSpec {
+    match class {
+        MachineClass::Atom => MachineSpec::atom(),
+        MachineClass::Xeon => MachineSpec::xeon(),
+        MachineClass::Custom {
+            cores,
+            mem_mb,
+            idle_watts,
+            peak_watts,
+        } => MachineSpec::custom(*cores, *mem_mb, *idle_watts, *peak_watts),
+    }
+}
+
+/// The per-DC `(spec, count)` host mix a spec's `[topology]` declares
+/// (empty = the default all-Atom fleet).
+pub fn host_classes(spec: &ScenarioSpec) -> Vec<(MachineSpec, usize)> {
+    spec.topology
+        .classes
+        .iter()
+        .map(|c| (machine_spec(&c.machine), c.count))
+        .collect()
+}
+
+/// The [`ImportOptions`] a `[workload.import]` table describes (spec
+/// validation and the actual import both read this mapping).
+pub fn import_options(import: &ImportSpec) -> ImportOptions {
+    ImportOptions {
+        tick: import.tick_secs.map(SimDuration::from_secs),
+        regions: import.regions,
+        rate_scale: import.rate_scale,
+        time_stretch: import.time_stretch,
+        region_map: import.region_map.clone(),
+        max_services: import.max_services,
+        max_ticks: import.max_ticks,
+    }
+}
+
+/// Runs a `[workload.import]` table: parse the named dataset file and
+/// normalize it into a replayable trace (transforms baked in).
+pub fn import_trace(import: &ImportSpec, base_dir: &Path) -> Result<DemandTrace, SpecError> {
+    let format = TraceFormat::from_name(&import.format).ok_or_else(|| {
+        SpecError(format!(
+            "unknown workload.import.format {:?} (azure | alibaba)",
+            import.format
+        ))
+    })?;
+    let path = base_dir.join(&import.path);
+    import::import_path(format, &path, &import_options(import))
+        .map_err(|e| SpecError(format!("{}: {e}", path.display())))
+}
 
 /// Builds the scenario a spec describes. `base_dir` anchors relative
 /// trace paths (use the spec file's directory).
@@ -64,6 +119,7 @@ fn build_scenario_inner(
         .name(spec.name.clone())
         .vms(w.vms)
         .pms_per_dc(spec.topology.pms_per_dc)
+        .host_classes(host_classes(spec))
         .peak_rps(w.peak_rps)
         .load_scale(w.load_scale)
         .seed(spec.seed);
@@ -103,6 +159,18 @@ fn build_scenario_inner(
             source = source.with_region_map(replay.region_map.clone());
         }
         builder = builder.demand(source);
+    } else if let Some(import) = &w.import {
+        let trace = import_trace(import, base_dir)?;
+        if trace.service_count() != w.vms {
+            return Err(SpecError(format!(
+                "imported dataset {} normalizes to {} services but the spec hosts {} VMs \
+                 (set workload.vms to match, or cap with workload.import.max_services)",
+                import.path,
+                trace.service_count(),
+                w.vms
+            )));
+        }
+        builder = builder.demand(TraceSource::new(trace));
     } else if w.preset == WorkloadPreset::Uniform {
         // Latency-neutral control workload (same construction as the
         // green / price-adaptation drivers).
@@ -286,6 +354,62 @@ mod tests {
         spec.policy.oracle = OracleKind::Ml;
         assert!(build_policy(&spec, None).is_err());
         assert!(needs_training(&spec));
+    }
+
+    #[test]
+    fn host_classes_reach_the_cluster() {
+        let mut spec = ScenarioSpec::default();
+        spec.topology.classes = vec![
+            crate::spec::HostClassSpec {
+                count: 1,
+                machine: MachineClass::Atom,
+            },
+            crate::spec::HostClassSpec {
+                count: 1,
+                machine: MachineClass::Xeon,
+            },
+        ];
+        let s = build_scenario(&spec, Path::new(".")).expect("build");
+        assert_eq!(s.cluster.pm_count(), 8, "4 DCs x (1 atom + 1 xeon)");
+        for dc in s.cluster.dcs() {
+            let cores: Vec<usize> = dc
+                .pms()
+                .iter()
+                .map(|&pm| s.cluster.pm(pm).spec.cores())
+                .collect();
+            assert_eq!(cores, vec![4, 8]);
+        }
+        s.cluster.check_invariants();
+    }
+
+    #[test]
+    fn import_spec_builds_a_trace_demand() {
+        let dir = std::env::temp_dir().join("pamdc-import-build-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        std::fs::write(
+            dir.join("azure.csv"),
+            "0,vm-a,1,9,20.0\n0,vm-b,1,9,30.0\n300,vm-a,1,9,25.0\n300,vm-b,1,9,35.0\n",
+        )
+        .expect("fixture");
+        let mut spec = ScenarioSpec::default();
+        spec.workload.vms = 2;
+        spec.workload.import = Some(crate::spec::ImportSpec {
+            path: "azure.csv".into(),
+            format: "azure".into(),
+            ..crate::spec::ImportSpec::default()
+        });
+        let s = build_scenario(&spec, &dir).expect("build");
+        let trace = s.workload.trace().expect("trace demand");
+        assert_eq!(trace.trace().service_count(), 2);
+        assert_eq!(trace.trace().tick_count(), 2);
+        // A VM-count mismatch is a clear error, not a panic.
+        spec.workload.vms = 5;
+        let err = build_scenario(&spec, &dir).unwrap_err();
+        assert!(err.0.contains("max_services"), "{err}");
+        // A missing file is a clear error too.
+        spec.workload.vms = 2;
+        spec.workload.import.as_mut().unwrap().path = "nope.csv".into();
+        assert!(build_scenario(&spec, &dir).is_err());
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct KindEntry {
     /// False for wall-clock timing studies whose reports vary run to
     /// run (excluded from golden snapshots; still CI-smoked).
     pub deterministic: bool,
+    /// True when the driver honors `[[topology.classes]]`. Spec
+    /// validation rejects a class mix bound to any other kind — the
+    /// drivers build their own worlds, so the table would be silently
+    /// ignored otherwise.
+    pub uses_topology_classes: bool,
     /// Builds the experiment from a spec (`quick` selects the driver's
     /// test preset).
     pub build: BuildFn,
@@ -212,13 +217,13 @@ fn build_ablations(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experimen
 
 fn build_heterogeneity(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Experiment>, SpecError> {
     let exp = spec.experiment.as_ref().expect("dispatched kind");
-    let cfg = if quick {
+    let mut cfg = if quick {
         heterogeneity::HeterogeneityConfig::quick(spec.seed)
     } else {
         let defaults = heterogeneity::HeterogeneityConfig::default();
         heterogeneity::HeterogeneityConfig {
             spreads: if exp.spreads.is_empty() {
-                defaults.spreads
+                defaults.spreads.clone()
             } else {
                 exp.spreads.clone()
             },
@@ -226,9 +231,14 @@ fn build_heterogeneity(spec: &ScenarioSpec, quick: bool) -> Result<Box<dyn Exper
             vms: spec.workload.vms,
             pms_per_dc: spec.topology.pms_per_dc,
             load_scale: spec.workload.load_scale,
-            seed: spec.seed,
+            ..defaults
         }
     };
+    // The machine mix rides the spec in both modes: price heterogeneity
+    // on exactly the fleet `[[topology.classes]]` declares (empty =
+    // the paper's all-Atom fleet, so the builtin report is unchanged).
+    cfg.host_classes = crate::build::host_classes(spec);
+    cfg.seed = spec.seed;
     Ok(Box::new(heterogeneity::Heterogeneity { cfg }))
 }
 
@@ -301,76 +311,91 @@ pub const KINDS: &[KindEntry] = &[
     KindEntry {
         kind: "fig4",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_fig4,
     },
     KindEntry {
         kind: "fig5",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_fig5,
     },
     KindEntry {
         kind: "fig6",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_fig6,
     },
     KindEntry {
         kind: "fig7-table3",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_fig7_table3,
     },
     KindEntry {
         kind: "fig8",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_fig8,
     },
     KindEntry {
         kind: "table1",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_table1,
     },
     KindEntry {
         kind: "table2",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_table2,
     },
     KindEntry {
         kind: "green",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_green,
     },
     KindEntry {
         kind: "deloc",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_deloc,
     },
     KindEntry {
         kind: "ablations",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_ablations,
     },
     KindEntry {
         kind: "heterogeneity",
         deterministic: true,
+        uses_topology_classes: true,
         build: build_heterogeneity,
     },
     KindEntry {
         kind: "online-drift",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_online_drift,
     },
     KindEntry {
         kind: "price-adaptation",
         deterministic: true,
+        uses_topology_classes: false,
         build: build_price_adaptation,
     },
     KindEntry {
         kind: "scaling",
         deterministic: false,
+        uses_topology_classes: false,
         build: build_scaling,
     },
     KindEntry {
         kind: "solver-scaling",
         deterministic: false,
+        uses_topology_classes: false,
         build: build_solver_scaling,
     },
 ];

@@ -7,7 +7,8 @@
 //! `pamdc sweep` can vary them without the experiment binding.
 
 use crate::spec::{
-    ExperimentSpec, FaultSpec, OracleKind, PolicyKind, ScenarioSpec, TopologyPreset, WorkloadPreset,
+    ExperimentSpec, FaultSpec, HostClassSpec, MachineClass, OracleKind, PolicyKind, ScenarioSpec,
+    TopologyPreset, WorkloadPreset,
 };
 
 /// One named built-in scenario.
@@ -310,6 +311,38 @@ pub fn builtins() -> Vec<BuiltinSpec> {
         name: "resilience",
         title: "failure injection: evacuate a crashed host, survive, recover",
         spec: resilience,
+    });
+
+    // Heterogeneous fleet — `[[topology.classes]]` end to end (generic
+    // path): each DC hosts one Atom beside one small 2-core box, so
+    // consolidation must weigh unequal capacities and power curves.
+    let mut fleet = ScenarioSpec::default();
+    fleet.name = "hetero-fleet".into();
+    fleet.description =
+        "Mixed Atom + small-host fleet per DC under the hierarchical scheduler".into();
+    fleet.seed = 31;
+    fleet.topology.classes = vec![
+        HostClassSpec {
+            count: 1,
+            machine: MachineClass::Atom,
+        },
+        HostClassSpec {
+            count: 1,
+            machine: MachineClass::Custom {
+                cores: 2,
+                mem_mb: 2048.0,
+                idle_watts: 15.0,
+                peak_watts: 22.0,
+            },
+        },
+    ];
+    fleet.workload.vms = 6;
+    fleet.workload.load_scale = 0.8;
+    fleet.run.hours = 8;
+    out.push(BuiltinSpec {
+        name: "hetero-fleet",
+        title: "heterogeneous host classes: Atom + 2-core boxes in every DC",
+        spec: fleet,
     });
 
     out

@@ -66,16 +66,63 @@ impl TopologyPreset {
     }
 }
 
+/// One host model a `[[topology.classes]]` entry can name.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MachineClass {
+    /// The paper's measured Intel Atom host.
+    Atom,
+    /// The Xeon-class host (8 cores, 16 GB, steeper power curve).
+    Xeon,
+    /// A custom class from four headline numbers (the power curve is
+    /// filled in with the Atom-shaped concave interpolation; see
+    /// `MachineSpec::custom`).
+    Custom {
+        /// Core count (capacity = 100 %CPU per core).
+        cores: usize,
+        /// Memory, MB.
+        mem_mb: f64,
+        /// Idle (0 active cores) IT draw, watts.
+        idle_watts: f64,
+        /// All-cores-active IT draw, watts.
+        peak_watts: f64,
+    },
+}
+
+/// One `[[topology.classes]]` entry: `count` hosts of one machine class
+/// in **every** datacenter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostClassSpec {
+    /// Hosts of this class per DC.
+    pub count: usize,
+    /// Which machine model.
+    pub machine: MachineClass,
+}
+
 /// `[topology]` — datacenters and hosts.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TopologySpec {
     /// Which city set to build.
     pub preset: TopologyPreset,
-    /// Hosts per datacenter.
+    /// Hosts per datacenter (ignored when `classes` is non-empty).
     pub pms_per_dc: usize,
+    /// Heterogeneous host-class mix per DC (`[[topology.classes]]`);
+    /// empty = `pms_per_dc` Atom hosts, the paper fleet.
+    pub classes: Vec<HostClassSpec>,
     /// Deploy every VM into this DC index initially (the de-location
     /// experiments start overloaded); `None` = home-region placement.
     pub deploy_all_in: Option<usize>,
+}
+
+impl TopologySpec {
+    /// Hosts each DC actually gets: the class mix when one is declared,
+    /// `pms_per_dc` otherwise.
+    pub fn hosts_per_dc(&self) -> usize {
+        if self.classes.is_empty() {
+            self.pms_per_dc
+        } else {
+            self.classes.iter().map(|c| c.count).sum()
+        }
+    }
 }
 
 /// Which synthetic workload preset to attach (PAPER.md §V, Li-BCN).
@@ -138,10 +185,53 @@ impl Default for TraceReplaySpec {
     }
 }
 
+/// `[workload.import]` — ingest a public dataset (Azure / Alibaba) as
+/// the demand source. Normalization and transforms happen at import
+/// (see `pamdc_workload::import` and `docs/TRACES.md`); the resulting
+/// trace drives the run exactly like a recorded one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImportSpec {
+    /// Dataset file path (resolved relative to the spec's directory).
+    pub path: String,
+    /// Source schema: `"azure"` | `"alibaba"`.
+    pub format: String,
+    /// Normalization tick, seconds (`None` = the format's native
+    /// cadence: 300 s Azure, 10 s Alibaba).
+    pub tick_secs: Option<u64>,
+    /// Client regions of the target world.
+    pub regions: usize,
+    /// Arrival-rate multiplier, baked in at import.
+    pub rate_scale: f64,
+    /// Playback slowdown, baked in at import.
+    pub time_stretch: f64,
+    /// Home-region relabelling; empty = identity.
+    pub region_map: Vec<usize>,
+    /// Keep only the first N distinct source ids.
+    pub max_services: Option<usize>,
+    /// Keep only the first N normalized ticks.
+    pub max_ticks: Option<usize>,
+}
+
+impl Default for ImportSpec {
+    fn default() -> Self {
+        ImportSpec {
+            path: String::new(),
+            format: "azure".into(),
+            tick_secs: None,
+            regions: 4,
+            rate_scale: 1.0,
+            time_stretch: 1.0,
+            region_map: Vec::new(),
+            max_services: None,
+            max_ticks: None,
+        }
+    }
+}
+
 /// `[workload]` — demand.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadSpec {
-    /// Synthetic preset (ignored when `trace` is set).
+    /// Synthetic preset (ignored when `trace` or `import` is set).
     pub preset: WorkloadPreset,
     /// Hosted services / VMs.
     pub vms: usize,
@@ -153,6 +243,8 @@ pub struct WorkloadSpec {
     pub flash_crowd: Option<f64>,
     /// Replay a recorded trace instead of generating synthetically.
     pub trace: Option<TraceReplaySpec>,
+    /// Import a public dataset (Azure/Alibaba) as the demand source.
+    pub import: Option<ImportSpec>,
 }
 
 /// One flat- or step-tariff override for one DC.
@@ -480,6 +572,7 @@ impl Default for ScenarioSpec {
             topology: TopologySpec {
                 preset: TopologyPreset::MultiDc,
                 pms_per_dc: 1,
+                classes: Vec::new(),
                 deploy_all_in: None,
             },
             workload: WorkloadSpec {
@@ -489,6 +582,7 @@ impl Default for ScenarioSpec {
                 load_scale: 1.0,
                 flash_crowd: None,
                 trace: None,
+                import: None,
             },
             energy: EnergySpec::default(),
             billing: BillingSpec::default(),
@@ -692,6 +786,52 @@ impl ScenarioSpec {
                 }
                 spec.topology.pms_per_dc = pms;
             }
+            for mut c in t.take_table_array("classes", "topology.classes")? {
+                let count = c.take_usize("count")?.unwrap_or(1);
+                let preset = c.take_str("preset")?;
+                let cores = c.take_usize("cores")?;
+                let mem_mb = c.take_f64("mem_mb")?;
+                let idle_watts = c.take_f64("idle_watts")?;
+                let peak_watts = c.take_f64("peak_watts")?;
+                c.finish()?;
+                let machine = match preset.as_deref() {
+                    Some(name) => {
+                        if cores.is_some()
+                            || mem_mb.is_some()
+                            || idle_watts.is_some()
+                            || peak_watts.is_some()
+                        {
+                            return Err(bad(format!(
+                                "topology.classes: preset {name:?} cannot be combined with \
+                                 custom cores/mem_mb/idle_watts/peak_watts fields"
+                            )));
+                        }
+                        match name {
+                            "atom" => MachineClass::Atom,
+                            "xeon" => MachineClass::Xeon,
+                            _ => {
+                                return Err(bad(format!(
+                                    "unknown machine preset {name:?} (atom | xeon)"
+                                )))
+                            }
+                        }
+                    }
+                    None => MachineClass::Custom {
+                        cores: cores.ok_or_else(|| {
+                            bad("topology.classes: custom classes need cores (or a preset)")
+                        })?,
+                        mem_mb: mem_mb
+                            .ok_or_else(|| bad("topology.classes: custom classes need mem_mb"))?,
+                        idle_watts: idle_watts.ok_or_else(|| {
+                            bad("topology.classes: custom classes need idle_watts")
+                        })?,
+                        peak_watts: peak_watts.ok_or_else(|| {
+                            bad("topology.classes: custom classes need peak_watts")
+                        })?,
+                    },
+                };
+                spec.topology.classes.push(HostClassSpec { count, machine });
+            }
             spec.topology.deploy_all_in = t.take_usize("deploy_all_in")?;
             t.finish()?;
         }
@@ -735,6 +875,36 @@ impl ScenarioSpec {
                 }
                 tr.finish()?;
                 spec.workload.trace = Some(replay);
+            }
+            if let Some(mut im) = t.take_table("import", "workload.import")? {
+                let path = im
+                    .take_str("path")?
+                    .ok_or_else(|| bad("workload.import.path is required"))?;
+                let format = im
+                    .take_str("format")?
+                    .ok_or_else(|| bad("workload.import.format is required (azure | alibaba)"))?;
+                let mut import = ImportSpec {
+                    path,
+                    format,
+                    ..ImportSpec::default()
+                };
+                import.tick_secs = im.take_u64("tick_secs")?;
+                if let Some(v) = im.take_usize("regions")? {
+                    import.regions = v;
+                }
+                if let Some(v) = im.take_f64("rate_scale")? {
+                    import.rate_scale = v;
+                }
+                if let Some(v) = im.take_f64("time_stretch")? {
+                    import.time_stretch = v;
+                }
+                if let Some(map) = im.take_usize_list("region_map")? {
+                    import.region_map = map;
+                }
+                import.max_services = im.take_usize("max_services")?;
+                import.max_ticks = im.take_usize("max_ticks")?;
+                im.finish()?;
+                spec.workload.import = Some(import);
             }
             t.finish()?;
         }
@@ -931,7 +1101,34 @@ impl ScenarioSpec {
                 )));
             }
         }
-        let pms = dcs * self.topology.pms_per_dc;
+        for c in &self.topology.classes {
+            if c.count == 0 {
+                return Err(bad("topology.classes count must be >= 1"));
+            }
+            if let MachineClass::Custom {
+                cores,
+                mem_mb,
+                idle_watts,
+                peak_watts,
+            } = &c.machine
+            {
+                if *cores == 0 {
+                    return Err(bad("topology.classes cores must be >= 1"));
+                }
+                if !(mem_mb.is_finite() && *mem_mb > 0.0) {
+                    return Err(bad("topology.classes mem_mb must be finite and > 0"));
+                }
+                if !(idle_watts.is_finite() && peak_watts.is_finite() && *idle_watts > 0.0) {
+                    return Err(bad(
+                        "topology.classes idle_watts/peak_watts must be finite and > 0",
+                    ));
+                }
+                if idle_watts > peak_watts {
+                    return Err(bad("topology.classes idle_watts cannot exceed peak_watts"));
+                }
+            }
+        }
+        let pms = dcs * self.topology.hosts_per_dc();
         for f in &self.faults {
             if f.pm >= pms {
                 return Err(bad(format!("faults.pm {} out of range ({pms} PMs)", f.pm)));
@@ -951,7 +1148,10 @@ impl ScenarioSpec {
                     "workload preset follow-the-sun requires the multi-dc topology",
                 ));
             }
-            if self.workload.vms != 1 && self.workload.trace.is_none() {
+            if self.workload.vms != 1
+                && self.workload.trace.is_none()
+                && self.workload.import.is_none()
+            {
                 return Err(bad(format!(
                     "workload preset follow-the-sun hosts exactly one VM, not {}",
                     self.workload.vms
@@ -963,6 +1163,34 @@ impl ScenarioSpec {
                 "workload.flash_crowd cannot be combined with workload.trace — a replayed \
                  trace already carries its demand; bake the crowd into the recording instead",
             ));
+        }
+        if self.workload.import.is_some() && self.workload.trace.is_some() {
+            return Err(bad(
+                "workload.trace and workload.import are mutually exclusive — pick one \
+                 demand source",
+            ));
+        }
+        if self.workload.import.is_some() && self.workload.flash_crowd.is_some() {
+            return Err(bad(
+                "workload.flash_crowd cannot be combined with workload.import — an imported \
+                 trace already carries its demand",
+            ));
+        }
+        if let Some(import) = &self.workload.import {
+            if import.path.is_empty() {
+                return Err(bad("workload.import.path must not be empty"));
+            }
+            if pamdc_workload::import::TraceFormat::from_name(&import.format).is_none() {
+                return Err(bad(format!(
+                    "unknown workload.import.format {:?} (azure | alibaba)",
+                    import.format
+                )));
+            }
+            // The knob rules (regions, scales, region_map, tick, caps)
+            // live with the importer — one source of truth.
+            crate::build::import_options(import)
+                .validate()
+                .map_err(|e| bad(format!("workload.import: {}", e.0)))?;
         }
         if let Some(trace) = &self.workload.trace {
             if trace.path.is_empty() {
@@ -978,15 +1206,34 @@ impl ScenarioSpec {
         if let Some(exp) = &self.experiment {
             // The kind registry is the single source of truth: a kind
             // registered there is automatically valid here.
-            if crate::kinds::find(&exp.kind).is_none() {
+            let Some(entry) = crate::kinds::find(&exp.kind) else {
                 return Err(bad(format!(
                     "unknown experiment kind {:?} (expected one of {})",
                     exp.kind,
                     crate::kinds::kind_names().join(" | ")
                 )));
-            }
+            };
             if !(exp.spike_factor.is_finite() && exp.spike_factor > 0.0) {
                 return Err(bad("experiment.spike_factor must be finite and > 0"));
+            }
+            // Experiment drivers build their own worlds: a file-backed
+            // demand source or an unhonored class mix would be silently
+            // ignored, so reject the combination loudly instead.
+            if self.workload.trace.is_some() || self.workload.import.is_some() {
+                return Err(bad(format!(
+                    "[experiment] kind = {:?} builds its own demand, so workload.trace/\
+                     workload.import would be ignored — drop the [experiment] table to run \
+                     the file-backed demand through the generic path",
+                    exp.kind
+                )));
+            }
+            if !self.topology.classes.is_empty() && !entry.uses_topology_classes {
+                return Err(bad(format!(
+                    "[experiment] kind = {:?} does not honor [[topology.classes]] (its driver \
+                     builds its own fleet) — drop the class table, or drop the [experiment] \
+                     binding to run the mixed fleet through the generic path",
+                    exp.kind
+                )));
             }
         }
         Ok(())
@@ -1009,6 +1256,38 @@ impl ScenarioSpec {
             "pms_per_dc".into(),
             Value::Int(self.topology.pms_per_dc as i64),
         );
+        if !self.topology.classes.is_empty() {
+            let classes = self
+                .topology
+                .classes
+                .iter()
+                .map(|c| {
+                    let mut table = Table::new();
+                    table.insert("count".into(), Value::Int(c.count as i64));
+                    match &c.machine {
+                        MachineClass::Atom => {
+                            table.insert("preset".into(), Value::Str("atom".into()));
+                        }
+                        MachineClass::Xeon => {
+                            table.insert("preset".into(), Value::Str("xeon".into()));
+                        }
+                        MachineClass::Custom {
+                            cores,
+                            mem_mb,
+                            idle_watts,
+                            peak_watts,
+                        } => {
+                            table.insert("cores".into(), Value::Int(*cores as i64));
+                            table.insert("mem_mb".into(), Value::Float(*mem_mb));
+                            table.insert("idle_watts".into(), Value::Float(*idle_watts));
+                            table.insert("peak_watts".into(), Value::Float(*peak_watts));
+                        }
+                    }
+                    Value::Table(table)
+                })
+                .collect();
+            topology.insert("classes".into(), Value::Array(classes));
+        }
         if let Some(dc) = self.topology.deploy_all_in {
             topology.insert("deploy_all_in".into(), Value::Int(dc as i64));
         }
@@ -1043,6 +1322,36 @@ impl ScenarioSpec {
                 );
             }
             workload.insert("trace".into(), Value::Table(t));
+        }
+        if let Some(import) = &self.workload.import {
+            let mut t = Table::new();
+            t.insert("path".into(), Value::Str(import.path.clone()));
+            t.insert("format".into(), Value::Str(import.format.clone()));
+            if let Some(secs) = import.tick_secs {
+                t.insert("tick_secs".into(), Value::Int(secs as i64));
+            }
+            t.insert("regions".into(), Value::Int(import.regions as i64));
+            t.insert("rate_scale".into(), Value::Float(import.rate_scale));
+            t.insert("time_stretch".into(), Value::Float(import.time_stretch));
+            if !import.region_map.is_empty() {
+                t.insert(
+                    "region_map".into(),
+                    Value::Array(
+                        import
+                            .region_map
+                            .iter()
+                            .map(|&r| Value::Int(r as i64))
+                            .collect(),
+                    ),
+                );
+            }
+            if let Some(n) = import.max_services {
+                t.insert("max_services".into(), Value::Int(n as i64));
+            }
+            if let Some(n) = import.max_ticks {
+                t.insert("max_ticks".into(), Value::Int(n as i64));
+            }
+            workload.insert("import".into(), Value::Table(t));
         }
         root.insert("workload".into(), Value::Table(workload));
 
@@ -1347,6 +1656,129 @@ mod tests {
         });
         let parsed = ScenarioSpec::parse(&traced.emit()).expect("parse");
         assert_eq!(traced, parsed);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn host_classes_and_import_round_trip() {
+        let mut spec = ScenarioSpec::default();
+        spec.topology.classes = vec![
+            HostClassSpec {
+                count: 2,
+                machine: MachineClass::Atom,
+            },
+            HostClassSpec {
+                count: 1,
+                machine: MachineClass::Xeon,
+            },
+            HostClassSpec {
+                count: 3,
+                machine: MachineClass::Custom {
+                    cores: 2,
+                    mem_mb: 2048.0,
+                    idle_watts: 15.5,
+                    peak_watts: 22.25,
+                },
+            },
+        ];
+        spec.workload.import = Some(ImportSpec {
+            path: "traces/azure.csv".into(),
+            format: "azure".into(),
+            tick_secs: Some(600),
+            regions: 4,
+            rate_scale: 0.5,
+            time_stretch: 2.0,
+            region_map: vec![1, 0, 3, 2],
+            max_services: Some(5),
+            max_ticks: Some(100),
+        });
+        spec.workload.vms = 5;
+        let emitted = spec.emit();
+        let parsed = ScenarioSpec::parse(&emitted).expect("parse");
+        assert_eq!(spec, parsed);
+        assert_eq!(parsed.emit(), emitted, "emission is a fixed point");
+        assert_eq!(spec.topology.hosts_per_dc(), 6);
+        // A defaulted import table keeps its defaults through the trip.
+        let doc = "[workload.import]\npath = \"a.csv\"\nformat = \"alibaba\"\n";
+        let parsed = ScenarioSpec::parse(doc).expect("parse");
+        let import = parsed.workload.import.expect("import");
+        assert_eq!(import.tick_secs, None);
+        assert_eq!(import.regions, 4);
+        assert_eq!(import.rate_scale, 1.0);
+    }
+
+    #[test]
+    fn host_class_validation_fires() {
+        // Preset + custom fields is ambiguous.
+        let doc = "[[topology.classes]]\npreset = \"atom\"\ncores = 8\n";
+        assert!(ScenarioSpec::parse(doc).unwrap_err().0.contains("preset"));
+        // Unknown preset.
+        let doc = "[[topology.classes]]\npreset = \"mainframe\"\n";
+        assert!(ScenarioSpec::parse(doc).is_err());
+        // Custom classes need all four numbers.
+        let doc = "[[topology.classes]]\ncores = 8\nmem_mb = 1024.0\n";
+        assert!(ScenarioSpec::parse(doc).is_err());
+        // Zero hosts of a class is meaningless.
+        let doc = "[[topology.classes]]\npreset = \"atom\"\ncount = 0\n";
+        assert!(ScenarioSpec::parse(doc).is_err());
+        // Inverted power endpoints.
+        let doc = "[[topology.classes]]\ncores = 2\nmem_mb = 1024.0\n\
+                   idle_watts = 50.0\npeak_watts = 20.0\n";
+        assert!(ScenarioSpec::parse(doc).unwrap_err().0.contains("exceed"));
+        // Fault indices validate against the class fleet, not pms_per_dc.
+        let doc = "[[topology.classes]]\npreset = \"atom\"\ncount = 2\n\
+                   [[faults]]\npm = 7\nat_min = 1\nrepair_after_min = 1\n";
+        assert!(ScenarioSpec::parse(doc).is_ok(), "8 PMs: pm 7 in range");
+        let doc = "[[topology.classes]]\npreset = \"atom\"\ncount = 2\n\
+                   [[faults]]\npm = 8\nat_min = 1\nrepair_after_min = 1\n";
+        assert!(
+            ScenarioSpec::parse(doc).is_err(),
+            "8 PMs: pm 8 out of range"
+        );
+    }
+
+    #[test]
+    fn experiment_bound_specs_reject_ignored_sections() {
+        // A driver-bound spec would silently drop a file-backed demand
+        // source or an unhonored class mix — both are hard errors.
+        let doc = "[experiment]\nkind = \"fig4\"\n\
+                   [workload.import]\npath = \"a.csv\"\nformat = \"azure\"\n";
+        assert!(ScenarioSpec::parse(doc).unwrap_err().0.contains("ignored"));
+        let doc = "[experiment]\nkind = \"fig4\"\n[workload.trace]\npath = \"t.csv\"\n";
+        assert!(ScenarioSpec::parse(doc).is_err());
+        let doc = "[[topology.classes]]\npreset = \"atom\"\n[experiment]\nkind = \"fig4\"\n";
+        assert!(ScenarioSpec::parse(doc)
+            .unwrap_err()
+            .0
+            .contains("topology.classes"));
+        // ...but the heterogeneity driver honors the class table.
+        let doc =
+            "[[topology.classes]]\npreset = \"atom\"\n[experiment]\nkind = \"heterogeneity\"\n";
+        assert!(ScenarioSpec::parse(doc).is_ok());
+    }
+
+    #[test]
+    fn import_validation_fires() {
+        let base = "[workload.import]\npath = \"a.csv\"\n";
+        assert!(
+            ScenarioSpec::parse(base).unwrap_err().0.contains("format"),
+            "format is required"
+        );
+        let doc = format!("{base}format = \"gcp\"\n");
+        assert!(ScenarioSpec::parse(&doc).unwrap_err().0.contains("gcp"));
+        let doc = format!("{base}format = \"azure\"\ntick_secs = 0\n");
+        assert!(ScenarioSpec::parse(&doc).is_err());
+        let doc = format!("{base}format = \"azure\"\nregion_map = [0, 1]\n");
+        assert!(ScenarioSpec::parse(&doc).is_err(), "map must cover regions");
+        let doc = format!("{base}format = \"azure\"\nrate_scale = -2.0\n");
+        assert!(ScenarioSpec::parse(&doc).is_err());
+        // trace + import, flash_crowd + import: one demand source only.
+        let doc = "[workload]\nflash_crowd = 4.0\n\
+                   [workload.import]\npath = \"a.csv\"\nformat = \"azure\"\n";
+        assert!(ScenarioSpec::parse(doc).is_err());
+        let doc = "[workload.trace]\npath = \"t.csv\"\n\
+                   [workload.import]\npath = \"a.csv\"\nformat = \"azure\"\n";
+        assert!(ScenarioSpec::parse(doc).is_err());
     }
 
     #[test]

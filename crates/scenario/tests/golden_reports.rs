@@ -96,6 +96,8 @@ golden! {
     golden_heterogeneity => "heterogeneity";
     golden_online_drift => "online-drift";
     golden_price_adaptation => "price-adaptation";
+    // First registered with the trace-import/host-classes PR.
+    golden_hetero_fleet => "hetero-fleet";
 }
 
 /// Every deterministic registry entry must have a golden test above —

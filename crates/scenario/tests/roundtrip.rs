@@ -2,8 +2,8 @@
 #![allow(clippy::field_reassign_with_default, clippy::manual_is_multiple_of)]
 
 use pamdc_scenario::spec::{
-    ExperimentSpec, FaultSpec, OracleKind, PolicyKind, ProfileChangeSpec, ScenarioSpec, TariffSpec,
-    TopologyPreset, TraceReplaySpec, WorkloadPreset,
+    ExperimentSpec, FaultSpec, HostClassSpec, ImportSpec, MachineClass, OracleKind, PolicyKind,
+    ProfileChangeSpec, ScenarioSpec, TariffSpec, TopologyPreset, TraceReplaySpec, WorkloadPreset,
 };
 use proptest::prelude::*;
 
@@ -82,20 +82,68 @@ fn assemble(
     if flash && !trace {
         spec.workload.flash_crowd = Some(1.0 + scalar * 10.0);
     }
-    if trace {
-        spec.workload.trace = Some(TraceReplaySpec {
-            path: format!("traces/{seed}.csv"),
-            rate_scale: scalar.max(0.001),
-            time_stretch: 0.25 + scalar,
-            region_map: if seed % 2 == 0 {
-                vec![3, 2, 1, 0]
-            } else {
-                Vec::new()
+    if trace && !experiment {
+        // Alternate between the two file-backed demand sources (they
+        // are mutually exclusive, and an [experiment] binding rejects
+        // both): a recorded replay and a public-dataset import with
+        // every knob exercised.
+        if seed % 3 == 0 {
+            spec.workload.import = Some(ImportSpec {
+                path: format!("datasets/{seed}.csv"),
+                format: if seed % 2 == 0 { "azure" } else { "alibaba" }.into(),
+                tick_secs: (seed % 2 == 0).then_some(60 + seed % 600),
+                regions: 1 + (seed as usize % 6),
+                rate_scale: scalar.max(0.001),
+                time_stretch: 0.25 + scalar,
+                region_map: if seed % 5 == 0 {
+                    let regions = 1 + (seed as usize % 6);
+                    (0..regions).rev().collect()
+                } else {
+                    Vec::new()
+                },
+                max_services: (seed % 4 == 0).then_some(1 + vms),
+                max_ticks: (seed % 7 == 0).then_some(1 + seed as usize % 500),
+            });
+        } else {
+            spec.workload.trace = Some(TraceReplaySpec {
+                path: format!("traces/{seed}.csv"),
+                rate_scale: scalar.max(0.001),
+                time_stretch: 0.25 + scalar,
+                region_map: if seed % 2 == 0 {
+                    vec![3, 2, 1, 0]
+                } else {
+                    Vec::new()
+                },
+            });
+        }
+    }
+    if pms_per_dc % 2 == 0 && !experiment {
+        // Exercise `[[topology.classes]]` (only kinds that honor the
+        // table accept it, so keep it off experiment-bound specs):
+        // both presets plus a custom class whose floats stress
+        // shortest-repr emission.
+        spec.topology.classes = vec![
+            HostClassSpec {
+                count: 1 + vms % 3,
+                machine: MachineClass::Atom,
             },
-        });
+            HostClassSpec {
+                count: 1,
+                machine: MachineClass::Xeon,
+            },
+            HostClassSpec {
+                count: 1 + seed as usize % 2,
+                machine: MachineClass::Custom {
+                    cores: 1 + vms,
+                    mem_mb: 512.0 + scalar * 32_768.0,
+                    idle_watts: 5.0 + scalar * 100.0,
+                    peak_watts: 105.0 + scalar * 300.0,
+                },
+            },
+        ];
     }
     if faults {
-        let pms = spec.topology.pms_per_dc * if intra { 1 } else { 4 };
+        let pms = spec.topology.hosts_per_dc() * if intra { 1 } else { 4 };
         spec.faults.push(FaultSpec {
             pm: seed as usize % pms,
             at_min: hours % 300,

@@ -1,0 +1,198 @@
+//! Alibaba cluster trace — `container_usage` schema.
+//!
+//! The [Alibaba cluster trace](https://github.com/alibaba/clusterdata)
+//! (v2018) publishes per-container usage as headerless CSV rows
+//!
+//! ```text
+//! container_id,machine_id,time_stamp,cpu_util_percent,mem_util_percent,
+//! cpi,mem_gps,mpki,net_in,net_out,disk_io_percent
+//! ```
+//!
+//! with `time_stamp` in seconds (~10 s cadence), `cpu_util_percent` in
+//! percent and `net_in`/`net_out` in (normalized) KB/s. The dataset is
+//! famously sparse: rows routinely leave `cpi`, `net_*` and other
+//! columns empty. This parser therefore
+//!
+//! * requires only the first 10 columns (the trailing `disk_io_percent`
+//!   may be absent) and ignores anything after column 11;
+//! * **skips** rows whose `cpu_util_percent` is empty (no utilization
+//!   signal to normalize), keeping the import total over real files;
+//! * treats empty `net_in`/`net_out` as "column absent" — per-request
+//!   KB then fall back to the class means (see the
+//!   [module docs](crate::import)).
+//!
+//! Malformed non-empty values still error with their line number.
+
+use super::{line_err, ImportError, ImportOptions, ServiceInterner, UsageRow};
+use std::io::BufRead;
+
+/// Minimum columns a usage row must carry (`..net_out`).
+const MIN_COLS: usize = 10;
+
+fn opt_f64(text: &str, lineno: usize, what: &str) -> Result<Option<f64>, ImportError> {
+    if text.is_empty() {
+        return Ok(None);
+    }
+    let v: f64 = text
+        .parse()
+        .map_err(|_| line_err(lineno, format!("bad {what} {text:?}")))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(line_err(
+            lineno,
+            format!("{what} must be finite and >= 0, got {v}"),
+        ));
+    }
+    Ok(Some(v))
+}
+
+/// Parses Alibaba `container_usage` rows into normalized usage samples.
+pub(crate) fn parse_rows<R: BufRead>(
+    reader: R,
+    opts: &ImportOptions,
+) -> Result<Vec<UsageRow>, ImportError> {
+    let mut services = ServiceInterner::new(opts.max_services);
+    let mut rows = Vec::new();
+    let mut saw_content = false;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| line_err(lineno, format!("read failed: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Skip the (optional) header row: the first non-comment line,
+        // wherever it sits.
+        if !saw_content && line.to_ascii_lowercase().starts_with("container_id") {
+            continue;
+        }
+        saw_content = true;
+        let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cols.len() < MIN_COLS {
+            return Err(line_err(
+                lineno,
+                format!(
+                    "expected at least {MIN_COLS} columns (container_id,machine_id,time_stamp,\
+                     cpu_util_percent,...,net_in,net_out), got {}",
+                    cols.len()
+                ),
+            ));
+        }
+        if cols[0].is_empty() {
+            return Err(line_err(lineno, "empty container_id"));
+        }
+        let timestamp: u64 = cols[2]
+            .parse()
+            .map_err(|_| line_err(lineno, format!("bad time_stamp {:?}", cols[2])))?;
+        let Some(cpu_pct) = opt_f64(cols[3], lineno, "cpu_util_percent")? else {
+            continue; // no utilization signal: skip, don't guess
+        };
+        let net_in_kbps = opt_f64(cols[8], lineno, "net_in")?;
+        let net_out_kbps = opt_f64(cols[9], lineno, "net_out")?;
+        let Some(service) = services.intern(cols[0]) else {
+            continue; // beyond max_services
+        };
+        rows.push(UsageRow {
+            timestamp,
+            service,
+            cpu_pct,
+            net_in_kbps,
+            net_out_kbps,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::import::{class_kb_out_mean, import_str, TraceFormat};
+    use crate::service::ServiceClass;
+
+    const ROW_A: &str = "c_1,m_1,10,25.0,40.2,1.1,0.4,0.02,120.0,350.0,5.0";
+    const ROW_B: &str = "c_2,m_1,10,50.0,60.0,,,,,,";
+
+    fn parse(text: &str) -> Result<Vec<UsageRow>, ImportError> {
+        parse_rows(text.as_bytes(), &ImportOptions::default())
+    }
+
+    #[test]
+    fn parses_full_and_sparse_rows() {
+        let rows = parse(&format!("{ROW_A}\n{ROW_B}\n")).expect("parse");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].net_out_kbps, Some(350.0));
+        assert_eq!(rows[1].net_out_kbps, None, "empty column = absent");
+        assert_eq!(rows[1].service, 1);
+    }
+
+    #[test]
+    fn empty_cpu_rows_are_skipped_not_fatal() {
+        let rows = parse("c_1,m_1,10,,40.0,,,,,,\nc_1,m_1,20,30.0,40.0,,,,,,\n").expect("parse");
+        assert_eq!(rows.len(), 1, "the cpu-less row is dropped");
+        assert_eq!(rows[0].timestamp, 20);
+    }
+
+    #[test]
+    fn malformed_rows_error_with_line_numbers() {
+        // Truncated row (fewer than 10 columns).
+        let err = parse("c_1,m_1,10,25.0\n").unwrap_err();
+        assert!(err.0.contains("line 1"), "{err}");
+        assert!(err.0.contains("at least 10 columns"), "{err}");
+        // Bad timestamp.
+        let err = parse("c_1,m_1,later,25.0,,,,,,,\n").unwrap_err();
+        assert!(err.0.contains("bad time_stamp"), "{err}");
+        // Bad (non-empty) cpu.
+        let err = parse("c_1,m_1,10,much,,,,,,,\n").unwrap_err();
+        assert!(err.0.contains("bad cpu_util_percent"), "{err}");
+        // Bad net column.
+        let err = parse(&format!("{ROW_A}\nc_2,m_1,10,25.0,,,,,fast,1.0,\n")).unwrap_err();
+        assert!(
+            err.0.contains("line 2") && err.0.contains("bad net_in"),
+            "{err}"
+        );
+        // Negative utilization.
+        let err = parse("c_1,m_1,10,-1.0,,,,,,,\n").unwrap_err();
+        assert!(err.0.contains(">= 0"), "{err}");
+    }
+
+    #[test]
+    fn net_columns_become_per_request_kb() {
+        let t = import_str(
+            TraceFormat::Alibaba,
+            &format!("{ROW_A}\n{ROW_B}\n"),
+            &ImportOptions::default(),
+        )
+        .expect("import");
+        assert_eq!(t.tick, pamdc_simcore::time::SimDuration::from_secs(10));
+        // c_1: 25% of a core, file-hosting (3 ms/req) → 83.3 req/s;
+        // 350 KB/s out → 4.2 KB/req.
+        let f = &t.flows[0][0][0];
+        let rps = 250.0 / 3.0;
+        assert!((f.rps - rps).abs() < 1e-9);
+        assert!((f.kb_out_per_req - 350.0 / rps).abs() < 1e-12);
+        assert!((f.kb_in_per_req - 120.0 / rps).abs() < 1e-12);
+        // c_2 has no net columns: class means (image-gallery).
+        let g = &t.flows[0][1][0];
+        assert_eq!(g.kb_in_per_req, ServiceClass::ImageGallery.kb_in_mean());
+        assert_eq!(
+            g.kb_out_per_req,
+            class_kb_out_mean(ServiceClass::ImageGallery)
+        );
+    }
+
+    #[test]
+    fn header_row_is_skipped() {
+        let header = "container_id,machine_id,time_stamp,cpu_util_percent,mem_util_percent,cpi,\
+                      mem_gps,mpki,net_in,net_out,disk_io_percent";
+        assert_eq!(
+            parse(&format!("{header}\n{ROW_A}\n")).expect("parse").len(),
+            1
+        );
+        // Leading comments don't hide the header.
+        assert_eq!(
+            parse(&format!("# note\n{header}\n{ROW_A}\n"))
+                .expect("parse")
+                .len(),
+            1
+        );
+    }
+}

@@ -10,9 +10,15 @@
 //!
 //! Sampling is a pure function of `(seed, service, tick)`, so traces are
 //! reproducible and safe to generate from parallel workers.
+//!
+//! Real-world demand enters through [`import`]: streaming parsers for
+//! the Azure VM trace and Alibaba cluster-trace schemas that normalize
+//! public datasets into the same [`trace::DemandTrace`] pipeline the
+//! synthetic recorder feeds.
 
 pub mod flashcrowd;
 pub mod generator;
+pub mod import;
 pub mod libcn;
 pub mod profile;
 pub mod service;
@@ -23,6 +29,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::flashcrowd::{combined_factor, FlashCrowd};
     pub use crate::generator::{FlowSample, Region, ServiceWorkload, Workload};
+    pub use crate::import::{ImportOptions, TraceFormat};
     pub use crate::libcn;
     pub use crate::profile::{DayPeak, DiurnalProfile};
     pub use crate::service::ServiceClass;
