@@ -40,11 +40,13 @@ fn run() -> Result<bool, String> {
     };
     let read =
         |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
-    let current = parse_medians(&read(current_path)?);
+    let current =
+        parse_medians(&read(current_path)?).map_err(|e| format!("{current_path}: {e}"))?;
     if current.is_empty() {
         return Err(format!("{current_path}: no benchmark results found"));
     }
-    let baseline = parse_medians(&read(baseline_path)?);
+    let baseline =
+        parse_medians(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
     if baseline.is_empty() {
         return Err(format!("{baseline_path}: no benchmark results found"));
     }

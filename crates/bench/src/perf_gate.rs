@@ -112,32 +112,48 @@ impl GateReport {
 /// Extracts every `("id", median_ns)` pair from a results file — the
 /// shim's JSON-lines emission or the pretty-printed baseline alike.
 /// Later duplicates of an id win (a re-run appends to JSON-lines).
-pub fn parse_medians(text: &str) -> Vec<(String, f64)> {
+///
+/// Pairing is strict: each id's `median_ns` must appear **before the
+/// next `"id"` key** (i.e. inside its own record), and every median
+/// must be a finite, positive number. A record that omits its median, a
+/// `NaN`/`Infinity` emission, or a zero/negative baseline would
+/// otherwise make the gate silently vacuous — a NaN ratio compares
+/// false against any tolerance — so all of them are loud errors here
+/// instead of skipped pairs.
+pub fn parse_medians(text: &str) -> Result<Vec<(String, f64)>, String> {
     let mut out: Vec<(String, f64)> = Vec::new();
     let mut rest = text;
     while let Some(pos) = rest.find("\"id\"") {
         rest = &rest[pos + 4..];
         let Some(id) = next_string(rest) else {
-            continue;
+            return Err("\"id\" key without a string value".into());
         };
-        let Some(mpos) = rest.find("\"median_ns\"") else {
-            break;
+        // The median must belong to this record: search only up to the
+        // next "id". Without the bound, a record that omits its median
+        // steals the next record's and every later pairing shifts.
+        let scope_end = rest.find("\"id\"").unwrap_or(rest.len());
+        let Some(mpos) = rest[..scope_end].find("\"median_ns\"") else {
+            return Err(format!(
+                "record {id:?} has no median_ns (mispaired or truncated results)"
+            ));
         };
-        // The median must belong to the same object: no new "id" first.
-        if rest[..mpos].contains("\"id\"") {
-            continue;
-        }
         let after = &rest[mpos + "\"median_ns\"".len()..];
         let Some(value) = next_number(after) else {
-            continue;
+            return Err(format!("record {id:?}: median_ns has no numeric value"));
         };
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!(
+                "record {id:?}: median_ns must be finite and > 0, got {value} \
+                 (a NaN or zero median makes every ratio comparison vacuous)"
+            ));
+        }
         if let Some(slot) = out.iter_mut().find(|(k, _)| *k == id) {
             slot.1 = value;
         } else {
             out.push((id, value));
         }
     }
-    out
+    Ok(out)
 }
 
 /// The first JSON string after a `:` in `text`.
@@ -207,7 +223,7 @@ mod tests {
 
     #[test]
     fn parses_both_shapes() {
-        let lines = parse_medians(LINES);
+        let lines = parse_medians(LINES).expect("lines");
         assert_eq!(
             lines,
             vec![
@@ -215,7 +231,7 @@ mod tests {
                 ("local_search/incremental/6x12".to_string(), 56000.0),
             ]
         );
-        let base = parse_medians(BASELINE);
+        let base = parse_medians(BASELINE).expect("baseline");
         assert_eq!(base.len(), 2);
         assert_eq!(base[0].0, "solver/bestfit/2x4");
         assert!((base[0].1 - 1198.4).abs() < 1e-9);
@@ -224,15 +240,46 @@ mod tests {
     #[test]
     fn rerun_appends_and_last_value_wins() {
         let twice = format!("{LINES}{}", LINES.replace("1200.0", "1300.0"));
-        let parsed = parse_medians(&twice);
+        let parsed = parse_medians(&twice).expect("rerun");
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].1, 1300.0);
     }
 
     #[test]
+    fn mispaired_records_error_instead_of_stealing_the_next_median() {
+        // Record "a" omits its median: the old scanner silently paired
+        // "a" with "b"'s value (or dropped records); now it's loud.
+        let mispaired = r#"{"id":"a","mean_ns":1.0}
+{"id":"b","median_ns":5.0}
+"#;
+        let err = parse_medians(mispaired).unwrap_err();
+        assert!(
+            err.contains("\"a\"") && err.contains("no median_ns"),
+            "{err}"
+        );
+        // A trailing median-less record is equally fatal, not skipped.
+        let truncated = r#"{"id":"a","median_ns":5.0}
+{"id":"b","mean_ns":2.0}
+"#;
+        let err = parse_medians(truncated).unwrap_err();
+        assert!(err.contains("\"b\""), "{err}");
+    }
+
+    #[test]
+    fn non_finite_and_non_positive_medians_error() {
+        for bad in ["NaN", "inf", "0", "0.0", "-12.5"] {
+            let doc = format!("{{\"id\":\"x\",\"median_ns\":{bad}}}\n");
+            let err = parse_medians(&doc).unwrap_err();
+            assert!(err.contains("finite and > 0"), "{bad}: {err}");
+        }
+        let err = parse_medians("{\"id\":\"x\",\"median_ns\":fast}").unwrap_err();
+        assert!(err.contains("no numeric value"), "{err}");
+    }
+
+    #[test]
     fn gate_passes_within_tolerance_and_fails_beyond() {
-        let current = parse_medians(LINES);
-        let baseline = parse_medians(BASELINE);
+        let current = parse_medians(LINES).expect("lines");
+        let baseline = parse_medians(BASELINE).expect("baseline");
         let report = compare(&current, &baseline);
         assert_eq!(report.compared.len(), 1);
         assert_eq!(report.missing_current, vec!["solver/exact_bnb/2x4"]);
@@ -259,7 +306,7 @@ mod tests {
             "/../../BENCH_solver_scaling.json"
         );
         let text = std::fs::read_to_string(path).expect("baseline file");
-        let parsed = parse_medians(&text);
+        let parsed = parse_medians(&text).expect("baseline parses cleanly");
         assert!(
             parsed.len() >= 10,
             "baseline carries {} gateable ids",
@@ -272,10 +319,13 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_inputs_do_not_panic() {
-        assert!(parse_medians("").is_empty());
-        assert!(parse_medians("{\"id\":").is_empty());
-        assert!(parse_medians("\"id\" nonsense \"median_ns\" more").is_empty());
+    fn degenerate_inputs_error_loudly_not_silently() {
+        assert!(parse_medians("").expect("empty is fine").is_empty());
+        assert!(parse_medians("{\"id\":").is_err(), "dangling id key");
+        assert!(
+            parse_medians("\"id\" nonsense \"median_ns\" more").is_err(),
+            "id without a string value"
+        );
         let report = compare(&[], &[]);
         assert!(report.regressions(2.0).is_empty());
         assert!(report.render(2.0).contains("0 ids"));

@@ -58,6 +58,9 @@ OPTIONS:
   --csv <path>     write run metrics as CSV
   --json <path>    write run metrics as JSON
   --hours <n>      override the simulated horizon
+  --jobs <n>       cap concurrent runs (sweep, campaign; default: one
+                   per hardware thread) — results are identical at any
+                   budget
   --out <path>     output path (record, import)
   --names          machine-readable listing: names only (list)
 ";
@@ -120,6 +123,9 @@ struct Opts {
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
     hours: Option<u64>,
+    /// Parallel budget for sweep/campaign fan-outs (`None` = one
+    /// worker per hardware thread).
+    jobs: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cmd, String> {
@@ -164,6 +170,15 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
                 )
             }
             "--param" => params.push(value("--param")?),
+            "--jobs" => {
+                let jobs: usize = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer".to_string())?;
+                if jobs == 0 {
+                    return Err("--jobs must be >= 1".into());
+                }
+                opts.jobs = Some(jobs);
+            }
             "--names" => names_only = true,
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--spec" => spec_flag = Some(value("--spec")?),
@@ -423,7 +438,7 @@ fn cmd_sweep(spec_arg: &str, params: &[(String, Vec<String>)], opts: &Opts) -> R
     let quick = opts.quick;
     let base_dir = base.clone();
     let reports: Vec<Result<SpecReport, String>> =
-        pamdc_simcore::par::parallel_map(variants, move |(suffix, spec)| {
+        pamdc_simcore::par::parallel_map_bounded(variants, opts.jobs, move |(suffix, spec)| {
             run_spec(&spec, &base_dir, quick).map_err(|e| format!("{suffix}: {e}"))
         });
     // `parallel_map` preserves input order, so rows line up with values.
@@ -453,14 +468,21 @@ fn cmd_campaign(file: &Path, opts: &Opts) -> Result<(), String> {
         }
         jobs.push((spec, base_dir));
     }
-    eprintln!(
-        "campaign '{}': {} runs, in parallel...",
-        campaign.name,
-        jobs.len()
-    );
+    match opts.jobs {
+        Some(budget) => eprintln!(
+            "campaign '{}': {} runs, at most {budget} in parallel...",
+            campaign.name,
+            jobs.len()
+        ),
+        None => eprintln!(
+            "campaign '{}': {} runs, in parallel...",
+            campaign.name,
+            jobs.len()
+        ),
+    }
     let quick = opts.quick;
     let reports: Vec<Result<SpecReport, String>> =
-        pamdc_simcore::par::parallel_map(jobs, move |(spec, base_dir)| {
+        pamdc_simcore::par::parallel_map_bounded(jobs, opts.jobs, move |(spec, base_dir)| {
             let name = spec.name.clone();
             run_spec(&spec, &base_dir, quick).map_err(|e| format!("{name}: {e}"))
         });
@@ -791,10 +813,27 @@ mod tests {
                 assert_eq!(file, PathBuf::from("c.toml"));
                 assert!(opts.quick);
                 assert_eq!(opts.csv, Some(PathBuf::from("out.csv")));
+                assert_eq!(opts.jobs, None, "unbounded by default");
             }
             other => panic!("{other:?}"),
         }
         assert!(parse(&["campaign"]).is_err(), "campaign needs a file");
+    }
+
+    #[test]
+    fn parses_jobs_budget() {
+        let cmd = parse(&["campaign", "c.toml", "--jobs", "2"]).unwrap();
+        match cmd {
+            Cmd::Campaign { opts, .. } => assert_eq!(opts.jobs, Some(2)),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&["sweep", "fig6", "--param", "seed=1,2", "--jobs", "1"]).unwrap();
+        match cmd {
+            Cmd::Sweep { opts, .. } => assert_eq!(opts.jobs, Some(1)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["campaign", "c.toml", "--jobs", "0"]).is_err());
+        assert!(parse(&["campaign", "c.toml", "--jobs", "many"]).is_err());
     }
 
     #[test]

@@ -22,6 +22,29 @@ pub fn metric_key(raw: &str) -> String {
         .collect()
 }
 
+/// Sanitizes a list of raw metric names through [`metric_key`] and
+/// disambiguates collisions: distinct raw names that sanitize to the
+/// same key (e.g. `"a b"` and `"a_b"`, or `"x[0]"` and `"x(0)"`) get
+/// deterministic `_2`, `_3`, ... suffixes in input order, the first
+/// occurrence keeping the bare key. Emitters call this instead of
+/// mapping [`metric_key`] per name so two metrics can never silently
+/// merge into one CSV/JSON column (the last value overwriting the
+/// first).
+pub fn disambiguated_metric_keys<S: AsRef<str>>(raw: &[S]) -> Vec<String> {
+    let mut used: Vec<String> = Vec::with_capacity(raw.len());
+    for name in raw {
+        let base = metric_key(name.as_ref());
+        let mut candidate = base.clone();
+        let mut n = 1usize;
+        while used.contains(&candidate) {
+            n += 1;
+            candidate = format!("{base}_{n}");
+        }
+        used.push(candidate);
+    }
+    used
+}
+
 /// A simple column-aligned text table.
 #[derive(Clone, Debug, Default)]
 pub struct TextTable {
@@ -165,5 +188,26 @@ mod tests {
     #[test]
     fn float_helper() {
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn colliding_raw_names_get_distinct_keys() {
+        // "a b" and "a_b" both sanitize to "a_b": without
+        // disambiguation one column would silently swallow the other.
+        let keys = disambiguated_metric_keys(&["a b", "a_b", "a,b", "clean"]);
+        assert_eq!(keys, vec!["a_b", "a_b_2", "a_b_3", "clean"]);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len(), "all keys distinct");
+        // Non-colliding inputs pass through metric_key unchanged.
+        assert_eq!(
+            disambiguated_metric_keys(&["x", "y/z"]),
+            vec!["x".to_string(), "y/z".to_string()]
+        );
+        // A raw name that already looks like a suffixed key cannot be
+        // collided into: the suffix search skips occupied candidates.
+        let keys = disambiguated_metric_keys(&["k_2", "k", "k"]);
+        assert_eq!(keys, vec!["k_2", "k", "k_3"]);
     }
 }

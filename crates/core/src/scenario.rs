@@ -90,6 +90,35 @@ enum WorkloadKind {
     FollowTheSun,
 }
 
+/// Per-service VM sizing: the static [`VmSpec`] a service's VM is built
+/// with, plus the performance constants derived from it. The default is
+/// exactly the paper's uniform web-service VM, so scenarios that never
+/// declare sizes are bit-identical to the pre-sizing engine.
+#[derive(Clone, Debug)]
+pub struct ServiceSpec {
+    /// Static VM description (image size, memory floor, SLA terms).
+    pub vm: VmSpec,
+    /// Memory held per in-flight request, MB. `None` falls back to the
+    /// service class's constant (and, for imported traces, to the
+    /// trace's per-service memory profile when it carries one).
+    pub mem_mb_per_inflight: Option<f64>,
+    /// Non-CPU fraction of service time (I/O waits).
+    pub io_wait_factor: f64,
+    /// Idle CPU of the stack, percent-of-core.
+    pub idle_cpu_pct: f64,
+}
+
+impl Default for ServiceSpec {
+    fn default() -> Self {
+        ServiceSpec {
+            vm: VmSpec::web_service(),
+            mem_mb_per_inflight: None,
+            io_wait_factor: 0.6,
+            idle_cpu_pct: 2.0,
+        }
+    }
+}
+
 /// A build-time energy-environment hook: receives the built cluster and
 /// the paper-default environment, returns the environment the scenario
 /// should run under. This is how experiments install solar farms, tariff
@@ -130,6 +159,10 @@ pub struct ScenarioBuilder {
     /// Per-DC host-class mix: each DC gets `count` hosts of each spec,
     /// in list order. Empty = `pms_per_dc` Atom hosts (the paper fleet).
     host_classes: Vec<(MachineSpec, usize)>,
+    /// Per-service VM sizing: `count` consecutive services of each spec,
+    /// in list order (counts must sum to `vms`). Empty = every VM is the
+    /// paper's uniform web-service spec.
+    service_specs: Vec<(ServiceSpec, usize)>,
 }
 
 impl ScenarioBuilder {
@@ -154,6 +187,7 @@ impl ScenarioBuilder {
             demand_override: None,
             energy_hook: None,
             host_classes: Vec::new(),
+            service_specs: Vec::new(),
         }
     }
 
@@ -179,6 +213,7 @@ impl ScenarioBuilder {
             demand_override: None,
             energy_hook: None,
             host_classes: Vec::new(),
+            service_specs: Vec::new(),
         }
     }
 
@@ -280,6 +315,19 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs per-service VM sizing: `count` consecutive services of
+    /// each [`ServiceSpec`], in list order. The counts must sum to
+    /// [`ScenarioBuilder::vms`] (checked at build). An empty list keeps
+    /// the paper's uniform web-service VM for every service.
+    pub fn service_specs(mut self, specs: Vec<(ServiceSpec, usize)>) -> Self {
+        assert!(
+            specs.iter().all(|(_, count)| *count >= 1),
+            "every service spec needs at least one service"
+        );
+        self.service_specs = specs;
+        self
+    }
+
     /// Installs an energy-environment hook, run at the end of `build()`
     /// with the built cluster and the paper-default environment. This is
     /// the supported way to attach solar farms, tariff schedules or
@@ -347,6 +395,23 @@ impl ScenarioBuilder {
             }
         }
 
+        // Per-service VM sizing: expand the (spec, count) list into one
+        // entry per service. VM i takes entry i; an empty list sizes
+        // every VM as the paper's uniform web service.
+        let per_service: Vec<ServiceSpec> = self
+            .service_specs
+            .iter()
+            .flat_map(|(spec, count)| std::iter::repeat_with(|| spec.clone()).take(*count))
+            .collect();
+        assert!(
+            per_service.is_empty() || per_service.len() == self.vms,
+            "service spec counts cover {} services but the scenario hosts {} VMs",
+            per_service.len(),
+            self.vms
+        );
+        let service_spec =
+            |i: usize| -> ServiceSpec { per_service.get(i).cloned().unwrap_or_default() };
+
         // VMs: home region rotates (i % regions); deploy onto the home
         // DC's least-loaded PM (round-robin within the DC).
         let n_dcs = cluster.dc_count();
@@ -355,7 +420,7 @@ impl ScenarioBuilder {
                 Topology::IntraDc => City::Barcelona,
                 Topology::MultiDc => City::ALL[i % 4],
             };
-            let vm = cluster.add_vm(VmSpec::web_service(), home_city.location());
+            let vm = cluster.add_vm(service_spec(i).vm, home_city.location());
             let dc = &cluster.dcs()[i % n_dcs.min(cities.len())];
             // In intra-DC there is one DC; in multi-DC home DC = i % 4.
             let dc_idx = self.deploy_all_in.unwrap_or(match self.topology {
@@ -406,11 +471,20 @@ impl ScenarioBuilder {
         let perf_profiles = (0..self.vms)
             .map(|i| {
                 let class = demand.service_class(i);
+                let svc = service_spec(i);
+                // Memory-per-in-flight precedence: an explicit service
+                // spec wins, then a trace-imported per-service memory
+                // profile (Alibaba's mem_util_percent), then the class
+                // constant.
+                let mem_mb_per_inflight = svc
+                    .mem_mb_per_inflight
+                    .or_else(|| demand.mem_mb_per_inflight(i))
+                    .unwrap_or_else(|| class.mem_mb_per_inflight());
                 VmPerfProfile {
                     base_mem_mb: cluster.vm(VmId::from_index(i)).spec.base_mem_mb,
-                    mem_mb_per_inflight: class.mem_mb_per_inflight(),
-                    io_wait_factor: 0.6,
-                    idle_cpu_pct: 2.0,
+                    mem_mb_per_inflight,
+                    io_wait_factor: svc.io_wait_factor,
+                    idle_cpu_pct: svc.idle_cpu_pct,
                 }
             })
             .collect();
@@ -591,6 +665,92 @@ mod tests {
                 DemandSource::service_class(&w, i)
             );
         }
+    }
+
+    #[test]
+    fn service_specs_size_vms_and_profiles() {
+        let heavy = ServiceSpec {
+            vm: VmSpec {
+                image_size_mb: 8192.0,
+                base_mem_mb: 2048.0,
+                rt0_secs: 0.2,
+                alpha: 5.0,
+            },
+            mem_mb_per_inflight: Some(24.0),
+            io_wait_factor: 0.8,
+            idle_cpu_pct: 3.0,
+        };
+        let s = ScenarioBuilder::paper_multi_dc()
+            .vms(3)
+            .service_specs(vec![(ServiceSpec::default(), 2), (heavy, 1)])
+            .build();
+        // VMs 0-1: the uniform paper web service; VM 2: the heavy spec.
+        let default_vm = s.cluster.vm(VmId::from_index(0));
+        assert_eq!(default_vm.spec.image_size_mb, 2048.0);
+        assert_eq!(default_vm.spec.base_mem_mb, 256.0);
+        let heavy_vm = s.cluster.vm(VmId::from_index(2));
+        assert_eq!(heavy_vm.spec.image_size_mb, 8192.0);
+        assert_eq!(heavy_vm.spec.base_mem_mb, 2048.0);
+        assert_eq!(heavy_vm.spec.rt0_secs, 0.2);
+        // Perf profiles follow: explicit per-inflight override for the
+        // heavy spec, class constants for the default ones.
+        assert_eq!(s.perf_profiles[2].base_mem_mb, 2048.0);
+        assert_eq!(s.perf_profiles[2].mem_mb_per_inflight, 24.0);
+        assert_eq!(s.perf_profiles[2].io_wait_factor, 0.8);
+        assert_eq!(s.perf_profiles[2].idle_cpu_pct, 3.0);
+        assert_eq!(s.perf_profiles[0].base_mem_mb, 256.0);
+        assert_eq!(
+            s.perf_profiles[0].mem_mb_per_inflight,
+            s.workload.service_class(0).mem_mb_per_inflight()
+        );
+        assert_eq!(s.perf_profiles[0].io_wait_factor, 0.6);
+        s.cluster.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "service spec counts cover")]
+    fn mismatched_service_spec_counts_panic() {
+        let _ = ScenarioBuilder::paper_multi_dc()
+            .vms(4)
+            .service_specs(vec![(ServiceSpec::default(), 2)])
+            .build();
+    }
+
+    #[test]
+    fn imported_memory_profile_reaches_perf_profiles() {
+        use pamdc_workload::trace::{DemandTrace, TraceSource};
+
+        let w = libcn::multi_dc(2, 120.0, 4);
+        let mut trace =
+            DemandTrace::record(&w, SimDuration::from_hours(1), SimDuration::from_mins(1));
+        trace.mem_mb_per_inflight = vec![Some(48.0), None];
+        let s = ScenarioBuilder::paper_multi_dc()
+            .vms(2)
+            .demand(TraceSource::new(trace))
+            .build();
+        // Service 0 carries a measured profile; service 1 falls back to
+        // its class constant.
+        assert_eq!(s.perf_profiles[0].mem_mb_per_inflight, 48.0);
+        assert_eq!(
+            s.perf_profiles[1].mem_mb_per_inflight,
+            s.workload.service_class(1).mem_mb_per_inflight()
+        );
+        // An explicit service spec outranks the trace's measurement.
+        let w = libcn::multi_dc(2, 120.0, 4);
+        let mut trace =
+            DemandTrace::record(&w, SimDuration::from_hours(1), SimDuration::from_mins(1));
+        trace.mem_mb_per_inflight = vec![Some(48.0), Some(48.0)];
+        let override_spec = ServiceSpec {
+            mem_mb_per_inflight: Some(7.0),
+            ..ServiceSpec::default()
+        };
+        let s = ScenarioBuilder::paper_multi_dc()
+            .vms(2)
+            .service_specs(vec![(override_spec, 1), (ServiceSpec::default(), 1)])
+            .demand(TraceSource::new(trace))
+            .build();
+        assert_eq!(s.perf_profiles[0].mem_mb_per_inflight, 7.0);
+        assert_eq!(s.perf_profiles[1].mem_mb_per_inflight, 48.0);
     }
 
     #[test]

@@ -14,11 +14,12 @@ use pamdc_core::policy::{
     BestFitPolicy, CheapestEnergyPolicy, FollowLoadPolicy, HierarchicalPolicy, PlacementPolicy,
     RandomPolicy, StaticPolicy,
 };
-use pamdc_core::scenario::{Scenario, ScenarioBuilder};
+use pamdc_core::scenario::{Scenario, ScenarioBuilder, ServiceSpec};
 use pamdc_core::simulation::RunConfig;
 use pamdc_core::training::{collect_training_data, train_suite, TrainingOutcome};
 use pamdc_green::tariff::Tariff;
 use pamdc_infra::pm::MachineSpec;
+use pamdc_infra::vm::VmSpec;
 use pamdc_ml::predictors::PredictorSuite;
 use pamdc_sched::oracle::{MlOracle, MonitorOracle, TrueOracle};
 use pamdc_simcore::time::{SimDuration, SimTime};
@@ -49,6 +50,32 @@ pub fn host_classes(spec: &ScenarioSpec) -> Vec<(MachineSpec, usize)> {
         .classes
         .iter()
         .map(|c| (machine_spec(&c.machine), c.count))
+        .collect()
+}
+
+/// The per-service `(spec, count)` VM sizing a spec's
+/// `[[workload.services]]` table declares (empty = the paper's uniform
+/// web-service VM for every service).
+pub fn service_specs(spec: &ScenarioSpec) -> Vec<(ServiceSpec, usize)> {
+    spec.workload
+        .services
+        .iter()
+        .map(|s| {
+            (
+                ServiceSpec {
+                    vm: VmSpec {
+                        image_size_mb: s.image_size_mb,
+                        base_mem_mb: s.base_mem_mb,
+                        rt0_secs: s.rt0_secs,
+                        alpha: s.alpha,
+                    },
+                    mem_mb_per_inflight: s.mem_mb_per_inflight,
+                    io_wait_factor: s.io_wait_factor,
+                    idle_cpu_pct: s.idle_cpu_pct,
+                },
+                s.count,
+            )
+        })
         .collect()
 }
 
@@ -120,6 +147,7 @@ fn build_scenario_inner(
         .vms(w.vms)
         .pms_per_dc(spec.topology.pms_per_dc)
         .host_classes(host_classes(spec))
+        .service_specs(service_specs(spec))
         .peak_rps(w.peak_rps)
         .load_scale(w.load_scale)
         .seed(spec.seed);

@@ -1,12 +1,15 @@
 //! CSV/JSON emission of spec-run results.
 //!
 //! Metric keys pass through the workspace-wide
-//! [`pamdc_core::report::metric_key`] namer — a no-op for keys the
-//! experiment pipeline produced (they are sanitized at the source), a
-//! guarantee for any future producer.
+//! [`pamdc_core::report::disambiguated_metric_keys`] namer — a no-op
+//! for keys the experiment pipeline produced (they are sanitized at the
+//! source), a guarantee for any future producer. Distinct raw names
+//! that sanitize to the same key (`"a b"` vs `"a_b"`) are detected at
+//! emission time and suffixed `_2`, `_3`, ... instead of silently
+//! merging into one JSON member / CSV column.
 
 use crate::runner::SpecReport;
-use pamdc_core::report::metric_key;
+use pamdc_core::report::disambiguated_metric_keys;
 use std::fmt::Write as _;
 
 /// Escapes a JSON string body.
@@ -38,8 +41,52 @@ fn json_number(v: f64) -> String {
     }
 }
 
+/// Every report's metrics with sanitized, collision-free keys that are
+/// **consistent across reports**: the same raw name (and repeat index,
+/// for a producer that emits one name twice) always maps to the same
+/// key. Per-report disambiguation would let one report's collision
+/// shift another report's suffixes, and the CSV column union would then
+/// silently align different raw metrics in one column across campaign
+/// rows — so the suffix assignment is computed once, over the union of
+/// all reports' raw names in first-seen order.
+fn keyed_metrics_all(reports: &[SpecReport]) -> Vec<Vec<(String, f64)>> {
+    // (raw name, occurrence-within-report) pairs, first-seen order.
+    let mut order: Vec<(&str, usize)> = Vec::new();
+    for r in reports {
+        let mut seen: Vec<&str> = Vec::new();
+        for (k, _) in &r.metrics {
+            let occ = seen.iter().filter(|n| **n == k.as_str()).count();
+            seen.push(k);
+            if !order.iter().any(|&(name, o)| name == k && o == occ) {
+                order.push((k, occ));
+            }
+        }
+    }
+    let raw: Vec<&str> = order.iter().map(|&(name, _)| name).collect();
+    let keys = disambiguated_metric_keys(&raw);
+    reports
+        .iter()
+        .map(|r| {
+            let mut seen: Vec<&str> = Vec::new();
+            r.metrics
+                .iter()
+                .map(|(k, v)| {
+                    let occ = seen.iter().filter(|n| **n == k.as_str()).count();
+                    seen.push(k);
+                    let at = order
+                        .iter()
+                        .position(|&(name, o)| name == k && o == occ)
+                        .expect("every (name, occurrence) was indexed above");
+                    (keys[at].clone(), *v)
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Emits reports as a JSON array of `{name, metrics: {k: v}}` objects.
 pub fn reports_json(reports: &[SpecReport]) -> String {
+    let keyed = keyed_metrics_all(reports);
     let mut out = String::from("[\n");
     for (i, r) in reports.iter().enumerate() {
         if i > 0 {
@@ -50,16 +97,11 @@ pub fn reports_json(reports: &[SpecReport]) -> String {
             "  {{\"name\": \"{}\", \"metrics\": {{",
             json_escape(&r.name)
         );
-        for (j, (k, v)) in r.metrics.iter().enumerate() {
+        for (j, (k, v)) in keyed[i].iter().enumerate() {
             if j > 0 {
                 out.push_str(", ");
             }
-            let _ = write!(
-                out,
-                "\"{}\": {}",
-                json_escape(&metric_key(k)),
-                json_number(*v)
-            );
+            let _ = write!(out, "\"{}\": {}", json_escape(k), json_number(*v));
         }
         out.push_str("}}");
     }
@@ -70,12 +112,10 @@ pub fn reports_json(reports: &[SpecReport]) -> String {
 /// Emits reports as CSV: the union of metric keys as columns, one row
 /// per report. Missing cells stay empty.
 pub fn reports_csv(reports: &[SpecReport]) -> String {
-    // Sanitize each report's keys once up front; the column union and
-    // the cell lookups below then compare plain strings.
-    let rows: Vec<Vec<(String, f64)>> = reports
-        .iter()
-        .map(|r| r.metrics.iter().map(|(k, v)| (metric_key(k), *v)).collect())
-        .collect();
+    // Sanitize + disambiguate keys once, consistently across reports;
+    // the column union and the cell lookups below then compare plain
+    // strings.
+    let rows: Vec<Vec<(String, f64)>> = keyed_metrics_all(reports);
     let mut keys: Vec<&str> = Vec::new();
     for row in &rows {
         for (k, _) in row {
@@ -145,5 +185,56 @@ mod tests {
         assert_eq!(lines.next().unwrap(), "name,sla,watts,extra");
         assert_eq!(lines.next().unwrap(), "a,0.5,120.25,");
         assert!(lines.next().unwrap().starts_with("\"b,\"\"x\"\"\",1,,"));
+    }
+
+    #[test]
+    fn colliding_metric_names_keep_both_columns() {
+        // "mean sla" and "mean_sla" both sanitize to "mean_sla": the
+        // emitters must keep two distinct columns/members, not let the
+        // later value overwrite the earlier one.
+        let reports = vec![SpecReport {
+            name: "collide".into(),
+            text: String::new(),
+            metrics: vec![("mean sla".into(), 0.25), ("mean_sla".into(), 0.75)],
+        }];
+        let j = reports_json(&reports);
+        assert!(j.contains("\"mean_sla\": 0.25"), "{j}");
+        assert!(j.contains("\"mean_sla_2\": 0.75"), "{j}");
+        let c = reports_csv(&reports);
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "name,mean_sla,mean_sla_2");
+        assert_eq!(lines.next().unwrap(), "collide,0.25,0.75");
+    }
+
+    #[test]
+    fn key_disambiguation_is_consistent_across_reports() {
+        // Report A's collision must not shift report B's key: raw
+        // "mean_sla" maps to the same column in every row, even though
+        // A also carries "mean sla" (which collides into it) and B does
+        // not. Per-report disambiguation would put B's raw "mean_sla"
+        // under A's "mean sla" column — a silent cross-metric merge.
+        let reports = vec![
+            SpecReport {
+                name: "a".into(),
+                text: String::new(),
+                metrics: vec![("mean sla".into(), 0.25), ("mean_sla".into(), 0.75)],
+            },
+            SpecReport {
+                name: "b".into(),
+                text: String::new(),
+                metrics: vec![("mean_sla".into(), 0.5)],
+            },
+        ];
+        let c = reports_csv(&reports);
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "name,mean_sla,mean_sla_2");
+        assert_eq!(lines.next().unwrap(), "a,0.25,0.75");
+        assert_eq!(
+            lines.next().unwrap(),
+            "b,,0.5",
+            "raw \"mean_sla\" stays in its own column for every row"
+        );
+        let j = reports_json(&reports);
+        assert!(j.contains("\"mean_sla_2\": 0.5"), "{j}");
     }
 }

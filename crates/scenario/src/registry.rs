@@ -8,7 +8,7 @@
 
 use crate::spec::{
     ExperimentSpec, FaultSpec, HostClassSpec, MachineClass, OracleKind, PolicyKind, ScenarioSpec,
-    TopologyPreset, WorkloadPreset,
+    ServiceSpecEntry, TopologyPreset, WorkloadPreset,
 };
 
 /// One named built-in scenario.
@@ -343,6 +343,53 @@ pub fn builtins() -> Vec<BuiltinSpec> {
         name: "hetero-fleet",
         title: "heterogeneous host classes: Atom + 2-core boxes in every DC",
         spec: fleet,
+    });
+
+    // Memory pressure — `[[workload.services]]` end to end (generic
+    // path): a mixed Atom + Xeon fleet hosting memory-heavy services
+    // whose RAM footprints, not their CPU, bound consolidation. The
+    // light CPU load would pack many VMs per host; the 1.5–3 GB memory
+    // floors do not, so the scheduler must spread (fewer VMs per host
+    // than the CPU-bound twin — see `tests/mem_pressure.rs`).
+    let mut mem = ScenarioSpec::default();
+    mem.name = "mem-pressure".into();
+    mem.description =
+        "Memory-bound consolidation: RAM, not CPU, limits packing on a mixed Atom+Xeon fleet"
+            .into();
+    mem.seed = 37;
+    mem.topology.classes = vec![
+        HostClassSpec {
+            count: 1,
+            machine: MachineClass::Atom,
+        },
+        HostClassSpec {
+            count: 1,
+            machine: MachineClass::Xeon,
+        },
+    ];
+    mem.workload.vms = 8;
+    mem.workload.load_scale = 0.5;
+    mem.workload.services = vec![
+        ServiceSpecEntry {
+            count: 4,
+            image_size_mb: 4096.0,
+            base_mem_mb: 1536.0,
+            mem_mb_per_inflight: Some(24.0),
+            ..ServiceSpecEntry::default()
+        },
+        ServiceSpecEntry {
+            count: 4,
+            image_size_mb: 8192.0,
+            base_mem_mb: 3072.0,
+            mem_mb_per_inflight: Some(32.0),
+            ..ServiceSpecEntry::default()
+        },
+    ];
+    mem.run.hours = 8;
+    out.push(BuiltinSpec {
+        name: "mem-pressure",
+        title: "memory-bound packing: big-RAM services on a mixed Atom+Xeon fleet",
+        spec: mem,
     });
 
     out

@@ -228,6 +228,47 @@ impl Default for ImportSpec {
     }
 }
 
+/// One `[[workload.services]]` entry: `count` consecutive services (VM
+/// indices, in table order) sized by this spec. When the table is
+/// present its counts must sum to `workload.vms`; when absent every VM
+/// is the paper's uniform web-service spec. Field defaults mirror that
+/// uniform VM, so a partial entry only overrides what it names.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceSpecEntry {
+    /// Consecutive services of this spec.
+    pub count: usize,
+    /// Disk image size, MB (drives migration transfer cost).
+    pub image_size_mb: f64,
+    /// Memory floor, MB (guest OS + idle stack footprint).
+    pub base_mem_mb: f64,
+    /// Memory held per in-flight request, MB (`None` = the service
+    /// class's constant, or an imported trace's measured profile).
+    pub mem_mb_per_inflight: Option<f64>,
+    /// SLA: response time fully satisfying the agreement, seconds.
+    pub rt0_secs: f64,
+    /// SLA: tolerance multiplier (fulfillment reaches 0 at `alpha·rt0`).
+    pub alpha: f64,
+    /// Non-CPU fraction of service time (I/O waits).
+    pub io_wait_factor: f64,
+    /// Idle CPU of the stack, percent-of-core.
+    pub idle_cpu_pct: f64,
+}
+
+impl Default for ServiceSpecEntry {
+    fn default() -> Self {
+        ServiceSpecEntry {
+            count: 1,
+            image_size_mb: 2048.0,
+            base_mem_mb: 256.0,
+            mem_mb_per_inflight: None,
+            rt0_secs: 0.1,
+            alpha: 10.0,
+            io_wait_factor: 0.6,
+            idle_cpu_pct: 2.0,
+        }
+    }
+}
+
 /// `[workload]` — demand.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadSpec {
@@ -241,6 +282,9 @@ pub struct WorkloadSpec {
     pub load_scale: f64,
     /// Paper's minute-70–90 flash-crowd multiplier (Figure 6).
     pub flash_crowd: Option<f64>,
+    /// Per-service VM sizing (`[[workload.services]]`); empty = the
+    /// paper's uniform web-service VM for every service.
+    pub services: Vec<ServiceSpecEntry>,
     /// Replay a recorded trace instead of generating synthetically.
     pub trace: Option<TraceReplaySpec>,
     /// Import a public dataset (Azure/Alibaba) as the demand source.
@@ -581,6 +625,7 @@ impl Default for ScenarioSpec {
                 peak_rps: 170.0,
                 load_scale: 1.0,
                 flash_crowd: None,
+                services: Vec::new(),
                 trace: None,
                 import: None,
             },
@@ -856,6 +901,33 @@ impl ScenarioSpec {
                 spec.workload.load_scale = v;
             }
             spec.workload.flash_crowd = t.take_f64("flash_crowd")?;
+            for mut sv in t.take_table_array("services", "workload.services")? {
+                let mut entry = ServiceSpecEntry::default();
+                if let Some(v) = sv.take_usize("count")? {
+                    entry.count = v;
+                }
+                if let Some(v) = sv.take_f64("image_size_mb")? {
+                    entry.image_size_mb = v;
+                }
+                if let Some(v) = sv.take_f64("base_mem_mb")? {
+                    entry.base_mem_mb = v;
+                }
+                entry.mem_mb_per_inflight = sv.take_f64("mem_mb_per_inflight")?;
+                if let Some(v) = sv.take_f64("rt0_secs")? {
+                    entry.rt0_secs = v;
+                }
+                if let Some(v) = sv.take_f64("alpha")? {
+                    entry.alpha = v;
+                }
+                if let Some(v) = sv.take_f64("io_wait_factor")? {
+                    entry.io_wait_factor = v;
+                }
+                if let Some(v) = sv.take_f64("idle_cpu_pct")? {
+                    entry.idle_cpu_pct = v;
+                }
+                sv.finish()?;
+                spec.workload.services.push(entry);
+            }
             if let Some(mut tr) = t.take_table("trace", "workload.trace")? {
                 let path = tr
                     .take_str("path")?
@@ -1142,6 +1214,44 @@ impl ScenarioSpec {
                 )));
             }
         }
+        if !self.workload.services.is_empty() {
+            let total: usize = self.workload.services.iter().map(|s| s.count).sum();
+            if total != self.workload.vms {
+                return Err(bad(format!(
+                    "[[workload.services]] counts sum to {total} services but workload.vms \
+                     = {} — size every VM exactly once",
+                    self.workload.vms
+                )));
+            }
+            for s in &self.workload.services {
+                if s.count == 0 {
+                    return Err(bad("workload.services count must be >= 1"));
+                }
+                let positive = |v: f64| v.is_finite() && v > 0.0;
+                if !positive(s.image_size_mb) || !positive(s.base_mem_mb) || !positive(s.rt0_secs) {
+                    return Err(bad(
+                        "workload.services image_size_mb/base_mem_mb/rt0_secs must be finite \
+                         and > 0",
+                    ));
+                }
+                if !(s.alpha.is_finite() && s.alpha > 1.0) {
+                    return Err(bad("workload.services alpha must be finite and > 1"));
+                }
+                if let Some(m) = s.mem_mb_per_inflight {
+                    if !positive(m) {
+                        return Err(bad(
+                            "workload.services mem_mb_per_inflight must be finite and > 0",
+                        ));
+                    }
+                }
+                let non_negative = |v: f64| v.is_finite() && v >= 0.0;
+                if !non_negative(s.io_wait_factor) || !non_negative(s.idle_cpu_pct) {
+                    return Err(bad(
+                        "workload.services io_wait_factor/idle_cpu_pct must be finite and >= 0",
+                    ));
+                }
+            }
+        }
         if self.workload.preset == WorkloadPreset::FollowTheSun {
             if self.topology.preset != TopologyPreset::MultiDc {
                 return Err(bad(
@@ -1235,6 +1345,14 @@ impl ScenarioSpec {
                     exp.kind
                 )));
             }
+            if !self.workload.services.is_empty() {
+                return Err(bad(format!(
+                    "[experiment] kind = {:?} does not honor [[workload.services]] (its \
+                     driver sizes its own VMs) — drop the services table, or drop the \
+                     [experiment] binding to run the sized fleet through the generic path",
+                    exp.kind
+                )));
+            }
         }
         Ok(())
     }
@@ -1303,6 +1421,28 @@ impl ScenarioSpec {
         workload.insert("load_scale".into(), Value::Float(self.workload.load_scale));
         if let Some(fc) = self.workload.flash_crowd {
             workload.insert("flash_crowd".into(), Value::Float(fc));
+        }
+        if !self.workload.services.is_empty() {
+            let services = self
+                .workload
+                .services
+                .iter()
+                .map(|s| {
+                    let mut t = Table::new();
+                    t.insert("count".into(), Value::Int(s.count as i64));
+                    t.insert("image_size_mb".into(), Value::Float(s.image_size_mb));
+                    t.insert("base_mem_mb".into(), Value::Float(s.base_mem_mb));
+                    if let Some(m) = s.mem_mb_per_inflight {
+                        t.insert("mem_mb_per_inflight".into(), Value::Float(m));
+                    }
+                    t.insert("rt0_secs".into(), Value::Float(s.rt0_secs));
+                    t.insert("alpha".into(), Value::Float(s.alpha));
+                    t.insert("io_wait_factor".into(), Value::Float(s.io_wait_factor));
+                    t.insert("idle_cpu_pct".into(), Value::Float(s.idle_cpu_pct));
+                    Value::Table(t)
+                })
+                .collect();
+            workload.insert("services".into(), Value::Array(services));
         }
         if let Some(trace) = &self.workload.trace {
             let mut t = Table::new();
@@ -1705,6 +1845,61 @@ mod tests {
         assert_eq!(import.tick_secs, None);
         assert_eq!(import.regions, 4);
         assert_eq!(import.rate_scale, 1.0);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn workload_services_round_trip_and_validate() {
+        let mut spec = ScenarioSpec::default();
+        spec.workload.vms = 3;
+        spec.workload.services = vec![
+            ServiceSpecEntry {
+                count: 2,
+                ..ServiceSpecEntry::default()
+            },
+            ServiceSpecEntry {
+                count: 1,
+                image_size_mb: 8192.0,
+                base_mem_mb: 3072.0,
+                mem_mb_per_inflight: Some(32.0),
+                rt0_secs: 0.2,
+                alpha: 5.0,
+                io_wait_factor: 0.4,
+                idle_cpu_pct: 1.0,
+            },
+        ];
+        let emitted = spec.emit();
+        let parsed = ScenarioSpec::parse(&emitted).expect("parse");
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.emit(), emitted, "emission is a fixed point");
+
+        // A partial entry only overrides what it names.
+        let doc = "[workload]\nvms = 1\n[[workload.services]]\nbase_mem_mb = 1536.0\n";
+        let parsed = ScenarioSpec::parse(doc).expect("parse");
+        assert_eq!(parsed.workload.services[0].base_mem_mb, 1536.0);
+        assert_eq!(parsed.workload.services[0].image_size_mb, 2048.0);
+        assert_eq!(parsed.workload.services[0].mem_mb_per_inflight, None);
+
+        // Counts must sum to the VM count — size every VM exactly once.
+        let doc = "[workload]\nvms = 5\n[[workload.services]]\ncount = 2\n";
+        assert!(ScenarioSpec::parse(doc).unwrap_err().0.contains("sum"));
+        // Zero counts, non-positive sizes and bad SLA terms all fail.
+        let doc = "[workload]\nvms = 1\n[[workload.services]]\ncount = 0\n";
+        assert!(ScenarioSpec::parse(doc).is_err());
+        let doc = "[workload]\nvms = 1\n[[workload.services]]\nbase_mem_mb = -1.0\n";
+        assert!(ScenarioSpec::parse(doc).is_err());
+        let doc = "[workload]\nvms = 1\n[[workload.services]]\nalpha = 1.0\n";
+        assert!(ScenarioSpec::parse(doc).is_err());
+        let doc = "[workload]\nvms = 1\n[[workload.services]]\nmem_mb_per_inflight = 0.0\n";
+        assert!(ScenarioSpec::parse(doc).is_err());
+        // Experiment-bound specs reject the table loudly (their drivers
+        // size their own VMs).
+        let doc = "[experiment]\nkind = \"fig4\"\n\
+                   [workload]\nvms = 5\n[[workload.services]]\ncount = 5\n";
+        assert!(ScenarioSpec::parse(doc)
+            .unwrap_err()
+            .0
+            .contains("workload.services"));
     }
 
     #[test]

@@ -98,6 +98,11 @@ golden! {
     golden_price_adaptation => "price-adaptation";
     // First registered with the trace-import/host-classes PR.
     golden_hetero_fleet => "hetero-fleet";
+    // First registered with the memory-as-a-resource PR. (That PR also
+    // deliberately regenerated fig4: its BF-OB arm books 2x observed
+    // memory, so the overflow path's new RAM-feasibility tier
+    // legitimately redirects some of its placements.)
+    golden_mem_pressure => "mem-pressure";
 }
 
 /// Every deterministic registry entry must have a golden test above —

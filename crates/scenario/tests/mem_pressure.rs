@@ -1,0 +1,69 @@
+//! The `mem-pressure` builtin's headline claim, asserted end-to-end: a
+//! memory-bound scenario places fewer VMs per host (more active hosts)
+//! than its CPU-bound twin — the same fleet, demand, policy and seed
+//! with the `[[workload.services]]` sizing removed, so every VM shrinks
+//! back to the paper's uniform 256 MB web service and RAM stops binding.
+
+use pamdc_scenario::registry;
+use pamdc_scenario::runner::run_spec;
+use std::path::Path;
+
+fn metric(report: &pamdc_scenario::runner::SpecReport, key: &str) -> f64 {
+    report
+        .metrics
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("metric {key} missing"))
+        .1
+}
+
+#[test]
+fn mem_heavy_example_spec_parses_and_runs() {
+    // The worked example under examples/specs must stay green, and it
+    // must describe the same world as the mem-pressure builtin (modulo
+    // its name/description).
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs/mem_heavy.toml");
+    let text = std::fs::read_to_string(&path).expect("example spec");
+    let spec = pamdc_scenario::spec::ScenarioSpec::parse(&text).expect("parse");
+    let mut builtin = registry::find("mem-pressure").expect("builtin").spec;
+    builtin.name = spec.name.clone();
+    builtin.description = spec.description.clone();
+    assert_eq!(spec, builtin, "example and builtin describe one world");
+    let report = run_spec(&spec, path.parent().unwrap(), true).expect("run");
+    assert!(report.metrics.iter().any(|(k, _)| k == "avg_active_pms"));
+}
+
+#[test]
+fn memory_bound_scenario_places_fewer_vms_per_host_than_cpu_bound_twin() {
+    let spec = registry::find("mem-pressure").expect("builtin").spec;
+    let mut twin = spec.clone();
+    twin.workload.services.clear();
+    twin.name = "mem-pressure-cpu-twin".into();
+
+    let mem = run_spec(&spec, Path::new("."), true).expect("mem-pressure");
+    let cpu = run_spec(&twin, Path::new("."), true).expect("twin");
+
+    let hosts = 8.0; // 4 DCs x (1 Atom + 1 Xeon)
+    let mem_active = metric(&mem, "avg_active_pms");
+    let cpu_active = metric(&cpu, "avg_active_pms");
+    let vms = 8.0;
+    assert!(
+        vms / mem_active < vms / cpu_active - 0.5,
+        "memory-bound packing must average clearly fewer VMs per host: \
+         {:.2} vs the CPU twin's {:.2}",
+        vms / mem_active,
+        vms / cpu_active
+    );
+    assert!(
+        mem_active <= hosts && cpu_active >= 1.0,
+        "sanity: {mem_active} active of {hosts}, twin {cpu_active}"
+    );
+
+    // The memory-bound run must still serve its SLA — spreading, not
+    // collapsing, is the correct response to RAM pressure.
+    assert!(
+        metric(&mem, "mean_sla") > 0.85,
+        "sla {}",
+        metric(&mem, "mean_sla")
+    );
+}

@@ -3,7 +3,8 @@
 
 use pamdc_scenario::spec::{
     ExperimentSpec, FaultSpec, HostClassSpec, ImportSpec, MachineClass, OracleKind, PolicyKind,
-    ProfileChangeSpec, ScenarioSpec, TariffSpec, TopologyPreset, TraceReplaySpec, WorkloadPreset,
+    ProfileChangeSpec, ScenarioSpec, ServiceSpecEntry, TariffSpec, TopologyPreset, TraceReplaySpec,
+    WorkloadPreset,
 };
 use proptest::prelude::*;
 
@@ -141,6 +142,31 @@ fn assemble(
                 },
             },
         ];
+    }
+    if seed % 4 == 1 && !experiment {
+        // Exercise `[[workload.services]]` (experiment-bound specs
+        // reject it): one partially-overridden entry plus a default
+        // remainder so the counts sum to vms, with floats that stress
+        // shortest-repr emission.
+        let mut services = vec![ServiceSpecEntry {
+            count: 1,
+            image_size_mb: 512.0 + scalar * 16_000.0,
+            base_mem_mb: 128.0 + scalar * 4096.0,
+            // seed is odd inside this gate, so branch on mod 8 (1 vs 5)
+            // to actually exercise both Some and None.
+            mem_mb_per_inflight: (seed % 8 == 1).then_some(0.5 + scalar * 64.0),
+            rt0_secs: 0.05 + scalar,
+            alpha: 1.5 + scalar * 20.0,
+            io_wait_factor: scalar,
+            idle_cpu_pct: scalar * 5.0,
+        }];
+        if vms > 1 {
+            services.push(ServiceSpecEntry {
+                count: vms - 1,
+                ..ServiceSpecEntry::default()
+            });
+        }
+        spec.workload.services = services;
     }
     if faults {
         let pms = spec.topology.hosts_per_dc() * if intra { 1 } else { 4 };

@@ -11,7 +11,10 @@
 //! no host fits is the least-bad overflow placement chosen — constraint 1
 //! (every VM placed) outranks constraint 2 when the system is simply out
 //! of capacity, which is exactly what happens during the Figure 6 flash
-//! crowd.
+//! crowd. Overflow placements still honor memory as a hard dimension
+//! where possible: a host whose RAM holds the VM outranks any
+//! RAM-overcommitted one, because CPU/network contention degrades
+//! gracefully while memory exhaustion does not.
 
 use crate::oracle::QosOracle;
 use crate::problem::{Problem, Schedule};
@@ -93,6 +96,7 @@ pub fn best_fit_with_demands(
     for &vm_idx in &order {
         let mut best_fit_choice: Option<(usize, PlacementScore)> = None;
         let mut best_any: Option<(usize, PlacementScore)> = None;
+        let mut best_mem_ok: Option<(usize, PlacementScore)> = None;
         let mut stay_choice: Option<(usize, PlacementScore)> = None;
         for host_idx in 0..problem.hosts.len() {
             let score = marginal_profit(problem, oracle, &state, vm_idx, host_idx);
@@ -106,6 +110,18 @@ pub fn best_fit_with_demands(
                     .is_none_or(|(_, b)| score.profit() > b.profit())
             {
                 best_fit_choice = Some((host_idx, score));
+            }
+            // Overflow fallback tiers: a host whose RAM still holds the
+            // VM beats any RAM-overcommitted one — memory is the one
+            // resource contention cannot stretch. On memory-unconstrained
+            // rounds every host passes this test, so the tiering changes
+            // nothing (same scan order, same comparisons).
+            if state.fits_memory(problem, host_idx, &demands[vm_idx])
+                && best_mem_ok
+                    .as_ref()
+                    .is_none_or(|(_, b)| score.profit() > b.profit())
+            {
+                best_mem_ok = Some((host_idx, score));
             }
             if best_any
                 .as_ref()
@@ -131,7 +147,7 @@ pub fn best_fit_with_demands(
             Some(choice) => choice,
             None => {
                 overflow_count += 1;
-                best_any.expect("at least one host")
+                best_mem_ok.or(best_any).expect("at least one host")
             }
         };
         state.assign(host_idx, demands[vm_idx]);

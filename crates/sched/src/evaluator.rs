@@ -204,6 +204,19 @@ impl<'a> ScheduleEvaluator<'a> {
         }
     }
 
+    /// True when relocating `vi` onto `to` keeps the destination's
+    /// believed memory within its RAM capacity. Memory is the one
+    /// non-compressible resource — CPU or network overcommit degrades
+    /// service, RAM overcommit kills it — so consumers treat this as a
+    /// hard feasibility dimension, never a mere penalty. (Hypervisor
+    /// overhead is CPU-only, so raw demand is the right accumulator.)
+    #[inline]
+    pub fn move_fits_memory(&self, vi: usize, to: usize) -> bool {
+        const EPS: f64 = 1e-9;
+        self.raw_demand[to].mem_mb + self.demands[vi].mem_mb
+            <= self.problem.hosts[to].capacity.mem_mb + EPS
+    }
+
     /// Profit change if `vi` were relocated to `to` (no state change,
     /// no allocation). `to` must differ from the VM's current host.
     pub fn move_gain(&self, vi: usize, to: usize) -> f64 {

@@ -73,6 +73,14 @@ pub fn improve_schedule(
                 if hi == from {
                     continue;
                 }
+                // Hard feasibility: a move that overcommits the
+                // destination's RAM is not a candidate at any gain —
+                // memory does not contend, it evicts. (The headroom
+                // guard below subsumes this at its default 45%, but the
+                // constraint must hold under any configuration.)
+                if !eval.move_fits_memory(vi, hi) {
+                    continue;
+                }
                 // Headroom guard on the destination.
                 let mut after = eval.host_total(hi);
                 after += *eval.demand(vi);

@@ -101,6 +101,17 @@ impl PlacementState {
         after.cpu += host.virt_overhead_cpu_per_vm; // the newcomer's overhead
         after.fits_within(&host.capacity)
     }
+
+    /// Does `demand`'s **memory** alone fit the host's remaining RAM?
+    /// The relaxed test Best-Fit's overflow path uses when nothing fits
+    /// fully: CPU and network overcommit are survivable (contention
+    /// degrades every tenant proportionally), RAM overcommit is not, so
+    /// an out-of-capacity round still avoids it wherever possible.
+    pub fn fits_memory(&self, problem: &Problem, host_idx: usize, demand: &Resources) -> bool {
+        const EPS: f64 = 1e-9;
+        self.demand[host_idx].mem_mb + demand.mem_mb
+            <= problem.hosts[host_idx].capacity.mem_mb + EPS
+    }
 }
 
 /// Believed per-VM demands and per-host totals under the *current*

@@ -33,6 +33,21 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_bounded(items, None, f)
+}
+
+/// [`parallel_map`] with an explicit worker budget: at most
+/// `max_workers` threads run concurrently (`None` = one per hardware
+/// thread). Campaigns whose runs are individually parallel (or memory
+/// hungry) cap the fan-out with this instead of oversubscribing the
+/// host. Determinism is unaffected — results are placed by input index,
+/// so any budget produces bit-identical output.
+pub fn parallel_map_bounded<T, R, F>(items: Vec<T>, max_workers: Option<usize>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = items.len();
     if n <= 1 {
         return items.into_iter().map(f).collect();
@@ -40,7 +55,8 @@ where
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
-        .min(n);
+        .min(n)
+        .min(max_workers.unwrap_or(usize::MAX).max(1));
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -124,6 +140,19 @@ mod tests {
         let seq: Vec<u64> = items.iter().map(|&i| i.wrapping_mul(0x9E37_79B9)).collect();
         let par = parallel_map(items, |i| i.wrapping_mul(0x9E37_79B9));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn bounded_budget_matches_unbounded() {
+        let items: Vec<u64> = (0..23).collect();
+        let unbounded = parallel_map(items.clone(), |i| i * 3 + 1);
+        for jobs in [1usize, 2, 7, 64] {
+            let bounded = parallel_map_bounded(items.clone(), Some(jobs), |i| i * 3 + 1);
+            assert_eq!(bounded, unbounded, "jobs = {jobs}");
+        }
+        // A zero budget clamps to one worker instead of hanging.
+        let one = parallel_map_bounded(items, Some(0), |i| i * 3 + 1);
+        assert_eq!(one, unbounded);
     }
 
     #[test]

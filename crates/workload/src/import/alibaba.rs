@@ -23,7 +23,7 @@
 //!
 //! Malformed non-empty values still error with their line number.
 
-use super::{line_err, ImportError, ImportOptions, ServiceInterner, UsageRow};
+use super::{for_each_line, line_err, ImportError, ImportOptions, ServiceInterner, UsageRow};
 use std::io::BufRead;
 
 /// Minimum columns a usage row must carry (`..net_out`).
@@ -46,6 +46,8 @@ fn opt_f64(text: &str, lineno: usize, what: &str) -> Result<Option<f64>, ImportE
 }
 
 /// Parses Alibaba `container_usage` rows into normalized usage samples.
+/// Lines are read through [`for_each_line`], so CRLF exports parse
+/// identically to LF ones.
 pub(crate) fn parse_rows<R: BufRead>(
     reader: R,
     opts: &ImportOptions,
@@ -53,17 +55,15 @@ pub(crate) fn parse_rows<R: BufRead>(
     let mut services = ServiceInterner::new(opts.max_services);
     let mut rows = Vec::new();
     let mut saw_content = false;
-    for (idx, line) in reader.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = line.map_err(|e| line_err(lineno, format!("read failed: {e}")))?;
+    for_each_line(reader, |lineno, line| {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
-            continue;
+            return Ok(());
         }
         // Skip the (optional) header row: the first non-comment line,
         // wherever it sits.
         if !saw_content && line.to_ascii_lowercase().starts_with("container_id") {
-            continue;
+            return Ok(());
         }
         saw_content = true;
         let cols: Vec<&str> = line.split(',').map(str::trim).collect();
@@ -84,12 +84,13 @@ pub(crate) fn parse_rows<R: BufRead>(
             .parse()
             .map_err(|_| line_err(lineno, format!("bad time_stamp {:?}", cols[2])))?;
         let Some(cpu_pct) = opt_f64(cols[3], lineno, "cpu_util_percent")? else {
-            continue; // no utilization signal: skip, don't guess
+            return Ok(()); // no utilization signal: skip, don't guess
         };
+        let mem_util_pct = opt_f64(cols[4], lineno, "mem_util_percent")?;
         let net_in_kbps = opt_f64(cols[8], lineno, "net_in")?;
         let net_out_kbps = opt_f64(cols[9], lineno, "net_out")?;
         let Some(service) = services.intern(cols[0]) else {
-            continue; // beyond max_services
+            return Ok(()); // beyond max_services
         };
         rows.push(UsageRow {
             timestamp,
@@ -97,8 +98,10 @@ pub(crate) fn parse_rows<R: BufRead>(
             cpu_pct,
             net_in_kbps,
             net_out_kbps,
+            mem_util_pct,
         });
-    }
+        Ok(())
+    })?;
     Ok(rows)
 }
 
@@ -177,6 +180,34 @@ mod tests {
             g.kb_out_per_req,
             class_kb_out_mean(ServiceClass::ImageGallery)
         );
+    }
+
+    #[test]
+    fn mem_util_percent_becomes_a_per_service_memory_profile() {
+        // c_1 (file-hosting, 3 ms/req) at 50% CPU = 166.67 req/s,
+        // in-flight = 166.67 x 0.0048 s = 0.8; 8% of 4096 MB = 327.68,
+        // minus the 256 MB floor = 71.68 MB excess; 71.68 / 0.8 =
+        // 89.6 MB per in-flight request (docs/TRACES.md rules).
+        let text = "c_1,m_1,10,50.0,8.0,,,,,,\nc_2,m_1,10,30.0,,,,,,,\n";
+        let t = import_str(TraceFormat::Alibaba, text, &ImportOptions::default()).unwrap();
+        let m = t.mem_mb_per_inflight[0].expect("measured");
+        assert!((m - 89.6).abs() < 1e-9, "per-inflight {m}");
+        assert_eq!(
+            t.mem_mb_per_inflight[1], None,
+            "no mem_util_percent sample = unmeasured"
+        );
+        // The profile survives the trace CSV round-trip bit-for-bit.
+        let reparsed = crate::trace::DemandTrace::parse_csv(&t.to_csv()).expect("reparse");
+        assert_eq!(t, reparsed);
+        // A huge resident set against a tiny rate clamps at the
+        // documented ceiling instead of going to infinity.
+        let big = "c_1,m_1,10,0.5,90.0,,,,,,\n";
+        let t = import_str(TraceFormat::Alibaba, big, &ImportOptions::default()).unwrap();
+        assert_eq!(t.mem_mb_per_inflight[0], Some(1024.0));
+        // Memory below the VM floor measures as no excess -> unmeasured.
+        let idle = "c_1,m_1,10,50.0,2.0,,,,,,\n";
+        let t = import_str(TraceFormat::Alibaba, idle, &ImportOptions::default()).unwrap();
+        assert_eq!(t.mem_mb_per_inflight[0], None);
     }
 
     #[test]

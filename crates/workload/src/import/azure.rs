@@ -14,13 +14,15 @@
 //! network columns, so per-request KB fall back to the class means (see
 //! the [module docs](crate::import) for the full normalization rules).
 
-use super::{line_err, ImportError, ImportOptions, ServiceInterner, UsageRow};
+use super::{for_each_line, line_err, ImportError, ImportOptions, ServiceInterner, UsageRow};
 use std::io::BufRead;
 
 /// Columns of one reading row.
 const COLS: usize = 5;
 
-/// Parses Azure CPU-reading rows into normalized usage samples.
+/// Parses Azure CPU-reading rows into normalized usage samples. Lines
+/// are read through [`for_each_line`], so CRLF exports parse
+/// identically to LF ones.
 pub(crate) fn parse_rows<R: BufRead>(
     reader: R,
     opts: &ImportOptions,
@@ -28,17 +30,15 @@ pub(crate) fn parse_rows<R: BufRead>(
     let mut services = ServiceInterner::new(opts.max_services);
     let mut rows = Vec::new();
     let mut saw_content = false;
-    for (idx, line) in reader.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = line.map_err(|e| line_err(lineno, format!("read failed: {e}")))?;
+    for_each_line(reader, |lineno, line| {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
-            continue;
+            return Ok(());
         }
         // Skip the (optional) header row: the first non-comment line,
         // wherever it sits.
         if !saw_content && line.to_ascii_lowercase().starts_with("timestamp") {
-            continue;
+            return Ok(());
         }
         saw_content = true;
         let cols: Vec<&str> = line.split(',').map(str::trim).collect();
@@ -67,7 +67,7 @@ pub(crate) fn parse_rows<R: BufRead>(
             ));
         }
         let Some(service) = services.intern(cols[1]) else {
-            continue; // beyond max_services
+            return Ok(()); // beyond max_services
         };
         rows.push(UsageRow {
             timestamp,
@@ -75,8 +75,10 @@ pub(crate) fn parse_rows<R: BufRead>(
             cpu_pct: avg_cpu,
             net_in_kbps: None,
             net_out_kbps: None,
+            mem_util_pct: None,
         });
-    }
+        Ok(())
+    })?;
     Ok(rows)
 }
 

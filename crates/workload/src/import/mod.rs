@@ -42,6 +42,13 @@
 //!   are the class means; Alibaba `net_in`/`net_out` (KB/s) divide by
 //!   the row's rate to per-request KB, falling back to the class means
 //!   when the rate is zero or the column is empty.
+//! * **memory** — Alibaba `mem_util_percent` (percent of machine
+//!   memory) is read against the paper host's 4096 MB, the default
+//!   web-service VM's 256 MB floor is subtracted, and the excess is
+//!   divided by the sample's in-flight request count (Little's law at
+//!   the class's nominal service time) to give MB-per-in-flight-request
+//!   per service, clamped to [0.1, 1024]. Azure rows carry no memory
+//!   column, so the profile stays unmeasured (class constants apply).
 //!
 //! The replay transforms (`rate_scale`, `time_stretch`, `region_map`)
 //! are applied **at import**, so the emitted trace carries them baked
@@ -213,6 +220,36 @@ pub(crate) struct UsageRow {
     pub net_in_kbps: Option<f64>,
     /// Network out, KB/s.
     pub net_out_kbps: Option<f64>,
+    /// Memory utilization, percent of machine memory (`None` = column
+    /// absent/empty → no measured memory profile for this sample).
+    pub mem_util_pct: Option<f64>,
+}
+
+/// Iterates `reader` line by line through a reused buffer, handing each
+/// line to `f` with its 1-based number. Trailing `\n` **and** `\r` are
+/// stripped, so CRLF-exported dataset files (Excel, Windows tooling)
+/// parse identically to LF ones — without this, the final field of
+/// every row keeps a `\r` that corrupts interned service names and the
+/// last numeric column.
+pub(crate) fn for_each_line<R: BufRead>(
+    mut reader: R,
+    mut f: impl FnMut(usize, &str) -> Result<(), ImportError>,
+) -> Result<(), ImportError> {
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        lineno += 1;
+        let n = reader
+            .read_line(&mut buf)
+            .map_err(|e| line_err(lineno, format!("read failed: {e}")))?;
+        if n == 0 {
+            return Ok(());
+        }
+        let line = buf.strip_suffix('\n').unwrap_or(&buf);
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        f(lineno, line)?;
+    }
 }
 
 /// First-seen-order service id interning, with an optional cap.
@@ -261,6 +298,28 @@ pub(crate) fn rps_from_cpu(cpu_pct: f64, class: ServiceClass) -> f64 {
     (cpu_pct / 100.0) * 1000.0 / class.cpu_ms_mean()
 }
 
+/// Machine memory the Alibaba `mem_util_percent` column is read
+/// against: the paper host's 4 GB (see `docs/TRACES.md`).
+pub(crate) const REF_MACHINE_MEM_MB: f64 = 4096.0;
+
+/// The default web-service VM's idle memory floor, MB — subtracted
+/// before deriving the per-in-flight cost (matches
+/// `VmSpec::web_service`).
+pub(crate) const BASE_MEM_MB: f64 = 256.0;
+
+/// The nominal non-CPU service-time multiplier used for the in-flight
+/// estimate (matches `VmPerfProfile::default`).
+pub(crate) const IO_WAIT_FACTOR: f64 = 0.6;
+
+/// Clamp bounds for the derived MB-per-in-flight-request. The ceiling
+/// is deliberately high: a low-rate container with a large resident set
+/// legitimately derives a huge per-request cost (that is how its
+/// observed footprint is reproduced at its observed rate), and the
+/// clamp only guards against degenerate rows.
+pub(crate) const MEM_PER_INFLIGHT_MIN: f64 = 0.1;
+/// See [`MEM_PER_INFLIGHT_MIN`].
+pub(crate) const MEM_PER_INFLIGHT_MAX: f64 = 1024.0;
+
 /// Folds parsed rows into a [`DemandTrace`]: rebase timestamps, floor
 /// into ticks, average samples sharing a tick, convert to flows, apply
 /// the import-time transforms.
@@ -293,6 +352,12 @@ pub(crate) fn rows_to_trace(
     }
     let mut ticks = 0usize;
     let mut cells: HashMap<(usize, usize), Acc> = HashMap::new();
+    // Memory profile: the sum of memory held above the VM floor and the
+    // sum of in-flight requests per service, over every kept sample
+    // that measured both. Their ratio is the service's MB-per-in-flight
+    // (documented in docs/TRACES.md).
+    let mut mem_excess = vec![0.0f64; services];
+    let mut mem_inflight = vec![0.0f64; services];
     for r in &rows {
         let tick_idx = ((r.timestamp - t0) * 1000 / tick_ms) as usize;
         if opts.max_ticks.is_some_and(|cap| tick_idx >= cap) {
@@ -309,6 +374,16 @@ pub(crate) fn rows_to_trace(
         if let Some(v) = r.net_out_kbps {
             acc.net_out += v;
             acc.n_out += 1;
+        }
+        if let Some(mem_util) = r.mem_util_pct {
+            let class = class_for(r.service);
+            let raw_rps = rps_from_cpu(r.cpu_pct, class);
+            if raw_rps > 0.0 {
+                let service_secs = class.cpu_ms_mean() / 1000.0 * (1.0 + IO_WAIT_FACTOR);
+                mem_excess[r.service] +=
+                    (mem_util / 100.0 * REF_MACHINE_MEM_MB - BASE_MEM_MB).max(0.0);
+                mem_inflight[r.service] += raw_rps * service_secs;
+            }
         }
     }
     if ticks == 0 {
@@ -359,10 +434,18 @@ pub(crate) fn rows_to_trace(
 
     // time-stretch bakes in as a longer tick (replayed 1:1 afterwards).
     let stretched_ms = (tick_ms as f64 * opts.time_stretch).round().max(1.0) as u64;
+    let mem_mb_per_inflight = (0..services)
+        .map(|s| {
+            (mem_inflight[s] > 0.0 && mem_excess[s] > 0.0).then(|| {
+                (mem_excess[s] / mem_inflight[s]).clamp(MEM_PER_INFLIGHT_MIN, MEM_PER_INFLIGHT_MAX)
+            })
+        })
+        .collect();
     Ok(DemandTrace {
         tick: SimDuration::from_millis(stretched_ms),
         regions: opts.regions,
         classes: (0..services).map(class_for).collect(),
+        mem_mb_per_inflight,
         flows,
     })
 }
@@ -532,6 +615,45 @@ timestamp,vm id,min cpu,max cpu,avg cpu
             ..ImportOptions::default()
         })
         .is_err());
+    }
+
+    #[test]
+    fn crlf_exports_parse_identically_to_lf() {
+        // CRLF leaves a `\r` on the last field of every row (the
+        // numeric column here; the service id survives because it is
+        // first) — both importers must strip it, including on a final
+        // line with no terminator at all.
+        let azure_crlf = AZURE.replace('\n', "\r\n");
+        let lf = import_str(TraceFormat::Azure, AZURE, &ImportOptions::default()).unwrap();
+        let crlf = import_str(TraceFormat::Azure, &azure_crlf, &ImportOptions::default()).unwrap();
+        assert_eq!(lf, crlf, "azure CRLF must normalize identically");
+        let unterminated = azure_crlf.trim_end_matches('\n').to_string(); // ends "...0.0\r"
+        let tail = import_str(TraceFormat::Azure, &unterminated, &ImportOptions::default());
+        assert_eq!(lf, tail.expect("lone trailing \\r"));
+
+        let alibaba = "c_1,m_1,10,25.0,40.2,1.1,0.4,0.02,120.0,350.0,5.0\n\
+                       c_2,m_1,10,50.0,60.0,,,,,,\n";
+        let lf = import_str(TraceFormat::Alibaba, alibaba, &ImportOptions::default()).unwrap();
+        let crlf = import_str(
+            TraceFormat::Alibaba,
+            &alibaba.replace('\n', "\r\n"),
+            &ImportOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(lf, crlf, "alibaba CRLF must normalize identically");
+        assert_eq!(
+            crlf.flows[0][0][0].kb_out_per_req,
+            lf.flows[0][0][0].kb_out_per_req
+        );
+    }
+
+    #[test]
+    fn azure_has_no_memory_columns_so_profiles_stay_unmeasured() {
+        let t = import_str(TraceFormat::Azure, AZURE, &ImportOptions::default()).unwrap();
+        assert_eq!(t.mem_mb_per_inflight, vec![None, None]);
+        // ...and the emitted CSV carries no memory header, keeping
+        // pre-PR azure trace files byte-identical.
+        assert!(!t.to_csv().contains("mem_mb_per_inflight"));
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub trait DemandSource {
     /// constants in the performance profiles).
     fn service_class(&self, service: usize) -> ServiceClass;
 
+    /// Measured memory held per in-flight request, MB, when the source
+    /// carries one (imported traces normalize Alibaba's
+    /// `mem_util_percent` into this; see `docs/TRACES.md`). `None`
+    /// falls back to the service class's constant.
+    fn mem_mb_per_inflight(&self, service: usize) -> Option<f64> {
+        let _ = service;
+        None
+    }
+
     /// Samples the realized demand for one service at one tick: one
     /// [`FlowSample`] per region with nonzero load.
     fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample>;
@@ -132,6 +141,15 @@ impl Demand {
         }
     }
 
+    /// Measured memory-per-in-flight-request profile, when the source
+    /// carries one (imported traces only).
+    pub fn mem_mb_per_inflight(&self, service: usize) -> Option<f64> {
+        match self {
+            Demand::Synthetic(w) => DemandSource::mem_mb_per_inflight(w, service),
+            Demand::Trace(t) => DemandSource::mem_mb_per_inflight(t, service),
+        }
+    }
+
     /// Samples the realized demand for one service at one tick.
     pub fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample> {
         match self {
@@ -174,6 +192,9 @@ impl DemandSource for Demand {
     }
     fn service_class(&self, service: usize) -> ServiceClass {
         Demand::service_class(self, service)
+    }
+    fn mem_mb_per_inflight(&self, service: usize) -> Option<f64> {
+        Demand::mem_mb_per_inflight(self, service)
     }
     fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample> {
         Demand::sample(self, service, t)

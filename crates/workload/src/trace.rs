@@ -48,6 +48,12 @@ pub struct DemandTrace {
     pub regions: usize,
     /// Per-service request-shape class (len = service count).
     pub classes: Vec<ServiceClass>,
+    /// Per-service measured memory per in-flight request, MB (len =
+    /// service count). `None` = not measured: replays fall back to the
+    /// class constant. Imported Alibaba traces fill this from
+    /// `mem_util_percent` (see `docs/TRACES.md`); recorded synthetic
+    /// traces carry all `None`.
+    pub mem_mb_per_inflight: Vec<Option<f64>>,
     /// `flows[tick_idx][service]` — the recorded flows of that tick.
     pub flows: Vec<Vec<Vec<FlowSample>>>,
 }
@@ -67,6 +73,9 @@ impl DemandTrace {
             tick,
             regions: source.region_count(),
             classes: (0..services).map(|s| source.service_class(s)).collect(),
+            mem_mb_per_inflight: (0..services)
+                .map(|s| source.mem_mb_per_inflight(s))
+                .collect(),
             flows,
         }
     }
@@ -92,6 +101,20 @@ impl DemandTrace {
         let _ = writeln!(out, "# regions = {}", self.regions);
         let labels: Vec<&str> = self.classes.iter().map(|c| c.label()).collect();
         let _ = writeln!(out, "# classes = {}", labels.join(","));
+        // The memory-profile header is written only when some service
+        // carries a measurement, so traces recorded before the header
+        // existed keep emitting byte-identical CSV.
+        if self.mem_mb_per_inflight.iter().any(Option::is_some) {
+            let cells: Vec<String> = self
+                .mem_mb_per_inflight
+                .iter()
+                .map(|m| match m {
+                    Some(v) => format!("{v}"),
+                    None => "-".to_string(),
+                })
+                .collect();
+            let _ = writeln!(out, "# mem_mb_per_inflight = {}", cells.join(","));
+        }
         out.push_str("tick,service,region,rps,kb_in_per_req,kb_out_per_req,cpu_ms_per_req\n");
         for (tick_idx, services) in self.flows.iter().enumerate() {
             for (service, flows) in services.iter().enumerate() {
@@ -119,6 +142,7 @@ impl DemandTrace {
         let mut ticks: Option<usize> = None;
         let mut regions: Option<usize> = None;
         let mut classes: Vec<ServiceClass> = Vec::new();
+        let mut mem_mb_per_inflight: Vec<Option<f64>> = Vec::new();
         let mut flows: Vec<Vec<Vec<FlowSample>>> = Vec::new();
         let mut saw_header_row = false;
 
@@ -160,6 +184,20 @@ impl DemandTrace {
                                 .map(|label| {
                                     ServiceClass::from_label(label.trim()).ok_or_else(|| {
                                         err(format!("unknown service class {label:?}"))
+                                    })
+                                })
+                                .collect::<Result<_, _>>()?;
+                        }
+                        "mem_mb_per_inflight" => {
+                            mem_mb_per_inflight = value
+                                .split(',')
+                                .map(|cell| {
+                                    let cell = cell.trim();
+                                    if cell == "-" {
+                                        return Ok(None);
+                                    }
+                                    cell.parse::<f64>().map(Some).map_err(|_| {
+                                        err(format!("bad mem_mb_per_inflight cell {cell:?}"))
                                     })
                                 })
                                 .collect::<Result<_, _>>()?;
@@ -217,6 +255,15 @@ impl DemandTrace {
         if classes.is_empty() {
             return Err(TraceError("missing '# classes = ...'".into()));
         }
+        if mem_mb_per_inflight.is_empty() {
+            mem_mb_per_inflight = vec![None; classes.len()];
+        } else if mem_mb_per_inflight.len() != classes.len() {
+            return Err(TraceError(format!(
+                "mem_mb_per_inflight header lists {} services but classes lists {}",
+                mem_mb_per_inflight.len(),
+                classes.len()
+            )));
+        }
         // Honor the declared tick count so zero-demand ticks (no data
         // rows) survive the round-trip; traces written before the
         // header existed fall back to the max tick index seen.
@@ -245,6 +292,7 @@ impl DemandTrace {
             tick: SimDuration::from_millis(tick_ms),
             regions,
             classes,
+            mem_mb_per_inflight,
             flows,
         })
     }
@@ -350,6 +398,14 @@ impl DemandSource for TraceSource {
             .get(service)
             .copied()
             .unwrap_or(ServiceClass::Blog)
+    }
+
+    fn mem_mb_per_inflight(&self, service: usize) -> Option<f64> {
+        self.trace
+            .mem_mb_per_inflight
+            .get(service)
+            .copied()
+            .flatten()
     }
 
     fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample> {
@@ -486,6 +542,7 @@ mod tests {
             tick: SimDuration::from_mins(1),
             regions: 4,
             classes: vec![ServiceClass::Blog],
+            mem_mb_per_inflight: vec![None],
             flows: vec![vec![Vec::new()]; 60],
         };
         let parsed = DemandTrace::parse_csv(&empty.to_csv()).expect("parse");
@@ -502,6 +559,35 @@ mod tests {
         let reparsed = DemandTrace::parse_csv(&tail_quiet.to_csv()).expect("parse");
         assert_eq!(reparsed.tick_count(), n, "quiet tail ticks preserved");
         assert_eq!(reparsed, tail_quiet);
+    }
+
+    #[test]
+    fn mem_profile_header_round_trips_and_validates() {
+        let mut t = short_trace(7);
+        t.mem_mb_per_inflight = vec![Some(12.5), None, Some(3.0)];
+        let csv = t.to_csv();
+        assert!(csv.contains("# mem_mb_per_inflight = 12.5,-,3\n"), "{csv}");
+        let parsed = DemandTrace::parse_csv(&csv).expect("parse");
+        assert_eq!(parsed, t);
+        assert_eq!(csv, parsed.to_csv(), "emission is a fixed point");
+        // Traces without the header (everything recorded pre-PR) parse
+        // to all-None — and emit no header, byte-identical to before.
+        let plain = short_trace(7);
+        assert_eq!(plain.mem_mb_per_inflight, vec![None; 3]);
+        assert!(!plain.to_csv().contains("mem_mb_per_inflight"));
+        // A header whose length disagrees with classes is an error.
+        let bad = csv.replace("12.5,-,3", "12.5,-");
+        assert!(DemandTrace::parse_csv(&bad).is_err());
+        let garbage = csv.replace("12.5,-,3", "12.5,lots,3");
+        assert!(DemandTrace::parse_csv(&garbage).is_err());
+    }
+
+    #[test]
+    fn crlf_trace_files_parse_identically() {
+        let t = short_trace(13);
+        let lf = t.to_csv();
+        let crlf = lf.replace('\n', "\r\n");
+        assert_eq!(DemandTrace::parse_csv(&crlf).expect("crlf"), t);
     }
 
     #[test]
