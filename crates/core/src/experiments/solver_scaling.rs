@@ -9,7 +9,7 @@
 use crate::experiment::{Experiment, ExperimentReport, ExperimentRun};
 use crate::report::TextTable;
 use pamdc_sched::bestfit::best_fit;
-use pamdc_sched::exact::branch_and_bound;
+use pamdc_sched::exact::{branch_and_bound_with_budget, ExactOutcome};
 use pamdc_sched::oracle::TrueOracle;
 use pamdc_sched::problem::synthetic;
 use std::time::Instant;
@@ -29,6 +29,9 @@ pub struct ScalingPoint {
     pub exact_nodes: Option<u64>,
     /// Profit gap: `(exact - heuristic) / |exact|`, when both ran.
     pub profit_gap: Option<f64>,
+    /// The exact solver hit its node budget; its numbers describe the
+    /// truncated search, not a proven optimum.
+    pub exact_budget_exhausted: bool,
 }
 
 /// Configuration of the scaling study.
@@ -41,6 +44,11 @@ pub struct ScalingConfig {
     pub exact_vm_cap: usize,
     /// Per-VM request rate of the synthetic instances.
     pub rps: f64,
+    /// Hard cap on exact-solver search nodes per instance. The solver
+    /// is exponential; without a ceiling one oversized entry in `sizes`
+    /// hangs the whole study. Exhaustion is reported per point rather
+    /// than silently passing off the incumbent as optimal.
+    pub exact_node_budget: u64,
 }
 
 impl Default for ScalingConfig {
@@ -49,6 +57,7 @@ impl Default for ScalingConfig {
             sizes: vec![(2, 4), (4, 8), (6, 12), (8, 24), (10, 40)],
             exact_vm_cap: 8,
             rps: 250.0,
+            exact_node_budget: 10_000_000,
         }
     }
 }
@@ -60,6 +69,7 @@ impl ScalingConfig {
             sizes: vec![(2, 4), (5, 6)],
             exact_vm_cap: 5,
             rps: 250.0,
+            exact_node_budget: 1_000_000,
         }
     }
 }
@@ -79,19 +89,39 @@ pub fn run(cfg: &ScalingConfig) -> Vec<ScalingPoint> {
                 pamdc_sched::profit::evaluate_schedule(&problem, &oracle, &heur.schedule)
                     .profit_eur;
 
-            let (exact_us, exact_nodes, profit_gap) = if vms <= cfg.exact_vm_cap {
-                let t0 = Instant::now();
-                let exact = branch_and_bound(&problem, &oracle);
-                let us = t0.elapsed().as_secs_f64() * 1e6;
-                let gap = if exact.eval.profit_eur.abs() > 1e-12 {
-                    (exact.eval.profit_eur - heur_profit) / exact.eval.profit_eur.abs()
+            let (exact_us, exact_nodes, profit_gap, exact_budget_exhausted) =
+                if vms <= cfg.exact_vm_cap {
+                    let t0 = Instant::now();
+                    let outcome =
+                        branch_and_bound_with_budget(&problem, &oracle, cfg.exact_node_budget);
+                    let us = t0.elapsed().as_secs_f64() * 1e6;
+                    let gap_of = |profit: f64| {
+                        if profit.abs() > 1e-12 {
+                            (profit - heur_profit) / profit.abs()
+                        } else {
+                            0.0
+                        }
+                    };
+                    match outcome {
+                        ExactOutcome::Optimal(exact) => (
+                            Some(us),
+                            Some(exact.nodes_expanded),
+                            Some(gap_of(exact.eval.profit_eur)),
+                            false,
+                        ),
+                        ExactOutcome::BudgetExhausted {
+                            nodes_expanded,
+                            incumbent,
+                        } => (
+                            Some(us),
+                            Some(nodes_expanded),
+                            incumbent.map(|inc| gap_of(inc.eval.profit_eur)),
+                            true,
+                        ),
+                    }
                 } else {
-                    0.0
+                    (None, None, None, false)
                 };
-                (Some(us), Some(exact.nodes_expanded), Some(gap))
-            } else {
-                (None, None, None)
-            };
 
             ScalingPoint {
                 vms,
@@ -100,6 +130,7 @@ pub fn run(cfg: &ScalingConfig) -> Vec<ScalingPoint> {
                 exact_us,
                 exact_nodes,
                 profit_gap,
+                exact_budget_exhausted,
             }
         })
         .collect()
@@ -129,6 +160,9 @@ impl Experiment for SolverScaling {
             if let Some(gap) = p.profit_gap {
                 metrics.push((key("profit_gap"), gap));
             }
+            if p.exact_budget_exhausted {
+                metrics.push((key("exact_budget_exhausted"), 1.0));
+            }
         }
         ExperimentReport {
             text: render(&points),
@@ -155,9 +189,11 @@ pub fn render(points: &[ScalingPoint]) -> String {
             p.exact_us
                 .map(|v| format!("{v:.0}"))
                 .unwrap_or_else(|| "(skipped)".into()),
-            p.exact_nodes
-                .map(|v| v.to_string())
-                .unwrap_or_else(|| "-".into()),
+            match (p.exact_nodes, p.exact_budget_exhausted) {
+                (Some(v), false) => v.to_string(),
+                (Some(v), true) => format!("{v} (budget!)"),
+                (None, _) => "-".into(),
+            },
             p.profit_gap
                 .map(|v| format!("{v:.4}"))
                 .unwrap_or_else(|| "-".into()),

@@ -654,6 +654,7 @@ fn build_problem(
         // 5% of one round's revenue: big enough to damp noise-driven
         // churn, small enough to let real gains through.
         stickiness_eur: scenario.billing.revenue(1.0, round_span) * 0.05,
+        host_index_cache: Default::default(),
     }
 }
 

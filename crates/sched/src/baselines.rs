@@ -28,7 +28,7 @@ pub fn static_schedule(problem: &Problem, oracle: &dyn QosOracle) -> Schedule {
             Some(hi) => hi,
             None => nearest_feasible_host(problem, oracle, &state, vm),
         };
-        state.assign(host_idx, oracle.demand(vm));
+        state.assign(problem, host_idx, oracle.demand(vm));
         assignment.push(problem.hosts[host_idx].id);
     }
     Schedule { assignment }
@@ -43,7 +43,7 @@ pub fn follow_the_load(problem: &Problem, oracle: &dyn QosOracle) -> Schedule {
     let mut assignment = Vec::with_capacity(problem.vms.len());
     for vm in &problem.vms {
         let host_idx = nearest_feasible_host(problem, oracle, &state, vm);
-        state.assign(host_idx, oracle.demand(vm));
+        state.assign(problem, host_idx, oracle.demand(vm));
         assignment.push(problem.hosts[host_idx].id);
     }
     Schedule { assignment }
@@ -85,7 +85,7 @@ pub fn first_fit(problem: &Problem, oracle: &dyn QosOracle) -> Schedule {
         let host_idx = (0..problem.hosts.len())
             .find(|&hi| state.fits(problem, hi, &demand))
             .unwrap_or(0);
-        state.assign(host_idx, demand);
+        state.assign(problem, host_idx, demand);
         assignment.push(problem.hosts[host_idx].id);
     }
     Schedule { assignment }
@@ -120,7 +120,7 @@ pub fn cheapest_energy(problem: &Problem, oracle: &dyn QosOracle) -> Schedule {
             .copied()
             .find(|&hi| state.fits(problem, hi, &demand))
             .unwrap_or(host_order[0]);
-        state.assign(host_idx, demand);
+        state.assign(problem, host_idx, demand);
         assignment.push(problem.hosts[host_idx].id);
     }
     Schedule { assignment }

@@ -15,11 +15,30 @@
 //! where possible: a host whose RAM holds the VM outranks any
 //! RAM-overcommitted one, because CPU/network contention degrades
 //! gracefully while memory exhaustion does not.
+//!
+//! ## Two implementations, one answer
+//!
+//! [`best_fit_full_scan`] is the literal Algorithm 1 inner loop: score
+//! every (VM, host) pair. [`best_fit_indexed`] consults the bucketed
+//! free-capacity [`CandidateIndex`](crate::index::CandidateIndex)
+//! instead, scoring one representative per host-equivalence group — the
+//! shortlist contains *all* hosts that fit (plus the overflow tiers when
+//! nothing does), so the two produce **bit-identical** schedules (see
+//! `tests/shortlist_equivalence.rs`). [`best_fit_with_demands`]
+//! dispatches on fleet size: paper-scale problems (every golden report)
+//! take the full scan verbatim; fleets of [`INDEX_MIN_HOSTS`] hosts or
+//! more take the index.
 
 use crate::oracle::QosOracle;
 use crate::problem::{Problem, Schedule};
-use crate::profit::{marginal_profit, PlacementScore, PlacementState};
+use crate::profit::{marginal_profit, marginal_profit_hoisted, PlacementScore, PlacementState};
+use pamdc_infra::gateway::weighted_transport_secs;
 use pamdc_infra::resources::Resources;
+
+/// Fleets at least this large take the indexed shortlist path; smaller
+/// ones keep the exact full scan (same answers either way — the
+/// threshold trades index upkeep against scan width).
+pub const INDEX_MIN_HOSTS: usize = 64;
 
 /// Outcome of one Best-Fit run.
 #[derive(Clone, Debug)]
@@ -31,6 +50,9 @@ pub struct BestFitResult {
     /// VMs that did not fit anywhere under believed demand and were
     /// overflow-placed.
     pub overflow_count: usize,
+    /// `marginal_profit` evaluations performed — the work metric the
+    /// candidate index exists to shrink (full scan: VMs × hosts).
+    pub scored_candidates: usize,
 }
 
 /// Runs descending Best-Fit over the problem under the oracle's beliefs.
@@ -42,12 +64,25 @@ pub fn best_fit(problem: &Problem, oracle: &dyn QosOracle) -> BestFitResult {
 /// [`best_fit`] over shared precomputed believed demands — callers that
 /// already queried the oracle once per VM this round (the hierarchical
 /// scheduler, the consolidation pass) pass them through instead of
-/// paying the oracle again.
+/// paying the oracle again. Dispatches between the exact full scan and
+/// the indexed shortlist on [`INDEX_MIN_HOSTS`].
 pub fn best_fit_with_demands(
     problem: &Problem,
     oracle: &dyn QosOracle,
     demands: &[Resources],
 ) -> BestFitResult {
+    if problem.hosts.len() >= INDEX_MIN_HOSTS {
+        best_fit_indexed(problem, oracle, demands)
+    } else {
+        best_fit_full_scan(problem, oracle, demands)
+    }
+}
+
+/// Shared prologue: input checks and Algorithm 1's
+/// `order_by_demand(..., desc)` — VMs by decreasing believed demand,
+/// normalized against the largest host so the components are
+/// commensurable.
+fn descending_order(problem: &Problem, demands: &[Resources]) -> Vec<usize> {
     assert!(
         !problem.hosts.is_empty(),
         "best-fit needs at least one candidate host"
@@ -57,10 +92,6 @@ pub fn best_fit_with_demands(
         problem.vms.len(),
         "one believed demand per VM"
     );
-
-    // Order VMs by decreasing believed demand (Algorithm 1's
-    // `order_by_demand(..., desc)`), normalized against the largest host
-    // so the components are commensurable.
     let reference = problem
         .hosts
         .iter()
@@ -72,10 +103,11 @@ pub fn best_fit_with_demands(
         let db = demands[b].normalized_magnitude(&reference);
         db.partial_cmp(&da).expect("finite demands").then(a.cmp(&b))
     });
+    order
+}
 
-    let mut state = PlacementState::new(problem);
-    let mut assignment = vec![problem.hosts[0].id; problem.vms.len()];
-    let mut scores = vec![
+fn zero_scores(n: usize) -> Vec<PlacementScore> {
+    vec![
         PlacementScore {
             sla: 0.0,
             revenue_eur: 0.0,
@@ -83,9 +115,26 @@ pub fn best_fit_with_demands(
             energy_eur: 0.0,
             network_eur: 0.0,
         };
-        problem.vms.len()
-    ];
+        n
+    ]
+}
+
+/// The reference implementation: Algorithm 1 with its literal
+/// O(VMs × hosts) inner loop. Kept callable at any size — it is the
+/// oracle the indexed path is property-tested against and the baseline
+/// the scaling bench times.
+pub fn best_fit_full_scan(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    demands: &[Resources],
+) -> BestFitResult {
+    let order = descending_order(problem, demands);
+
+    let mut state = PlacementState::new(problem);
+    let mut assignment = vec![problem.hosts[0].id; problem.vms.len()];
+    let mut scores = zero_scores(problem.vms.len());
     let mut overflow_count = 0;
+    let mut scored_candidates = 0;
 
     let current_host_idx: Vec<Option<usize>> = problem
         .vms
@@ -100,6 +149,7 @@ pub fn best_fit_with_demands(
         let mut stay_choice: Option<(usize, PlacementScore)> = None;
         for host_idx in 0..problem.hosts.len() {
             let score = marginal_profit(problem, oracle, &state, vm_idx, host_idx);
+            scored_candidates += 1;
             let fits = state.fits(problem, host_idx, &demands[vm_idx]);
             if fits && current_host_idx[vm_idx] == Some(host_idx) {
                 stay_choice = Some((host_idx, score));
@@ -150,7 +200,7 @@ pub fn best_fit_with_demands(
                 best_mem_ok.or(best_any).expect("at least one host")
             }
         };
-        state.assign(host_idx, demands[vm_idx]);
+        state.assign(problem, host_idx, demands[vm_idx]);
         assignment[vm_idx] = problem.hosts[host_idx].id;
         scores[vm_idx] = score;
     }
@@ -161,6 +211,201 @@ pub fn best_fit_with_demands(
         schedule,
         scores,
         overflow_count,
+        scored_candidates,
+    }
+}
+
+/// Replaces `best` when `cand` scores strictly higher profit, or ties it
+/// with a lower host index — exactly the winner the ascending full scan's
+/// strict `>` comparison keeps (first host attaining the maximum).
+fn take_better(best: &mut Option<(usize, PlacementScore)>, cand: (usize, PlacementScore)) {
+    let replace = match best {
+        None => true,
+        Some((bi, bs)) => {
+            cand.1.profit() > bs.profit() || (cand.1.profit() == bs.profit() && cand.0 < *bi)
+        }
+    };
+    if replace {
+        *best = Some(cand);
+    }
+}
+
+/// Descending Best-Fit over the bucketed free-capacity index: per VM,
+/// candidate groups come from a range scan instead of the full fleet,
+/// and each group is scored once through its lowest-indexed member not
+/// currently hosting the VM (all members share the score bit-for-bit;
+/// the current host is scored individually because its profit carries no
+/// migration term). Produces the same schedule, scores and overflow
+/// count as [`best_fit_full_scan`] on any input.
+pub fn best_fit_indexed(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    demands: &[Resources],
+) -> BestFitResult {
+    let order = descending_order(problem, demands);
+
+    let mut state = PlacementState::with_candidate_index(problem);
+    let mut assignment = vec![problem.hosts[0].id; problem.vms.len()];
+    let mut scores = zero_scores(problem.vms.len());
+    let mut overflow_count = 0;
+    let mut scored_candidates = 0;
+
+    // Hot per-VM placement state, hoisted as struct-of-arrays: the full
+    // scan re-derives the current-host index, the oracle demand and the
+    // per-location transport inside its pair loop; here each is computed
+    // once per VM (or per location) and read by every candidate.
+    let current_host_idx: Vec<Option<usize>> = problem
+        .vms
+        .iter()
+        .map(|vm| vm.current_pm.and_then(|pm| problem.host_index(pm)))
+        .collect();
+    let oracle_demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
+    let max_loc = problem
+        .hosts
+        .iter()
+        .map(|h| h.location.index())
+        .max()
+        .expect("at least one host");
+    // Per-location transport scratch, refilled lazily per VM.
+    let mut transport: Vec<f64> = vec![f64::NAN; max_loc + 1];
+    let mut transport_vm = usize::MAX;
+
+    for &vm_idx in &order {
+        let fit_demand = &demands[vm_idx];
+        let score_demand = oracle_demands[vm_idx];
+        let cur = current_host_idx[vm_idx];
+        if transport_vm != vm_idx {
+            transport.iter_mut().for_each(|t| *t = f64::NAN);
+            transport_vm = vm_idx;
+        }
+        let mut transport_to = |host_idx: usize| -> f64 {
+            let loc = problem.hosts[host_idx].location;
+            let cached = transport[loc.index()];
+            if cached.is_nan() {
+                let t = weighted_transport_secs(&problem.vms[vm_idx].flows, loc, &problem.net);
+                transport[loc.index()] = t;
+                t
+            } else {
+                cached
+            }
+        };
+
+        let mut best_fit_choice: Option<(usize, PlacementScore)> = None;
+        let mut stay_choice: Option<(usize, PlacementScore)> = None;
+
+        // Phase 1: hosts that fit. The range scan may yield groups that
+        // only bucket-fit; one exact check per group settles it (fitting
+        // is uniform within a group).
+        {
+            let index = state.candidate_index().expect("index enabled");
+            for members in index.fitting_groups(fit_demand) {
+                let Some(rep) = members.iter().copied().find(|&hi| Some(hi) != cur) else {
+                    continue; // the VM's own host is scored below
+                };
+                if !state.fits(problem, rep, fit_demand) {
+                    continue;
+                }
+                let score = marginal_profit_hoisted(
+                    problem,
+                    oracle,
+                    &state,
+                    vm_idx,
+                    rep,
+                    score_demand,
+                    transport_to(rep),
+                );
+                scored_candidates += 1;
+                take_better(&mut best_fit_choice, (rep, score));
+            }
+        }
+        if let Some(cur_hi) = cur {
+            if state.fits(problem, cur_hi, fit_demand) {
+                let score = marginal_profit_hoisted(
+                    problem,
+                    oracle,
+                    &state,
+                    vm_idx,
+                    cur_hi,
+                    score_demand,
+                    transport_to(cur_hi),
+                );
+                scored_candidates += 1;
+                stay_choice = Some((cur_hi, score));
+                take_better(&mut best_fit_choice, (cur_hi, score));
+            }
+        }
+
+        // Hysteresis, identical to the full scan.
+        if let (Some((stay_hi, stay_score)), Some((best_hi, best_score))) =
+            (&stay_choice, &best_fit_choice)
+        {
+            if best_hi != stay_hi
+                && best_score.profit() - stay_score.profit() <= problem.stickiness_eur
+            {
+                best_fit_choice = stay_choice;
+            }
+        }
+
+        let (host_idx, score) = match best_fit_choice {
+            Some(choice) => choice,
+            None => {
+                // Overflow: nothing fits. Score every group once and
+                // keep the full scan's tiers — RAM-fitting hosts beat
+                // any RAM-overcommitted one.
+                overflow_count += 1;
+                let mut best_mem_ok: Option<(usize, PlacementScore)> = None;
+                let mut best_any: Option<(usize, PlacementScore)> = None;
+                let index = state.candidate_index().expect("index enabled");
+                for members in index.all_groups() {
+                    let Some(rep) = members.iter().copied().find(|&hi| Some(hi) != cur) else {
+                        continue;
+                    };
+                    let score = marginal_profit_hoisted(
+                        problem,
+                        oracle,
+                        &state,
+                        vm_idx,
+                        rep,
+                        score_demand,
+                        transport_to(rep),
+                    );
+                    scored_candidates += 1;
+                    if state.fits_memory(problem, rep, fit_demand) {
+                        take_better(&mut best_mem_ok, (rep, score));
+                    }
+                    take_better(&mut best_any, (rep, score));
+                }
+                if let Some(cur_hi) = cur {
+                    let score = marginal_profit_hoisted(
+                        problem,
+                        oracle,
+                        &state,
+                        vm_idx,
+                        cur_hi,
+                        score_demand,
+                        transport_to(cur_hi),
+                    );
+                    scored_candidates += 1;
+                    if state.fits_memory(problem, cur_hi, fit_demand) {
+                        take_better(&mut best_mem_ok, (cur_hi, score));
+                    }
+                    take_better(&mut best_any, (cur_hi, score));
+                }
+                best_mem_ok.or(best_any).expect("at least one host")
+            }
+        };
+        state.assign(problem, host_idx, demands[vm_idx]);
+        assignment[vm_idx] = problem.hosts[host_idx].id;
+        scores[vm_idx] = score;
+    }
+
+    let schedule = Schedule { assignment };
+    schedule.validate(problem);
+    BestFitResult {
+        schedule,
+        scores,
+        overflow_count,
+        scored_candidates,
     }
 }
 
@@ -271,5 +516,37 @@ mod tests {
         let a = best_fit(&p, &TrueOracle::new());
         let b = best_fit(&p, &TrueOracle::new());
         assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn large_fleets_dispatch_to_the_index_and_agree() {
+        // 80 hosts ≥ INDEX_MIN_HOSTS: best_fit takes the indexed path.
+        let p = problem(30, 80, 180.0);
+        let o = TrueOracle::new();
+        let demands: Vec<Resources> = p.vms.iter().map(|vm| o.demand(vm)).collect();
+        let dispatched = best_fit(&p, &o);
+        let indexed = best_fit_indexed(&p, &o, &demands);
+        let full = best_fit_full_scan(&p, &o, &demands);
+        assert_eq!(dispatched.schedule, indexed.schedule);
+        assert_eq!(indexed.schedule, full.schedule);
+        assert_eq!(indexed.scores, full.scores);
+        assert_eq!(indexed.overflow_count, full.overflow_count);
+        assert!(
+            indexed.scored_candidates < full.scored_candidates / 2,
+            "index must shrink the scored-candidate count: {} vs {}",
+            indexed.scored_candidates,
+            full.scored_candidates
+        );
+    }
+
+    #[test]
+    fn small_fleets_keep_the_full_scan() {
+        let p = problem(4, 8, 200.0);
+        let o = TrueOracle::new();
+        let demands: Vec<Resources> = p.vms.iter().map(|vm| o.demand(vm)).collect();
+        let dispatched = best_fit(&p, &o);
+        let full = best_fit_full_scan(&p, &o, &demands);
+        assert_eq!(dispatched.scored_candidates, full.scored_candidates);
+        assert_eq!(dispatched.schedule, full.schedule);
     }
 }

@@ -74,26 +74,15 @@ impl<'a> ScheduleEvaluator<'a> {
         let n_vms = problem.vms.len();
         let n_hosts = problem.hosts.len();
 
-        // Dense PmId -> host-index map (Problem::host_index is a linear
-        // scan; the evaluator must not pay it per VM).
-        let max_id = problem
-            .hosts
-            .iter()
-            .map(|h| h.id.index())
-            .max()
-            .unwrap_or(0);
-        let mut id_to_idx = vec![usize::MAX; max_id + 1];
-        for (hi, h) in problem.hosts.iter().enumerate() {
-            id_to_idx[h.id.index()] = hi;
-        }
-
         let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
         let mut host_of = Vec::with_capacity(n_vms);
         let mut vms_on: Vec<Vec<usize>> = vec![Vec::new(); n_hosts];
         let mut raw_demand: Vec<Resources> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
         let mut counts = vec![0usize; n_hosts];
+        // Problem::host_index is O(1) after its first call builds the
+        // dense id→index map, so paying it per VM is fine.
         for (vi, &pm) in schedule.assignment.iter().enumerate() {
-            let hi = id_to_idx[pm.index()];
+            let hi = problem.host_index(pm).expect("validated schedule");
             host_of.push(hi);
             vms_on[hi].push(vi);
             raw_demand[hi] += demands[vi];

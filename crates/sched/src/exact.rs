@@ -29,12 +29,62 @@ pub struct ExactResult {
     pub nodes_expanded: u64,
 }
 
+/// Outcome of a budgeted exact search.
+///
+/// The solver's cost is exponential in the VM count, so callers that run
+/// it on sized-up instances (the scaling experiment, ad-hoc
+/// benchmarking) must bound it. Exhausting the budget is reported
+/// loudly rather than silently returning the incumbent as "optimal".
+#[derive(Clone, Debug)]
+pub enum ExactOutcome {
+    /// The search ran to completion; the result is provably optimal.
+    Optimal(ExactResult),
+    /// The node budget ran out before the search space was exhausted.
+    BudgetExhausted {
+        /// Nodes expanded before giving up (≈ the budget).
+        nodes_expanded: u64,
+        /// Best complete schedule found so far, if any reached depth n.
+        /// It is a feasible answer but carries no optimality claim.
+        incumbent: Option<ExactResult>,
+    },
+}
+
+impl ExactOutcome {
+    /// The result, insisting the search completed.
+    ///
+    /// Panics on [`ExactOutcome::BudgetExhausted`] — use this only where
+    /// an exhausted budget means the experiment configuration is wrong.
+    pub fn expect_optimal(self) -> ExactResult {
+        match self {
+            ExactOutcome::Optimal(r) => r,
+            ExactOutcome::BudgetExhausted { nodes_expanded, .. } => panic!(
+                "exact search exhausted its node budget after {nodes_expanded} nodes; \
+                 raise the budget or shrink the instance"
+            ),
+        }
+    }
+}
+
 /// Exhaustive branch-and-bound over all `hosts^vms` assignments.
 ///
 /// Feasibility (believed demand within capacity) is enforced during the
 /// search; when the whole instance is infeasible the solver falls back to
 /// allowing overflow placements so constraint 1 still holds.
 pub fn branch_and_bound(problem: &Problem, oracle: &dyn QosOracle) -> ExactResult {
+    branch_and_bound_with_budget(problem, oracle, u64::MAX).expect_optimal()
+}
+
+/// [`branch_and_bound`] with a hard cap on expanded search nodes.
+///
+/// The budget spans the entire call, including the overflow re-run on
+/// infeasible instances. When it runs out the search stops immediately
+/// and the best complete schedule seen so far (if any) is returned as a
+/// non-optimal incumbent.
+pub fn branch_and_bound_with_budget(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    node_budget: u64,
+) -> ExactOutcome {
     assert!(!problem.hosts.is_empty(), "need at least one host");
     let n = problem.vms.len();
     let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
@@ -64,6 +114,8 @@ pub fn branch_and_bound(problem: &Problem, oracle: &dyn QosOracle) -> ExactResul
         best_profit: f64,
         best_assignment: Vec<usize>,
         nodes: u64,
+        node_budget: u64,
+        exhausted: bool,
         allow_overflow: bool,
     }
 
@@ -75,6 +127,13 @@ pub fn branch_and_bound(problem: &Problem, oracle: &dyn QosOracle) -> ExactResul
             current: &mut Vec<usize>,
             banked: f64,
         ) {
+            if self.exhausted {
+                return;
+            }
+            if self.nodes >= self.node_budget {
+                self.exhausted = true;
+                return;
+            }
             self.nodes += 1;
             if depth == self.order.len() {
                 // Score the complete assignment with the *final*
@@ -106,7 +165,7 @@ pub fn branch_and_bound(problem: &Problem, oracle: &dyn QosOracle) -> ExactResul
                 }
                 let score = marginal_profit(self.problem, self.oracle, state, vm_idx, host_idx);
                 let mut next = state.clone();
-                next.assign(host_idx, self.demands[vm_idx]);
+                next.assign(self.problem, host_idx, self.demands[vm_idx]);
                 current.push(host_idx);
                 self.dfs(depth + 1, &mut next, current, banked + score.profit());
                 current.pop();
@@ -123,19 +182,30 @@ pub fn branch_and_bound(problem: &Problem, oracle: &dyn QosOracle) -> ExactResul
         best_profit: f64::NEG_INFINITY,
         best_assignment: Vec::new(),
         nodes: 0,
+        node_budget,
+        exhausted: false,
         allow_overflow: false,
     };
     let mut state = PlacementState::new(problem);
     let mut current = Vec::with_capacity(n);
     search.dfs(0, &mut state, &mut current, 0.0);
 
-    if search.best_assignment.is_empty() && n > 0 {
-        // Infeasible under capacity: re-run allowing overflow.
+    if search.best_assignment.is_empty() && n > 0 && !search.exhausted {
+        // Infeasible under capacity: re-run allowing overflow. The node
+        // budget is shared across both passes.
         search.allow_overflow = true;
         search.best_profit = f64::NEG_INFINITY;
         let mut state = PlacementState::new(problem);
         let mut current = Vec::with_capacity(n);
         search.dfs(0, &mut state, &mut current, 0.0);
+    }
+
+    if search.best_assignment.is_empty() && n > 0 {
+        // Budget died before any complete schedule was reached.
+        return ExactOutcome::BudgetExhausted {
+            nodes_expanded: search.nodes,
+            incumbent: None,
+        };
     }
 
     // Translate the depth-ordered assignment back to problem-VM indexing.
@@ -146,10 +216,18 @@ pub fn branch_and_bound(problem: &Problem, oracle: &dyn QosOracle) -> ExactResul
     let schedule = Schedule { assignment };
     schedule.validate(problem);
     let eval = evaluate_schedule(problem, oracle, &schedule);
-    ExactResult {
+    let result = ExactResult {
         schedule,
         eval,
         nodes_expanded: search.nodes,
+    };
+    if search.exhausted {
+        ExactOutcome::BudgetExhausted {
+            nodes_expanded: search.nodes,
+            incumbent: Some(result),
+        }
+    } else {
+        ExactOutcome::Optimal(result)
     }
 }
 
@@ -201,6 +279,46 @@ mod tests {
         let o = TrueOracle::new();
         let exact = branch_and_bound(&p, &o);
         assert_eq!(exact.schedule.assignment.len(), 6);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_loud_and_carries_the_incumbent() {
+        let p = problem(6, 4, 150.0);
+        let o = TrueOracle::new();
+        let full = branch_and_bound(&p, &o);
+        assert!(full.nodes_expanded > 50, "want a non-trivial search");
+        // A budget far below the full search must report exhaustion.
+        match branch_and_bound_with_budget(&p, &o, full.nodes_expanded / 2) {
+            ExactOutcome::BudgetExhausted {
+                nodes_expanded,
+                incumbent,
+            } => {
+                assert!(nodes_expanded <= full.nodes_expanded / 2 + 1);
+                if let Some(inc) = incumbent {
+                    // Any incumbent is a valid (if sub-optimal) schedule.
+                    assert!(inc.eval.profit_eur <= full.eval.profit_eur + 1e-9);
+                }
+            }
+            ExactOutcome::Optimal(_) => panic!("half the nodes cannot prove optimality"),
+        }
+        // A generous budget reproduces the unbudgeted answer exactly.
+        match branch_and_bound_with_budget(&p, &o, full.nodes_expanded * 2) {
+            ExactOutcome::Optimal(r) => assert_eq!(r.schedule, full.schedule),
+            ExactOutcome::BudgetExhausted { .. } => panic!("budget was sufficient"),
+        }
+    }
+
+    #[test]
+    fn tiny_budget_on_infeasible_instance_reports_no_incumbent() {
+        // Infeasible instance + budget too small to even finish the
+        // feasibility pass: no incumbent exists, and that is reported
+        // rather than panicking or fabricating a schedule.
+        let p = problem(6, 1, 700.0);
+        let o = TrueOracle::new();
+        match branch_and_bound_with_budget(&p, &o, 3) {
+            ExactOutcome::BudgetExhausted { incumbent, .. } => assert!(incumbent.is_none()),
+            ExactOutcome::Optimal(_) => panic!("3 nodes cannot solve 6 VMs"),
+        }
     }
 
     #[test]

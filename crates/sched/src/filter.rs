@@ -214,6 +214,7 @@ pub fn reduced_problem_with_demands(
             billing: problem.billing.clone(),
             horizon: problem.horizon,
             stickiness_eur: problem.stickiness_eur,
+            host_index_cache: Default::default(),
         },
         vm_indices.to_vec(),
     )

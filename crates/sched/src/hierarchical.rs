@@ -19,6 +19,13 @@
 //! The global pass overrides the intra-DC choice only for the VMs it was
 //! given — everything else never leaves its DC, which is what keeps the
 //! round cheap ("this approach largely reduces solving cost").
+//!
+//! The intra-DC passes are independent by construction (each sees only
+//! its own DC's VMs and hosts), so step 1 fans the per-DC shards out
+//! through [`pamdc_simcore::par::parallel_map`]. Results are merged in
+//! DC order and each shard's Best-Fit is deterministic, so a round is
+//! bit-identical at any worker count — cross-DC delocation still happens
+//! only in the global pass over the shard summaries, exactly as before.
 
 use crate::bestfit::best_fit_with_demands;
 use crate::filter::{
@@ -66,6 +73,8 @@ pub struct RoundStats {
     pub offered_hosts: usize,
     /// Moves applied by the consolidation pass.
     pub consolidation_moves: usize,
+    /// Per-DC shards the intra-DC pass fanned out over.
+    pub shards: usize,
 }
 
 /// Runs one full hierarchical round.
@@ -93,16 +102,24 @@ pub fn hierarchical_round(
         }
     }
 
-    for (&dc, vm_indices) in &by_dc {
+    // Each DC's pass reads only shared immutable state, so the shards
+    // run in parallel; merging in input (= DC) order keeps the round
+    // bit-identical to the old sequential loop at any worker count.
+    let shards: Vec<(DcId, Vec<usize>)> = by_dc.into_iter().collect();
+    let shard_count = shards.len();
+    let shard_results = pamdc_simcore::par::parallel_map(shards, |(dc, vm_indices)| {
         let host_indices: Vec<usize> = (0..problem.hosts.len())
             .filter(|&hi| problem.hosts[hi].dc == dc)
             .collect();
         let (sub, mapping) =
-            reduced_problem_with_demands(problem, &demands, vm_indices, &host_indices);
+            reduced_problem_with_demands(problem, &demands, &vm_indices, &host_indices);
         let sub_demands: Vec<Resources> = mapping.iter().map(|&vi| demands[vi]).collect();
         let result = best_fit_with_demands(&sub, oracle, &sub_demands);
+        (mapping, result.schedule.assignment)
+    });
+    for (mapping, shard_assignment) in shard_results {
         for (sub_vi, &orig_vi) in mapping.iter().enumerate() {
-            assignment[orig_vi] = Some(result.schedule.assignment[sub_vi]);
+            assignment[orig_vi] = Some(shard_assignment[sub_vi]);
         }
     }
 
@@ -138,6 +155,7 @@ pub fn hierarchical_round(
         global_vms: candidates.len(),
         offered_hosts: offers.len(),
         consolidation_moves: 0,
+        shards: shard_count,
     };
 
     // ------------------------------------------------------------------
@@ -265,6 +283,21 @@ mod tests {
         let (schedule, stats) = hierarchical_round(&p, &TrueOracle::new(), &Default::default());
         assert_eq!(schedule.assignment.len(), 3);
         assert_eq!(stats.global_vms, 3);
+    }
+
+    #[test]
+    fn intra_pass_shards_per_dc_and_merges_deterministically() {
+        // Residents spread over all 8 hosts → all 4 DCs have a shard.
+        let mut p = problem(8, 8, 150.0);
+        for (i, vm) in p.vms.iter_mut().enumerate() {
+            vm.current_pm = Some(PmId(i as u32));
+            vm.current_location = Some(p.hosts[i].location);
+        }
+        let o = TrueOracle::new();
+        let (a, stats) = hierarchical_round(&p, &o, &Default::default());
+        assert_eq!(stats.shards, 4, "one shard per DC with residents");
+        let (b, _) = hierarchical_round(&p, &o, &Default::default());
+        assert_eq!(a, b, "parallel shard merge must stay deterministic");
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! solver reproducing the "MILP is too slow" observation ([`exact`]),
 //! the comparison baselines ([`baselines`]), the §IV-C candidate filters
 //! ([`filter`]), the incremental schedule evaluator that makes the
-//! consolidation pass cheap ([`evaluator`]) and the two-layer
+//! consolidation pass cheap ([`evaluator`]), the bucketed free-capacity
+//! candidate index that keeps Best-Fit sub-linear on planet-scale fleets
+//! ([`index`]) and the two-layer
 //! hierarchical multi-DC scheduler that is the paper's headline
 //! contribution ([`hierarchical`]).
 
@@ -17,6 +19,7 @@ pub mod evaluator;
 pub mod exact;
 pub mod filter;
 pub mod hierarchical;
+pub mod index;
 pub mod localsearch;
 pub mod oracle;
 pub mod problem;
@@ -27,20 +30,26 @@ pub mod prelude {
     pub use crate::baselines::{
         cheapest_energy, first_fit, follow_the_load, round_robin, static_schedule,
     };
-    pub use crate::bestfit::{best_fit, best_fit_with_demands, BestFitResult};
+    pub use crate::bestfit::{
+        best_fit, best_fit_full_scan, best_fit_indexed, best_fit_with_demands, BestFitResult,
+        INDEX_MIN_HOSTS,
+    };
     pub use crate::evaluator::ScheduleEvaluator;
-    pub use crate::exact::{branch_and_bound, ExactResult};
+    pub use crate::exact::{
+        branch_and_bound, branch_and_bound_with_budget, ExactOutcome, ExactResult,
+    };
     pub use crate::filter::{
         hosts_worth_offering, hosts_worth_offering_with, reduced_problem,
         reduced_problem_with_demands, vms_needing_attention, vms_needing_attention_with,
         FilterConfig,
     };
     pub use crate::hierarchical::{hierarchical_round, HierarchicalConfig, RoundStats};
+    pub use crate::index::CandidateIndex;
     pub use crate::localsearch::{improve_schedule, LocalSearchConfig};
     pub use crate::oracle::{MlOracle, MonitorOracle, QosOracle, TrueOracle};
     pub use crate::problem::{HostInfo, Problem, Schedule, VmInfo};
     pub use crate::profit::{
-        evaluate_schedule, marginal_profit, BelievedTotals, PlacementScore, PlacementState,
-        ScheduleEval,
+        evaluate_schedule, marginal_profit, marginal_profit_hoisted, BelievedTotals,
+        PlacementScore, PlacementState, ScheduleEval,
     };
 }

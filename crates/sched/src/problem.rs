@@ -16,7 +16,7 @@ use pamdc_infra::resources::Resources;
 use pamdc_perf::demand::{OfferedLoad, VmPerfProfile};
 use pamdc_perf::sla::SlaFunction;
 use pamdc_simcore::time::SimDuration;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One VM in the round.
 #[derive(Clone, Debug)]
@@ -85,6 +85,27 @@ impl HostInfo {
     }
 }
 
+/// Lazily built dense `PmId → hosts-index` map. Every consumer of
+/// [`Problem::host_index`] (schedule validation, per-VM current-host
+/// resolution in Best-Fit, believed-totals construction) used to pay a
+/// linear scan per lookup; the cache makes the first lookup O(hosts)
+/// and every later one O(1).
+///
+/// Host ids are dense cluster indices, so a flat vector indexed by
+/// `PmId::index()` suffices (`usize::MAX` marks ids absent from the
+/// round). Cloning a [`Problem`] resets the cache — the clone may be
+/// edited (the hierarchical round rewrites `current_pm`s, tests rewire
+/// hosts) before its first lookup, so inheriting a built map would risk
+/// staleness for no measurable win.
+#[derive(Debug, Default)]
+pub struct HostIndexCache(OnceLock<Vec<usize>>);
+
+impl Clone for HostIndexCache {
+    fn clone(&self) -> Self {
+        HostIndexCache(OnceLock::new())
+    }
+}
+
 /// One scheduling round's full input.
 #[derive(Clone, Debug)]
 pub struct Problem {
@@ -105,12 +126,30 @@ pub struct Problem {
     /// by at least this much (€) before a migration is worth the churn.
     /// Zero disables stickiness.
     pub stickiness_eur: f64,
+    /// Lazily built id→index map backing [`Problem::host_index`].
+    /// Constructed with `Default::default()`; do not reorder or re-id
+    /// `hosts` after the first `host_index` call on a given instance.
+    pub host_index_cache: HostIndexCache,
 }
 
 impl Problem {
-    /// Index of a host by id.
+    /// Index of a host by id — O(1) after the first call builds the
+    /// dense map (see [`HostIndexCache`]).
     pub fn host_index(&self, pm: PmId) -> Option<usize> {
-        self.hosts.iter().position(|h| h.id == pm)
+        let map = self.host_index_cache.0.get_or_init(|| {
+            let len = self
+                .hosts
+                .iter()
+                .map(|h| h.id.index() + 1)
+                .max()
+                .unwrap_or(0);
+            let mut map = vec![usize::MAX; len];
+            for (hi, h) in self.hosts.iter().enumerate() {
+                map[h.id.index()] = hi;
+            }
+            map
+        });
+        map.get(pm.index()).copied().filter(|&hi| hi != usize::MAX)
     }
 
     /// Index of a VM by id.
@@ -244,6 +283,7 @@ pub mod synthetic {
             billing: Arc::new(BillingPolicy::default()),
             horizon: SimDuration::from_mins(10),
             stickiness_eur: 0.0,
+            host_index_cache: Default::default(),
         }
     }
 }
@@ -259,6 +299,37 @@ mod tests {
         assert_eq!(p.host_index(PmId(2)), Some(2));
         assert_eq!(p.host_index(PmId(99)), None);
         assert_eq!(p.vm_index(VmId(1)), Some(1));
+    }
+
+    #[test]
+    fn host_index_handles_sparse_and_reversed_ids() {
+        // Reduced sub-problems keep original (non-contiguous) PmIds in
+        // arbitrary positions; the dense map must not assume id == index.
+        let mut p = problem(1, 3, 50.0);
+        p.hosts[0].id = PmId(7);
+        p.hosts[1].id = PmId(2);
+        p.hosts[2].id = PmId(0);
+        assert_eq!(p.host_index(PmId(7)), Some(0));
+        assert_eq!(p.host_index(PmId(2)), Some(1));
+        assert_eq!(p.host_index(PmId(0)), Some(2));
+        for absent in [1u32, 3, 4, 5, 6, 8, 1000] {
+            assert_eq!(p.host_index(PmId(absent)), None);
+        }
+    }
+
+    #[test]
+    fn host_index_cache_resets_on_clone() {
+        let mut p = problem(1, 2, 50.0);
+        assert_eq!(p.host_index(PmId(1)), Some(1)); // builds the cache
+        let mut q = p.clone();
+        q.hosts.swap(0, 1); // edit the clone before its first lookup
+        assert_eq!(q.host_index(PmId(1)), Some(0));
+        assert_eq!(q.host_index(PmId(0)), Some(1));
+        // The original's cache is untouched.
+        assert_eq!(p.host_index(PmId(1)), Some(1));
+        // Mutating host *fields* (not ids/order) keeps the cache valid.
+        p.hosts[0].energy_eur_kwh *= 2.0;
+        assert_eq!(p.host_index(PmId(0)), Some(0));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! of Algorithm 1), and [`evaluate_schedule`] scores a complete
 //! assignment (used by the exact solver's objective and by tests).
 
+use crate::index::CandidateIndex;
 use crate::oracle::QosOracle;
 use crate::problem::{Problem, Schedule, VmInfo};
 use pamdc_infra::gateway::weighted_transport_secs;
@@ -55,8 +56,13 @@ pub fn image_transfer_eur(
 /// Mutable accumulation of a partial assignment during a round.
 #[derive(Clone, Debug)]
 pub struct PlacementState {
-    demand: Vec<Resources>,
-    vm_counts: Vec<usize>,
+    pub(crate) demand: Vec<Resources>,
+    pub(crate) vm_counts: Vec<usize>,
+    /// Free-capacity candidate index, maintained incrementally by
+    /// [`PlacementState::assign`] when enabled (the indexed Best-Fit
+    /// path on large fleets). `None` keeps `assign` O(1) for consumers
+    /// that scan hosts anyway (exact search, schedule evaluation).
+    index: Option<Box<CandidateIndex>>,
 }
 
 impl PlacementState {
@@ -65,7 +71,26 @@ impl PlacementState {
         PlacementState {
             demand: problem.hosts.iter().map(|h| h.fixed_demand).collect(),
             vm_counts: vec![0; problem.hosts.len()],
+            index: None,
         }
+    }
+
+    /// Fresh state with the bucketed free-capacity [`CandidateIndex`]
+    /// enabled: host equivalence groups are rebuilt incrementally on
+    /// every [`PlacementState::assign`].
+    pub fn with_candidate_index(problem: &Problem) -> Self {
+        let mut state = Self::new(problem);
+        state.index = Some(Box::new(CandidateIndex::new(
+            problem,
+            &state.demand,
+            &state.vm_counts,
+        )));
+        state
+    }
+
+    /// The candidate index, when enabled.
+    pub fn candidate_index(&self) -> Option<&CandidateIndex> {
+        self.index.as_deref()
     }
 
     /// Total believed demand on a host (fixed + assigned + hypervisor
@@ -87,10 +112,19 @@ impl PlacementState {
         problem.hosts[host_idx].fixed_vm_count > 0 || self.vm_counts[host_idx] > 0
     }
 
-    /// Commits a VM (with believed demand `demand`) onto a host.
-    pub fn assign(&mut self, host_idx: usize, demand: Resources) {
+    /// Commits a VM (with believed demand `demand`) onto a host,
+    /// keeping the candidate index (when enabled) in sync.
+    pub fn assign(&mut self, problem: &Problem, host_idx: usize, demand: Resources) {
         self.demand[host_idx] += demand;
         self.vm_counts[host_idx] += 1;
+        if let Some(index) = &mut self.index {
+            index.update_host(
+                problem,
+                host_idx,
+                self.demand[host_idx],
+                self.vm_counts[host_idx],
+            );
+        }
     }
 
     /// Does `demand` fit into the host's remaining believed capacity?
@@ -204,6 +238,28 @@ pub fn marginal_profit(
     let vm = &problem.vms[vm_idx];
     let host = &problem.hosts[host_idx];
     let demand = oracle.demand(vm);
+    let transport = weighted_transport_secs(&vm.flows, host.location, &problem.net);
+    marginal_profit_hoisted(problem, oracle, state, vm_idx, host_idx, demand, transport)
+}
+
+/// [`marginal_profit`] with the per-pair invariants precomputed: the
+/// VM's oracle demand (identical for every host) and the transport
+/// latency (identical for every host at the same location). The indexed
+/// Best-Fit path hoists both out of its candidate loop; `marginal_profit`
+/// delegates here, so both paths share one code path and one float
+/// evaluation order — the bit-identity guarantee the shortlist
+/// equivalence proptests rely on.
+pub fn marginal_profit_hoisted(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    state: &PlacementState,
+    vm_idx: usize,
+    host_idx: usize,
+    demand: Resources,
+    transport: f64,
+) -> PlacementScore {
+    let vm = &problem.vms[vm_idx];
+    let host = &problem.hosts[host_idx];
 
     // Tentative totals on the host.
     let mut total = state.host_demand(problem, host_idx);
@@ -214,7 +270,6 @@ pub fn marginal_profit(
     // horizon: a booting host serves nothing until it is up, and a
     // crashed host serves nothing until repaired — whether the VM is
     // staying or arriving.
-    let transport = weighted_transport_secs(&vm.flows, host.location, &problem.net);
     let sla = oracle.sla(vm, host, &total, transport);
     let available = problem.horizon - host.boot_penalty.min(problem.horizon);
     let revenue_eur = problem.billing.revenue(sla, available);
@@ -322,7 +377,7 @@ pub fn evaluate_schedule(
         .map(|&pm| problem.host_index(pm).expect("validated"))
         .collect();
     for (vm_idx, &hi) in host_of.iter().enumerate() {
-        state.assign(hi, oracle.demand(&problem.vms[vm_idx]));
+        state.assign(problem, hi, oracle.demand(&problem.vms[vm_idx]));
     }
 
     let mut revenue = 0.0;
@@ -569,7 +624,7 @@ mod tests {
         let mut state = PlacementState::new(&p);
         let big = Resources::new(390.0, 1024.0, 10.0, 10.0);
         assert!(state.fits(&p, 0, &big));
-        state.assign(0, big);
+        state.assign(&p, 0, big);
         assert!(!state.fits(&p, 0, &big), "second giant VM cannot fit");
         assert_eq!(state.assigned_count(0), 1);
     }

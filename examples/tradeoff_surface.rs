@@ -58,7 +58,7 @@ fn main() {
         solver_scaling::ScalingConfig {
             sizes: vec![(2, 4), (4, 8), (6, 12)],
             exact_vm_cap: 6,
-            rps: 250.0,
+            ..solver_scaling::ScalingConfig::default()
         }
     };
     println!("\nSolver scaling study (the paper's 'MILP needs minutes' observation)...");

@@ -128,7 +128,12 @@ fn solver_scaling_shape() {
         sizes: vec![(2, 4), (4, 8), (6, 8)],
         exact_vm_cap: 6,
         rps: 250.0,
+        exact_node_budget: u64::MAX,
     });
+    assert!(
+        points.iter().all(|p| !p.exact_budget_exhausted),
+        "unbounded budget must never exhaust"
+    );
     let nodes: Vec<u64> = points.iter().filter_map(|p| p.exact_nodes).collect();
     assert!(
         nodes.windows(2).all(|w| w[1] >= w[0]),
