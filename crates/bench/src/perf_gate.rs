@@ -56,7 +56,10 @@ impl GateReport {
             .collect()
     }
 
-    /// Renders the comparison table plus verdict lines.
+    /// Renders the comparison table plus verdict lines. Every row shows
+    /// its margin to the threshold — on success too, so a bench drifting
+    /// toward the limit is visible in green CI logs, not only after it
+    /// finally trips the gate.
     pub fn render(&self, tolerance: f64) -> String {
         let mut out = String::new();
         let width = self
@@ -67,21 +70,22 @@ impl GateReport {
             .unwrap_or(2)
             .max("id".len());
         out.push_str(&format!(
-            "{:width$}  {:>12}  {:>12}  {:>7}\n",
-            "id", "baseline", "current", "ratio"
+            "{:width$}  {:>12}  {:>12}  {:>7}  {:>7}  {:>9}\n",
+            "id", "baseline", "current", "ratio", "limit", "headroom"
         ));
         for c in &self.compared {
-            let flag = if c.ratio() > tolerance {
-                "  << FAIL"
+            let ratio = c.ratio();
+            // How much slower this bench may still get before failing:
+            // limit/ratio, as a multiplier (1.00x = at the limit).
+            let headroom = if ratio > 0.0 {
+                format!("{:>8.2}x", tolerance / ratio)
             } else {
-                ""
+                format!("{:>9}", "inf")
             };
+            let flag = if ratio > tolerance { "  << FAIL" } else { "" };
             out.push_str(&format!(
-                "{:width$}  {:>10.1}ns  {:>10.1}ns  {:>6.2}x{flag}\n",
-                c.id,
-                c.baseline_ns,
-                c.current_ns,
-                c.ratio()
+                "{:width$}  {:>10.1}ns  {:>10.1}ns  {:>6.2}x  {:>6.2}x  {headroom}{flag}\n",
+                c.id, c.baseline_ns, c.current_ns, ratio, tolerance,
             ));
         }
         for id in &self.missing_current {
@@ -288,12 +292,20 @@ mod tests {
             vec!["local_search/incremental/6x12"]
         );
         assert!(report.regressions(2.0).is_empty(), "1.00x is fine");
+        // Success rows still show the margin to the threshold.
+        let ok = report.render(2.0);
+        assert!(ok.contains("limit") && ok.contains("headroom"), "{ok}");
+        assert!(ok.contains("2.00x"), "limit column rendered: {ok}");
+        assert!(!ok.contains("FAIL"), "{ok}");
         // A 3x regression trips the default gate.
         let slow = vec![("solver/bestfit/2x4".to_string(), 3600.0)];
         let report = compare(&slow, &baseline);
         assert_eq!(report.regressions(2.0).len(), 1);
         assert!((report.compared[0].ratio() - 3.0043).abs() < 1e-3);
-        assert!(report.render(2.0).contains("FAILED"));
+        let failed = report.render(2.0);
+        assert!(failed.contains("FAILED"));
+        // headroom < 1x on the failing row: 2.0 / 3.0043 = 0.67.
+        assert!(failed.contains("0.67x"), "{failed}");
         // ...but a loosened tolerance lets it pass.
         assert!(report.regressions(4.0).is_empty());
         assert!(report.render(4.0).contains("perf gate OK"));

@@ -13,6 +13,7 @@
 //! pamdc import <dataset.csv> --format azure|alibaba --out trace.csv
 //!              [--tick-secs N] [--regions N] [--rate-scale K] [--stretch F]
 //!              [--remap 3,2,1,0] [--max-services N] [--max-ticks N]
+//! pamdc trace summarize <trace.jsonl>
 //! ```
 //!
 //! Specs resolve as a file path first, then as a built-in registry name.
@@ -52,6 +53,9 @@ USAGE:
                                      normalize a public dataset (Azure VM
                                      trace / Alibaba cluster trace) into a
                                      replayable pamdc trace (docs/TRACES.md)
+  pamdc trace summarize <trace.jsonl>
+                                     per-phase wall-clock breakdown of a
+                                     JSONL run trace (docs/OBSERVABILITY.md)
 
 OPTIONS:
   --quick          use each experiment's quick preset (CI smoke)
@@ -63,6 +67,10 @@ OPTIONS:
                    budget
   --out <path>     output path (record, import)
   --names          machine-readable listing: names only (list)
+  --trace-out <p>  stream a JSONL trace of the run (run, replay)
+  --progress       heartbeat to stderr every simulated hour
+  --quiet          only warnings and errors on stderr (PAMDC_LOG also
+                   sets the level: error|warn|info|debug)
 ";
 
 /// A parsed invocation.
@@ -114,6 +122,9 @@ enum Cmd {
         max_services: Option<usize>,
         max_ticks: Option<usize>,
     },
+    TraceSummarize {
+        file: PathBuf,
+    },
 }
 
 /// Options shared by run/sweep/replay.
@@ -126,6 +137,12 @@ struct Opts {
     /// Parallel budget for sweep/campaign fan-outs (`None` = one
     /// worker per hardware thread).
     jobs: Option<usize>,
+    /// JSONL trace destination (run, replay).
+    trace_out: Option<PathBuf>,
+    /// Hourly stderr heartbeat.
+    progress: bool,
+    /// Lower the stderr level to warnings and errors.
+    quiet: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Cmd, String> {
@@ -180,6 +197,9 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
                 opts.jobs = Some(jobs);
             }
             "--names" => names_only = true,
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--progress" => opts.progress = true,
+            "--quiet" => opts.quiet = true,
             "--out" => out = Some(PathBuf::from(value("--out")?)),
             "--spec" => spec_flag = Some(value("--spec")?),
             "--rate-scale" => {
@@ -252,6 +272,9 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
             opts,
         }),
         "sweep" => {
+            if opts.trace_out.is_some() {
+                return Err("--trace-out only applies to single runs (run, replay)".into());
+            }
             let spec = one_positional("spec path or built-in name")?;
             if params.is_empty() {
                 return Err("sweep needs --param key=v1,v2,... (repeatable)".into());
@@ -281,10 +304,15 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
                 opts,
             })
         }
-        "campaign" => Ok(Cmd::Campaign {
-            file: PathBuf::from(one_positional("campaign file")?),
-            opts,
-        }),
+        "campaign" => {
+            if opts.trace_out.is_some() {
+                return Err("--trace-out only applies to single runs (run, replay)".into());
+            }
+            Ok(Cmd::Campaign {
+                file: PathBuf::from(one_positional("campaign file")?),
+                opts,
+            })
+        }
         "record" => Ok(Cmd::Record {
             spec: one_positional("spec path or built-in name")?,
             out: out.ok_or("record needs --out <trace.csv>")?,
@@ -310,6 +338,12 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
             max_services,
             max_ticks,
         }),
+        "trace" => match positional.as_slice() {
+            [sub, file] if sub == "summarize" => Ok(Cmd::TraceSummarize {
+                file: PathBuf::from(file),
+            }),
+            _ => Err("trace usage: pamdc trace summarize <trace.jsonl>".into()),
+        },
         "help" | "--help" | "-h" => Err(String::new()),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -345,13 +379,40 @@ fn write_outputs(reports: &[SpecReport], opts: &Opts) -> Result<(), String> {
     if let Some(path) = &opts.csv {
         std::fs::write(path, reports_csv(reports))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-        eprintln!("wrote {}", path.display());
+        pamdc_obs::info!("wrote {}", path.display());
     }
     if let Some(path) = &opts.json {
         std::fs::write(path, reports_json(reports))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-        eprintln!("wrote {}", path.display());
+        pamdc_obs::info!("wrote {}", path.display());
     }
+    Ok(())
+}
+
+/// The trace destination a run resolves to: the `--trace-out` flag wins,
+/// then the spec's `[profile] trace_out` (relative to the invoking cwd).
+fn resolve_trace_out(opts: &Opts, spec: &ScenarioSpec) -> Option<PathBuf> {
+    opts.trace_out
+        .clone()
+        .or_else(|| spec.profile.trace_out.as_ref().map(PathBuf::from))
+}
+
+/// Installs the JSONL file sink when a destination is set. The returned
+/// flag tells the caller to [`pamdc_obs::trace::finish`] afterwards.
+fn install_trace(path: Option<&PathBuf>) -> Result<bool, String> {
+    match path {
+        None => Ok(false),
+        Some(path) => {
+            pamdc_obs::trace::install_file(path)
+                .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+            Ok(true)
+        }
+    }
+}
+
+fn finish_trace(path: &Path) -> Result<(), String> {
+    pamdc_obs::trace::finish().map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    pamdc_obs::info!("wrote trace {}", path.display());
     Ok(())
 }
 
@@ -379,8 +440,16 @@ fn cmd_run(spec_arg: &str, opts: &Opts) -> Result<(), String> {
     if let Some(hours) = opts.hours {
         spec.run.hours = hours;
     }
+    if opts.progress {
+        spec.profile.progress = true;
+    }
+    let trace_out = resolve_trace_out(opts, &spec);
+    let tracing = install_trace(trace_out.as_ref())?;
     let report = run_spec(&spec, &base, opts.quick).map_err(|e| e.to_string())?;
     println!("{}", report.text);
+    if tracing {
+        finish_trace(trace_out.as_ref().expect("tracing implies a path"))?;
+    }
     write_outputs(std::slice::from_ref(&report), opts)
 }
 
@@ -425,12 +494,15 @@ fn cmd_sweep(spec_arg: &str, params: &[(String, Vec<String>)], opts: &Opts) -> R
     let mut variants = cartesian(&base_spec, params)?;
     for (suffix, spec) in &mut variants {
         spec.name = format!("{}[{suffix}]", base_spec.name);
+        if opts.progress {
+            spec.profile.progress = true;
+        }
     }
     let axes: Vec<String> = params
         .iter()
         .map(|(k, vs)| format!("{k} ({} values)", vs.len()))
         .collect();
-    eprintln!(
+    pamdc_obs::info!(
         "sweeping {} -> {} variants...",
         axes.join(" x "),
         variants.len()
@@ -466,15 +538,18 @@ fn cmd_campaign(file: &Path, opts: &Opts) -> Result<(), String> {
         if let Some(hours) = opts.hours {
             spec.run.hours = hours;
         }
+        if opts.progress {
+            spec.profile.progress = true;
+        }
         jobs.push((spec, base_dir));
     }
     match opts.jobs {
-        Some(budget) => eprintln!(
+        Some(budget) => pamdc_obs::info!(
             "campaign '{}': {} runs, at most {budget} in parallel...",
             campaign.name,
             jobs.len()
         ),
-        None => eprintln!(
+        None => pamdc_obs::info!(
             "campaign '{}': {} runs, in parallel...",
             campaign.name,
             jobs.len()
@@ -506,7 +581,7 @@ fn cmd_record(spec_arg: &str, out: &Path, hours: Option<u64>) -> Result<(), Stri
     let trace = DemandTrace::record(&scenario.workload, horizon, tick);
     std::fs::write(out, trace.to_csv())
         .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
-    println!(
+    pamdc_obs::info!(
         "recorded {} ticks x {} services ({} regions) -> {}",
         trace.tick_count(),
         trace.service_count(),
@@ -580,13 +655,25 @@ fn cmd_replay(
         None
     };
     let policy = pamdc_scenario::build::build_policy(&spec, suite).map_err(|e| e.to_string())?;
-    let (outcome, _) = pamdc_core::simulation::SimulationRunner::new(scenario, policy)
-        .config(pamdc_scenario::build::run_config(&spec))
+    let trace_out = resolve_trace_out(opts, &spec);
+    let tracing = install_trace(trace_out.as_ref())?;
+    let mut cfg = pamdc_scenario::build::run_config(&spec);
+    cfg.trace = tracing;
+    cfg.progress = cfg.progress || opts.progress;
+    let (mut outcome, _) = pamdc_core::simulation::SimulationRunner::new(scenario, policy)
+        .config(cfg)
         .run(SimDuration::from_hours(if opts.quick {
             spec.run.hours.min(3)
         } else {
             spec.run.hours
         }));
+    if tracing {
+        // This path drives the runner directly (no experiment pipeline),
+        // so it flushes the run's buffered lines itself.
+        pamdc_obs::trace::write_lines(&outcome.trace_lines);
+        outcome.trace_lines.clear();
+        finish_trace(trace_out.as_ref().expect("tracing implies a path"))?;
+    }
     let report = SpecReport {
         name: format!("replay[{}]", trace_path.display()),
         text: pamdc_scenario::runner::render_outcome(&outcome),
@@ -627,7 +714,7 @@ fn cmd_import(
         .map_err(|e| format!("{}: {e}", file.display()))?;
     std::fs::write(out, trace.to_csv())
         .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
-    println!(
+    pamdc_obs::info!(
         "imported {} ({}): {} ticks x {} services ({} regions, tick {}s) -> {}",
         file.display(),
         format.name(),
@@ -637,6 +724,51 @@ fn cmd_import(
         trace.tick.as_millis() / 1000,
         out.display()
     );
+    Ok(())
+}
+
+/// `pamdc trace summarize <trace.jsonl>` — the per-phase wall-clock
+/// breakdown of a recorded trace, plus final counters.
+fn cmd_trace_summarize(file: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    let summary = pamdc_obs::trace::summarize(text.lines())
+        .map_err(|e| format!("{}: {e}", file.display()))?;
+    let root_ns = summary.root_ns();
+    let mut spans = pamdc_core::report::TextTable::new(&["span", "count", "total_ms", "share"]);
+    for row in &summary.spans {
+        let share = if root_ns > 0 {
+            format!("{:.1}%", 100.0 * row.total_ns as f64 / root_ns as f64)
+        } else {
+            "-".to_string()
+        };
+        spans.row(vec![
+            row.path.clone(),
+            row.count.to_string(),
+            format!("{:.3}", row.total_ns as f64 / 1e6),
+            share,
+        ]);
+    }
+    println!(
+        "{}: {} run(s), {} tick(s)\n\n{}",
+        file.display(),
+        summary.runs,
+        summary.ticks,
+        spans.render()
+    );
+    if let Some(coverage) = summary.coverage() {
+        println!(
+            "phase coverage: {:.1}% of root span wall-clock is under named phases",
+            100.0 * coverage
+        );
+    }
+    if !summary.counters.is_empty() {
+        let mut counters = pamdc_core::report::TextTable::new(&["counter", "final value"]);
+        for (name, value) in &summary.counters {
+            counters.row(vec![name.clone(), value.to_string()]);
+        }
+        println!("\n{}", counters.render());
+    }
     Ok(())
 }
 
@@ -659,6 +791,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Cmd::Run { opts, .. }
+    | Cmd::Sweep { opts, .. }
+    | Cmd::Campaign { opts, .. }
+    | Cmd::Replay { opts, .. } = &cmd
+    {
+        if opts.quiet {
+            pamdc_obs::log::set_level(pamdc_obs::log::Level::Warn);
+        }
+    }
     let result = match &cmd {
         Cmd::List { names_only } => {
             cmd_list(*names_only);
@@ -700,11 +841,12 @@ fn main() -> ExitCode {
             *max_services,
             *max_ticks,
         ),
+        Cmd::TraceSummarize { file } => cmd_trace_summarize(file),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("error: {msg}");
+            pamdc_obs::error!("{msg}");
             ExitCode::FAILURE
         }
     }
@@ -921,6 +1063,53 @@ mod tests {
         assert!(parse(&["frobnicate"]).is_err());
         assert!(parse(&["run", "fig4", "--frob"]).is_err());
         assert!(parse(&["record", "fig4"]).is_err(), "record requires --out");
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cmd = parse(&[
+            "run",
+            "fig4",
+            "--trace-out",
+            "t.jsonl",
+            "--progress",
+            "--quiet",
+        ])
+        .unwrap();
+        match cmd {
+            Cmd::Run { opts, .. } => {
+                assert_eq!(opts.trace_out, Some(PathBuf::from("t.jsonl")));
+                assert!(opts.progress);
+                assert!(opts.quiet);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Parallel fan-outs would interleave arms in one file.
+        let err = parse(&[
+            "sweep",
+            "fig6",
+            "--param",
+            "seed=1,2",
+            "--trace-out",
+            "t.jsonl",
+        ])
+        .unwrap_err();
+        assert!(err.contains("single runs"), "{err}");
+        let err = parse(&["campaign", "c.toml", "--trace-out", "t.jsonl"]).unwrap_err();
+        assert!(err.contains("single runs"), "{err}");
+    }
+
+    #[test]
+    fn parses_trace_summarize() {
+        let cmd = parse(&["trace", "summarize", "out.jsonl"]).unwrap();
+        assert_eq!(
+            cmd,
+            Cmd::TraceSummarize {
+                file: PathBuf::from("out.jsonl")
+            }
+        );
+        assert!(parse(&["trace"]).is_err());
+        assert!(parse(&["trace", "frobnicate", "x"]).is_err());
     }
 
     #[test]

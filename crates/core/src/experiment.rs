@@ -147,14 +147,28 @@ pub trait Experiment: Send {
 
 /// Stage 3: runs every arm through [`SimulationRunner`] in parallel,
 /// returning `(label, outcome)` pairs in input order.
+///
+/// When a trace sink is installed (`--trace-out`), each arm buffers its
+/// JSONL events inside its own run and this stage flushes them to the
+/// sink *in arm order* after the fan-out completes — parallel arms never
+/// interleave lines in the trace file.
 pub fn execute(arms: Vec<Arm>) -> Vec<(String, RunOutcome)> {
-    pamdc_simcore::par::parallel_map(arms, |arm| {
+    let trace = pamdc_obs::trace::enabled();
+    let mut outcomes = pamdc_simcore::par::parallel_map(arms, |mut arm| {
+        arm.config.trace = trace;
         let outcome = SimulationRunner::new(arm.scenario, arm.policy)
             .config(arm.config)
             .run(SimDuration::from_hours(arm.hours))
             .0;
         (arm.label, outcome)
-    })
+    });
+    if trace {
+        for (_, outcome) in &mut outcomes {
+            pamdc_obs::trace::write_lines(&outcome.trace_lines);
+            outcome.trace_lines.clear();
+        }
+    }
+    outcomes
 }
 
 /// Runs an experiment through all four stages.
@@ -175,7 +189,7 @@ pub fn outcome_metrics(prefix: &str, o: &RunOutcome) -> Vec<(String, f64)> {
             format!("{prefix}_{k}")
         }
     };
-    vec![
+    let mut metrics = vec![
         (key("mean_sla"), o.mean_sla),
         (key("avg_watts"), o.avg_watts),
         (key("total_wh"), o.total_wh),
@@ -189,7 +203,16 @@ pub fn outcome_metrics(prefix: &str, o: &RunOutcome) -> Vec<(String, f64)> {
         (key("eur_per_hour"), o.eur_per_hour()),
         (key("green_wh"), o.energy.green_wh),
         (key("co2_g_per_kwh"), o.energy.intensity_g_per_kwh()),
-    ]
+    ];
+    // Deterministic observability counters ride along under `obs.` —
+    // the fixed schema ([`pamdc_obs::metrics::RUN_METRIC_COUNT`] keys,
+    // zeros included) keeps CSV columns stable across arms.
+    metrics.extend(
+        o.obs_metrics
+            .iter()
+            .map(|(k, v)| (key(&format!("obs.{k}")), *v)),
+    );
+    metrics
 }
 
 /// Renders a generic run's summary table.
@@ -249,7 +272,15 @@ mod tests {
             .iter()
             .position(|(k, _)| k == "b_mean_sla")
             .expect("second arm's metrics follow the first's");
-        assert_eq!(b_at, 13);
+        // 13 domain metrics + the fixed observability schema per arm.
+        assert_eq!(b_at, 13 + pamdc_obs::metrics::RUN_METRIC_COUNT);
+        // The obs block is present, prefixed, and sorted by key.
+        let obs_keys: Vec<&str> = report.metrics[..b_at]
+            .iter()
+            .filter_map(|(k, _)| k.strip_prefix("a_0__obs."))
+            .collect();
+        assert_eq!(obs_keys.len(), pamdc_obs::metrics::RUN_METRIC_COUNT);
+        assert!(obs_keys.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -61,8 +61,19 @@ impl TextTable {
         }
     }
 
-    /// Appends a row (padded/truncated to the header width).
+    /// Appends a row, padding short rows to the header width.
+    ///
+    /// A row *wider* than the header is a caller bug — dropping the
+    /// extra cells would silently hide data from the rendered report —
+    /// so it trips a debug assertion. Release builds still truncate
+    /// rather than panic mid-report.
     pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert!(
+            cells.len() <= self.header.len(),
+            "TextTable row has {} cells but header has {} columns: {cells:?}",
+            cells.len(),
+            self.header.len(),
+        );
         let mut cells = cells;
         cells.resize(self.header.len(), String::new());
         self.rows.push(cells);
@@ -183,6 +194,16 @@ mod tests {
         let mut t = TextTable::new(&["a", "b", "c"]);
         t.row(vec!["1".into()]);
         assert_eq!(t.rows[0].len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "TextTable row has 3 cells but header has 2 columns")]
+    #[cfg(debug_assertions)]
+    fn wide_rows_are_a_caller_bug() {
+        // Regression: `row` used to silently truncate rows wider than
+        // the header, hiding the extra cells from the rendered report.
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into(), "lost".into()]);
     }
 
     #[test]

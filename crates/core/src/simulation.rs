@@ -48,6 +48,13 @@ pub struct RunConfig {
     /// because a ~10-second migration blackout buys *hours* of cheaper
     /// energy, not ten minutes.
     pub plan_horizon_ticks: Option<u64>,
+    /// Buffer a JSONL event trace for this run (span timings + counter
+    /// deltas, drained into [`RunOutcome::trace_lines`]). Off by
+    /// default; tracing never influences decisions — wall-clock stays
+    /// out of every report (see `docs/OBSERVABILITY.md`).
+    pub trace: bool,
+    /// Emit a stderr heartbeat every simulated hour.
+    pub progress: bool,
 }
 
 impl Default for RunConfig {
@@ -59,6 +66,8 @@ impl Default for RunConfig {
             keep_series: true,
             migration_cooldown_ticks: 10,
             plan_horizon_ticks: None,
+            trace: false,
+            progress: false,
         }
     }
 }
@@ -93,6 +102,13 @@ pub struct RunOutcome {
     pub avg_active_pms: f64,
     /// Green/brown energy split and emissions over the run.
     pub energy: EnergyBreakdown,
+    /// The obs registry flush: every counter, gauge and histogram
+    /// bucket of the run's collector, sorted by name (fixed schema;
+    /// deterministic at any `--jobs` budget — wall-clock never enters).
+    pub obs_metrics: Vec<(String, f64)>,
+    /// Buffered JSONL trace (empty unless [`RunConfig::trace`]); the
+    /// experiment runner flushes it to the ambient sink in arm order.
+    pub trace_lines: Vec<String>,
 }
 
 impl RunOutcome {
@@ -163,6 +179,22 @@ impl SimulationRunner {
         let cfg = &self.config;
         let n_vms = scenario.cluster.vm_count();
         let tick_secs = cfg.tick.as_secs_f64();
+        let policy_name = self.policy.name();
+
+        // Fresh per-run collector, installed thread-locally for the
+        // whole run (and inherited by `simcore::par` workers). Nested
+        // runs — a training simulation inside an arm — stack their own
+        // collectors, so counters never cross runs. Timing (and hence
+        // any wall-clock read) only exists when tracing.
+        let obs = Arc::new(pamdc_obs::Collector::new(cfg.trace));
+        let _obs_guard = pamdc_obs::CollectorGuard::install(obs.clone());
+        if cfg.trace {
+            obs.push_event(pamdc_obs::trace::run_start_line(
+                &scenario.name,
+                &policy_name,
+            ));
+        }
+        let mut counter_snapshot = obs.counter_snapshot();
 
         let root = RngStream::root(scenario.seed);
         let mut monitor_rng = root.derive("monitor");
@@ -212,9 +244,17 @@ impl SimulationRunner {
         let mut next_fault = 0usize;
         let mut next_profile_change = 0usize;
         for tick_idx in 0..ticks {
+            // The `tick` span tiles into the MAPE phases below (world /
+            // monitor / analyze / plan / execute) — `pamdc trace
+            // summarize` measures its coverage against their sum. The
+            // guard closes before the trace flush so the tick's own
+            // stats drain with the tick's events.
+            let tick_span = pamdc_obs::span!("tick");
+            obs.add(pamdc_obs::Counter::SimTicks, 1);
             let now = SimTime::ZERO + cfg.tick * tick_idx;
             let tick_end = now + cfg.tick;
 
+            let world_span = pamdc_obs::span!("world");
             // ---------------- Failure injection ----------------
             while next_fault < scenario.faults.len() && scenario.faults[next_fault].at <= now {
                 let f = scenario.faults[next_fault];
@@ -232,7 +272,9 @@ impl SimulationRunner {
             }
 
             scenario.cluster.tick(now);
+            drop(world_span);
 
+            let monitor_span = pamdc_obs::span!("monitor");
             // ---------------- Load sampling ----------------
             let mut rps_total = 0.0;
             for vm in 0..n_vms {
@@ -292,7 +334,9 @@ impl SimulationRunner {
                 }
             }
             ledger.book_network(client_transfer_eur);
+            drop(monitor_span);
 
+            let analyze_span = pamdc_obs::span!("analyze");
             // ---------------- Per-host contention + perf ----------------
             let mut tick_sla_sum = 0.0;
             let mut tick_sla_n = 0usize;
@@ -393,6 +437,12 @@ impl SimulationRunner {
                     tick_sla_sum += sla;
                     tick_sla_n += 1;
                     sla_stats.push(sla);
+                    // TLS free fns here: `obs` is shadowed by the
+                    // monitoring sample above.
+                    pamdc_obs::metrics::observe(pamdc_obs::Hist::SimVmSla, sla);
+                    if sla < 1.0 - 1e-9 {
+                        pamdc_obs::metrics::add(pamdc_obs::Counter::SimSlaViolations, 1);
+                    }
 
                     // Training capture.
                     if let Some(col) = self.collector.as_mut() {
@@ -429,6 +479,8 @@ impl SimulationRunner {
                     ledger.book_revenue(&scenario.billing, 0.0, cfg.tick);
                     tick_sla_n += 1;
                     sla_stats.push(0.0);
+                    obs.observe(pamdc_obs::Hist::SimVmSla, 0.0);
+                    obs.add(pamdc_obs::Counter::SimSlaViolations, 1);
                 }
 
                 // Power + energy (cost booked per-DC after the host loop,
@@ -487,11 +539,14 @@ impl SimulationRunner {
                     }
                 }
             }
+            drop(analyze_span);
 
             // ---------------- Plan + Execute ----------------
             if cfg.round_every_ticks > 0
                 && tick_idx % cfg.round_every_ticks == cfg.round_every_ticks - 1
             {
+                obs.add(pamdc_obs::Counter::SimRounds, 1);
+                let plan_span = pamdc_obs::span!("plan");
                 let problem = build_problem(
                     scenario,
                     tick_end,
@@ -506,6 +561,8 @@ impl SimulationRunner {
                 );
                 let schedule = self.policy.decide(&problem);
                 schedule.validate(&problem);
+                drop(plan_span);
+                let execute_span = pamdc_obs::span!("execute");
                 for (vi, &target) in schedule.assignment.iter().enumerate() {
                     let vm_id = problem.vms[vi].id;
                     if scenario.cluster.vm(vm_id).is_migrating() {
@@ -522,6 +579,7 @@ impl SimulationRunner {
                         && scenario.cluster.migrate(vm_id, target, tick_end).is_some()
                     {
                         migrations += 1;
+                        obs.add(pamdc_obs::Counter::SimMigrations, 1);
                         last_migration_tick[vm_id.index()] = Some(tick_idx);
                         ledger.book_migration(&scenario.billing);
                         // Image shipment pays transit on a priced network.
@@ -539,12 +597,60 @@ impl SimulationRunner {
                     scenario.cluster.check_invariants();
                     true
                 });
+                drop(execute_span);
+            }
+
+            // ---------------- Trace flush + heartbeat ----------------
+            drop(tick_span);
+            if cfg.trace {
+                for (path, stat) in obs.take_spans() {
+                    obs.push_event(pamdc_obs::trace::span_line(
+                        tick_idx,
+                        &path,
+                        stat.count,
+                        stat.total_ns,
+                    ));
+                }
+                let snap = obs.counter_snapshot();
+                for (i, c) in pamdc_obs::Counter::ALL.iter().enumerate() {
+                    if snap[i] != counter_snapshot[i] {
+                        obs.push_event(pamdc_obs::trace::counter_line(tick_idx, c.name(), snap[i]));
+                    }
+                }
+                counter_snapshot = snap;
+            }
+            if cfg.progress && (tick_idx + 1) % 60 == 0 {
+                pamdc_obs::log::progress(format_args!(
+                    "[{}] tick {}/{} migrations={} active_pms={}",
+                    scenario.name,
+                    tick_idx + 1,
+                    ticks,
+                    migrations,
+                    scenario.cluster.powered_pm_count(),
+                ));
             }
         }
 
         let dropped: f64 = (0..n_vms)
             .map(|vm| gateway.dropped_total(VmId::from_index(vm)))
             .sum();
+        obs.gauge_set(
+            pamdc_obs::Gauge::SimActivePms,
+            scenario.cluster.powered_pm_count() as f64,
+        );
+        let pending_vms = (0..n_vms)
+            .filter(|&vm| gateway.backlog(VmId::from_index(vm)) > 0.0)
+            .count();
+        obs.gauge_set(pamdc_obs::Gauge::SimPendingVms, pending_vms as f64);
+        if cfg.trace {
+            obs.push_event(pamdc_obs::trace::run_end_line(ticks));
+        }
+        let obs_metrics = obs.run_metrics();
+        let trace_lines = if cfg.trace {
+            obs.take_events()
+        } else {
+            Vec::new()
+        };
         let outcome = RunOutcome {
             policy_name: self.policy.name(),
             scenario_name: scenario.name.clone(),
@@ -559,6 +665,8 @@ impl SimulationRunner {
             served_requests: served_total,
             avg_active_pms: active_stats.mean(),
             energy: energy_breakdown,
+            obs_metrics,
+            trace_lines,
         };
         (outcome, self.collector)
     }

@@ -1,0 +1,115 @@
+//! The one leveled diagnostic sink.
+//!
+//! Everything human-facing goes to **stderr** through here; stdout is
+//! reserved for machine-readable output (CSV, JSON, rendered reports).
+//! The level comes from `PAMDC_LOG` (`error`|`warn`|`info`|`debug`,
+//! default `info`) and the CLI's `--quiet` lowers it to `warn`.
+//! Use via the crate-root macros: `pamdc_obs::info!("wrote {path}")`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn from_env(value: &str) -> Option<Level> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn prefix(self) -> &'static str {
+        match self {
+            Level::Error => "error: ",
+            Level::Warn => "warn: ",
+            Level::Info => "",
+            Level::Debug => "debug: ",
+        }
+    }
+}
+
+// usize::MAX = "not explicitly set, consult PAMDC_LOG".
+static MAX_LEVEL: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+fn env_level() -> Level {
+    static ENV: OnceLock<Level> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PAMDC_LOG")
+            .ok()
+            .and_then(|v| Level::from_env(&v))
+            .unwrap_or(Level::Info)
+    })
+}
+
+/// Overrides the level (the CLI's `--quiet` → [`Level::Warn`]). Takes
+/// precedence over `PAMDC_LOG`.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as usize, Ordering::Relaxed);
+}
+
+/// The effective maximum level.
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => env_level(),
+    }
+}
+
+/// Whether a message at `level` would print.
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Prints `args` to stderr when `level` clears the threshold. Prefer
+/// the `error!`/`warn!`/`info!`/`debug!` macros.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("{}{args}", level.prefix());
+    }
+}
+
+/// A heartbeat line that bypasses the level filter: `--progress` is an
+/// explicit request, so it prints even under `--quiet`.
+pub fn progress(args: std::fmt::Arguments<'_>) {
+    eprintln!("{args}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert_eq!(Level::from_env("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::from_env(" warn "), Some(Level::Warn));
+        assert_eq!(Level::from_env("warning"), Some(Level::Warn));
+        assert_eq!(Level::from_env("verbose"), None);
+        assert!(Level::Error < Level::Warn && Level::Warn < Level::Info);
+    }
+
+    #[test]
+    fn set_level_filters() {
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        // Restore the default for other tests in this binary.
+        MAX_LEVEL.store(usize::MAX, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,362 @@
+//! The JSONL run-trace sink, schema and summarizer.
+//!
+//! A trace is a stream of flat, single-line JSON objects (hand-rolled
+//! emission, like every other JSON writer in the workspace). Schema v1:
+//!
+//! ```text
+//! {"event":"run_start","schema":1,"scenario":"fig4","policy":"BF-ML"}
+//! {"event":"span","tick":12,"path":"tick/plan","count":1,"wall_ns":48211}
+//! {"event":"counter","tick":12,"name":"sim.migrations","value":3}
+//! {"event":"run_end","ticks":180}
+//! ```
+//!
+//! * `tick` is the **monotonic tick clock** — the deterministic
+//!   timestamp, stable across record/replay.
+//! * `wall_ns` (span duration) is the **only nondeterministic field**:
+//!   strip it and two runs of the same scenario compare byte-identical.
+//! * `counter` lines carry cumulative values and appear only on ticks
+//!   where the value changed.
+//!
+//! Runs buffer their lines in their collector; the experiment runner
+//! flushes buffers to the ambient sink in arm order, so a multi-arm
+//! trace is deterministic even when arms execute in parallel.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Trace schema version, bumped on breaking field changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+enum Sink {
+    File(std::io::BufWriter<std::fs::File>),
+    Memory(Vec<String>),
+}
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Whether a trace sink is installed (i.e. this process is tracing).
+pub fn enabled() -> bool {
+    SINK.lock().expect("trace sink poisoned").is_some()
+}
+
+/// Installs a file sink; subsequent [`write_lines`] calls stream to it.
+pub fn install_file(path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    *SINK.lock().expect("trace sink poisoned") = Some(Sink::File(std::io::BufWriter::new(file)));
+    Ok(())
+}
+
+/// Installs an in-memory sink (tests).
+pub fn install_memory() {
+    *SINK.lock().expect("trace sink poisoned") = Some(Sink::Memory(Vec::new()));
+}
+
+/// Appends pre-formatted JSONL lines to the sink; no-op when none is
+/// installed.
+pub fn write_lines<'a>(lines: impl IntoIterator<Item = &'a String>) {
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    match sink.as_mut() {
+        None => {}
+        Some(Sink::File(w)) => {
+            for line in lines {
+                // Sink errors must not alter a run's outcome; drop the
+                // sink on first failure and warn once.
+                if writeln!(w, "{line}").is_err() {
+                    crate::warn!("trace sink write failed; tracing disabled");
+                    *sink = None;
+                    return;
+                }
+            }
+        }
+        Some(Sink::Memory(buf)) => buf.extend(lines.into_iter().cloned()),
+    }
+}
+
+/// Removes the sink, flushing files; returns buffered lines for memory
+/// sinks.
+pub fn finish() -> std::io::Result<Option<Vec<String>>> {
+    match SINK.lock().expect("trace sink poisoned").take() {
+        None => Ok(None),
+        Some(Sink::File(mut w)) => {
+            w.flush()?;
+            Ok(None)
+        }
+        Some(Sink::Memory(buf)) => Ok(Some(buf)),
+    }
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------- Line builders (the full schema) ----------------
+
+pub fn run_start_line(scenario: &str, policy: &str) -> String {
+    format!(
+        "{{\"event\":\"run_start\",\"schema\":{SCHEMA_VERSION},\"scenario\":\"{}\",\"policy\":\"{}\"}}",
+        escape_json(scenario),
+        escape_json(policy)
+    )
+}
+
+pub fn span_line(tick: u64, path: &str, count: u64, wall_ns: u64) -> String {
+    format!(
+        "{{\"event\":\"span\",\"tick\":{tick},\"path\":\"{}\",\"count\":{count},\"wall_ns\":{wall_ns}}}",
+        escape_json(path)
+    )
+}
+
+pub fn counter_line(tick: u64, name: &str, value: u64) -> String {
+    format!(
+        "{{\"event\":\"counter\",\"tick\":{tick},\"name\":\"{}\",\"value\":{value}}}",
+        escape_json(name)
+    )
+}
+
+pub fn run_end_line(ticks: u64) -> String {
+    format!("{{\"event\":\"run_end\",\"ticks\":{ticks}}}")
+}
+
+// ---------------- Flat-JSON line scanning ----------------
+
+/// Extracts string field `key` from a flat JSON line (our own emission:
+/// no nested objects, keys unique per line).
+pub fn field_str(line: &str, key: &str) -> Option<String> {
+    let raw = raw_value(line, key)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            Some(c) => out.push(c),
+            None => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Extracts numeric field `key` from a flat JSON line.
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    raw_value(line, key)?.parse().ok()
+}
+
+fn raw_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    if let Some(inner) = rest.strip_prefix('"') {
+        // Scan to the closing unescaped quote.
+        let mut escaped = false;
+        for (i, c) in inner.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                return Some(&rest[..i + 2]);
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+// ---------------- Summarize ----------------
+
+/// Aggregated stats for one span path across a whole trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SummaryRow {
+    pub path: String,
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+/// What `pamdc trace summarize` renders.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// `run_start` events seen (arms in a multi-arm trace).
+    pub runs: usize,
+    /// Ticks summed over `run_end` events.
+    pub ticks: u64,
+    /// Per-path aggregates, sorted by path.
+    pub spans: Vec<SummaryRow>,
+    /// Final cumulative counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TraceSummary {
+    fn total(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        self.spans
+            .iter()
+            .filter(|r| pred(&r.path))
+            .map(|r| r.total_ns)
+            .sum()
+    }
+
+    /// Wall-clock under root spans (paths without `/`) — the run's
+    /// accounted total.
+    pub fn root_ns(&self) -> u64 {
+        self.total(|p| !p.contains('/'))
+    }
+
+    /// Wall-clock under depth-1 spans — the named phases tiling the
+    /// roots.
+    pub fn phase_ns(&self) -> u64 {
+        self.total(|p| p.matches('/').count() == 1)
+    }
+
+    /// Fraction of root wall-clock the named phases account for —
+    /// the ≥95% acceptance bar. `None` when the trace has no roots.
+    pub fn coverage(&self) -> Option<f64> {
+        let root = self.root_ns();
+        (root > 0).then(|| self.phase_ns() as f64 / root as f64)
+    }
+}
+
+/// Aggregates a trace. Unknown events are skipped (forward
+/// compatibility); a stream with no recognizable events is an error.
+pub fn summarize<I, S>(lines: I) -> Result<TraceSummary, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut summary = TraceSummary::default();
+    let mut spans: BTreeMap<String, SummaryRow> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut events = 0usize;
+    for (lineno, line) in lines.into_iter().enumerate() {
+        let line = line.as_ref().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(event) = field_str(line, "event") else {
+            return Err(format!("line {}: no \"event\" field", lineno + 1));
+        };
+        events += 1;
+        match event.as_str() {
+            "run_start" => summary.runs += 1,
+            "run_end" => summary.ticks += field_u64(line, "ticks").unwrap_or(0),
+            "span" => {
+                let path = field_str(line, "path")
+                    .ok_or_else(|| format!("line {}: span without path", lineno + 1))?;
+                let row = spans.entry(path.clone()).or_insert(SummaryRow {
+                    path,
+                    count: 0,
+                    total_ns: 0,
+                });
+                row.count += field_u64(line, "count").unwrap_or(0);
+                row.total_ns += field_u64(line, "wall_ns").unwrap_or(0);
+            }
+            "counter" => {
+                let name = field_str(line, "name")
+                    .ok_or_else(|| format!("line {}: counter without name", lineno + 1))?;
+                counters.insert(name, field_u64(line, "value").unwrap_or(0));
+            }
+            _ => {}
+        }
+    }
+    if events == 0 {
+        return Err("empty trace (no events)".into());
+    }
+    summary.spans = spans.into_values().collect();
+    summary.counters = counters.into_iter().collect();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_round_trip_through_the_scanner() {
+        let line = run_start_line("fig\"4\\x", "BF-ML");
+        assert_eq!(field_str(&line, "scenario").as_deref(), Some("fig\"4\\x"));
+        assert_eq!(field_str(&line, "policy").as_deref(), Some("BF-ML"));
+        assert_eq!(field_u64(&line, "schema"), Some(SCHEMA_VERSION as u64));
+
+        let line = span_line(42, "tick/plan", 3, 987654321);
+        assert_eq!(field_u64(&line, "tick"), Some(42));
+        assert_eq!(field_str(&line, "path").as_deref(), Some("tick/plan"));
+        assert_eq!(field_u64(&line, "count"), Some(3));
+        assert_eq!(field_u64(&line, "wall_ns"), Some(987654321));
+    }
+
+    #[test]
+    fn summarize_aggregates_and_measures_coverage() {
+        let lines = vec![
+            run_start_line("s", "p"),
+            span_line(0, "tick", 1, 100),
+            span_line(0, "tick/plan", 1, 60),
+            span_line(0, "tick/execute", 1, 38),
+            span_line(0, "tick/plan/bestfit", 1, 50),
+            span_line(1, "tick", 1, 100),
+            span_line(1, "tick/plan", 1, 97),
+            counter_line(0, "sim.migrations", 2),
+            counter_line(1, "sim.migrations", 5),
+            run_end_line(2),
+        ];
+        let s = summarize(&lines).expect("valid trace");
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.ticks, 2);
+        let tick = s.spans.iter().find(|r| r.path == "tick").unwrap();
+        assert_eq!((tick.count, tick.total_ns), (2, 200));
+        assert_eq!(s.root_ns(), 200);
+        assert_eq!(s.phase_ns(), 60 + 38 + 97);
+        assert!((s.coverage().unwrap() - 0.975).abs() < 1e-12);
+        assert_eq!(s.counters, vec![("sim.migrations".to_string(), 5)]);
+    }
+
+    #[test]
+    fn summarize_rejects_garbage_and_empty() {
+        assert!(summarize(["not json at all"]).is_err());
+        assert!(summarize(Vec::<String>::new()).is_err());
+        // Unknown events are tolerated once any recognizable stream exists.
+        let ok = summarize([
+            run_start_line("s", "p"),
+            "{\"event\":\"future_thing\",\"x\":1}".to_string(),
+        ]);
+        assert_eq!(ok.expect("forward compatible").runs, 1);
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        install_memory();
+        assert!(enabled());
+        let a = vec![span_line(0, "a", 1, 1)];
+        let b = vec![span_line(1, "b", 1, 1)];
+        write_lines(&a);
+        write_lines(&b);
+        let lines = finish().expect("finish").expect("memory lines");
+        assert!(!enabled());
+        assert_eq!(lines, vec![a[0].clone(), b[0].clone()]);
+    }
+}

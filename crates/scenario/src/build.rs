@@ -295,7 +295,10 @@ pub fn build_policy(
     Ok(policy)
 }
 
-/// The [`RunConfig`] a spec's `[run]`/`[policy]` sections describe.
+/// The [`RunConfig`] a spec's `[run]`/`[policy]`/`[profile]` sections
+/// describe. (`trace` stays false here: [`pamdc_core::experiment::execute`]
+/// flips it per arm from the installed sink, so specs and CLI flags
+/// converge on one switch.)
 pub fn run_config(spec: &ScenarioSpec) -> RunConfig {
     RunConfig {
         tick: SimDuration::from_secs(spec.run.tick_secs),
@@ -303,6 +306,7 @@ pub fn run_config(spec: &ScenarioSpec) -> RunConfig {
         keep_series: spec.run.keep_series,
         migration_cooldown_ticks: spec.run.migration_cooldown_ticks,
         plan_horizon_ticks: spec.policy.plan_horizon_ticks,
+        progress: spec.profile.progress,
         ..RunConfig::default()
     }
 }

@@ -485,6 +485,19 @@ impl Default for RunSpec {
     }
 }
 
+/// `[profile]` — observability: stream a JSONL trace of the run and/or
+/// heartbeat progress to stderr. Off by default; tracing never changes
+/// decisions (reports stay bit-identical with it on or off).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileSpec {
+    /// JSONL trace destination (equivalent to `pamdc run --trace-out`).
+    /// Relative paths resolve against the invoking working directory.
+    pub trace_out: Option<String>,
+    /// Print a progress heartbeat to stderr every simulated hour
+    /// (equivalent to `--progress`).
+    pub progress: bool,
+}
+
 /// `[[faults]]` — one scheduled host crash.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultSpec {
@@ -596,6 +609,8 @@ pub struct ScenarioSpec {
     pub policy: PolicySpec,
     /// Horizon and cadences.
     pub run: RunSpec,
+    /// Observability (tracing + progress heartbeat).
+    pub profile: ProfileSpec,
     /// Scheduled host crashes.
     pub faults: Vec<FaultSpec>,
     /// Scheduled performance changes.
@@ -637,6 +652,7 @@ impl Default for ScenarioSpec {
                 plan_horizon_ticks: None,
             },
             run: RunSpec::default(),
+            profile: ProfileSpec::default(),
             faults: Vec::new(),
             profile_changes: Vec::new(),
             training: TrainingSpec::default(),
@@ -1060,6 +1076,14 @@ impl ScenarioSpec {
             t.finish()?;
         }
 
+        if let Some(mut t) = root.take_table("profile", "profile")? {
+            spec.profile.trace_out = t.take_str("trace_out")?;
+            if let Some(v) = t.take_bool("progress")? {
+                spec.profile.progress = v;
+            }
+            t.finish()?;
+        }
+
         for mut t in root.take_table_array("faults", "faults")? {
             let pm = t
                 .take_usize("pm")?
@@ -1199,6 +1223,9 @@ impl ScenarioSpec {
                     return Err(bad("topology.classes idle_watts cannot exceed peak_watts"));
                 }
             }
+        }
+        if self.profile.trace_out.as_deref() == Some("") {
+            return Err(bad("profile.trace_out must be a non-empty path"));
         }
         let pms = dcs * self.topology.hosts_per_dc();
         for f in &self.faults {
@@ -1569,6 +1596,17 @@ impl ScenarioSpec {
         run.insert("keep_series".into(), Value::Bool(self.run.keep_series));
         root.insert("run".into(), Value::Table(run));
 
+        if self.profile != ProfileSpec::default() {
+            let mut profile = Table::new();
+            if let Some(path) = &self.profile.trace_out {
+                profile.insert("trace_out".into(), Value::Str(path.clone()));
+            }
+            if self.profile.progress {
+                profile.insert("progress".into(), Value::Bool(true));
+            }
+            root.insert("profile".into(), Value::Table(profile));
+        }
+
         if !self.faults.is_empty() {
             let faults = self
                 .faults
@@ -1763,6 +1801,10 @@ mod tests {
         spec.policy.oracle = OracleKind::Ml;
         spec.policy.plan_horizon_ticks = Some(60);
         spec.run.hours = 6;
+        spec.profile = ProfileSpec {
+            trace_out: Some("out/trace.jsonl".into()),
+            progress: true,
+        };
         spec.faults = vec![FaultSpec {
             pm: 1,
             at_min: 30,
@@ -1796,6 +1838,15 @@ mod tests {
         });
         let parsed = ScenarioSpec::parse(&traced.emit()).expect("parse");
         assert_eq!(traced, parsed);
+
+        // An empty trace path is a config mistake, not "no trace".
+        let mut bad_profile = ScenarioSpec::default();
+        bad_profile.profile.trace_out = Some(String::new());
+        assert!(bad_profile
+            .validate()
+            .unwrap_err()
+            .0
+            .contains("profile.trace_out"));
     }
 
     #[test]

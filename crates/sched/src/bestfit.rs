@@ -71,9 +71,12 @@ pub fn best_fit_with_demands(
     oracle: &dyn QosOracle,
     demands: &[Resources],
 ) -> BestFitResult {
+    pamdc_obs::metrics::add(pamdc_obs::Counter::BestfitCalls, 1);
     if problem.hosts.len() >= INDEX_MIN_HOSTS {
+        pamdc_obs::metrics::add(pamdc_obs::Counter::BestfitDispatchIndex, 1);
         best_fit_indexed(problem, oracle, demands)
     } else {
+        pamdc_obs::metrics::add(pamdc_obs::Counter::BestfitDispatchScan, 1);
         best_fit_full_scan(problem, oracle, demands)
     }
 }
@@ -128,12 +131,14 @@ pub fn best_fit_full_scan(
     oracle: &dyn QosOracle,
     demands: &[Resources],
 ) -> BestFitResult {
+    let _span = pamdc_obs::span!("bestfit_scan");
     let order = descending_order(problem, demands);
 
     let mut state = PlacementState::new(problem);
     let mut assignment = vec![problem.hosts[0].id; problem.vms.len()];
     let mut scores = zero_scores(problem.vms.len());
     let mut overflow_count = 0;
+    let mut mem_tier_hits: u64 = 0;
     let mut scored_candidates = 0;
 
     let current_host_idx: Vec<Option<usize>> = problem
@@ -197,6 +202,9 @@ pub fn best_fit_full_scan(
             Some(choice) => choice,
             None => {
                 overflow_count += 1;
+                if best_mem_ok.is_some() {
+                    mem_tier_hits += 1;
+                }
                 best_mem_ok.or(best_any).expect("at least one host")
             }
         };
@@ -205,6 +213,7 @@ pub fn best_fit_full_scan(
         scores[vm_idx] = score;
     }
 
+    flush_overflow_counters(overflow_count, mem_tier_hits);
     let schedule = Schedule { assignment };
     schedule.validate(problem);
     BestFitResult {
@@ -212,6 +221,15 @@ pub fn best_fit_full_scan(
         scores,
         overflow_count,
         scored_candidates,
+    }
+}
+
+/// Tallied per call, flushed once — overflow is rare, but the counters
+/// stay off the placement hot path entirely.
+fn flush_overflow_counters(overflow_count: usize, mem_tier_hits: u64) {
+    if overflow_count > 0 {
+        pamdc_obs::metrics::add(pamdc_obs::Counter::BestfitOverflow, overflow_count as u64);
+        pamdc_obs::metrics::add(pamdc_obs::Counter::BestfitMemTierFallback, mem_tier_hits);
     }
 }
 
@@ -242,12 +260,14 @@ pub fn best_fit_indexed(
     oracle: &dyn QosOracle,
     demands: &[Resources],
 ) -> BestFitResult {
+    let _span = pamdc_obs::span!("bestfit_index");
     let order = descending_order(problem, demands);
 
     let mut state = PlacementState::with_candidate_index(problem);
     let mut assignment = vec![problem.hosts[0].id; problem.vms.len()];
     let mut scores = zero_scores(problem.vms.len());
     let mut overflow_count = 0;
+    let mut mem_tier_hits: u64 = 0;
     let mut scored_candidates = 0;
 
     // Hot per-VM placement state, hoisted as struct-of-arrays: the full
@@ -391,6 +411,9 @@ pub fn best_fit_indexed(
                     }
                     take_better(&mut best_any, (cur_hi, score));
                 }
+                if best_mem_ok.is_some() {
+                    mem_tier_hits += 1;
+                }
                 best_mem_ok.or(best_any).expect("at least one host")
             }
         };
@@ -399,6 +422,7 @@ pub fn best_fit_indexed(
         scores[vm_idx] = score;
     }
 
+    flush_overflow_counters(overflow_count, mem_tier_hits);
     let schedule = Schedule { assignment };
     schedule.validate(problem);
     BestFitResult {

@@ -85,6 +85,7 @@ pub fn branch_and_bound_with_budget(
     oracle: &dyn QosOracle,
     node_budget: u64,
 ) -> ExactOutcome {
+    let _span = pamdc_obs::span!("bnb");
     assert!(!problem.hosts.is_empty(), "need at least one host");
     let n = problem.vms.len();
     let demands: Vec<Resources> = problem.vms.iter().map(|vm| oracle.demand(vm)).collect();
@@ -202,6 +203,7 @@ pub fn branch_and_bound_with_budget(
 
     if search.best_assignment.is_empty() && n > 0 {
         // Budget died before any complete schedule was reached.
+        pamdc_obs::metrics::add(pamdc_obs::Counter::ExactBudgetExhausted, 1);
         return ExactOutcome::BudgetExhausted {
             nodes_expanded: search.nodes,
             incumbent: None,
@@ -222,6 +224,7 @@ pub fn branch_and_bound_with_budget(
         nodes_expanded: search.nodes,
     };
     if search.exhausted {
+        pamdc_obs::metrics::add(pamdc_obs::Counter::ExactBudgetExhausted, 1);
         ExactOutcome::BudgetExhausted {
             nodes_expanded: search.nodes,
             incumbent: Some(result),

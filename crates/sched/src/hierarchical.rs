@@ -83,6 +83,7 @@ pub fn hierarchical_round(
     oracle: &dyn QosOracle,
     cfg: &HierarchicalConfig,
 ) -> (Schedule, RoundStats) {
+    let _span = pamdc_obs::span!("hier");
     // Believed demand per VM: queried once here, shared by the intra-DC
     // passes, both filters, the global pass and the fallback. (A VM's
     // believed demand does not depend on its placement, so the vector
@@ -107,16 +108,22 @@ pub fn hierarchical_round(
     // bit-identical to the old sequential loop at any worker count.
     let shards: Vec<(DcId, Vec<usize>)> = by_dc.into_iter().collect();
     let shard_count = shards.len();
-    let shard_results = pamdc_simcore::par::parallel_map(shards, |(dc, vm_indices)| {
-        let host_indices: Vec<usize> = (0..problem.hosts.len())
-            .filter(|&hi| problem.hosts[hi].dc == dc)
-            .collect();
-        let (sub, mapping) =
-            reduced_problem_with_demands(problem, &demands, &vm_indices, &host_indices);
-        let sub_demands: Vec<Resources> = mapping.iter().map(|&vi| demands[vi]).collect();
-        let result = best_fit_with_demands(&sub, oracle, &sub_demands);
-        (mapping, result.schedule.assignment)
-    });
+    let shard_results = {
+        let _intra = pamdc_obs::span!("intra");
+        pamdc_simcore::par::parallel_map(shards, |(dc, vm_indices)| {
+            // Worker threads inherit the round's span path, so this
+            // nests as `.../hier/intra/dc<N>` in a traced run.
+            let _shard = pamdc_obs::span::enter_dyn(|| format!("dc{}", dc.0));
+            let host_indices: Vec<usize> = (0..problem.hosts.len())
+                .filter(|&hi| problem.hosts[hi].dc == dc)
+                .collect();
+            let (sub, mapping) =
+                reduced_problem_with_demands(problem, &demands, &vm_indices, &host_indices);
+            let sub_demands: Vec<Resources> = mapping.iter().map(|&vi| demands[vi]).collect();
+            let result = best_fit_with_demands(&sub, oracle, &sub_demands);
+            (mapping, result.schedule.assignment)
+        })
+    };
     for (mapping, shard_assignment) in shard_results {
         for (sub_vi, &orig_vi) in mapping.iter().enumerate() {
             assignment[orig_vi] = Some(shard_assignment[sub_vi]);
@@ -140,6 +147,7 @@ pub fn hierarchical_round(
     // 2. Narrow interface: candidates + offers. Both filters judge the
     //    post-local placement over one shared believed-totals snapshot.
     // ------------------------------------------------------------------
+    let interface_span = pamdc_obs::span!("interface");
     let believed = BelievedTotals::from_current_placement_with(&post_local, demands.clone());
     let mut candidates = vms_needing_attention_with(&post_local, oracle, &cfg.filter, &believed);
     for vi in homeless {
@@ -149,6 +157,7 @@ pub fn hierarchical_round(
     }
     candidates.sort_unstable();
     let offers = hosts_worth_offering_with(&post_local, &cfg.filter, &believed);
+    drop(interface_span);
 
     let stats = RoundStats {
         intra_vms: problem.vms.len() - candidates.len(),
@@ -162,6 +171,7 @@ pub fn hierarchical_round(
     // 3. Global pass (skipped when nobody needs it).
     // ------------------------------------------------------------------
     if !candidates.is_empty() && !offers.is_empty() {
+        let _global = pamdc_obs::span!("global");
         let (sub, mapping) =
             reduced_problem_with_demands(&post_local, &demands, &candidates, &offers);
         let sub_demands: Vec<Resources> = mapping.iter().map(|&vi| demands[vi]).collect();
@@ -174,6 +184,7 @@ pub fn hierarchical_round(
     // Any VM still unassigned (e.g. homeless with no offers) falls back
     // to a plain global Best-Fit over everything.
     if assignment.iter().any(Option::is_none) {
+        let _fallback = pamdc_obs::span!("fallback");
         let fallback = best_fit_with_demands(problem, oracle, &demands);
         for (vi, slot) in assignment.iter_mut().enumerate() {
             if slot.is_none() {
@@ -195,10 +206,23 @@ pub fn hierarchical_round(
     // ------------------------------------------------------------------
     let mut stats = stats;
     if let Some(ls) = &cfg.local_search {
+        let _consolidate = pamdc_obs::span!("consolidate");
         let (improved, moves) = improve_schedule(problem, oracle, schedule, ls);
         schedule = improved;
         stats.consolidation_moves = moves;
     }
+
+    // Round-boundary counter flush: one add per field, mirroring
+    // `RoundStats` into the metrics registry.
+    use pamdc_obs::{metrics, Counter};
+    metrics::add(Counter::HierRounds, 1);
+    metrics::add(Counter::HierShards, stats.shards as u64);
+    metrics::add(Counter::HierOfferedHosts, stats.offered_hosts as u64);
+    metrics::add(Counter::HierGlobalVms, stats.global_vms as u64);
+    metrics::add(
+        Counter::HierConsolidationMoves,
+        stats.consolidation_moves as u64,
+    );
     (schedule, stats)
 }
 

@@ -62,8 +62,13 @@ pub fn improve_schedule(
     schedule: Schedule,
     cfg: &LocalSearchConfig,
 ) -> (Schedule, usize) {
+    let _span = pamdc_obs::span!("localsearch");
     let mut eval = ScheduleEvaluator::new(problem, oracle, &schedule);
     let mut moves = 0;
+    // Candidates that cleared the gain threshold; all but the applied
+    // ones count as rejected. Tallied locally, flushed once — the inner
+    // loop pays one integer add.
+    let mut cleared: u64 = 0;
 
     while moves < cfg.max_moves {
         let mut best: Option<(usize, usize, f64)> = None; // (vm, host, gain)
@@ -89,8 +94,11 @@ pub fn improve_schedule(
                     continue;
                 }
                 let gain = eval.move_gain(vi, hi);
-                if gain > cfg.min_gain_eur && best.as_ref().is_none_or(|&(_, _, bg)| gain > bg) {
-                    best = Some((vi, hi, gain));
+                if gain > cfg.min_gain_eur {
+                    cleared += 1;
+                    if best.as_ref().is_none_or(|&(_, _, bg)| gain > bg) {
+                        best = Some((vi, hi, gain));
+                    }
                 }
             }
         }
@@ -102,6 +110,11 @@ pub fn improve_schedule(
             None => break,
         }
     }
+    pamdc_obs::metrics::add(pamdc_obs::Counter::LocalsearchMovesAccepted, moves as u64);
+    pamdc_obs::metrics::add(
+        pamdc_obs::Counter::LocalsearchMovesRejected,
+        cleared.saturating_sub(moves as u64),
+    );
     (eval.schedule(), moves)
 }
 

@@ -20,6 +20,35 @@
 //! Built on `std::thread::scope`; a worker panic propagates to the
 //! caller (same behaviour the previous `crossbeam::thread::scope` code
 //! had via `join().expect(..)`).
+//!
+//! ## Worker context propagation
+//!
+//! Thread-local ambient state (the `pamdc_obs` collector, notably) does
+//! not cross `thread::scope` boundaries on its own, so counters bumped
+//! inside a worker would silently vanish at `--jobs > 1` while showing
+//! up at `--jobs 1` — a determinism hole. [`register_worker_context`]
+//! lets exactly one interested crate install a *capture* function: it
+//! runs on the calling thread right before workers spawn, and the
+//! installer it returns runs once at the start of every worker (and of
+//! [`join`]'s spawned arm). The sequential fallbacks never capture —
+//! they already run on the calling thread with its context intact.
+
+/// Installs captured calling-thread context into a worker thread.
+pub type ContextInstaller = Box<dyn Fn() + Send + Sync>;
+
+static WORKER_CONTEXT: std::sync::OnceLock<fn() -> Option<ContextInstaller>> =
+    std::sync::OnceLock::new();
+
+/// Registers the process-wide context capture hook. First caller wins;
+/// later registrations are ignored (the hook is a singleton seam, not a
+/// subscriber list).
+pub fn register_worker_context(capture: fn() -> Option<ContextInstaller>) {
+    let _ = WORKER_CONTEXT.set(capture);
+}
+
+fn capture_worker_context() -> Option<ContextInstaller> {
+    WORKER_CONTEXT.get().and_then(|capture| capture())
+}
 
 /// Maps `f` over `items` in parallel, preserving input order.
 ///
@@ -74,11 +103,15 @@ where
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
 
+    let ctx = capture_worker_context();
     std::thread::scope(|scope| {
-        let (f, items, next) = (&f, &items, &next);
+        let (f, items, next, ctx) = (&f, &items, &next, &ctx);
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
+                    if let Some(install) = ctx {
+                        install();
+                    }
                     let mut produced: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -117,8 +150,14 @@ where
     RA: Send,
     RB: Send,
 {
+    let ctx = capture_worker_context();
     std::thread::scope(|scope| {
-        let ha = scope.spawn(a);
+        let ha = scope.spawn(move || {
+            if let Some(install) = &ctx {
+                install();
+            }
+            a()
+        });
         let rb = b();
         (ha.join().expect("parallel arm panicked"), rb)
     })

@@ -66,6 +66,7 @@ pub(crate) fn parse_rows<R: BufRead>(
             return Ok(());
         }
         saw_content = true;
+        pamdc_obs::metrics::add(pamdc_obs::Counter::ImportRowsRead, 1);
         let cols: Vec<&str> = line.split(',').map(str::trim).collect();
         if cols.len() < MIN_COLS {
             return Err(line_err(
@@ -84,12 +85,14 @@ pub(crate) fn parse_rows<R: BufRead>(
             .parse()
             .map_err(|_| line_err(lineno, format!("bad time_stamp {:?}", cols[2])))?;
         let Some(cpu_pct) = opt_f64(cols[3], lineno, "cpu_util_percent")? else {
+            pamdc_obs::metrics::add(pamdc_obs::Counter::ImportRowsDropped, 1);
             return Ok(()); // no utilization signal: skip, don't guess
         };
         let mem_util_pct = opt_f64(cols[4], lineno, "mem_util_percent")?;
         let net_in_kbps = opt_f64(cols[8], lineno, "net_in")?;
         let net_out_kbps = opt_f64(cols[9], lineno, "net_out")?;
         let Some(service) = services.intern(cols[0]) else {
+            pamdc_obs::metrics::add(pamdc_obs::Counter::ImportRowsDropped, 1);
             return Ok(()); // beyond max_services
         };
         rows.push(UsageRow {

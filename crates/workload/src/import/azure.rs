@@ -41,6 +41,7 @@ pub(crate) fn parse_rows<R: BufRead>(
             return Ok(());
         }
         saw_content = true;
+        pamdc_obs::metrics::add(pamdc_obs::Counter::ImportRowsRead, 1);
         let cols: Vec<&str> = line.split(',').map(str::trim).collect();
         if cols.len() != COLS {
             return Err(line_err(
@@ -67,6 +68,7 @@ pub(crate) fn parse_rows<R: BufRead>(
             ));
         }
         let Some(service) = services.intern(cols[1]) else {
+            pamdc_obs::metrics::add(pamdc_obs::Counter::ImportRowsDropped, 1);
             return Ok(()); // beyond max_services
         };
         rows.push(UsageRow {
