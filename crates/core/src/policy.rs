@@ -6,13 +6,23 @@
 //! drivers swap policies without touching the simulation loop.
 
 use pamdc_sched::baselines;
-use pamdc_sched::bestfit::best_fit;
+use pamdc_sched::bestfit::{best_fit_with_demands_tuned, SchedTuning};
 use pamdc_sched::hierarchical::{hierarchical_round, HierarchicalConfig};
 use pamdc_sched::localsearch::{improve_schedule, LocalSearchConfig};
 use pamdc_sched::oracle::QosOracle;
 use pamdc_sched::problem::{Problem, Schedule};
 use pamdc_simcore::rng::RngStream;
 use std::sync::Mutex;
+
+/// Report-name suffix for the opt-in approximate index: policies running
+/// with near-equivalence shortlists relax the bit-identity guarantee, so
+/// every report naming them says so loudly.
+fn near_label(tuning: &SchedTuning) -> String {
+    match tuning.near_top_k {
+        Some(k) => format!("+NEAR-EQUIV(top{k})"),
+        None => String::new(),
+    }
+}
 
 /// The Plan stage: problem in, schedule out.
 pub trait PlacementPolicy: Send + Sync {
@@ -57,6 +67,8 @@ pub struct BestFitPolicy<O: QosOracle> {
     pub oracle: O,
     /// Consolidation pass configuration (None = raw Algorithm 1 only).
     pub refine: Option<LocalSearchConfig>,
+    /// Solver tuning (dispatch threshold, opt-in near-equivalence).
+    pub tuning: SchedTuning,
 }
 
 impl<O: QosOracle> BestFitPolicy<O> {
@@ -65,6 +77,7 @@ impl<O: QosOracle> BestFitPolicy<O> {
         BestFitPolicy {
             oracle,
             refine: Some(LocalSearchConfig::default()),
+            tuning: SchedTuning::default(),
         }
     }
 
@@ -73,20 +86,31 @@ impl<O: QosOracle> BestFitPolicy<O> {
         BestFitPolicy {
             oracle,
             refine: None,
+            tuning: SchedTuning::default(),
         }
     }
 }
 
 impl<O: QosOracle> PlacementPolicy for BestFitPolicy<O> {
     fn decide(&self, problem: &Problem) -> Schedule {
-        let schedule = best_fit(problem, &self.oracle).schedule;
+        let demands: Vec<_> = problem
+            .vms
+            .iter()
+            .map(|vm| self.oracle.demand(vm))
+            .collect();
+        let schedule =
+            best_fit_with_demands_tuned(problem, &self.oracle, &demands, &self.tuning).schedule;
         match &self.refine {
             Some(cfg) => improve_schedule(problem, &self.oracle, schedule, cfg).0,
             None => schedule,
         }
     }
     fn name(&self) -> String {
-        format!("bestfit[{}]", self.oracle.name())
+        format!(
+            "bestfit[{}]{}",
+            self.oracle.name(),
+            near_label(&self.tuning)
+        )
     }
 }
 
@@ -113,7 +137,11 @@ impl<O: QosOracle> PlacementPolicy for HierarchicalPolicy<O> {
         hierarchical_round(problem, &self.oracle, &self.config).0
     }
     fn name(&self) -> String {
-        format!("hierarchical[{}]", self.oracle.name())
+        format!(
+            "hierarchical[{}]{}",
+            self.oracle.name(),
+            near_label(&self.config.tuning)
+        )
     }
 }
 

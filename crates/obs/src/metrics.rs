@@ -56,6 +56,16 @@ pub enum Counter {
     LocalsearchMovesAccepted,
     /// Candidate moves evaluated but not applied.
     LocalsearchMovesRejected,
+    /// Candidate (VM, host) gains evaluated by the incremental
+    /// local-search path (the work metric its bookkeeping shrinks).
+    LocalsearchCandidatesRescored,
+    /// Full per-VM shortlist rebuilds in the incremental path.
+    LocalsearchVmRescans,
+    /// Candidate-index host re-keyings performed by local search.
+    LocalsearchIndexUpdates,
+    /// Host groups scored through the opt-in near-equivalence index
+    /// (approximate shortlists; zero on exact-mode runs).
+    IndexNearShortlistHits,
     /// Branch-and-bound runs that exhausted their node budget.
     ExactBudgetExhausted,
     /// `hierarchical_round` invocations.
@@ -75,7 +85,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 23] = [
         Counter::SimTicks,
         Counter::SimRounds,
         Counter::SimMigrations,
@@ -87,6 +97,10 @@ impl Counter {
         Counter::BestfitMemTierFallback,
         Counter::LocalsearchMovesAccepted,
         Counter::LocalsearchMovesRejected,
+        Counter::LocalsearchCandidatesRescored,
+        Counter::LocalsearchVmRescans,
+        Counter::LocalsearchIndexUpdates,
+        Counter::IndexNearShortlistHits,
         Counter::ExactBudgetExhausted,
         Counter::HierRounds,
         Counter::HierShards,
@@ -110,6 +124,10 @@ impl Counter {
             Counter::BestfitMemTierFallback => "sched.bestfit.mem_tier_fallback",
             Counter::LocalsearchMovesAccepted => "sched.localsearch.moves_accepted",
             Counter::LocalsearchMovesRejected => "sched.localsearch.moves_rejected",
+            Counter::LocalsearchCandidatesRescored => "sched.localsearch.candidates_rescored",
+            Counter::LocalsearchVmRescans => "sched.localsearch.vm_rescans",
+            Counter::LocalsearchIndexUpdates => "sched.localsearch.index_updates",
+            Counter::IndexNearShortlistHits => "sched.index.near_shortlist_hits",
             Counter::ExactBudgetExhausted => "sched.exact.budget_exhausted",
             Counter::HierRounds => "sched.hier.rounds",
             Counter::HierShards => "sched.hier.shards",

@@ -456,6 +456,15 @@ pub struct PolicySpec {
     /// Planning horizon in ticks (`None` = one round, the paper's
     /// myopic choice; energy-chasing scenarios want ~60).
     pub plan_horizon_ticks: Option<u64>,
+    /// Fleet size at which the solvers switch from the exact full scan
+    /// to the candidate-index shortlist (`None` = compiled default;
+    /// either side of the switch is bit-identical).
+    pub index_min_hosts: Option<usize>,
+    /// Opt into the approximate near-equivalence index, scoring up to
+    /// this many hosts per coarse group. **Relaxes the bit-identity
+    /// guarantee** — policies carrying it are loudly labeled in reports.
+    /// `None` (default) keeps exact behavior.
+    pub near_equivalence_top_k: Option<usize>,
 }
 
 /// `[run]` — simulation horizon and cadences.
@@ -650,6 +659,8 @@ impl Default for ScenarioSpec {
                 kind: PolicyKind::Hierarchical,
                 oracle: OracleKind::True,
                 plan_horizon_ticks: None,
+                index_min_hosts: None,
+                near_equivalence_top_k: None,
             },
             run: RunSpec::default(),
             profile: ProfileSpec::default(),
@@ -1051,6 +1062,14 @@ impl ScenarioSpec {
                 spec.policy.oracle = OracleKind::from_name(&oracle)?;
             }
             spec.policy.plan_horizon_ticks = t.take_u64("plan_horizon_ticks")?;
+            spec.policy.index_min_hosts = t.take_usize("index_min_hosts")?;
+            if spec.policy.index_min_hosts == Some(0) {
+                return Err(bad("policy.index_min_hosts must be >= 1"));
+            }
+            spec.policy.near_equivalence_top_k = t.take_usize("near_equivalence_top_k")?;
+            if spec.policy.near_equivalence_top_k == Some(0) {
+                return Err(bad("policy.near_equivalence_top_k must be >= 1"));
+            }
             t.finish()?;
         }
 
@@ -1580,6 +1599,12 @@ impl ScenarioSpec {
         if let Some(h) = self.policy.plan_horizon_ticks {
             policy.insert("plan_horizon_ticks".into(), Value::Int(h as i64));
         }
+        if let Some(m) = self.policy.index_min_hosts {
+            policy.insert("index_min_hosts".into(), Value::Int(m as i64));
+        }
+        if let Some(k) = self.policy.near_equivalence_top_k {
+            policy.insert("near_equivalence_top_k".into(), Value::Int(k as i64));
+        }
         root.insert("policy".into(), Value::Table(policy));
 
         let mut run = Table::new();
@@ -1756,6 +1781,14 @@ pub fn sweepable_params() -> BTreeMap<&'static str, &'static str> {
         ("billing.vm_eur_per_hour", "revenue per VM-hour"),
         ("policy.kind", "placement policy"),
         ("policy.oracle", "belief source"),
+        (
+            "policy.index_min_hosts",
+            "candidate-index dispatch threshold",
+        ),
+        (
+            "policy.near_equivalence_top_k",
+            "approximate shortlist width (opt-in)",
+        ),
         ("run.hours", "simulated hours"),
         ("run.round_every_ticks", "scheduling cadence"),
     ])
@@ -1800,6 +1833,8 @@ mod tests {
         spec.policy.kind = PolicyKind::BestFit;
         spec.policy.oracle = OracleKind::Ml;
         spec.policy.plan_horizon_ticks = Some(60);
+        spec.policy.index_min_hosts = Some(32);
+        spec.policy.near_equivalence_top_k = Some(3);
         spec.run.hours = 6;
         spec.profile = ProfileSpec {
             trace_out: Some("out/trace.jsonl".into()),

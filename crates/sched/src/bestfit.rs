@@ -29,6 +29,7 @@
 //! take the full scan verbatim; fleets of [`INDEX_MIN_HOSTS`] hosts or
 //! more take the index.
 
+use crate::index::IndexMode;
 use crate::oracle::QosOracle;
 use crate::problem::{Problem, Schedule};
 use crate::profit::{marginal_profit, marginal_profit_hoisted, PlacementScore, PlacementState};
@@ -39,6 +40,42 @@ use pamdc_infra::resources::Resources;
 /// ones keep the exact full scan (same answers either way — the
 /// threshold trades index upkeep against scan width).
 pub const INDEX_MIN_HOSTS: usize = 64;
+
+/// Shared solver tuning, threaded from the `[policy]` spec table down
+/// into Best-Fit and the consolidation pass. The defaults reproduce the
+/// untuned entry points bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedTuning {
+    /// Fleet size at which the solvers switch from the exact full scan
+    /// to the candidate index (both sides of the switch produce the
+    /// same schedule).
+    pub index_min_hosts: usize,
+    /// `Some(k)`: opt into the approximate near-equivalence index —
+    /// demand bits leave the group key, so heterogeneous fleets bucket
+    /// into few groups, and up to `k` members per group are scored.
+    /// **Relaxes the bit-identity guarantee**; policies carrying it are
+    /// loudly labeled in reports. `None` (default) keeps exact mode.
+    pub near_top_k: Option<usize>,
+}
+
+impl Default for SchedTuning {
+    fn default() -> Self {
+        SchedTuning {
+            index_min_hosts: INDEX_MIN_HOSTS,
+            near_top_k: None,
+        }
+    }
+}
+
+impl SchedTuning {
+    /// The index mode these knobs select.
+    pub fn index_mode(&self) -> IndexMode {
+        match self.near_top_k {
+            None => IndexMode::Exact,
+            Some(k) => IndexMode::Near { top_k: k.max(1) },
+        }
+    }
+}
 
 /// Outcome of one Best-Fit run.
 #[derive(Clone, Debug)]
@@ -71,10 +108,23 @@ pub fn best_fit_with_demands(
     oracle: &dyn QosOracle,
     demands: &[Resources],
 ) -> BestFitResult {
+    best_fit_with_demands_tuned(problem, oracle, demands, &SchedTuning::default())
+}
+
+/// [`best_fit_with_demands`] under explicit [`SchedTuning`]: the
+/// dispatch threshold and the (opt-in, approximate) near-equivalence
+/// index come from the knobs instead of the compiled defaults. The
+/// default tuning is bit-identical to [`best_fit_with_demands`].
+pub fn best_fit_with_demands_tuned(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    demands: &[Resources],
+    tuning: &SchedTuning,
+) -> BestFitResult {
     pamdc_obs::metrics::add(pamdc_obs::Counter::BestfitCalls, 1);
-    if problem.hosts.len() >= INDEX_MIN_HOSTS {
+    if problem.hosts.len() >= tuning.index_min_hosts {
         pamdc_obs::metrics::add(pamdc_obs::Counter::BestfitDispatchIndex, 1);
-        best_fit_indexed(problem, oracle, demands)
+        best_fit_indexed_mode(problem, oracle, demands, tuning.index_mode())
     } else {
         pamdc_obs::metrics::add(pamdc_obs::Counter::BestfitDispatchScan, 1);
         best_fit_full_scan(problem, oracle, demands)
@@ -260,10 +310,42 @@ pub fn best_fit_indexed(
     oracle: &dyn QosOracle,
     demands: &[Resources],
 ) -> BestFitResult {
+    best_fit_indexed_mode(problem, oracle, demands, IndexMode::Exact)
+}
+
+/// [`best_fit_indexed`] over the coarse near-equivalence index: demand
+/// bits leave the group key, so heterogeneous fleets still bucket into
+/// few groups, and up to `top_k` members per group are checked and
+/// scored individually. **Approximate** — the scored shortlist may miss
+/// the true best host, so the bit-identity guarantee of the exact index
+/// does not hold. Opt-in via [`SchedTuning::near_top_k`].
+pub fn best_fit_indexed_near(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    demands: &[Resources],
+    top_k: usize,
+) -> BestFitResult {
+    best_fit_indexed_mode(
+        problem,
+        oracle,
+        demands,
+        IndexMode::Near {
+            top_k: top_k.max(1),
+        },
+    )
+}
+
+fn best_fit_indexed_mode(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    demands: &[Resources],
+    mode: IndexMode,
+) -> BestFitResult {
     let _span = pamdc_obs::span!("bestfit_index");
     let order = descending_order(problem, demands);
 
-    let mut state = PlacementState::with_candidate_index(problem);
+    let mut state = PlacementState::with_candidate_index_mode(problem, mode);
+    let mut near_groups: u64 = 0;
     let mut assignment = vec![problem.hosts[0].id; problem.vms.len()];
     let mut scores = zero_scores(problem.vms.len());
     let mut overflow_count = 0;
@@ -319,23 +401,49 @@ pub fn best_fit_indexed(
         {
             let index = state.candidate_index().expect("index enabled");
             for members in index.fitting_groups(fit_demand) {
-                let Some(rep) = members.iter().copied().find(|&hi| Some(hi) != cur) else {
-                    continue; // the VM's own host is scored below
-                };
-                if !state.fits(problem, rep, fit_demand) {
-                    continue;
+                match mode {
+                    IndexMode::Exact => {
+                        let Some(rep) = members.iter().copied().find(|&hi| Some(hi) != cur) else {
+                            continue; // the VM's own host is scored below
+                        };
+                        if !state.fits(problem, rep, fit_demand) {
+                            continue;
+                        }
+                        let score = marginal_profit_hoisted(
+                            problem,
+                            oracle,
+                            &state,
+                            vm_idx,
+                            rep,
+                            score_demand,
+                            transport_to(rep),
+                        );
+                        scored_candidates += 1;
+                        take_better(&mut best_fit_choice, (rep, score));
+                    }
+                    IndexMode::Near { top_k } => {
+                        // Members only share coarse buckets, not exact
+                        // free capacity: check and score each of the
+                        // first `top_k` candidates individually.
+                        near_groups += 1;
+                        for &hi in members.iter().filter(|&&hi| Some(hi) != cur).take(top_k) {
+                            if !state.fits(problem, hi, fit_demand) {
+                                continue;
+                            }
+                            let score = marginal_profit_hoisted(
+                                problem,
+                                oracle,
+                                &state,
+                                vm_idx,
+                                hi,
+                                score_demand,
+                                transport_to(hi),
+                            );
+                            scored_candidates += 1;
+                            take_better(&mut best_fit_choice, (hi, score));
+                        }
+                    }
                 }
-                let score = marginal_profit_hoisted(
-                    problem,
-                    oracle,
-                    &state,
-                    vm_idx,
-                    rep,
-                    score_demand,
-                    transport_to(rep),
-                );
-                scored_candidates += 1;
-                take_better(&mut best_fit_choice, (rep, score));
             }
         }
         if let Some(cur_hi) = cur {
@@ -377,23 +485,47 @@ pub fn best_fit_indexed(
                 let mut best_any: Option<(usize, PlacementScore)> = None;
                 let index = state.candidate_index().expect("index enabled");
                 for members in index.all_groups() {
-                    let Some(rep) = members.iter().copied().find(|&hi| Some(hi) != cur) else {
-                        continue;
-                    };
-                    let score = marginal_profit_hoisted(
-                        problem,
-                        oracle,
-                        &state,
-                        vm_idx,
-                        rep,
-                        score_demand,
-                        transport_to(rep),
-                    );
-                    scored_candidates += 1;
-                    if state.fits_memory(problem, rep, fit_demand) {
-                        take_better(&mut best_mem_ok, (rep, score));
+                    match mode {
+                        IndexMode::Exact => {
+                            let Some(rep) = members.iter().copied().find(|&hi| Some(hi) != cur)
+                            else {
+                                continue;
+                            };
+                            let score = marginal_profit_hoisted(
+                                problem,
+                                oracle,
+                                &state,
+                                vm_idx,
+                                rep,
+                                score_demand,
+                                transport_to(rep),
+                            );
+                            scored_candidates += 1;
+                            if state.fits_memory(problem, rep, fit_demand) {
+                                take_better(&mut best_mem_ok, (rep, score));
+                            }
+                            take_better(&mut best_any, (rep, score));
+                        }
+                        IndexMode::Near { top_k } => {
+                            near_groups += 1;
+                            for &hi in members.iter().filter(|&&hi| Some(hi) != cur).take(top_k) {
+                                let score = marginal_profit_hoisted(
+                                    problem,
+                                    oracle,
+                                    &state,
+                                    vm_idx,
+                                    hi,
+                                    score_demand,
+                                    transport_to(hi),
+                                );
+                                scored_candidates += 1;
+                                if state.fits_memory(problem, hi, fit_demand) {
+                                    take_better(&mut best_mem_ok, (hi, score));
+                                }
+                                take_better(&mut best_any, (hi, score));
+                            }
+                        }
                     }
-                    take_better(&mut best_any, (rep, score));
                 }
                 if let Some(cur_hi) = cur {
                     let score = marginal_profit_hoisted(
@@ -423,6 +555,9 @@ pub fn best_fit_indexed(
     }
 
     flush_overflow_counters(overflow_count, mem_tier_hits);
+    if near_groups > 0 {
+        pamdc_obs::metrics::add(pamdc_obs::Counter::IndexNearShortlistHits, near_groups);
+    }
     let schedule = Schedule { assignment };
     schedule.validate(problem);
     BestFitResult {

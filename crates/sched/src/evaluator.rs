@@ -48,8 +48,15 @@ pub struct ScheduleEvaluator<'a> {
     raw_demand: Vec<Resources>,
     /// Round-VMs assigned per host.
     counts: Vec<usize>,
-    /// Transport latency per (vm, host) pair, vm-major.
+    /// Transport latency per (vm, location) pair, vm-major. Transport
+    /// depends on the host only through its location, so caching per
+    /// location instead of per host keeps construction O(V·locations)
+    /// rather than O(V·H) — the bits read back are identical.
     transport: Vec<f64>,
+    /// Location slot per host (index into a VM's `transport` row).
+    loc_slot: Vec<usize>,
+    /// Width of one VM's `transport` row (max location index + 1).
+    n_loc_slots: usize,
     /// Revenue-earning span per host (horizon minus boot blackout).
     available: Vec<SimDuration>,
     /// Cached per-VM terms under the current assignment.
@@ -89,14 +96,22 @@ impl<'a> ScheduleEvaluator<'a> {
             counts[hi] += 1;
         }
 
+        // One transport latency per (vm, location present in the fleet);
+        // absent location slots stay NaN and are never read.
+        let loc_slot: Vec<usize> = problem.hosts.iter().map(|h| h.location.index()).collect();
+        let n_loc_slots = loc_slot.iter().max().map_or(1, |&m| m + 1);
+        let mut loc_at_slot = vec![None; n_loc_slots];
+        for host in &problem.hosts {
+            loc_at_slot[host.location.index()] = Some(host.location);
+        }
         let transport: Vec<f64> = problem
             .vms
             .iter()
             .flat_map(|vm| {
-                problem
-                    .hosts
-                    .iter()
-                    .map(|host| weighted_transport_secs(&vm.flows, host.location, &problem.net))
+                loc_at_slot.iter().map(|slot| match slot {
+                    Some(loc) => weighted_transport_secs(&vm.flows, *loc, &problem.net),
+                    None => f64::NAN,
+                })
             })
             .collect();
         let available: Vec<SimDuration> = problem
@@ -114,6 +129,8 @@ impl<'a> ScheduleEvaluator<'a> {
             raw_demand,
             counts,
             transport,
+            loc_slot,
+            n_loc_slots,
             available,
             sla: vec![0.0; n_vms],
             revenue: vec![0.0; n_vms],
@@ -180,6 +197,27 @@ impl<'a> ScheduleEvaluator<'a> {
         let mut d = self.raw_demand[hi];
         d.cpu += self.problem.hosts[hi].virt_overhead_cpu_per_vm * self.counts[hi] as f64;
         d
+    }
+
+    /// Round-VM indices currently resident on a host. The order is an
+    /// artifact of `apply_move`'s swap-removes; callers may only rely on
+    /// the contents.
+    #[inline]
+    pub(crate) fn residents(&self, hi: usize) -> &[usize] {
+        &self.vms_on[hi]
+    }
+
+    /// Believed raw demand per host (fixed residents + assigned VMs,
+    /// excluding hypervisor overhead) — the candidate index's input.
+    #[inline]
+    pub(crate) fn raw_demands(&self) -> &[Resources] {
+        &self.raw_demand
+    }
+
+    /// Round-VMs assigned per host — the candidate index's input.
+    #[inline]
+    pub(crate) fn counts(&self) -> &[usize] {
+        &self.counts
     }
 
     /// The current assignment as a [`Schedule`].
@@ -297,7 +335,7 @@ impl<'a> ScheduleEvaluator<'a> {
             &self.problem.vms[vi],
             &self.problem.hosts[hi],
             host_total,
-            self.transport[vi * self.problem.hosts.len() + hi],
+            self.transport[vi * self.n_loc_slots + self.loc_slot[hi]],
         )
     }
 

@@ -12,6 +12,7 @@ use crate::oracle::QosOracle;
 use crate::problem::{HostInfo, Problem, VmInfo};
 use crate::profit::BelievedTotals;
 use pamdc_infra::gateway::weighted_transport_secs;
+use pamdc_infra::ids::{LocationId, PmId};
 use pamdc_infra::resources::Resources;
 
 /// Filter thresholds.
@@ -64,7 +65,27 @@ pub fn vms_needing_attention_with(
     cfg: &FilterConfig,
     believed: &BelievedTotals,
 ) -> Vec<usize> {
-    // Believed totals per host under the *current* placement.
+    let current_host: Vec<Option<usize>> = problem
+        .vms
+        .iter()
+        .map(|vm| vm.current_pm.and_then(|pm| problem.host_index(pm)))
+        .collect();
+    vms_needing_attention_placed(problem, oracle, cfg, believed, &current_host)
+}
+
+/// [`vms_needing_attention_with`] under an explicit per-VM placement
+/// (`None` = unplaced): the hierarchical round passes its post-local
+/// effective placement instead of cloning the whole `Problem` just to
+/// rewrite `current_pm`. `believed` must describe the same placement.
+pub fn vms_needing_attention_placed(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    cfg: &FilterConfig,
+    believed: &BelievedTotals,
+    current_host: &[Option<usize>],
+) -> Vec<usize> {
+    debug_assert_eq!(current_host.len(), problem.vms.len());
+    // Believed totals per host under that placement.
     let totals: Vec<Resources> = (0..problem.hosts.len())
         .map(|hi| believed.with_overhead(problem, hi))
         .collect();
@@ -72,7 +93,7 @@ pub fn vms_needing_attention_with(
     (0..problem.vms.len())
         .filter(|&vi| {
             let vm = &problem.vms[vi];
-            match vm.current_pm.and_then(|pm| problem.host_index(pm)) {
+            match current_host[vi] {
                 None => true, // unplaced or hosted off-round: must be handled
                 Some(hi) => {
                     let host = &problem.hosts[hi];
@@ -181,6 +202,35 @@ pub fn reduced_problem_with_demands(
     vm_indices: &[usize],
     host_indices: &[usize],
 ) -> (Problem, Vec<usize>) {
+    let current_pm: Vec<Option<PmId>> = problem.vms.iter().map(|vm| vm.current_pm).collect();
+    let current_location: Vec<Option<LocationId>> =
+        problem.vms.iter().map(|vm| vm.current_location).collect();
+    reduced_problem_placed(
+        problem,
+        demands,
+        vm_indices,
+        host_indices,
+        &current_pm,
+        &current_location,
+    )
+}
+
+/// [`reduced_problem_with_demands`] under an explicit per-VM placement:
+/// unselected residents fold into fixed demand by their *effective*
+/// host, and the cloned round-VMs carry the effective `current_pm` /
+/// `current_location` — so the hierarchical round can build its global
+/// sub-problem from the post-local placement without cloning and
+/// rewriting the whole `Problem` first.
+pub fn reduced_problem_placed(
+    problem: &Problem,
+    demands: &[Resources],
+    vm_indices: &[usize],
+    host_indices: &[usize],
+    current_pm: &[Option<PmId>],
+    current_location: &[Option<LocationId>],
+) -> (Problem, Vec<usize>) {
+    debug_assert_eq!(current_pm.len(), problem.vms.len());
+    debug_assert_eq!(current_location.len(), problem.vms.len());
     let selected_vms: std::collections::BTreeSet<usize> = vm_indices.iter().copied().collect();
     let mut hosts: Vec<HostInfo> = host_indices
         .iter()
@@ -188,11 +238,11 @@ pub fn reduced_problem_with_demands(
         .collect();
 
     // Fold unselected residents into fixed demand.
-    for (vi, vm) in problem.vms.iter().enumerate() {
+    for vi in 0..problem.vms.len() {
         if selected_vms.contains(&vi) {
             continue;
         }
-        if let Some(cur) = vm.current_pm {
+        if let Some(cur) = current_pm[vi] {
             if let Some(pos) = hosts.iter().position(|h| h.id == cur) {
                 let mut d = demands[vi];
                 d.cpu += hosts[pos].virt_overhead_cpu_per_vm;
@@ -204,7 +254,12 @@ pub fn reduced_problem_with_demands(
 
     let vms: Vec<VmInfo> = vm_indices
         .iter()
-        .map(|&vi| problem.vms[vi].clone())
+        .map(|&vi| {
+            let mut vm = problem.vms[vi].clone();
+            vm.current_pm = current_pm[vi];
+            vm.current_location = current_location[vi];
+            vm
+        })
         .collect();
     (
         Problem {

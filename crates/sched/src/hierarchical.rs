@@ -27,16 +27,16 @@
 //! bit-identical at any worker count — cross-DC delocation still happens
 //! only in the global pass over the shard summaries, exactly as before.
 
-use crate::bestfit::best_fit_with_demands;
+use crate::bestfit::{best_fit_with_demands_tuned, SchedTuning};
 use crate::filter::{
-    hosts_worth_offering_with, reduced_problem_with_demands, vms_needing_attention_with,
-    FilterConfig,
+    hosts_worth_offering_with, reduced_problem_placed, reduced_problem_with_demands,
+    vms_needing_attention_placed, FilterConfig,
 };
 use crate::localsearch::{improve_schedule, LocalSearchConfig};
 use crate::oracle::QosOracle;
 use crate::problem::{Problem, Schedule};
 use crate::profit::BelievedTotals;
-use pamdc_infra::ids::DcId;
+use pamdc_infra::ids::{DcId, LocationId, PmId};
 use pamdc_infra::resources::Resources;
 use std::collections::BTreeMap;
 
@@ -50,6 +50,10 @@ pub struct HierarchicalConfig {
     /// when the full objective — including idle hosts emptied and
     /// migration blackouts — strictly improves.
     pub local_search: Option<LocalSearchConfig>,
+    /// Solver tuning threaded into every Best-Fit pass of the round
+    /// (intra-DC shards, global pass, fallback). The consolidation pass
+    /// carries its own copy inside `local_search`.
+    pub tuning: SchedTuning,
 }
 
 impl Default for HierarchicalConfig {
@@ -57,6 +61,7 @@ impl Default for HierarchicalConfig {
         HierarchicalConfig {
             filter: FilterConfig::default(),
             local_search: Some(LocalSearchConfig::default()),
+            tuning: SchedTuning::default(),
         }
     }
 }
@@ -108,6 +113,7 @@ pub fn hierarchical_round(
     // bit-identical to the old sequential loop at any worker count.
     let shards: Vec<(DcId, Vec<usize>)> = by_dc.into_iter().collect();
     let shard_count = shards.len();
+    let tuning = cfg.tuning;
     let shard_results = {
         let _intra = pamdc_obs::span!("intra");
         pamdc_simcore::par::parallel_map(shards, |(dc, vm_indices)| {
@@ -120,7 +126,7 @@ pub fn hierarchical_round(
             let (sub, mapping) =
                 reduced_problem_with_demands(problem, &demands, &vm_indices, &host_indices);
             let sub_demands: Vec<Resources> = mapping.iter().map(|&vi| demands[vi]).collect();
-            let result = best_fit_with_demands(&sub, oracle, &sub_demands);
+            let result = best_fit_with_demands_tuned(&sub, oracle, &sub_demands, &tuning);
             (mapping, result.schedule.assignment)
         })
     };
@@ -130,33 +136,43 @@ pub fn hierarchical_round(
         }
     }
 
-    // Build the intermediate problem state: current placement replaced by
-    // the intra-DC outcome (so the global filter judges the *post-local*
-    // situation, as the paper specifies).
-    let mut post_local = problem.clone();
+    // Effective post-local placement: the current placement overridden
+    // by the intra-DC outcome (so the global filter judges the
+    // *post-local* situation, as the paper specifies). Held as per-VM
+    // vectors — a placement-only snapshot — instead of cloning and
+    // rewriting the whole `Problem` (hosts, VMs, profiles), which at
+    // fleet scale cost more than the passes it fed.
+    let mut eff_pm: Vec<Option<PmId>> = problem.vms.iter().map(|vm| vm.current_pm).collect();
+    let mut eff_loc: Vec<Option<LocationId>> =
+        problem.vms.iter().map(|vm| vm.current_location).collect();
     for (vi, slot) in assignment.iter().enumerate() {
         if let Some(pm) = slot {
-            post_local.vms[vi].current_pm = Some(*pm);
-            if let Some(hi) = post_local.host_index(*pm) {
-                post_local.vms[vi].current_location = Some(post_local.hosts[hi].location);
+            eff_pm[vi] = Some(*pm);
+            if let Some(hi) = problem.host_index(*pm) {
+                eff_loc[vi] = Some(problem.hosts[hi].location);
             }
         }
     }
+    let eff_host: Vec<Option<usize>> = eff_pm
+        .iter()
+        .map(|pm| pm.and_then(|pm| problem.host_index(pm)))
+        .collect();
 
     // ------------------------------------------------------------------
     // 2. Narrow interface: candidates + offers. Both filters judge the
     //    post-local placement over one shared believed-totals snapshot.
     // ------------------------------------------------------------------
     let interface_span = pamdc_obs::span!("interface");
-    let believed = BelievedTotals::from_current_placement_with(&post_local, demands.clone());
-    let mut candidates = vms_needing_attention_with(&post_local, oracle, &cfg.filter, &believed);
+    let believed = BelievedTotals::from_placement(problem, demands.clone(), &eff_host);
+    let mut candidates =
+        vms_needing_attention_placed(problem, oracle, &cfg.filter, &believed, &eff_host);
     for vi in homeless {
         if !candidates.contains(&vi) {
             candidates.push(vi);
         }
     }
     candidates.sort_unstable();
-    let offers = hosts_worth_offering_with(&post_local, &cfg.filter, &believed);
+    let offers = hosts_worth_offering_with(problem, &cfg.filter, &believed);
     drop(interface_span);
 
     let stats = RoundStats {
@@ -173,9 +189,9 @@ pub fn hierarchical_round(
     if !candidates.is_empty() && !offers.is_empty() {
         let _global = pamdc_obs::span!("global");
         let (sub, mapping) =
-            reduced_problem_with_demands(&post_local, &demands, &candidates, &offers);
+            reduced_problem_placed(problem, &demands, &candidates, &offers, &eff_pm, &eff_loc);
         let sub_demands: Vec<Resources> = mapping.iter().map(|&vi| demands[vi]).collect();
-        let result = best_fit_with_demands(&sub, oracle, &sub_demands);
+        let result = best_fit_with_demands_tuned(&sub, oracle, &sub_demands, &tuning);
         for (sub_vi, &orig_vi) in mapping.iter().enumerate() {
             assignment[orig_vi] = Some(result.schedule.assignment[sub_vi]);
         }
@@ -185,7 +201,7 @@ pub fn hierarchical_round(
     // to a plain global Best-Fit over everything.
     if assignment.iter().any(Option::is_none) {
         let _fallback = pamdc_obs::span!("fallback");
-        let fallback = best_fit_with_demands(problem, oracle, &demands);
+        let fallback = best_fit_with_demands_tuned(problem, oracle, &demands, &tuning);
         for (vi, slot) in assignment.iter_mut().enumerate() {
             if slot.is_none() {
                 *slot = Some(fallback.schedule.assignment[vi]);

@@ -30,10 +30,42 @@
 //!
 //! Maintenance is incremental: assigning a VM changes one host's key,
 //! which moves it between groups in O(log groups + group size).
+//!
+//! ## Near-equivalence mode
+//!
+//! Exact grouping needs bit-identical committed demand, so heterogeneous
+//! fleets (every host carrying a different demand mix) degenerate to one
+//! group per host and the shortlist stops paying for itself. The opt-in
+//! [`IndexMode::Near`] drops the demand bits from the key: hosts of the
+//! same class with the same assigned count land in the same group
+//! whenever their free capacity falls in the same coarse bucket. Members
+//! are then merely *similar*, so consumers score up to `top_k` members
+//! per group instead of one representative — a bounded profit search
+//! that trades the bit-identity guarantee for shortlisting on fleets the
+//! exact mode cannot compress. Off by default; policies that enable it
+//! advertise the relaxation in their report names.
 
 use crate::problem::{HostInfo, Problem};
 use pamdc_infra::resources::Resources;
 use std::collections::BTreeMap;
+
+/// Grouping discipline of a [`CandidateIndex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Exact equivalence: same class, same count, bit-identical committed
+    /// demand. Scoring one representative per group is exact, so indexed
+    /// consumers are bit-identical to their full scans.
+    #[default]
+    Exact,
+    /// Coarse-bucket near-equivalence: the demand bits are dropped from
+    /// the key, so same-class same-count hosts group by quantized free
+    /// capacity alone. Consumers bound the within-group search to the
+    /// first `top_k` members — approximate, and loudly labeled as such.
+    Near {
+        /// Members scored per group (≥ 1).
+        top_k: usize,
+    },
+}
 
 /// CPU bucket width, percent-of-core (half an Atom core).
 const QUANT_CPU: f64 = 50.0;
@@ -119,14 +151,21 @@ pub struct CandidateIndex {
     key_of: Vec<GroupKey>,
     /// Ordered groups: key → member host indices, ascending.
     groups: BTreeMap<GroupKey, Vec<usize>>,
+    /// Grouping discipline (exact vs near-equivalence).
+    mode: IndexMode,
 }
 
 impl CandidateIndex {
     /// Builds the index from a fleet and its committed per-host demand
-    /// (`demand[hi]`, raw, excluding hypervisor overhead) and
-    /// assigned-VM counts. Class ids are assigned first-seen in host
-    /// order, so construction is deterministic.
-    pub(crate) fn new(problem: &Problem, demand: &[Resources], counts: &[usize]) -> Self {
+    /// (`demand[hi]`, raw, excluding hypervisor overhead) and assigned-VM
+    /// counts, grouping hosts per `mode`. Class ids are assigned
+    /// first-seen in host order, so construction is deterministic.
+    pub(crate) fn new_with_mode(
+        problem: &Problem,
+        demand: &[Resources],
+        counts: &[usize],
+        mode: IndexMode,
+    ) -> Self {
         let mut class_ids: BTreeMap<ClassKey, u32> = BTreeMap::new();
         let mut class_of = Vec::with_capacity(problem.hosts.len());
         for host in &problem.hosts {
@@ -139,7 +178,13 @@ impl CandidateIndex {
         let mut key_of = Vec::with_capacity(problem.hosts.len());
         let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
         for hi in 0..problem.hosts.len() {
-            let key = group_key(&problem.hosts[hi], class_of[hi], &demand[hi], counts[hi]);
+            let key = group_key(
+                &problem.hosts[hi],
+                class_of[hi],
+                &demand[hi],
+                counts[hi],
+                mode,
+            );
             key_of.push(key);
             groups.entry(key).or_default().push(hi); // ascending hi
         }
@@ -148,7 +193,13 @@ impl CandidateIndex {
             n_classes,
             key_of,
             groups,
+            mode,
         }
+    }
+
+    /// The grouping discipline this index was built with.
+    pub fn mode(&self) -> IndexMode {
+        self.mode
     }
 
     /// Moves `host_idx` to the group matching its new committed state.
@@ -165,6 +216,7 @@ impl CandidateIndex {
             self.class_of[host_idx],
             &demand,
             count,
+            self.mode,
         );
         if new == old {
             return;
@@ -220,8 +272,16 @@ impl CandidateIndex {
 }
 
 /// A host's current group key: free capacity after its committed demand
-/// (including hypervisor overhead on CPU), quantized conservatively.
-fn group_key(host: &HostInfo, class: u32, demand: &Resources, count: usize) -> GroupKey {
+/// (including hypervisor overhead on CPU), quantized conservatively. In
+/// near-equivalence mode the exact demand bits are dropped, merging
+/// same-bucket same-class same-count hosts whose demands merely differ.
+fn group_key(
+    host: &HostInfo,
+    class: u32,
+    demand: &Resources,
+    count: usize,
+    mode: IndexMode,
+) -> GroupKey {
     let used_cpu = demand.cpu + host.virt_overhead_cpu_per_vm * count as f64;
     let free_cpu = host.capacity.cpu - used_cpu + FIT_EPS;
     let free_mem = host.capacity.mem_mb - demand.mem_mb + FIT_EPS;
@@ -230,7 +290,10 @@ fn group_key(host: &HostInfo, class: u32, demand: &Resources, count: usize) -> G
         qmem: (free_mem / QUANT_MEM_MB).floor() as i64,
         class,
         count,
-        demand_bits: bits(demand),
+        demand_bits: match mode {
+            IndexMode::Exact => bits(demand),
+            IndexMode::Near { .. } => [0; 4],
+        },
     }
 }
 
@@ -250,6 +313,25 @@ mod tests {
         let ix = state.candidate_index().expect("index enabled");
         assert_eq!(ix.class_count(), 5);
         assert_eq!(ix.group_count(), 5);
+    }
+
+    #[test]
+    fn near_mode_merges_heterogeneous_demands() {
+        // Two different assignments land twin hosts in the same coarse
+        // bucket: exact mode splits them (different demand bits), near
+        // mode keeps them merged.
+        let p = problem(2, 64, 50.0);
+        let run = |mode: IndexMode| {
+            let mut state = PlacementState::with_candidate_index_mode(&p, mode);
+            // Hosts 5 and 9 share a class (9 % 4 == 5 % 4); the demands
+            // differ by far less than a bucket quantum.
+            state.assign(&p, 5, Resources::new(3.0, 16.0, 1.0, 1.0));
+            state.assign(&p, 9, Resources::new(4.0, 17.0, 1.0, 1.0));
+            state.candidate_index().unwrap().group_count()
+        };
+        let exact = run(IndexMode::Exact);
+        let near = run(IndexMode::Near { top_k: 3 });
+        assert_eq!(near, exact - 1, "near mode must merge the twins");
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub mod prelude {
         cheapest_energy, first_fit, follow_the_load, round_robin, static_schedule,
     };
     pub use crate::bestfit::{
-        best_fit, best_fit_full_scan, best_fit_indexed, best_fit_with_demands, BestFitResult,
+        best_fit, best_fit_full_scan, best_fit_indexed, best_fit_indexed_near,
+        best_fit_with_demands, best_fit_with_demands_tuned, BestFitResult, SchedTuning,
         INDEX_MIN_HOSTS,
     };
     pub use crate::evaluator::ScheduleEvaluator;
@@ -39,13 +40,16 @@ pub mod prelude {
         branch_and_bound, branch_and_bound_with_budget, ExactOutcome, ExactResult,
     };
     pub use crate::filter::{
-        hosts_worth_offering, hosts_worth_offering_with, reduced_problem,
-        reduced_problem_with_demands, vms_needing_attention, vms_needing_attention_with,
-        FilterConfig,
+        hosts_worth_offering, hosts_worth_offering_with, reduced_problem, reduced_problem_placed,
+        reduced_problem_with_demands, vms_needing_attention, vms_needing_attention_placed,
+        vms_needing_attention_with, FilterConfig,
     };
     pub use crate::hierarchical::{hierarchical_round, HierarchicalConfig, RoundStats};
-    pub use crate::index::CandidateIndex;
-    pub use crate::localsearch::{improve_schedule, LocalSearchConfig};
+    pub use crate::index::{CandidateIndex, IndexMode};
+    pub use crate::localsearch::{
+        improve_schedule, improve_schedule_incremental, improve_schedule_reference,
+        LocalSearchConfig,
+    };
     pub use crate::oracle::{MlOracle, MonitorOracle, QosOracle, TrueOracle};
     pub use crate::problem::{HostInfo, Problem, Schedule, VmInfo};
     pub use crate::profit::{

@@ -15,14 +15,33 @@
 //! Because every accepted move must beat its own migration penalty, the
 //! pass is self-damping — no churn.
 //!
-//! The objective is maintained incrementally by a
-//! [`crate::evaluator::ScheduleEvaluator`]: scoring a candidate move
-//! touches only the source and destination hosts (no schedule clone, no
-//! full [`crate::profit::evaluate_schedule`] in the inner loop), and the
-//! accepted move updates the cached per-host demand in place instead of
-//! rebuilding it each iteration.
+//! ## Two implementations, one answer
+//!
+//! [`improve_schedule_reference`] is the literal steepest-ascent loop:
+//! after every accepted move it rescans all (VM, host) pairs. Each pair
+//! is cheap — the [`crate::evaluator::ScheduleEvaluator`] scores a move
+//! by visiting only the two touched hosts — but the rescan itself is
+//! O(V·H) per move, which is what kept consolidation disabled at the
+//! 10000×1000 bench tier.
+//!
+//! [`improve_schedule_incremental`] exploits the same locality one level
+//! up: a move from host `a` to host `b` only changes the gains of pairs
+//! *touching* `a` or `b`. It keeps, per VM, the best qualifying
+//! candidate move, and after an accepted move re-scores only (1) VMs
+//! resident on the two touched hosts (their cached revenue changed, so
+//! every gain of theirs is stale), (2) other VMs' candidates *toward*
+//! the touched hosts, and (3) VMs whose stored best aimed at a touched
+//! host. Per-VM rescans shortlist destinations through the bucketed
+//! [`crate::index::CandidateIndex`] instead of scanning all hosts:
+//! groups failing the (group-uniform) memory and headroom guards are
+//! skipped wholesale with one check, and empty groups are scored through
+//! one representative. The result is **bit-identical** to the reference
+//! loop (see `tests/localsearch_equivalence.rs`); [`improve_schedule`]
+//! dispatches on fleet size exactly like Best-Fit does.
 
+use crate::bestfit::SchedTuning;
 use crate::evaluator::ScheduleEvaluator;
+use crate::index::{CandidateIndex, IndexMode};
 use crate::oracle::QosOracle;
 use crate::problem::{Problem, Schedule};
 
@@ -41,6 +60,11 @@ pub struct LocalSearchConfig {
     /// packing to 100% of the *current* estimate trades real SLA for
     /// estimated energy.
     pub max_util_after_move: f64,
+    /// Shared placement tuning: `index_min_hosts` picks between the
+    /// reference rescan and the incremental indexed path (both produce
+    /// the same schedule), `near_top_k` opts the per-VM shortlist into
+    /// the approximate near-equivalence index.
+    pub tuning: SchedTuning,
 }
 
 impl Default for LocalSearchConfig {
@@ -49,14 +73,35 @@ impl Default for LocalSearchConfig {
             max_moves: 16,
             min_gain_eur: 1e-6,
             max_util_after_move: 0.45,
+            tuning: SchedTuning::default(),
         }
     }
 }
 
 /// Steepest-ascent single-VM relocation until no move clears the gain
 /// threshold. Returns the improved schedule and the number of moves
-/// applied.
+/// applied. Dispatches on fleet size: paper-scale problems take the
+/// reference rescan loop verbatim, fleets of `tuning.index_min_hosts`
+/// hosts or more take the incremental candidate-maintenance path (same
+/// schedule either way).
 pub fn improve_schedule(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    schedule: Schedule,
+    cfg: &LocalSearchConfig,
+) -> (Schedule, usize) {
+    if problem.hosts.len() >= cfg.tuning.index_min_hosts {
+        improve_schedule_incremental(problem, oracle, schedule, cfg)
+    } else {
+        improve_schedule_reference(problem, oracle, schedule, cfg)
+    }
+}
+
+/// The reference implementation: full (VM, host) rescan after every
+/// accepted move. Kept callable at any size — it is the oracle the
+/// incremental path is property-tested against and the baseline the
+/// scaling bench times.
+pub fn improve_schedule_reference(
     problem: &Problem,
     oracle: &dyn QosOracle,
     schedule: Schedule,
@@ -116,6 +161,289 @@ pub fn improve_schedule(
         cleared.saturating_sub(moves as u64),
     );
     (eval.schedule(), moves)
+}
+
+/// Work tallies of one incremental run, flushed into the metrics
+/// registry once at the end.
+#[derive(Default)]
+struct IncStats {
+    /// `move_gain` evaluations.
+    rescored: u64,
+    /// Gains that cleared the acceptance threshold.
+    cleared: u64,
+    /// Full per-VM shortlist rebuilds.
+    vm_rescans: u64,
+    /// Candidate-index host re-keyings.
+    index_updates: u64,
+    /// Groups scored through the near-equivalence relaxation.
+    near_groups: u64,
+}
+
+/// Incremental steepest ascent: per-VM best-candidate maintenance plus
+/// index-shortlisted rescans. Bit-identical to
+/// [`improve_schedule_reference`] on any input (property-tested); the
+/// work counters differ because the paths genuinely do different work.
+pub fn improve_schedule_incremental(
+    problem: &Problem,
+    oracle: &dyn QosOracle,
+    schedule: Schedule,
+    cfg: &LocalSearchConfig,
+) -> (Schedule, usize) {
+    let _span = pamdc_obs::span!("localsearch");
+    let mut eval = ScheduleEvaluator::new(problem, oracle, &schedule);
+    let n_vms = problem.vms.len();
+    let mode = match cfg.tuning.near_top_k {
+        None => IndexMode::Exact,
+        Some(k) => IndexMode::Near { top_k: k.max(1) },
+    };
+    let mut index = CandidateIndex::new_with_mode(problem, eval.raw_demands(), eval.counts(), mode);
+    let mut stats = IncStats::default();
+
+    // best[vi] = the VM's best qualifying move (destination, gain):
+    // passes the memory and headroom guards, clears the gain threshold,
+    // ties broken toward the lowest host index — exactly the candidate
+    // the reference scan would keep for that VM.
+    let mut best: Vec<Option<(usize, f64)>> = (0..n_vms)
+        .map(|vi| rescan_vm(problem, &eval, &index, cfg, vi, &mut stats))
+        .collect();
+
+    let mut moves = 0usize;
+    while moves < cfg.max_moves {
+        // Steepest candidate overall; ties toward the lowest VM index
+        // reproduce the reference scan's first-strict-maximum pick.
+        let mut winner: Option<(usize, usize, f64)> = None;
+        for (vi, slot) in best.iter().enumerate() {
+            if let Some((hi, g)) = *slot {
+                if winner.as_ref().is_none_or(|&(_, _, wg)| g > wg) {
+                    winner = Some((vi, hi, g));
+                }
+            }
+        }
+        let Some((vi, to, _)) = winner else { break };
+        let from = eval.host_of(vi);
+        eval.apply_move(vi, to);
+        moves += 1;
+        index.update_host(problem, from, eval.raw_demands()[from], eval.counts()[from]);
+        index.update_host(problem, to, eval.raw_demands()[to], eval.counts()[to]);
+        stats.index_updates += 2;
+
+        // (1) VMs now resident on the touched hosts (including the moved
+        // one): their cached revenue changed, so all their gains are
+        // stale — rebuild their shortlists.
+        let mut touched: Vec<usize> = eval.residents(from).to_vec();
+        touched.extend_from_slice(eval.residents(to));
+        for &w in &touched {
+            best[w] = rescan_vm(problem, &eval, &index, cfg, w, &mut stats);
+        }
+
+        // (2) Every other VM: only its candidates *toward* the touched
+        // hosts changed. A stored best on an untouched host is still the
+        // exact maximum over untouched destinations (their gains are
+        // bit-unchanged), so merging the two recomputed candidates keeps
+        // it exact; a stored best *on* a touched host leaves the
+        // untouched maximum unknown, forcing a full rescan.
+        for (w, slot) in best.iter_mut().enumerate() {
+            let wh = eval.host_of(w);
+            if wh == from || wh == to {
+                continue;
+            }
+            if let Some((bh, _)) = *slot {
+                if bh == from || bh == to {
+                    *slot = rescan_vm(problem, &eval, &index, cfg, w, &mut stats);
+                    continue;
+                }
+            }
+            for h in [from, to] {
+                if h != wh {
+                    if let Some(g) = qualified_gain(problem, &eval, cfg, w, h, &mut stats) {
+                        merge(slot, h, g);
+                    }
+                }
+            }
+        }
+    }
+
+    pamdc_obs::metrics::add(pamdc_obs::Counter::LocalsearchMovesAccepted, moves as u64);
+    pamdc_obs::metrics::add(
+        pamdc_obs::Counter::LocalsearchMovesRejected,
+        stats.cleared.saturating_sub(moves as u64),
+    );
+    pamdc_obs::metrics::add(
+        pamdc_obs::Counter::LocalsearchCandidatesRescored,
+        stats.rescored,
+    );
+    pamdc_obs::metrics::add(pamdc_obs::Counter::LocalsearchVmRescans, stats.vm_rescans);
+    pamdc_obs::metrics::add(
+        pamdc_obs::Counter::LocalsearchIndexUpdates,
+        stats.index_updates,
+    );
+    if stats.near_groups > 0 {
+        pamdc_obs::metrics::add(
+            pamdc_obs::Counter::IndexNearShortlistHits,
+            stats.near_groups,
+        );
+    }
+    (eval.schedule(), moves)
+}
+
+/// Keeps `slot` holding the maximum-gain candidate, ties toward the
+/// lowest host index — the winner the reference's ascending strict-`>`
+/// scan keeps.
+fn merge(slot: &mut Option<(usize, f64)>, hi: usize, gain: f64) {
+    let replace = match slot {
+        None => true,
+        Some((bh, bg)) => gain > *bg || (gain == *bg && hi < *bh),
+    };
+    if replace {
+        *slot = Some((hi, gain));
+    }
+}
+
+/// Full guard chain for one (VM, destination) pair, in the reference
+/// loop's order: memory, headroom, then the gain threshold.
+fn qualified_gain(
+    problem: &Problem,
+    eval: &ScheduleEvaluator,
+    cfg: &LocalSearchConfig,
+    vi: usize,
+    hi: usize,
+    stats: &mut IncStats,
+) -> Option<f64> {
+    if !eval.move_fits_memory(vi, hi) {
+        return None;
+    }
+    let host = &problem.hosts[hi];
+    let mut after = eval.host_total(hi);
+    after += *eval.demand(vi);
+    after.cpu += host.virt_overhead_cpu_per_vm;
+    if after.dominant_share(&host.capacity) > cfg.max_util_after_move {
+        return None;
+    }
+    gain_only(eval, cfg, vi, hi, stats)
+}
+
+/// The gain threshold alone — for destinations whose guards were already
+/// settled group-wide.
+fn gain_only(
+    eval: &ScheduleEvaluator,
+    cfg: &LocalSearchConfig,
+    vi: usize,
+    hi: usize,
+    stats: &mut IncStats,
+) -> Option<f64> {
+    stats.rescored += 1;
+    let gain = eval.move_gain(vi, hi);
+    if gain > cfg.min_gain_eur {
+        stats.cleared += 1;
+        Some(gain)
+    } else {
+        None
+    }
+}
+
+/// Rebuilds one VM's best qualifying candidate through the index
+/// shortlist. Exact mode skips guard-failing groups with one check
+/// (memory fit, headroom and — for empty groups — the gain itself are
+/// group-uniform) and scores occupied groups member-by-member; near mode
+/// scores up to `top_k` members per group with per-member guards.
+fn rescan_vm(
+    problem: &Problem,
+    eval: &ScheduleEvaluator,
+    index: &CandidateIndex,
+    cfg: &LocalSearchConfig,
+    vi: usize,
+    stats: &mut IncStats,
+) -> Option<(usize, f64)> {
+    stats.vm_rescans += 1;
+    let from = eval.host_of(vi);
+    // The one member whose gain differs within an empty group: the VM's
+    // original (pre-round) host carries no migration term. `None` when
+    // the VM is homeless or its home is off-problem — then no member is
+    // special.
+    let orig = problem.vms[vi]
+        .current_pm
+        .and_then(|pm| problem.host_index(pm));
+    let demand = eval.demand(vi);
+    let mut best: Option<(usize, f64)> = None;
+
+    // The bucket range scan is only a sound prefilter while the headroom
+    // cap keeps destinations within capacity: a group is range-skipped
+    // only when the demand overflows its members' free capacity, which
+    // implies a dominant share above 1.0. A cap above 1.0 admits such
+    // destinations, so fall back to scanning every group.
+    let scan_all = cfg.max_util_after_move > 1.0;
+
+    let mut scan = |members: &[usize]| {
+        match index.mode() {
+            IndexMode::Exact => {
+                // Guards are group-uniform (same class, count and demand
+                // bits): one check settles the whole group. `from` may
+                // serve as the probe — its guard answer matches its
+                // twins' — but is never a destination.
+                let probe = members[0];
+                if !eval.move_fits_memory(vi, probe) {
+                    return;
+                }
+                let host = &problem.hosts[probe];
+                let mut after = eval.host_total(probe);
+                after += *demand;
+                after.cpu += host.virt_overhead_cpu_per_vm;
+                if after.dominant_share(&host.capacity) > cfg.max_util_after_move {
+                    return;
+                }
+                if eval.counts()[probe] == 0 && eval.residents(probe).is_empty() {
+                    // Empty group: every member's gain is the same bits,
+                    // except the VM's original host (no migration term).
+                    // `from` holds the VM, so it is never in this group.
+                    if let Some(rep) = members.iter().copied().find(|&hi| Some(hi) != orig) {
+                        if let Some(g) = gain_only(eval, cfg, vi, rep, stats) {
+                            merge(&mut best, rep, g);
+                        }
+                    }
+                    if let Some(oh) = orig {
+                        if members.binary_search(&oh).is_ok() {
+                            if let Some(g) = gain_only(eval, cfg, vi, oh, stats) {
+                                merge(&mut best, oh, g);
+                            }
+                        }
+                    }
+                } else {
+                    // Occupied group: the destination's residents are
+                    // re-scored inside `move_gain`, so gains differ per
+                    // member — score each.
+                    for &hi in members {
+                        if hi == from {
+                            continue;
+                        }
+                        if let Some(g) = gain_only(eval, cfg, vi, hi, stats) {
+                            merge(&mut best, hi, g);
+                        }
+                    }
+                }
+            }
+            IndexMode::Near { top_k } => {
+                // Members only share buckets, not bits: per-member
+                // guards, bounded to the first `top_k` members.
+                stats.near_groups += 1;
+                for &hi in members.iter().filter(|&&hi| hi != from).take(top_k) {
+                    if let Some(g) = qualified_gain(problem, eval, cfg, vi, hi, stats) {
+                        merge(&mut best, hi, g);
+                    }
+                }
+            }
+        }
+    };
+
+    if scan_all {
+        for members in index.all_groups() {
+            scan(members);
+        }
+    } else {
+        for members in index.fitting_groups(demand) {
+            scan(members);
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -195,5 +523,35 @@ mod tests {
         };
         let (_, moves) = improve_schedule(&p, &o, start, &cfg);
         assert!(moves <= 1);
+    }
+
+    #[test]
+    fn incremental_matches_reference_on_small_fleets() {
+        for rps in [10.0, 120.0, 420.0] {
+            let p = problem(6, 12, rps);
+            let o = TrueOracle::new();
+            let start = crate::baselines::round_robin(&p);
+            let cfg = LocalSearchConfig {
+                max_moves: 64,
+                ..Default::default()
+            };
+            let (a, am) = improve_schedule_reference(&p, &o, start.clone(), &cfg);
+            let (b, bm) = improve_schedule_incremental(&p, &o, start, &cfg);
+            assert_eq!(am, bm, "move counts at rps {rps}");
+            assert_eq!(a, b, "schedules at rps {rps}");
+        }
+    }
+
+    #[test]
+    fn large_fleets_dispatch_to_the_incremental_path_and_agree() {
+        // 80 hosts ≥ the default index_min_hosts: improve_schedule takes
+        // the incremental path; the reference must agree bit-for-bit.
+        let p = problem(24, 80, 25.0);
+        let o = TrueOracle::new();
+        let start = crate::baselines::round_robin(&p);
+        let (a, am) = improve_schedule(&p, &o, start.clone(), &LocalSearchConfig::default());
+        let (b, bm) = improve_schedule_reference(&p, &o, start, &LocalSearchConfig::default());
+        assert_eq!(am, bm);
+        assert_eq!(a, b);
     }
 }

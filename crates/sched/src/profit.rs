@@ -79,11 +79,20 @@ impl PlacementState {
     /// enabled: host equivalence groups are rebuilt incrementally on
     /// every [`PlacementState::assign`].
     pub fn with_candidate_index(problem: &Problem) -> Self {
+        Self::with_candidate_index_mode(problem, crate::index::IndexMode::Exact)
+    }
+
+    /// [`PlacementState::with_candidate_index`] under an explicit
+    /// [`IndexMode`](crate::index::IndexMode) — near mode buckets hosts
+    /// without their demand bits (coarser groups, approximate
+    /// shortlists).
+    pub fn with_candidate_index_mode(problem: &Problem, mode: crate::index::IndexMode) -> Self {
         let mut state = Self::new(problem);
-        state.index = Some(Box::new(CandidateIndex::new(
+        state.index = Some(Box::new(CandidateIndex::new_with_mode(
             problem,
             &state.demand,
             &state.vm_counts,
+            mode,
         )));
         state
     }
@@ -175,15 +184,34 @@ impl BelievedTotals {
     /// a second O(V) oracle pass (demand is placement-independent, so a
     /// vector computed before re-homing stays valid).
     pub fn from_current_placement_with(problem: &Problem, demands: Vec<Resources>) -> Self {
+        let host_of: Vec<Option<usize>> = problem
+            .vms
+            .iter()
+            .map(|vm| vm.current_pm.and_then(|pm| problem.host_index(pm)))
+            .collect();
+        Self::from_placement(problem, demands, &host_of)
+    }
+
+    /// Totals under an explicit per-VM host assignment (`None` = not
+    /// placed on any in-problem host). This is the placement-only
+    /// snapshot the hierarchical round uses after its per-DC passes: the
+    /// effective placement lives in a vector, so no `Problem` clone is
+    /// needed to describe "where everything sits now".
+    pub fn from_placement(
+        problem: &Problem,
+        demands: Vec<Resources>,
+        host_of: &[Option<usize>],
+    ) -> Self {
         debug_assert_eq!(
             demands.len(),
             problem.vms.len(),
             "one believed demand per VM"
         );
+        debug_assert_eq!(host_of.len(), problem.vms.len(), "one host slot per VM");
         let mut raw: Vec<Resources> = problem.hosts.iter().map(|h| h.fixed_demand).collect();
         let mut counts: Vec<usize> = vec![0; problem.hosts.len()];
-        for (vm, demand) in problem.vms.iter().zip(&demands) {
-            if let Some(hi) = vm.current_pm.and_then(|pm| problem.host_index(pm)) {
+        for (slot, demand) in host_of.iter().zip(&demands) {
+            if let Some(hi) = *slot {
                 raw[hi] += *demand;
                 counts[hi] += 1;
             }

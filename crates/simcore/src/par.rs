@@ -50,6 +50,31 @@ fn capture_worker_context() -> Option<ContextInstaller> {
     WORKER_CONTEXT.get().and_then(|capture| capture())
 }
 
+/// The worker count a sweep actually runs with, after clamping the
+/// hardware budget by the item count, the caller's explicit bound, and
+/// the `PAMDC_PAR_WORKERS` environment override (whichever is
+/// smallest wins; zero and unparsable values are ignored). Pure so the
+/// clamping chain is testable without spawning threads. Determinism is
+/// unaffected by any of the knobs — results are placed by input index.
+pub fn effective_workers(
+    items: usize,
+    hardware: usize,
+    max_workers: Option<usize>,
+    env_cap: Option<usize>,
+) -> usize {
+    hardware
+        .max(1)
+        .min(items)
+        .min(max_workers.unwrap_or(usize::MAX).max(1))
+        .min(env_cap.filter(|&c| c > 0).unwrap_or(usize::MAX))
+}
+
+fn env_worker_cap() -> Option<usize> {
+    std::env::var("PAMDC_PAR_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+}
+
 /// Maps `f` over `items` in parallel, preserving input order.
 ///
 /// `f` must be deterministic given its item (derive all randomness from
@@ -69,8 +94,12 @@ where
 /// `max_workers` threads run concurrently (`None` = one per hardware
 /// thread). Campaigns whose runs are individually parallel (or memory
 /// hungry) cap the fan-out with this instead of oversubscribing the
-/// host. Determinism is unaffected — results are placed by input index,
-/// so any budget produces bit-identical output.
+/// host. The `PAMDC_PAR_WORKERS` environment variable further caps the
+/// fan-out (the smallest of hardware, `max_workers`, and the env value
+/// wins) — the CI multi-core lane uses it to pin a run to N workers
+/// without threading a flag through every driver. Determinism is
+/// unaffected — results are placed by input index, so any budget
+/// produces bit-identical output.
 pub fn parallel_map_bounded<T, R, F>(items: Vec<T>, max_workers: Option<usize>, f: F) -> Vec<R>
 where
     T: Send,
@@ -81,11 +110,10 @@ where
     if n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let workers = std::thread::available_parallelism()
+    let hardware = std::thread::available_parallelism()
         .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n)
-        .min(max_workers.unwrap_or(usize::MAX).max(1));
+        .unwrap_or(1);
+    let workers = effective_workers(n, hardware, max_workers, env_worker_cap());
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -192,6 +220,37 @@ mod tests {
         // A zero budget clamps to one worker instead of hanging.
         let one = parallel_map_bounded(items, Some(0), |i| i * 3 + 1);
         assert_eq!(one, unbounded);
+    }
+
+    #[test]
+    fn effective_workers_takes_the_tightest_bound() {
+        // Hardware bound.
+        assert_eq!(effective_workers(100, 8, None, None), 8);
+        // Item bound.
+        assert_eq!(effective_workers(3, 8, None, None), 3);
+        // Caller bound, with zero clamped to one.
+        assert_eq!(effective_workers(100, 8, Some(2), None), 2);
+        assert_eq!(effective_workers(100, 8, Some(0), None), 1);
+        // Env bound, with zero/absent ignored.
+        assert_eq!(effective_workers(100, 8, None, Some(4)), 4);
+        assert_eq!(effective_workers(100, 8, None, Some(0)), 8);
+        // Smallest of all wins.
+        assert_eq!(effective_workers(100, 8, Some(6), Some(5)), 5);
+        assert_eq!(effective_workers(100, 8, Some(3), Some(5)), 3);
+        // Degenerate hardware report still runs one worker.
+        assert_eq!(effective_workers(100, 0, None, None), 1);
+    }
+
+    #[test]
+    fn env_capped_run_matches_unbounded() {
+        // Env mutation is process-global: restore afterwards so other
+        // tests in this binary never observe the cap.
+        let items: Vec<u64> = (0..29).collect();
+        let unbounded = parallel_map(items.clone(), |i| i * 5 + 3);
+        std::env::set_var("PAMDC_PAR_WORKERS", "1");
+        let capped = parallel_map(items, |i| i * 5 + 3);
+        std::env::remove_var("PAMDC_PAR_WORKERS");
+        assert_eq!(capped, unbounded);
     }
 
     #[test]
