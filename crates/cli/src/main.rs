@@ -13,13 +13,19 @@
 //! pamdc import <dataset.csv> --format azure|alibaba --out trace.csv
 //!              [--tick-secs N] [--regions N] [--rate-scale K] [--stretch F]
 //!              [--remap 3,2,1,0] [--max-services N] [--max-ticks N]
+//! pamdc serve <spec> --feed <feed.csv> [--session <dir>] [--budget-ms N]
+//!             [--poll-ms N] [--max-ticks N]
+//! pamdc replay --manifest <session.json>
 //! pamdc trace summarize <trace.jsonl>
 //! ```
 //!
 //! Specs resolve as a file path first, then as a built-in registry name.
 //! Everything is deterministic: sweeps and campaigns fan out via
 //! `simcore::par` and every run derives its randomness from the spec's
-//! seed. Repeating `--param` sweeps the full cartesian product.
+//! seed. Repeating `--param` sweeps the full cartesian product. Even
+//! the live daemon (`serve`) is replayable: it records every consumed
+//! tick and degraded round, and `replay --manifest` re-executes the
+//! session bit-for-bit (docs/SERVE.md).
 
 use pamdc_scenario::campaign::{self, Campaign};
 use pamdc_scenario::output::{reports_csv, reports_json};
@@ -30,6 +36,8 @@ use pamdc_simcore::time::SimDuration;
 use pamdc_workload::trace::{DemandTrace, TraceSource};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+mod serve;
 
 const USAGE: &str = "\
 pamdc — power-aware multi-DC scenario engine (Berral, Gavaldà & Torres, ICPP 2013)
@@ -53,6 +61,14 @@ USAGE:
                                      normalize a public dataset (Azure VM
                                      trace / Alibaba cluster trace) into a
                                      replayable pamdc trace (docs/TRACES.md)
+  pamdc serve <spec> --feed <feed.csv> [--session <dir>] [--budget-ms N]
+              [--poll-ms N] [--max-ticks N] [opts]
+                                     daemon: tail a live demand feed, one MAPE
+                                     step per consumed tick, periodic snapshots
+                                     and a JSONL status stream (docs/SERVE.md)
+  pamdc replay --manifest <session.json> [opts]
+                                     re-execute a recorded serve session
+                                     bit-for-bit, degraded rounds included
   pamdc trace summarize <trace.jsonl>
                                      per-phase wall-clock breakdown of a
                                      JSONL run trace (docs/OBSERVABILITY.md)
@@ -103,11 +119,23 @@ enum Cmd {
         hours: Option<u64>,
     },
     Replay {
-        trace: PathBuf,
+        /// Trace to replay; `None` when `--manifest` drives instead.
+        trace: Option<PathBuf>,
+        /// Serve-session manifest (`session.json`) to re-execute.
+        manifest: Option<PathBuf>,
         spec: Option<String>,
         rate_scale: f64,
         stretch: f64,
         remap: Vec<usize>,
+        opts: Opts,
+    },
+    Serve {
+        spec: String,
+        feed: PathBuf,
+        session: Option<PathBuf>,
+        max_ticks: Option<usize>,
+        poll_ms: u64,
+        budget_ms: Option<u64>,
         opts: Opts,
     },
     Import {
@@ -165,6 +193,11 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
     let mut regions: Option<usize> = None;
     let mut max_services: Option<usize> = None;
     let mut max_ticks: Option<usize> = None;
+    let mut feed: Option<PathBuf> = None;
+    let mut session: Option<PathBuf> = None;
+    let mut poll_ms: u64 = 200;
+    let mut budget_ms: Option<u64> = None;
+    let mut manifest: Option<PathBuf> = None;
 
     let mut i = 0;
     while i < rest.len() {
@@ -248,6 +281,21 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
                         .map_err(|_| "--max-ticks needs an integer".to_string())?,
                 )
             }
+            "--feed" => feed = Some(PathBuf::from(value("--feed")?)),
+            "--session" => session = Some(PathBuf::from(value("--session")?)),
+            "--poll-ms" => {
+                poll_ms = value("--poll-ms")?
+                    .parse()
+                    .map_err(|_| "--poll-ms needs an integer".to_string())?
+            }
+            "--budget-ms" => {
+                budget_ms = Some(
+                    value("--budget-ms")?
+                        .parse()
+                        .map_err(|_| "--budget-ms needs an integer".to_string())?,
+                )
+            }
+            "--manifest" => manifest = Some(PathBuf::from(value("--manifest")?)),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
         }
@@ -318,12 +366,31 @@ fn parse_args(args: &[String]) -> Result<Cmd, String> {
             out: out.ok_or("record needs --out <trace.csv>")?,
             hours: opts.hours,
         }),
-        "replay" => Ok(Cmd::Replay {
-            trace: PathBuf::from(one_positional("trace path")?),
-            spec: spec_flag,
-            rate_scale,
-            stretch,
-            remap,
+        "replay" => {
+            let trace = match (&manifest, positional.as_slice()) {
+                (Some(_), []) => None,
+                (Some(_), _) => {
+                    return Err("replay takes either a trace file or --manifest, not both".into())
+                }
+                (None, _) => Some(PathBuf::from(one_positional("trace path (or --manifest)")?)),
+            };
+            Ok(Cmd::Replay {
+                trace,
+                manifest,
+                spec: spec_flag,
+                rate_scale,
+                stretch,
+                remap,
+                opts,
+            })
+        }
+        "serve" => Ok(Cmd::Serve {
+            spec: one_positional("spec path or built-in name")?,
+            feed: feed.ok_or("serve needs --feed <feed.csv>")?,
+            session,
+            max_ticks,
+            poll_ms,
+            budget_ms,
             opts,
         }),
         "import" => Ok(Cmd::Import {
@@ -591,18 +658,49 @@ fn cmd_record(spec_arg: &str, out: &Path, hours: Option<u64>) -> Result<(), Stri
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)] // one flag each, mirrored from Cmd::Replay
 fn cmd_replay(
-    trace_path: &Path,
+    trace_path: Option<&Path>,
+    manifest: Option<&Path>,
     spec_arg: Option<&str>,
     rate_scale: f64,
     stretch: f64,
     remap: &[usize],
     opts: &Opts,
 ) -> Result<(), String> {
+    if let Some(manifest) = manifest {
+        if spec_arg.is_some() || rate_scale != 1.0 || stretch != 1.0 || !remap.is_empty() {
+            return Err(
+                "--manifest replays the recorded session verbatim; --spec/--rate-scale/\
+                 --stretch/--remap do not apply"
+                    .into(),
+            );
+        }
+        let report = serve::cmd_replay_manifest(manifest)?;
+        println!("{}", report.text);
+        return write_outputs(std::slice::from_ref(&report), opts);
+    }
+    let trace_path = trace_path.expect("parse_args requires a trace when --manifest is absent");
     let text = std::fs::read_to_string(trace_path)
         .map_err(|e| format!("cannot read {}: {e}", trace_path.display()))?;
-    let trace =
-        DemandTrace::parse_csv(&text).map_err(|e| format!("{}: {e}", trace_path.display()))?;
+    // A torn final row (a recorder killed mid-append) degrades to a
+    // clean partial replay instead of a parse error.
+    let trace = match DemandTrace::parse_csv(&text) {
+        Ok(trace) => trace,
+        Err(err) => match DemandTrace::parse_csv_tail(&text) {
+            Ok(parsed) if parsed.partial_tick.is_some() && parsed.trace.tick_count() > 0 => {
+                pamdc_obs::warn!(
+                    "{}: tick {} is truncated mid-write; replaying the {} complete tick(s) \
+                     before it",
+                    trace_path.display(),
+                    parsed.partial_tick.expect("guard"),
+                    parsed.trace.tick_count()
+                );
+                parsed.trace
+            }
+            _ => return Err(format!("{}: {err}", trace_path.display())),
+        },
+    };
     let services = trace.service_count();
     // Validate transforms up front: bad flags get an error message, not
     // a panic backtrace from the replayer's asserts.
@@ -679,6 +777,35 @@ fn cmd_replay(
         text: pamdc_scenario::runner::render_outcome(&outcome),
         metrics: pamdc_scenario::runner::outcome_metrics("", &outcome),
     };
+    println!("{}", report.text);
+    write_outputs(std::slice::from_ref(&report), opts)
+}
+
+/// `pamdc serve` — resolve the spec and session directory, then hand
+/// off to the daemon loop (docs/SERVE.md).
+fn cmd_serve_entry(
+    spec_arg: &str,
+    feed: &Path,
+    session: Option<&Path>,
+    max_ticks: Option<usize>,
+    poll_ms: u64,
+    budget_ms: Option<u64>,
+    opts: &Opts,
+) -> Result<(), String> {
+    let (spec, _base) = load_spec(spec_arg)?;
+    let session = session
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| feed.with_extension("session"));
+    let report = serve::cmd_serve(
+        spec,
+        &serve::ServeConfig {
+            feed: feed.to_path_buf(),
+            session,
+            max_ticks: max_ticks.map(|n| n as u64),
+            poll_ms,
+            budget_ms,
+        },
+    )?;
     println!("{}", report.text);
     write_outputs(std::slice::from_ref(&report), opts)
 }
@@ -794,7 +921,8 @@ fn main() -> ExitCode {
     if let Cmd::Run { opts, .. }
     | Cmd::Sweep { opts, .. }
     | Cmd::Campaign { opts, .. }
-    | Cmd::Replay { opts, .. } = &cmd
+    | Cmd::Replay { opts, .. }
+    | Cmd::Serve { opts, .. } = &cmd
     {
         if opts.quiet {
             pamdc_obs::log::set_level(pamdc_obs::log::Level::Warn);
@@ -812,12 +940,38 @@ fn main() -> ExitCode {
         Cmd::Record { spec, out, hours } => cmd_record(spec, out, *hours),
         Cmd::Replay {
             trace,
+            manifest,
             spec,
             rate_scale,
             stretch,
             remap,
             opts,
-        } => cmd_replay(trace, spec.as_deref(), *rate_scale, *stretch, remap, opts),
+        } => cmd_replay(
+            trace.as_deref(),
+            manifest.as_deref(),
+            spec.as_deref(),
+            *rate_scale,
+            *stretch,
+            remap,
+            opts,
+        ),
+        Cmd::Serve {
+            spec,
+            feed,
+            session,
+            max_ticks,
+            poll_ms,
+            budget_ms,
+            opts,
+        } => cmd_serve_entry(
+            spec,
+            feed,
+            session.as_deref(),
+            *max_ticks,
+            *poll_ms,
+            *budget_ms,
+            opts,
+        ),
         Cmd::Import {
             file,
             format,
@@ -999,13 +1153,71 @@ mod tests {
                 remap,
                 ..
             } => {
-                assert_eq!(trace, PathBuf::from("t.csv"));
+                assert_eq!(trace, Some(PathBuf::from("t.csv")));
                 assert_eq!(stretch, 2.0);
                 assert_eq!(rate_scale, 1.5);
                 assert_eq!(remap, vec![3, 2, 1, 0]);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_replay_manifest() {
+        let cmd = parse(&["replay", "--manifest", "s/session.json"]).unwrap();
+        match cmd {
+            Cmd::Replay {
+                trace, manifest, ..
+            } => {
+                assert_eq!(trace, None);
+                assert_eq!(manifest, Some(PathBuf::from("s/session.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse(&["replay", "t.csv", "--manifest", "m.json"]).is_err(),
+            "a trace and a manifest are mutually exclusive"
+        );
+        assert!(parse(&["replay"]).is_err(), "needs a trace or a manifest");
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let cmd = parse(&[
+            "serve",
+            "fig4",
+            "--feed",
+            "feed.csv",
+            "--session",
+            "s",
+            "--budget-ms",
+            "250",
+            "--poll-ms",
+            "50",
+            "--max-ticks",
+            "40",
+        ])
+        .unwrap();
+        match cmd {
+            Cmd::Serve {
+                spec,
+                feed,
+                session,
+                max_ticks,
+                poll_ms,
+                budget_ms,
+                ..
+            } => {
+                assert_eq!(spec, "fig4");
+                assert_eq!(feed, PathBuf::from("feed.csv"));
+                assert_eq!(session, Some(PathBuf::from("s")));
+                assert_eq!(max_ticks, Some(40));
+                assert_eq!(poll_ms, 50);
+                assert_eq!(budget_ms, Some(250));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["serve", "fig4"]).is_err(), "--feed is required");
     }
 
     #[test]

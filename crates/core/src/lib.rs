@@ -9,6 +9,7 @@
 //! [`experiment::Experiment`] over that pipeline.
 
 pub mod energy;
+pub mod engine;
 pub mod experiment;
 pub mod experiments;
 pub mod policy;
@@ -20,6 +21,9 @@ pub mod training;
 /// Common imports.
 pub mod prelude {
     pub use crate::energy::EnergyEnvironment;
+    pub use crate::engine::{
+        Controller, ControllerSnapshot, DeadlineGovernor, RoundOutcome, StepDemand, TickOutcome,
+    };
     pub use crate::experiment::{
         outcome_metrics, run_experiment, Arm, Experiment, ExperimentReport, ExperimentRun,
     };

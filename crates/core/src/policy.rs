@@ -29,6 +29,15 @@ pub trait PlacementPolicy: Send + Sync {
     /// Decides this round's schedule.
     fn decide(&self, problem: &Problem) -> Schedule;
 
+    /// Decides under deadline pressure: a cheaper plan the online
+    /// controller can fall back to when the wall-clock budget nears.
+    /// Placement is never skipped — policies with an expensive
+    /// consolidation pass drop only that pass; everything else plans
+    /// exactly as [`decide`](PlacementPolicy::decide).
+    fn decide_degraded(&self, problem: &Problem) -> Schedule {
+        self.decide(problem)
+    }
+
     /// Display name for reports.
     fn name(&self) -> String;
 }
@@ -105,6 +114,16 @@ impl<O: QosOracle> PlacementPolicy for BestFitPolicy<O> {
             None => schedule,
         }
     }
+    fn decide_degraded(&self, problem: &Problem) -> Schedule {
+        // Raw Algorithm 1: keep the placement, drop the consolidation
+        // pass (the part whose cost scales with occupied hosts).
+        let demands: Vec<_> = problem
+            .vms
+            .iter()
+            .map(|vm| self.oracle.demand(vm))
+            .collect();
+        best_fit_with_demands_tuned(problem, &self.oracle, &demands, &self.tuning).schedule
+    }
     fn name(&self) -> String {
         format!(
             "bestfit[{}]{}",
@@ -135,6 +154,14 @@ impl<O: QosOracle> HierarchicalPolicy<O> {
 impl<O: QosOracle> PlacementPolicy for HierarchicalPolicy<O> {
     fn decide(&self, problem: &Problem) -> Schedule {
         hierarchical_round(problem, &self.oracle, &self.config).0
+    }
+    fn decide_degraded(&self, problem: &Problem) -> Schedule {
+        // Both layers still place; only the consolidation pass drops.
+        let cfg = HierarchicalConfig {
+            local_search: None,
+            ..self.config.clone()
+        };
+        hierarchical_round(problem, &self.oracle, &cfg).0
     }
     fn name(&self) -> String {
         format!(

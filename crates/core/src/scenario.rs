@@ -447,8 +447,8 @@ impl ScenarioBuilder {
                     (Demand::Synthetic(w), Some(mult)) => Demand::Synthetic(w.with_flash_crowd(
                         pamdc_workload::flashcrowd::FlashCrowd::paper_fig6(mult),
                     )),
-                    (Demand::Trace(_), Some(_)) => panic!(
-                        "a flash crowd cannot be applied to a trace demand — the trace \
+                    (Demand::Trace(_) | Demand::Tail(_), Some(_)) => panic!(
+                        "a flash crowd cannot be applied to a trace or feed demand — it \
                          already carries its demand; bake the crowd into the recording"
                     ),
                     (demand, None) => demand,

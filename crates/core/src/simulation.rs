@@ -7,23 +7,19 @@
 //! [`PlacementPolicy`] re-plans placements, triggering migrations and
 //! power management. This is the substrate on which every figure and
 //! table of the paper is regenerated.
+//!
+//! The loop body itself lives in [`crate::engine::Controller`] — a
+//! public, resumable stepper. [`SimulationRunner`] is the batch shell
+//! every experiment driver goes through: build a controller, step it
+//! `duration / tick` times, fold the outcome.
 
+use crate::engine::{Controller, StepDemand};
 use crate::policy::PlacementPolicy;
 use crate::scenario::Scenario;
 use crate::training::TrainingCollector;
-use pamdc_econ::billing::{ProfitLedger, ProfitSnapshot};
+use pamdc_econ::billing::ProfitSnapshot;
 use pamdc_green::carbon::EnergyBreakdown;
-use pamdc_infra::gateway::{weighted_transport_secs, FlowDemand, Gateway};
-use pamdc_infra::ids::{PmId, VmId};
-use pamdc_infra::monitor::{observe, SlidingWindow};
-use pamdc_infra::resources::Resources;
-use pamdc_perf::contention::{share_proportionally_into, share_work_conserving_into};
-use pamdc_perf::demand::{required_resources, OfferedLoad};
-use pamdc_perf::rt::evaluate;
-use pamdc_perf::sla::SlaFunction;
-use pamdc_sched::problem::{HostInfo, Problem, VmInfo};
 use pamdc_simcore::prelude::*;
-use std::sync::Arc;
 
 /// Simulation-run knobs.
 #[derive(Clone, Debug)]
@@ -123,23 +119,6 @@ impl RunOutcome {
     }
 }
 
-/// Reusable per-tick buffers for the per-host contention loop. One
-/// instance lives across the whole run, so steady-state ticks allocate
-/// nothing: every `Vec` is cleared and refilled in place.
-#[derive(Default)]
-struct TickScratch {
-    /// VMs hosted on the PM being processed.
-    hosted: Vec<VmId>,
-    /// The subset of `hosted` actually serving this tick.
-    serving: Vec<VmId>,
-    /// Believed demand per serving VM (slot-indexed like `serving`).
-    demands: Vec<Resources>,
-    /// Proportional-share grants per serving VM.
-    granted: Vec<Resources>,
-    /// Work-conserving burst capacity per serving VM.
-    burst: Vec<Resources>,
-}
-
 /// Drives one scenario under one policy.
 pub struct SimulationRunner {
     scenario: Scenario,
@@ -174,595 +153,15 @@ impl SimulationRunner {
 
     /// Runs for `duration` and returns the outcome (and the collector, if
     /// one was attached).
-    pub fn run(mut self, duration: SimDuration) -> (RunOutcome, Option<TrainingCollector>) {
-        let scenario = &mut self.scenario;
-        let cfg = &self.config;
-        let n_vms = scenario.cluster.vm_count();
-        let tick_secs = cfg.tick.as_secs_f64();
-        let policy_name = self.policy.name();
-
-        // Fresh per-run collector, installed thread-locally for the
-        // whole run (and inherited by `simcore::par` workers). Nested
-        // runs — a training simulation inside an arm — stack their own
-        // collectors, so counters never cross runs. Timing (and hence
-        // any wall-clock read) only exists when tracing.
-        let obs = Arc::new(pamdc_obs::Collector::new(cfg.trace));
-        let _obs_guard = pamdc_obs::CollectorGuard::install(obs.clone());
-        if cfg.trace {
-            obs.push_event(pamdc_obs::trace::run_start_line(
-                &scenario.name,
-                &policy_name,
-            ));
+    pub fn run(self, duration: SimDuration) -> (RunOutcome, Option<TrainingCollector>) {
+        let ticks = duration.ticks(self.config.tick);
+        let mut controller =
+            Controller::with(self.scenario, self.policy, self.config, self.collector);
+        controller.set_progress_total(Some(ticks));
+        for _ in 0..ticks {
+            controller.step(StepDemand::Source);
         }
-        let mut counter_snapshot = obs.counter_snapshot();
-
-        let root = RngStream::root(scenario.seed);
-        let mut monitor_rng = root.derive("monitor");
-        let rt_rng = root.derive("rt-jitter");
-
-        let mut gateway = Gateway::new(n_vms, cfg.max_backlog);
-        let mut windows: Vec<SlidingWindow> = (0..n_vms)
-            .map(|_| SlidingWindow::new(scenario.monitor.window_len))
-            .collect();
-
-        let mut ledger = ProfitLedger::new();
-        let mut series = SeriesSet::new();
-        let mut sla_stats = OnlineStats::new();
-        let mut watts_stats = OnlineStats::new();
-        let mut active_stats = OnlineStats::new();
-        let mut migrations: u64 = 0;
-        let mut total_wh = 0.0;
-        let mut served_total = 0.0;
-        let mut last_migration_tick: Vec<Option<u64>> = vec![None; n_vms];
-        let mut energy_breakdown = EnergyBreakdown::new();
-        let n_dcs = scenario.cluster.dc_count();
-        // Facility draw per DC: this tick's accumulator and the previous
-        // tick's value (what the scheduler prices marginal hosts against).
-        let mut dc_tick_watts: Vec<f64> = vec![0.0; n_dcs];
-        let mut dc_draw_w: Vec<f64> = vec![0.0; n_dcs];
-
-        // Per-tick scratch buffers (no per-tick allocation in the loop).
-        let mut flows: Vec<Vec<FlowDemand>> = vec![Vec::new(); n_vms];
-        let mut loads: Vec<OfferedLoad> = vec![OfferedLoad::default(); n_vms];
-        let mut required: Vec<Resources> = vec![Resources::ZERO; n_vms];
-        let mut scratch = TickScratch::default();
-        let slas: Vec<SlaFunction> = (0..n_vms)
-            .map(|i| {
-                let spec = &scenario.cluster.vm(VmId::from_index(i)).spec;
-                SlaFunction::new(spec.rt0_secs, spec.alpha)
-            })
-            .collect();
-        // Placement-trace series keys, formatted once instead of per
-        // VM per tick.
-        let vm_dc_keys: Vec<String> = (0..n_vms).map(|vm| format!("vm{vm}_dc")).collect();
-        // Round-problem constants: shared by refcount, never cloned per
-        // round (the network's latency matrix is the big one).
-        let round_net = Arc::new(scenario.cluster.net.clone());
-        let round_billing = Arc::new(scenario.billing.clone());
-
-        let ticks = duration.ticks(cfg.tick);
-        let mut next_fault = 0usize;
-        let mut next_profile_change = 0usize;
-        for tick_idx in 0..ticks {
-            // The `tick` span tiles into the MAPE phases below (world /
-            // monitor / analyze / plan / execute) — `pamdc trace
-            // summarize` measures its coverage against their sum. The
-            // guard closes before the trace flush so the tick's own
-            // stats drain with the tick's events.
-            let tick_span = pamdc_obs::span!("tick");
-            obs.add(pamdc_obs::Counter::SimTicks, 1);
-            let now = SimTime::ZERO + cfg.tick * tick_idx;
-            let tick_end = now + cfg.tick;
-
-            let world_span = pamdc_obs::span!("world");
-            // ---------------- Failure injection ----------------
-            while next_fault < scenario.faults.len() && scenario.faults[next_fault].at <= now {
-                let f = scenario.faults[next_fault];
-                scenario.cluster.fail_pm(f.pm, now, f.repair_after);
-                next_fault += 1;
-            }
-
-            // ---------------- Software updates ----------------
-            while next_profile_change < scenario.profile_changes.len()
-                && scenario.profile_changes[next_profile_change].at <= now
-            {
-                let c = scenario.profile_changes[next_profile_change];
-                scenario.perf_profiles[c.vm] = c.profile;
-                next_profile_change += 1;
-            }
-
-            scenario.cluster.tick(now);
-            drop(world_span);
-
-            let monitor_span = pamdc_obs::span!("monitor");
-            // ---------------- Load sampling ----------------
-            let mut rps_total = 0.0;
-            for vm in 0..n_vms {
-                let samples = scenario.workload.sample(vm, now);
-                flows[vm].clear();
-                flows[vm].extend(samples.iter().map(|s| FlowDemand {
-                    source: pamdc_infra::ids::LocationId(s.region as u16 as u32),
-                    req_per_sec: s.rps,
-                    kb_per_req: s.kb_out_per_req,
-                    cpu_ms_per_req: s.cpu_ms_per_req,
-                }));
-                let rps: f64 = samples.iter().map(|s| s.rps).sum();
-                rps_total += rps;
-                let wavg = |f: &dyn Fn(&pamdc_workload::generator::FlowSample) -> f64| {
-                    if rps > 0.0 {
-                        samples.iter().map(|s| f(s) * s.rps).sum::<f64>() / rps
-                    } else {
-                        0.0
-                    }
-                };
-                loads[vm] = OfferedLoad {
-                    rps,
-                    kb_in_per_req: wavg(&|s| s.kb_in_per_req),
-                    kb_out_per_req: wavg(&|s| s.kb_out_per_req),
-                    cpu_ms_per_req: wavg(&|s| s.cpu_ms_per_req),
-                    backlog: gateway.backlog(VmId::from_index(vm)),
-                };
-                required[vm] =
-                    required_resources(&loads[vm], &scenario.perf_profiles[vm], tick_secs);
-            }
-
-            // ---------------- Inter-DC link accounting ----------------
-            // Remote client flows cross the provider network: they load
-            // the links (slowing concurrent migrations) and, on a priced
-            // network, pay per-GB transit.
-            scenario.cluster.link_load.clear();
-            let mut client_transfer_eur = 0.0;
-            for vm in 0..n_vms {
-                let Some(pm) = scenario.cluster.placement(VmId::from_index(vm)) else {
-                    continue;
-                };
-                let loc = scenario.cluster.location_of_pm(pm);
-                for &f in &flows[vm] {
-                    if f.source == loc {
-                        continue;
-                    }
-                    let kb_per_sec = f.req_per_sec * (f.kb_per_req + loads[vm].kb_in_per_req);
-                    scenario
-                        .cluster
-                        .link_load
-                        .add_client_gbps(f.source, loc, kb_per_sec * 8e-6);
-                    client_transfer_eur += scenario.cluster.net.transfer_cost_eur(
-                        kb_per_sec * tick_secs * 1e-6,
-                        f.source,
-                        loc,
-                    );
-                }
-            }
-            ledger.book_network(client_transfer_eur);
-            drop(monitor_span);
-
-            let analyze_span = pamdc_obs::span!("analyze");
-            // ---------------- Per-host contention + perf ----------------
-            let mut tick_sla_sum = 0.0;
-            let mut tick_sla_n = 0usize;
-            let mut tick_watts = 0.0;
-            dc_tick_watts.fill(0.0);
-            for pm_idx in 0..scenario.cluster.pm_count() {
-                let pm_id = PmId::from_index(pm_idx);
-                scratch.hosted.clear();
-                scratch
-                    .hosted
-                    .extend_from_slice(scenario.cluster.pm(pm_id).hosted());
-                let host_on = scenario.cluster.pm(pm_id).is_on();
-                let location = scenario.cluster.location_of_pm(pm_id);
-
-                // Per-VM blackout fraction of this tick (1.0 = fully
-                // dark). A migration completing mid-tick lets the VM
-                // serve the remaining fraction.
-                let blackout = |v: VmId| -> f64 {
-                    if !host_on {
-                        return 1.0;
-                    }
-                    scenario
-                        .cluster
-                        .in_flight()
-                        .iter()
-                        .find(|m| m.vm == v)
-                        .map(|m| m.blackout_fraction(now, tick_end))
-                        .unwrap_or(0.0)
-                };
-                // Serving VMs: host on and not dark for the whole tick.
-                scratch.serving.clear();
-                scratch.serving.extend(
-                    scratch
-                        .hosted
-                        .iter()
-                        .copied()
-                        .filter(|&v| blackout(v) < 1.0),
-                );
-                let serving = &scratch.serving;
-
-                scratch.demands.clear();
-                scratch
-                    .demands
-                    .extend(serving.iter().map(|v| required[v.index()]));
-                let overhead = scenario.cluster.pm(pm_id).virt_overhead_cpu();
-                let mut cap = scenario.cluster.pm(pm_id).spec.capacity;
-                cap.cpu = (cap.cpu - overhead).max(1.0);
-                share_proportionally_into(&scratch.demands, cap, &mut scratch.granted);
-                share_work_conserving_into(&scratch.demands, cap, &mut scratch.burst);
-                let granted = &scratch.granted;
-                let burst = &scratch.burst;
-
-                let mut pm_cpu_used = overhead.min(scenario.cluster.pm(pm_id).spec.capacity.cpu);
-                let mut pm_sum_vm_cpu_obs = 0.0;
-                let mut pm_sum_rps = 0.0;
-
-                for (slot, &vm_id) in serving.iter().enumerate() {
-                    let vm = vm_id.index();
-                    let mut jitter = rt_rng.derive_indexed("vm-tick", (vm as u64) << 40 | tick_idx);
-                    let outcome = evaluate(
-                        &loads[vm],
-                        &scenario.perf_profiles[vm],
-                        &required[vm],
-                        &granted[slot],
-                        &burst[slot],
-                        &scenario.rt_cfg,
-                        tick_secs,
-                        Some(&mut jitter),
-                    );
-                    let transport =
-                        weighted_transport_secs(&flows[vm], location, &scenario.cluster.net);
-                    let rt_total = outcome.rt_process_secs + transport;
-                    // Pro-rate for any partial-tick migration blackout.
-                    let avail = 1.0 - blackout(vm_id);
-                    let sla = slas[vm].fulfillment(rt_total) * avail;
-
-                    // Gateway bookkeeping.
-                    let arrived = loads[vm].rps * tick_secs;
-                    let served = outcome.served_rps * tick_secs * avail;
-                    gateway.settle(vm_id, arrived, served);
-                    served_total += served;
-
-                    // Monitoring. A dropped sample never reaches the
-                    // scheduler's sizing window (the short-circuit keeps
-                    // the RNG stream untouched when dropout is off).
-                    let obs = observe(&outcome.used, &scenario.monitor, &mut monitor_rng);
-                    let dropped = scenario.monitor.dropout_prob > 0.0
-                        && monitor_rng.chance(scenario.monitor.dropout_prob);
-                    if !dropped {
-                        windows[vm].push(obs);
-                    }
-                    pm_cpu_used += outcome.used.cpu;
-                    pm_sum_vm_cpu_obs += obs.cpu;
-                    pm_sum_rps += loads[vm].rps;
-
-                    // Billing.
-                    ledger.book_revenue(&scenario.billing, sla, cfg.tick);
-                    tick_sla_sum += sla;
-                    tick_sla_n += 1;
-                    sla_stats.push(sla);
-                    // TLS free fns here: `obs` is shadowed by the
-                    // monitoring sample above.
-                    pamdc_obs::metrics::observe(pamdc_obs::Hist::SimVmSla, sla);
-                    if sla < 1.0 - 1e-9 {
-                        pamdc_obs::metrics::add(pamdc_obs::Counter::SimSlaViolations, 1);
-                    }
-
-                    // Training capture.
-                    if let Some(col) = self.collector.as_mut() {
-                        let saturated =
-                            outcome.served_rps < loads[vm].total_rps(tick_secs) * 0.98 - 1e-9;
-                        let mem_ratio = if required[vm].mem_mb > 0.0 {
-                            (granted[slot].mem_mb / required[vm].mem_mb).min(1.0)
-                        } else {
-                            1.0
-                        };
-                        col.record_vm_tick(
-                            &loads[vm],
-                            &obs,
-                            saturated,
-                            granted[slot].cpu,
-                            mem_ratio,
-                            transport,
-                            outcome.rt_process_secs,
-                            sla,
-                        );
-                    }
-                }
-
-                // Fully blacked-out VMs (in-flight all tick, or host
-                // down/booting): they earn nothing and their arrivals
-                // pile into the gateway queue.
-                for &vm_id in &scratch.hosted {
-                    if serving.contains(&vm_id) {
-                        continue;
-                    }
-                    let vm = vm_id.index();
-                    let arrived = loads[vm].rps * tick_secs;
-                    gateway.settle(vm_id, arrived, 0.0);
-                    ledger.book_revenue(&scenario.billing, 0.0, cfg.tick);
-                    tick_sla_n += 1;
-                    sla_stats.push(0.0);
-                    obs.observe(pamdc_obs::Hist::SimVmSla, 0.0);
-                    obs.add(pamdc_obs::Counter::SimSlaViolations, 1);
-                }
-
-                // Power + energy (cost booked per-DC after the host loop,
-                // so green production is shared DC-wide, not per host).
-                let watts = scenario.cluster.pm(pm_id).facility_watts(pm_cpu_used);
-                tick_watts += watts;
-                dc_tick_watts[scenario.cluster.dc_of_pm(pm_id).index()] += watts;
-                total_wh += watts * cfg.tick.as_hours_f64();
-
-                if let Some(col) = self.collector.as_mut() {
-                    if !serving.is_empty() {
-                        let pm_cpu_obs = observe(
-                            &Resources::new(pm_cpu_used, 0.0, 0.0, 0.0),
-                            &scenario.monitor,
-                            &mut monitor_rng,
-                        )
-                        .cpu;
-                        col.record_pm_tick(
-                            serving.len(),
-                            pm_sum_vm_cpu_obs,
-                            pm_sum_rps,
-                            pm_cpu_obs,
-                        );
-                    }
-                }
-            }
-
-            // ---------------- Energy billing (per DC) ----------------
-            let mut tick_green_w = 0.0;
-            for (site, &watts) in scenario.energy.sites.iter().zip(&dc_tick_watts) {
-                tick_green_w += site.split(now, watts).green_w;
-                let cost = site.book(now, watts, cfg.tick, &mut energy_breakdown);
-                ledger.book_energy(cost);
-            }
-            dc_draw_w.copy_from_slice(&dc_tick_watts);
-
-            // ---------------- Series ----------------
-            let active = scenario.cluster.powered_pm_count();
-            active_stats.push(active as f64);
-            watts_stats.push(tick_watts);
-            if cfg.keep_series {
-                let mean_sla_tick = if tick_sla_n > 0 {
-                    tick_sla_sum / tick_sla_n as f64
-                } else {
-                    1.0
-                };
-                series.record("sla", now, mean_sla_tick);
-                series.record("watts", now, tick_watts);
-                series.record("green_watts", now, tick_green_w);
-                series.record("active_pms", now, active as f64);
-                series.record("rps", now, rps_total);
-                series.record("migrations", now, migrations as f64);
-                for (vm, key) in vm_dc_keys.iter().enumerate() {
-                    if let Some(pm) = scenario.cluster.placement(VmId::from_index(vm)) {
-                        series.record(key, now, scenario.cluster.dc_of_pm(pm).index() as f64);
-                    }
-                }
-            }
-            drop(analyze_span);
-
-            // ---------------- Plan + Execute ----------------
-            if cfg.round_every_ticks > 0
-                && tick_idx % cfg.round_every_ticks == cfg.round_every_ticks - 1
-            {
-                obs.add(pamdc_obs::Counter::SimRounds, 1);
-                let plan_span = pamdc_obs::span!("plan");
-                let problem = build_problem(
-                    scenario,
-                    tick_end,
-                    &loads,
-                    &flows,
-                    &windows,
-                    &gateway,
-                    &dc_draw_w,
-                    cfg,
-                    &round_net,
-                    &round_billing,
-                );
-                let schedule = self.policy.decide(&problem);
-                schedule.validate(&problem);
-                drop(plan_span);
-                let execute_span = pamdc_obs::span!("execute");
-                for (vi, &target) in schedule.assignment.iter().enumerate() {
-                    let vm_id = problem.vms[vi].id;
-                    if scenario.cluster.vm(vm_id).is_migrating() {
-                        continue;
-                    }
-                    // Anti-thrash cooldown.
-                    if last_migration_tick[vm_id.index()]
-                        .is_some_and(|t| tick_idx - t < cfg.migration_cooldown_ticks)
-                    {
-                        continue;
-                    }
-                    let from_loc = scenario.cluster.location_of_vm(vm_id);
-                    if scenario.cluster.placement(vm_id) != Some(target)
-                        && scenario.cluster.migrate(vm_id, target, tick_end).is_some()
-                    {
-                        migrations += 1;
-                        obs.add(pamdc_obs::Counter::SimMigrations, 1);
-                        last_migration_tick[vm_id.index()] = Some(tick_idx);
-                        ledger.book_migration(&scenario.billing);
-                        // Image shipment pays transit on a priced network.
-                        if let Some(from) = from_loc {
-                            let to_loc = scenario.cluster.location_of_pm(target);
-                            let gb = scenario.cluster.vm(vm_id).spec.image_size_mb / 1000.0;
-                            ledger.book_network(
-                                scenario.cluster.net.transfer_cost_eur(gb, from, to_loc),
-                            );
-                        }
-                    }
-                }
-                scenario.cluster.power_off_idle(tick_end, &[]);
-                debug_assert!({
-                    scenario.cluster.check_invariants();
-                    true
-                });
-                drop(execute_span);
-            }
-
-            // ---------------- Trace flush + heartbeat ----------------
-            drop(tick_span);
-            if cfg.trace {
-                for (path, stat) in obs.take_spans() {
-                    obs.push_event(pamdc_obs::trace::span_line(
-                        tick_idx,
-                        &path,
-                        stat.count,
-                        stat.total_ns,
-                    ));
-                }
-                let snap = obs.counter_snapshot();
-                for (i, c) in pamdc_obs::Counter::ALL.iter().enumerate() {
-                    if snap[i] != counter_snapshot[i] {
-                        obs.push_event(pamdc_obs::trace::counter_line(tick_idx, c.name(), snap[i]));
-                    }
-                }
-                counter_snapshot = snap;
-            }
-            if cfg.progress && (tick_idx + 1) % 60 == 0 {
-                pamdc_obs::log::progress(format_args!(
-                    "[{}] tick {}/{} migrations={} active_pms={}",
-                    scenario.name,
-                    tick_idx + 1,
-                    ticks,
-                    migrations,
-                    scenario.cluster.powered_pm_count(),
-                ));
-            }
-        }
-
-        let dropped: f64 = (0..n_vms)
-            .map(|vm| gateway.dropped_total(VmId::from_index(vm)))
-            .sum();
-        obs.gauge_set(
-            pamdc_obs::Gauge::SimActivePms,
-            scenario.cluster.powered_pm_count() as f64,
-        );
-        let pending_vms = (0..n_vms)
-            .filter(|&vm| gateway.backlog(VmId::from_index(vm)) > 0.0)
-            .count();
-        obs.gauge_set(pamdc_obs::Gauge::SimPendingVms, pending_vms as f64);
-        if cfg.trace {
-            obs.push_event(pamdc_obs::trace::run_end_line(ticks));
-        }
-        let obs_metrics = obs.run_metrics();
-        let trace_lines = if cfg.trace {
-            obs.take_events()
-        } else {
-            Vec::new()
-        };
-        let outcome = RunOutcome {
-            policy_name: self.policy.name(),
-            scenario_name: scenario.name.clone(),
-            series,
-            profit: ledger.snapshot(),
-            duration,
-            mean_sla: sla_stats.mean(),
-            avg_watts: watts_stats.mean(),
-            total_wh,
-            migrations,
-            dropped_requests: dropped,
-            served_requests: served_total,
-            avg_active_pms: active_stats.mean(),
-            energy: energy_breakdown,
-            obs_metrics,
-            trace_lines,
-        };
-        (outcome, self.collector)
-    }
-}
-
-/// Snapshot the world into a scheduling [`Problem`]. `net` and
-/// `billing` are the run-constant shared handles — every round's problem
-/// bumps their refcount instead of cloning them.
-#[allow(clippy::too_many_arguments)]
-fn build_problem(
-    scenario: &Scenario,
-    now: SimTime,
-    loads: &[OfferedLoad],
-    flows: &[Vec<FlowDemand>],
-    windows: &[SlidingWindow],
-    gateway: &Gateway,
-    dc_draw_w: &[f64],
-    cfg: &RunConfig,
-    net: &Arc<pamdc_infra::network::NetworkModel>,
-    billing: &Arc<pamdc_econ::billing::BillingPolicy>,
-) -> Problem {
-    let cluster = &scenario.cluster;
-    let hosts: Vec<HostInfo> = cluster
-        .pms()
-        .iter()
-        .map(|pm| {
-            let boot_penalty = match pm.state() {
-                pamdc_infra::pm::PmState::On => SimDuration::ZERO,
-                pamdc_infra::pm::PmState::Booting { until } => until - now,
-                // A crashed host serves nothing until repaired AND
-                // rebooted — the penalty that makes policies evacuate it.
-                pamdc_infra::pm::PmState::Failed { until } => (until - now) + pm.spec.boot_time,
-                _ => pm.spec.boot_time,
-            };
-            let dc_idx = pm.dc.index();
-            // Quote the price of adding roughly one loaded host's draw on
-            // top of what the DC burns now: green headroom makes the
-            // quote collapse to the green marginal, saturation restores
-            // the grid price.
-            let quoted = scenario.energy.quoted_price_eur_kwh(
-                dc_idx,
-                now,
-                dc_draw_w[dc_idx],
-                pm.spec.power.facility_watts(100.0),
-            );
-            HostInfo {
-                id: pm.id,
-                dc: pm.dc,
-                location: cluster.location_of_pm(pm.id),
-                capacity: pm.spec.capacity,
-                power: pm.spec.power.clone(),
-                energy_eur_kwh: quoted,
-                virt_overhead_cpu_per_vm: pm.spec.virt_overhead_cpu_per_vm,
-                fixed_demand: Resources::ZERO,
-                fixed_vm_count: 0,
-                powered_on: pm.is_schedulable(),
-                boot_penalty,
-            }
-        })
-        .collect();
-
-    let vms: Vec<VmInfo> = (0..cluster.vm_count())
-        .map(|vm| {
-            let vm_id = VmId::from_index(vm);
-            let spec = &cluster.vm(vm_id).spec;
-            let current_pm = cluster.placement(vm_id);
-            let mut load = loads[vm];
-            load.backlog = gateway.backlog(vm_id);
-            VmInfo {
-                id: vm_id,
-                load,
-                flows: flows[vm].clone(),
-                sla: SlaFunction::new(spec.rt0_secs, spec.alpha),
-                image_size_mb: spec.image_size_mb,
-                perf: scenario.perf_profiles[vm],
-                current_pm,
-                current_location: current_pm.map(|pm| cluster.location_of_pm(pm)),
-                observed_usage: windows[vm].mean(),
-            }
-        })
-        .collect();
-
-    let horizon = cfg.tick * cfg.plan_horizon_ticks.unwrap_or(cfg.round_every_ticks);
-    // Stickiness stays pinned to the round cadence even under a longer
-    // planning horizon — it damps per-round churn, not per-horizon value.
-    let round_span = cfg.tick * cfg.round_every_ticks;
-    Problem {
-        vms,
-        hosts,
-        net: Arc::clone(net),
-        billing: Arc::clone(billing),
-        horizon,
-        // 5% of one round's revenue: big enough to damp noise-driven
-        // churn, small enough to let real gains through.
-        stickiness_eur: scenario.billing.revenue(1.0, round_span) * 0.05,
-        host_index_cache: Default::default(),
+        controller.finish(duration)
     }
 }
 

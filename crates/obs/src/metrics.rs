@@ -82,10 +82,21 @@ pub enum Counter {
     ImportRowsRead,
     /// Importer data rows skipped (unusable/filtered).
     ImportRowsDropped,
+    /// Scheduling rounds planned in degraded (bestfit-only) mode under
+    /// deadline pressure. Counted inside the engine, so a recorded
+    /// live session replayed with its degradation manifest reproduces
+    /// the same value.
+    ServeDegradedRounds,
+    /// Feed polls performed by the serve daemon (wall-clock paced;
+    /// excluded from run flushes).
+    ServeFeedPolls,
+    /// Session snapshots written by the serve daemon (excluded from
+    /// run flushes).
+    ServeSnapshots,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 26] = [
         Counter::SimTicks,
         Counter::SimRounds,
         Counter::SimMigrations,
@@ -109,6 +120,9 @@ impl Counter {
         Counter::HierConsolidationMoves,
         Counter::ImportRowsRead,
         Counter::ImportRowsDropped,
+        Counter::ServeDegradedRounds,
+        Counter::ServeFeedPolls,
+        Counter::ServeSnapshots,
     ];
 
     pub fn name(self) -> &'static str {
@@ -136,13 +150,27 @@ impl Counter {
             Counter::HierConsolidationMoves => "sched.hier.consolidation_moves",
             Counter::ImportRowsRead => "import.rows_read",
             Counter::ImportRowsDropped => "import.rows_dropped",
+            Counter::ServeDegradedRounds => "serve.degraded_rounds",
+            Counter::ServeFeedPolls => "serve.feed_polls",
+            Counter::ServeSnapshots => "serve.snapshots",
         }
     }
 
     /// Whether the counter belongs in a simulation run's flushed
-    /// metrics (importer counters don't — they are bumped outside runs).
+    /// metrics. Importer counters don't (they are bumped outside
+    /// runs), and neither do the daemon-side serve counters (polls and
+    /// snapshots follow wall-clock pacing, which must never enter a
+    /// report). `ServeDegradedRounds` *is* flushed: the engine bumps it
+    /// deterministically per degraded round, so a manifest replay
+    /// reproduces it bit-for-bit.
     fn in_run_flush(self) -> bool {
-        !matches!(self, Counter::ImportRowsRead | Counter::ImportRowsDropped)
+        !matches!(
+            self,
+            Counter::ImportRowsRead
+                | Counter::ImportRowsDropped
+                | Counter::ServeFeedPolls
+                | Counter::ServeSnapshots
+        )
     }
 }
 
@@ -336,7 +364,8 @@ impl Collector {
 
 /// Number of metrics [`Collector::run_metrics`] flushes — the schema
 /// width experiment tests pin against.
-pub const RUN_METRIC_COUNT: usize = COUNTERS - 2 /* import.* */ + GAUGES + HISTS * HIST_BUCKETS;
+pub const RUN_METRIC_COUNT: usize =
+    COUNTERS - 4 /* import.*, serve daemon-side */ + GAUGES + HISTS * HIST_BUCKETS;
 
 thread_local! {
     static CURRENT: RefCell<Option<Arc<Collector>>> = const { RefCell::new(None) };

@@ -132,6 +132,31 @@ pub fn run_end_line(ticks: u64) -> String {
     format!("{{\"event\":\"run_end\",\"ticks\":{ticks}}}")
 }
 
+/// One consumed tick of a live `pamdc serve` session — the daemon's
+/// per-tick status stream. `round`/`degraded`/`migrations` describe the
+/// scheduling round the tick ended (all zero/false on non-round ticks).
+/// Like `wall_ns` on spans, `wall_ms` (time spent executing the step)
+/// is the only nondeterministic field: strip it and two sessions over
+/// the same feed compare byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_tick_line(
+    tick: u64,
+    sla: f64,
+    watts: f64,
+    active_pms: usize,
+    rps: f64,
+    round: bool,
+    degraded: bool,
+    migrations: u64,
+    wall_ms: u64,
+) -> String {
+    format!(
+        "{{\"event\":\"serve_tick\",\"tick\":{tick},\"sla\":{sla},\"watts\":{watts},\
+         \"active_pms\":{active_pms},\"rps\":{rps},\"round\":{round},\
+         \"degraded\":{degraded},\"migrations\":{migrations},\"wall_ms\":{wall_ms}}}"
+    )
+}
+
 // ---------------- Flat-JSON line scanning ----------------
 
 /// Extracts string field `key` from a flat JSON line (our own emission:
@@ -345,6 +370,21 @@ mod tests {
             "{\"event\":\"future_thing\",\"x\":1}".to_string(),
         ]);
         assert_eq!(ok.expect("forward compatible").runs, 1);
+    }
+
+    #[test]
+    fn serve_tick_lines_scan_and_summarize_forward_compatibly() {
+        let line = serve_tick_line(7, 0.995, 1234.5, 6, 812.25, true, false, 2, 13);
+        assert_eq!(field_str(&line, "event").as_deref(), Some("serve_tick"));
+        assert_eq!(field_u64(&line, "tick"), Some(7));
+        assert_eq!(field_u64(&line, "active_pms"), Some(6));
+        assert_eq!(field_u64(&line, "migrations"), Some(2));
+        assert_eq!(field_u64(&line, "wall_ms"), Some(13));
+        // The summarizer skips serve_tick (unknown event) but still
+        // reads the surrounding run markers.
+        let s = summarize([run_start_line("s", "p"), line, run_end_line(1)])
+            .expect("serve stream summarizes");
+        assert_eq!((s.runs, s.ticks), (1, 1));
     }
 
     #[test]

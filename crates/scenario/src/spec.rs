@@ -507,6 +507,36 @@ pub struct ProfileSpec {
     pub progress: bool,
 }
 
+/// `[serve]` — live-daemon knobs for `pamdc serve`: the wall-clock
+/// budget a control round may spend before the scheduler degrades, the
+/// snapshot cadence, and where the per-tick JSONL status stream goes.
+/// Batch runs (`pamdc run`) ignore this table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeSpec {
+    /// Wall-clock budget per control round, milliseconds (0 =
+    /// unlimited). When a placement round overruns it, subsequent
+    /// rounds drop the local-search refinement (bestfit-only) until
+    /// rounds fit comfortably again — placement itself never skips.
+    pub budget_ms: u64,
+    /// Write a restart snapshot (recorded feed + session manifest)
+    /// every this many consumed ticks.
+    pub snapshot_every: u64,
+    /// JSONL status-stream destination. `None` = `status.jsonl` inside
+    /// the session directory. Relative paths resolve against the
+    /// invoking working directory.
+    pub status_out: Option<String>,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            budget_ms: 0,
+            snapshot_every: 60,
+            status_out: None,
+        }
+    }
+}
+
 /// `[[faults]]` — one scheduled host crash.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultSpec {
@@ -620,6 +650,8 @@ pub struct ScenarioSpec {
     pub run: RunSpec,
     /// Observability (tracing + progress heartbeat).
     pub profile: ProfileSpec,
+    /// Live-daemon knobs (`pamdc serve`).
+    pub serve: ServeSpec,
     /// Scheduled host crashes.
     pub faults: Vec<FaultSpec>,
     /// Scheduled performance changes.
@@ -664,6 +696,7 @@ impl Default for ScenarioSpec {
             },
             run: RunSpec::default(),
             profile: ProfileSpec::default(),
+            serve: ServeSpec::default(),
             faults: Vec::new(),
             profile_changes: Vec::new(),
             training: TrainingSpec::default(),
@@ -1103,6 +1136,17 @@ impl ScenarioSpec {
             t.finish()?;
         }
 
+        if let Some(mut t) = root.take_table("serve", "serve")? {
+            if let Some(v) = t.take_u64("budget_ms")? {
+                spec.serve.budget_ms = v;
+            }
+            if let Some(v) = t.take_u64("snapshot_every")? {
+                spec.serve.snapshot_every = v;
+            }
+            spec.serve.status_out = t.take_str("status_out")?;
+            t.finish()?;
+        }
+
         for mut t in root.take_table_array("faults", "faults")? {
             let pm = t
                 .take_usize("pm")?
@@ -1245,6 +1289,12 @@ impl ScenarioSpec {
         }
         if self.profile.trace_out.as_deref() == Some("") {
             return Err(bad("profile.trace_out must be a non-empty path"));
+        }
+        if self.serve.status_out.as_deref() == Some("") {
+            return Err(bad("serve.status_out must be a non-empty path"));
+        }
+        if self.serve.snapshot_every == 0 {
+            return Err(bad("serve.snapshot_every must be at least 1 tick"));
         }
         let pms = dcs * self.topology.hosts_per_dc();
         for f in &self.faults {
@@ -1632,6 +1682,24 @@ impl ScenarioSpec {
             root.insert("profile".into(), Value::Table(profile));
         }
 
+        if self.serve != ServeSpec::default() {
+            let defaults = ServeSpec::default();
+            let mut serve = Table::new();
+            if self.serve.budget_ms != defaults.budget_ms {
+                serve.insert("budget_ms".into(), Value::Int(self.serve.budget_ms as i64));
+            }
+            if self.serve.snapshot_every != defaults.snapshot_every {
+                serve.insert(
+                    "snapshot_every".into(),
+                    Value::Int(self.serve.snapshot_every as i64),
+                );
+            }
+            if let Some(path) = &self.serve.status_out {
+                serve.insert("status_out".into(), Value::Str(path.clone()));
+            }
+            root.insert("serve".into(), Value::Table(serve));
+        }
+
         if !self.faults.is_empty() {
             let faults = self
                 .faults
@@ -1840,6 +1908,11 @@ mod tests {
             trace_out: Some("out/trace.jsonl".into()),
             progress: true,
         };
+        spec.serve = ServeSpec {
+            budget_ms: 250,
+            snapshot_every: 30,
+            status_out: Some("out/status.jsonl".into()),
+        };
         spec.faults = vec![FaultSpec {
             pm: 1,
             at_min: 30,
@@ -1882,6 +1955,36 @@ mod tests {
             .unwrap_err()
             .0
             .contains("profile.trace_out"));
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn serve_table_round_trips_and_validates() {
+        // An all-default [serve] table is not emitted at all.
+        let spec = ScenarioSpec::default();
+        assert!(!spec.emit().contains("[serve]"));
+        // Partial overrides round-trip and only emit what moved.
+        let mut budgeted = ScenarioSpec::default();
+        budgeted.serve.budget_ms = 120;
+        let emitted = budgeted.emit();
+        assert!(emitted.contains("[serve]") && emitted.contains("budget_ms"));
+        assert!(!emitted.contains("snapshot_every"), "default stays silent");
+        assert_eq!(ScenarioSpec::parse(&emitted).expect("parse"), budgeted);
+        // Misconfigurations fail loudly.
+        let mut never_snapshots = ScenarioSpec::default();
+        never_snapshots.serve.snapshot_every = 0;
+        assert!(never_snapshots
+            .validate()
+            .unwrap_err()
+            .0
+            .contains("serve.snapshot_every"));
+        let mut empty_status = ScenarioSpec::default();
+        empty_status.serve.status_out = Some(String::new());
+        assert!(empty_status
+            .validate()
+            .unwrap_err()
+            .0
+            .contains("serve.status_out"));
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod libcn;
 pub mod profile;
 pub mod service;
 pub mod source;
+pub mod tail;
 pub mod trace;
 
 /// Common imports.
@@ -34,5 +35,6 @@ pub mod prelude {
     pub use crate::profile::{DayPeak, DiurnalProfile};
     pub use crate::service::ServiceClass;
     pub use crate::source::{Demand, DemandSource};
-    pub use crate::trace::{DemandTrace, TraceSource};
+    pub use crate::tail::TailSource;
+    pub use crate::trace::{DemandTrace, TraceParse, TraceSource};
 }

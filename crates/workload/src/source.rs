@@ -1,14 +1,16 @@
 //! Pluggable demand sources.
 //!
 //! The simulation loop does not care where demand comes from: the
-//! synthetic Li-BCN-style [`Workload`] generator and a recorded
-//! [`TraceSource`](crate::trace::TraceSource) replayer expose the same
+//! synthetic Li-BCN-style [`Workload`] generator, a recorded
+//! [`TraceSource`](crate::trace::TraceSource) replayer and a live
+//! [`TailSource`](crate::tail::TailSource) feed tailer expose the same
 //! sampling surface through [`DemandSource`], and [`Demand`] is the
 //! concrete closed sum the rest of the workspace stores (scenarios must
 //! stay `Clone + Debug`, which a trait object would forfeit).
 
 use crate::generator::{FlowSample, Workload};
 use crate::service::ServiceClass;
+use crate::tail::TailSource;
 use crate::trace::TraceSource;
 use pamdc_simcore::time::SimTime;
 
@@ -40,6 +42,16 @@ pub trait DemandSource {
     /// Samples the realized demand for one service at one tick: one
     /// [`FlowSample`] per region with nonzero load.
     fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample>;
+
+    /// Where known demand ends, if it ends at all. `None` — the
+    /// default — means open-ended: synthetic generators extend forever
+    /// and live feeds keep growing. Sources backed by a fixed recording
+    /// return the end of their data (after any playback transform);
+    /// what they answer *past* the horizon is implementation-defined
+    /// (replays wrap, live feeds go quiet).
+    fn horizon(&self) -> Option<SimTime> {
+        None
+    }
 
     /// The expected (noise-free, for synthetic sources; recorded, for
     /// traces) request rate from one region to one service at `t`.
@@ -98,6 +110,19 @@ pub enum Demand {
     Synthetic(Workload),
     /// A recorded trace replayed (optionally transformed).
     Trace(TraceSource),
+    /// A live append-only feed tailed as it grows.
+    Tail(TailSource),
+}
+
+/// Dispatches one [`DemandSource`] call across the [`Demand`] variants.
+macro_rules! each_source {
+    ($self:expr, $s:ident => $call:expr) => {
+        match $self {
+            Demand::Synthetic($s) => $call,
+            Demand::Trace($s) => $call,
+            Demand::Tail($s) => $call,
+        }
+    };
 }
 
 impl Demand {
@@ -105,81 +130,71 @@ impl Demand {
     pub fn synthetic(&self) -> Option<&Workload> {
         match self {
             Demand::Synthetic(w) => Some(w),
-            Demand::Trace(_) => None,
+            _ => None,
         }
     }
 
     /// The trace replayer, when this is one.
     pub fn trace(&self) -> Option<&TraceSource> {
         match self {
-            Demand::Synthetic(_) => None,
             Demand::Trace(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The live feed tailer, when this is one.
+    pub fn tail(&self) -> Option<&TailSource> {
+        match self {
+            Demand::Tail(t) => Some(t),
+            _ => None,
         }
     }
 
     /// Number of hosted services.
     pub fn service_count(&self) -> usize {
-        match self {
-            Demand::Synthetic(w) => w.service_count(),
-            Demand::Trace(t) => t.service_count(),
-        }
+        each_source!(self, s => DemandSource::service_count(s))
     }
 
     /// Number of client regions.
     pub fn region_count(&self) -> usize {
-        match self {
-            Demand::Synthetic(w) => w.region_count(),
-            Demand::Trace(t) => t.region_count(),
-        }
+        each_source!(self, s => DemandSource::region_count(s))
     }
 
     /// The request-shape class of one service.
     pub fn service_class(&self, service: usize) -> ServiceClass {
-        match self {
-            Demand::Synthetic(w) => DemandSource::service_class(w, service),
-            Demand::Trace(t) => DemandSource::service_class(t, service),
-        }
+        each_source!(self, s => DemandSource::service_class(s, service))
     }
 
     /// Measured memory-per-in-flight-request profile, when the source
     /// carries one (imported traces only).
     pub fn mem_mb_per_inflight(&self, service: usize) -> Option<f64> {
-        match self {
-            Demand::Synthetic(w) => DemandSource::mem_mb_per_inflight(w, service),
-            Demand::Trace(t) => DemandSource::mem_mb_per_inflight(t, service),
-        }
+        each_source!(self, s => DemandSource::mem_mb_per_inflight(s, service))
     }
 
     /// Samples the realized demand for one service at one tick.
     pub fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample> {
-        match self {
-            Demand::Synthetic(w) => w.sample(service, t),
-            Demand::Trace(t_) => DemandSource::sample(t_, service, t),
-        }
+        each_source!(self, s => DemandSource::sample(s, service, t))
     }
 
     /// Expected request rate from one region to one service at `t`.
     pub fn expected_rps(&self, service: usize, region: usize, t: SimTime) -> f64 {
-        match self {
-            Demand::Synthetic(w) => w.expected_rps(service, region, t),
-            Demand::Trace(tr) => DemandSource::expected_rps(tr, service, region, t),
-        }
+        each_source!(self, s => DemandSource::expected_rps(s, service, region, t))
     }
 
     /// Total expected rate over all regions.
     pub fn expected_total_rps(&self, service: usize, t: SimTime) -> f64 {
-        match self {
-            Demand::Synthetic(w) => w.expected_total_rps(service, t),
-            Demand::Trace(tr) => DemandSource::expected_total_rps(tr, service, t),
-        }
+        each_source!(self, s => DemandSource::expected_total_rps(s, service, t))
     }
 
     /// The region contributing the most expected load at `t`.
     pub fn dominant_region(&self, service: usize, t: SimTime) -> usize {
-        match self {
-            Demand::Synthetic(w) => w.dominant_region(service, t),
-            Demand::Trace(tr) => DemandSource::dominant_region(tr, service, t),
-        }
+        each_source!(self, s => DemandSource::dominant_region(s, service, t))
+    }
+
+    /// Where known demand ends, if it ends at all (see
+    /// [`DemandSource::horizon`]).
+    pub fn horizon(&self) -> Option<SimTime> {
+        each_source!(self, s => DemandSource::horizon(s))
     }
 }
 
@@ -202,6 +217,9 @@ impl DemandSource for Demand {
     fn expected_rps(&self, service: usize, region: usize, t: SimTime) -> f64 {
         Demand::expected_rps(self, service, region, t)
     }
+    fn horizon(&self) -> Option<SimTime> {
+        Demand::horizon(self)
+    }
 }
 
 impl From<Workload> for Demand {
@@ -213,6 +231,12 @@ impl From<Workload> for Demand {
 impl From<TraceSource> for Demand {
     fn from(t: TraceSource) -> Self {
         Demand::Trace(t)
+    }
+}
+
+impl From<TailSource> for Demand {
+    fn from(t: TailSource) -> Self {
+        Demand::Tail(t)
     }
 }
 

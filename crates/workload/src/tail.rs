@@ -1,0 +1,263 @@
+//! Live demand feeds: tail an append-only trace CSV as it grows.
+//!
+//! A [`TailSource`] streams demand from a file another process is still
+//! writing — the same CSV schema [`DemandTrace::to_csv`] emits, minus
+//! the foreknowledge: a live writer cannot declare `# ticks` up front,
+//! appends rows tick by tick, and may be caught mid-row by a reader.
+//! Each [`TailSource::poll`] re-reads the file through the
+//! tail-tolerant parser ([`DemandTrace::parse_csv_tail`]), which
+//! withholds a torn final row instead of failing, so the view only ever
+//! advances over fully-written ticks.
+//!
+//! Between polls a `TailSource` is a pure function of `(self, service,
+//! t)` like every other [`DemandSource`]: sampling beyond the ready
+//! prefix yields no flows (the future hasn't been written yet) rather
+//! than wrapping the way a [`TraceSource`](crate::trace::TraceSource)
+//! replay does.
+
+use crate::generator::FlowSample;
+use crate::service::ServiceClass;
+use crate::source::DemandSource;
+use crate::trace::{DemandTrace, TraceError};
+use pamdc_simcore::time::SimTime;
+use std::path::{Path, PathBuf};
+
+/// Streams demand from an append-only trace CSV a live writer grows.
+#[derive(Clone, Debug)]
+pub struct TailSource {
+    path: PathBuf,
+    /// The fully-written prefix of the feed as of the last poll.
+    ingested: DemandTrace,
+    /// Ticks safe to consume (see [`TraceParse::complete_ticks`]):
+    /// without an end marker the last ingested tick may still be
+    /// receiving rows, so it is not yet ready.
+    ///
+    /// [`TraceParse::complete_ticks`]: crate::trace::TraceParse::complete_ticks
+    ready: usize,
+    /// Whether the writer marked the feed finished (`# end`, or a
+    /// declared `# ticks` count fully delivered).
+    complete: bool,
+}
+
+impl TailSource {
+    /// Opens a feed. Fails while the writer has not yet flushed the
+    /// full header block (callers poll-retry until it appears) or when
+    /// the file is malformed beyond a torn final row.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let path = path.as_ref().to_path_buf();
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| TraceError(format!("cannot read feed {}: {e}", path.display())))?;
+        let parsed = DemandTrace::parse_csv_tail(&text)?;
+        Ok(TailSource {
+            path,
+            ready: parsed.complete_ticks(),
+            complete: parsed.is_complete,
+            ingested: parsed.trace,
+        })
+    }
+
+    /// Re-reads the feed and advances the ready prefix. Returns the
+    /// new ready-tick count. The feed must only ever be appended to:
+    /// a shape change or shrink (writer restarted into the same path)
+    /// is an error, not a silent rewind.
+    pub fn poll(&mut self) -> Result<usize, TraceError> {
+        let text = std::fs::read_to_string(&self.path)
+            .map_err(|e| TraceError(format!("cannot read feed {}: {e}", self.path.display())))?;
+        let parsed = DemandTrace::parse_csv_tail(&text)?;
+        if parsed.trace.tick != self.ingested.tick
+            || parsed.trace.regions != self.ingested.regions
+            || parsed.trace.classes != self.ingested.classes
+        {
+            return Err(TraceError(format!(
+                "feed {} changed shape mid-stream (tick/regions/classes headers moved)",
+                self.path.display()
+            )));
+        }
+        let ready = parsed.complete_ticks();
+        if ready < self.ready {
+            return Err(TraceError(format!(
+                "feed {} shrank from {} to {ready} ready ticks (writer restarted?)",
+                self.path.display(),
+                self.ready
+            )));
+        }
+        self.ready = ready;
+        self.complete = parsed.is_complete;
+        self.ingested = parsed.trace;
+        Ok(self.ready)
+    }
+
+    /// The tailed file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Ticks currently safe to consume.
+    pub fn ready_ticks(&self) -> usize {
+        self.ready
+    }
+
+    /// Whether the writer marked the feed finished.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// The ingested prefix of the feed.
+    pub fn trace(&self) -> &DemandTrace {
+        &self.ingested
+    }
+
+    /// The feed's tick index covering simulated time `t` — unlike a
+    /// replay, a live feed never wraps.
+    fn tick_index(&self, t: SimTime) -> usize {
+        (t.as_millis() / self.ingested.tick.as_millis().max(1)) as usize
+    }
+}
+
+impl DemandSource for TailSource {
+    fn service_count(&self) -> usize {
+        self.ingested.service_count()
+    }
+
+    fn region_count(&self) -> usize {
+        self.ingested.regions
+    }
+
+    fn service_class(&self, service: usize) -> ServiceClass {
+        self.ingested
+            .classes
+            .get(service)
+            .copied()
+            .unwrap_or(ServiceClass::Blog)
+    }
+
+    fn mem_mb_per_inflight(&self, service: usize) -> Option<f64> {
+        self.ingested
+            .mem_mb_per_inflight
+            .get(service)
+            .copied()
+            .flatten()
+    }
+
+    fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample> {
+        let idx = self.tick_index(t);
+        if idx >= self.ready {
+            return Vec::new();
+        }
+        self.ingested.flows[idx][service].clone()
+    }
+
+    fn expected_rps(&self, service: usize, region: usize, t: SimTime) -> f64 {
+        let idx = self.tick_index(t);
+        if idx >= self.ready {
+            return 0.0;
+        }
+        self.ingested.flows[idx][service]
+            .iter()
+            .filter(|f| f.region == region)
+            .map(|f| f.rps)
+            .sum()
+    }
+
+    fn horizon(&self) -> Option<SimTime> {
+        // A finished feed ends where its data does; a live one is
+        // open-ended — more ticks may arrive on the next poll.
+        self.complete
+            .then(|| SimTime::ZERO + self.ingested.tick * self.ready as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::libcn;
+    use crate::source::Demand;
+    use pamdc_simcore::time::SimDuration;
+
+    fn feed_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pamdc-tail-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    /// A 6-tick recorded CSV split into (header+first ticks, rest).
+    fn recorded_halves() -> (String, String) {
+        let w = libcn::multi_dc(2, 90.0, 21);
+        let trace = DemandTrace::record(&w, SimDuration::from_mins(6), SimDuration::from_mins(1));
+        let csv = trace.to_csv();
+        // Strip the `# ticks` foreknowledge a live writer lacks.
+        let csv: String = csv
+            .lines()
+            .filter(|l| !l.starts_with("# ticks"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let cut = csv.find("\n3,").map(|i| i + 1).expect("tick-3 rows");
+        (csv[..cut].to_string(), csv[cut..].to_string())
+    }
+
+    #[test]
+    fn tailing_a_growing_feed_advances_monotonically() {
+        let path = feed_path("grow.csv");
+        let (head, rest) = recorded_halves();
+        std::fs::write(&path, &head).expect("write head");
+        let mut tail = TailSource::open(&path).expect("open");
+        // Ticks 0..2 are on disk; tick 2 may still be growing.
+        assert_eq!(tail.ready_ticks(), 2);
+        assert!(!tail.is_complete());
+        assert!(tail.horizon().is_none(), "live feed is open-ended");
+        assert!(!DemandSource::sample(&tail, 0, SimTime::from_mins(1)).is_empty());
+        assert!(
+            DemandSource::sample(&tail, 0, SimTime::from_mins(5)).is_empty(),
+            "beyond the ready prefix there is no demand yet"
+        );
+        // The writer catches up and closes the feed.
+        std::fs::write(&path, format!("{head}{rest}# end\n")).expect("append");
+        assert_eq!(tail.poll().expect("poll"), 6);
+        assert!(tail.is_complete());
+        assert_eq!(tail.horizon(), Some(SimTime::from_mins(6)));
+        assert!(!DemandSource::sample(&tail, 0, SimTime::from_mins(5)).is_empty());
+    }
+
+    #[test]
+    fn a_torn_append_is_withheld_until_flushed() {
+        let path = feed_path("torn.csv");
+        let (head, rest) = recorded_halves();
+        // Catch the writer mid-row in tick 3.
+        let torn = format!("{head}{}", &rest[..rest.len().min(9)]);
+        assert!(!torn.ends_with('\n'));
+        std::fs::write(&path, &torn).expect("write torn");
+        let mut tail = TailSource::open(&path).expect("open");
+        assert_eq!(tail.ready_ticks(), 3, "ticks 0-2 provably complete");
+        std::fs::write(&path, format!("{head}{rest}")).expect("flush");
+        assert_eq!(tail.poll().expect("poll"), 5, "tick 5 may still grow");
+    }
+
+    #[test]
+    fn shrinking_or_reshaping_feeds_are_rejected() {
+        let path = feed_path("shrink.csv");
+        let (head, rest) = recorded_halves();
+        std::fs::write(&path, format!("{head}{rest}")).expect("write");
+        let mut tail = TailSource::open(&path).expect("open");
+        assert_eq!(tail.ready_ticks(), 5);
+        std::fs::write(&path, &head).expect("truncate");
+        assert!(tail.poll().is_err(), "feed shrank");
+        std::fs::write(&path, head.replace("# regions = 4", "# regions = 7")).expect("reshape");
+        let mut tail2 = TailSource::open(&path).expect("reopen");
+        std::fs::write(&path, &head).expect("restore");
+        assert!(tail2.poll().is_err(), "shape changed mid-stream");
+    }
+
+    #[test]
+    fn demand_enum_carries_tail_sources() {
+        let path = feed_path("enum.csv");
+        let (head, rest) = recorded_halves();
+        std::fs::write(&path, format!("{head}{rest}# end\n")).expect("write");
+        let tail = TailSource::open(&path).expect("open");
+        let d = Demand::from(tail);
+        assert_eq!(d.service_count(), 2);
+        assert!(d.tail().is_some());
+        assert!(d.synthetic().is_none() && d.trace().is_none());
+        assert_eq!(d.horizon(), Some(SimTime::from_mins(6)));
+        assert!(!d.sample(0, SimTime::from_mins(2)).is_empty());
+    }
+}

@@ -21,6 +21,7 @@
 //! can drive arbitrarily long scenarios.
 
 use crate::generator::FlowSample;
+use crate::import::{for_each_line, ImportError};
 use crate::service::ServiceClass;
 use crate::source::DemandSource;
 use pamdc_simcore::time::{SimDuration, SimTime};
@@ -137,146 +138,299 @@ impl DemandTrace {
     }
 
     /// Parses the CSV form back into a trace.
+    ///
+    /// Strict: the whole file must be well-formed. A final row that
+    /// merely lacks its newline still parses (legacy tolerance for
+    /// editors that strip the trailing `\n`), but a row torn mid-write
+    /// errors with the tick it belongs to — use
+    /// [`DemandTrace::parse_csv_tail`] to recover the complete prefix
+    /// of a file caught mid-append.
     pub fn parse_csv(text: &str) -> Result<Self, TraceError> {
-        let mut tick_ms: Option<u64> = None;
-        let mut ticks: Option<usize> = None;
-        let mut regions: Option<usize> = None;
-        let mut classes: Vec<ServiceClass> = Vec::new();
-        let mut mem_mb_per_inflight: Vec<Option<f64>> = Vec::new();
-        let mut flows: Vec<Vec<Vec<FlowSample>>> = Vec::new();
-        let mut saw_header_row = false;
-
-        for (lineno, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let err = |msg: String| TraceError(format!("line {}: {}", lineno + 1, msg));
-            if let Some(meta) = line.strip_prefix('#') {
-                let meta = meta.trim();
-                if let Some((key, value)) = meta.split_once('=') {
-                    let (key, value) = (key.trim(), value.trim());
-                    match key {
-                        "tick_ms" => {
-                            tick_ms = Some(
-                                value
-                                    .parse()
-                                    .map_err(|_| err(format!("bad tick_ms {value:?}")))?,
-                            )
-                        }
-                        "ticks" => {
-                            ticks = Some(
-                                value
-                                    .parse()
-                                    .map_err(|_| err(format!("bad ticks {value:?}")))?,
-                            )
-                        }
-                        "regions" => {
-                            regions = Some(
-                                value
-                                    .parse()
-                                    .map_err(|_| err(format!("bad regions {value:?}")))?,
-                            )
-                        }
-                        "classes" => {
-                            classes = value
-                                .split(',')
-                                .map(|label| {
-                                    ServiceClass::from_label(label.trim()).ok_or_else(|| {
-                                        err(format!("unknown service class {label:?}"))
-                                    })
-                                })
-                                .collect::<Result<_, _>>()?;
-                        }
-                        "mem_mb_per_inflight" => {
-                            mem_mb_per_inflight = value
-                                .split(',')
-                                .map(|cell| {
-                                    let cell = cell.trim();
-                                    if cell == "-" {
-                                        return Ok(None);
-                                    }
-                                    cell.parse::<f64>().map(Some).map_err(|_| {
-                                        err(format!("bad mem_mb_per_inflight cell {cell:?}"))
-                                    })
-                                })
-                                .collect::<Result<_, _>>()?;
-                        }
-                        _ => {} // forward-compatible: ignore unknown metadata
-                    }
-                }
-                continue;
-            }
-            if line.starts_with("tick,") {
-                saw_header_row = true;
-                continue;
-            }
-            let cols: Vec<&str> = line.split(',').collect();
-            if cols.len() != 7 {
-                return Err(err(format!("expected 7 columns, got {}", cols.len())));
-            }
-            let tick_idx: usize = cols[0]
-                .parse()
-                .map_err(|_| err(format!("bad tick index {:?}", cols[0])))?;
-            let service: usize = cols[1]
-                .parse()
-                .map_err(|_| err(format!("bad service {:?}", cols[1])))?;
-            let region: usize = cols[2]
-                .parse()
-                .map_err(|_| err(format!("bad region {:?}", cols[2])))?;
-            let num = |i: usize| -> Result<f64, TraceError> {
-                cols[i]
-                    .parse()
-                    .map_err(|_| err(format!("bad number {:?}", cols[i])))
-            };
-            if service >= classes.len() {
-                return Err(err(format!(
-                    "service {service} out of range (classes header lists {})",
-                    classes.len()
-                )));
-            }
-            if flows.len() <= tick_idx {
-                flows.resize_with(tick_idx + 1, || vec![Vec::new(); classes.len()]);
-            }
-            flows[tick_idx][service].push(FlowSample {
-                region,
-                rps: num(3)?,
-                kb_in_per_req: num(4)?,
-                kb_out_per_req: num(5)?,
-                cpu_ms_per_req: num(6)?,
-            });
+        let (mut parser, partial) = CsvParser::scan(text)?;
+        if let Some((lineno, line)) = partial {
+            parser.line(lineno, &line).map_err(|e| {
+                let tick = partial_tick_guess(&line, parser.flows.len());
+                TraceError(format!(
+                    "{} — file ends mid-row (truncated append?): tick {tick} is \
+                     partially written; parse_csv_tail() recovers the complete prefix",
+                    e.0
+                ))
+            })?;
         }
+        Ok(parser.finalize(false, None)?.trace)
+    }
 
-        if !saw_header_row {
+    /// Tail-tolerant parse for a file that may still be growing.
+    ///
+    /// Every `\n`-terminated line must be well-formed, but an
+    /// unterminated final line — the signature of catching a live
+    /// writer mid-append — is withheld instead of failing: its tick
+    /// becomes [`TraceParse::partial_tick`] and the returned trace is
+    /// truncated to the fully-written ticks before it. A terminated
+    /// `# end` line (or a declared `# ticks` count, for recorded files)
+    /// marks the feed finished.
+    pub fn parse_csv_tail(text: &str) -> Result<TraceParse, TraceError> {
+        let (parser, partial) = CsvParser::scan(text)?;
+        let partial_tick = partial
+            .map(|(_, line)| partial_tick_guess(&line, parser.flows.len()) as u64)
+            .filter(|_| {
+                // A torn row before any data means nothing to withhold.
+                parser.saw_header_row || !parser.flows.is_empty()
+            });
+        parser.finalize(true, partial_tick)
+    }
+}
+
+/// Outcome of a tail-tolerant parse ([`DemandTrace::parse_csv_tail`]):
+/// the complete-tick prefix of a file that may still be growing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceParse {
+    /// The parsed trace, holding only fully-written ticks.
+    pub trace: DemandTrace,
+    /// The tick the torn (unterminated) final row belongs to, when the
+    /// file was caught mid-append. That tick's rows are withheld from
+    /// `trace`; a later re-read picks them up once the writer flushes.
+    pub partial_tick: Option<u64>,
+    /// Whether the feed is finished: it declared `# ticks` (recorded
+    /// files always do) or carries a terminated `# end` marker, and no
+    /// torn row follows.
+    pub is_complete: bool,
+}
+
+impl TraceParse {
+    /// Ticks safe to consume now: every tick of a finished feed, or —
+    /// while the feed is live — every tick the writer has provably
+    /// moved past. Without an explicit end the last tick seen may
+    /// still be receiving rows, so it only counts once a later tick
+    /// (or a torn row for one) appears.
+    pub fn complete_ticks(&self) -> usize {
+        if self.is_complete || self.partial_tick.is_some() {
+            self.trace.flows.len()
+        } else {
+            self.trace.flows.len().saturating_sub(1)
+        }
+    }
+}
+
+/// Which tick an unterminated final row belongs to. The tick field is
+/// only trusted when a `,` follows it (otherwise the number itself may
+/// be half-written: `12` could be a truncated `120`); without one the
+/// conservative answer is the highest tick seen so far, whose rows the
+/// writer may still be flushing.
+fn partial_tick_guess(line: &str, ticks_seen: usize) -> usize {
+    line.split_once(',')
+        .and_then(|(first, _)| first.trim().parse::<usize>().ok())
+        .unwrap_or_else(|| ticks_seen.saturating_sub(1))
+}
+
+/// Line-by-line trace-CSV parser, shared by the strict and
+/// tail-tolerant entry points. Lines stream through the same
+/// [`for_each_line`] layer as the dataset importers, which reports
+/// whether the final line was `\n`-terminated — the signal the
+/// tail-tolerant path keys off.
+#[derive(Default)]
+struct CsvParser {
+    tick_ms: Option<u64>,
+    ticks: Option<usize>,
+    regions: Option<usize>,
+    classes: Vec<ServiceClass>,
+    mem_mb_per_inflight: Vec<Option<f64>>,
+    flows: Vec<Vec<Vec<FlowSample>>>,
+    saw_header_row: bool,
+    ended: bool,
+}
+
+impl CsvParser {
+    /// Runs every *terminated* line of `text` through the parser and
+    /// returns it plus the withheld unterminated final line (1-based
+    /// line number and content), if any. The one-line lookahead is what
+    /// lets both entry points decide how to treat a torn final row.
+    fn scan(text: &str) -> Result<(CsvParser, Option<(usize, String)>), TraceError> {
+        let mut parser = CsvParser::default();
+        let mut pending: Option<usize> = None;
+        let mut pending_buf = String::new();
+        let scan = for_each_line(text.as_bytes(), |lineno, line| {
+            if let Some(n) = pending.take() {
+                parser.line(n, &pending_buf).map_err(|e| ImportError(e.0))?;
+            }
+            pending_buf.clear();
+            pending_buf.push_str(line);
+            pending = Some(lineno);
+            Ok(())
+        })
+        .map_err(|e| TraceError(e.0))?;
+        let mut partial = None;
+        if let Some(n) = pending {
+            if scan.last_line_terminated || pending_buf.trim().is_empty() {
+                parser.line(n, &pending_buf)?;
+            } else {
+                partial = Some((n, pending_buf));
+            }
+        }
+        Ok((parser, partial))
+    }
+
+    fn line(&mut self, lineno: usize, raw: &str) -> Result<(), TraceError> {
+        let line = raw.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        let err = |msg: String| TraceError(format!("line {lineno}: {msg}"));
+        if let Some(meta) = line.strip_prefix('#') {
+            let meta = meta.trim();
+            if meta == "end" {
+                self.ended = true;
+            } else if let Some((key, value)) = meta.split_once('=') {
+                let (key, value) = (key.trim(), value.trim());
+                match key {
+                    "tick_ms" => {
+                        self.tick_ms = Some(
+                            value
+                                .parse()
+                                .map_err(|_| err(format!("bad tick_ms {value:?}")))?,
+                        )
+                    }
+                    "ticks" => {
+                        self.ticks = Some(
+                            value
+                                .parse()
+                                .map_err(|_| err(format!("bad ticks {value:?}")))?,
+                        )
+                    }
+                    "regions" => {
+                        self.regions = Some(
+                            value
+                                .parse()
+                                .map_err(|_| err(format!("bad regions {value:?}")))?,
+                        )
+                    }
+                    "classes" => {
+                        self.classes = value
+                            .split(',')
+                            .map(|label| {
+                                ServiceClass::from_label(label.trim())
+                                    .ok_or_else(|| err(format!("unknown service class {label:?}")))
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "mem_mb_per_inflight" => {
+                        self.mem_mb_per_inflight = value
+                            .split(',')
+                            .map(|cell| {
+                                let cell = cell.trim();
+                                if cell == "-" {
+                                    return Ok(None);
+                                }
+                                cell.parse::<f64>().map(Some).map_err(|_| {
+                                    err(format!("bad mem_mb_per_inflight cell {cell:?}"))
+                                })
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
+                    _ => {} // forward-compatible: ignore unknown metadata
+                }
+            }
+            return Ok(());
+        }
+        if line.starts_with("tick,") {
+            self.saw_header_row = true;
+            return Ok(());
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 7 {
+            return Err(err(format!("expected 7 columns, got {}", cols.len())));
+        }
+        let tick_idx: usize = cols[0]
+            .parse()
+            .map_err(|_| err(format!("bad tick index {:?}", cols[0])))?;
+        let service: usize = cols[1]
+            .parse()
+            .map_err(|_| err(format!("bad service {:?}", cols[1])))?;
+        let region: usize = cols[2]
+            .parse()
+            .map_err(|_| err(format!("bad region {:?}", cols[2])))?;
+        let num = |i: usize| -> Result<f64, TraceError> {
+            cols[i]
+                .parse()
+                .map_err(|_| err(format!("bad number {:?}", cols[i])))
+        };
+        if service >= self.classes.len() {
+            return Err(err(format!(
+                "service {service} out of range (classes header lists {})",
+                self.classes.len()
+            )));
+        }
+        if self.flows.len() <= tick_idx {
+            let services = self.classes.len();
+            self.flows
+                .resize_with(tick_idx + 1, || vec![Vec::new(); services]);
+        }
+        self.flows[tick_idx][service].push(FlowSample {
+            region,
+            rps: num(3)?,
+            kb_in_per_req: num(4)?,
+            kb_out_per_req: num(5)?,
+            cpu_ms_per_req: num(6)?,
+        });
+        Ok(())
+    }
+
+    /// Validates headers and assembles the trace. `tail` selects the
+    /// growing-file semantics: the partial tick's rows are dropped
+    /// (they will be re-read whole later) and a declared `# ticks`
+    /// count only pads — to cover trailing zero-demand ticks — when no
+    /// torn row contradicts it.
+    fn finalize(mut self, tail: bool, partial_tick: Option<u64>) -> Result<TraceParse, TraceError> {
+        if let Some(t) = partial_tick {
+            // Ticks before the torn row are fully written — including
+            // zero-demand ones the writer skipped rows for.
+            let services = self.classes.len();
+            self.flows
+                .resize_with(t as usize, || vec![Vec::new(); services]);
+        }
+        if !self.saw_header_row {
             return Err(TraceError("missing column header row".into()));
         }
-        let tick_ms = tick_ms.ok_or_else(|| TraceError("missing '# tick_ms = ...'".into()))?;
-        let regions = regions.ok_or_else(|| TraceError("missing '# regions = ...'".into()))?;
-        if classes.is_empty() {
+        let tick_ms = self
+            .tick_ms
+            .ok_or_else(|| TraceError("missing '# tick_ms = ...'".into()))?;
+        let regions = self
+            .regions
+            .ok_or_else(|| TraceError("missing '# regions = ...'".into()))?;
+        if self.classes.is_empty() {
             return Err(TraceError("missing '# classes = ...'".into()));
         }
+        let mut mem_mb_per_inflight = self.mem_mb_per_inflight;
         if mem_mb_per_inflight.is_empty() {
-            mem_mb_per_inflight = vec![None; classes.len()];
-        } else if mem_mb_per_inflight.len() != classes.len() {
+            mem_mb_per_inflight = vec![None; self.classes.len()];
+        } else if mem_mb_per_inflight.len() != self.classes.len() {
             return Err(TraceError(format!(
                 "mem_mb_per_inflight header lists {} services but classes lists {}",
                 mem_mb_per_inflight.len(),
-                classes.len()
+                self.classes.len()
             )));
         }
         // Honor the declared tick count so zero-demand ticks (no data
         // rows) survive the round-trip; traces written before the
         // header existed fall back to the max tick index seen.
-        if let Some(ticks) = ticks {
-            if flows.len() > ticks {
+        let mut is_complete = false;
+        if let Some(ticks) = self.ticks {
+            if self.flows.len() > ticks {
                 return Err(TraceError(format!(
                     "data rows reach tick {} but the header declares ticks = {ticks}",
-                    flows.len() - 1
+                    self.flows.len() - 1
                 )));
             }
-            flows.resize_with(ticks, || vec![Vec::new(); classes.len()]);
+            if !tail || partial_tick.is_none() {
+                let services = self.classes.len();
+                self.flows.resize_with(ticks, || vec![Vec::new(); services]);
+                is_complete = true;
+            }
         }
-        for services in &flows {
+        if self.ended && partial_tick.is_none() {
+            is_complete = true;
+        }
+        for services in &self.flows {
             for flows in services {
                 for f in flows {
                     if f.region >= regions {
@@ -288,12 +442,16 @@ impl DemandTrace {
                 }
             }
         }
-        Ok(DemandTrace {
-            tick: SimDuration::from_millis(tick_ms),
-            regions,
-            classes,
-            mem_mb_per_inflight,
-            flows,
+        Ok(TraceParse {
+            trace: DemandTrace {
+                tick: SimDuration::from_millis(tick_ms),
+                regions,
+                classes: self.classes,
+                mem_mb_per_inflight,
+                flows: self.flows,
+            },
+            partial_tick,
+            is_complete,
         })
     }
 }
@@ -429,6 +587,14 @@ impl DemandSource for TraceSource {
             .filter(|f| self.mapped_region(f.region) == region)
             .map(|f| f.rps * self.rate_scale)
             .sum()
+    }
+
+    fn horizon(&self) -> Option<SimTime> {
+        // The end of the recorded data under the playback transform;
+        // sampling past it wraps back to the start.
+        let ms =
+            self.trace.tick.as_millis() as f64 * self.trace.tick_count() as f64 * self.time_stretch;
+        Some(SimTime::ZERO + SimDuration::from_millis(ms.round() as u64))
     }
 }
 
@@ -596,6 +762,83 @@ mod tests {
                    tick,service,region,rps,kb_in_per_req,kb_out_per_req,cpu_ms_per_req\n\
                    5,0,1,1.0,1.0,1.0,1.0\n";
         assert!(DemandTrace::parse_csv(csv).is_err());
+    }
+
+    /// A hand-built three-tick trace CSV, torn mid-row in tick 2 — the
+    /// shape a reader sees when it races a writer flushing an append.
+    fn torn_csv() -> String {
+        "# pamdc-trace v1\n# tick_ms = 60000\n# regions = 4\n# classes = blog\n\
+         tick,service,region,rps,kb_in_per_req,kb_out_per_req,cpu_ms_per_req\n\
+         0,0,1,10,1,2,3\n1,0,1,11,1,2,3\n2,0,1,12"
+            .to_string()
+    }
+
+    #[test]
+    fn torn_final_row_errors_name_the_partial_tick() {
+        // Strict parsing of a file caught mid-append must say *which*
+        // tick is partial and point at the recovery path — not surface
+        // a bare column-count error.
+        let err = DemandTrace::parse_csv(&torn_csv()).expect_err("torn row");
+        assert!(err.0.contains("tick 2"), "names the partial tick: {err}");
+        assert!(err.0.contains("mid-row"), "names the cause: {err}");
+    }
+
+    #[test]
+    fn tail_parse_withholds_the_partial_tick() {
+        let parsed = DemandTrace::parse_csv_tail(&torn_csv()).expect("tail parse");
+        assert_eq!(parsed.partial_tick, Some(2), "tick 2 caught mid-write");
+        assert!(!parsed.is_complete);
+        assert_eq!(parsed.trace.tick_count(), 2, "ticks 0-1 are whole");
+        assert_eq!(parsed.complete_ticks(), 2);
+        assert_eq!(parsed.trace.flows[1][0][0].rps, 11.0);
+        // Once the writer finishes the row, a re-read yields tick 2.
+        let healed = format!("{},1,2,3\n", torn_csv());
+        let parsed = DemandTrace::parse_csv_tail(&healed).expect("healed");
+        assert_eq!(parsed.partial_tick, None);
+        assert_eq!(parsed.trace.tick_count(), 3);
+        // ...but tick 2 may still be growing, so it is not complete yet.
+        assert_eq!(parsed.complete_ticks(), 2);
+        assert!(!parsed.is_complete);
+        // A terminated `# end` marker finishes the feed.
+        let ended = format!("{}# end\n", healed);
+        let parsed = DemandTrace::parse_csv_tail(&ended).expect("ended");
+        assert!(parsed.is_complete);
+        assert_eq!(parsed.complete_ticks(), 3);
+    }
+
+    #[test]
+    fn tail_parse_distrusts_a_commaless_torn_tick_field() {
+        // `...\n12` could be tick 12 — or tick 120 half-written. The
+        // parser must fall back to "the highest tick seen may still be
+        // growing" instead of trusting the bare number.
+        let torn = format!("{},1,2,3\n12", torn_csv());
+        let parsed = DemandTrace::parse_csv_tail(&torn).expect("tail parse");
+        assert_eq!(parsed.partial_tick, Some(2));
+        assert_eq!(parsed.trace.tick_count(), 2);
+    }
+
+    #[test]
+    fn tail_parse_of_a_recorded_file_is_complete() {
+        // Recorded traces declare `# ticks`; tailing one sees the whole
+        // thing — including trailing zero-demand ticks — as complete.
+        let t = short_trace(5);
+        let parsed = DemandTrace::parse_csv_tail(&t.to_csv()).expect("tail parse");
+        assert!(parsed.is_complete);
+        assert_eq!(parsed.partial_tick, None);
+        assert_eq!(parsed.complete_ticks(), 120);
+        assert_eq!(parsed.trace, t);
+    }
+
+    #[test]
+    fn tail_parse_skips_rowless_ticks_behind_a_torn_row() {
+        // The torn row names tick 5: ticks 3-4 emitted no rows (zero
+        // demand) but the writer provably moved past them.
+        let torn = format!("{},1,2,3\n5,0", torn_csv());
+        let parsed = DemandTrace::parse_csv_tail(&torn).expect("tail parse");
+        assert_eq!(parsed.partial_tick, Some(5));
+        assert_eq!(parsed.trace.tick_count(), 5);
+        assert!(parsed.trace.flows[3][0].is_empty());
+        assert_eq!(parsed.complete_ticks(), 5);
     }
 
     #[test]
