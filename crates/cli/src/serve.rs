@@ -11,11 +11,13 @@
 //! - `spec.toml` — the exact spec (post feed-shape fixups) that drove
 //!   the run.
 //! - `session.json` — a one-line manifest naming the ticks whose
-//!   scheduling round ran degraded under deadline pressure.
+//!   scheduling round ran below full fidelity under deadline pressure
+//!   (`trimmed_ticks` for the middle rung, `degraded_ticks` for
+//!   bestfit-only).
 //! - `status.jsonl` — one `serve_tick` line per live tick.
 //!
 //! A restarted daemon re-executes `recorded.csv` through the same
-//! `step` path — with the recorded degraded flags — before touching
+//! `step` path — with the recorded per-tick fidelity — before touching
 //! the feed, so it resumes bit-identical to a never-killed run.
 //! `pamdc replay --manifest session.json` does the same offline and
 //! reproduces the live session's final report exactly.
@@ -108,9 +110,10 @@ pub fn cmd_serve(mut spec: ScenarioSpec, cfg: &ServeConfig) -> Result<SpecReport
     let manifest_path = cfg.session.join("session.json");
     let mut recorded: Vec<Vec<Vec<FlowSample>>> = Vec::new();
     let mut degraded_ticks: Vec<u64> = Vec::new();
+    let mut trimmed_ticks: Vec<u64> = Vec::new();
 
     // Restart without amnesia: re-execute the recorded session (with
-    // its recorded degraded flags) before consuming new feed ticks.
+    // its recorded per-tick fidelity) before consuming new feed ticks.
     if rec_path.is_file() {
         let text = std::fs::read_to_string(&rec_path)
             .map_err(|e| format!("cannot read {}: {e}", rec_path.display()))?;
@@ -122,10 +125,12 @@ pub fn cmd_serve(mut spec: ScenarioSpec, cfg: &ServeConfig) -> Result<SpecReport
                 cfg.session.display()
             ));
         }
-        degraded_ticks = read_manifest_degraded(&manifest_path);
+        (degraded_ticks, trimmed_ticks) = read_manifest_ticks(&manifest_path);
         let dset: BTreeSet<u64> = degraded_ticks.iter().copied().collect();
+        let tset: BTreeSet<u64> = trimmed_ticks.iter().copied().collect();
         for (t, flows) in prior.flows.iter().enumerate() {
-            controller.step_with(StepDemand::Flows(flows), dset.contains(&(t as u64)));
+            let fidelity = recorded_fidelity(t as u64, &dset, &tset);
+            controller.step_with_fidelity(StepDemand::Flows(flows), fidelity);
         }
         pamdc_obs::info!(
             "restored session {}: {} ticks re-applied",
@@ -169,14 +174,16 @@ pub fn cmd_serve(mut spec: ScenarioSpec, cfg: &ServeConfig) -> Result<SpecReport
         // Clone the tick out of the tail so recorded.csv round-trips
         // the exact flows the controller saw.
         let flows = tail.trace().flows[consumed as usize].clone();
-        let degrade = governor.plan_degraded();
+        let fidelity = governor.plan_fidelity();
         let wall_start = std::time::Instant::now();
-        let outcome = controller.step_with(StepDemand::Flows(&flows), degrade);
+        let outcome = controller.step_with_fidelity(StepDemand::Flows(&flows), fidelity);
         let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
         if let Some(round) = &outcome.round {
-            governor.record_round(wall_ms, round.degraded);
-            if round.degraded {
-                degraded_ticks.push(consumed);
+            governor.record_round(wall_ms, round.fidelity);
+            match round.fidelity {
+                RoundFidelity::Full => {}
+                RoundFidelity::Trimmed => trimmed_ticks.push(consumed),
+                RoundFidelity::BestFitOnly => degraded_ticks.push(consumed),
             }
         }
         let line = obstrace::serve_tick_line(
@@ -198,13 +205,27 @@ pub fn cmd_serve(mut spec: ScenarioSpec, cfg: &ServeConfig) -> Result<SpecReport
         consumed += 1;
         since_snapshot += 1;
         if since_snapshot >= snapshot_every {
-            write_session(cfg, tail.trace(), &recorded, &degraded_ticks, &spec.name)?;
+            write_session(
+                cfg,
+                tail.trace(),
+                &recorded,
+                &degraded_ticks,
+                &trimmed_ticks,
+                &spec.name,
+            )?;
             obs.add(Counter::ServeSnapshots, 1);
             since_snapshot = 0;
         }
     }
 
-    write_session(cfg, tail.trace(), &recorded, &degraded_ticks, &spec.name)?;
+    write_session(
+        cfg,
+        tail.trace(),
+        &recorded,
+        &degraded_ticks,
+        &trimmed_ticks,
+        &spec.name,
+    )?;
     obs.add(Counter::ServeSnapshots, 1);
     let (outcome, _) = controller.finish(tick * consumed);
     Ok(SpecReport {
@@ -228,7 +249,10 @@ pub fn cmd_replay_manifest(manifest_path: &Path) -> Result<SpecReport, String> {
             manifest_path.display()
         ));
     }
-    let degraded: BTreeSet<u64> = parse_degraded_ticks(line).into_iter().collect();
+    let degraded: BTreeSet<u64> = parse_tick_list(line, "degraded_ticks")
+        .into_iter()
+        .collect();
+    let trimmed: BTreeSet<u64> = parse_tick_list(line, "trimmed_ticks").into_iter().collect();
 
     let spec_path = dir.join("spec.toml");
     let spec_text = std::fs::read_to_string(&spec_path)
@@ -265,7 +289,8 @@ pub fn cmd_replay_manifest(manifest_path: &Path) -> Result<SpecReport, String> {
     let mut controller = Controller::with(scenario, policy, run_cfg, None);
     controller.set_progress_total(Some(ticks));
     for (t, flows) in trace.flows.iter().enumerate() {
-        controller.step_with(StepDemand::Flows(flows), degraded.contains(&(t as u64)));
+        let fidelity = recorded_fidelity(t as u64, &degraded, &trimmed);
+        controller.step_with_fidelity(StepDemand::Flows(flows), fidelity);
     }
     let (outcome, _) = controller.finish(tick * ticks);
     Ok(SpecReport {
@@ -281,6 +306,7 @@ fn write_session(
     template: &DemandTrace,
     flows: &[Vec<Vec<FlowSample>>],
     degraded_ticks: &[u64],
+    trimmed_ticks: &[u64],
     name: &str,
 ) -> Result<(), String> {
     let trace = DemandTrace {
@@ -291,15 +317,21 @@ fn write_session(
         flows: flows.to_vec(),
     };
     write_atomic(&cfg.session.join("recorded.csv"), &trace.to_csv())?;
-    let list: Vec<String> = degraded_ticks.iter().map(u64::to_string).collect();
     let manifest = format!(
-        "{{\"v\":1,\"name\":\"{}\",\"consumed\":{},\"tick_ms\":{},\"degraded_ticks\":[{}]}}\n",
+        "{{\"v\":1,\"name\":\"{}\",\"consumed\":{},\"tick_ms\":{},\"degraded_ticks\":[{}],\
+         \"trimmed_ticks\":[{}]}}\n",
         obstrace::escape_json(name),
         flows.len(),
         template.tick.as_millis(),
-        list.join(",")
+        join_ticks(degraded_ticks),
+        join_ticks(trimmed_ticks),
     );
     write_atomic(&cfg.session.join("session.json"), &manifest)
+}
+
+fn join_ticks(ticks: &[u64]) -> String {
+    let list: Vec<String> = ticks.iter().map(u64::to_string).collect();
+    list.join(",")
 }
 
 /// Write-then-rename so a killed daemon never leaves a torn snapshot.
@@ -309,20 +341,27 @@ fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
     std::fs::rename(&tmp, path).map_err(|e| format!("cannot finalize {}: {e}", path.display()))
 }
 
-fn read_manifest_degraded(path: &Path) -> Vec<u64> {
-    std::fs::read_to_string(path)
-        .ok()
-        .and_then(|text| text.lines().next().map(parse_degraded_ticks))
-        .unwrap_or_default()
+fn read_manifest_ticks(path: &Path) -> (Vec<u64>, Vec<u64>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return (Vec::new(), Vec::new());
+    };
+    let line = text.lines().next().unwrap_or("");
+    (
+        parse_tick_list(line, "degraded_ticks"),
+        parse_tick_list(line, "trimmed_ticks"),
+    )
 }
 
-/// Pulls the `degraded_ticks` array out of a manifest line. The
-/// manifest is our own flat emission, so a substring scan suffices.
-fn parse_degraded_ticks(line: &str) -> Vec<u64> {
-    let Some(start) = line.find("\"degraded_ticks\":[") else {
+/// Pulls a keyed tick array (`degraded_ticks` / `trimmed_ticks`) out of
+/// a manifest line. The manifest is our own flat emission, so a
+/// substring scan suffices. Manifests from before the three-rung
+/// ladder carry no `trimmed_ticks` key; that reads as an empty list.
+fn parse_tick_list(line: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\":[");
+    let Some(start) = line.find(&needle) else {
         return Vec::new();
     };
-    let rest = &line[start + "\"degraded_ticks\":[".len()..];
+    let rest = &line[start + needle.len()..];
     let Some(end) = rest.find(']') else {
         return Vec::new();
     };
@@ -332,18 +371,45 @@ fn parse_degraded_ticks(line: &str) -> Vec<u64> {
         .collect()
 }
 
+/// Maps a restored tick index back to the fidelity it recorded at.
+fn recorded_fidelity(
+    tick: u64,
+    degraded: &BTreeSet<u64>,
+    trimmed: &BTreeSet<u64>,
+) -> RoundFidelity {
+    if degraded.contains(&tick) {
+        RoundFidelity::BestFitOnly
+    } else if trimmed.contains(&tick) {
+        RoundFidelity::Trimmed
+    } else {
+        RoundFidelity::Full
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn degraded_tick_lists_round_trip_through_the_manifest() {
-        let manifest = format!(
-            "{{\"v\":1,\"name\":\"x\",\"consumed\":40,\"tick_ms\":60000,\"degraded_ticks\":[{}]}}",
-            "9,19,39"
-        );
-        assert_eq!(parse_degraded_ticks(&manifest), vec![9, 19, 39]);
-        assert!(parse_degraded_ticks("{\"v\":1,\"degraded_ticks\":[]}").is_empty());
-        assert!(parse_degraded_ticks("{\"v\":1}").is_empty());
+    fn fidelity_tick_lists_round_trip_through_the_manifest() {
+        let manifest = "{\"v\":1,\"name\":\"x\",\"consumed\":40,\"tick_ms\":60000,\
+                        \"degraded_ticks\":[9,19,39],\"trimmed_ticks\":[4,14]}";
+        assert_eq!(parse_tick_list(manifest, "degraded_ticks"), vec![9, 19, 39]);
+        assert_eq!(parse_tick_list(manifest, "trimmed_ticks"), vec![4, 14]);
+        assert!(parse_tick_list("{\"v\":1,\"degraded_ticks\":[]}", "degraded_ticks").is_empty());
+        assert!(parse_tick_list("{\"v\":1}", "degraded_ticks").is_empty());
+        // Pre-ladder manifests carry no trimmed_ticks key at all.
+        let old = "{\"v\":1,\"name\":\"x\",\"consumed\":2,\"tick_ms\":1000,\"degraded_ticks\":[1]}";
+        assert_eq!(parse_tick_list(old, "degraded_ticks"), vec![1]);
+        assert!(parse_tick_list(old, "trimmed_ticks").is_empty());
+    }
+
+    #[test]
+    fn recorded_fidelity_prefers_the_deeper_rung() {
+        let d: BTreeSet<u64> = [3].into_iter().collect();
+        let t: BTreeSet<u64> = [3, 5].into_iter().collect();
+        assert_eq!(recorded_fidelity(3, &d, &t), RoundFidelity::BestFitOnly);
+        assert_eq!(recorded_fidelity(5, &d, &t), RoundFidelity::Trimmed);
+        assert_eq!(recorded_fidelity(7, &d, &t), RoundFidelity::Full);
     }
 }

@@ -42,6 +42,34 @@ pub enum StepDemand<'a> {
     Flows(&'a [Vec<FlowSample>]),
 }
 
+/// How much work a scheduling round is allowed: the serve daemon's
+/// three-rung degradation ladder. Placement itself is never skipped —
+/// the rungs only shave the consolidation pass, cheapest first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RoundFidelity {
+    /// The policy's full plan ([`PlacementPolicy::decide`]).
+    ///
+    /// [`PlacementPolicy::decide`]: crate::policy::PlacementPolicy::decide
+    Full,
+    /// Middle rung: consolidation still runs but on a shrunken
+    /// move budget ([`PlacementPolicy::decide_trimmed`]).
+    ///
+    /// [`PlacementPolicy::decide_trimmed`]: crate::policy::PlacementPolicy::decide_trimmed
+    Trimmed,
+    /// Bottom rung: placement only, no consolidation at all
+    /// ([`PlacementPolicy::decide_degraded`]).
+    ///
+    /// [`PlacementPolicy::decide_degraded`]: crate::policy::PlacementPolicy::decide_degraded
+    BestFitOnly,
+}
+
+impl RoundFidelity {
+    /// Whether this rung is the legacy "degraded" (bestfit-only) mode.
+    pub fn is_degraded(self) -> bool {
+        matches!(self, RoundFidelity::BestFitOnly)
+    }
+}
+
 /// What one `step` did — the per-tick slice of the run report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TickOutcome {
@@ -67,8 +95,11 @@ pub struct TickOutcome {
 pub struct RoundOutcome {
     /// Migrations started by this round.
     pub migrations: u64,
-    /// True when the round ran the degraded (bestfit-only) plan.
+    /// True when the round ran the degraded (bestfit-only) plan —
+    /// `fidelity == BestFitOnly`, kept as a field for status emitters.
     pub degraded: bool,
+    /// The ladder rung the round actually planned at.
+    pub fidelity: RoundFidelity,
 }
 
 /// Frozen mutable state of a [`Controller`] — everything `step` writes.
@@ -369,15 +400,32 @@ impl Controller {
 
     /// Advances one tick with the full (non-degraded) planner.
     pub fn step(&mut self, demand: StepDemand<'_>) -> TickOutcome {
-        self.step_with(demand, false)
+        self.step_with_fidelity(demand, RoundFidelity::Full)
     }
 
-    /// Advances one tick; `degraded = true` makes a scheduling round
-    /// falling on this tick plan through
-    /// [`PlacementPolicy::decide_degraded`] (bestfit-only, no
-    /// local-search consolidation) — the serve daemon's deadline
-    /// escape hatch. Placement itself is never skipped.
+    /// Advances one tick; `degraded = true` plans a scheduling round
+    /// falling on this tick at the ladder's bottom rung (bestfit-only).
+    /// Binary shorthand for [`Controller::step_with_fidelity`], kept
+    /// for callers that only know the legacy two-level flag (recorded
+    /// pre-ladder sessions replay through it).
     pub fn step_with(&mut self, demand: StepDemand<'_>, degraded: bool) -> TickOutcome {
+        let fidelity = if degraded {
+            RoundFidelity::BestFitOnly
+        } else {
+            RoundFidelity::Full
+        };
+        self.step_with_fidelity(demand, fidelity)
+    }
+
+    /// Advances one tick; a scheduling round falling on this tick plans
+    /// at `fidelity` — the serve daemon's deadline escape hatch (see
+    /// [`RoundFidelity`] for the ladder). Placement itself is never
+    /// skipped at any rung.
+    pub fn step_with_fidelity(
+        &mut self,
+        demand: StepDemand<'_>,
+        fidelity: RoundFidelity,
+    ) -> TickOutcome {
         // Install this run's collector for the duration of the tick, so
         // `span!` and the TLS counter free-fns land here even when
         // several controllers interleave on one thread.
@@ -728,8 +776,10 @@ impl Controller {
             && tick_idx % cfg.round_every_ticks == cfg.round_every_ticks - 1
         {
             obs.add(pamdc_obs::Counter::SimRounds, 1);
-            if degraded {
-                obs.add(pamdc_obs::Counter::ServeDegradedRounds, 1);
+            match fidelity {
+                RoundFidelity::Full => {}
+                RoundFidelity::Trimmed => obs.add(pamdc_obs::Counter::ServeTrimmedRounds, 1),
+                RoundFidelity::BestFitOnly => obs.add(pamdc_obs::Counter::ServeDegradedRounds, 1),
             }
             let round_migrations_before = *migrations;
             let plan_span = pamdc_obs::span!("plan");
@@ -745,10 +795,10 @@ impl Controller {
                 round_net,
                 round_billing,
             );
-            let schedule = if degraded {
-                policy.decide_degraded(&problem)
-            } else {
-                policy.decide(&problem)
+            let schedule = match fidelity {
+                RoundFidelity::Full => policy.decide(&problem),
+                RoundFidelity::Trimmed => policy.decide_trimmed(&problem),
+                RoundFidelity::BestFitOnly => policy.decide_degraded(&problem),
             };
             schedule.validate(&problem);
             drop(plan_span);
@@ -789,7 +839,8 @@ impl Controller {
             drop(execute_span);
             round_outcome = Some(RoundOutcome {
                 migrations: *migrations - round_migrations_before,
-                degraded,
+                degraded: fidelity.is_degraded(),
+                fidelity,
             });
         }
 
@@ -990,18 +1041,21 @@ fn build_problem(
 }
 
 /// Wall-clock deadline governor for online serving: decides, from
-/// observed round durations, whether the *next* scheduling round must
-/// run degraded (bestfit-only). Pure state machine — it never reads a
+/// observed round durations, which [`RoundFidelity`] rung the *next*
+/// scheduling round plans at. Pure state machine — it never reads a
 /// clock itself, so it is exactly testable.
 ///
-/// The ladder: a full round overrunning `budget_ms` degrades the next
-/// round; a degraded round finishing within half the budget earns a
-/// retry at full fidelity (hysteresis against flapping right at the
-/// budget edge). A zero budget disables degradation entirely.
+/// The ladder descends one rung per overrun (Full → Trimmed →
+/// BestFitOnly: first shrink the consolidation move budget, only then
+/// drop consolidation entirely) and climbs one rung back only when a
+/// round finishes within *half* the budget. The asymmetric band —
+/// overrun to fall, half-budget to rise — is the hysteresis that stops
+/// rounds hovering right at the budget edge from flapping between
+/// rungs every tick. A zero budget disables degradation entirely.
 #[derive(Clone, Debug)]
 pub struct DeadlineGovernor {
     budget_ms: u64,
-    degraded: bool,
+    fidelity: RoundFidelity,
 }
 
 impl DeadlineGovernor {
@@ -1009,29 +1063,47 @@ impl DeadlineGovernor {
     pub fn new(budget_ms: u64) -> Self {
         DeadlineGovernor {
             budget_ms,
-            degraded: false,
+            fidelity: RoundFidelity::Full,
         }
     }
 
-    /// Should the upcoming round plan in degraded mode?
-    pub fn plan_degraded(&self) -> bool {
-        self.budget_ms > 0 && self.degraded
+    /// The rung the upcoming round should plan at.
+    pub fn plan_fidelity(&self) -> RoundFidelity {
+        if self.budget_ms == 0 {
+            RoundFidelity::Full
+        } else {
+            self.fidelity
+        }
     }
 
-    /// Report a completed round's wall time.
-    pub fn record_round(&mut self, wall_ms: f64, was_degraded: bool) {
+    /// Should the upcoming round plan at the bottom (bestfit-only)
+    /// rung? Binary view of [`DeadlineGovernor::plan_fidelity`].
+    pub fn plan_degraded(&self) -> bool {
+        self.plan_fidelity().is_degraded()
+    }
+
+    /// Report a completed round's wall time and the rung it ran at.
+    pub fn record_round(&mut self, wall_ms: f64, ran: RoundFidelity) {
         if self.budget_ms == 0 {
             return;
         }
-        if was_degraded {
-            // Earn back full fidelity once degraded rounds fit
-            // comfortably (half budget).
-            if wall_ms <= self.budget_ms as f64 * 0.5 {
-                self.degraded = false;
+        let budget = self.budget_ms as f64;
+        self.fidelity = if wall_ms > budget {
+            // Overrun: surrender one more rung of fidelity.
+            match ran {
+                RoundFidelity::Full => RoundFidelity::Trimmed,
+                _ => RoundFidelity::BestFitOnly,
+            }
+        } else if wall_ms * 2.0 <= budget {
+            // Comfortably inside the budget: earn one rung back.
+            match ran {
+                RoundFidelity::BestFitOnly => RoundFidelity::Trimmed,
+                _ => RoundFidelity::Full,
             }
         } else {
-            self.degraded = wall_ms > self.budget_ms as f64;
-        }
+            // The dead band between budget/2 and budget: hold steady.
+            ran
+        };
     }
 }
 
@@ -1239,23 +1311,130 @@ mod tests {
     }
 
     #[test]
-    fn deadline_governor_ladder() {
+    fn deadline_governor_descends_one_rung_per_overrun() {
         let mut g = DeadlineGovernor::new(100);
-        assert!(!g.plan_degraded(), "starts at full fidelity");
-        g.record_round(80.0, false);
-        assert!(!g.plan_degraded(), "under budget stays full");
-        g.record_round(150.0, false);
-        assert!(g.plan_degraded(), "overrun degrades the next round");
-        g.record_round(70.0, true);
-        assert!(
-            g.plan_degraded(),
-            "70ms degraded > half budget: not comfortable yet"
+        assert_eq!(g.plan_fidelity(), RoundFidelity::Full, "starts full");
+        g.record_round(80.0, RoundFidelity::Full);
+        assert_eq!(
+            g.plan_fidelity(),
+            RoundFidelity::Full,
+            "dead-band round holds full fidelity"
         );
-        g.record_round(40.0, true);
-        assert!(!g.plan_degraded(), "comfortable degraded round recovers");
+        g.record_round(150.0, RoundFidelity::Full);
+        assert_eq!(
+            g.plan_fidelity(),
+            RoundFidelity::Trimmed,
+            "first overrun only trims the move budget"
+        );
+        assert!(!g.plan_degraded(), "trimmed is not the bestfit-only rung");
+        g.record_round(150.0, RoundFidelity::Trimmed);
+        assert_eq!(
+            g.plan_fidelity(),
+            RoundFidelity::BestFitOnly,
+            "second overrun drops consolidation entirely"
+        );
+        assert!(g.plan_degraded());
+        g.record_round(150.0, RoundFidelity::BestFitOnly);
+        assert_eq!(
+            g.plan_fidelity(),
+            RoundFidelity::BestFitOnly,
+            "no rung below bestfit-only"
+        );
+    }
+
+    #[test]
+    fn deadline_governor_climbs_one_rung_with_hysteresis() {
+        let mut g = DeadlineGovernor::new(100);
+        g.record_round(150.0, RoundFidelity::Full);
+        g.record_round(150.0, RoundFidelity::Trimmed);
+        assert_eq!(g.plan_fidelity(), RoundFidelity::BestFitOnly);
+
+        g.record_round(70.0, RoundFidelity::BestFitOnly);
+        assert_eq!(
+            g.plan_fidelity(),
+            RoundFidelity::BestFitOnly,
+            "70ms > half budget: the dead band holds the rung (no flap)"
+        );
+        g.record_round(40.0, RoundFidelity::BestFitOnly);
+        assert_eq!(
+            g.plan_fidelity(),
+            RoundFidelity::Trimmed,
+            "comfortable round earns exactly one rung back"
+        );
+        g.record_round(60.0, RoundFidelity::Trimmed);
+        assert_eq!(
+            g.plan_fidelity(),
+            RoundFidelity::Trimmed,
+            "dead band holds the middle rung too"
+        );
+        g.record_round(40.0, RoundFidelity::Trimmed);
+        assert_eq!(
+            g.plan_fidelity(),
+            RoundFidelity::Full,
+            "a second comfortable round restores full fidelity"
+        );
+        g.record_round(10.0, RoundFidelity::Full);
+        assert_eq!(g.plan_fidelity(), RoundFidelity::Full, "no rung above full");
 
         let mut unlimited = DeadlineGovernor::new(0);
-        unlimited.record_round(1e9, false);
-        assert!(!unlimited.plan_degraded(), "zero budget never degrades");
+        unlimited.record_round(1e9, RoundFidelity::Full);
+        assert_eq!(
+            unlimited.plan_fidelity(),
+            RoundFidelity::Full,
+            "zero budget never degrades"
+        );
+        assert!(!unlimited.plan_degraded());
+    }
+
+    #[test]
+    fn trimmed_rounds_consolidate_on_a_quarter_move_budget() {
+        let mk = |fidelity: RoundFidelity| {
+            let mut ctl =
+                Controller::new(scenario(), Box::new(BestFitPolicy::new(TrueOracle::new())));
+            for _ in 0..60 {
+                let is_round = ctl.next_step_is_round();
+                let out = ctl.step_with_fidelity(StepDemand::Source, fidelity);
+                if is_round {
+                    let r = out.round.expect("round tick must report a round");
+                    assert_eq!(r.fidelity, fidelity);
+                    assert_eq!(r.degraded, fidelity == RoundFidelity::BestFitOnly);
+                }
+            }
+            let (outcome, _) = ctl.finish(SimDuration::from_mins(60));
+            outcome
+        };
+        let metric = |o: &RunOutcome, key: &str| -> f64 {
+            o.obs_metrics
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("metric {key} missing"))
+        };
+
+        let full = mk(RoundFidelity::Full);
+        let trimmed = mk(RoundFidelity::Trimmed);
+        // Placement and the scheduling cadence are untouched by the rung.
+        assert!(metric(&trimmed, "sched.bestfit.calls") > 0.0);
+        assert_eq!(metric(&full, "sim.rounds"), metric(&trimmed, "sim.rounds"));
+        // The middle rung still consolidates — unlike bestfit-only …
+        let moves = |o: &RunOutcome| {
+            metric(o, "sched.localsearch.moves_accepted")
+                + metric(o, "sched.localsearch.moves_rejected")
+        };
+        assert!(moves(&trimmed) > 0.0, "trimmed rounds must consolidate");
+        // … but on a shrunken budget, so it never explores more than
+        // the full-fidelity pass.
+        assert!(
+            moves(&trimmed) <= moves(&full),
+            "a quarter move budget cannot out-move full fidelity"
+        );
+        // The rung is observable: trimmed rounds count themselves, and
+        // never masquerade as bestfit-only degradation.
+        assert_eq!(
+            metric(&trimmed, "serve.trimmed_rounds"),
+            metric(&trimmed, "sim.rounds")
+        );
+        assert_eq!(metric(&trimmed, "serve.degraded_rounds"), 0.0);
+        assert_eq!(metric(&full, "serve.trimmed_rounds"), 0.0);
     }
 }

@@ -15,12 +15,12 @@
 
 use crate::experiment::{Experiment, ExperimentReport, ExperimentRun};
 use crate::report::TextTable;
+use pamdc_obs::clock::Stopwatch;
 use pamdc_sched::bestfit::best_fit;
 use pamdc_sched::hierarchical::{hierarchical_round, HierarchicalConfig};
 use pamdc_sched::oracle::TrueOracle;
 use pamdc_sched::problem::synthetic;
 use pamdc_sched::profit::evaluate_schedule;
-use std::time::Instant;
 
 /// One sweep cell.
 #[derive(Clone, Debug)]
@@ -99,17 +99,17 @@ pub fn run(cfg: &ScalingConfig) -> Vec<ScalingCell> {
             let mut flat_times = Vec::with_capacity(cfg.reps);
             let mut flat_schedule = None;
             for _ in 0..cfg.reps {
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 let result = best_fit(&problem, &oracle);
-                flat_times.push(t0.elapsed().as_secs_f64() * 1e6);
+                flat_times.push(t0.elapsed_us());
                 flat_schedule = Some(result.schedule);
             }
             let mut hier_times = Vec::with_capacity(cfg.reps);
             let mut hier_out = None;
             for _ in 0..cfg.reps {
-                let t0 = Instant::now();
+                let t0 = Stopwatch::start();
                 let out = hierarchical_round(&problem, &oracle, &hier_cfg);
-                hier_times.push(t0.elapsed().as_secs_f64() * 1e6);
+                hier_times.push(t0.elapsed_us());
                 hier_out = Some(out);
             }
 

@@ -8,11 +8,11 @@
 
 use crate::experiment::{Experiment, ExperimentReport, ExperimentRun};
 use crate::report::TextTable;
+use pamdc_obs::clock::Stopwatch;
 use pamdc_sched::bestfit::best_fit;
 use pamdc_sched::exact::{branch_and_bound_with_budget, ExactOutcome};
 use pamdc_sched::oracle::TrueOracle;
 use pamdc_sched::problem::synthetic;
-use std::time::Instant;
 
 /// One measured instance size.
 #[derive(Clone, Copy, Debug)]
@@ -82,19 +82,19 @@ pub fn run(cfg: &ScalingConfig) -> Vec<ScalingPoint> {
         .map(|&(vms, hosts)| {
             let problem = synthetic::problem(vms, hosts, cfg.rps);
 
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let heur = best_fit(&problem, &oracle);
-            let bestfit_us = t0.elapsed().as_secs_f64() * 1e6;
+            let bestfit_us = t0.elapsed_us();
             let heur_profit =
                 pamdc_sched::profit::evaluate_schedule(&problem, &oracle, &heur.schedule)
                     .profit_eur;
 
             let (exact_us, exact_nodes, profit_gap, exact_budget_exhausted) =
                 if vms <= cfg.exact_vm_cap {
-                    let t0 = Instant::now();
+                    let t0 = Stopwatch::start();
                     let outcome =
                         branch_and_bound_with_budget(&problem, &oracle, cfg.exact_node_budget);
-                    let us = t0.elapsed().as_secs_f64() * 1e6;
+                    let us = t0.elapsed_us();
                     let gap_of = |profit: f64| {
                         if profit.abs() > 1e-12 {
                             (profit - heur_profit) / profit.abs()

@@ -22,7 +22,8 @@ pub mod training;
 pub mod prelude {
     pub use crate::energy::EnergyEnvironment;
     pub use crate::engine::{
-        Controller, ControllerSnapshot, DeadlineGovernor, RoundOutcome, StepDemand, TickOutcome,
+        Controller, ControllerSnapshot, DeadlineGovernor, RoundFidelity, RoundOutcome, StepDemand,
+        TickOutcome,
     };
     pub use crate::experiment::{
         outcome_metrics, run_experiment, Arm, Experiment, ExperimentReport, ExperimentRun,

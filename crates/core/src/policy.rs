@@ -29,6 +29,15 @@ pub trait PlacementPolicy: Send + Sync {
     /// Decides this round's schedule.
     fn decide(&self, problem: &Problem) -> Schedule;
 
+    /// Decides under *mild* deadline pressure — the middle rung of the
+    /// serve degradation ladder. Policies with an expensive
+    /// consolidation pass keep it but shrink its move budget (a quarter
+    /// of the configured moves, floor 1); everything else plans exactly
+    /// as [`decide`](PlacementPolicy::decide).
+    fn decide_trimmed(&self, problem: &Problem) -> Schedule {
+        self.decide(problem)
+    }
+
     /// Decides under deadline pressure: a cheaper plan the online
     /// controller can fall back to when the wall-clock budget nears.
     /// Placement is never skipped — policies with an expensive
@@ -114,6 +123,24 @@ impl<O: QosOracle> PlacementPolicy for BestFitPolicy<O> {
             None => schedule,
         }
     }
+    fn decide_trimmed(&self, problem: &Problem) -> Schedule {
+        // Middle rung: consolidate, but on a quarter of the move
+        // budget — most of the gain comes from the first few moves.
+        let demands: Vec<_> = problem
+            .vms
+            .iter()
+            .map(|vm| self.oracle.demand(vm))
+            .collect();
+        let schedule =
+            best_fit_with_demands_tuned(problem, &self.oracle, &demands, &self.tuning).schedule;
+        match &self.refine {
+            Some(cfg) => {
+                let trimmed = trim_local_search(cfg);
+                improve_schedule(problem, &self.oracle, schedule, &trimmed).0
+            }
+            None => schedule,
+        }
+    }
     fn decide_degraded(&self, problem: &Problem) -> Schedule {
         // Raw Algorithm 1: keep the placement, drop the consolidation
         // pass (the part whose cost scales with occupied hosts).
@@ -130,6 +157,16 @@ impl<O: QosOracle> PlacementPolicy for BestFitPolicy<O> {
             self.oracle.name(),
             near_label(&self.tuning)
         )
+    }
+}
+
+/// The middle-rung consolidation budget: a quarter of the configured
+/// moves (floor 1). Shared by every policy with a local-search pass so
+/// the ladder trims uniformly.
+fn trim_local_search(cfg: &LocalSearchConfig) -> LocalSearchConfig {
+    LocalSearchConfig {
+        max_moves: (cfg.max_moves / 4).max(1),
+        ..cfg.clone()
     }
 }
 
@@ -154,6 +191,15 @@ impl<O: QosOracle> HierarchicalPolicy<O> {
 impl<O: QosOracle> PlacementPolicy for HierarchicalPolicy<O> {
     fn decide(&self, problem: &Problem) -> Schedule {
         hierarchical_round(problem, &self.oracle, &self.config).0
+    }
+    fn decide_trimmed(&self, problem: &Problem) -> Schedule {
+        // Both layers still place; consolidation survives on a
+        // quarter of its move budget.
+        let cfg = HierarchicalConfig {
+            local_search: self.config.local_search.as_ref().map(trim_local_search),
+            ..self.config.clone()
+        };
+        hierarchical_round(problem, &self.oracle, &cfg).0
     }
     fn decide_degraded(&self, problem: &Problem) -> Schedule {
         // Both layers still place; only the consolidation pass drops.

@@ -1,0 +1,7 @@
+//! Fixture: the wall-clock read below is justified and suppressed.
+
+pub fn round_wall_ms() -> f64 {
+    // pamdc-lint: allow(wall-clock) -- fixture: measures round wall time for the governor
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64() * 1e3
+}

@@ -1,0 +1,7 @@
+//! Fixture: hash maps in the emit path, justified and suppressed.
+
+use std::collections::HashMap; // pamdc-lint: allow(unordered-emit) -- fixture: keys sorted before emission
+// pamdc-lint: allow(unordered-emit) -- fixture: render sorts keys before emission
+pub fn render(metrics: &HashMap<String, f64>) -> String {
+    metrics.iter().map(|(k, v)| format!("{k}={v}\n")).collect()
+}

@@ -1,0 +1,23 @@
+//! Fixture: acknowledged schema drift, suppressed at both anchors.
+
+pub enum Counter {
+    A,
+    B,
+}
+
+impl Counter {
+    // pamdc-lint: allow(obs-schema) -- fixture: the third variant lands next release
+    pub const ALL: [Counter; 3] = [
+        Counter::A,
+        Counter::B,
+    ];
+
+    fn in_run_flush(self) -> bool {
+        !matches!(self, Counter::A)
+    }
+}
+
+pub const HIST_BUCKETS: usize = 2;
+
+// pamdc-lint: allow(obs-schema) -- fixture: goldens regenerate with the next schema bump
+pub const RUN_METRIC_COUNT: usize = COUNTERS - 2 + HIST_BUCKETS * 0;

@@ -1,0 +1,7 @@
+//! Fixture: the undocumented knob is acknowledged and suppressed.
+
+pub fn parse(r: &mut Reader) -> (u64, u64) {
+    let seed = r.take_u64("seed");
+    let mystery = r.take_u64("mystery_knob"); // pamdc-lint: allow(spec-docs) -- fixture: internal debug knob
+    (seed, mystery)
+}

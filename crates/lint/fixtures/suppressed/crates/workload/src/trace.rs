@@ -1,0 +1,10 @@
+//! Fixture: panicking parser sites, each justified and suppressed.
+
+pub fn parse_row(line: &str) -> (u64, f64) {
+    let cols: Vec<&str> = line.split(',').collect();
+    // pamdc-lint: allow(no-panic-parser) -- fixture: caller validates column count
+    let tick = cols[0].parse().unwrap();
+    // pamdc-lint: allow(no-panic-parser) -- fixture: caller validates column count
+    let rps = cols[1].parse().expect("rps");
+    (tick, rps)
+}

@@ -1,0 +1,6 @@
+//! Fixture: a scheduling loop that illegally reads the wall clock.
+
+pub fn round_wall_ms() -> f64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64() * 1e3
+}

@@ -1,0 +1,7 @@
+//! Fixture: a report module that leaks hash-map iteration order.
+
+use std::collections::HashMap;
+
+pub fn render(metrics: &HashMap<String, f64>) -> String {
+    metrics.iter().map(|(k, v)| format!("{k}={v}\n")).collect()
+}

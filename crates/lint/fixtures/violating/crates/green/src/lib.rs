@@ -1,0 +1,7 @@
+//! Fixture: stale and malformed allow directives are themselves errors.
+
+// pamdc-lint: allow(wall-clock) -- fixture: nothing below reads the clock
+// pamdc-lint: allow(bogus-rule) -- fixture: unknown rule id
+pub fn pure() -> u64 {
+    7
+}

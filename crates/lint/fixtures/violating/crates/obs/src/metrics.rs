@@ -1,0 +1,21 @@
+//! Fixture: a metric registry whose schema arithmetic has drifted.
+
+pub enum Counter {
+    A,
+    B,
+}
+
+impl Counter {
+    pub const ALL: [Counter; 3] = [
+        Counter::A,
+        Counter::B,
+    ];
+
+    fn in_run_flush(self) -> bool {
+        !matches!(self, Counter::A)
+    }
+}
+
+pub const HIST_BUCKETS: usize = 2;
+
+pub const RUN_METRIC_COUNT: usize = COUNTERS - 2 + HIST_BUCKETS * 0;

@@ -1,0 +1,7 @@
+//! Fixture: a spec reader with an undocumented knob.
+
+pub fn parse(r: &mut Reader) -> (u64, u64) {
+    let seed = r.take_u64("seed");
+    let mystery = r.take_u64("mystery_knob");
+    (seed, mystery)
+}

@@ -1,0 +1,8 @@
+//! Fixture: a streaming parser that panics on hostile input.
+
+pub fn parse_row(line: &str) -> (u64, f64) {
+    let cols: Vec<&str> = line.split(',').collect();
+    let tick = cols[0].parse().unwrap();
+    let rps = cols[1].parse().expect("rps");
+    (tick, rps)
+}

@@ -1,0 +1,51 @@
+//! The wall-clock seam for timing *experiments*.
+//!
+//! The repo-wide `pamdc-lint wall-clock` contract confines raw
+//! `Instant::now` to this crate, the serve daemon, and the bench
+//! harnesses, so that nothing in the simulation path can accidentally
+//! key a decision off real time. Timing-based experiments
+//! (`scaling`, `solver-scaling`) still need to *measure* solver
+//! latency; they do it through this [`Stopwatch`] instead of touching
+//! `std::time` directly. The seam keeps the allowlist one file wide
+//! and makes every wall-clock reading grep-able.
+//!
+//! Like `span::wall_ns`, readings taken here must never reach
+//! golden-pinned output: the timing experiments are excluded from the
+//! golden suite via the kind registry's `deterministic` flag.
+
+use std::time::Instant;
+
+/// A started wall-clock measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Microseconds since [`Stopwatch::start`], as the `f64` the timing
+    /// experiments aggregate.
+    pub fn elapsed_us(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_and_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_us();
+        let b = sw.elapsed_us();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

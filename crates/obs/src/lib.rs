@@ -30,6 +30,7 @@
 //! bumped inside a sharded `hierarchical_round` land in the same
 //! collector at any parallelism budget.
 
+pub mod clock;
 pub mod log;
 pub mod metrics;
 pub mod span;

@@ -87,6 +87,11 @@ pub enum Counter {
     /// live session replayed with its degradation manifest reproduces
     /// the same value.
     ServeDegradedRounds,
+    /// Scheduling rounds planned at the ladder's middle rung (trimmed
+    /// consolidation budget) under deadline pressure. Counted inside
+    /// the engine, like `ServeDegradedRounds`, so manifest replays
+    /// reproduce it.
+    ServeTrimmedRounds,
     /// Feed polls performed by the serve daemon (wall-clock paced;
     /// excluded from run flushes).
     ServeFeedPolls,
@@ -96,7 +101,7 @@ pub enum Counter {
 }
 
 impl Counter {
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 27] = [
         Counter::SimTicks,
         Counter::SimRounds,
         Counter::SimMigrations,
@@ -121,6 +126,7 @@ impl Counter {
         Counter::ImportRowsRead,
         Counter::ImportRowsDropped,
         Counter::ServeDegradedRounds,
+        Counter::ServeTrimmedRounds,
         Counter::ServeFeedPolls,
         Counter::ServeSnapshots,
     ];
@@ -151,6 +157,7 @@ impl Counter {
             Counter::ImportRowsRead => "import.rows_read",
             Counter::ImportRowsDropped => "import.rows_dropped",
             Counter::ServeDegradedRounds => "serve.degraded_rounds",
+            Counter::ServeTrimmedRounds => "serve.trimmed_rounds",
             Counter::ServeFeedPolls => "serve.feed_polls",
             Counter::ServeSnapshots => "serve.snapshots",
         }

@@ -392,6 +392,34 @@ pub fn builtins() -> Vec<BuiltinSpec> {
         spec: mem,
     });
 
+    // Near-equivalence index — `[policy] near_equivalence_top_k` end to
+    // end (generic path): the candidate index is forced on for this
+    // 16-host fleet (`index_min_hosts = 8`, well under the compiled
+    // default of 64) and its opt-in approximate mode scores only the
+    // top-3 hosts per coarse group. Approximation relaxes the
+    // bit-identity guarantee, so the policy name in every report this
+    // spec produces carries the `+NEAR-EQUIV(top3)` marker — the golden
+    // snapshot pins both the label and the shortlist-hit counters.
+    let mut near = ScenarioSpec::default();
+    near.name = "near-equiv".into();
+    near.description =
+        "Opt-in near-equivalence candidate index: approximate top-k shortlists, loudly labeled"
+            .into();
+    near.seed = 41;
+    near.topology.pms_per_dc = 4;
+    near.workload.preset = WorkloadPreset::Uniform;
+    near.workload.vms = 8;
+    near.workload.load_scale = 0.8;
+    near.policy.kind = PolicyKind::BestFit;
+    near.policy.index_min_hosts = Some(8);
+    near.policy.near_equivalence_top_k = Some(3);
+    near.run.hours = 8;
+    out.push(BuiltinSpec {
+        name: "near-equiv",
+        title: "approximate near-equivalence shortlists (labeled, opt-in) on a 16-host fleet",
+        spec: near,
+    });
+
     out
 }
 

@@ -103,6 +103,9 @@ golden! {
     // memory, so the overflow path's new RAM-feasibility tier
     // legitimately redirects some of its placements.)
     golden_mem_pressure => "mem-pressure";
+    // First registered with the lint/serve-ladder PR: pins the
+    // +NEAR-EQUIV(top3) policy label and the near-shortlist counters.
+    golden_near_equiv => "near-equiv";
 }
 
 /// Every deterministic registry entry must have a golden test above —

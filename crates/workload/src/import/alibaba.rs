@@ -68,7 +68,11 @@ pub(crate) fn parse_rows<R: BufRead>(
         saw_content = true;
         pamdc_obs::metrics::add(pamdc_obs::Counter::ImportRowsRead, 1);
         let cols: Vec<&str> = line.split(',').map(str::trim).collect();
-        if cols.len() < MIN_COLS {
+        // Slice pattern instead of indexing (no-panic contract): the
+        // trailing `..` tolerates the dataset's extra columns.
+        let [col_cid, _machine, col_ts, col_cpu, col_mem, _, _, _, col_in, col_out, ..] =
+            cols.as_slice()
+        else {
             return Err(line_err(
                 lineno,
                 format!(
@@ -77,21 +81,21 @@ pub(crate) fn parse_rows<R: BufRead>(
                     cols.len()
                 ),
             ));
-        }
-        if cols[0].is_empty() {
+        };
+        if col_cid.is_empty() {
             return Err(line_err(lineno, "empty container_id"));
         }
-        let timestamp: u64 = cols[2]
+        let timestamp: u64 = col_ts
             .parse()
-            .map_err(|_| line_err(lineno, format!("bad time_stamp {:?}", cols[2])))?;
-        let Some(cpu_pct) = opt_f64(cols[3], lineno, "cpu_util_percent")? else {
+            .map_err(|_| line_err(lineno, format!("bad time_stamp {col_ts:?}")))?;
+        let Some(cpu_pct) = opt_f64(col_cpu, lineno, "cpu_util_percent")? else {
             pamdc_obs::metrics::add(pamdc_obs::Counter::ImportRowsDropped, 1);
             return Ok(()); // no utilization signal: skip, don't guess
         };
-        let mem_util_pct = opt_f64(cols[4], lineno, "mem_util_percent")?;
-        let net_in_kbps = opt_f64(cols[8], lineno, "net_in")?;
-        let net_out_kbps = opt_f64(cols[9], lineno, "net_out")?;
-        let Some(service) = services.intern(cols[0]) else {
+        let mem_util_pct = opt_f64(col_mem, lineno, "mem_util_percent")?;
+        let net_in_kbps = opt_f64(col_in, lineno, "net_in")?;
+        let net_out_kbps = opt_f64(col_out, lineno, "net_out")?;
+        let Some(service) = services.intern(col_cid) else {
             pamdc_obs::metrics::add(pamdc_obs::Counter::ImportRowsDropped, 1);
             return Ok(()); // beyond max_services
         };

@@ -43,7 +43,9 @@ pub(crate) fn parse_rows<R: BufRead>(
         saw_content = true;
         pamdc_obs::metrics::add(pamdc_obs::Counter::ImportRowsRead, 1);
         let cols: Vec<&str> = line.split(',').map(str::trim).collect();
-        if cols.len() != COLS {
+        // Slice pattern instead of indexing: the shape check and the
+        // column picks are one infallible step (no-panic contract).
+        let [col_ts, col_vm, _min_cpu, _max_cpu, col_avg] = cols.as_slice() else {
             return Err(line_err(
                 lineno,
                 format!(
@@ -51,23 +53,23 @@ pub(crate) fn parse_rows<R: BufRead>(
                     cols.len()
                 ),
             ));
-        }
-        let timestamp: u64 = cols[0]
+        };
+        let timestamp: u64 = col_ts
             .parse()
-            .map_err(|_| line_err(lineno, format!("bad timestamp {:?}", cols[0])))?;
-        if cols[1].is_empty() {
+            .map_err(|_| line_err(lineno, format!("bad timestamp {col_ts:?}")))?;
+        if col_vm.is_empty() {
             return Err(line_err(lineno, "empty vm id"));
         }
-        let avg_cpu: f64 = cols[4]
+        let avg_cpu: f64 = col_avg
             .parse()
-            .map_err(|_| line_err(lineno, format!("bad avg cpu {:?}", cols[4])))?;
+            .map_err(|_| line_err(lineno, format!("bad avg cpu {col_avg:?}")))?;
         if !avg_cpu.is_finite() || avg_cpu < 0.0 {
             return Err(line_err(
                 lineno,
                 format!("avg cpu must be finite and >= 0, got {avg_cpu}"),
             ));
         }
-        let Some(service) = services.intern(cols[1]) else {
+        let Some(service) = services.intern(col_vm) else {
             pamdc_obs::metrics::add(pamdc_obs::Counter::ImportRowsDropped, 1);
             return Ok(()); // beyond max_services
         };

@@ -306,6 +306,7 @@ pub(crate) fn class_kb_out_mean(class: ServiceClass) -> f64 {
 
 /// The class a normalized service index gets (the Li-BCN rotation).
 pub(crate) fn class_for(service: usize) -> ServiceClass {
+    // pamdc-lint: allow(no-panic-parser) -- index is modulo the array length
     ServiceClass::ALL[service % ServiceClass::ALL.len()]
 }
 
@@ -348,12 +349,15 @@ pub(crate) fn rows_to_trace(
             "no usable data rows (empty or fully filtered input)".into(),
         ));
     }
-    let tick_ms = opts
-        .tick
-        .expect("caller resolves the format default")
-        .as_millis();
-    let t0 = rows.iter().map(|r| r.timestamp).min().expect("non-empty");
-    let services = rows.iter().map(|r| r.service).max().expect("non-empty") + 1;
+    let Some(tick) = opts.tick else {
+        return Err(ImportError(
+            "internal: tick_secs unresolved (the importer failed to apply the format default)"
+                .into(),
+        ));
+    };
+    let tick_ms = tick.as_millis();
+    let t0 = rows.iter().map(|r| r.timestamp).min().unwrap_or(0);
+    let services = rows.iter().map(|r| r.service).max().map_or(1, |m| m + 1);
 
     // (sum cpu, sum net_in, n(net_in), sum net_out, n(net_out), samples)
     // per (tick, service); averaging keeps a coarser tick deterministic.
@@ -396,8 +400,10 @@ pub(crate) fn rows_to_trace(
             let raw_rps = rps_from_cpu(r.cpu_pct, class);
             if raw_rps > 0.0 {
                 let service_secs = class.cpu_ms_mean() / 1000.0 * (1.0 + IO_WAIT_FACTOR);
+                // pamdc-lint: allow(no-panic-parser) -- r.service < services: both vecs are sized from max(service)+1
                 mem_excess[r.service] +=
                     (mem_util / 100.0 * REF_MACHINE_MEM_MB - BASE_MEM_MB).max(0.0);
+                // pamdc-lint: allow(no-panic-parser) -- same bound as mem_excess above
                 mem_inflight[r.service] += raw_rps * service_secs;
             }
         }
@@ -409,11 +415,11 @@ pub(crate) fn rows_to_trace(
     }
 
     let mut flows: Vec<Vec<Vec<FlowSample>>> = vec![vec![Vec::new(); services]; ticks];
-    // Deterministic emission order: tick-major, then service.
-    let mut keys: Vec<(usize, usize)> = cells.keys().copied().collect();
-    keys.sort_unstable();
-    for (tick_idx, service) in keys {
-        let acc = cells[&(tick_idx, service)];
+    // Deterministic emission order: tick-major, then service. Draining
+    // the map into a sorted vec keeps the loop free of map indexing.
+    let mut entries: Vec<((usize, usize), Acc)> = cells.into_iter().collect();
+    entries.sort_unstable_by_key(|(key, _)| *key);
+    for ((tick_idx, service), acc) in entries {
         let class = class_for(service);
         let cpu_pct = acc.cpu / acc.n as f64;
         let rps = rps_from_cpu(cpu_pct, class) * opts.rate_scale;
@@ -437,8 +443,10 @@ pub(crate) fn rows_to_trace(
         let region = if opts.region_map.is_empty() {
             home
         } else {
+            // pamdc-lint: allow(no-panic-parser) -- validate() pins region_map.len() == regions and home < regions
             opts.region_map[home]
         };
+        // pamdc-lint: allow(no-panic-parser) -- tick_idx < ticks and service < services by construction of `cells`
         flows[tick_idx][service].push(FlowSample {
             region,
             rps,
@@ -450,11 +458,12 @@ pub(crate) fn rows_to_trace(
 
     // time-stretch bakes in as a longer tick (replayed 1:1 afterwards).
     let stretched_ms = (tick_ms as f64 * opts.time_stretch).round().max(1.0) as u64;
-    let mem_mb_per_inflight = (0..services)
-        .map(|s| {
-            (mem_inflight[s] > 0.0 && mem_excess[s] > 0.0).then(|| {
-                (mem_excess[s] / mem_inflight[s]).clamp(MEM_PER_INFLIGHT_MIN, MEM_PER_INFLIGHT_MAX)
-            })
+    let mem_mb_per_inflight = mem_excess
+        .iter()
+        .zip(&mem_inflight)
+        .map(|(&excess, &inflight)| {
+            (inflight > 0.0 && excess > 0.0)
+                .then(|| (excess / inflight).clamp(MEM_PER_INFLIGHT_MIN, MEM_PER_INFLIGHT_MAX))
         })
         .collect();
     Ok(DemandTrace {

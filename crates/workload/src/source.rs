@@ -110,8 +110,9 @@ pub enum Demand {
     Synthetic(Workload),
     /// A recorded trace replayed (optionally transformed).
     Trace(TraceSource),
-    /// A live append-only feed tailed as it grows.
-    Tail(TailSource),
+    /// A live append-only feed tailed as it grows. Boxed: the tailer
+    /// carries its whole parsed prefix, far larger than the siblings.
+    Tail(Box<TailSource>),
 }
 
 /// Dispatches one [`DemandSource`] call across the [`Demand`] variants.
@@ -120,7 +121,10 @@ macro_rules! each_source {
         match $self {
             Demand::Synthetic($s) => $call,
             Demand::Trace($s) => $call,
-            Demand::Tail($s) => $call,
+            Demand::Tail(boxed) => {
+                let $s = boxed.as_ref();
+                $call
+            }
         }
     };
 }
@@ -145,7 +149,7 @@ impl Demand {
     /// The live feed tailer, when this is one.
     pub fn tail(&self) -> Option<&TailSource> {
         match self {
-            Demand::Tail(t) => Some(t),
+            Demand::Tail(t) => Some(t.as_ref()),
             _ => None,
         }
     }
@@ -236,7 +240,7 @@ impl From<TraceSource> for Demand {
 
 impl From<TailSource> for Demand {
     fn from(t: TailSource) -> Self {
-        Demand::Tail(t)
+        Demand::Tail(Box::new(t))
     }
 }
 

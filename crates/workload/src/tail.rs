@@ -4,10 +4,15 @@
 //! writing — the same CSV schema [`DemandTrace::to_csv`] emits, minus
 //! the foreknowledge: a live writer cannot declare `# ticks` up front,
 //! appends rows tick by tick, and may be caught mid-row by a reader.
-//! Each [`TailSource::poll`] re-reads the file through the
-//! tail-tolerant parser ([`DemandTrace::parse_csv_tail`]), which
-//! withholds a torn final row instead of failing, so the view only ever
-//! advances over fully-written ticks.
+//!
+//! Polling is **incremental**: the file is parsed exactly once. Each
+//! [`TailSource::poll`] reads only the bytes appended since the last
+//! look (the [`TraceTail`] engine keeps parser state, including a torn
+//! final row, across polls), so tailing a multi-gigabyte feed costs
+//! the delta, not the history. Because consumed bytes are never
+//! re-read, the poll also re-verifies the pinned header block
+//! byte-for-byte and refuses files that shrink — a writer restarting
+//! into the same path is an error, not a silent rewind.
 //!
 //! Between polls a `TailSource` is a pure function of `(self, service,
 //! t)` like every other [`DemandSource`]: sampling beyond the ready
@@ -18,16 +23,22 @@
 use crate::generator::FlowSample;
 use crate::service::ServiceClass;
 use crate::source::DemandSource;
-use crate::trace::{DemandTrace, TraceError};
+use crate::trace::{DemandTrace, TraceError, TraceTail};
 use pamdc_simcore::time::SimTime;
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 /// Streams demand from an append-only trace CSV a live writer grows.
 #[derive(Clone, Debug)]
 pub struct TailSource {
     path: PathBuf,
-    /// The fully-written prefix of the feed as of the last poll.
-    ingested: DemandTrace,
+    /// Incremental parser state + the materialized feed prefix.
+    tail: TraceTail,
+    /// Raw bytes of the header block (through the column-header row),
+    /// pinned at open. Re-verified on every poll: a same-length
+    /// in-place rewrite of the shape headers would otherwise escape
+    /// the offset-based delta read entirely.
+    probe: Vec<u8>,
     /// Ticks safe to consume (see [`TraceParse::complete_ticks`]):
     /// without an end marker the last ingested tick may still be
     /// receiving rows, so it is not yet ready.
@@ -45,35 +56,55 @@ impl TailSource {
     /// the file is malformed beyond a torn final row.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
         let path = path.as_ref().to_path_buf();
-        let text = std::fs::read_to_string(&path)
+        let bytes = std::fs::read(&path)
             .map_err(|e| TraceError(format!("cannot read feed {}: {e}", path.display())))?;
-        let parsed = DemandTrace::parse_csv_tail(&text)?;
+        let mut tail = TraceTail::open(&bytes)?;
+        let probe = bytes
+            .get(..tail.header_end() as usize)
+            .unwrap_or_default()
+            .to_vec();
+        let (ready, complete) = tail.refresh()?;
         Ok(TailSource {
             path,
-            ready: parsed.complete_ticks(),
-            complete: parsed.is_complete,
-            ingested: parsed.trace,
+            tail,
+            probe,
+            ready,
+            complete,
         })
     }
 
-    /// Re-reads the feed and advances the ready prefix. Returns the
-    /// new ready-tick count. The feed must only ever be appended to:
-    /// a shape change or shrink (writer restarted into the same path)
-    /// is an error, not a silent rewind.
+    /// Reads the bytes appended since the last poll and advances the
+    /// ready prefix. Returns the new ready-tick count. The feed must
+    /// only ever be appended to: a shape change or shrink (writer
+    /// restarted into the same path) is an error, not a silent rewind.
     pub fn poll(&mut self) -> Result<usize, TraceError> {
-        let text = std::fs::read_to_string(&self.path)
-            .map_err(|e| TraceError(format!("cannot read feed {}: {e}", self.path.display())))?;
-        let parsed = DemandTrace::parse_csv_tail(&text)?;
-        if parsed.trace.tick != self.ingested.tick
-            || parsed.trace.regions != self.ingested.regions
-            || parsed.trace.classes != self.ingested.classes
-        {
+        let io_err = |e: std::io::Error| {
+            TraceError(format!("cannot read feed {}: {e}", self.path.display()))
+        };
+        let mut file = std::fs::File::open(&self.path).map_err(io_err)?;
+        let len = file.metadata().map_err(io_err)?.len();
+        let fed = self.tail.fed_bytes();
+        if len < fed {
             return Err(TraceError(format!(
-                "feed {} changed shape mid-stream (tick/regions/classes headers moved)",
+                "feed {} shrank from {fed} to {len} bytes (writer restarted?)",
                 self.path.display()
             )));
         }
-        let ready = parsed.complete_ticks();
+        // Consumed bytes are never re-read, so the header block gets a
+        // dedicated byte-identity check instead.
+        let mut head = vec![0u8; self.probe.len()];
+        file.read_exact(&mut head).map_err(io_err)?;
+        if head != self.probe {
+            return Err(TraceError(format!(
+                "feed {} changed shape mid-stream (header block rewritten)",
+                self.path.display()
+            )));
+        }
+        file.seek(SeekFrom::Start(fed)).map_err(io_err)?;
+        let mut delta = Vec::new();
+        file.read_to_end(&mut delta).map_err(io_err)?;
+        self.tail.feed(&delta)?;
+        let (ready, complete) = self.tail.refresh()?;
         if ready < self.ready {
             return Err(TraceError(format!(
                 "feed {} shrank from {} to {ready} ready ticks (writer restarted?)",
@@ -82,14 +113,20 @@ impl TailSource {
             )));
         }
         self.ready = ready;
-        self.complete = parsed.is_complete;
-        self.ingested = parsed.trace;
+        self.complete = complete;
         Ok(self.ready)
     }
 
     /// The tailed file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Total bytes ingested so far — the file offset the next poll
+    /// resumes reading from. Tracks the feed's on-disk size whenever
+    /// the source is up to date.
+    pub fn fed_bytes(&self) -> u64 {
+        self.tail.fed_bytes()
     }
 
     /// Ticks currently safe to consume.
@@ -104,27 +141,27 @@ impl TailSource {
 
     /// The ingested prefix of the feed.
     pub fn trace(&self) -> &DemandTrace {
-        &self.ingested
+        self.tail.trace()
     }
 
     /// The feed's tick index covering simulated time `t` — unlike a
     /// replay, a live feed never wraps.
     fn tick_index(&self, t: SimTime) -> usize {
-        (t.as_millis() / self.ingested.tick.as_millis().max(1)) as usize
+        (t.as_millis() / self.trace().tick.as_millis().max(1)) as usize
     }
 }
 
 impl DemandSource for TailSource {
     fn service_count(&self) -> usize {
-        self.ingested.service_count()
+        self.trace().service_count()
     }
 
     fn region_count(&self) -> usize {
-        self.ingested.regions
+        self.trace().regions
     }
 
     fn service_class(&self, service: usize) -> ServiceClass {
-        self.ingested
+        self.trace()
             .classes
             .get(service)
             .copied()
@@ -132,7 +169,7 @@ impl DemandSource for TailSource {
     }
 
     fn mem_mb_per_inflight(&self, service: usize) -> Option<f64> {
-        self.ingested
+        self.trace()
             .mem_mb_per_inflight
             .get(service)
             .copied()
@@ -144,7 +181,12 @@ impl DemandSource for TailSource {
         if idx >= self.ready {
             return Vec::new();
         }
-        self.ingested.flows[idx][service].clone()
+        self.trace()
+            .flows
+            .get(idx)
+            .and_then(|services| services.get(service))
+            .cloned()
+            .unwrap_or_default()
     }
 
     fn expected_rps(&self, service: usize, region: usize, t: SimTime) -> f64 {
@@ -152,8 +194,12 @@ impl DemandSource for TailSource {
         if idx >= self.ready {
             return 0.0;
         }
-        self.ingested.flows[idx][service]
-            .iter()
+        self.trace()
+            .flows
+            .get(idx)
+            .and_then(|services| services.get(service))
+            .into_iter()
+            .flatten()
             .filter(|f| f.region == region)
             .map(|f| f.rps)
             .sum()
@@ -163,7 +209,7 @@ impl DemandSource for TailSource {
         // A finished feed ends where its data does; a live one is
         // open-ended — more ticks may arrive on the next poll.
         self.complete
-            .then(|| SimTime::ZERO + self.ingested.tick * self.ready as u64)
+            .then(|| SimTime::ZERO + self.trace().tick * self.ready as u64)
     }
 }
 
@@ -245,6 +291,93 @@ mod tests {
         let mut tail2 = TailSource::open(&path).expect("reopen");
         std::fs::write(&path, &head).expect("restore");
         assert!(tail2.poll().is_err(), "shape changed mid-stream");
+    }
+
+    /// A deterministic dense trace big enough that whole-file re-parses
+    /// per poll would dominate: `ticks × services × 4 regions` rows.
+    fn big_feed(ticks: usize, services: usize) -> (DemandTrace, String) {
+        let mut flows = Vec::with_capacity(ticks);
+        for t in 0..ticks {
+            flows.push(
+                (0..services)
+                    .map(|s| {
+                        (0..4usize)
+                            .map(|r| FlowSample {
+                                region: r,
+                                rps: 100.0 + (t * 7 + s * 3 + r) as f64 * 0.013,
+                                kb_in_per_req: 1.5 + r as f64 * 0.25,
+                                kb_out_per_req: 20.0 + s as f64 * 0.125,
+                                cpu_ms_per_req: 3.0 + (t % 5) as f64 * 0.0625,
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            );
+        }
+        let trace = DemandTrace {
+            tick: SimDuration::from_mins(1),
+            regions: 4,
+            classes: vec![ServiceClass::Blog; services],
+            mem_mb_per_inflight: vec![None; services],
+            flows,
+        };
+        // Strip the `# ticks` foreknowledge a live writer lacks.
+        let csv: String = trace
+            .to_csv()
+            .lines()
+            .filter(|l| !l.starts_with("# ticks"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        (trace, csv)
+    }
+
+    #[test]
+    fn offset_polls_match_whole_file_parses_on_a_multi_mb_feed() {
+        let path = feed_path("multimb.csv");
+        let (trace, csv) = big_feed(3500, 5);
+        let bytes = csv.as_bytes();
+        assert!(
+            bytes.len() > 2 * 1024 * 1024,
+            "feed must be multi-MB, got {} bytes",
+            bytes.len()
+        );
+        // Deliberately non-line-aligned cut points: every append
+        // boundary tears a row, so the carry buffer is exercised on
+        // open and on every poll.
+        let mut cuts: Vec<usize> = (1..8).map(|i| bytes.len() * i / 8 + 13).collect();
+        cuts.push(bytes.len());
+        std::fs::write(&path, &bytes[..cuts[0]]).expect("write first chunk");
+        let mut tail = TailSource::open(&path).expect("open");
+        for &cut in &cuts {
+            std::fs::write(&path, &bytes[..cut]).expect("append");
+            tail.poll().expect("poll");
+            // The incremental reader ingested exactly the on-disk bytes
+            // (each poll read only the delta past the last offset)...
+            assert_eq!(tail.fed_bytes(), cut as u64);
+            // ...and its view is indistinguishable from re-parsing the
+            // whole file through the tail-tolerant one-shot path.
+            let text = std::str::from_utf8(&bytes[..cut]).expect("utf8");
+            let whole = DemandTrace::parse_csv_tail(text).expect("whole-file parse");
+            assert_eq!(tail.ready_ticks(), whole.complete_ticks());
+            assert_eq!(tail.is_complete(), whole.is_complete);
+            let ready = tail.ready_ticks();
+            assert_eq!(
+                tail.trace().flows[..ready],
+                whole.trace.flows[..ready],
+                "ready prefix diverged at {cut} bytes"
+            );
+        }
+        // Polling an unchanged file is a cheap no-op.
+        let before = tail.ready_ticks();
+        assert_eq!(tail.poll().expect("idle poll"), before);
+        // The writer closes the feed: the store now equals the recorded
+        // trace bit-for-bit.
+        std::fs::write(&path, format!("{csv}# end\n")).expect("end");
+        tail.poll().expect("final poll");
+        assert!(tail.is_complete());
+        assert_eq!(tail.ready_ticks(), 3500);
+        assert_eq!(tail.fed_bytes(), csv.len() as u64 + "# end\n".len() as u64);
+        assert_eq!(tail.trace(), &trace);
     }
 
     #[test]

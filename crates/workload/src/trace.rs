@@ -146,10 +146,10 @@ impl DemandTrace {
     /// [`DemandTrace::parse_csv_tail`] to recover the complete prefix
     /// of a file caught mid-append.
     pub fn parse_csv(text: &str) -> Result<Self, TraceError> {
-        let (mut parser, partial) = CsvParser::scan(text)?;
+        let (mut parser, mut flows, partial) = CsvParser::scan(text)?;
         if let Some((lineno, line)) = partial {
-            parser.line(lineno, &line).map_err(|e| {
-                let tick = partial_tick_guess(&line, parser.flows.len());
+            parser.line(lineno, &line, &mut flows).map_err(|e| {
+                let tick = partial_tick_guess(&line, flows.len());
                 TraceError(format!(
                     "{} — file ends mid-row (truncated append?): tick {tick} is \
                      partially written; parse_csv_tail() recovers the complete prefix",
@@ -157,7 +157,7 @@ impl DemandTrace {
                 ))
             })?;
         }
-        Ok(parser.finalize(false, None)?.trace)
+        Ok(parser.finalize(flows, false, None)?.trace)
     }
 
     /// Tail-tolerant parse for a file that may still be growing.
@@ -170,14 +170,14 @@ impl DemandTrace {
     /// `# end` line (or a declared `# ticks` count, for recorded files)
     /// marks the feed finished.
     pub fn parse_csv_tail(text: &str) -> Result<TraceParse, TraceError> {
-        let (parser, partial) = CsvParser::scan(text)?;
+        let (parser, flows, partial) = CsvParser::scan(text)?;
         let partial_tick = partial
-            .map(|(_, line)| partial_tick_guess(&line, parser.flows.len()) as u64)
+            .map(|(_, line)| partial_tick_guess(&line, flows.len()) as u64)
             .filter(|_| {
                 // A torn row before any data means nothing to withhold.
-                parser.saw_header_row || !parser.flows.is_empty()
+                parser.saw_header_row || !flows.is_empty()
             });
-        parser.finalize(true, partial_tick)
+        parser.finalize(flows, true, partial_tick)
     }
 }
 
@@ -223,35 +223,47 @@ fn partial_tick_guess(line: &str, ticks_seen: usize) -> usize {
         .unwrap_or_else(|| ticks_seen.saturating_sub(1))
 }
 
+/// The `flows[tick_idx][service]` store a [`CsvParser`] fills. Kept
+/// outside the parser so the incremental tail reader ([`TraceTail`])
+/// can park it inside the [`DemandTrace`] it hands out by reference
+/// while the parser keeps cracking appended lines into it.
+type Flows = Vec<Vec<Vec<FlowSample>>>;
+
 /// Line-by-line trace-CSV parser, shared by the strict and
 /// tail-tolerant entry points. Lines stream through the same
 /// [`for_each_line`] layer as the dataset importers, which reports
 /// whether the final line was `\n`-terminated — the signal the
 /// tail-tolerant path keys off.
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 struct CsvParser {
     tick_ms: Option<u64>,
     ticks: Option<usize>,
     regions: Option<usize>,
     classes: Vec<ServiceClass>,
     mem_mb_per_inflight: Vec<Option<f64>>,
-    flows: Vec<Vec<Vec<FlowSample>>>,
     saw_header_row: bool,
     ended: bool,
 }
 
+/// A withheld unterminated final line: 1-based line number + content.
+type TornLine = (usize, String);
+
 impl CsvParser {
     /// Runs every *terminated* line of `text` through the parser and
-    /// returns it plus the withheld unterminated final line (1-based
-    /// line number and content), if any. The one-line lookahead is what
-    /// lets both entry points decide how to treat a torn final row.
-    fn scan(text: &str) -> Result<(CsvParser, Option<(usize, String)>), TraceError> {
+    /// returns it, the flows it filled, and the withheld unterminated
+    /// final line (1-based line number and content), if any. The
+    /// one-line lookahead is what lets both entry points decide how to
+    /// treat a torn final row.
+    fn scan(text: &str) -> Result<(CsvParser, Flows, Option<TornLine>), TraceError> {
         let mut parser = CsvParser::default();
+        let mut flows = Flows::new();
         let mut pending: Option<usize> = None;
         let mut pending_buf = String::new();
         let scan = for_each_line(text.as_bytes(), |lineno, line| {
             if let Some(n) = pending.take() {
-                parser.line(n, &pending_buf).map_err(|e| ImportError(e.0))?;
+                parser
+                    .line(n, &pending_buf, &mut flows)
+                    .map_err(|e| ImportError(e.0))?;
             }
             pending_buf.clear();
             pending_buf.push_str(line);
@@ -262,15 +274,15 @@ impl CsvParser {
         let mut partial = None;
         if let Some(n) = pending {
             if scan.last_line_terminated || pending_buf.trim().is_empty() {
-                parser.line(n, &pending_buf)?;
+                parser.line(n, &pending_buf, &mut flows)?;
             } else {
                 partial = Some((n, pending_buf));
             }
         }
-        Ok((parser, partial))
+        Ok((parser, flows, partial))
     }
 
-    fn line(&mut self, lineno: usize, raw: &str) -> Result<(), TraceError> {
+    fn line(&mut self, lineno: usize, raw: &str, flows: &mut Flows) -> Result<(), TraceError> {
         let line = raw.trim();
         if line.is_empty() {
             return Ok(());
@@ -337,22 +349,21 @@ impl CsvParser {
             return Ok(());
         }
         let cols: Vec<&str> = line.split(',').collect();
-        if cols.len() != 7 {
+        let [c_tick, c_service, c_region, c_rps, c_kb_in, c_kb_out, c_cpu] = cols.as_slice() else {
             return Err(err(format!("expected 7 columns, got {}", cols.len())));
-        }
-        let tick_idx: usize = cols[0]
+        };
+        let tick_idx: usize = c_tick
             .parse()
-            .map_err(|_| err(format!("bad tick index {:?}", cols[0])))?;
-        let service: usize = cols[1]
+            .map_err(|_| err(format!("bad tick index {c_tick:?}")))?;
+        let service: usize = c_service
             .parse()
-            .map_err(|_| err(format!("bad service {:?}", cols[1])))?;
-        let region: usize = cols[2]
+            .map_err(|_| err(format!("bad service {c_service:?}")))?;
+        let region: usize = c_region
             .parse()
-            .map_err(|_| err(format!("bad region {:?}", cols[2])))?;
-        let num = |i: usize| -> Result<f64, TraceError> {
-            cols[i]
-                .parse()
-                .map_err(|_| err(format!("bad number {:?}", cols[i])))
+            .map_err(|_| err(format!("bad region {c_region:?}")))?;
+        let num = |text: &str| -> Result<f64, TraceError> {
+            text.parse()
+                .map_err(|_| err(format!("bad number {text:?}")))
         };
         if service >= self.classes.len() {
             return Err(err(format!(
@@ -360,17 +371,27 @@ impl CsvParser {
                 self.classes.len()
             )));
         }
-        if self.flows.len() <= tick_idx {
-            let services = self.classes.len();
-            self.flows
-                .resize_with(tick_idx + 1, || vec![Vec::new(); services]);
+        // Validate eagerly when the regions header already arrived (it
+        // always has on the incremental tail path, which never sees
+        // `finalize`'s deferred whole-store sweep).
+        if let Some(regions) = self.regions {
+            if region >= regions {
+                return Err(err(format!(
+                    "flow region {region} out of range ({regions} regions)"
+                )));
+            }
         }
-        self.flows[tick_idx][service].push(FlowSample {
+        if flows.len() <= tick_idx {
+            let services = self.classes.len();
+            flows.resize_with(tick_idx + 1, || vec![Vec::new(); services]);
+        }
+        // pamdc-lint: allow(no-panic-parser) -- tick_idx/service are resized/range-checked just above
+        flows[tick_idx][service].push(FlowSample {
             region,
-            rps: num(3)?,
-            kb_in_per_req: num(4)?,
-            kb_out_per_req: num(5)?,
-            cpu_ms_per_req: num(6)?,
+            rps: num(c_rps)?,
+            kb_in_per_req: num(c_kb_in)?,
+            kb_out_per_req: num(c_kb_out)?,
+            cpu_ms_per_req: num(c_cpu)?,
         });
         Ok(())
     }
@@ -380,13 +401,17 @@ impl CsvParser {
     /// (they will be re-read whole later) and a declared `# ticks`
     /// count only pads — to cover trailing zero-demand ticks — when no
     /// torn row contradicts it.
-    fn finalize(mut self, tail: bool, partial_tick: Option<u64>) -> Result<TraceParse, TraceError> {
+    fn finalize(
+        self,
+        mut flows: Flows,
+        tail: bool,
+        partial_tick: Option<u64>,
+    ) -> Result<TraceParse, TraceError> {
         if let Some(t) = partial_tick {
             // Ticks before the torn row are fully written — including
             // zero-demand ones the writer skipped rows for.
             let services = self.classes.len();
-            self.flows
-                .resize_with(t as usize, || vec![Vec::new(); services]);
+            flows.resize_with(t as usize, || vec![Vec::new(); services]);
         }
         if !self.saw_header_row {
             return Err(TraceError("missing column header row".into()));
@@ -415,24 +440,26 @@ impl CsvParser {
         // header existed fall back to the max tick index seen.
         let mut is_complete = false;
         if let Some(ticks) = self.ticks {
-            if self.flows.len() > ticks {
+            if flows.len() > ticks {
                 return Err(TraceError(format!(
                     "data rows reach tick {} but the header declares ticks = {ticks}",
-                    self.flows.len() - 1
+                    flows.len() - 1
                 )));
             }
             if !tail || partial_tick.is_none() {
                 let services = self.classes.len();
-                self.flows.resize_with(ticks, || vec![Vec::new(); services]);
+                flows.resize_with(ticks, || vec![Vec::new(); services]);
                 is_complete = true;
             }
         }
         if self.ended && partial_tick.is_none() {
             is_complete = true;
         }
-        for services in &self.flows {
-            for flows in services {
-                for f in flows {
+        // Deferred region sweep: rows parsed before the `# regions`
+        // header appeared were not range-checked in `line`.
+        for services in &flows {
+            for service_flows in services {
+                for f in service_flows {
                     if f.region >= regions {
                         return Err(TraceError(format!(
                             "flow region {} out of range ({} regions)",
@@ -448,12 +475,269 @@ impl CsvParser {
                 regions,
                 classes: self.classes,
                 mem_mb_per_inflight,
-                flows: self.flows,
+                flows,
             },
             partial_tick,
             is_complete,
         })
     }
+
+    /// The memory-profile header in its post-validation form (empty =
+    /// every service unmeasured), or `None` when its length disagrees
+    /// with the classes header.
+    fn normalized_mem(&self) -> Option<Vec<Option<f64>>> {
+        if self.mem_mb_per_inflight.is_empty() {
+            Some(vec![None; self.classes.len()])
+        } else if self.mem_mb_per_inflight.len() == self.classes.len() {
+            Some(self.mem_mb_per_inflight.clone())
+        } else {
+            None
+        }
+    }
+}
+
+/// Incremental, tail-tolerant trace reader: the engine behind
+/// [`TailSource`](crate::tail::TailSource).
+///
+/// Where [`DemandTrace::parse_csv_tail`] re-parses a whole file on
+/// every look, a `TraceTail` is fed only the bytes appended since the
+/// last feed. It keeps the parser state (headers, line number, a carry
+/// buffer holding the unterminated final line) across feeds and parks
+/// the growing flow store inside the [`DemandTrace`] it exposes by
+/// reference — so each poll of a multi-gigabyte feed costs only the
+/// delta.
+///
+/// A torn final row never enters the store at all: it waits in the
+/// carry buffer as raw bytes until a later feed terminates it. The
+/// rows of the tick it names that *are* already stored stay there,
+/// hidden behind the `ready` count [`TraceTail::refresh`] computes —
+/// the same visible view the whole-file parser produced by truncating
+/// and re-reading.
+#[derive(Clone, Debug)]
+pub(crate) struct TraceTail {
+    parser: CsvParser,
+    trace: DemandTrace,
+    /// Bytes of the last feed's unterminated final line.
+    carry: Vec<u8>,
+    /// 1-based number of the last terminated line parsed.
+    lineno: usize,
+    /// Total bytes ever fed — the offset the next feed starts at.
+    fed: u64,
+    /// Byte offset just past the `tick,...` column-header row: the
+    /// prefix the file's shape headers live in under the standard
+    /// emission layout (callers pin and re-verify those raw bytes).
+    header_end: u64,
+}
+
+impl TraceTail {
+    /// Parses the feed's current contents and validates that the full
+    /// header block has arrived (same requirements as
+    /// [`DemandTrace::parse_csv_tail`] + `finalize`); callers retry
+    /// while the writer has not flushed it yet.
+    pub(crate) fn open(bytes: &[u8]) -> Result<TraceTail, TraceError> {
+        let mut parser = CsvParser::default();
+        let mut flows = Flows::new();
+        let (mut carry, mut lineno, mut fed, mut header_end) = (Vec::new(), 0, 0, 0);
+        ingest_lines(
+            &mut parser,
+            &mut flows,
+            &mut carry,
+            &mut lineno,
+            &mut fed,
+            &mut header_end,
+            bytes,
+        )?;
+        if !parser.saw_header_row {
+            return Err(TraceError("missing column header row".into()));
+        }
+        let tick_ms = parser
+            .tick_ms
+            .ok_or_else(|| TraceError("missing '# tick_ms = ...'".into()))?;
+        let regions = parser
+            .regions
+            .ok_or_else(|| TraceError("missing '# regions = ...'".into()))?;
+        if parser.classes.is_empty() {
+            return Err(TraceError("missing '# classes = ...'".into()));
+        }
+        let mem_mb_per_inflight = parser.normalized_mem().ok_or_else(|| {
+            TraceError(format!(
+                "mem_mb_per_inflight header lists {} services but classes lists {}",
+                parser.mem_mb_per_inflight.len(),
+                parser.classes.len()
+            ))
+        })?;
+        // Rows fed before the regions header appeared dodged `line`'s
+        // eager range check; sweep them once here.
+        for services in &flows {
+            for service_flows in services {
+                for f in service_flows {
+                    if f.region >= regions {
+                        return Err(TraceError(format!(
+                            "flow region {} out of range ({} regions)",
+                            f.region, regions
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(TraceTail {
+            trace: DemandTrace {
+                tick: SimDuration::from_millis(tick_ms),
+                regions,
+                classes: parser.classes.clone(),
+                mem_mb_per_inflight,
+                flows,
+            },
+            parser,
+            carry,
+            lineno,
+            fed,
+            header_end,
+        })
+    }
+
+    /// Parses the bytes appended since the last feed straight into the
+    /// store. Call [`TraceTail::refresh`] afterwards to recompute the
+    /// visible view.
+    pub(crate) fn feed(&mut self, bytes: &[u8]) -> Result<(), TraceError> {
+        ingest_lines(
+            &mut self.parser,
+            &mut self.trace.flows,
+            &mut self.carry,
+            &mut self.lineno,
+            &mut self.fed,
+            &mut self.header_end,
+            bytes,
+        )
+    }
+
+    /// Recomputes `(ready_ticks, is_complete)` from the current state:
+    /// the exact view [`DemandTrace::parse_csv_tail`] +
+    /// [`TraceParse::complete_ticks`] would report for the same bytes.
+    /// Errors when a header appended after `open` redeclares the feed's
+    /// shape, or data rows overrun a declared `# ticks` count.
+    pub(crate) fn refresh(&mut self) -> Result<(usize, bool), TraceError> {
+        // Shape headers are frozen at open: a redefinition appended
+        // later would silently fork the already-consumed prefix.
+        if self.parser.tick_ms != Some(self.trace.tick.as_millis())
+            || self.parser.regions != Some(self.trace.regions)
+            || self.parser.classes != self.trace.classes
+            || self.parser.normalized_mem().as_ref() != Some(&self.trace.mem_mb_per_inflight)
+        {
+            return Err(TraceError(
+                "shape headers (tick_ms/regions/classes/mem_mb_per_inflight) changed mid-stream"
+                    .into(),
+            ));
+        }
+        let services = self.trace.classes.len();
+        // A non-blank carry is a torn row: the writer provably moved
+        // past every tick before the one it names (rowless zero-demand
+        // ticks included — pad so the view can index them).
+        let torn = carry_str(&self.carry);
+        let partial = (!torn.trim().is_empty())
+            .then(|| partial_tick_guess(torn.trim(), self.trace.flows.len()));
+        if let Some(p) = partial {
+            if let Some(ticks) = self.parser.ticks.filter(|&ticks| p > ticks) {
+                return Err(TraceError(format!(
+                    "data rows reach tick {p} but the header declares ticks = {ticks}"
+                )));
+            }
+            if self.trace.flows.len() < p {
+                self.trace
+                    .flows
+                    .resize_with(p, || vec![Vec::new(); services]);
+            }
+            return Ok((p, false));
+        }
+        if let Some(ticks) = self.parser.ticks {
+            if self.trace.flows.len() > ticks {
+                return Err(TraceError(format!(
+                    "data rows reach tick {} but the header declares ticks = {ticks}",
+                    self.trace.flows.len() - 1
+                )));
+            }
+            self.trace
+                .flows
+                .resize_with(ticks, || vec![Vec::new(); services]);
+            return Ok((ticks, true));
+        }
+        if self.parser.ended {
+            return Ok((self.trace.flows.len(), true));
+        }
+        // Without an end marker the newest tick may still be growing.
+        Ok((self.trace.flows.len().saturating_sub(1), false))
+    }
+
+    /// The materialized store: headers plus every fully-written row fed
+    /// so far. Rows of a tick still behind the `ready` horizon are
+    /// present but not yet vouched for.
+    pub(crate) fn trace(&self) -> &DemandTrace {
+        &self.trace
+    }
+
+    /// Total bytes fed — the file offset the next poll reads from.
+    pub(crate) fn fed_bytes(&self) -> u64 {
+        self.fed
+    }
+
+    /// Byte offset just past the column-header row (see the field doc).
+    pub(crate) fn header_end(&self) -> u64 {
+        self.header_end
+    }
+}
+
+/// The valid-UTF-8 prefix of a carry buffer. A feed boundary can split
+/// a multi-byte character; the torn tail cannot affect the tick-field
+/// guess, which only reads ASCII digits before the first comma.
+fn carry_str(carry: &[u8]) -> &str {
+    match std::str::from_utf8(carry) {
+        Ok(s) => s,
+        Err(e) => {
+            let valid = carry.get(..e.valid_up_to()).unwrap_or_default();
+            std::str::from_utf8(valid).unwrap_or_default()
+        }
+    }
+}
+
+/// Splits `carry ++ bytes` into `\n`-terminated lines, runs each
+/// through the parser, and leaves the unterminated remainder in
+/// `carry`. `fed` advances by `bytes.len()` (the carry was counted
+/// when first fed); `header_end` is stamped when the column-header row
+/// goes past.
+fn ingest_lines(
+    parser: &mut CsvParser,
+    flows: &mut Flows,
+    carry: &mut Vec<u8>,
+    lineno: &mut usize,
+    fed: &mut u64,
+    header_end: &mut u64,
+    bytes: &[u8],
+) -> Result<(), TraceError> {
+    *fed += bytes.len() as u64;
+    let joined: Vec<u8>;
+    let mut rest: &[u8] = if carry.is_empty() {
+        bytes
+    } else {
+        joined = [carry.as_slice(), bytes].concat();
+        &joined
+    };
+    while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+        let mut line_bytes = rest.get(..pos).unwrap_or_default();
+        rest = rest.get(pos + 1..).unwrap_or_default();
+        if let Some(stripped) = line_bytes.strip_suffix(b"\r") {
+            line_bytes = stripped; // CRLF feeds parse like LF ones
+        }
+        *lineno += 1;
+        let line = std::str::from_utf8(line_bytes)
+            .map_err(|_| TraceError(format!("line {lineno}: invalid UTF-8")))?;
+        let had_header = parser.saw_header_row;
+        parser.line(*lineno, line, flows)?;
+        if parser.saw_header_row && !had_header {
+            *header_end = *fed - rest.len() as u64;
+        }
+    }
+    *carry = rest.to_vec();
+    Ok(())
 }
 
 /// Replays a [`DemandTrace`], optionally transformed.
@@ -535,6 +819,7 @@ impl TraceSource {
 
     fn mapped_region(&self, region: usize) -> usize {
         match &self.region_map {
+            // pamdc-lint: allow(no-panic-parser) -- with_region_map asserts the map covers every recorded region
             Some(map) => map[region],
             None => region,
         }
@@ -568,6 +853,7 @@ impl DemandSource for TraceSource {
 
     fn sample(&self, service: usize, t: SimTime) -> Vec<FlowSample> {
         let idx = self.tick_index(t);
+        // pamdc-lint: allow(no-panic-parser) -- tick_index wraps modulo tick_count; service bounded by the DemandSource contract
         self.trace.flows[idx][service]
             .iter()
             .map(|f| FlowSample {
@@ -582,6 +868,7 @@ impl DemandSource for TraceSource {
         // A trace is its own expectation: the recorded (already noisy)
         // rate is the best estimate available at replay time.
         let idx = self.tick_index(t);
+        // pamdc-lint: allow(no-panic-parser) -- tick_index wraps modulo tick_count; service bounded by the DemandSource contract
         self.trace.flows[idx][service]
             .iter()
             .filter(|f| self.mapped_region(f.region) == region)
